@@ -1,0 +1,513 @@
+//! A tiny continuous-query language for the runtime.
+//!
+//! Registering plans programmatically is verbose; this module parses a
+//! small SQL-like dialect into [`RtPlan`]s:
+//!
+//! ```text
+//! SELECT f0, f2 FROM s0 WHERE f0 >= 100 AND f1 != 7
+//! SELECT * FROM s0 JOIN s1 ON f0 = f2 WITHIN 5s WHERE s0.f1 > 10
+//! ```
+//!
+//! Grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query    := SELECT cols FROM input [WHERE conds]
+//! cols     := '*' | field (',' field)*
+//! field    := 'f' <digits>
+//! input    := stream
+//!           | stream JOIN stream ON field '=' field WITHIN duration
+//! stream   := 's' <digits>
+//! conds    := cond (AND cond)*
+//! cond     := [stream '.'] field op <integer>
+//! op       := '<' | '<=' | '>' | '>=' | '=' | '!='
+//! duration := <integer> ('ms' | 's' | 'us')
+//! ```
+//!
+//! Semantics:
+//! * For join queries, a condition qualified `s0.`/`s1.` filters the
+//!   corresponding input *before* the join; unqualified conditions apply to
+//!   the concatenated composite record (left fields first).
+//! * The projection applies at the end of the plan (post-join for joins).
+//! * Cost/selectivity estimates start at neutral defaults — the runtime's
+//!   EWMA monitors learn the real values (§10's dynamic-environment hook).
+
+use hcq_common::{HcqError, Nanos, Result, StreamId};
+
+use crate::ops::{RtJoin, RtOp, RtPlan};
+use crate::record::{Cmp, Predicate};
+
+/// Default per-operator cost estimate for parsed queries.
+const DEFAULT_COST: Nanos = Nanos(10_000); // 10 µs
+/// Default selectivity estimate for parsed predicates.
+const DEFAULT_SELECTIVITY: f64 = 0.5;
+
+/// Parse one query.
+pub fn parse(input: &str) -> Result<RtPlan> {
+    Parser::new(input)?.query()
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Kw(&'static str),
+    Field(usize),
+    Stream(usize),
+    Int(i64),
+    Duration(Nanos),
+    Op(Cmp),
+    Star,
+    Comma,
+    Dot,
+    EqSign,
+}
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+fn err(msg: impl Into<String>) -> HcqError {
+    HcqError::config(format!("cql: {}", msg.into()))
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self> {
+        Ok(Parser {
+            toks: lex(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &'static str) -> Result<()> {
+        match self.next() {
+            Some(Tok::Kw(k)) if k == kw => Ok(()),
+            other => Err(err(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &'static str) -> bool {
+        if matches!(self.peek(), Some(Tok::Kw(k)) if *k == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn query(&mut self) -> Result<RtPlan> {
+        self.expect_kw("select")?;
+        let projection = self.columns()?;
+        self.expect_kw("from")?;
+        let Some(Tok::Stream(first)) = self.next() else {
+            return Err(err("expected a stream (sN) after FROM"));
+        };
+        if self.eat_kw("join") {
+            self.join_query(first, projection)
+        } else {
+            self.single_query(first, projection)
+        }
+    }
+
+    /// `None` = `*` (no projection).
+    fn columns(&mut self) -> Result<Option<Vec<usize>>> {
+        if matches!(self.peek(), Some(Tok::Star)) {
+            self.pos += 1;
+            return Ok(None);
+        }
+        let mut cols = Vec::new();
+        loop {
+            match self.next() {
+                Some(Tok::Field(f)) => cols.push(f),
+                other => return Err(err(format!("expected a field (fN), found {other:?}"))),
+            }
+            if matches!(self.peek(), Some(Tok::Comma)) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        Ok(Some(cols))
+    }
+
+    fn single_query(&mut self, stream: usize, projection: Option<Vec<usize>>) -> Result<RtPlan> {
+        let mut ops = Vec::new();
+        if self.eat_kw("where") {
+            for (qualifier, pred) in self.conditions()? {
+                if qualifier.is_some() {
+                    return Err(err("stream-qualified conditions need a JOIN"));
+                }
+                ops.push(RtOp::select(pred, DEFAULT_COST, DEFAULT_SELECTIVITY));
+            }
+        }
+        if let Some(keep) = projection {
+            ops.push(RtOp::project(keep, DEFAULT_COST));
+        }
+        if ops.is_empty() {
+            // Bare `SELECT * FROM s0` would be a no-op query; require some
+            // work so `T_k > 0` and the slowdown metric is defined.
+            return Err(err(
+                "a single-stream query needs a WHERE clause or a projection",
+            ));
+        }
+        self.end()?;
+        Ok(RtPlan::single(StreamId::new(stream), ops))
+    }
+
+    fn join_query(
+        &mut self,
+        left: usize,
+        projection: Option<Vec<usize>>,
+    ) -> Result<RtPlan> {
+        let Some(Tok::Stream(right)) = self.next() else {
+            return Err(err("expected a stream (sN) after JOIN"));
+        };
+        self.expect_kw("on")?;
+        let Some(Tok::Field(lf)) = self.next() else {
+            return Err(err("expected a field (fN) after ON"));
+        };
+        match self.next() {
+            Some(Tok::EqSign) | Some(Tok::Op(Cmp::Eq)) => {}
+            other => return Err(err(format!("expected '=' in join key, found {other:?}"))),
+        }
+        let Some(Tok::Field(rf)) = self.next() else {
+            return Err(err("expected a field (fN) as the right join key"));
+        };
+        self.expect_kw("within")?;
+        let Some(Tok::Duration(window)) = self.next() else {
+            return Err(err("expected a duration (e.g. 5s) after WITHIN"));
+        };
+        let mut left_ops = Vec::new();
+        let mut right_ops = Vec::new();
+        let mut common_ops = Vec::new();
+        if self.eat_kw("where") {
+            for (qualifier, pred) in self.conditions()? {
+                match qualifier {
+                    Some(s) if s == left => {
+                        left_ops.push(RtOp::select(pred, DEFAULT_COST, DEFAULT_SELECTIVITY))
+                    }
+                    Some(s) if s == right => {
+                        right_ops.push(RtOp::select(pred, DEFAULT_COST, DEFAULT_SELECTIVITY))
+                    }
+                    Some(s) => {
+                        return Err(err(format!(
+                            "condition qualifies s{s}, which is not an input of this join"
+                        )))
+                    }
+                    None => common_ops
+                        .push(RtOp::select(pred, DEFAULT_COST, DEFAULT_SELECTIVITY)),
+                }
+            }
+        }
+        if let Some(keep) = projection {
+            common_ops.push(RtOp::project(keep, DEFAULT_COST));
+        }
+        self.end()?;
+        Ok(RtPlan::Join {
+            left_stream: StreamId::new(left),
+            right_stream: StreamId::new(right),
+            left_ops,
+            right_ops,
+            join: RtJoin::new(lf, rf, window).with_est_cost(DEFAULT_COST),
+            common_ops,
+        })
+    }
+
+    fn conditions(&mut self) -> Result<Vec<(Option<usize>, Predicate)>> {
+        let mut out = Vec::new();
+        loop {
+            let qualifier = if let Some(Tok::Stream(s)) = self.peek() {
+                let s = *s;
+                self.pos += 1;
+                match self.next() {
+                    Some(Tok::Dot) => {}
+                    other => {
+                        return Err(err(format!(
+                            "expected '.' after stream qualifier, found {other:?}"
+                        )))
+                    }
+                }
+                Some(s)
+            } else {
+                None
+            };
+            let Some(Tok::Field(f)) = self.next() else {
+                return Err(err("expected a field (fN) in condition"));
+            };
+            let cmp = match self.next() {
+                Some(Tok::Op(c)) => c,
+                Some(Tok::EqSign) => Cmp::Eq,
+                other => return Err(err(format!("expected a comparison, found {other:?}"))),
+            };
+            let Some(Tok::Int(v)) = self.next() else {
+                return Err(err("expected an integer constant in condition"));
+            };
+            out.push((qualifier, Predicate::new(f, cmp, v)));
+            if !self.eat_kw("and") {
+                break;
+            }
+        }
+        Ok(out)
+    }
+
+    fn end(&mut self) -> Result<()> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(err(format!("unexpected trailing input: {t:?}"))),
+        }
+    }
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>> {
+    let mut toks = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '*' => {
+                chars.next();
+                toks.push(Tok::Star);
+            }
+            ',' => {
+                chars.next();
+                toks.push(Tok::Comma);
+            }
+            '.' => {
+                chars.next();
+                toks.push(Tok::Dot);
+            }
+            '=' => {
+                chars.next();
+                toks.push(Tok::EqSign);
+            }
+            '!' => {
+                chars.next();
+                if chars.next_if_eq(&'=').is_some() {
+                    toks.push(Tok::Op(Cmp::Ne));
+                } else {
+                    return Err(err("lone '!' (did you mean '!='?)"));
+                }
+            }
+            '<' => {
+                chars.next();
+                if chars.next_if_eq(&'=').is_some() {
+                    toks.push(Tok::Op(Cmp::Le));
+                } else {
+                    toks.push(Tok::Op(Cmp::Lt));
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.next_if_eq(&'=').is_some() {
+                    toks.push(Tok::Op(Cmp::Ge));
+                } else {
+                    toks.push(Tok::Op(Cmp::Gt));
+                }
+            }
+            '-' | '0'..='9' => {
+                let mut num = String::new();
+                if c == '-' {
+                    num.push(c);
+                    chars.next();
+                }
+                while let Some(d) = chars.next_if(|d| d.is_ascii_digit()) {
+                    num.push(d);
+                }
+                if num.is_empty() || num == "-" {
+                    return Err(err("malformed number"));
+                }
+                // A unit suffix turns the number into a duration.
+                let mut unit = String::new();
+                while let Some(u) = chars.next_if(|u| u.is_ascii_alphabetic()) {
+                    unit.push(u);
+                }
+                let value: i64 = num.parse().map_err(|_| err("integer out of range"))?;
+                if unit.is_empty() {
+                    toks.push(Tok::Int(value));
+                } else {
+                    if value < 0 {
+                        return Err(err("durations must be non-negative"));
+                    }
+                    let nanos = match unit.to_ascii_lowercase().as_str() {
+                        "us" => Nanos::from_micros(value as u64),
+                        "ms" => Nanos::from_millis(value as u64),
+                        "s" => Nanos::from_secs(value as u64),
+                        other => return Err(err(format!("unknown duration unit '{other}'"))),
+                    };
+                    toks.push(Tok::Duration(nanos));
+                }
+            }
+            c if c.is_ascii_alphabetic() => {
+                let mut word = String::new();
+                while let Some(w) =
+                    chars.next_if(|w| w.is_ascii_alphanumeric() || *w == '_')
+                {
+                    word.push(w);
+                }
+                let lower = word.to_ascii_lowercase();
+                match lower.as_str() {
+                    "select" | "from" | "where" | "and" | "join" | "on" | "within" => {
+                        toks.push(Tok::Kw(match lower.as_str() {
+                            "select" => "select",
+                            "from" => "from",
+                            "where" => "where",
+                            "and" => "and",
+                            "join" => "join",
+                            "on" => "on",
+                            _ => "within",
+                        }));
+                    }
+                    _ if lower.starts_with('f')
+                        && lower[1..].chars().all(|d| d.is_ascii_digit())
+                        && lower.len() > 1 =>
+                    {
+                        toks.push(Tok::Field(lower[1..].parse().unwrap()));
+                    }
+                    _ if lower.starts_with('s')
+                        && lower[1..].chars().all(|d| d.is_ascii_digit())
+                        && lower.len() > 1 =>
+                    {
+                        toks.push(Tok::Stream(lower[1..].parse().unwrap()));
+                    }
+                    other => return Err(err(format!("unknown word '{other}'"))),
+                }
+            }
+            other => return Err(err(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(toks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::RtOpKind;
+
+    #[test]
+    fn parses_single_stream_filter_and_projection() {
+        let plan = parse("SELECT f0, f2 FROM s3 WHERE f0 >= 100 AND f1 != 7").unwrap();
+        let RtPlan::Single { stream, ops } = plan else {
+            panic!("expected single-stream plan");
+        };
+        assert_eq!(stream, StreamId::new(3));
+        assert_eq!(ops.len(), 3);
+        assert_eq!(
+            ops[0].kind,
+            RtOpKind::Select(Predicate::new(0, Cmp::Ge, 100))
+        );
+        assert_eq!(ops[1].kind, RtOpKind::Select(Predicate::new(1, Cmp::Ne, 7)));
+        assert_eq!(ops[2].kind, RtOpKind::Project(vec![0, 2]));
+    }
+
+    #[test]
+    fn parses_star_with_where() {
+        let plan = parse("select * from s0 where f0 < -5").unwrap();
+        let RtPlan::Single { ops, .. } = plan else {
+            panic!()
+        };
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].kind, RtOpKind::Select(Predicate::new(0, Cmp::Lt, -5)));
+    }
+
+    #[test]
+    fn parses_join_with_qualified_filters() {
+        let plan = parse(
+            "SELECT f0, f1, f3 FROM s0 JOIN s1 ON f0 = f2 WITHIN 5s \
+             WHERE s0.f1 > 10 AND s1.f0 <= 99 AND f2 = 4",
+        )
+        .unwrap();
+        let RtPlan::Join {
+            left_stream,
+            right_stream,
+            left_ops,
+            right_ops,
+            join,
+            common_ops,
+        } = plan
+        else {
+            panic!("expected join plan");
+        };
+        assert_eq!(left_stream, StreamId::new(0));
+        assert_eq!(right_stream, StreamId::new(1));
+        assert_eq!(join.left_field, 0);
+        assert_eq!(join.right_field, 2);
+        assert_eq!(join.window, Nanos::from_secs(5));
+        assert_eq!(left_ops.len(), 1);
+        assert_eq!(
+            left_ops[0].kind,
+            RtOpKind::Select(Predicate::new(1, Cmp::Gt, 10))
+        );
+        assert_eq!(right_ops.len(), 1);
+        // Unqualified condition + projection land on the common segment.
+        assert_eq!(common_ops.len(), 2);
+        assert_eq!(
+            common_ops[0].kind,
+            RtOpKind::Select(Predicate::new(2, Cmp::Eq, 4))
+        );
+        assert_eq!(common_ops[1].kind, RtOpKind::Project(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn duration_units() {
+        for (text, expect) in [
+            ("7us", Nanos::from_micros(7)),
+            ("250ms", Nanos::from_millis(250)),
+            ("2s", Nanos::from_secs(2)),
+        ] {
+            let q = format!("SELECT * FROM s0 JOIN s1 ON f0 = f0 WITHIN {text}");
+            let RtPlan::Join { join, .. } = parse(&q).unwrap() else {
+                panic!()
+            };
+            assert_eq!(join.window, expect, "{text}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_descriptive() {
+        for (q, needle) in [
+            ("SELECT FROM s0", "expected a field"),
+            ("SELECT * FROM s0", "WHERE clause or a projection"),
+            ("SELECT * FRUM s0", "unknown word"),
+            ("SELECT * FROM s0 WHERE f0 < ", "expected an integer"),
+            ("SELECT * FROM s0 WHERE s1.f0 < 5", "need a JOIN"),
+            (
+                "SELECT * FROM s0 JOIN s1 ON f0 = f1 WITHIN 1s WHERE s2.f0 < 5",
+                "not an input",
+            ),
+            ("SELECT * FROM s0 JOIN s1 ON f0 = f1 WITHIN 1parsec", "duration unit"),
+            ("SELECT f1 FROM s0 WHERE f0 ! 5", "did you mean"),
+            ("SELECT f1 FROM s0 WHERE f0 = 5 f9", "trailing"),
+        ] {
+            let e = parse(q).unwrap_err().to_string();
+            assert!(e.contains(needle), "query {q:?}: error was {e:?}");
+        }
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("sElEcT f0 FrOm S0 wHeRe F0 > 1 AnD f1 < 9").is_ok());
+    }
+
+    #[test]
+    fn parsed_plans_validate() {
+        let plans = [
+            parse("SELECT f0 FROM s0 WHERE f1 >= 3").unwrap(),
+            parse("SELECT * FROM s0 JOIN s1 ON f0 = f0 WITHIN 1s").unwrap(),
+        ];
+        for p in plans {
+            p.validate().unwrap();
+        }
+    }
+}

@@ -1,0 +1,817 @@
+//! The runtime.
+
+use std::collections::VecDeque;
+
+use hcq_common::{HcqError, Nanos, QueryId, Result, StreamId, TupleId};
+use hcq_core::{
+    BsdPolicy, EwmaEstimator, FcfsPolicy, LsfPolicy, Policy, QueueView, RoundRobinPolicy,
+    StaticPolicy, StaticRank, UnitId, UnitStatics,
+};
+use hcq_join::{JoinItem, Side, SymmetricHashJoin};
+use hcq_metrics::{QosAccumulator, QosSummary};
+use hcq_plan::{CompiledQuery, PlanStats, QueryBuilder, StreamRates};
+
+use crate::clock::{Clock, SystemClock};
+use crate::ops::{RtOp, RtPlan};
+use crate::record::Record;
+
+/// Which scheduling policy drives the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimePolicy {
+    /// First-come-first-served.
+    Fcfs,
+    /// Round-robin over ready segments.
+    RoundRobin,
+    /// Shortest ideal processing time.
+    Srpt,
+    /// Highest Rate (average response time).
+    Hr,
+    /// Highest Normalized Rate (average slowdown) — the paper's §3.3.
+    Hnr,
+    /// Longest Stretch First (maximum slowdown).
+    Lsf,
+    /// Balance Slowdown (ℓ2 norm) — the paper's §4.2.2.
+    Bsd,
+}
+
+/// Runtime configuration.
+pub struct DsmsConfig {
+    /// The scheduling policy.
+    pub policy: RuntimePolicy,
+    /// EWMA smoothing factor for online cost/selectivity monitoring.
+    pub ewma_alpha: f64,
+    /// Refresh scheduling priorities from the monitors automatically every
+    /// N scheduling decisions (`None` = only on explicit
+    /// [`Dsms::refresh_priorities`] calls).
+    pub auto_refresh_every: Option<u64>,
+    /// Load shedding: cap on total pending tuples across all queues. When a
+    /// push would exceed it, the new tuple is *shed* (dropped at admission,
+    /// counted in [`RuntimeStats::shed`]) — the classic DSMS overload valve.
+    /// `None` = unbounded queues.
+    pub max_pending: Option<usize>,
+    /// The time source.
+    pub clock: Box<dyn Clock>,
+}
+
+impl DsmsConfig {
+    /// Defaults: α = 0.05, no auto-refresh, wall clock.
+    pub fn new(policy: RuntimePolicy) -> Self {
+        DsmsConfig {
+            policy,
+            ewma_alpha: 0.05,
+            auto_refresh_every: None,
+            max_pending: None,
+            clock: Box::new(SystemClock::new()),
+        }
+    }
+
+    /// Enable load shedding with the given total-pending cap.
+    pub fn with_max_pending(mut self, cap: usize) -> Self {
+        self.max_pending = Some(cap);
+        self
+    }
+
+    /// Use a custom clock (e.g. [`crate::ManualClock`] for tests).
+    pub fn with_clock(mut self, clock: Box<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Enable periodic automatic priority refresh.
+    pub fn with_auto_refresh(mut self, every: u64) -> Self {
+        self.auto_refresh_every = Some(every);
+        self
+    }
+}
+
+/// One emitted result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Emission {
+    /// The producing query.
+    pub query: QueryId,
+    /// The output record.
+    pub record: Record,
+    /// System arrival of the underlying tuple (max over constituents for
+    /// join outputs).
+    pub arrival: Nanos,
+    /// Emission instant.
+    pub emitted_at: Nanos,
+    /// Response time.
+    pub response: Nanos,
+    /// Slowdown against the query's currently-estimated ideal processing
+    /// time.
+    pub slowdown: f64,
+}
+
+/// Aggregate runtime statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Records pushed across all streams.
+    pub pushed: u64,
+    /// Emissions produced.
+    pub emitted: u64,
+    /// Per-query-copy drops (filtered tuples).
+    pub dropped: u64,
+    /// Tuples shed at admission by the load-shedding valve.
+    pub shed: u64,
+    /// Scheduling decisions taken.
+    pub decisions: u64,
+    /// QoS over all emissions.
+    pub qos: QosSummary,
+}
+
+/// A pending tuple in a segment queue.
+#[derive(Debug, Clone)]
+struct Pending {
+    record: Record,
+    arrival: Nanos,
+}
+
+/// Join-table entry.
+#[derive(Debug, Clone)]
+struct Keyed {
+    key: u64,
+    ts: Nanos,
+    record: Record,
+    arrival: Nanos,
+}
+
+impl JoinItem for Keyed {
+    fn key(&self) -> u64 {
+        self.key
+    }
+    fn timestamp(&self) -> Nanos {
+        self.ts
+    }
+}
+
+/// Per-operator online monitor slots: one per unary op (in plan order),
+/// plus one for the join where present.
+struct QueryRuntime {
+    plan: RtPlan,
+    monitors: Vec<EwmaEstimator>,
+    join_monitor: Option<EwmaEstimator>,
+    join: Option<SymmetricHashJoin<Keyed>>,
+    /// Estimated ideal processing time (refreshed with priorities).
+    ideal_time: Nanos,
+    /// Estimated alone-path cost per leaf (join queries; single-stream uses
+    /// `ideal_time`).
+    alone: Vec<Nanos>,
+}
+
+enum PolicyImpl {
+    Static(StaticPolicy, StaticRank),
+    Bsd(BsdPolicy),
+    Lsf(LsfPolicy),
+    Fcfs(FcfsPolicy),
+    Rr(RoundRobinPolicy),
+}
+
+impl PolicyImpl {
+    fn new(kind: RuntimePolicy) -> Self {
+        match kind {
+            RuntimePolicy::Fcfs => PolicyImpl::Fcfs(FcfsPolicy::new()),
+            RuntimePolicy::RoundRobin => PolicyImpl::Rr(RoundRobinPolicy::new()),
+            RuntimePolicy::Srpt => PolicyImpl::Static(StaticPolicy::srpt(), StaticRank::Srpt),
+            RuntimePolicy::Hr => PolicyImpl::Static(StaticPolicy::hr(), StaticRank::Hr),
+            RuntimePolicy::Hnr => PolicyImpl::Static(StaticPolicy::hnr(), StaticRank::Hnr),
+            RuntimePolicy::Lsf => PolicyImpl::Lsf(LsfPolicy::new()),
+            RuntimePolicy::Bsd => PolicyImpl::Bsd(BsdPolicy::new()),
+        }
+    }
+
+    fn as_policy(&mut self) -> &mut dyn Policy {
+        match self {
+            PolicyImpl::Static(p, _) => p,
+            PolicyImpl::Bsd(p) => p,
+            PolicyImpl::Lsf(p) => p,
+            PolicyImpl::Fcfs(p) => p,
+            PolicyImpl::Rr(p) => p,
+        }
+    }
+
+    /// Install refreshed statics for one unit (static-priority policies and
+    /// BSD only; the others read queue state directly).
+    fn refresh_unit(&mut self, unit: UnitId, statics: &UnitStatics) {
+        match self {
+            PolicyImpl::Static(p, rank) => p.set_priority(unit, rank.priority(statics)),
+            PolicyImpl::Bsd(p) => p.set_phi(unit, statics.bsd_static()),
+            _ => {}
+        }
+    }
+}
+
+/// What a schedulable unit executes.
+#[derive(Debug, Clone, Copy)]
+enum RtUnit {
+    Single { query: usize },
+    JoinLeaf { query: usize, side: Side },
+}
+
+/// The FIFO queue set (mirrors the engine's `UnitQueues`, over records).
+#[derive(Default)]
+struct RtQueues {
+    queues: Vec<VecDeque<Pending>>,
+    nonempty: Vec<UnitId>,
+}
+
+impl RtQueues {
+    fn add_unit(&mut self) {
+        self.queues.push(VecDeque::new());
+    }
+
+    fn push(&mut self, unit: UnitId, pending: Pending) {
+        let q = &mut self.queues[unit as usize];
+        if q.is_empty() {
+            self.nonempty.push(unit);
+        }
+        q.push_back(pending);
+    }
+
+    fn pop(&mut self, unit: UnitId) -> Pending {
+        let q = &mut self.queues[unit as usize];
+        let p = q.pop_front().expect("pop from empty runtime queue");
+        if q.is_empty() {
+            self.nonempty.retain(|&u| u != unit);
+        }
+        p
+    }
+
+    fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+}
+
+impl QueueView for RtQueues {
+    fn len(&self, unit: UnitId) -> usize {
+        self.queues[unit as usize].len()
+    }
+    fn head_arrival(&self, unit: UnitId) -> Option<Nanos> {
+        self.queues[unit as usize].front().map(|p| p.arrival)
+    }
+    fn nonempty(&self) -> &[UnitId] {
+        &self.nonempty
+    }
+}
+
+/// The online DSMS.
+pub struct Dsms {
+    clock: Box<dyn Clock>,
+    ewma_alpha: f64,
+    auto_refresh_every: Option<u64>,
+    max_pending: Option<usize>,
+    policy: PolicyImpl,
+    queries: Vec<QueryRuntime>,
+    units: Vec<RtUnit>,
+    /// `(unit, ...)` fed by each stream index.
+    routes: Vec<Vec<UnitId>>,
+    queues: RtQueues,
+    /// Per-stream inter-arrival EWMA (for §5 window-occupancy priorities).
+    stream_gaps: Vec<Option<EwmaEstimator>>,
+    last_arrival: Vec<Option<Nanos>>,
+    tuple_counter: u64,
+    pushed: u64,
+    emitted: u64,
+    dropped: u64,
+    shed: u64,
+    decisions: u64,
+    qos: QosAccumulator,
+}
+
+impl Dsms {
+    /// Create a runtime.
+    pub fn new(cfg: DsmsConfig) -> Result<Self> {
+        if !(cfg.ewma_alpha > 0.0 && cfg.ewma_alpha <= 1.0) {
+            return Err(HcqError::config("ewma_alpha must be in (0, 1]"));
+        }
+        Ok(Dsms {
+            clock: cfg.clock,
+            ewma_alpha: cfg.ewma_alpha,
+            auto_refresh_every: cfg.auto_refresh_every,
+            max_pending: cfg.max_pending,
+            policy: PolicyImpl::new(cfg.policy),
+            queries: Vec::new(),
+            units: Vec::new(),
+            routes: Vec::new(),
+            queues: RtQueues::default(),
+            stream_gaps: Vec::new(),
+            last_arrival: Vec::new(),
+            tuple_counter: 0,
+            pushed: 0,
+            emitted: 0,
+            dropped: 0,
+            shed: 0,
+            decisions: 0,
+            qos: QosAccumulator::new(),
+        })
+    }
+
+    /// Register a continuous query. Must happen while no tuples are pending
+    /// (registration re-derives the whole unit table).
+    pub fn register(&mut self, plan: RtPlan) -> Result<QueryId> {
+        plan.validate()?;
+        if self.queues.pending() > 0 {
+            return Err(HcqError::config(
+                "register queries before pushing data (or after draining)",
+            ));
+        }
+        let id = QueryId::new(self.queries.len());
+        let alpha = self.ewma_alpha;
+        let (monitors, join_monitor, join) = match &plan {
+            RtPlan::Single { ops, .. } => (
+                ops.iter()
+                    .map(|op| EwmaEstimator::new(alpha, op.est_cost, op.est_selectivity))
+                    .collect(),
+                None,
+                None,
+            ),
+            RtPlan::Join {
+                left_ops,
+                right_ops,
+                common_ops,
+                join,
+                ..
+            } => (
+                left_ops
+                    .iter()
+                    .chain(right_ops)
+                    .chain(common_ops)
+                    .map(|op| EwmaEstimator::new(alpha, op.est_cost, op.est_selectivity))
+                    .collect(),
+                Some(EwmaEstimator::new(alpha, join.est_cost, join.est_selectivity)),
+                Some(SymmetricHashJoin::new(join.window)),
+            ),
+        };
+        for stream in plan.streams() {
+            if self.stream_gaps.len() <= stream.index() {
+                self.stream_gaps.resize_with(stream.index() + 1, || None);
+                self.last_arrival.resize(stream.index() + 1, None);
+                self.routes.resize(stream.index() + 1, Vec::new());
+            }
+        }
+        // Units and routing.
+        let qi = id.index();
+        match &plan {
+            RtPlan::Single { stream, .. } => {
+                let unit = self.units.len() as UnitId;
+                self.units.push(RtUnit::Single { query: qi });
+                self.queues.add_unit();
+                self.routes[stream.index()].push(unit);
+            }
+            RtPlan::Join {
+                left_stream,
+                right_stream,
+                ..
+            } => {
+                let left = self.units.len() as UnitId;
+                self.units.push(RtUnit::JoinLeaf {
+                    query: qi,
+                    side: Side::Left,
+                });
+                self.queues.add_unit();
+                self.routes[left_stream.index()].push(left);
+                let right = self.units.len() as UnitId;
+                self.units.push(RtUnit::JoinLeaf {
+                    query: qi,
+                    side: Side::Right,
+                });
+                self.queues.add_unit();
+                self.routes[right_stream.index()].push(right);
+            }
+        }
+        self.queries.push(QueryRuntime {
+            plan,
+            monitors,
+            join_monitor,
+            join,
+            ideal_time: Nanos(1),
+            alone: Vec::new(),
+        });
+        // (Re-)derive statics and register with the policy.
+        let statics = self.derive_statics()?;
+        self.policy.as_policy().on_register(&statics);
+        Ok(id)
+    }
+
+    /// Push a record onto a stream, stamped with the current clock time.
+    pub fn push(&mut self, stream: StreamId, record: Record) {
+        let now = self.clock.now();
+        self.pushed += 1;
+        // Update the stream's inter-arrival monitor.
+        if stream.index() < self.stream_gaps.len() {
+            if let Some(last) = self.last_arrival[stream.index()] {
+                let gap = now.saturating_since(last);
+                self.stream_gaps[stream.index()]
+                    .get_or_insert_with(|| EwmaEstimator::new(self.ewma_alpha, gap.max(Nanos(1)), 1.0))
+                    .observe(gap.max(Nanos(1)), 1.0);
+            }
+            self.last_arrival[stream.index()] = Some(now);
+        }
+        let Some(routes) = self.routes.get(stream.index()) else {
+            return;
+        };
+        // Load shedding: admit the whole fan-out or none of it, so every
+        // query sees a consistent sub-stream.
+        if let Some(cap) = self.max_pending {
+            if self.queues.pending() + routes.len() > cap {
+                self.shed += 1;
+                return;
+            }
+        }
+        for &unit in routes {
+            self.tuple_counter += 1;
+            self.queues.push(
+                unit,
+                Pending {
+                    record: record.clone(),
+                    arrival: now,
+                },
+            );
+            self.policy.as_policy().on_enqueue(
+                unit,
+                TupleId::new(self.tuple_counter),
+                now,
+                now,
+            );
+        }
+    }
+
+    /// Take one scheduling decision and execute it; returns the emissions it
+    /// produced, or `None` when nothing is pending.
+    pub fn run_once(&mut self) -> Option<Vec<Emission>> {
+        let now = self.clock.now();
+        if self.queues.nonempty.is_empty() {
+            return None;
+        }
+        let selection = self
+            .policy
+            .as_policy()
+            .select(&self.queues, now)
+            .expect("work pending");
+        self.decisions += 1;
+        let mut out = Vec::new();
+        for unit in selection.units {
+            let pending = self.queues.pop(unit);
+            match self.units[unit as usize] {
+                RtUnit::Single { query } => self.run_single(query, pending, &mut out),
+                RtUnit::JoinLeaf { query, side } => {
+                    self.run_join_leaf(query, side, pending, &mut out)
+                }
+            }
+        }
+        if let Some(every) = self.auto_refresh_every {
+            if self.decisions.is_multiple_of(every) {
+                self.refresh_priorities()
+                    .expect("registered plans stay valid");
+            }
+        }
+        Some(out)
+    }
+
+    /// Run decisions until no work is pending; returns all emissions.
+    pub fn run_until_idle(&mut self) -> Vec<Emission> {
+        let mut all = Vec::new();
+        while let Some(mut batch) = self.run_once() {
+            all.append(&mut batch);
+        }
+        all
+    }
+
+    /// Recompute every unit's statics from the online monitors and install
+    /// the resulting priorities (static-priority policies and BSD).
+    pub fn refresh_priorities(&mut self) -> Result<()> {
+        let statics = self.derive_statics()?;
+        for (unit, s) in statics.iter().enumerate() {
+            self.policy.refresh_unit(unit as UnitId, s);
+        }
+        Ok(())
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        RuntimeStats {
+            pushed: self.pushed,
+            emitted: self.emitted,
+            dropped: self.dropped,
+            shed: self.shed,
+            decisions: self.decisions,
+            qos: self.qos.summary(),
+        }
+    }
+
+    /// Tuples currently queued.
+    pub fn pending(&self) -> usize {
+        self.queues.pending()
+    }
+
+    /// Current online estimates for a query's unary operators, in plan
+    /// order: `(cost, selectivity)` per operator. Exposes what the EWMA
+    /// monitors have learned (introspection / debugging / dashboards).
+    pub fn estimates(&self, query: QueryId) -> Option<Vec<(Nanos, f64)>> {
+        self.queries.get(query.index()).map(|q| {
+            q.monitors
+                .iter()
+                .map(|m| (m.cost(), m.selectivity()))
+                .collect()
+        })
+    }
+
+    /// Current estimated ideal processing time `T` for a query.
+    pub fn estimated_ideal_time(&self, query: QueryId) -> Option<Nanos> {
+        self.queries.get(query.index()).map(|q| q.ideal_time)
+    }
+
+    /// The measured mean inter-arrival time of a stream, once at least two
+    /// pushes have been observed on it.
+    pub fn measured_gap(&self, stream: StreamId) -> Option<Nanos> {
+        self.stream_gaps
+            .get(stream.index())
+            .and_then(|g| g.as_ref())
+            .map(|g| g.cost())
+    }
+
+    // ---------------------------------------------------------- internals
+
+    /// Build plan-equivalent statistics from the current monitor estimates
+    /// and derive per-unit statics plus per-query T / alone costs.
+    fn derive_statics(&mut self) -> Result<Vec<UnitStatics>> {
+        let mut statics = Vec::with_capacity(self.units.len());
+        // Stream rates from monitors (joins need them; fall back to the
+        // window length when unmeasured, a deliberately conservative guess).
+        let mut rates = StreamRates::none();
+        for (s, gap) in self.stream_gaps.iter().enumerate() {
+            if let Some(g) = gap {
+                rates.set(StreamId::new(s), g.cost().max(Nanos(1)));
+            }
+        }
+        for q in &mut self.queries {
+            let builder = plan_from_estimates(&q.plan, &q.monitors, &q.join_monitor);
+            let compiled = CompiledQuery::compile(&builder);
+            // For join plans with unmeasured streams, substitute the window
+            // as τ so the occupancy estimate is defined.
+            let mut local_rates = rates.clone();
+            if let RtPlan::Join {
+                left_stream,
+                right_stream,
+                join,
+                ..
+            } = &q.plan
+            {
+                for s in [left_stream, right_stream] {
+                    if local_rates.tau(*s).is_none() {
+                        local_rates.set(*s, join.window);
+                    }
+                }
+            }
+            let stats = PlanStats::compute(&compiled, &local_rates)?;
+            q.ideal_time = stats.ideal_time;
+            q.alone = (0..compiled.leaves.len())
+                .map(|li| compiled.alone_cost(hcq_plan::LeafIndex(li)))
+                .collect();
+            for leaf in &stats.per_leaf {
+                statics.push(UnitStatics::from_leaf(leaf));
+            }
+        }
+        debug_assert_eq!(statics.len(), self.units.len());
+        Ok(statics)
+    }
+
+    fn run_single(&mut self, query: usize, pending: Pending, out: &mut Vec<Emission>) {
+        let q = &mut self.queries[query];
+        let QueryRuntime {
+            plan,
+            monitors,
+            ideal_time,
+            ..
+        } = q;
+        let RtPlan::Single { ops, .. } = plan else {
+            unreachable!("unit/plan mismatch");
+        };
+        let mut record = pending.record;
+        let mut survived = true;
+        for (i, op) in ops.iter().enumerate() {
+            match op.apply(&record) {
+                Some(next) => {
+                    monitors[i].observe_selectivity(1.0);
+                    record = next;
+                }
+                None => {
+                    monitors[i].observe_selectivity(0.0);
+                    survived = false;
+                    break;
+                }
+            }
+        }
+        let ideal = *ideal_time;
+        if survived {
+            self.emit(query, record, pending.arrival, pending.arrival + ideal, out);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    fn run_join_leaf(
+        &mut self,
+        query: usize,
+        side: Side,
+        pending: Pending,
+        out: &mut Vec<Emission>,
+    ) {
+        let q = &mut self.queries[query];
+        let QueryRuntime {
+            plan,
+            monitors,
+            join_monitor,
+            join: join_table,
+            alone,
+            ..
+        } = q;
+        let RtPlan::Join {
+            left_ops,
+            right_ops,
+            join,
+            common_ops,
+            ..
+        } = plan
+        else {
+            unreachable!("unit/plan mismatch");
+        };
+        let n_left = left_ops.len();
+        let (own_ops, key_field, mon_base) = match side {
+            Side::Left => (&*left_ops, join.left_field, 0),
+            Side::Right => (&*right_ops, join.right_field, n_left),
+        };
+        // Own chain.
+        let mut record = pending.record;
+        for (i, op) in own_ops.iter().enumerate() {
+            let slot = mon_base + i;
+            match op.apply(&record) {
+                Some(next) => {
+                    monitors[slot].observe_selectivity(1.0);
+                    record = next;
+                }
+                None => {
+                    monitors[slot].observe_selectivity(0.0);
+                    self.dropped += 1;
+                    return;
+                }
+            }
+        }
+        // Join: key from the post-chain record. A record lacking the key
+        // field cannot match anything.
+        let Some(key) = record.get(key_field) else {
+            self.dropped += 1;
+            return;
+        };
+        let entry = Keyed {
+            key: key as u64,
+            ts: pending.arrival,
+            record: record.clone(),
+            arrival: pending.arrival,
+        };
+        let matches = join_table
+            .as_mut()
+            .expect("join plan has a join table")
+            .insert_probe(side, &entry);
+        if let Some(jm) = join_monitor.as_mut() {
+            jm.observe_selectivity(matches.len() as f64);
+        }
+        if matches.is_empty() {
+            self.dropped += 1;
+            return;
+        }
+        let common_base = n_left + right_ops.len();
+        // Per §5.1: composite arrival = max of constituents; ideal departure
+        // = max over constituents of (arrival + alone-path estimate).
+        let (own_leaf, other_leaf) = match side {
+            Side::Left => (0usize, 1usize),
+            Side::Right => (1, 0),
+        };
+        let mut results = Vec::new();
+        let mut dropped = 0u64;
+        for partner in matches {
+            let (left_rec, right_rec) = match side {
+                Side::Left => (&record, &partner.record),
+                Side::Right => (&partner.record, &record),
+            };
+            let mut composite = left_rec.concat(right_rec);
+            let arrival = pending.arrival.max(partner.arrival);
+            let ideal_depart = (pending.arrival + alone[own_leaf])
+                .max(partner.arrival + alone[other_leaf]);
+            let mut survived = true;
+            for (i, op) in common_ops.iter().enumerate() {
+                let slot = common_base + i;
+                match op.apply(&composite) {
+                    Some(next) => {
+                        monitors[slot].observe_selectivity(1.0);
+                        composite = next;
+                    }
+                    None => {
+                        monitors[slot].observe_selectivity(0.0);
+                        survived = false;
+                        break;
+                    }
+                }
+            }
+            if survived {
+                results.push((composite, arrival, ideal_depart));
+            } else {
+                dropped += 1;
+            }
+        }
+        self.dropped += dropped;
+        for (composite, arrival, ideal_depart) in results {
+            self.emit(query, composite, arrival, ideal_depart, out);
+        }
+    }
+
+    fn emit(
+        &mut self,
+        query: usize,
+        record: Record,
+        arrival: Nanos,
+        ideal_depart: Nanos,
+        out: &mut Vec<Emission>,
+    ) {
+        let now = self.clock.now();
+        let ideal = self.queries[query].ideal_time;
+        let response = now.saturating_since(arrival);
+        // §5.1.2 form; with a manual clock `now` can precede the estimated
+        // ideal departure, in which case the tuple was "faster than ideal"
+        // and slowdown clamps at 1.
+        let slowdown = if now > ideal_depart {
+            1.0 + (now - ideal_depart).ratio(ideal)
+        } else {
+            1.0
+        };
+        self.qos.record(response, slowdown);
+        self.emitted += 1;
+        out.push(Emission {
+            query: QueryId::new(query),
+            record,
+            arrival,
+            emitted_at: now,
+            response,
+            slowdown,
+        });
+    }
+}
+
+/// Translate runtime estimates into an `hcq-plan` query so the §2/§5
+/// statistics machinery derives the scheduling priorities.
+fn plan_from_estimates(
+    plan: &RtPlan,
+    monitors: &[EwmaEstimator],
+    join_monitor: &Option<EwmaEstimator>,
+) -> hcq_plan::QueryPlan {
+    let op_spec = |b: QueryBuilder, mon: &EwmaEstimator, op: &RtOp| -> QueryBuilder {
+        match op.kind {
+            crate::ops::RtOpKind::Select(_) => b.map(mon.cost(), mon.selectivity().min(1.0)),
+            crate::ops::RtOpKind::Project(_) => b.project(mon.cost()),
+        }
+    };
+    match plan {
+        RtPlan::Single { stream, ops } => {
+            let mut b = QueryBuilder::on(*stream);
+            for (op, mon) in ops.iter().zip(monitors) {
+                b = op_spec(b, mon, op);
+            }
+            b.build().expect("validated at registration")
+        }
+        RtPlan::Join {
+            left_stream,
+            right_stream,
+            left_ops,
+            right_ops,
+            join,
+            common_ops,
+        } => {
+            let mut left = QueryBuilder::on(*left_stream);
+            for (op, mon) in left_ops.iter().zip(monitors) {
+                left = op_spec(left, mon, op);
+            }
+            let mut right = QueryBuilder::on(*right_stream);
+            for (op, mon) in right_ops.iter().zip(&monitors[left_ops.len()..]) {
+                right = op_spec(right, mon, op);
+            }
+            let jm = join_monitor.as_ref().expect("join plan has a join monitor");
+            let mut b = left.window_join(
+                right,
+                jm.cost(),
+                // PlanStats wants the per-pair predicate selectivity in
+                // (0,1]; the monitor tracks *matches per probe*, which the
+                // occupancy term already models — keep the declared
+                // estimate's role and clamp.
+                jm.selectivity().clamp(1e-6, 1.0),
+                join.window,
+            );
+            for (op, mon) in common_ops
+                .iter()
+                .zip(&monitors[left_ops.len() + right_ops.len()..])
+            {
+                b = op_spec(b, mon, op);
+            }
+            b.build().expect("validated at registration")
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Online-runtime throughput: records pushed + fully processed per second
+//! through the `hcq-aqsios` mini-DSMS under each policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcq_aqsios::{Cmp, Dsms, DsmsConfig, ManualClock, Predicate, Record, RtOp, RtPlan, RuntimePolicy};
+use hcq_common::{Nanos, StreamId};
+
+fn build(policy: RuntimePolicy, queries: usize) -> (Dsms, ManualClock) {
+    let clock = ManualClock::new();
+    let mut dsms =
+        Dsms::new(DsmsConfig::new(policy).with_clock(Box::new(clock.clone()))).unwrap();
+    for i in 0..queries {
+        dsms.register(RtPlan::single(
+            StreamId::new(0),
+            vec![
+                RtOp::select(
+                    Predicate::new(0, Cmp::Ge, (i as i64) * 7 % 100),
+                    Nanos::from_micros(5),
+                    0.5,
+                ),
+                RtOp::project(vec![0], Nanos::from_micros(1)),
+            ],
+        ))
+        .unwrap();
+    }
+    (dsms, clock)
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aqsios_push_run");
+    group.sample_size(20);
+    for policy in [RuntimePolicy::Fcfs, RuntimePolicy::Hnr, RuntimePolicy::Bsd] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy:?}")),
+            &policy,
+            |b, &policy| {
+                let (mut dsms, clock) = build(policy, 32);
+                let mut i = 0i64;
+                b.iter(|| {
+                    i += 1;
+                    dsms.push(StreamId::new(0), Record::new(vec![i % 100, i]));
+                    clock.advance(Nanos::from_micros(50));
+                    dsms.run_until_idle().len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Cluster-structure construction cost: assigning q units to m clusters for
+//! the uniform and logarithmic methods (§6.2.1). Construction happens once
+//! per registration (or per adaptive refresh), so it must stay cheap even
+//! at thousands of queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcq_bench::spread_units;
+use hcq_core::{ClusterConfig, Clustering, ClusteredBsdPolicy, Policy};
+
+fn bench_register(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_on_register");
+    group.sample_size(30);
+    for &q in &[100usize, 1_000, 10_000] {
+        let units = spread_units(q);
+        for clustering in [Clustering::Uniform, Clustering::Logarithmic] {
+            let label = match clustering {
+                Clustering::Uniform => "uniform",
+                Clustering::Logarithmic => "logarithmic",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, q),
+                &units,
+                |b, units| {
+                    b.iter(|| {
+                        let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+                            clustering,
+                            clusters: 12,
+                            use_fagin: true,
+                            batch: true,
+                        });
+                        p.on_register(units);
+                        p.cluster_count()
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_register);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Per-scheduling-point decision cost (the quantity §6.2 attacks).
+//!
+//! Regenerates the implementation-cost story of Figures 13–14 in wall-clock
+//! terms: the naive BSD scan is O(ready queries) per decision, clustering
+//! collapses it to O(m), and Fagin pruning usually touches only the top of
+//! each list. The static policies (HNR/HR/SRPT) pay one lazy heap peek.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcq_bench::loaded_policy;
+use hcq_common::{Nanos, TupleId};
+use hcq_core::{ClusterConfig, Clustering, ClusteredBsdPolicy, PolicyKind};
+
+fn bench_select(c: &mut Criterion) {
+    let mut group = c.benchmark_group("select_per_point");
+    group.sample_size(30);
+    for &n in &[64usize, 256, 1024] {
+        // Naive BSD: O(n) scan.
+        group.bench_with_input(BenchmarkId::new("bsd_naive", n), &n, |b, &n| {
+            let (mut p, mut q) = loaded_policy(PolicyKind::Bsd.build(), n);
+            let mut now = Nanos::from_secs(10);
+            b.iter(|| {
+                let sel = p.select(&q, now).expect("ready");
+                // Re-arm: pop and push back so the ready set stays at n.
+                for &u in &sel.units {
+                    q.pop(u);
+                    q.push(u, now);
+                    p.on_enqueue(u, TupleId::new(u as u64), now, now);
+                }
+                now += Nanos::from_millis(1);
+                sel.ops_counted
+            });
+        });
+        // Clustered BSD, scan over m clusters.
+        group.bench_with_input(BenchmarkId::new("bsd_clustered_scan", n), &n, |b, &n| {
+            let cfg = ClusterConfig {
+                clustering: Clustering::Logarithmic,
+                clusters: 12,
+                use_fagin: false,
+                batch: false,
+            };
+            let (mut p, mut q) = loaded_policy(Box::new(ClusteredBsdPolicy::new(cfg)), n);
+            let mut now = Nanos::from_secs(10);
+            b.iter(|| {
+                let sel = p.select(&q, now).expect("ready");
+                for &u in &sel.units {
+                    q.pop(u);
+                    q.push(u, now);
+                    p.on_enqueue(u, TupleId::new(u as u64), now, now);
+                }
+                now += Nanos::from_millis(1);
+                sel.ops_counted
+            });
+        });
+        // Clustered BSD with Fagin pruning.
+        group.bench_with_input(BenchmarkId::new("bsd_clustered_fagin", n), &n, |b, &n| {
+            let cfg = ClusterConfig {
+                clustering: Clustering::Logarithmic,
+                clusters: 12,
+                use_fagin: true,
+                batch: false,
+            };
+            let (mut p, mut q) = loaded_policy(Box::new(ClusteredBsdPolicy::new(cfg)), n);
+            let mut now = Nanos::from_secs(10);
+            b.iter(|| {
+                let sel = p.select(&q, now).expect("ready");
+                for &u in &sel.units {
+                    q.pop(u);
+                    q.push(u, now);
+                    p.on_enqueue(u, TupleId::new(u as u64), now, now);
+                }
+                now += Nanos::from_millis(1);
+                sel.ops_counted
+            });
+        });
+        // Static policy: lazy heap.
+        group.bench_with_input(BenchmarkId::new("hnr_heap", n), &n, |b, &n| {
+            let (mut p, mut q) = loaded_policy(PolicyKind::Hnr.build(), n);
+            let now = Nanos::from_secs(10);
+            b.iter(|| {
+                let sel = p.select(&q, now).expect("ready");
+                for &u in &sel.units {
+                    q.pop(u);
+                    q.push(u, now);
+                    p.on_enqueue(u, TupleId::new(u as u64), now, now);
+                }
+                sel.ops_counted
+            });
+        });
+        // LSF: dynamic scan.
+        group.bench_with_input(BenchmarkId::new("lsf_scan", n), &n, |b, &n| {
+            let (mut p, mut q) = loaded_policy(PolicyKind::Lsf.build(), n);
+            let mut now = Nanos::from_secs(10);
+            b.iter(|| {
+                let sel = p.select(&q, now).expect("ready");
+                for &u in &sel.units {
+                    q.pop(u);
+                    q.push(u, now);
+                    p.on_enqueue(u, TupleId::new(u as u64), now, now);
+                }
+                now += Nanos::from_millis(1);
+                sel.ops_counted
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_select);
+criterion_main!(benches);

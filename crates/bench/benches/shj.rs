@@ -1,0 +1,50 @@
+//! Symmetric-hash-join throughput versus window size.
+//!
+//! The per-tuple cost of `insert_probe` is (amortized) the number of live
+//! window partners plus eviction work; this bench shows it scaling with the
+//! window population, which is the constant behind §5's `V/τ` occupancy
+//! estimates.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hcq_common::{Nanos, TupleId};
+use hcq_engine::SimTuple;
+use hcq_join::{Side, SymmetricHashJoin};
+
+fn tuple(i: u64) -> SimTuple {
+    let ts = Nanos::from_millis(i);
+    SimTuple {
+        id: TupleId::new(i),
+        arrival: ts,
+        ts,
+        key: 1 + i % 100,
+        ideal_depart: ts,
+    }
+}
+
+fn bench_shj(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shj_insert_probe");
+    group.sample_size(20);
+    // 1ms-spaced alternating arrivals; window W ms ⇒ ~W live partners.
+    for &window_ms in &[10u64, 100, 1000] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window_ms),
+            &window_ms,
+            |b, &window_ms| {
+                let mut j: SymmetricHashJoin<SimTuple> =
+                    SymmetricHashJoin::new(Nanos::from_millis(window_ms));
+                let mut i = 0u64;
+                b.iter(|| {
+                    i += 1;
+                    let side = if i.is_multiple_of(2) { Side::Left } else { Side::Right };
+                    let m = j.insert_probe(side, &tuple(i));
+                    m.len()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shj);
+criterion_main!(benches);

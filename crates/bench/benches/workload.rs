@@ -1,0 +1,55 @@
+//! Workload-construction costs: §8 plan building with utilization
+//! calibration (two statistics passes over the whole population), and the
+//! underlying per-plan statistics derivation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hcq_common::{Nanos, StreamId};
+use hcq_plan::{CompiledQuery, PlanStats, QueryBuilder, StreamRates};
+use hcq_workload::{single_stream, SingleStreamConfig};
+
+fn bench_calibration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_build");
+    group.sample_size(10);
+    for &q in &[100usize, 500] {
+        group.bench_with_input(BenchmarkId::new("single_stream", q), &q, |b, &q| {
+            b.iter(|| {
+                single_stream(&SingleStreamConfig {
+                    queries: q,
+                    cost_classes: 5,
+                    utilization: 0.9,
+                    mean_gap: Nanos::from_millis(10),
+                    seed: 7,
+                })
+                .expect("valid workload")
+                .k_ns
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let plan = QueryBuilder::on(StreamId::new(0))
+        .select(Nanos::from_millis(1), 0.5)
+        .window_join(
+            QueryBuilder::on(StreamId::new(1)).select(Nanos::from_millis(1), 0.5),
+            Nanos::from_millis(2),
+            0.3,
+            Nanos::from_secs(5),
+        )
+        .project(Nanos::from_millis(1))
+        .build()
+        .expect("valid plan");
+    let rates = StreamRates::none()
+        .with(StreamId::new(0), Nanos::from_millis(10))
+        .with(StreamId::new(1), Nanos::from_millis(10));
+    c.bench_function("plan_stats_join_query", |b| {
+        b.iter(|| {
+            let cq = CompiledQuery::compile(&plan);
+            PlanStats::compute(&cq, &rates).expect("valid stats").ideal_time
+        });
+    });
+}
+
+criterion_group!(benches, bench_calibration, bench_stats);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Shared fixtures for the Criterion benchmarks.
+//!
+//! Each bench target maps to a claim in the paper's implementation sections:
+//!
+//! * `sched_overhead` — the per-scheduling-point cost that §6.2 reduces:
+//!   naive-BSD's O(q) scan versus clustering (O(m)) versus Fagin pruning,
+//!   alongside the static-priority policies' heap costs.
+//! * `clustering` — cluster construction (`on_register`) for the uniform
+//!   and logarithmic methods at various m and q.
+//! * `fagin` — top-1 search versus a linear scan over two graded lists.
+//! * `shj` — symmetric-hash-join insert/probe throughput versus window size.
+//! * `pipeline` — end-to-end simulated tuple throughput per policy.
+//! * `workload` — §8 plan-statistics derivation and utilization calibration.
+
+use hcq_common::{Nanos, TupleId};
+use hcq_core::{Policy, QueueView, UnitId, UnitStatics};
+
+/// A heterogeneous unit population with Φ spread over several decades.
+pub fn spread_units(n: usize) -> Vec<UnitStatics> {
+    (0..n)
+        .map(|i| {
+            let c = Nanos::from_millis(1 << (i % 5));
+            UnitStatics::new(0.15 + 0.1 * (i % 8) as f64, c, c * 3)
+        })
+        .collect()
+}
+
+/// A standalone queue fixture implementing [`QueueView`] for driving
+/// policies outside the engine.
+#[derive(Debug, Default)]
+pub struct BenchQueues {
+    lens: Vec<usize>,
+    heads: Vec<Option<Nanos>>,
+    nonempty: Vec<UnitId>,
+}
+
+impl BenchQueues {
+    /// `n` units, all empty.
+    pub fn new(n: usize) -> Self {
+        BenchQueues {
+            lens: vec![0; n],
+            heads: vec![None; n],
+            nonempty: Vec::new(),
+        }
+    }
+
+    /// Mark one tuple pending on `unit` with the given head arrival.
+    pub fn push(&mut self, unit: UnitId, arrival: Nanos) {
+        if self.lens[unit as usize] == 0 {
+            self.nonempty.push(unit);
+            self.heads[unit as usize] = Some(arrival);
+        }
+        self.lens[unit as usize] += 1;
+    }
+
+    /// Remove one tuple from `unit` (head arrival of any remainder bumps by
+    /// 1 ms — benches only need plausible dynamics, not exact FIFO replay).
+    pub fn pop(&mut self, unit: UnitId) {
+        let len = &mut self.lens[unit as usize];
+        *len -= 1;
+        if *len == 0 {
+            self.nonempty.retain(|&u| u != unit);
+            self.heads[unit as usize] = None;
+        } else if let Some(h) = self.heads[unit as usize].as_mut() {
+            *h += Nanos::from_millis(1);
+        }
+    }
+}
+
+impl QueueView for BenchQueues {
+    fn len(&self, unit: UnitId) -> usize {
+        self.lens[unit as usize]
+    }
+    fn head_arrival(&self, unit: UnitId) -> Option<Nanos> {
+        self.heads[unit as usize]
+    }
+    fn nonempty(&self) -> &[UnitId] {
+        &self.nonempty
+    }
+}
+
+/// Load a policy with `n` ready units (one pending tuple each, staggered
+/// arrivals) and return the pair ready for `select` benchmarking.
+pub fn loaded_policy(mut policy: Box<dyn Policy>, n: usize) -> (Box<dyn Policy>, BenchQueues) {
+    let units = spread_units(n);
+    policy.on_register(&units);
+    let mut q = BenchQueues::new(n);
+    for u in 0..n as UnitId {
+        let arrival = Nanos::from_millis(u as u64 * 3);
+        q.push(u, arrival);
+        policy.on_enqueue(u, TupleId::new(u as u64), arrival, arrival);
+    }
+    (policy, q)
+}

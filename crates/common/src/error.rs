@@ -1,0 +1,99 @@
+//! Workspace error type.
+//!
+//! The simulator surface is configuration-heavy (plans, workloads, policy
+//! parameters), so most fallible paths are validation. One small enum keeps
+//! error handling uniform across crates without pulling in derive macros.
+
+use std::fmt;
+use std::io;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = HcqError> = std::result::Result<T, E>;
+
+/// Errors surfaced by the `aqsios-cq` crates.
+#[derive(Debug)]
+pub enum HcqError {
+    /// A query plan failed structural validation (cycles, bad fan-in,
+    /// out-of-range selectivity, zero-cost operator, ...).
+    InvalidPlan(String),
+    /// A simulation / workload / policy configuration is unusable.
+    InvalidConfig(String),
+    /// A stream trace file could not be parsed.
+    TraceFormat(String),
+    /// Underlying I/O failure (trace replay, CSV export).
+    Io(io::Error),
+}
+
+impl HcqError {
+    /// Shorthand constructor for plan-validation failures.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        HcqError::InvalidPlan(msg.into())
+    }
+
+    /// Shorthand constructor for configuration failures.
+    pub fn config(msg: impl Into<String>) -> Self {
+        HcqError::InvalidConfig(msg.into())
+    }
+
+    /// Shorthand constructor for trace-format failures.
+    pub fn trace(msg: impl Into<String>) -> Self {
+        HcqError::TraceFormat(msg.into())
+    }
+}
+
+impl fmt::Display for HcqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HcqError::InvalidPlan(m) => write!(f, "invalid query plan: {m}"),
+            HcqError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
+            HcqError::TraceFormat(m) => write!(f, "malformed trace: {m}"),
+            HcqError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HcqError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HcqError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for HcqError {
+    fn from(e: io::Error) -> Self {
+        HcqError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(
+            HcqError::plan("cycle").to_string(),
+            "invalid query plan: cycle"
+        );
+        assert_eq!(
+            HcqError::config("bad m").to_string(),
+            "invalid configuration: bad m"
+        );
+        assert_eq!(
+            HcqError::trace("line 3").to_string(),
+            "malformed trace: line 3"
+        );
+        let io_err = HcqError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(io_err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = HcqError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(HcqError::plan("p").source().is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! Strongly-typed identifiers.
+//!
+//! Every entity in the simulator is addressed by a dense `usize` index into a
+//! `Vec` owned by whichever component created it. Newtypes keep the index
+//! spaces apart at compile time; a macro keeps the boilerplate in one place.
+
+use std::fmt;
+
+macro_rules! dense_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Construct from a dense index.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                debug_assert!(index <= u32::MAX as usize);
+                Self(index as u32)
+            }
+
+            /// The dense index, for `Vec` addressing.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<usize> for $name {
+            #[inline]
+            fn from(index: usize) -> Self {
+                Self::new(index)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+dense_id!(
+    /// A registered continuous query.
+    QueryId,
+    "Q"
+);
+
+dense_id!(
+    /// An operator inside the global (possibly shared) query plan.
+    OpId,
+    "O"
+);
+
+dense_id!(
+    /// An input data stream.
+    StreamId,
+    "M"
+);
+
+dense_id!(
+    /// A priority cluster used by the clustered BSD implementation (§6.2).
+    ClusterId,
+    "C"
+);
+
+/// A tuple identity, unique per simulation run.
+///
+/// Tuple ids are 64-bit because long runs can mint billions of tuples
+/// (every arrival fans out to every query fed by its stream, and window joins
+/// mint fresh ids for composite tuples).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TupleId(pub u64);
+
+impl TupleId {
+    /// Construct from a raw counter value.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        TupleId(raw)
+    }
+
+    /// The raw counter value.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_index() {
+        let q = QueryId::new(7);
+        assert_eq!(q.index(), 7);
+        assert_eq!(QueryId::from(7usize), q);
+        assert_eq!(q.to_string(), "Q7");
+        assert_eq!(OpId::new(3).to_string(), "O3");
+        assert_eq!(StreamId::new(1).to_string(), "M1");
+        assert_eq!(ClusterId::new(0).to_string(), "C0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(QueryId::new(1) < QueryId::new(2));
+        assert!(TupleId::new(1) < TupleId::new(2));
+    }
+
+    #[test]
+    fn tuple_id_display() {
+        assert_eq!(TupleId::new(42).to_string(), "t42");
+        assert_eq!(TupleId::new(42).raw(), 42);
+    }
+}

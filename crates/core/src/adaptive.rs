@@ -1,0 +1,118 @@
+//! Online cost/selectivity estimation (the §10 "dynamic environment" hook).
+//!
+//! The related-work discussion notes that, like TelegraphCQ's eddies, these
+//! policies "can work in a dynamic environment with support for monitoring
+//! the queries' costs and selectivities, and updating the priorities
+//! whenever it is necessary". This module provides that monitoring: an
+//! exponentially-weighted moving average per operator, from which fresh
+//! [`crate::unit::UnitStatics`] — and hence fresh priorities — can be
+//! derived periodically (see `StaticPolicy::set_priority` /
+//! `BsdPolicy::set_phi`).
+
+use hcq_common::Nanos;
+
+/// EWMA estimator of one operator's processing cost and selectivity.
+#[derive(Debug, Clone, Copy)]
+pub struct EwmaEstimator {
+    alpha: f64,
+    cost_ns: f64,
+    selectivity: f64,
+    observations: u64,
+}
+
+impl EwmaEstimator {
+    /// Create with smoothing factor `alpha ∈ (0, 1]` (weight of the newest
+    /// observation) and initial guesses.
+    pub fn new(alpha: f64, initial_cost: Nanos, initial_selectivity: f64) -> Self {
+        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+        EwmaEstimator {
+            alpha,
+            cost_ns: initial_cost.as_nanos() as f64,
+            selectivity: initial_selectivity,
+            observations: 0,
+        }
+    }
+
+    /// Record one execution: measured processing time and tuples produced
+    /// per input tuple (0 or 1 for filters; can exceed 1 for joins).
+    pub fn observe(&mut self, cost: Nanos, produced: f64) {
+        let c = cost.as_nanos() as f64;
+        self.cost_ns += self.alpha * (c - self.cost_ns);
+        self.selectivity += self.alpha * (produced - self.selectivity);
+        self.observations += 1;
+    }
+
+    /// Record only a selectivity observation (tuples produced per input
+    /// tuple), leaving the cost estimate untouched — for runtimes whose
+    /// clock cannot meaningfully time individual operators (manual/replay
+    /// clocks).
+    pub fn observe_selectivity(&mut self, produced: f64) {
+        self.selectivity += self.alpha * (produced - self.selectivity);
+        self.observations += 1;
+    }
+
+    /// Current cost estimate.
+    pub fn cost(&self) -> Nanos {
+        Nanos::from_nanos(self.cost_ns.round().max(1.0) as u64)
+    }
+
+    /// Current selectivity estimate (clamped away from zero so priority
+    /// ratios stay finite).
+    pub fn selectivity(&self) -> f64 {
+        self.selectivity.max(1e-6)
+    }
+
+    /// Number of observations folded in.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn converges_to_stationary_values() {
+        let mut e = EwmaEstimator::new(0.1, ms(1), 1.0);
+        for i in 0..500 {
+            e.observe(ms(8), if i % 4 == 0 { 1.0 } else { 0.0 });
+        }
+        assert!((e.cost().as_millis_f64() - 8.0).abs() < 0.01);
+        assert!((e.selectivity() - 0.25).abs() < 0.1);
+        assert_eq!(e.observations(), 500);
+    }
+
+    #[test]
+    fn tracks_a_shift() {
+        let mut e = EwmaEstimator::new(0.2, ms(5), 0.5);
+        for _ in 0..100 {
+            e.observe(ms(5), 0.5);
+        }
+        // Workload shifts: cost doubles, selectivity collapses.
+        for _ in 0..100 {
+            e.observe(ms(10), 0.1);
+        }
+        assert!((e.cost().as_millis_f64() - 10.0).abs() < 0.1);
+        assert!((e.selectivity() - 0.1).abs() < 0.05);
+    }
+
+    #[test]
+    fn alpha_one_is_last_observation() {
+        let mut e = EwmaEstimator::new(1.0, ms(1), 1.0);
+        e.observe(ms(42), 0.0);
+        assert_eq!(e.cost(), ms(42));
+        // Selectivity clamps away from exactly zero.
+        assert!(e.selectivity() > 0.0 && e.selectivity() < 1e-5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn zero_alpha_rejected() {
+        let _ = EwmaEstimator::new(0.0, ms(1), 1.0);
+    }
+}

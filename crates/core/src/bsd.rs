@@ -1,0 +1,158 @@
+//! Balance Slowdown (§4.2.2) — the naive implementation.
+//!
+//! BSD minimizes the ℓ2 norm of slowdowns with priority
+//! `V = (S/(C̄·T²)) · W = Φ · W` (Equation 6): the product of the unit's
+//! static normalized-rate-over-T factor `Φ` and the current wait of its head
+//! tuple. Because `W` advances continuously, the naive scheduler re-evaluates
+//! every ready unit at every scheduling point — the O(q) cost that §6's
+//! clustering ([`crate::cluster`]) exists to remove. This module is that
+//! naive scan: the reference for correctness and the "no optimizations" bar
+//! of Figure 14.
+
+use hcq_common::{Nanos, TupleId};
+
+use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::unit::UnitStatics;
+
+/// Naive BSD: full scan, exact priorities.
+#[derive(Debug, Default)]
+pub struct BsdPolicy {
+    /// `Φ = S/(C̄·T²)` per unit.
+    phi: Vec<f64>,
+}
+
+impl BsdPolicy {
+    /// A fresh BSD policy.
+    pub fn new() -> Self {
+        BsdPolicy::default()
+    }
+
+    /// Override a unit's static factor (shared-operator groups, adaptive
+    /// re-estimation).
+    pub fn set_phi(&mut self, unit: UnitId, phi: f64) {
+        self.phi[unit as usize] = phi;
+    }
+
+    /// The unit's static factor `Φ`.
+    pub fn phi(&self, unit: UnitId) -> f64 {
+        self.phi[unit as usize]
+    }
+}
+
+impl Policy for BsdPolicy {
+    fn name(&self) -> &'static str {
+        "BSD"
+    }
+
+    fn on_register(&mut self, units: &[UnitStatics]) {
+        self.phi = units.iter().map(UnitStatics::bsd_static).collect();
+    }
+
+    fn on_enqueue(&mut self, _unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {}
+
+    fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection> {
+        let mut best: Option<(f64, UnitId)> = None;
+        let mut ops = 0;
+        for &unit in queues.nonempty() {
+            let arrival = queues
+                .head_arrival(unit)
+                .expect("nonempty unit has a head");
+            let wait = now.saturating_since(arrival).as_nanos() as f64;
+            let priority = wait * self.phi[unit as usize];
+            ops += 2; // priority computation + comparison
+            let better = match best {
+                None => true,
+                Some((b, bu)) => priority > b || (priority == b && unit < bu),
+            };
+            if better {
+                best = Some((priority, unit));
+            }
+        }
+        best.map(|(_, unit)| Selection::one(unit, ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::MockQueues;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn hybrid_behaviour_rate_vs_wait() {
+        // Unit 0 has a ~16× higher Φ (better normalized rate), unit 1 a
+        // 1000× older head tuple: the wait dominates first, Φ later.
+        let units = vec![
+            UnitStatics::new(1.0, ms(1), ms(1)),
+            UnitStatics::new(0.5, ms(2), ms(2)),
+        ];
+        let mut p = BsdPolicy::new();
+        p.on_register(&units);
+        assert!(p.phi(0) > p.phi(1));
+        let mut q = MockQueues::new(2);
+        // Fresh tuple on 0, ancient tuple on 1.
+        q.push(1, TupleId::new(0), ms(0));
+        q.push(0, TupleId::new(1), ms(1_000));
+        // Shortly after unit 0's arrival its W is tiny: unit 1 wins on wait.
+        let phi0 = p.phi(0);
+        let phi1 = p.phi(1);
+        let w0 = 1.0e6; // 1ms after unit-0 arrival, in ns
+        let w1 = 1_001.0e6;
+        assert!(phi1 * w1 > phi0 * w0, "sanity: aged tuple dominates");
+        assert_eq!(p.select(&q, ms(1_001)).unwrap().units, vec![1]);
+        // Much later the relative waits even out and Φ dominates.
+        q.pop(1);
+        q.push(1, TupleId::new(2), ms(1_000));
+        assert!(phi0 * 99_000.0e6 > phi1 * 99_000.0e6);
+        assert_eq!(p.select(&q, ms(100_000)).unwrap().units, vec![0]);
+    }
+
+    #[test]
+    fn equal_waits_reduce_to_hnr_over_t() {
+        // With equal W, BSD ranks by Φ = HNR/T: Example 1's Q2 wins (its Φ
+        // advantage over Q1 is even larger than its HNR advantage).
+        let units = vec![
+            UnitStatics::new(1.0, ms(5), ms(5)),
+            UnitStatics::new(0.33, ms(2), ms(2)),
+        ];
+        let mut p = BsdPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), ms(0));
+        q.push(1, TupleId::new(1), ms(0));
+        assert_eq!(p.select(&q, ms(10)).unwrap().units, vec![1]);
+    }
+
+    #[test]
+    fn ops_counted_scales_with_ready_units() {
+        let units: Vec<UnitStatics> = (1..=8)
+            .map(|c| UnitStatics::new(0.5, ms(c), ms(c)))
+            .collect();
+        let mut p = BsdPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(8);
+        for u in 0..5 {
+            q.push(u, TupleId::new(u as u64), ms(u as u64));
+        }
+        let sel = p.select(&q, ms(100)).unwrap();
+        assert_eq!(sel.ops_counted, 10, "2 ops per ready unit");
+    }
+
+    #[test]
+    fn zero_wait_selects_lowest_id_deterministically() {
+        let units = vec![
+            UnitStatics::new(0.5, ms(2), ms(2)),
+            UnitStatics::new(0.5, ms(2), ms(2)),
+        ];
+        let mut p = BsdPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(1, TupleId::new(0), ms(7));
+        q.push(0, TupleId::new(1), ms(7));
+        // W = 0 for both -> priorities equal 0 -> tie broken by id.
+        assert_eq!(p.select(&q, ms(7)).unwrap().units, vec![0]);
+    }
+}

@@ -1,0 +1,86 @@
+//! First-come-first-served.
+//!
+//! The baseline every DSMS paper measures against: run whichever unit holds
+//! the globally oldest pending tuple. Implemented as a mirrored global FIFO,
+//! so `select` is O(1): per-unit queues are FIFO, the engine dequeues one
+//! head per selection, and tuples are reported in arrival order — so the
+//! mirror's front entry is always some unit's head tuple.
+
+use std::collections::VecDeque;
+
+use hcq_common::{Nanos, TupleId};
+
+use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::unit::UnitStatics;
+
+/// FCFS over system arrival times.
+#[derive(Debug, Default)]
+pub struct FcfsPolicy {
+    fifo: VecDeque<UnitId>,
+}
+
+impl FcfsPolicy {
+    /// A fresh FCFS policy.
+    pub fn new() -> Self {
+        FcfsPolicy::default()
+    }
+}
+
+impl Policy for FcfsPolicy {
+    fn name(&self) -> &'static str {
+        "FCFS"
+    }
+
+    fn on_register(&mut self, _units: &[UnitStatics]) {}
+
+    fn on_enqueue(&mut self, unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {
+        self.fifo.push_back(unit);
+    }
+
+    fn select(&mut self, queues: &dyn QueueView, _now: Nanos) -> Option<Selection> {
+        let unit = self.fifo.pop_front()?;
+        debug_assert!(queues.len(unit) > 0, "FCFS mirror out of sync");
+        Some(Selection::one(unit, 1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::drain_order;
+
+    fn units(n: usize) -> Vec<UnitStatics> {
+        (0..n)
+            .map(|_| UnitStatics::new(1.0, Nanos::from_millis(1), Nanos::from_millis(1)))
+            .collect()
+    }
+
+    #[test]
+    fn runs_in_arrival_order() {
+        let order = drain_order(
+            &mut FcfsPolicy::new(),
+            &units(3),
+            &[(2, 0, 0), (0, 1, 5), (1, 2, 10), (0, 3, 11)],
+        );
+        assert_eq!(order, vec![2, 0, 1, 0]);
+    }
+
+    #[test]
+    fn empty_select_returns_none() {
+        let mut p = FcfsPolicy::new();
+        p.on_register(&units(1));
+        let q = crate::policy::testkit::MockQueues::new(1);
+        assert!(p.select(&q, Nanos::ZERO).is_none());
+    }
+
+    #[test]
+    fn interleaves_same_unit_fairly() {
+        // Two tuples on unit 0 sandwiching one on unit 1 arrive 0,1,2.
+        let order = drain_order(
+            &mut FcfsPolicy::new(),
+            &units(2),
+            &[(0, 0, 0), (1, 1, 1), (0, 2, 2)],
+        );
+        assert_eq!(order, vec![0, 1, 0]);
+    }
+}

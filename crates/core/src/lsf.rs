@@ -1,0 +1,139 @@
+//! Longest Stretch First (§4.1).
+//!
+//! The greedy maximum-slowdown policy from Acharya & Muthukrishnan's
+//! broadcast scheduling work: the priority of a unit is the *current
+//! slowdown* of its head tuple, `W/T` (Equation 5). `W` grows with wall
+//! time at slope `1/T`, and the slopes differ across units, so the argmax
+//! can flip between any two scheduling points — the policy scans the
+//! non-empty units each time (`O(ready)` per decision; the clustering
+//! machinery of §6 exists precisely because dynamic priorities cost this).
+
+use hcq_common::{Nanos, TupleId};
+
+use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::unit::UnitStatics;
+
+/// LSF: run the unit whose head tuple has the largest current slowdown.
+#[derive(Debug, Default)]
+pub struct LsfPolicy {
+    /// `1/T` per unit.
+    slope: Vec<f64>,
+}
+
+impl LsfPolicy {
+    /// A fresh LSF policy.
+    pub fn new() -> Self {
+        LsfPolicy::default()
+    }
+}
+
+impl Policy for LsfPolicy {
+    fn name(&self) -> &'static str {
+        "LSF"
+    }
+
+    fn on_register(&mut self, units: &[UnitStatics]) {
+        self.slope = units.iter().map(UnitStatics::lsf_slope).collect();
+    }
+
+    fn on_enqueue(&mut self, _unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {}
+
+    fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection> {
+        let mut best: Option<(f64, UnitId)> = None;
+        let mut ops = 0;
+        for &unit in queues.nonempty() {
+            let arrival = queues
+                .head_arrival(unit)
+                .expect("nonempty unit has a head");
+            let wait = now.saturating_since(arrival).as_nanos() as f64;
+            let priority = wait * self.slope[unit as usize];
+            ops += 2; // one computation + one comparison
+            // Ties broken toward the lower unit id for determinism.
+            let better = match best {
+                None => true,
+                Some((b, bu)) => {
+                    priority > b || (priority == b && unit < bu)
+                }
+            };
+            if better {
+                best = Some((priority, unit));
+            }
+        }
+        best.map(|(_, unit)| Selection::one(unit, ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::{drain_order, MockQueues};
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn prefers_highest_current_stretch() {
+        // Unit 0: T = 10ms, waited 20ms -> stretch 2.
+        // Unit 1: T = 2ms, waited 6ms  -> stretch 3.  LSF picks unit 1.
+        let units = vec![
+            UnitStatics::new(1.0, ms(10), ms(10)),
+            UnitStatics::new(1.0, ms(2), ms(2)),
+        ];
+        let mut p = LsfPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), ms(0));
+        q.push(1, TupleId::new(1), ms(14));
+        let sel = p.select(&q, ms(20)).unwrap();
+        assert_eq!(sel.units, vec![1]);
+        assert_eq!(sel.ops_counted, 4);
+    }
+
+    #[test]
+    fn priority_flips_as_time_passes() {
+        // Early on the long-T unit's tuple is older and wins; later the
+        // short-T unit's stretch overtakes it.
+        let units = vec![
+            UnitStatics::new(1.0, ms(100), ms(100)), // slope 0.01/ms
+            UnitStatics::new(1.0, ms(5), ms(5)),     // slope 0.2/ms
+        ];
+        let mut p = LsfPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), ms(0));
+        q.push(1, TupleId::new(1), ms(99));
+        // At t=100: unit0 stretch 1.0, unit1 stretch 0.2 -> unit 0.
+        assert_eq!(p.select(&q, ms(100)).unwrap().units, vec![0]);
+        // At t=125: unit0 stretch 1.25, unit1 stretch 5.2 -> unit 1.
+        assert_eq!(p.select(&q, ms(125)).unwrap().units, vec![1]);
+    }
+
+    #[test]
+    fn equal_ideal_times_reduce_to_fcfs() {
+        let units = vec![
+            UnitStatics::new(1.0, ms(4), ms(4)),
+            UnitStatics::new(1.0, ms(4), ms(4)),
+        ];
+        let order = drain_order(
+            &mut LsfPolicy::new(),
+            &units,
+            &[(1, 0, 0), (0, 1, 2)],
+        );
+        assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn zero_wait_everywhere_breaks_ties_by_id() {
+        let units = vec![
+            UnitStatics::new(1.0, ms(4), ms(4)),
+            UnitStatics::new(1.0, ms(4), ms(4)),
+        ];
+        let mut p = LsfPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(1, TupleId::new(0), ms(5));
+        q.push(0, TupleId::new(1), ms(5));
+        assert_eq!(p.select(&q, ms(5)).unwrap().units, vec![0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The policy ⇄ engine contract.
+
+use hcq_common::{Nanos, TupleId};
+
+use crate::unit::UnitStatics;
+
+/// Index of a schedulable unit (dense; the engine defines the unit space).
+pub type UnitId = u32;
+
+/// Read access to the engine's queue state, passed to `select`.
+pub trait QueueView {
+    /// Number of pending tuples in the unit's input queue.
+    fn len(&self, unit: UnitId) -> usize;
+    /// System-arrival time of the unit's head tuple, if any. For composite
+    /// tuples this is the §5.1.1 arrival (max over constituents).
+    fn head_arrival(&self, unit: UnitId) -> Option<Nanos>;
+    /// Units with at least one pending tuple (unordered).
+    fn nonempty(&self) -> &[UnitId];
+}
+
+/// A scheduling decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Selection {
+    /// Units to run, each on its current head tuple. A single unit for every
+    /// policy except clustered processing (§6.2.3), which batches all member
+    /// queries of the chosen cluster over the shared head tuple.
+    pub units: Vec<UnitId>,
+    /// Priority computations + comparisons this decision cost; the engine
+    /// charges `ops_counted × c_sched` of virtual time when overhead
+    /// accounting is on (§9.2 sets `c_sched` to the cheapest operator cost).
+    pub ops_counted: u64,
+}
+
+impl Selection {
+    /// A single-unit decision.
+    pub fn one(unit: UnitId, ops_counted: u64) -> Self {
+        Selection {
+            units: vec![unit],
+            ops_counted,
+        }
+    }
+}
+
+/// A scheduling policy.
+///
+/// Engine contract:
+/// * `on_register` is called once with the statics of every unit before any
+///   other callback.
+/// * `on_enqueue(unit, tuple, arrival, now)` fires when a tuple enters the
+///   unit's input queue (`arrival` = the tuple's *system* arrival time, which
+///   is what every `W` in the paper means).
+/// * `select` is called only when at least one queue is non-empty; it must
+///   return units with non-empty queues. After `select`, the engine dequeues
+///   exactly one head tuple from each returned unit and executes it.
+pub trait Policy {
+    /// Human-readable policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Receive the static characterization of all units.
+    fn on_register(&mut self, units: &[UnitStatics]);
+
+    /// A tuple entered `unit`'s queue.
+    fn on_enqueue(&mut self, unit: UnitId, tuple: TupleId, arrival: Nanos, now: Nanos);
+
+    /// Choose what to run next.
+    fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection>;
+}
+
+/// Factory enumeration of every policy in the paper — convenient for
+/// sweeping experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolicyKind {
+    /// First-come-first-served over system arrival times.
+    Fcfs,
+    /// Aurora's two-level scheme: round-robin across queries, rate-based
+    /// pipelining within (§8 "Policies").
+    RoundRobin,
+    /// Shortest remaining processing time `1/T`.
+    Srpt,
+    /// Highest Rate `S/C̄` (response-time optimal ordering) \[19\].
+    Hr,
+    /// Highest Normalized Rate `S/(C̄·T)` (§3.3) — average slowdown.
+    Hnr,
+    /// Longest Stretch First `W/T` (§4.1) — maximum slowdown.
+    Lsf,
+    /// Balance Slowdown `Φ·W` (§4.2.2) — ℓ2 norm, naive O(q) implementation.
+    Bsd,
+}
+
+impl PolicyKind {
+    /// All kinds, in the order the paper's figures usually list them.
+    pub const ALL: [PolicyKind; 7] = [
+        PolicyKind::Fcfs,
+        PolicyKind::RoundRobin,
+        PolicyKind::Srpt,
+        PolicyKind::Hr,
+        PolicyKind::Hnr,
+        PolicyKind::Lsf,
+        PolicyKind::Bsd,
+    ];
+
+    /// Instantiate the policy.
+    pub fn build(self) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::Fcfs => Box::new(crate::fcfs::FcfsPolicy::new()),
+            PolicyKind::RoundRobin => Box::new(crate::rr::RoundRobinPolicy::new()),
+            PolicyKind::Srpt => Box::new(crate::statics::StaticPolicy::srpt()),
+            PolicyKind::Hr => Box::new(crate::statics::StaticPolicy::hr()),
+            PolicyKind::Hnr => Box::new(crate::statics::StaticPolicy::hnr()),
+            PolicyKind::Lsf => Box::new(crate::lsf::LsfPolicy::new()),
+            PolicyKind::Bsd => Box::new(crate::bsd::BsdPolicy::new()),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "FCFS",
+            PolicyKind::RoundRobin => "RR",
+            PolicyKind::Srpt => "SRPT",
+            PolicyKind::Hr => "HR",
+            PolicyKind::Hnr => "HNR",
+            PolicyKind::Lsf => "LSF",
+            PolicyKind::Bsd => "BSD",
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testkit {
+    //! A minimal hand-driven queue model shared by policy unit tests.
+
+    use super::*;
+    use std::collections::VecDeque;
+
+    #[derive(Default)]
+    pub struct MockQueues {
+        queues: Vec<VecDeque<(TupleId, Nanos)>>,
+        nonempty: Vec<UnitId>,
+    }
+
+    impl MockQueues {
+        pub fn new(n: usize) -> Self {
+            MockQueues {
+                queues: (0..n).map(|_| VecDeque::new()).collect(),
+                nonempty: Vec::new(),
+            }
+        }
+
+        pub fn push(&mut self, unit: UnitId, tuple: TupleId, arrival: Nanos) {
+            let q = &mut self.queues[unit as usize];
+            if q.is_empty() {
+                self.nonempty.push(unit);
+            }
+            q.push_back((tuple, arrival));
+        }
+
+        pub fn pop(&mut self, unit: UnitId) -> (TupleId, Nanos) {
+            let q = &mut self.queues[unit as usize];
+            let item = q.pop_front().expect("pop from empty queue");
+            if q.is_empty() {
+                self.nonempty.retain(|&u| u != unit);
+            }
+            item
+        }
+    }
+
+    impl QueueView for MockQueues {
+        fn len(&self, unit: UnitId) -> usize {
+            self.queues[unit as usize].len()
+        }
+        fn head_arrival(&self, unit: UnitId) -> Option<Nanos> {
+            self.queues[unit as usize].front().map(|&(_, a)| a)
+        }
+        fn nonempty(&self) -> &[UnitId] {
+            &self.nonempty
+        }
+    }
+
+    /// Drive a policy: enqueue tuples, then repeatedly select+pop until
+    /// drained, returning the unit execution order.
+    pub fn drain_order(
+        policy: &mut dyn Policy,
+        units: &[UnitStatics],
+        enqueues: &[(UnitId, u64, u64)], // (unit, tuple, arrival_ms)
+    ) -> Vec<UnitId> {
+        let mut q = MockQueues::new(units.len());
+        policy.on_register(units);
+        let mut now = Nanos::ZERO;
+        for &(u, t, a) in enqueues {
+            let arrival = Nanos::from_millis(a);
+            now = now.max(arrival);
+            q.push(u, TupleId::new(t), arrival);
+            policy.on_enqueue(u, TupleId::new(t), arrival, now);
+        }
+        let mut order = Vec::new();
+        while !q.nonempty().is_empty() {
+            let sel = policy.select(&q, now).expect("work pending");
+            assert!(!sel.units.is_empty());
+            for u in sel.units {
+                q.pop(u);
+                order.push(u);
+                now += Nanos::from_millis(1); // nominal execution time
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn selection_one() {
+        let s = Selection::one(3, 7);
+        assert_eq!(s.units, vec![3]);
+        assert_eq!(s.ops_counted, 7);
+    }
+
+    #[test]
+    fn kind_names_and_build() {
+        for kind in PolicyKind::ALL {
+            let p = kind.build();
+            assert_eq!(p.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Static-priority policies: SRPT, HR (Equation 4) and HNR (Equation 3).
+//!
+//! All three assign each unit a priority that never changes (§6.1: "under
+//! HNR, the priority given to each operator is static over time"), so the
+//! scheduler keeps a max-heap of ready units with lazy cleanup: a unit is
+//! pushed when its queue turns non-empty and popped lazily once observed
+//! empty. Each `select` is O(log n) amortized.
+
+use std::collections::BinaryHeap;
+
+use hcq_common::{Nanos, TupleId};
+
+use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::unit::{PriorityKey, UnitStatics};
+
+/// Which static priority function to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StaticRank {
+    /// `1/T` — shortest (ideal) processing time first.
+    Srpt,
+    /// `S/C̄` — Highest Rate \[19\], Equation 4.
+    Hr,
+    /// `S/(C̄·T)` — Highest Normalized Rate, Equation 3.
+    Hnr,
+    /// Externally supplied priorities (e.g. Chain's progress-chart slopes;
+    /// the caller installs values via [`StaticPolicy::custom`]).
+    Custom,
+}
+
+impl StaticRank {
+    /// Evaluate the priority of a unit.
+    pub fn priority(self, u: &UnitStatics) -> f64 {
+        match self {
+            StaticRank::Srpt => u.srpt_priority(),
+            StaticRank::Hr => u.hr_priority(),
+            StaticRank::Hnr => u.hnr_priority(),
+            // Custom ranks are installed wholesale at on_register.
+            StaticRank::Custom => 0.0,
+        }
+    }
+}
+
+/// A static-priority scheduler parameterized by [`StaticRank`].
+#[derive(Debug)]
+pub struct StaticPolicy {
+    rank: StaticRank,
+    name: &'static str,
+    custom: Vec<f64>,
+    priorities: Vec<PriorityKey>,
+    heap: BinaryHeap<(PriorityKey, UnitId)>,
+    in_heap: Vec<bool>,
+}
+
+impl StaticPolicy {
+    /// A policy using the given ranking.
+    pub fn new(rank: StaticRank) -> Self {
+        let name = match rank {
+            StaticRank::Srpt => "SRPT",
+            StaticRank::Hr => "HR",
+            StaticRank::Hnr => "HNR",
+            StaticRank::Custom => "CUSTOM",
+        };
+        StaticPolicy {
+            rank,
+            name,
+            custom: Vec::new(),
+            priorities: Vec::new(),
+            heap: BinaryHeap::new(),
+            in_heap: Vec::new(),
+        }
+    }
+
+    /// A static policy with externally computed priorities — one per unit,
+    /// in registration order. Used for policies whose ranking needs more
+    /// than the aggregate [`UnitStatics`], such as Chain's progress-chart
+    /// slopes (Babcock et al., SIGMOD'03; the paper's Table 3).
+    pub fn custom(name: &'static str, priorities: Vec<f64>) -> Self {
+        StaticPolicy {
+            rank: StaticRank::Custom,
+            name,
+            custom: priorities,
+            priorities: Vec::new(),
+            heap: BinaryHeap::new(),
+            in_heap: Vec::new(),
+        }
+    }
+
+    /// Shortest-remaining-processing-time.
+    pub fn srpt() -> Self {
+        Self::new(StaticRank::Srpt)
+    }
+
+    /// Highest Rate.
+    pub fn hr() -> Self {
+        Self::new(StaticRank::Hr)
+    }
+
+    /// Highest Normalized Rate.
+    pub fn hnr() -> Self {
+        Self::new(StaticRank::Hnr)
+    }
+
+    /// Override one unit's priority (used by the engine for shared-operator
+    /// groups, whose §7 priority is not a plain segment formula; and by the
+    /// adaptive extension when estimates drift).
+    pub fn set_priority(&mut self, unit: UnitId, priority: f64) {
+        self.priorities[unit as usize] = PriorityKey(priority);
+        // If the unit is currently queued in the heap, its stored key is
+        // stale; re-push so the new value takes effect (the stale entry is
+        // discarded lazily when popped).
+        if self.in_heap[unit as usize] {
+            self.heap.push((PriorityKey(priority), unit));
+        }
+    }
+
+    /// The current priority of a unit.
+    pub fn priority(&self, unit: UnitId) -> f64 {
+        self.priorities[unit as usize].0
+    }
+}
+
+impl Policy for StaticPolicy {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn on_register(&mut self, units: &[UnitStatics]) {
+        self.priorities = match self.rank {
+            StaticRank::Custom => {
+                assert_eq!(
+                    self.custom.len(),
+                    units.len(),
+                    "custom priorities must cover every unit"
+                );
+                self.custom.iter().map(|&p| PriorityKey(p)).collect()
+            }
+            rank => units.iter().map(|u| PriorityKey(rank.priority(u))).collect(),
+        };
+        self.in_heap = vec![false; units.len()];
+        self.heap.clear();
+    }
+
+    fn on_enqueue(&mut self, unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {
+        if !std::mem::replace(&mut self.in_heap[unit as usize], true) {
+            self.heap.push((self.priorities[unit as usize], unit));
+        }
+    }
+
+    fn select(&mut self, queues: &dyn QueueView, _now: Nanos) -> Option<Selection> {
+        let mut ops = 0;
+        loop {
+            let &(key, unit) = self.heap.peek()?;
+            ops += 1;
+            // Discard stale entries: emptied queues, or re-pushed units whose
+            // stored key no longer matches the live priority.
+            let stale =
+                queues.len(unit) == 0 || key != self.priorities[unit as usize];
+            if stale {
+                self.heap.pop();
+                if queues.len(unit) == 0 {
+                    self.in_heap[unit as usize] = false;
+                } else if !self.heap.iter().any(|&(_, u)| u == unit) {
+                    // Removed the only remaining entry of a still-ready unit
+                    // (priority changed twice); reinsert the live key.
+                    self.heap.push((self.priorities[unit as usize], unit));
+                }
+                continue;
+            }
+            return Some(Selection::one(unit, ops));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::testkit::{drain_order, MockQueues};
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    /// Example 1 units: Q1 (c=5ms, s=1.0), Q2 (c=2ms, s=0.33).
+    fn example1() -> Vec<UnitStatics> {
+        vec![
+            UnitStatics::new(1.0, ms(5), ms(5)),
+            UnitStatics::new(0.33, ms(2), ms(2)),
+        ]
+    }
+
+    #[test]
+    fn hr_prefers_q1_hnr_prefers_q2() {
+        let enqueues = [(0, 0, 0), (1, 1, 0)];
+        let hr = drain_order(&mut StaticPolicy::hr(), &example1(), &enqueues);
+        assert_eq!(hr, vec![0, 1], "HR runs the high-output-rate query first");
+        let hnr = drain_order(&mut StaticPolicy::hnr(), &example1(), &enqueues);
+        assert_eq!(hnr, vec![1, 0], "HNR runs the low-T query first");
+    }
+
+    #[test]
+    fn srpt_orders_by_ideal_time() {
+        let units = vec![
+            UnitStatics::new(0.2, ms(9), ms(10)),
+            UnitStatics::new(0.9, ms(2), ms(2)),
+            UnitStatics::new(0.5, ms(4), ms(5)),
+        ];
+        let order = drain_order(
+            &mut StaticPolicy::srpt(),
+            &units,
+            &[(0, 0, 0), (1, 1, 0), (2, 2, 0)],
+        );
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn deterministic_workload_makes_all_three_agree() {
+        // §3.5: all selectivities 1 ⇒ HR ≡ HNR ≡ SRPT ordering.
+        let units: Vec<UnitStatics> = [7u64, 3, 11, 5]
+            .iter()
+            .map(|&c| UnitStatics::new(1.0, ms(c), ms(c)))
+            .collect();
+        let enq: Vec<(UnitId, u64, u64)> =
+            (0..4).map(|i| (i as UnitId, i as u64, 0)).collect();
+        let srpt = drain_order(&mut StaticPolicy::srpt(), &units, &enq);
+        let hr = drain_order(&mut StaticPolicy::hr(), &units, &enq);
+        let hnr = drain_order(&mut StaticPolicy::hnr(), &units, &enq);
+        assert_eq!(srpt, vec![1, 3, 0, 2]);
+        assert_eq!(hr, srpt);
+        assert_eq!(hnr, srpt);
+    }
+
+    #[test]
+    fn heap_handles_refill() {
+        // Unit drains, then refills: must be selectable again.
+        let mut p = StaticPolicy::hnr();
+        let units = example1();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), Nanos::ZERO);
+        p.on_enqueue(0, TupleId::new(0), Nanos::ZERO, Nanos::ZERO);
+        let sel = p.select(&q, Nanos::ZERO).unwrap();
+        assert_eq!(sel.units, vec![0]);
+        q.pop(0);
+        assert!(p.select(&q, Nanos::ZERO).is_none());
+        q.push(0, TupleId::new(1), Nanos::ZERO);
+        p.on_enqueue(0, TupleId::new(1), Nanos::ZERO, Nanos::ZERO);
+        assert_eq!(p.select(&q, Nanos::ZERO).unwrap().units, vec![0]);
+    }
+
+    #[test]
+    fn priority_override_takes_effect() {
+        let mut p = StaticPolicy::hnr();
+        p.on_register(&example1());
+        // Boost Q1 above Q2 manually (as the shared-operator path does).
+        p.set_priority(0, 1.0);
+        let mut q = MockQueues::new(2);
+        for u in 0..2 {
+            q.push(u, TupleId::new(u as u64), Nanos::ZERO);
+            p.on_enqueue(u, TupleId::new(u as u64), Nanos::ZERO, Nanos::ZERO);
+        }
+        assert_eq!(p.select(&q, Nanos::ZERO).unwrap().units, vec![0]);
+        assert_eq!(p.priority(0), 1.0);
+    }
+
+    #[test]
+    fn override_while_queued_reorders() {
+        let mut p = StaticPolicy::hnr();
+        p.on_register(&example1());
+        let mut q = MockQueues::new(2);
+        for u in 0..2 {
+            q.push(u, TupleId::new(u as u64), Nanos::ZERO);
+            p.on_enqueue(u, TupleId::new(u as u64), Nanos::ZERO, Nanos::ZERO);
+        }
+        // Initially Q2 (unit 1) wins under HNR; demote it below Q1.
+        p.set_priority(1, 1e-30);
+        assert_eq!(p.select(&q, Nanos::ZERO).unwrap().units, vec![0]);
+    }
+}

@@ -1,0 +1,141 @@
+//! Schedulable-unit statistics as seen by policies.
+
+use hcq_common::Nanos;
+use hcq_plan::LeafSegmentStats;
+
+/// Static, per-unit characterization — everything a priority function may
+/// consume besides the dynamic wait time `W`.
+///
+/// A *unit* is whatever the engine schedules atomically: a whole
+/// single-stream query (query-level scheduling), one leaf-to-root virtual
+/// segment of a join query, a shared-operator group, or a single operator
+/// (operator-level scheduling). In every case the unit is characterized by
+/// the same three §2 quantities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitStatics {
+    /// Global selectivity `S`: expected emissions per entering tuple.
+    pub selectivity: f64,
+    /// Global average cost `C̄` in nanoseconds.
+    pub avg_cost_ns: f64,
+    /// Ideal total processing time `T` of the owning query, nanoseconds.
+    pub ideal_time_ns: f64,
+}
+
+impl UnitStatics {
+    /// Build from plan-derived leaf segment statistics.
+    pub fn from_leaf(stats: &LeafSegmentStats) -> Self {
+        UnitStatics {
+            selectivity: stats.selectivity,
+            avg_cost_ns: stats.avg_cost_ns,
+            ideal_time_ns: stats.ideal_time.as_nanos() as f64,
+        }
+    }
+
+    /// Build from raw components (shared groups, tests).
+    pub fn new(selectivity: f64, avg_cost: Nanos, ideal_time: Nanos) -> Self {
+        UnitStatics {
+            selectivity,
+            avg_cost_ns: avg_cost.as_nanos() as f64,
+            ideal_time_ns: ideal_time.as_nanos() as f64,
+        }
+    }
+
+    /// HR priority: global output rate `S/C̄` (Equation 4).
+    pub fn hr_priority(&self) -> f64 {
+        self.selectivity / self.avg_cost_ns
+    }
+
+    /// HNR priority: normalized output rate `S/(C̄·T)` (Equation 3).
+    pub fn hnr_priority(&self) -> f64 {
+        self.hr_priority() / self.ideal_time_ns
+    }
+
+    /// SRPT priority: inverse ideal processing time `1/T`.
+    pub fn srpt_priority(&self) -> f64 {
+        1.0 / self.ideal_time_ns
+    }
+
+    /// The static BSD factor `Φ = S/(C̄·T²)`; the full BSD priority is
+    /// `Φ·W` (Equation 6).
+    pub fn bsd_static(&self) -> f64 {
+        self.hnr_priority() / self.ideal_time_ns
+    }
+
+    /// LSF slope `1/T`: the LSF priority is `W/T` (Equation 5).
+    pub fn lsf_slope(&self) -> f64 {
+        1.0 / self.ideal_time_ns
+    }
+}
+
+/// Total order over `f64` priorities (NaN-free by construction — all
+/// priority formulas are ratios of positive finite quantities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorityKey(pub f64);
+
+impl Eq for PriorityKey {}
+
+impl PartialOrd for PriorityKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PriorityKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        debug_assert!(!self.0.is_nan() && !other.0.is_nan());
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn example1_priorities() {
+        // Paper §3.4 Example 1, in ms-units: Q1 (c=5, s=1): HR = 0.2/ms,
+        // HNR = 0.04/ms²; Q2 (c=2, s=0.33): HR = 0.165/ms, HNR = 0.0825/ms².
+        let q1 = UnitStatics::new(1.0, ms(5), ms(5));
+        let q2 = UnitStatics::new(0.33, ms(2), ms(2));
+        let per_ms = 1e6;
+        assert!((q1.hr_priority() * per_ms - 0.2).abs() < 1e-12);
+        assert!((q2.hr_priority() * per_ms - 0.165).abs() < 1e-12);
+        assert!((q1.hnr_priority() * per_ms * per_ms - 0.04).abs() < 1e-12);
+        assert!((q2.hnr_priority() * per_ms * per_ms - 0.0825).abs() < 1e-12);
+        assert!(q1.hr_priority() > q2.hr_priority());
+        assert!(q2.hnr_priority() > q1.hnr_priority());
+    }
+
+    #[test]
+    fn unit_selectivity_one_collapses_to_srpt() {
+        // §3.5: with all selectivities 1, C̄ = T, so HR = 1/T (SRPT) and
+        // HNR = 1/T² (same order as SRPT).
+        let a = UnitStatics::new(1.0, ms(3), ms(3));
+        let b = UnitStatics::new(1.0, ms(7), ms(7));
+        assert!(a.hr_priority() > b.hr_priority());
+        assert!(a.hnr_priority() > b.hnr_priority());
+        assert!(a.srpt_priority() > b.srpt_priority());
+        assert!((a.hr_priority() - a.srpt_priority()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn bsd_static_relates_to_hnr() {
+        let u = UnitStatics::new(0.5, ms(4), ms(6));
+        assert!((u.bsd_static() - u.hnr_priority() / u.ideal_time_ns).abs() < 1e-30);
+        assert!((u.lsf_slope() - 1.0 / u.ideal_time_ns).abs() < 1e-30);
+    }
+
+    #[test]
+    fn priority_key_orders() {
+        let mut v = vec![PriorityKey(0.3), PriorityKey(1.0), PriorityKey(0.5)];
+        v.sort();
+        assert_eq!(v, vec![PriorityKey(0.3), PriorityKey(0.5), PriorityKey(1.0)]);
+        assert!(PriorityKey(2.0) > PriorityKey(1.0));
+    }
+}

@@ -1,0 +1,130 @@
+//! Simulation configuration.
+
+use hcq_common::Nanos;
+use hcq_core::SharingStrategy;
+
+/// Where scheduling points fall (§6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulingLevel {
+    /// Non-preemptive: a scheduling point occurs when a *query* finishes a
+    /// tuple; execution pipelines whole leaf-to-root segments. This is the
+    /// level every §9 experiment uses.
+    Query,
+    /// Preemptive: a scheduling point after every *operator* execution; each
+    /// operator has its own queue and is a schedulable unit. Supported for
+    /// join-free, sharing-free workloads.
+    Operator,
+}
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Scheduling granularity.
+    pub level: SchedulingLevel,
+    /// Priority strategy for §7 shared-operator groups (ignored when the
+    /// plan declares no sharing).
+    pub sharing: SharingStrategy,
+    /// Charge `ops_counted × sched_op_cost` of virtual time per scheduling
+    /// point (§9.2's accounting). Off by default: the policy-comparison
+    /// figures (5–12) treat scheduling as free, as the paper does.
+    pub charge_overhead: bool,
+    /// Cost of one priority computation/comparison; `None` means "the cost
+    /// of the cheapest operator in the query plans" (§9.2).
+    pub sched_op_cost: Option<Nanos>,
+    /// Total source arrivals to inject (summed over all streams).
+    pub max_arrivals: u64,
+    /// Keep processing queued work after the last arrival.
+    pub drain: bool,
+    /// Master seed for attribute values and selectivity coins.
+    pub seed: u64,
+    /// Collect a per-window QoS time series with this window width
+    /// (`None` = off). Useful for visualizing burst dynamics.
+    pub sample_window: Option<Nanos>,
+    /// Per-execution operator-cost jitter: each execution's cost is scaled
+    /// by a deterministic pseudo-random factor in `[1−j, 1+j]` (a pure
+    /// function of tuple/operator/seed, so still policy-independent).
+    /// 0 = the paper's deterministic costs.
+    pub cost_jitter: f64,
+}
+
+impl SimConfig {
+    /// Query-level, PDT sharing, no overhead charging, draining, seed 0.
+    pub fn new(max_arrivals: u64) -> Self {
+        SimConfig {
+            level: SchedulingLevel::Query,
+            sharing: SharingStrategy::Pdt,
+            charge_overhead: false,
+            sched_op_cost: None,
+            max_arrivals,
+            drain: true,
+            seed: 0,
+            sample_window: None,
+            cost_jitter: 0.0,
+        }
+    }
+
+    /// Enable operator-cost jitter (fraction in [0, 1)).
+    pub fn with_cost_jitter(mut self, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        self.cost_jitter = jitter;
+        self
+    }
+
+    /// Enable per-window QoS sampling.
+    pub fn with_sample_window(mut self, window: Nanos) -> Self {
+        self.sample_window = Some(window);
+        self
+    }
+
+    /// Builder-style seed override.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style scheduling level override.
+    pub fn with_level(mut self, level: SchedulingLevel) -> Self {
+        self.level = level;
+        self
+    }
+
+    /// Builder-style sharing strategy override.
+    pub fn with_sharing(mut self, sharing: SharingStrategy) -> Self {
+        self.sharing = sharing;
+        self
+    }
+
+    /// Enable §9.2 overhead charging.
+    pub fn with_overhead(mut self, charge: bool) -> Self {
+        self.charge_overhead = charge;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = SimConfig::new(100);
+        assert_eq!(c.level, SchedulingLevel::Query);
+        assert_eq!(c.sharing, SharingStrategy::Pdt);
+        assert!(!c.charge_overhead);
+        assert!(c.drain);
+        assert_eq!(c.max_arrivals, 100);
+    }
+
+    #[test]
+    fn builders() {
+        let c = SimConfig::new(1)
+            .with_seed(9)
+            .with_level(SchedulingLevel::Operator)
+            .with_sharing(SharingStrategy::Max)
+            .with_overhead(true);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.level, SchedulingLevel::Operator);
+        assert_eq!(c.sharing, SharingStrategy::Max);
+        assert!(c.charge_overhead);
+    }
+}

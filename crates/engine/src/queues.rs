@@ -1,0 +1,156 @@
+//! Per-unit FIFO input queues with an O(1) non-empty index.
+
+use std::collections::VecDeque;
+
+use hcq_common::Nanos;
+use hcq_core::{QueueView, UnitId};
+
+use crate::tuple::SimTuple;
+
+/// The engine's queue state; implements [`QueueView`] for policies.
+#[derive(Debug, Default)]
+pub struct UnitQueues {
+    queues: Vec<VecDeque<SimTuple>>,
+    /// Unordered list of units with pending tuples.
+    nonempty: Vec<UnitId>,
+    /// `pos[u] = i+1` when `nonempty[i] == u`; 0 when absent.
+    pos: Vec<u32>,
+    pending: usize,
+}
+
+impl UnitQueues {
+    /// Queues for `n` units.
+    pub fn new(n: usize) -> Self {
+        UnitQueues {
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            nonempty: Vec::new(),
+            pos: vec![0; n],
+            pending: 0,
+        }
+    }
+
+    /// Enqueue a tuple.
+    pub fn push(&mut self, unit: UnitId, tuple: SimTuple) {
+        let q = &mut self.queues[unit as usize];
+        if q.is_empty() {
+            self.nonempty.push(unit);
+            self.pos[unit as usize] = self.nonempty.len() as u32;
+        }
+        q.push_back(tuple);
+        self.pending += 1;
+    }
+
+    /// Dequeue the unit's head tuple.
+    ///
+    /// # Panics
+    /// Panics if the queue is empty (a policy/engine contract violation).
+    pub fn pop(&mut self, unit: UnitId) -> SimTuple {
+        let q = &mut self.queues[unit as usize];
+        let t = q.pop_front().expect("pop from empty unit queue");
+        self.pending -= 1;
+        if q.is_empty() {
+            // Swap-remove from the non-empty index.
+            let i = (self.pos[unit as usize] - 1) as usize;
+            let last = self.nonempty.pop().expect("index tracks nonempty");
+            if last != unit {
+                self.nonempty[i] = last;
+                self.pos[last as usize] = i as u32 + 1;
+            }
+            self.pos[unit as usize] = 0;
+        }
+        t
+    }
+
+    /// Total pending tuples across all units.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// True when nothing is pending anywhere.
+    pub fn all_empty(&self) -> bool {
+        self.pending == 0
+    }
+}
+
+impl QueueView for UnitQueues {
+    fn len(&self, unit: UnitId) -> usize {
+        self.queues[unit as usize].len()
+    }
+
+    fn head_arrival(&self, unit: UnitId) -> Option<Nanos> {
+        self.queues[unit as usize].front().map(|t| t.arrival)
+    }
+
+    fn nonempty(&self) -> &[UnitId] {
+        &self.nonempty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcq_common::TupleId;
+    use proptest::prelude::*;
+
+    fn tuple(id: u64, arrival_ms: u64) -> SimTuple {
+        SimTuple {
+            id: TupleId::new(id),
+            arrival: Nanos::from_millis(arrival_ms),
+            ts: Nanos::from_millis(arrival_ms),
+            key: 1,
+            ideal_depart: Nanos::from_millis(arrival_ms),
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_index() {
+        let mut q = UnitQueues::new(3);
+        assert!(q.all_empty());
+        q.push(1, tuple(1, 10));
+        q.push(1, tuple(2, 20));
+        q.push(0, tuple(3, 30));
+        assert_eq!(q.pending(), 3);
+        assert_eq!(q.len(1), 2);
+        assert_eq!(q.head_arrival(1), Some(Nanos::from_millis(10)));
+        let mut ne: Vec<_> = q.nonempty().to_vec();
+        ne.sort();
+        assert_eq!(ne, vec![0, 1]);
+        assert_eq!(q.pop(1).id, TupleId::new(1));
+        assert_eq!(q.head_arrival(1), Some(Nanos::from_millis(20)));
+        assert_eq!(q.pop(1).id, TupleId::new(2));
+        assert_eq!(q.nonempty(), &[0]);
+        q.pop(0);
+        assert!(q.all_empty());
+        assert!(q.nonempty().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty unit queue")]
+    fn popping_empty_panics() {
+        let mut q = UnitQueues::new(1);
+        let _ = q.pop(0);
+    }
+
+    proptest! {
+        /// The non-empty index always matches the actual queue contents.
+        #[test]
+        fn nonempty_index_consistent(ops in proptest::collection::vec((0u32..6, any::<bool>()), 1..200)) {
+            let mut q = UnitQueues::new(6);
+            let mut id = 0u64;
+            for (unit, is_push) in ops {
+                if is_push || q.len(unit) == 0 {
+                    id += 1;
+                    q.push(unit, tuple(id, id));
+                } else {
+                    q.pop(unit);
+                }
+                let expect: Vec<u32> = (0..6).filter(|&u| q.len(u) > 0).collect();
+                let mut got = q.nonempty().to_vec();
+                got.sort();
+                prop_assert_eq!(got, expect);
+                let total: usize = (0..6).map(|u| q.len(u)).sum();
+                prop_assert_eq!(total, q.pending());
+            }
+        }
+    }
+}

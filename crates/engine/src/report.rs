@@ -1,0 +1,107 @@
+//! Simulation output.
+
+use hcq_common::Nanos;
+use hcq_metrics::{ClassBreakdown, QosSummary, QosTimeSeries, SlowdownHistogram};
+
+/// Everything a simulation run reports.
+#[derive(Debug)]
+pub struct SimReport {
+    /// Headline QoS over all emitted tuples (Definitions 1–4).
+    pub qos: QosSummary,
+    /// Per-class breakdown (Figure 11).
+    pub classes: ClassBreakdown,
+    /// Log-bucketed slowdown distribution.
+    pub histogram: SlowdownHistogram,
+    /// Optional per-window QoS trajectory (see `SimConfig::sample_window`).
+    pub series: Option<QosTimeSeries>,
+    /// Source arrivals injected.
+    pub arrivals: u64,
+    /// Tuples emitted at query roots.
+    pub emitted: u64,
+    /// Tuples dropped by filters/joins (per query copy).
+    pub dropped: u64,
+    /// Scheduling points taken.
+    pub sched_points: u64,
+    /// Priority computations/comparisons reported by the policy.
+    pub sched_ops: u64,
+    /// Virtual time charged for scheduling (0 unless overhead charging on).
+    pub overhead_time: Nanos,
+    /// Virtual time spent executing operators.
+    pub busy_time: Nanos,
+    /// Final virtual clock.
+    pub end_time: Nanos,
+    /// Time-averaged number of pending tuples across all queues — the
+    /// memory metric Chain-style policies minimize.
+    pub avg_pending: f64,
+    /// Peak simultaneous pending tuples.
+    pub peak_pending: usize,
+}
+
+impl SimReport {
+    /// Measured utilization: operator busy time (plus charged scheduling
+    /// overhead) over elapsed virtual time.
+    pub fn measured_utilization(&self) -> f64 {
+        if self.end_time.is_zero() {
+            return 0.0;
+        }
+        (self.busy_time + self.overhead_time).ratio(self.end_time)
+    }
+
+    /// Average scheduler operations per scheduling point — the quantity the
+    /// §6 machinery reduces.
+    pub fn ops_per_sched_point(&self) -> f64 {
+        if self.sched_points == 0 {
+            return 0.0;
+        }
+        self.sched_ops as f64 / self.sched_points as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let r = SimReport {
+            qos: QosSummary::default(),
+            classes: ClassBreakdown::new(),
+            histogram: SlowdownHistogram::default(),
+            series: None,
+            arrivals: 10,
+            emitted: 5,
+            dropped: 5,
+            sched_points: 4,
+            sched_ops: 12,
+            overhead_time: Nanos::from_millis(10),
+            busy_time: Nanos::from_millis(40),
+            end_time: Nanos::from_millis(100),
+            avg_pending: 2.0,
+            peak_pending: 5,
+        };
+        assert!((r.measured_utilization() - 0.5).abs() < 1e-12);
+        assert!((r.ops_per_sched_point() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_guards() {
+        let r = SimReport {
+            qos: QosSummary::default(),
+            classes: ClassBreakdown::new(),
+            histogram: SlowdownHistogram::default(),
+            series: None,
+            arrivals: 0,
+            emitted: 0,
+            dropped: 0,
+            sched_points: 0,
+            sched_ops: 0,
+            overhead_time: Nanos::ZERO,
+            busy_time: Nanos::ZERO,
+            end_time: Nanos::ZERO,
+            avg_pending: 0.0,
+            peak_pending: 0,
+        };
+        assert_eq!(r.measured_utilization(), 0.0);
+        assert_eq!(r.ops_per_sched_point(), 0.0);
+    }
+}

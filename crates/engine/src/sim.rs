@@ -1,0 +1,494 @@
+//! The discrete-event simulation loop.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hcq_common::{det, HcqError, Nanos, Result, StreamId, TupleId};
+use hcq_core::Policy;
+use hcq_join::{Side, SymmetricHashJoin};
+use hcq_metrics::{ClassBreakdown, QosAccumulator, QosTimeSeries, SlowdownHistogram};
+use hcq_plan::{CompiledOpKind, GlobalPlan, OperatorSpec, Port, StreamRates};
+use hcq_streams::ArrivalSource;
+
+use crate::config::{SchedulingLevel, SimConfig};
+use crate::model::{SimModel, UnitKind};
+use crate::queues::UnitQueues;
+use crate::report::SimReport;
+use crate::tuple::SimTuple;
+
+/// Run a complete simulation.
+///
+/// `sources[i]` feeds stream `i`; every stream referenced by `plan` must
+/// have a source. See [`SimConfig`] for the knobs and the crate docs for an
+/// end-to-end example.
+pub fn simulate(
+    plan: &GlobalPlan,
+    rates: &StreamRates,
+    sources: Vec<Box<dyn ArrivalSource>>,
+    policy: Box<dyn Policy>,
+    cfg: SimConfig,
+) -> Result<SimReport> {
+    Ok(Simulator::new(plan, rates, sources, policy, cfg)?.run())
+}
+
+/// The simulator. Most callers use [`simulate`]; the struct is public for
+/// step-wise tests and custom instrumentation.
+pub struct Simulator {
+    model: SimModel,
+    policy: Box<dyn Policy>,
+    queues: UnitQueues,
+    sources: Vec<Box<dyn ArrivalSource>>,
+    /// `(next arrival, stream)` min-heap.
+    upcoming: BinaryHeap<Reverse<(Nanos, usize)>>,
+    /// One symmetric hash join per query (the engine supports ≤ 1).
+    joins: Vec<Option<(usize, SymmetricHashJoin<SimTuple>)>>,
+    /// Operator-level only: `op_units[query][op]` = unit id.
+    op_units: Vec<Vec<u32>>,
+    cfg: SimConfig,
+    sched_cost: Nanos,
+
+    clock: Nanos,
+    /// Ids for composite tuples (top bit set, so they never collide with
+    /// arrival ids and are minted independently of arrival numbering).
+    composite_counter: u64,
+    arrivals_injected: u64,
+
+    qos: QosAccumulator,
+    classes: ClassBreakdown,
+    histogram: SlowdownHistogram,
+    series: Option<QosTimeSeries>,
+    emitted: u64,
+    dropped: u64,
+    sched_points: u64,
+    sched_ops: u64,
+    overhead_time: Nanos,
+    busy_time: Nanos,
+    /// Integral of pending-tuple count over virtual time (tuple·ns), for
+    /// time-averaged memory; updated whenever the clock advances.
+    pending_area: f64,
+    peak_pending: usize,
+}
+
+impl Simulator {
+    /// Build a simulator; validates the plan/source/level combination.
+    pub fn new(
+        plan: &GlobalPlan,
+        rates: &StreamRates,
+        mut sources: Vec<Box<dyn ArrivalSource>>,
+        mut policy: Box<dyn Policy>,
+        cfg: SimConfig,
+    ) -> Result<Self> {
+        let model = SimModel::build(plan, rates, cfg.level, cfg.sharing)?;
+        for (s, routes) in model.routes.iter().enumerate() {
+            if !routes.is_empty() && s >= sources.len() {
+                return Err(HcqError::config(format!(
+                    "stream {} is referenced by the plan but has no source",
+                    StreamId::new(s)
+                )));
+            }
+        }
+        let mut upcoming = BinaryHeap::new();
+        for (s, src) in sources.iter_mut().enumerate() {
+            if let Some(t) = src.next_arrival() {
+                upcoming.push(Reverse((t, s)));
+            }
+        }
+        let joins = model
+            .compiled
+            .iter()
+            .map(|cq| {
+                cq.join_indices().first().map(|&ji| {
+                    let window = match &cq.ops[ji].kind {
+                        CompiledOpKind::Join(j) => j.window,
+                        _ => unreachable!("join index points at a join"),
+                    };
+                    (ji, SymmetricHashJoin::new(window))
+                })
+            })
+            .collect();
+        let mut op_units: Vec<Vec<u32>> = Vec::new();
+        if cfg.level == SchedulingLevel::Operator {
+            op_units = model
+                .compiled
+                .iter()
+                .map(|cq| vec![u32::MAX; cq.ops.len()])
+                .collect();
+            for (uid, unit) in model.units.iter().enumerate() {
+                if let UnitKind::Operator { query, op } = unit.kind {
+                    op_units[query][op] = uid as u32;
+                }
+            }
+        }
+        let sched_cost = cfg.sched_op_cost.unwrap_or(model.min_op_cost);
+        let series = cfg.sample_window.map(QosTimeSeries::new);
+        policy.on_register(&model.unit_statics());
+        let n_units = model.unit_count();
+        Ok(Simulator {
+            model,
+            policy,
+            queues: UnitQueues::new(n_units),
+            sources,
+            upcoming,
+            joins,
+            op_units,
+            cfg,
+            sched_cost,
+            clock: Nanos::ZERO,
+            composite_counter: 0,
+            arrivals_injected: 0,
+            qos: QosAccumulator::new(),
+            classes: ClassBreakdown::new(),
+            histogram: SlowdownHistogram::default(),
+            series,
+            emitted: 0,
+            dropped: 0,
+            sched_points: 0,
+            sched_ops: 0,
+            overhead_time: Nanos::ZERO,
+            busy_time: Nanos::ZERO,
+            pending_area: 0.0,
+            peak_pending: 0,
+        })
+    }
+
+    /// Run to completion and report.
+    pub fn run(mut self) -> SimReport {
+        loop {
+            self.deliver_due_arrivals();
+            if self.queues.all_empty() {
+                // Idle: jump to the next arrival, or finish.
+                match self.peek_next_arrival() {
+                    Some(t) if self.arrivals_injected < self.cfg.max_arrivals => {
+                        let target = self.clock.max(t);
+                        self.advance_clock(target);
+                        continue;
+                    }
+                    _ => break,
+                }
+            }
+            if !self.cfg.drain && self.arrivals_injected >= self.cfg.max_arrivals {
+                break;
+            }
+            let selection = self
+                .policy
+                .select(&self.queues, self.clock)
+                .expect("policy must select when work is pending");
+            self.sched_points += 1;
+            self.sched_ops += selection.ops_counted;
+            if self.cfg.charge_overhead {
+                let overhead = self.sched_cost * selection.ops_counted;
+                self.advance_clock(self.clock + overhead);
+                self.overhead_time += overhead;
+            }
+            for unit in selection.units {
+                self.execute_unit(unit);
+            }
+        }
+        SimReport {
+            qos: self.qos.summary(),
+            classes: self.classes,
+            histogram: self.histogram,
+            series: self.series,
+            arrivals: self.arrivals_injected,
+            emitted: self.emitted,
+            dropped: self.dropped,
+            sched_points: self.sched_points,
+            sched_ops: self.sched_ops,
+            overhead_time: self.overhead_time,
+            busy_time: self.busy_time,
+            end_time: self.clock,
+            avg_pending: if self.clock.is_zero() {
+                0.0
+            } else {
+                self.pending_area / self.clock.as_nanos() as f64
+            },
+            peak_pending: self.peak_pending,
+        }
+    }
+
+    /// Advance the virtual clock, integrating the pending-tuple count over
+    /// the elapsed span (queue contents are constant between events).
+    fn advance_clock(&mut self, target: Nanos) {
+        debug_assert!(target >= self.clock);
+        let span = target.saturating_since(self.clock);
+        self.pending_area += self.queues.pending() as f64 * span.as_nanos() as f64;
+        self.clock = target;
+    }
+
+    fn peek_next_arrival(&self) -> Option<Nanos> {
+        self.upcoming.peek().map(|Reverse((t, _))| *t)
+    }
+
+    fn deliver_due_arrivals(&mut self) {
+        while self.arrivals_injected < self.cfg.max_arrivals {
+            let Some(&Reverse((t, stream))) = self.upcoming.peek() else {
+                break;
+            };
+            if t > self.clock {
+                break;
+            }
+            self.upcoming.pop();
+            if let Some(next) = self.sources[stream].next_arrival() {
+                self.upcoming.push(Reverse((next, stream)));
+            }
+            self.inject(StreamId::new(stream), t);
+        }
+    }
+
+    fn inject(&mut self, stream: StreamId, at: Nanos) {
+        // The arrival's id is its global arrival ordinal: identical across
+        // policies, so attribute keys and selectivity coins are a pure
+        // function of the workload, never of scheduling decisions.
+        let id = TupleId::new(self.arrivals_injected);
+        self.arrivals_injected += 1;
+        // The §8 extra attribute: uniform in [1,100], shared by every copy.
+        let key = det::unit_range(det::splitmix64(det::mix2(self.cfg.seed, id.raw())), 1, 100);
+        // Routes are read through an index to satisfy the borrow checker;
+        // the route table is immutable during simulation.
+        for r in 0..self.model.routes[stream.index()].len() {
+            let route = self.model.routes[stream.index()][r];
+            let tuple = SimTuple {
+                id,
+                arrival: at,
+                ts: at,
+                key,
+                ideal_depart: at + route.alone,
+            };
+            self.queues.push(route.unit, tuple);
+            self.peak_pending = self.peak_pending.max(self.queues.pending());
+            self.policy.on_enqueue(route.unit, id, at, self.clock);
+        }
+    }
+
+    fn next_composite_id(&mut self) -> TupleId {
+        let id = TupleId::new(self.composite_counter | (1 << 63));
+        self.composite_counter += 1;
+        id
+    }
+
+    fn execute_unit(&mut self, unit: u32) {
+        let kind = self.model.units[unit as usize].kind.clone();
+        let tuple = self.queues.pop(unit);
+        match kind {
+            UnitKind::Leaf { query, leaf } => {
+                let entry = self.model.compiled[query].leaves[leaf.index()].entry;
+                self.run_pipeline(query, entry, tuple);
+            }
+            UnitKind::Shared { group } => self.run_shared(group, tuple),
+            UnitKind::Remainder { group, member } => {
+                let query = self.model.groups[group].members[member];
+                self.run_pipeline(query, (1, Port::Single), tuple);
+            }
+            UnitKind::Operator { query, op } => self.run_operator_step(query, op, tuple),
+        }
+    }
+
+    /// Pipelined execution from `entry` to the root (query-level units).
+    fn run_pipeline(&mut self, query: usize, entry: (usize, Port), tuple: SimTuple) {
+        let mut cursor = Some(entry);
+        while let Some((oi, port)) = cursor {
+            let op = &self.model.compiled[query].ops[oi];
+            let downstream = op.downstream;
+            match op.kind.clone() {
+                CompiledOpKind::Unary(spec) => {
+                    self.charge_op(spec.cost, tuple.id, det::mix2(query as u64, oi as u64));
+                    if !self.unary_passes(query, oi, &spec, &tuple) {
+                        self.dropped += 1;
+                        return;
+                    }
+                    cursor = downstream;
+                }
+                CompiledOpKind::Join(spec) => {
+                    self.charge_op(spec.cost, tuple.id, det::mix2(query as u64, oi as u64));
+                    let side = match port {
+                        Port::Left => Side::Left,
+                        Port::Right => Side::Right,
+                        Port::Single => unreachable!("join entered on a unary port"),
+                    };
+                    let (join_idx, shj) = self.joins[query]
+                        .as_mut()
+                        .expect("query with join op has a join table");
+                    debug_assert_eq!(*join_idx, oi);
+                    let matches = shj.insert_probe(side, &tuple);
+                    let mut produced = false;
+                    for partner in matches {
+                        if !pair_passes(
+                            self.cfg.seed,
+                            query,
+                            oi,
+                            spec.selectivity,
+                            &tuple,
+                            &partner,
+                        ) {
+                            continue;
+                        }
+                        produced = true;
+                        let id = self.next_composite_id();
+                        let composite = SimTuple::composite(id, &tuple, &partner);
+                        match downstream {
+                            Some(next) => self.run_pipeline(query, next, composite),
+                            None => self.emit(query, composite),
+                        }
+                    }
+                    if !produced {
+                        self.dropped += 1;
+                    }
+                    return;
+                }
+            }
+        }
+        self.emit(query, tuple);
+    }
+
+    /// §7 shared-operator execution: the shared operator once, then the PDT
+    /// members inline and the deferred members' queues.
+    fn run_shared(&mut self, group: usize, tuple: SimTuple) {
+        let g = self.model.groups[group].clone();
+        self.charge_op(g.shared_cost, tuple.id, 0xD00D ^ group as u64);
+        // The shared operator is physically one operator: one outcome. The
+        // §9.3 groups share a *select*, whose outcome is key-driven and thus
+        // identical across members by construction; for generality
+        // non-key-predicate shared ops use a group-salted coin.
+        let (spec, query0) = {
+            let q0 = g.members[0];
+            match &self.model.compiled[q0].ops[0].kind {
+                CompiledOpKind::Unary(spec) => (spec.clone(), q0),
+                CompiledOpKind::Join(_) => unreachable!("validated: shared op is unary"),
+            }
+        };
+        let pass = if spec.kind.is_key_predicate() {
+            key_passes(&spec, &tuple)
+        } else {
+            det::coin(
+                det::mix3(tuple.id.raw(), 0xC0DE_5A17 ^ group as u64, self.cfg.seed),
+                spec.selectivity,
+            )
+        };
+        let _ = query0;
+        if !pass {
+            self.dropped += g.members.len() as u64;
+            return;
+        }
+        for &pos in &g.inline_members {
+            let query = g.members[pos];
+            let mut copy = tuple;
+            copy.ideal_depart = tuple.arrival + self.model.stats[query].ideal_time;
+            if self.model.compiled[query].ops.len() > 1 {
+                self.run_pipeline(query, (1, Port::Single), copy);
+            } else {
+                self.emit(query, copy);
+            }
+        }
+        for &(pos, unit) in &g.deferred {
+            let query = g.members[pos];
+            let mut copy = tuple;
+            copy.ideal_depart = tuple.arrival + self.model.stats[query].ideal_time;
+            self.queues.push(unit, copy);
+            self.peak_pending = self.peak_pending.max(self.queues.pending());
+            self.policy
+                .on_enqueue(unit, copy.id, copy.arrival, self.clock);
+        }
+    }
+
+    /// Operator-level execution: one operator, one tuple.
+    fn run_operator_step(&mut self, query: usize, op: usize, tuple: SimTuple) {
+        let (spec, downstream) = match &self.model.compiled[query].ops[op].kind {
+            CompiledOpKind::Unary(spec) => {
+                (spec.clone(), self.model.compiled[query].ops[op].downstream)
+            }
+            CompiledOpKind::Join(_) => unreachable!("validated: no joins at operator level"),
+        };
+        self.charge_op(spec.cost, tuple.id, det::mix2(query as u64, op as u64));
+        if !self.unary_passes(query, op, &spec, &tuple) {
+            self.dropped += 1;
+            return;
+        }
+        match downstream {
+            Some((next, _)) => {
+                let unit = self.op_units[query][next];
+                self.queues.push(unit, tuple);
+                self.peak_pending = self.peak_pending.max(self.queues.pending());
+                self.policy
+                    .on_enqueue(unit, tuple.id, tuple.arrival, self.clock);
+            }
+            None => self.emit(query, tuple),
+        }
+    }
+
+    fn charge(&mut self, cost: Nanos) {
+        self.advance_clock(self.clock + cost);
+        self.busy_time += cost;
+    }
+
+    /// Charge an operator execution, applying the configured cost jitter as
+    /// a deterministic function of `(tuple, salt, seed)` — identical across
+    /// policies, so jittered runs stay comparable.
+    fn charge_op(&mut self, cost: Nanos, tuple: TupleId, salt: u64) {
+        let cost = if self.cfg.cost_jitter > 0.0 {
+            let u = det::unit_f64(det::mix3(tuple.raw(), salt, self.cfg.seed ^ 0x1177));
+            let factor = 1.0 + self.cfg.cost_jitter * (2.0 * u - 1.0);
+            cost.scale(factor).max(Nanos(1))
+        } else {
+            cost
+        };
+        self.charge(cost);
+    }
+
+    fn unary_passes(&self, query: usize, op: usize, spec: &OperatorSpec, t: &SimTuple) -> bool {
+        if spec.kind.is_key_predicate() {
+            key_passes(spec, t)
+        } else {
+            det::coin(
+                det::mix3(t.id.raw(), det::mix2(query as u64, op as u64), self.cfg.seed),
+                spec.selectivity,
+            )
+        }
+    }
+
+    fn emit(&mut self, query: usize, t: SimTuple) {
+        self.emitted += 1;
+        let ideal = self.model.stats[query].ideal_time;
+        let response = self.clock.saturating_since(t.arrival);
+        // H = 1 + (D_actual − D_ideal)/T (§5.1.2); for single-stream tuples
+        // D_ideal = A + T, collapsing to Definition 2's R/T. Under cost
+        // jitter an execution can beat the nominal ideal; slowdown then
+        // clamps at 1 (the tuple was served ideally).
+        let slowdown = if self.clock > t.ideal_depart {
+            1.0 + (self.clock - t.ideal_depart).ratio(ideal)
+        } else {
+            1.0
+        };
+        self.qos.record(response, slowdown);
+        self.classes
+            .record(self.model.tags[query], response, slowdown);
+        self.histogram.record(slowdown);
+        if let Some(series) = self.series.as_mut() {
+            series.record(self.clock, response, slowdown);
+        }
+    }
+}
+
+/// Key-predicate select: pass iff `key ≤ s·100` (the §8 predicate-over-an-
+/// attribute realization; outcomes correlate across queries sharing the
+/// attribute, exactly as in the paper's testbed).
+fn key_passes(spec: &OperatorSpec, t: &SimTuple) -> bool {
+    t.key <= (spec.selectivity * 100.0).round() as u64
+}
+
+/// Join-predicate coin for a candidate pair: symmetric in the pair (the
+/// probing order is policy-dependent; the outcome must not be).
+fn pair_passes(
+    seed: u64,
+    query: usize,
+    op: usize,
+    selectivity: f64,
+    a: &SimTuple,
+    b: &SimTuple,
+) -> bool {
+    let lo = a.id.raw().min(b.id.raw());
+    let hi = a.id.raw().max(b.id.raw());
+    det::coin(
+        det::mix3(lo, hi, det::mix3(query as u64, op as u64, seed)),
+        selectivity,
+    )
+}

@@ -1,0 +1,125 @@
+//! Configuration-error paths: the engine must reject unusable setups with
+//! actionable messages rather than misbehave.
+
+use hcq_common::{Nanos, StreamId};
+use hcq_core::PolicyKind;
+use hcq_engine::{simulate, SimConfig};
+use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
+use hcq_streams::PoissonSource;
+
+fn ms(n: u64) -> Nanos {
+    Nanos::from_millis(n)
+}
+
+#[test]
+fn empty_plan_rejected() {
+    let err = simulate(
+        &GlobalPlan::default(),
+        &StreamRates::none(),
+        vec![],
+        PolicyKind::Fcfs.build(),
+        SimConfig::new(10),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("no queries"));
+}
+
+#[test]
+fn missing_source_rejected() {
+    let mut plan = GlobalPlan::default();
+    plan.add_query(
+        QueryBuilder::on(StreamId::new(1)) // stream 1 but only source 0 given
+            .select(ms(1), 0.5)
+            .build()
+            .unwrap(),
+    );
+    let err = simulate(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(PoissonSource::new(ms(1), 0))],
+        PolicyKind::Fcfs.build(),
+        SimConfig::new(10),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("M1"), "{err}");
+    assert!(err.to_string().contains("no source"), "{err}");
+}
+
+#[test]
+fn join_without_rates_rejected() {
+    let mut plan = GlobalPlan::default();
+    plan.add_query(
+        QueryBuilder::on(StreamId::new(0))
+            .window_join(
+                QueryBuilder::on(StreamId::new(1)),
+                ms(1),
+                0.5,
+                Nanos::from_secs(1),
+            )
+            .build()
+            .unwrap(),
+    );
+    let sources: Vec<Box<dyn hcq_streams::ArrivalSource>> = vec![
+        Box::new(PoissonSource::new(ms(1), 0)),
+        Box::new(PoissonSource::new(ms(1), 1)),
+    ];
+    let err = simulate(
+        &plan,
+        &StreamRates::none(), // <- no τ for the join's occupancy estimate
+        sources,
+        PolicyKind::Hnr.build(),
+        SimConfig::new(10),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("inter-arrival"), "{err}");
+}
+
+#[test]
+fn invalid_sharing_rejected_at_simulation() {
+    let mut plan = GlobalPlan::default();
+    let a = plan.add_query(
+        QueryBuilder::on(StreamId::new(0))
+            .select(ms(1), 0.5)
+            .build()
+            .unwrap(),
+    );
+    // Manually corrupt the sharing structure (bypasses share_first_op's
+    // checks) to prove validation happens again at build time.
+    plan.sharing.push(hcq_plan::SharedSelect {
+        stream: StreamId::new(0),
+        op: hcq_plan::OperatorSpec::select(ms(2), 0.5), // wrong cost
+        members: vec![a],
+    });
+    let err = simulate(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(PoissonSource::new(ms(1), 0))],
+        PolicyKind::Hnr.build(),
+        SimConfig::new(10),
+    )
+    .unwrap_err();
+    assert!(err.to_string().contains("sharing"), "{err}");
+}
+
+#[test]
+fn zero_arrival_budget_is_a_clean_noop() {
+    let mut plan = GlobalPlan::default();
+    plan.add_query(
+        QueryBuilder::on(StreamId::new(0))
+            .select(ms(1), 0.5)
+            .build()
+            .unwrap(),
+    );
+    let r = simulate(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(PoissonSource::new(ms(1), 0))],
+        PolicyKind::Bsd.build(),
+        SimConfig::new(0),
+    )
+    .unwrap();
+    assert_eq!(r.arrivals, 0);
+    assert_eq!(r.emitted, 0);
+    assert_eq!(r.sched_points, 0);
+    assert_eq!(r.end_time, Nanos::ZERO);
+}

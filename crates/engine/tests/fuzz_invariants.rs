@@ -1,0 +1,149 @@
+//! Randomized whole-engine invariants: arbitrary small workloads and
+//! arrival patterns must preserve the simulator's core guarantees under
+//! every policy.
+
+use hcq_common::{Nanos, StreamId};
+use hcq_core::PolicyKind;
+use hcq_engine::{simulate, SimConfig, SimReport};
+use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
+use hcq_streams::TraceReplay;
+use proptest::prelude::*;
+
+/// Random single-stream chains: per query, 1–4 operators with ms costs and
+/// coarse selectivities.
+fn plan_strategy() -> impl Strategy<Value = Vec<Vec<(u64, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((1u64..=16, 0.1f64..=1.0), 1..=4),
+        1..=6,
+    )
+}
+
+/// Random arrival gaps (ms); replayed identically for every policy.
+fn arrivals_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=60, 5..=60)
+}
+
+fn build_plan(chains: &[Vec<(u64, f64)>]) -> GlobalPlan {
+    let mut plan = GlobalPlan::default();
+    for chain in chains {
+        let mut b = QueryBuilder::on(StreamId::new(0));
+        for &(cost, sel) in chain {
+            b = b.map(Nanos::from_millis(cost), sel);
+        }
+        plan.add_query(b.build().expect("valid chain"));
+    }
+    plan
+}
+
+fn run(
+    chains: &[Vec<(u64, f64)>],
+    gaps: &[u64],
+    kind: PolicyKind,
+    seed: u64,
+) -> SimReport {
+    let plan = build_plan(chains);
+    let mut t = Nanos::ZERO;
+    let arrivals: Vec<Nanos> = gaps
+        .iter()
+        .map(|&g| {
+            t += Nanos::from_millis(g);
+            t
+        })
+        .collect();
+    let n = arrivals.len() as u64;
+    simulate(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        kind.build(),
+        SimConfig::new(n).with_seed(seed),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Outcomes (emissions, drops) are identical across all seven policies,
+    /// and every report is internally consistent.
+    #[test]
+    fn outcomes_policy_independent_and_consistent(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let reference = run(&chains, &gaps, PolicyKind::Fcfs, seed);
+        let per_query_work: u64 = gaps.len() as u64 * chains.len() as u64;
+        prop_assert_eq!(reference.emitted + reference.dropped, per_query_work);
+        for kind in PolicyKind::ALL {
+            let r = run(&chains, &gaps, kind, seed);
+            prop_assert_eq!(r.emitted, reference.emitted, "{}", kind.name());
+            prop_assert_eq!(r.dropped, reference.dropped, "{}", kind.name());
+            prop_assert_eq!(r.qos.count, r.emitted);
+            prop_assert_eq!(r.histogram.total(), r.emitted);
+            if r.emitted > 0 {
+                prop_assert!(r.qos.avg_slowdown >= 1.0 - 1e-9, "{}", kind.name());
+                prop_assert!(r.qos.max_slowdown + 1e-9 >= r.qos.avg_slowdown);
+                prop_assert!(r.qos.l2_slowdown + 1e-9 >= r.qos.max_slowdown);
+            }
+            prop_assert!(r.busy_time <= r.end_time);
+            // Work conservation: the busy time equals the per-tuple costs
+            // actually executed, which is policy-independent too.
+            prop_assert_eq!(
+                r.busy_time,
+                reference.busy_time,
+                "busy time differs under {}",
+                kind.name()
+            );
+        }
+    }
+
+    /// Reruns with the same seed are bit-identical; different seeds change
+    /// the realization (almost surely) but never the invariants.
+    #[test]
+    fn determinism_per_seed(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let a = run(&chains, &gaps, PolicyKind::Bsd, seed);
+        let b = run(&chains, &gaps, PolicyKind::Bsd, seed);
+        prop_assert_eq!(a.qos, b.qos);
+        prop_assert_eq!(a.end_time, b.end_time);
+        prop_assert_eq!(a.sched_points, b.sched_points);
+        prop_assert_eq!(a.sched_ops, b.sched_ops);
+    }
+
+    /// Operator-level scheduling preserves outcomes for join-free plans.
+    #[test]
+    fn operator_level_preserves_outcomes(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+    ) {
+        let plan = build_plan(&chains);
+        let mut t = Nanos::ZERO;
+        let arrivals: Vec<Nanos> = gaps
+            .iter()
+            .map(|&g| {
+                t += Nanos::from_millis(g);
+                t
+            })
+            .collect();
+        let n = arrivals.len() as u64;
+        let mk = |level| {
+            simulate(
+                &plan,
+                &StreamRates::none(),
+                vec![Box::new(TraceReplay::from_arrivals(arrivals.clone()).unwrap())],
+                PolicyKind::Hnr.build(),
+                SimConfig::new(n).with_seed(3).with_level(level),
+            )
+            .unwrap()
+        };
+        let q = mk(hcq_engine::SchedulingLevel::Query);
+        let o = mk(hcq_engine::SchedulingLevel::Operator);
+        prop_assert_eq!(q.emitted, o.emitted);
+        prop_assert_eq!(q.dropped, o.dropped);
+        prop_assert_eq!(q.busy_time, o.busy_time);
+    }
+}

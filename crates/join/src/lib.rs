@@ -1,0 +1,24 @@
+//! Symmetric hash join (SHJ) over time-based sliding windows.
+//!
+//! §5 of the paper evaluates multi-stream continuous queries whose join
+//! operator is the non-blocking, in-memory *symmetric hash join* \[Wilschut &
+//! Apers, PDIS'91\] with the time-window semantics of \[Kang, Naughton &
+//! Viglas, ICDE'03\]: when a tuple `t` arrives on one input, it is
+//!
+//! 1. inserted into its own side's hash table, and
+//! 2. used to probe the other side's table; every tuple there whose join key
+//!    matches and whose timestamp lies within `V` of `t.ts` forms a
+//!    candidate pair.
+//!
+//! [`SymmetricHashJoin`] implements exactly that, with **lazy window
+//! expiration**: each side keeps an insertion-ordered log, and entries older
+//! than the opposite side's processing watermark minus `V` are evicted
+//! before a probe. The join never decides *whether* a candidate pair passes
+//! the join predicate — that is the engine's job (deterministic selectivity
+//! coins) — it only maintains windows and finds key/time matches.
+
+pub mod shj;
+pub mod table;
+
+pub use shj::{JoinItem, Side, SymmetricHashJoin};
+pub use table::WindowHashTable;

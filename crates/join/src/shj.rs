@@ -1,0 +1,275 @@
+//! The symmetric hash join proper.
+
+use hcq_common::Nanos;
+
+use crate::table::WindowHashTable;
+
+/// Items flowing into a join: anything exposing a join key and the
+/// timestamp used by the window predicate.
+pub trait JoinItem {
+    /// The join key (already hashed or raw; the table hashes it again).
+    fn key(&self) -> u64;
+    /// The timestamp compared against the window (arrival time in this
+    /// workspace).
+    fn timestamp(&self) -> Nanos;
+}
+
+/// Which input of the join a tuple arrives on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The left input.
+    Left,
+    /// The right input.
+    Right,
+}
+
+impl Side {
+    /// The opposite side.
+    pub fn other(self) -> Side {
+        match self {
+            Side::Left => Side::Right,
+            Side::Right => Side::Left,
+        }
+    }
+}
+
+/// A non-blocking symmetric hash join with a time-based sliding window.
+#[derive(Debug, Clone)]
+pub struct SymmetricHashJoin<T> {
+    left: WindowHashTable<T>,
+    right: WindowHashTable<T>,
+    window: Nanos,
+}
+
+impl<T: JoinItem + Clone> SymmetricHashJoin<T> {
+    /// A join with window interval `V` (must be positive).
+    pub fn new(window: Nanos) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        SymmetricHashJoin {
+            left: WindowHashTable::new(),
+            right: WindowHashTable::new(),
+            window,
+        }
+    }
+
+    /// Process one arriving tuple: insert it into `side`'s table, expire
+    /// both tables against the new watermark, and return the matching
+    /// partners from the other side (key equality + window predicate
+    /// `|Δts| ≤ V`). The join predicate's selectivity is *not* applied here.
+    ///
+    /// Within one side, calls must be made in non-decreasing timestamp order
+    /// (FIFO stream queues guarantee this); across sides any interleaving is
+    /// fine — that is the point of a *symmetric* join.
+    pub fn insert_probe(&mut self, side: Side, tuple: &T) -> Vec<T> {
+        let ts = tuple.timestamp();
+        let key = tuple.key();
+        match side {
+            Side::Left => self.left.insert(key, ts, tuple.clone()),
+            Side::Right => self.right.insert(key, ts, tuple.clone()),
+        }
+        // Entries in the other table older than ts - V can never match this
+        // tuple nor any later tuple from this side (same-side timestamps are
+        // non-decreasing), so they are dead *for probes from this side*.
+        // They could still match the other side's own probes only if that
+        // side's clock lagged more than V behind — impossible once both
+        // sides have passed the horizon; to stay conservative we expire
+        // against the *minimum* of the two sides' watermarks.
+        let watermark = self.left.newest().min(self.right.newest());
+        let horizon = if watermark >= self.window {
+            watermark - self.window
+        } else {
+            Nanos::ZERO
+        };
+        let lo = if ts >= self.window {
+            ts - self.window
+        } else {
+            Nanos::ZERO
+        };
+        let hi = ts.saturating_add(self.window);
+        let other = match side {
+            Side::Left => &self.right,
+            Side::Right => &self.left,
+        };
+        let matches = other.range(key, lo, hi).map(|(_, v)| v.clone()).collect();
+        self.left.expire_before(horizon);
+        self.right.expire_before(horizon);
+        matches
+    }
+
+    /// Live entries in the left table.
+    pub fn left_len(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Live entries in the right table.
+    pub fn right_len(&self) -> usize {
+        self.right.len()
+    }
+
+    /// The window interval `V`.
+    pub fn window(&self) -> Nanos {
+        self.window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Item {
+        id: u64,
+        key: u64,
+        ts: Nanos,
+    }
+
+    impl JoinItem for Item {
+        fn key(&self) -> u64 {
+            self.key
+        }
+        fn timestamp(&self) -> Nanos {
+            self.ts
+        }
+    }
+
+    fn item(id: u64, key: u64, ts_ms: u64) -> Item {
+        Item {
+            id,
+            key,
+            ts: Nanos::from_millis(ts_ms),
+        }
+    }
+
+    #[test]
+    fn basic_match_within_window() {
+        let mut j = SymmetricHashJoin::new(Nanos::from_millis(100));
+        assert!(j.insert_probe(Side::Left, &item(1, 7, 10)).is_empty());
+        let m = j.insert_probe(Side::Right, &item(2, 7, 50));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].id, 1);
+        // Non-matching key.
+        assert!(j.insert_probe(Side::Right, &item(3, 8, 60)).is_empty());
+        // Left arrival matches both right tuples with key 7? only id=2.
+        let m = j.insert_probe(Side::Left, &item(4, 7, 70));
+        assert_eq!(m.iter().map(|t| t.id).collect::<Vec<_>>(), vec![2]);
+    }
+
+    #[test]
+    fn window_excludes_stale_partners() {
+        let mut j = SymmetricHashJoin::new(Nanos::from_millis(100));
+        j.insert_probe(Side::Left, &item(1, 7, 0));
+        // 150ms later: outside the 100ms window.
+        let m = j.insert_probe(Side::Right, &item(2, 7, 150));
+        assert!(m.is_empty());
+        // Boundary: exactly V apart matches (|Δ| ≤ V).
+        j.insert_probe(Side::Left, &item(3, 9, 200));
+        let m = j.insert_probe(Side::Right, &item(4, 9, 300));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn symmetric_sides_both_probe() {
+        let mut j = SymmetricHashJoin::new(Nanos::from_millis(50));
+        j.insert_probe(Side::Right, &item(1, 1, 10));
+        let m = j.insert_probe(Side::Left, &item(2, 1, 20));
+        assert_eq!(m[0].id, 1);
+    }
+
+    #[test]
+    fn expiration_bounds_memory() {
+        let mut j = SymmetricHashJoin::new(Nanos::from_millis(10));
+        for i in 0..1_000u64 {
+            j.insert_probe(Side::Left, &item(i * 2, i % 5, i * 5));
+            j.insert_probe(Side::Right, &item(i * 2 + 1, i % 5, i * 5 + 1));
+        }
+        // With a 10ms window over 5ms-spaced arrivals, each table holds only
+        // a handful of live tuples once both watermarks advance.
+        assert!(j.left_len() <= 8, "left table grew to {}", j.left_len());
+        assert!(j.right_len() <= 8, "right table grew to {}", j.right_len());
+    }
+
+    #[test]
+    fn lagging_side_still_finds_matches() {
+        // The right side is processed much later (scheduler starvation);
+        // the left table must retain partners until the right watermark
+        // catches up, because expiration uses min(watermarks).
+        let mut j = SymmetricHashJoin::new(Nanos::from_millis(100));
+        for i in 0..50u64 {
+            j.insert_probe(Side::Left, &item(i, 1, i * 10));
+        }
+        // Right tuple with ts=0 arrives after left has advanced to 490ms.
+        let m = j.insert_probe(Side::Right, &item(1000, 1, 0));
+        // Partners within [0-100, 0+100] = left ts 0..=100 -> ids 0..=10.
+        assert_eq!(m.len(), 11);
+    }
+
+    /// Reference O(n²) nested-loops implementation of the windowed join.
+    fn naive_join(events: &[(Side, Item)], window: Nanos) -> Vec<(u64, u64)> {
+        let mut pairs = Vec::new();
+        for (i, (side_a, a)) in events.iter().enumerate() {
+            for (side_b, b) in &events[..i] {
+                if side_a != side_b
+                    && a.key == b.key
+                    && a.ts.max(b.ts) - a.ts.min(b.ts) <= window
+                {
+                    pairs.push((a.id.min(b.id), a.id.max(b.id)));
+                }
+            }
+        }
+        pairs.sort_unstable();
+        pairs
+    }
+
+    proptest! {
+        /// SHJ produces exactly the pairs the naive nested-loops join does,
+        /// for any interleaving with per-side non-decreasing timestamps.
+        #[test]
+        fn matches_naive_reference(
+            raw in proptest::collection::vec((any::<bool>(), 0u64..4, 0u64..40), 1..120)
+        ) {
+            let window = Nanos::from_millis(15);
+            // Build per-side monotone timestamps by sorting each side's gaps.
+            let mut left_ts = 0u64;
+            let mut right_ts = 0u64;
+            let mut events = Vec::new();
+            for (i, &(is_left, key, gap)) in raw.iter().enumerate() {
+                let side = if is_left { Side::Left } else { Side::Right };
+                let ts = match side {
+                    Side::Left => { left_ts += gap; left_ts }
+                    Side::Right => { right_ts += gap; right_ts }
+                };
+                events.push((side, item(i as u64, key, ts)));
+            }
+            let mut j = SymmetricHashJoin::new(window);
+            let mut got = Vec::new();
+            for (side, it) in &events {
+                for m in j.insert_probe(*side, it) {
+                    got.push((m.id.min(it.id), m.id.max(it.id)));
+                }
+            }
+            got.sort_unstable();
+            prop_assert_eq!(got, naive_join(&events, window));
+        }
+
+        /// Memory never exceeds the number of tuples inside the live window
+        /// of the slower side.
+        #[test]
+        fn table_sizes_bounded_by_window_population(
+            gaps in proptest::collection::vec(1u64..20, 10..200)
+        ) {
+            let window = Nanos::from_millis(30);
+            let mut j: SymmetricHashJoin<Item> = SymmetricHashJoin::new(window);
+            let mut ts = 0u64;
+            for (i, &gap) in gaps.iter().enumerate() {
+                ts += gap;
+                let side = if i % 2 == 0 { Side::Left } else { Side::Right };
+                j.insert_probe(side, &item(i as u64, 0, ts));
+                // Alternating sides keep both watermarks within one gap of
+                // each other, so each table holds at most the tuples of the
+                // last window+max_gap milliseconds: ≤ (30+20)/1 per side.
+                prop_assert!(j.left_len() + j.right_len() <= 110);
+            }
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! One side of a symmetric hash join: a hash table with window expiration.
+
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+
+use hcq_common::Nanos;
+
+/// A hash table over join keys whose entries expire once they fall out of
+/// the sliding window.
+///
+/// Entries must be inserted in non-decreasing timestamp order (stream queues
+/// are FIFO, so a stream's tuples reach its join in arrival order — the
+/// engine upholds this). That invariant makes both the global expiration log
+/// and every per-key bucket timestamp-ordered, so eviction is O(evicted).
+#[derive(Debug, Clone)]
+pub struct WindowHashTable<T> {
+    buckets: HashMap<u64, VecDeque<(Nanos, T)>>,
+    /// Global insertion log `(timestamp, key)` for lazy eviction.
+    log: VecDeque<(Nanos, u64)>,
+    newest: Nanos,
+}
+
+impl<T> Default for WindowHashTable<T> {
+    fn default() -> Self {
+        WindowHashTable {
+            buckets: HashMap::new(),
+            log: VecDeque::new(),
+            newest: Nanos::ZERO,
+        }
+    }
+}
+
+impl<T> WindowHashTable<T> {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert an entry. Timestamps must be non-decreasing across calls.
+    pub fn insert(&mut self, key: u64, timestamp: Nanos, value: T) {
+        debug_assert!(
+            timestamp >= self.newest,
+            "out-of-order insert: {timestamp} after {}",
+            self.newest
+        );
+        self.newest = timestamp;
+        self.buckets
+            .entry(key)
+            .or_default()
+            .push_back((timestamp, value));
+        self.log.push_back((timestamp, key));
+    }
+
+    /// Evict every entry with `timestamp < horizon`.
+    pub fn expire_before(&mut self, horizon: Nanos) {
+        while let Some(&(ts, key)) = self.log.front() {
+            if ts >= horizon {
+                break;
+            }
+            self.log.pop_front();
+            if let Entry::Occupied(mut bucket) = self.buckets.entry(key) {
+                let q = bucket.get_mut();
+                let popped = q.pop_front();
+                debug_assert!(matches!(popped, Some((t, _)) if t == ts));
+                if q.is_empty() {
+                    bucket.remove();
+                }
+            } else {
+                debug_assert!(false, "expiration log out of sync with buckets");
+            }
+        }
+    }
+
+    /// Iterate over entries with the given key whose timestamps lie in
+    /// `[lo, hi]`.
+    pub fn range(&self, key: u64, lo: Nanos, hi: Nanos) -> impl Iterator<Item = (Nanos, &T)> {
+        self.buckets
+            .get(&key)
+            .into_iter()
+            .flatten()
+            .skip_while(move |&&(ts, _)| ts < lo)
+            .take_while(move |&&(ts, _)| ts <= hi)
+            .map(|&(ts, ref v)| (ts, v))
+    }
+
+    /// Current number of live entries.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Timestamp of the newest entry ever inserted.
+    pub fn newest(&self) -> Nanos {
+        self.newest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn insert_and_range() {
+        let mut t = WindowHashTable::new();
+        t.insert(1, ms(10), "a");
+        t.insert(2, ms(20), "b");
+        t.insert(1, ms(30), "c");
+        assert_eq!(t.len(), 3);
+        let hits: Vec<_> = t.range(1, ms(0), ms(100)).map(|(_, v)| *v).collect();
+        assert_eq!(hits, vec!["a", "c"]);
+        let hits: Vec<_> = t.range(1, ms(15), ms(100)).map(|(_, v)| *v).collect();
+        assert_eq!(hits, vec!["c"]);
+        let hits: Vec<_> = t.range(1, ms(0), ms(15)).map(|(_, v)| *v).collect();
+        assert_eq!(hits, vec!["a"]);
+        assert!(t.range(9, ms(0), ms(100)).next().is_none());
+    }
+
+    #[test]
+    fn expiration_evicts_in_order() {
+        let mut t = WindowHashTable::new();
+        for i in 1..=10u64 {
+            t.insert(i % 3, ms(i * 10), i);
+        }
+        t.expire_before(ms(55));
+        assert_eq!(t.len(), 5); // entries at 60..=100 remain
+        assert!(t.range(1, Nanos::ZERO, ms(1000)).all(|(ts, _)| ts >= ms(55)));
+        t.expire_before(ms(10_000));
+        assert!(t.is_empty());
+        // idempotent
+        t.expire_before(ms(10_000));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn expire_keeps_boundary_entry() {
+        let mut t = WindowHashTable::new();
+        t.insert(1, ms(100), ());
+        t.expire_before(ms(100));
+        assert_eq!(t.len(), 1, "entry at the horizon survives (strict <)");
+        t.expire_before(ms(101));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn equal_timestamps_allowed() {
+        let mut t = WindowHashTable::new();
+        t.insert(1, ms(5), "x");
+        t.insert(1, ms(5), "y");
+        let hits: Vec<_> = t.range(1, ms(5), ms(5)).map(|(_, v)| *v).collect();
+        assert_eq!(hits, vec!["x", "y"]);
+        assert_eq!(t.newest(), ms(5));
+    }
+}

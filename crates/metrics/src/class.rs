@@ -1,0 +1,147 @@
+//! Per-class QoS breakdown (Figure 11).
+//!
+//! The paper defines a query class by the cost class and selectivity of its
+//! operators and studies how each policy treats each class — revealing, for
+//! example, HR's unfairness to low-selectivity low-cost queries. This module
+//! keys a [`QosAccumulator`] per [`QueryTag`].
+
+use std::collections::BTreeMap;
+
+use hcq_common::Nanos;
+use hcq_plan::QueryTag;
+
+use crate::accumulator::{QosAccumulator, QosSummary};
+
+/// Sortable key form of a [`QueryTag`].
+type Key = (u8, u8); // (cost_class, selectivity_bucket)
+
+/// Per-class metric accumulators.
+#[derive(Debug, Clone, Default)]
+pub struct ClassBreakdown {
+    classes: BTreeMap<Key, QosAccumulator>,
+}
+
+impl ClassBreakdown {
+    /// An empty breakdown.
+    pub fn new() -> Self {
+        ClassBreakdown::default()
+    }
+
+    /// Record an emission for a query with tag `tag`.
+    pub fn record(&mut self, tag: QueryTag, response: Nanos, slowdown: f64) {
+        self.classes
+            .entry((tag.cost_class, tag.selectivity_bucket))
+            .or_default()
+            .record(response, slowdown);
+    }
+
+    /// Summaries in (cost_class, selectivity_bucket) order.
+    pub fn summaries(&self) -> Vec<(QueryTag, QosSummary)> {
+        self.classes
+            .iter()
+            .map(|(&(cost_class, selectivity_bucket), acc)| {
+                (
+                    QueryTag {
+                        cost_class,
+                        selectivity_bucket,
+                    },
+                    acc.summary(),
+                )
+            })
+            .collect()
+    }
+
+    /// Summaries restricted to one cost class, ordered by selectivity bucket
+    /// — exactly the Figure 11 slice ("low-cost queries, varying
+    /// selectivity").
+    pub fn by_cost_class(&self, cost_class: u8) -> Vec<(u8, QosSummary)> {
+        self.classes
+            .range((cost_class, 0)..=(cost_class, u8::MAX))
+            .map(|(&(_, bucket), acc)| (bucket, acc.summary()))
+            .collect()
+    }
+
+    /// Total over all classes.
+    pub fn overall(&self) -> QosSummary {
+        let mut total = QosAccumulator::new();
+        for acc in self.classes.values() {
+            total.merge(acc);
+        }
+        total.summary()
+    }
+
+    /// Number of distinct classes seen.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(c: u8, s: u8) -> QueryTag {
+        QueryTag {
+            cost_class: c,
+            selectivity_bucket: s,
+        }
+    }
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn classes_are_separated() {
+        let mut b = ClassBreakdown::new();
+        b.record(tag(0, 1), ms(10), 2.0);
+        b.record(tag(0, 1), ms(20), 4.0);
+        b.record(tag(2, 5), ms(30), 10.0);
+        assert_eq!(b.class_count(), 2);
+        let sums = b.summaries();
+        assert_eq!(sums[0].0, tag(0, 1));
+        assert_eq!(sums[0].1.count, 2);
+        assert!((sums[0].1.avg_slowdown - 3.0).abs() < 1e-12);
+        assert_eq!(sums[1].0, tag(2, 5));
+        assert_eq!(sums[1].1.count, 1);
+    }
+
+    #[test]
+    fn cost_class_slice_ordered_by_bucket() {
+        let mut b = ClassBreakdown::new();
+        b.record(tag(0, 9), ms(1), 9.0);
+        b.record(tag(0, 2), ms(1), 2.0);
+        b.record(tag(1, 0), ms(1), 1.0);
+        b.record(tag(0, 5), ms(1), 5.0);
+        let slice = b.by_cost_class(0);
+        assert_eq!(
+            slice.iter().map(|(b, _)| *b).collect::<Vec<_>>(),
+            vec![2, 5, 9]
+        );
+        assert!(slice.iter().all(|(_, s)| s.count == 1));
+    }
+
+    #[test]
+    fn overall_matches_flat_accumulation() {
+        let mut b = ClassBreakdown::new();
+        let mut flat = QosAccumulator::new();
+        for i in 0..20u64 {
+            let t = tag((i % 3) as u8, (i % 7) as u8);
+            b.record(t, ms(i + 1), i as f64);
+            flat.record(ms(i + 1), i as f64);
+        }
+        let (o, f) = (b.overall(), flat.summary());
+        assert_eq!(o.count, f.count);
+        assert!((o.avg_slowdown - f.avg_slowdown).abs() < 1e-12);
+        assert!((o.l2_slowdown - f.l2_slowdown).abs() < 1e-9);
+        assert_eq!(o.max_slowdown, f.max_slowdown);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let b = ClassBreakdown::new();
+        assert_eq!(b.class_count(), 0);
+        assert_eq!(b.overall().count, 0);
+        assert!(b.by_cost_class(0).is_empty());
+    }
+}

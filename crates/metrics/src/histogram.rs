@@ -1,0 +1,184 @@
+//! Log-bucketed slowdown histogram.
+//!
+//! Slowdowns under load are heavy-tailed — exactly why the paper contrasts
+//! average against maximum and ℓ2. A logarithmic histogram captures the
+//! whole distribution cheaply (one counter increment per record) and
+//! supports quantile estimates for reporting beyond the paper's headline
+//! metrics.
+
+/// Histogram over `[1, ∞)` with logarithmic buckets.
+///
+/// Bucket `i` covers slowdowns in `[base^i, base^(i+1))`; slowdowns below 1
+/// (possible only for composite tuples measured against generous ideals,
+/// and clamped here) land in bucket 0.
+#[derive(Debug, Clone)]
+pub struct SlowdownHistogram {
+    base: f64,
+    ln_base: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl SlowdownHistogram {
+    /// Create a histogram with the given bucket growth factor (must exceed
+    /// 1; 2.0 gives power-of-two buckets).
+    pub fn new(base: f64) -> Self {
+        assert!(base > 1.0, "histogram base must exceed 1");
+        SlowdownHistogram {
+            base,
+            ln_base: base.ln(),
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Record one slowdown observation.
+    pub fn record(&mut self, slowdown: f64) {
+        let bucket = self.bucket_of(slowdown);
+        if self.counts.len() <= bucket {
+            self.counts.resize(bucket + 1, 0);
+        }
+        self.counts[bucket] += 1;
+        self.total += 1;
+    }
+
+    fn bucket_of(&self, slowdown: f64) -> usize {
+        if !slowdown.is_finite() || slowdown <= 1.0 {
+            return 0;
+        }
+        (slowdown.ln() / self.ln_base).floor() as usize
+    }
+
+    /// Lower edge of bucket `i`.
+    pub fn bucket_low(&self, i: usize) -> f64 {
+        self.base.powi(i as i32)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Non-empty `(bucket_low, count)` pairs in ascending slowdown order.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.bucket_low(i), c))
+            .collect()
+    }
+
+    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) as the lower edge of the bucket
+    /// containing it. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return self.bucket_low(i);
+            }
+        }
+        self.bucket_low(self.counts.len().saturating_sub(1))
+    }
+}
+
+impl Default for SlowdownHistogram {
+    fn default() -> Self {
+        SlowdownHistogram::new(2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn buckets_are_log_spaced() {
+        let mut h = SlowdownHistogram::new(2.0);
+        for &v in &[1.0, 1.5, 2.0, 3.9, 4.0, 100.0] {
+            h.record(v);
+        }
+        // [1,2): 1.0,1.5 -> 2; [2,4): 2.0,3.9 -> 2; [4,8): 4.0 -> 1; [64,128): 100 -> 1
+        let buckets = h.buckets();
+        assert_eq!(buckets[0], (1.0, 2));
+        assert_eq!(buckets[1], (2.0, 2));
+        assert_eq!(buckets[2], (4.0, 1));
+        assert_eq!(*buckets.last().unwrap(), (64.0, 1));
+        assert_eq!(h.total(), 6);
+    }
+
+    #[test]
+    fn sub_one_values_clamp_to_first_bucket() {
+        let mut h = SlowdownHistogram::default();
+        h.record(0.2);
+        h.record(f64::NAN);
+        assert_eq!(h.buckets(), vec![(1.0, 2)]);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let mut h = SlowdownHistogram::new(2.0);
+        for i in 1..=100 {
+            h.record(i as f64);
+        }
+        assert_eq!(h.quantile(0.0), 1.0);
+        // median of 1..=100 is 50, which lies in [32,64)
+        assert_eq!(h.quantile(0.5), 32.0);
+        // p99 = 99 lies in [64,128)
+        assert_eq!(h.quantile(0.99), 64.0);
+        assert_eq!(h.quantile(1.0), 64.0);
+    }
+
+    #[test]
+    fn empty_quantile_is_zero() {
+        assert_eq!(SlowdownHistogram::default().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "base must exceed")]
+    fn rejects_base_one() {
+        let _ = SlowdownHistogram::new(1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn bucket_contains_value(v in 1.0f64..1e12, base in 1.1f64..10.0) {
+            let h = SlowdownHistogram::new(base);
+            let b = h.bucket_of(v);
+            let lo = h.bucket_low(b);
+            let hi = h.bucket_low(b + 1);
+            // Floating-point edge: value may sit exactly on a boundary.
+            prop_assert!(lo <= v * (1.0 + 1e-12));
+            prop_assert!(v < hi * (1.0 + 1e-12));
+        }
+
+        #[test]
+        fn total_counts_everything(values in proptest::collection::vec(0.5f64..1e6, 0..300)) {
+            let mut h = SlowdownHistogram::default();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.total(), values.len() as u64);
+            let bucket_total: u64 = h.buckets().iter().map(|&(_, c)| c).sum();
+            prop_assert_eq!(bucket_total, values.len() as u64);
+        }
+
+        #[test]
+        fn quantile_is_monotone(values in proptest::collection::vec(1.0f64..1e6, 1..200)) {
+            let mut h = SlowdownHistogram::default();
+            for &v in &values {
+                h.record(v);
+            }
+            let qs = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99];
+            for w in qs.windows(2) {
+                prop_assert!(h.quantile(w[0]) <= h.quantile(w[1]));
+            }
+        }
+    }
+}

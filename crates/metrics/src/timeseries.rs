@@ -1,0 +1,123 @@
+//! Windowed QoS time series.
+//!
+//! The headline metrics aggregate a whole run; under bursty arrivals the
+//! *trajectory* matters too — backlogs build during ON periods and drain
+//! during OFF periods, and policies differ most at the burst peaks. A
+//! [`QosTimeSeries`] buckets emissions into fixed virtual-time windows and
+//! reports one [`QosSummary`] per window.
+
+use hcq_common::Nanos;
+
+use crate::accumulator::{QosAccumulator, QosSummary};
+
+/// Per-window QoS aggregation over virtual time.
+#[derive(Debug, Clone)]
+pub struct QosTimeSeries {
+    window: Nanos,
+    buckets: Vec<QosAccumulator>,
+}
+
+impl QosTimeSeries {
+    /// Aggregate into windows of the given width (must be positive).
+    pub fn new(window: Nanos) -> Self {
+        assert!(!window.is_zero(), "window must be positive");
+        QosTimeSeries {
+            window,
+            buckets: Vec::new(),
+        }
+    }
+
+    /// Record an emission that departed at `at`.
+    pub fn record(&mut self, at: Nanos, response: Nanos, slowdown: f64) {
+        let idx = (at.as_nanos() / self.window.as_nanos()) as usize;
+        if self.buckets.len() <= idx {
+            self.buckets.resize_with(idx + 1, QosAccumulator::new);
+        }
+        self.buckets[idx].record(response, slowdown);
+    }
+
+    /// The window width.
+    pub fn window(&self) -> Nanos {
+        self.window
+    }
+
+    /// Number of windows spanned so far (including empty ones).
+    pub fn len(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.is_empty()
+    }
+
+    /// `(window start, summary)` for every window, including empty ones
+    /// (count 0) so plots keep their time axis.
+    pub fn series(&self) -> Vec<(Nanos, QosSummary)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .map(|(i, acc)| (self.window * i as u64, acc.summary()))
+            .collect()
+    }
+
+    /// The window with the worst average slowdown, if any emissions exist.
+    pub fn worst_window(&self) -> Option<(Nanos, QosSummary)> {
+        self.series()
+            .into_iter()
+            .filter(|(_, s)| s.count > 0)
+            .max_by(|a, b| a.1.avg_slowdown.total_cmp(&b.1.avg_slowdown))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn buckets_by_departure_time() {
+        let mut ts = QosTimeSeries::new(ms(10));
+        ts.record(ms(1), ms(1), 1.0);
+        ts.record(ms(9), ms(2), 3.0);
+        ts.record(ms(10), ms(3), 5.0); // next window
+        ts.record(ms(35), ms(4), 7.0); // window 3, leaving window 2 empty
+        assert_eq!(ts.len(), 4);
+        let series = ts.series();
+        assert_eq!(series[0].1.count, 2);
+        assert!((series[0].1.avg_slowdown - 2.0).abs() < 1e-12);
+        assert_eq!(series[1].1.count, 1);
+        assert_eq!(series[2].1.count, 0);
+        assert_eq!(series[3].1.count, 1);
+        assert_eq!(series[3].0, ms(30));
+    }
+
+    #[test]
+    fn worst_window_found() {
+        let mut ts = QosTimeSeries::new(ms(10));
+        ts.record(ms(5), ms(1), 2.0);
+        ts.record(ms(15), ms(1), 9.0);
+        ts.record(ms(25), ms(1), 4.0);
+        let (start, worst) = ts.worst_window().unwrap();
+        assert_eq!(start, ms(10));
+        assert!((worst.avg_slowdown - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series() {
+        let ts = QosTimeSeries::new(ms(1));
+        assert!(ts.is_empty());
+        assert!(ts.worst_window().is_none());
+        assert!(ts.series().is_empty());
+        assert_eq!(ts.window(), ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_window_rejected() {
+        let _ = QosTimeSeries::new(Nanos::ZERO);
+    }
+}

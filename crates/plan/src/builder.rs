@@ -1,0 +1,186 @@
+//! Ergonomic query construction.
+//!
+//! ```
+//! use hcq_plan::QueryBuilder;
+//! use hcq_common::{Nanos, StreamId};
+//!
+//! // A single-stream select–join–project query (the §8 workload shape).
+//! let q = QueryBuilder::on(StreamId::new(0))
+//!     .select(Nanos::from_millis(1), 0.5)
+//!     .stored_join(Nanos::from_millis(1), 0.5)
+//!     .project(Nanos::from_millis(1))
+//!     .build()
+//!     .unwrap();
+//! assert!(q.is_single_stream());
+//!
+//! // A two-stream window-join query (Figure 3 shape).
+//! let left = QueryBuilder::on(StreamId::new(0)).select(Nanos::from_millis(1), 0.8);
+//! let right = QueryBuilder::on(StreamId::new(1)).select(Nanos::from_millis(1), 0.6);
+//! let q = left
+//!     .window_join(right, Nanos::from_millis(2), 0.1, Nanos::from_secs(5))
+//!     .project(Nanos::from_millis(1))
+//!     .build()
+//!     .unwrap();
+//! assert_eq!(q.leaf_count(), 2);
+//! ```
+
+use hcq_common::{Nanos, Result, StreamId};
+
+use crate::node::PlanNode;
+use crate::operator::{JoinSpec, OpKind, OperatorSpec};
+use crate::query::{QueryPlan, QueryTag};
+
+/// Fluent builder for [`QueryPlan`]s.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    node: PlanNode,
+    tag: QueryTag,
+}
+
+impl QueryBuilder {
+    /// Start a plan reading from `stream`.
+    pub fn on(stream: StreamId) -> Self {
+        QueryBuilder {
+            node: PlanNode::Leaf {
+                stream,
+                ops: Vec::new(),
+            },
+            tag: QueryTag::default(),
+        }
+    }
+
+    /// Append an operator to the current (topmost) chain.
+    pub fn op(mut self, spec: OperatorSpec) -> Self {
+        match &mut self.node {
+            PlanNode::Leaf { ops, .. } | PlanNode::Join { ops, .. } => ops.push(spec),
+        }
+        self
+    }
+
+    /// Append a select operator.
+    pub fn select(self, cost: Nanos, selectivity: f64) -> Self {
+        self.op(OperatorSpec::new(OpKind::Select, cost, selectivity))
+    }
+
+    /// Append a project operator.
+    pub fn project(self, cost: Nanos) -> Self {
+        self.op(OperatorSpec::new(OpKind::Project, cost, 1.0))
+    }
+
+    /// Append a stored-relation join operator.
+    pub fn stored_join(self, cost: Nanos, selectivity: f64) -> Self {
+        self.op(OperatorSpec::new(OpKind::StoredJoin, cost, selectivity))
+    }
+
+    /// Append a generic map/filter operator.
+    pub fn map(self, cost: Nanos, selectivity: f64) -> Self {
+        self.op(OperatorSpec::new(OpKind::Map, cost, selectivity))
+    }
+
+    /// Combine this plan (left input) with `right` under a time-based
+    /// sliding-window join; subsequent operators apply to composite tuples.
+    pub fn window_join(
+        self,
+        right: QueryBuilder,
+        cost: Nanos,
+        selectivity: f64,
+        window: Nanos,
+    ) -> Self {
+        QueryBuilder {
+            node: PlanNode::Join {
+                left: Box::new(self.node),
+                right: Box::new(right.node),
+                join: JoinSpec::new(cost, selectivity, window),
+                ops: Vec::new(),
+            },
+            tag: self.tag,
+        }
+    }
+
+    /// Attach a workload-classification tag (per-class metrics, Figure 11).
+    pub fn tag(mut self, tag: QueryTag) -> Self {
+        self.tag = tag;
+        self
+    }
+
+    /// Validate and produce the query plan.
+    pub fn build(self) -> Result<QueryPlan> {
+        QueryPlan::with_tag(self.node, self.tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn builds_sjp_chain() {
+        let q = QueryBuilder::on(StreamId::new(3))
+            .select(ms(1), 0.4)
+            .stored_join(ms(1), 0.4)
+            .project(ms(1))
+            .build()
+            .unwrap();
+        assert!(q.is_single_stream());
+        assert_eq!(q.operator_count(), 3);
+        assert_eq!(q.leaf_streams(), vec![StreamId::new(3)]);
+    }
+
+    #[test]
+    fn builds_window_join() {
+        let q = QueryBuilder::on(StreamId::new(0))
+            .select(ms(1), 0.5)
+            .window_join(
+                QueryBuilder::on(StreamId::new(1)).select(ms(1), 0.5),
+                ms(2),
+                0.2,
+                Nanos::from_secs(5),
+            )
+            .project(ms(1))
+            .build()
+            .unwrap();
+        assert_eq!(q.leaf_count(), 2);
+        assert_eq!(q.operator_count(), 4);
+    }
+
+    #[test]
+    fn empty_single_stream_rejected() {
+        assert!(QueryBuilder::on(StreamId::new(0)).build().is_err());
+    }
+
+    #[test]
+    fn tag_is_attached() {
+        let tag = QueryTag {
+            cost_class: 3,
+            selectivity_bucket: 7,
+        };
+        let q = QueryBuilder::on(StreamId::new(0))
+            .select(ms(1), 0.75)
+            .tag(tag)
+            .build()
+            .unwrap();
+        assert_eq!(q.tag, tag);
+    }
+
+    #[test]
+    fn ops_after_join_apply_to_common_segment() {
+        let q = QueryBuilder::on(StreamId::new(0))
+            .window_join(
+                QueryBuilder::on(StreamId::new(1)),
+                ms(2),
+                0.2,
+                Nanos::from_secs(1),
+            )
+            .select(ms(1), 0.9)
+            .build()
+            .unwrap();
+        match &q.root {
+            PlanNode::Join { ops, .. } => assert_eq!(ops.len(), 1),
+            _ => panic!("expected join root"),
+        }
+    }
+}

@@ -1,0 +1,417 @@
+//! Flattened (compiled) query plans.
+//!
+//! The tree form ([`crate::PlanNode`]) is convenient to build and validate;
+//! execution and statistics want a flat array of operators with explicit
+//! downstream wiring. Compilation performs a post-order walk, so **every
+//! operator's downstream has a strictly greater index** — forward passes in
+//! index order are topological, backward passes reverse-topological. Several
+//! invariants in this module and `stats` rely on that ordering.
+
+use hcq_common::StreamId;
+
+use crate::node::{LeafIndex, PlanNode};
+use crate::operator::{JoinSpec, OperatorSpec};
+use crate::query::QueryPlan;
+
+/// Which input port of a downstream operator a tuple flows into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Port {
+    /// The only input of a unary operator.
+    Single,
+    /// Left input of a window join.
+    Left,
+    /// Right input of a window join.
+    Right,
+}
+
+/// A compiled operator: its spec plus downstream wiring.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledOp {
+    /// The operator's behaviour and parameters.
+    pub kind: CompiledOpKind,
+    /// Where output tuples go: `(local op index, port)`, or `None` for the
+    /// query root (tuples are emitted to the user).
+    pub downstream: Option<(usize, Port)>,
+}
+
+/// Compiled operator behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompiledOpKind {
+    /// A unary operator.
+    Unary(OperatorSpec),
+    /// A sliding-window join.
+    Join(JoinSpec),
+}
+
+impl CompiledOp {
+    /// Processing cost per input tuple.
+    pub fn cost(&self) -> hcq_common::Nanos {
+        match &self.kind {
+            CompiledOpKind::Unary(op) => op.cost,
+            CompiledOpKind::Join(j) => j.cost,
+        }
+    }
+
+    /// True for window joins.
+    pub fn is_join(&self) -> bool {
+        matches!(self.kind, CompiledOpKind::Join(_))
+    }
+}
+
+/// A compiled leaf: where tuples from a stream enter the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompiledLeaf {
+    /// The feeding stream.
+    pub stream: StreamId,
+    /// Entry point: the first operator on the leaf's path and the port on
+    /// which the tuple arrives (a join port when the leaf chain is empty).
+    pub entry: (usize, Port),
+}
+
+/// A query plan flattened for execution and statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledQuery {
+    /// Operators in reverse-topological construction order (downstream
+    /// indices strictly increase along any path).
+    pub ops: Vec<CompiledOp>,
+    /// Entry points, in left-to-right leaf order (matching
+    /// [`PlanNode::leaf_streams`]).
+    pub leaves: Vec<CompiledLeaf>,
+}
+
+impl CompiledQuery {
+    /// Flatten a query plan.
+    pub fn compile(plan: &QueryPlan) -> Self {
+        let mut ops = Vec::with_capacity(plan.operator_count());
+        let mut leaves = Vec::with_capacity(plan.leaf_count());
+        let exit = flatten(&plan.root, &mut ops, &mut leaves);
+        debug_assert!(
+            exit.is_some() || ops.is_empty(),
+            "non-empty plan must have an exit operator"
+        );
+        // Resolve leaves whose entry could not be known during recursion
+        // (empty leaf chains get wired by their parent join inside
+        // `flatten`), then sanity-check wiring.
+        debug_assert!(leaves.iter().all(|l| l.entry.0 < ops.len()));
+        CompiledQuery { ops, leaves }
+    }
+
+    /// The leaf entry for a given leaf index.
+    pub fn leaf(&self, leaf: LeafIndex) -> &CompiledLeaf {
+        &self.leaves[leaf.index()]
+    }
+
+    /// Ideal total processing time `T_k` (Definition 3 / Definition 6):
+    /// every unary operator's cost once, every join operator's cost twice
+    /// (once for each constituent tuple's hash/insert/probe work).
+    pub fn ideal_time(&self) -> hcq_common::Nanos {
+        self.ops
+            .iter()
+            .map(|op| match &op.kind {
+                CompiledOpKind::Unary(u) => u.cost,
+                CompiledOpKind::Join(j) => j.cost * 2,
+            })
+            .sum()
+    }
+
+    /// Ideal "alone" latency for a tuple entering at `leaf`: the virtual time
+    /// it takes the tuple's own work to reach the root in an otherwise empty
+    /// system, assuming each join partner is already in the opposite hash
+    /// table. Unary operators on the path cost `c` each; each join on the
+    /// path costs `c_J` **once** — this constituent's own hash/insert/probe
+    /// (the partner's `c_J` happened on the partner's path, which is why
+    /// `T_k` counts each join twice but a single path does not).
+    ///
+    /// The §5.1.2 ideal departure of a composite tuple is then
+    /// `D_ideal = max over constituents (A_i + alone_cost(leaf_i))`, and
+    /// `H = 1 + (D_actual − D_ideal)/T_k ≥ 1` always, because every
+    /// constituent's path work must happen after that constituent arrives.
+    /// For a single-stream query `alone_cost = T_k`, which collapses the
+    /// composite formula to the plain Definition 2 slowdown `R/T`.
+    pub fn alone_cost(&self, leaf: LeafIndex) -> hcq_common::Nanos {
+        let mut cost = hcq_common::Nanos::ZERO;
+        let mut cursor = Some(self.leaves[leaf.index()].entry);
+        while let Some((idx, _port)) = cursor {
+            let op = &self.ops[idx];
+            cost += op.cost();
+            cursor = op.downstream;
+        }
+        cost
+    }
+
+    /// Iterate over the operator indices on the path from `leaf` to the root
+    /// (inclusive), in flow order.
+    pub fn path(&self, leaf: LeafIndex) -> impl Iterator<Item = usize> + '_ {
+        let mut cursor = Some(self.leaves[leaf.index()].entry);
+        std::iter::from_fn(move || {
+            let (idx, _) = cursor?;
+            cursor = self.ops[idx].downstream;
+            Some(idx)
+        })
+    }
+
+    /// Indices of all join operators.
+    pub fn join_indices(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, op)| op.is_join())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Post-order flattening. Returns the index of the subtree's exit operator
+/// (the operator producing the subtree's output), or `None` for an empty
+/// leaf chain (raw stream).
+fn flatten(
+    node: &PlanNode,
+    ops: &mut Vec<CompiledOp>,
+    leaves: &mut Vec<CompiledLeaf>,
+) -> Option<usize> {
+    match node {
+        PlanNode::Leaf { stream, ops: chain } => {
+            if chain.is_empty() {
+                // Raw stream feeding a parent join; the parent resolves the
+                // leaf's entry when it knows its own index. Push a sentinel
+                // the parent will overwrite (entry index 0 is a placeholder).
+                leaves.push(CompiledLeaf {
+                    stream: *stream,
+                    entry: (usize::MAX, Port::Single),
+                });
+                return None;
+            }
+            let first = ops.len();
+            for (i, spec) in chain.iter().enumerate() {
+                ops.push(CompiledOp {
+                    kind: CompiledOpKind::Unary(spec.clone()),
+                    downstream: if i + 1 < chain.len() {
+                        Some((first + i + 1, Port::Single))
+                    } else {
+                        None // wired by parent (or stays root)
+                    },
+                });
+            }
+            leaves.push(CompiledLeaf {
+                stream: *stream,
+                entry: (first, Port::Single),
+            });
+            Some(ops.len() - 1)
+        }
+        PlanNode::Join {
+            left,
+            right,
+            join,
+            ops: common,
+        } => {
+            let left_leaf_start = leaves.len();
+            let left_exit = flatten(left, ops, leaves);
+            let right_leaf_start = leaves.len();
+            let right_exit = flatten(right, ops, leaves);
+            let join_idx = ops.len();
+            ops.push(CompiledOp {
+                kind: CompiledOpKind::Join(join.clone()),
+                downstream: None,
+            });
+            // Wire children into the join's ports.
+            wire(
+                ops,
+                leaves,
+                left_exit,
+                left_leaf_start,
+                (join_idx, Port::Left),
+            );
+            wire(
+                ops,
+                leaves,
+                right_exit,
+                right_leaf_start,
+                (join_idx, Port::Right),
+            );
+            // Common segment.
+            let mut exit = join_idx;
+            for spec in common {
+                let idx = ops.len();
+                ops.push(CompiledOp {
+                    kind: CompiledOpKind::Unary(spec.clone()),
+                    downstream: None,
+                });
+                ops[exit].downstream = Some((idx, Port::Single));
+                exit = idx;
+            }
+            Some(exit)
+        }
+    }
+}
+
+/// Connect a child subtree's output to `target`: either by wiring its exit
+/// operator's downstream, or — for a raw-stream leaf — by resolving the
+/// pending leaf entry.
+fn wire(
+    ops: &mut [CompiledOp],
+    leaves: &mut [CompiledLeaf],
+    exit: Option<usize>,
+    leaf_start: usize,
+    target: (usize, Port),
+) {
+    match exit {
+        Some(e) => ops[e].downstream = Some(target),
+        None => {
+            // The child was an empty leaf chain; it pushed exactly one
+            // pending leaf at `leaf_start`.
+            debug_assert_eq!(leaves[leaf_start].entry.0, usize::MAX);
+            leaves[leaf_start].entry = target;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcq_common::Nanos;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    fn single(n_ops: usize) -> QueryPlan {
+        QueryPlan::new(PlanNode::Leaf {
+            stream: StreamId::new(0),
+            ops: (0..n_ops)
+                .map(|i| OperatorSpec::select(ms(i as u64 + 1), 0.5))
+                .collect(),
+        })
+        .unwrap()
+    }
+
+    fn two_stream(left_ops: usize, right_ops: usize, common: usize) -> QueryPlan {
+        QueryPlan::new(PlanNode::Join {
+            left: Box::new(PlanNode::Leaf {
+                stream: StreamId::new(0),
+                ops: (0..left_ops)
+                    .map(|_| OperatorSpec::select(ms(1), 0.5))
+                    .collect(),
+            }),
+            right: Box::new(PlanNode::Leaf {
+                stream: StreamId::new(1),
+                ops: (0..right_ops)
+                    .map(|_| OperatorSpec::select(ms(2), 0.5))
+                    .collect(),
+            }),
+            join: JoinSpec::new(ms(3), 0.5, Nanos::from_secs(1)),
+            ops: (0..common)
+                .map(|_| OperatorSpec::project(ms(4)))
+                .collect(),
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn single_stream_chain_wiring() {
+        let cq = CompiledQuery::compile(&single(3));
+        assert_eq!(cq.ops.len(), 3);
+        assert_eq!(cq.leaves.len(), 1);
+        assert_eq!(cq.leaves[0].entry, (0, Port::Single));
+        assert_eq!(cq.ops[0].downstream, Some((1, Port::Single)));
+        assert_eq!(cq.ops[1].downstream, Some((2, Port::Single)));
+        assert_eq!(cq.ops[2].downstream, None);
+        assert_eq!(cq.path(LeafIndex(0)).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn two_stream_wiring() {
+        let cq = CompiledQuery::compile(&two_stream(1, 1, 1));
+        // layout: [left select, right select, join, project]
+        assert_eq!(cq.ops.len(), 4);
+        assert_eq!(cq.leaves.len(), 2);
+        assert_eq!(cq.ops[0].downstream, Some((2, Port::Left)));
+        assert_eq!(cq.ops[1].downstream, Some((2, Port::Right)));
+        assert!(cq.ops[2].is_join());
+        assert_eq!(cq.ops[2].downstream, Some((3, Port::Single)));
+        assert_eq!(cq.ops[3].downstream, None);
+        assert_eq!(cq.path(LeafIndex(1)).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn raw_stream_leaf_enters_join_port() {
+        let cq = CompiledQuery::compile(&two_stream(0, 0, 0));
+        assert_eq!(cq.ops.len(), 1);
+        assert_eq!(cq.leaves[0].entry, (0, Port::Left));
+        assert_eq!(cq.leaves[1].entry, (0, Port::Right));
+    }
+
+    #[test]
+    fn downstream_indices_strictly_increase() {
+        let plans = [single(4), two_stream(2, 3, 2), two_stream(0, 1, 0)];
+        for plan in &plans {
+            let cq = CompiledQuery::compile(plan);
+            for (i, op) in cq.ops.iter().enumerate() {
+                if let Some((d, _)) = op.downstream {
+                    assert!(d > i, "op {i} feeds earlier op {d}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ideal_time_counts_joins_twice() {
+        let cq = CompiledQuery::compile(&two_stream(1, 1, 1));
+        // 1 + 2 + 2*3 + 4 = 13 ms
+        assert_eq!(cq.ideal_time(), ms(13));
+        let cq1 = CompiledQuery::compile(&single(2));
+        assert_eq!(cq1.ideal_time(), ms(3));
+    }
+
+    #[test]
+    fn alone_cost_counts_joins_once() {
+        let cq = CompiledQuery::compile(&two_stream(1, 1, 1));
+        // left: 1 + 3 + 4 = 8ms; right: 2 + 3 + 4 = 9ms.
+        assert_eq!(cq.alone_cost(LeafIndex(0)), ms(8));
+        assert_eq!(cq.alone_cost(LeafIndex(1)), ms(9));
+    }
+
+    #[test]
+    fn alone_cost_equals_ideal_time_without_joins() {
+        let cq = CompiledQuery::compile(&single(3));
+        assert_eq!(cq.alone_cost(LeafIndex(0)), cq.ideal_time());
+    }
+
+    #[test]
+    fn nested_join_flattens() {
+        let plan = QueryPlan::new(PlanNode::Join {
+            left: Box::new(PlanNode::Join {
+                left: Box::new(PlanNode::Leaf {
+                    stream: StreamId::new(0),
+                    ops: vec![OperatorSpec::select(ms(1), 0.5)],
+                }),
+                right: Box::new(PlanNode::Leaf {
+                    stream: StreamId::new(1),
+                    ops: vec![],
+                }),
+                join: JoinSpec::new(ms(2), 0.5, Nanos::from_secs(1)),
+                ops: vec![],
+            }),
+            right: Box::new(PlanNode::Leaf {
+                stream: StreamId::new(2),
+                ops: vec![OperatorSpec::select(ms(1), 0.5)],
+            }),
+            join: JoinSpec::new(ms(3), 0.5, Nanos::from_secs(1)),
+            ops: vec![OperatorSpec::project(ms(1))],
+        })
+        .unwrap();
+        let cq = CompiledQuery::compile(&plan);
+        assert_eq!(cq.leaves.len(), 3);
+        assert_eq!(cq.join_indices().len(), 2);
+        // T = 1 + 1 + 1 + 2*2 + 2*3 = 13 ms
+        assert_eq!(cq.ideal_time(), ms(13));
+        // middle leaf (raw stream) enters inner join's right port
+        let inner_join = cq.leaves[1].entry.0;
+        assert!(cq.ops[inner_join].is_join());
+        assert_eq!(cq.leaves[1].entry.1, Port::Right);
+        // every path reaches the root (the final project)
+        for l in 0..3 {
+            let last = cq.path(LeafIndex(l)).last().unwrap();
+            assert_eq!(cq.ops[last].downstream, None);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Graphviz DOT export for query plans — a debugging aid mirroring the
+//! paper's Figure 1/3 plan diagrams.
+
+use std::fmt::Write as _;
+
+use crate::compiled::{CompiledOpKind, CompiledQuery, Port};
+use crate::global::GlobalPlan;
+use crate::query::QueryPlan;
+
+/// Render a query plan as a Graphviz `digraph`.
+///
+/// Streams are boxes, unary operators are ellipses, joins are diamonds;
+/// every edge is labelled with the port it enters.
+pub fn to_dot(plan: &QueryPlan, name: &str) -> String {
+    let cq = CompiledQuery::compile(plan);
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=BT;");
+    for (i, op) in cq.ops.iter().enumerate() {
+        match &op.kind {
+            CompiledOpKind::Unary(u) => {
+                let _ = writeln!(
+                    out,
+                    "  op{i} [shape=ellipse,label=\"{}\\nc={} s={:.2}\"];",
+                    u.kind.name(),
+                    u.cost,
+                    u.selectivity
+                );
+            }
+            CompiledOpKind::Join(j) => {
+                let _ = writeln!(
+                    out,
+                    "  op{i} [shape=diamond,label=\"⋈ V={}\\nc={} s={:.2}\"];",
+                    j.window, j.cost, j.selectivity
+                );
+            }
+        }
+    }
+    for (li, leaf) in cq.leaves.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  stream{li} [shape=box,label=\"{}\"];",
+            leaf.stream
+        );
+        let (idx, port) = leaf.entry;
+        let _ = writeln!(
+            out,
+            "  stream{li} -> op{idx} [label=\"{}\"];",
+            port_label(port)
+        );
+    }
+    for (i, op) in cq.ops.iter().enumerate() {
+        if let Some((d, port)) = op.downstream {
+            let _ = writeln!(out, "  op{i} -> op{d} [label=\"{}\"];", port_label(port));
+        } else {
+            let _ = writeln!(out, "  out [shape=plaintext,label=\"output\"];");
+            let _ = writeln!(out, "  op{i} -> out;");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Render a whole registered workload: one subgraph per query, with §7
+/// sharing groups drawn as dashed boxes around their shared select.
+pub fn global_to_dot(plan: &GlobalPlan, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{name}\" {{");
+    let _ = writeln!(out, "  rankdir=BT; compound=true;");
+    let mut in_group = vec![None; plan.queries.len()];
+    for (gi, g) in plan.sharing.iter().enumerate() {
+        for &m in &g.members {
+            in_group[m.index()] = Some(gi);
+        }
+    }
+    for (qi, q) in plan.queries.iter().enumerate() {
+        let cq = CompiledQuery::compile(q);
+        let _ = writeln!(out, "  subgraph cluster_q{qi} {{");
+        let _ = writeln!(out, "    label=\"Q{qi}\";");
+        if in_group[qi].is_some() {
+            let _ = writeln!(out, "    style=dashed;");
+        }
+        for (i, op) in cq.ops.iter().enumerate() {
+            let label = match &op.kind {
+                CompiledOpKind::Unary(u) => {
+                    format!("{}\\nc={} s={:.2}", u.kind.name(), u.cost, u.selectivity)
+                }
+                CompiledOpKind::Join(j) => {
+                    format!("join V={}\\nc={} s={:.2}", j.window, j.cost, j.selectivity)
+                }
+            };
+            let shape = if op.is_join() { "diamond" } else { "ellipse" };
+            let _ = writeln!(out, "    q{qi}op{i} [shape={shape},label=\"{label}\"];");
+        }
+        for (i, op) in cq.ops.iter().enumerate() {
+            if let Some((d, port)) = op.downstream {
+                let _ = writeln!(
+                    out,
+                    "    q{qi}op{i} -> q{qi}op{d} [label=\"{}\"];",
+                    port_label(port)
+                );
+            }
+        }
+        let _ = writeln!(out, "  }}");
+        for leaf in &cq.leaves {
+            let _ = writeln!(
+                out,
+                "  stream{} -> q{qi}op{} [label=\"{}\"];",
+                leaf.stream.index(),
+                leaf.entry.0,
+                port_label(leaf.entry.1)
+            );
+        }
+    }
+    for s in plan.streams() {
+        let _ = writeln!(out, "  stream{} [shape=box,label=\"{s}\"];", s.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn port_label(port: Port) -> &'static str {
+    match port {
+        Port::Single => "",
+        Port::Left => "L",
+        Port::Right => "R",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use hcq_common::{Nanos, StreamId};
+
+    #[test]
+    fn dot_for_single_stream() {
+        let q = QueryBuilder::on(StreamId::new(0))
+            .select(Nanos::from_millis(1), 0.5)
+            .project(Nanos::from_millis(1))
+            .build()
+            .unwrap();
+        let dot = to_dot(&q, "q0");
+        assert!(dot.starts_with("digraph \"q0\""));
+        assert!(dot.contains("select"));
+        assert!(dot.contains("project"));
+        assert!(dot.contains("stream0 -> op0"));
+        assert!(dot.contains("-> out"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_for_join_labels_ports() {
+        let q = QueryBuilder::on(StreamId::new(0))
+            .window_join(
+                QueryBuilder::on(StreamId::new(1)),
+                Nanos::from_millis(2),
+                0.5,
+                Nanos::from_secs(1),
+            )
+            .build()
+            .unwrap();
+        let dot = to_dot(&q, "j");
+        assert!(dot.contains("shape=diamond"));
+        assert!(dot.contains("[label=\"L\"]"));
+        assert!(dot.contains("[label=\"R\"]"));
+    }
+}
+
+#[cfg(test)]
+mod global_tests {
+    use super::*;
+    use crate::builder::QueryBuilder;
+    use hcq_common::{Nanos, StreamId};
+
+    #[test]
+    fn global_dot_renders_queries_and_sharing() {
+        let mut gp = GlobalPlan::default();
+        let a = gp.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(Nanos::from_millis(1), 0.5)
+                .project(Nanos::from_millis(1))
+                .build()
+                .unwrap(),
+        );
+        let b = gp.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(Nanos::from_millis(1), 0.5)
+                .build()
+                .unwrap(),
+        );
+        gp.share_first_op(vec![a, b]).unwrap();
+        let dot = global_to_dot(&gp, "workload");
+        assert!(dot.contains("subgraph cluster_q0"));
+        assert!(dot.contains("subgraph cluster_q1"));
+        assert!(dot.contains("style=dashed"), "sharing group marked");
+        assert!(dot.contains("stream0 -> q0op0"));
+        assert!(dot.contains("shape=box"));
+    }
+}

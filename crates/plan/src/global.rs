@@ -1,0 +1,213 @@
+//! Multi-query workloads with shared operators.
+//!
+//! A DSMS hosts many registered queries; multi-query optimization merges
+//! common sub-expressions so a shared operator executes once per tuple (§2,
+//! §7). [`GlobalPlan`] is the registration unit the engine and the workload
+//! generator exchange: the query list plus the sharing structure. Following
+//! the paper's evaluation (§9.3), sharing is expressed as groups of
+//! single-stream queries whose *first* (select) operator is physically
+//! shared.
+
+use hcq_common::{HcqError, QueryId, Result, StreamId};
+
+use crate::node::PlanNode;
+use crate::operator::OperatorSpec;
+use crate::query::QueryPlan;
+
+/// A select operator shared by the leading position of several queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SharedSelect {
+    /// The stream feeding the shared operator.
+    pub stream: StreamId,
+    /// The shared operator's spec; must equal each member's first operator.
+    pub op: OperatorSpec,
+    /// The queries sharing it (each single-stream, on `stream`, starting
+    /// with `op`).
+    pub members: Vec<QueryId>,
+}
+
+/// A registered multi-query workload.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalPlan {
+    /// All registered queries; `QueryId` indexes this vector.
+    pub queries: Vec<QueryPlan>,
+    /// Sharing groups; empty when no multi-query optimization applies.
+    pub sharing: Vec<SharedSelect>,
+}
+
+impl GlobalPlan {
+    /// A workload with no shared operators.
+    pub fn unshared(queries: Vec<QueryPlan>) -> Self {
+        GlobalPlan {
+            queries,
+            sharing: Vec::new(),
+        }
+    }
+
+    /// Register a query, returning its id.
+    pub fn add_query(&mut self, q: QueryPlan) -> QueryId {
+        let id = QueryId::new(self.queries.len());
+        self.queries.push(q);
+        id
+    }
+
+    /// Declare that `members` share their first operator. Validates the
+    /// sharing invariant immediately.
+    pub fn share_first_op(&mut self, members: Vec<QueryId>) -> Result<()> {
+        let (stream, op) = self.first_op_of(*members.first().ok_or_else(|| {
+            HcqError::plan("a sharing group needs at least one member")
+        })?)?;
+        for &m in &members[1..] {
+            let (s2, op2) = self.first_op_of(m)?;
+            if s2 != stream || op2 != op {
+                return Err(HcqError::plan(format!(
+                    "query {m} cannot share: first operator or stream differs"
+                )));
+            }
+        }
+        self.sharing.push(SharedSelect {
+            stream,
+            op,
+            members,
+        });
+        Ok(())
+    }
+
+    fn first_op_of(&self, id: QueryId) -> Result<(StreamId, OperatorSpec)> {
+        let q = self
+            .queries
+            .get(id.index())
+            .ok_or_else(|| HcqError::plan(format!("unknown query {id}")))?;
+        match &q.root {
+            PlanNode::Leaf { stream, ops } if !ops.is_empty() => {
+                Ok((*stream, ops[0].clone()))
+            }
+            _ => Err(HcqError::plan(format!(
+                "query {id} is not a single-stream chain; only leading select \
+                 operators of single-stream queries can be shared"
+            ))),
+        }
+    }
+
+    /// Validate the whole registration: every query individually, plus every
+    /// sharing group's invariant and disjointness (a query belongs to at
+    /// most one group).
+    pub fn validate(&self) -> Result<()> {
+        for (i, q) in self.queries.iter().enumerate() {
+            q.root.validate_as_root().map_err(|e| {
+                HcqError::plan(format!("query Q{i}: {e}"))
+            })?;
+        }
+        let mut seen = vec![false; self.queries.len()];
+        for group in &self.sharing {
+            if group.members.is_empty() {
+                return Err(HcqError::plan("empty sharing group"));
+            }
+            for &m in &group.members {
+                let (s, op) = self.first_op_of(m)?;
+                if s != group.stream || op != group.op {
+                    return Err(HcqError::plan(format!(
+                        "sharing group invariant violated for query {m}"
+                    )));
+                }
+                if std::mem::replace(&mut seen[m.index()], true) {
+                    return Err(HcqError::plan(format!(
+                        "query {m} appears in more than one sharing group"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when no queries are registered.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The distinct streams referenced by any query, ascending.
+    pub fn streams(&self) -> Vec<StreamId> {
+        let mut ids: Vec<StreamId> = self
+            .queries
+            .iter()
+            .flat_map(|q| q.leaf_streams())
+            .collect();
+        ids.sort();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcq_common::Nanos;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    fn query_on(stream: usize, first_cost: u64) -> QueryPlan {
+        QueryPlan::new(PlanNode::Leaf {
+            stream: StreamId::new(stream),
+            ops: vec![
+                OperatorSpec::select(ms(first_cost), 0.5),
+                OperatorSpec::project(ms(1)),
+            ],
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn sharing_groups_validate() {
+        let mut gp = GlobalPlan::default();
+        let a = gp.add_query(query_on(0, 2));
+        let b = gp.add_query(query_on(0, 2));
+        gp.share_first_op(vec![a, b]).unwrap();
+        gp.validate().unwrap();
+        assert_eq!(gp.sharing[0].members, vec![a, b]);
+        assert_eq!(gp.sharing[0].stream, StreamId::new(0));
+    }
+
+    #[test]
+    fn sharing_rejects_mismatched_first_ops() {
+        let mut gp = GlobalPlan::default();
+        let a = gp.add_query(query_on(0, 2));
+        let b = gp.add_query(query_on(0, 3)); // different cost -> different op
+        assert!(gp.share_first_op(vec![a, b]).is_err());
+        let c = gp.add_query(query_on(1, 2)); // different stream
+        assert!(gp.share_first_op(vec![a, c]).is_err());
+    }
+
+    #[test]
+    fn sharing_rejects_double_membership() {
+        let mut gp = GlobalPlan::default();
+        let a = gp.add_query(query_on(0, 2));
+        let b = gp.add_query(query_on(0, 2));
+        gp.share_first_op(vec![a, b]).unwrap();
+        gp.share_first_op(vec![a]).unwrap(); // accepted at insert time...
+        assert!(gp.validate().is_err()); // ...caught by whole-plan validation
+    }
+
+    #[test]
+    fn streams_deduped() {
+        let mut gp = GlobalPlan::default();
+        gp.add_query(query_on(1, 2));
+        gp.add_query(query_on(0, 2));
+        gp.add_query(query_on(1, 3));
+        assert_eq!(gp.streams(), vec![StreamId::new(0), StreamId::new(1)]);
+        assert_eq!(gp.len(), 3);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn empty_group_rejected() {
+        let mut gp = GlobalPlan::default();
+        assert!(gp.share_first_op(vec![]).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! Plan trees.
+//!
+//! A [`PlanNode`] is either a *leaf chain* (a stream feeding a sequence of
+//! unary operators) or a *window join* of two subtrees followed by another
+//! chain of unary operators. Single-stream queries are a bare leaf; the
+//! paper's evaluated multi-stream shape (Figure 3) is one join of two leaves;
+//! arbitrary nesting is supported because §5 notes the parameters "are
+//! defined recursively" for multiple joins.
+
+use hcq_common::{HcqError, Result, StreamId};
+
+use crate::operator::{JoinSpec, OperatorSpec};
+
+/// Index of a leaf within a query plan, in left-to-right order.
+///
+/// Leaves are the schedulable entry points of a query: the paper's virtual
+/// segments `E_LL` / `E_RR` (§5.2) are exactly the leaf-to-root paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LeafIndex(pub usize);
+
+impl LeafIndex {
+    /// The dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A node of a continuous-query plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// A chain of unary operators fed directly by a stream. The chain may be
+    /// empty only under a parent join (the stream then feeds the join
+    /// directly); a bare-leaf *query* must have at least one operator.
+    Leaf {
+        /// The input stream.
+        stream: StreamId,
+        /// Operators applied in order, index 0 closest to the stream.
+        ops: Vec<OperatorSpec>,
+    },
+    /// A time-based sliding-window join of two subtrees, followed by a chain
+    /// of unary operators (`E_C` in Figure 3; possibly empty at the root).
+    Join {
+        /// Left input subtree (`E_L`).
+        left: Box<PlanNode>,
+        /// Right input subtree (`E_R`).
+        right: Box<PlanNode>,
+        /// The join operator `O_J`.
+        join: JoinSpec,
+        /// Common segment `E_C` applied to composite tuples, in order.
+        ops: Vec<OperatorSpec>,
+    },
+}
+
+impl PlanNode {
+    /// Number of leaves under this node.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            PlanNode::Leaf { .. } => 1,
+            PlanNode::Join { left, right, .. } => left.leaf_count() + right.leaf_count(),
+        }
+    }
+
+    /// Number of join operators under this node.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PlanNode::Leaf { .. } => 0,
+            PlanNode::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// Total number of operators (unary + join) under this node.
+    pub fn operator_count(&self) -> usize {
+        match self {
+            PlanNode::Leaf { ops, .. } => ops.len(),
+            PlanNode::Join {
+                left, right, ops, ..
+            } => 1 + ops.len() + left.operator_count() + right.operator_count(),
+        }
+    }
+
+    /// The streams feeding the leaves, in left-to-right leaf order.
+    pub fn leaf_streams(&self) -> Vec<StreamId> {
+        let mut out = Vec::with_capacity(self.leaf_count());
+        self.collect_leaf_streams(&mut out);
+        out
+    }
+
+    fn collect_leaf_streams(&self, out: &mut Vec<StreamId>) {
+        match self {
+            PlanNode::Leaf { stream, .. } => out.push(*stream),
+            PlanNode::Join { left, right, .. } => {
+                left.collect_leaf_streams(out);
+                right.collect_leaf_streams(out);
+            }
+        }
+    }
+
+    /// Validate the subtree: every operator spec must validate, and the tree
+    /// must contain at least one operator overall (checked by the caller for
+    /// the root).
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            PlanNode::Leaf { ops, .. } => {
+                for op in ops {
+                    op.validate()?;
+                }
+                Ok(())
+            }
+            PlanNode::Join {
+                left,
+                right,
+                join,
+                ops,
+            } => {
+                left.validate()?;
+                right.validate()?;
+                join.validate()?;
+                for op in ops {
+                    op.validate()?;
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Validate this node as the *root* of a query: in addition to
+    /// [`PlanNode::validate`], a bare leaf must have at least one operator
+    /// (a query with no operators does no work and has `T_k = 0`, which the
+    /// slowdown metric cannot accommodate).
+    pub fn validate_as_root(&self) -> Result<()> {
+        if let PlanNode::Leaf { ops, .. } = self {
+            if ops.is_empty() {
+                return Err(HcqError::plan(
+                    "single-stream query must contain at least one operator",
+                ));
+            }
+        }
+        self.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcq_common::Nanos;
+
+    fn leaf(stream: usize, n_ops: usize) -> PlanNode {
+        PlanNode::Leaf {
+            stream: StreamId::new(stream),
+            ops: (0..n_ops)
+                .map(|_| OperatorSpec::select(Nanos::from_millis(1), 0.5))
+                .collect(),
+        }
+    }
+
+    fn join(l: PlanNode, r: PlanNode, n_common: usize) -> PlanNode {
+        PlanNode::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            join: JoinSpec::new(Nanos::from_millis(2), 0.5, Nanos::from_secs(1)),
+            ops: (0..n_common)
+                .map(|_| OperatorSpec::project(Nanos::from_millis(1)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn counts_on_single_stream() {
+        let n = leaf(0, 3);
+        assert_eq!(n.leaf_count(), 1);
+        assert_eq!(n.join_count(), 0);
+        assert_eq!(n.operator_count(), 3);
+        assert_eq!(n.leaf_streams(), vec![StreamId::new(0)]);
+    }
+
+    #[test]
+    fn counts_on_two_stream_join() {
+        let n = join(leaf(0, 1), leaf(1, 2), 1);
+        assert_eq!(n.leaf_count(), 2);
+        assert_eq!(n.join_count(), 1);
+        assert_eq!(n.operator_count(), 1 + 2 + 1 + 1);
+        assert_eq!(n.leaf_streams(), vec![StreamId::new(0), StreamId::new(1)]);
+    }
+
+    #[test]
+    fn counts_on_nested_join() {
+        let n = join(join(leaf(0, 1), leaf(1, 1), 0), leaf(2, 1), 2);
+        assert_eq!(n.leaf_count(), 3);
+        assert_eq!(n.join_count(), 2);
+        assert_eq!(
+            n.leaf_streams(),
+            vec![StreamId::new(0), StreamId::new(1), StreamId::new(2)]
+        );
+    }
+
+    #[test]
+    fn root_validation_rejects_empty_leaf() {
+        let empty = PlanNode::Leaf {
+            stream: StreamId::new(0),
+            ops: vec![],
+        };
+        assert!(empty.validate().is_ok());
+        assert!(empty.validate_as_root().is_err());
+        assert!(leaf(0, 1).validate_as_root().is_ok());
+    }
+
+    #[test]
+    fn join_with_empty_sides_is_valid() {
+        // A join may be fed by raw streams on both sides.
+        let n = join(leaf(0, 0), leaf(1, 0), 0);
+        assert!(n.validate_as_root().is_ok());
+    }
+
+    #[test]
+    fn validation_propagates_bad_specs() {
+        let bad = PlanNode::Leaf {
+            stream: StreamId::new(0),
+            ops: vec![OperatorSpec::select(Nanos::ZERO, 0.5)],
+        };
+        assert!(bad.validate().is_err());
+        let bad_join = join(bad, leaf(1, 1), 0);
+        assert!(bad_join.validate().is_err());
+    }
+}

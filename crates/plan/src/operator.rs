@@ -1,0 +1,208 @@
+//! Operator specifications.
+//!
+//! §2 of the paper characterizes every operator by exactly two parameters:
+//! its processing cost `c_x` (time to process one input tuple) and its
+//! selectivity `s_x` (expected tuples produced per input tuple). Scheduling
+//! never looks inside an operator beyond these two numbers, so an operator
+//! *specification* is all the simulator needs; the actual predicate is
+//! realized with deterministic coins at execution time.
+
+use hcq_common::{HcqError, Nanos, Result};
+
+/// The kind of a unary (single-input) operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A filter; selectivity in `(0, 1]`. Realized against the tuple's
+    /// uniform `key` attribute (as in §8: predicates over an attribute drawn
+    /// uniform in \[1,100\]), so select outcomes are correlated across
+    /// queries exactly as in the paper's testbed.
+    Select,
+    /// A projection; passes every tuple (`s = 1`), costs `c` per tuple.
+    Project,
+    /// A join with a stored relation (§8 uses this for single-stream
+    /// queries). Selectivity may be ≤ 1 (semi-join-like filtering) and is
+    /// realized with an independent per-(tuple, operator) coin.
+    StoredJoin,
+    /// A generic transformation with selectivity ≤ 1; behaves like
+    /// [`OpKind::StoredJoin`] for realization purposes. Useful for building
+    /// synthetic plans in tests and examples.
+    Map,
+}
+
+impl OpKind {
+    /// Human-readable lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::Select => "select",
+            OpKind::Project => "project",
+            OpKind::StoredJoin => "stored_join",
+            OpKind::Map => "map",
+        }
+    }
+
+    /// Whether the operator's pass/fail outcome is driven by the tuple's
+    /// shared `key` attribute (correlated across queries) rather than an
+    /// independent coin.
+    pub fn is_key_predicate(self) -> bool {
+        matches!(self, OpKind::Select)
+    }
+}
+
+/// Specification of a unary operator: kind, cost, selectivity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorSpec {
+    /// What the operator does (affects only how selectivity is realized).
+    pub kind: OpKind,
+    /// Processing cost `c_x`: virtual time consumed per input tuple.
+    pub cost: Nanos,
+    /// Selectivity `s_x`: expected output tuples per input tuple; in `(0, 1]`
+    /// for unary operators (window joins, which may exceed 1, are
+    /// [`JoinSpec`]s).
+    pub selectivity: f64,
+}
+
+impl OperatorSpec {
+    /// Construct an operator spec.
+    pub fn new(kind: OpKind, cost: Nanos, selectivity: f64) -> Self {
+        OperatorSpec {
+            kind,
+            cost,
+            selectivity,
+        }
+    }
+
+    /// A select operator.
+    pub fn select(cost: Nanos, selectivity: f64) -> Self {
+        Self::new(OpKind::Select, cost, selectivity)
+    }
+
+    /// A project operator (selectivity 1).
+    pub fn project(cost: Nanos) -> Self {
+        Self::new(OpKind::Project, cost, 1.0)
+    }
+
+    /// A stored-relation join operator.
+    pub fn stored_join(cost: Nanos, selectivity: f64) -> Self {
+        Self::new(OpKind::StoredJoin, cost, selectivity)
+    }
+
+    /// A generic map/filter operator.
+    pub fn map(cost: Nanos, selectivity: f64) -> Self {
+        Self::new(OpKind::Map, cost, selectivity)
+    }
+
+    /// Validate the spec: cost must be positive, selectivity in `(0, 1]`.
+    ///
+    /// Zero-cost operators are rejected because the paper's priority
+    /// functions divide by (products of) costs, and a free operator would
+    /// also let the simulator loop without advancing time.
+    pub fn validate(&self) -> Result<()> {
+        if self.cost.is_zero() {
+            return Err(HcqError::plan(format!(
+                "{} operator has zero cost",
+                self.kind.name()
+            )));
+        }
+        if !self.selectivity.is_finite() || self.selectivity <= 0.0 || self.selectivity > 1.0 {
+            return Err(HcqError::plan(format!(
+                "{} operator selectivity {} outside (0, 1]",
+                self.kind.name(),
+                self.selectivity
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Specification of a time-based sliding-window join operator (§5).
+///
+/// The join is executed as a symmetric hash join: an arriving tuple is
+/// inserted into its side's hash table, then probes the other side's table
+/// for tuples within the window `V`; each matching pair that passes the join
+/// predicate (probability `selectivity`) yields a composite tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinSpec {
+    /// Cost `c_J` of the hash + insert + probe work for one input tuple.
+    pub cost: Nanos,
+    /// Join-predicate selectivity per candidate pair, in `(0, 1]`.
+    pub selectivity: f64,
+    /// Window interval `V`: a pair matches only if their timestamps differ
+    /// by at most `V`.
+    pub window: Nanos,
+}
+
+impl JoinSpec {
+    /// Construct a window-join spec.
+    pub fn new(cost: Nanos, selectivity: f64, window: Nanos) -> Self {
+        JoinSpec {
+            cost,
+            selectivity,
+            window,
+        }
+    }
+
+    /// Validate: positive cost and window, selectivity in `(0, 1]`.
+    pub fn validate(&self) -> Result<()> {
+        if self.cost.is_zero() {
+            return Err(HcqError::plan("window join has zero cost"));
+        }
+        if self.window.is_zero() {
+            return Err(HcqError::plan("window join has zero window"));
+        }
+        if !self.selectivity.is_finite() || self.selectivity <= 0.0 || self.selectivity > 1.0 {
+            return Err(HcqError::plan(format!(
+                "window join selectivity {} outside (0, 1]",
+                self.selectivity
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kinds() {
+        let s = OperatorSpec::select(Nanos::from_millis(1), 0.5);
+        assert_eq!(s.kind, OpKind::Select);
+        assert!(s.kind.is_key_predicate());
+        let p = OperatorSpec::project(Nanos::from_millis(1));
+        assert_eq!(p.kind, OpKind::Project);
+        assert_eq!(p.selectivity, 1.0);
+        let j = OperatorSpec::stored_join(Nanos::from_millis(2), 0.3);
+        assert_eq!(j.kind, OpKind::StoredJoin);
+        assert!(!j.kind.is_key_predicate());
+        let m = OperatorSpec::map(Nanos::from_millis(2), 0.3);
+        assert_eq!(m.kind, OpKind::Map);
+    }
+
+    #[test]
+    fn validation_rejects_bad_specs() {
+        assert!(OperatorSpec::select(Nanos::ZERO, 0.5).validate().is_err());
+        assert!(OperatorSpec::select(Nanos(1), 0.0).validate().is_err());
+        assert!(OperatorSpec::select(Nanos(1), 1.5).validate().is_err());
+        assert!(OperatorSpec::select(Nanos(1), f64::NAN).validate().is_err());
+        assert!(OperatorSpec::select(Nanos(1), 1.0).validate().is_ok());
+        assert!(OperatorSpec::select(Nanos(1), 0.001).validate().is_ok());
+    }
+
+    #[test]
+    fn join_validation() {
+        let ok = JoinSpec::new(Nanos(10), 0.5, Nanos::from_secs(1));
+        assert!(ok.validate().is_ok());
+        assert!(JoinSpec::new(Nanos::ZERO, 0.5, Nanos(1)).validate().is_err());
+        assert!(JoinSpec::new(Nanos(1), 0.5, Nanos::ZERO).validate().is_err());
+        assert!(JoinSpec::new(Nanos(1), 0.0, Nanos(1)).validate().is_err());
+        assert!(JoinSpec::new(Nanos(1), 2.0, Nanos(1)).validate().is_err());
+    }
+
+    #[test]
+    fn kind_names() {
+        assert_eq!(OpKind::Select.name(), "select");
+        assert_eq!(OpKind::Project.name(), "project");
+        assert_eq!(OpKind::StoredJoin.name(), "stored_join");
+        assert_eq!(OpKind::Map.name(), "map");
+    }
+}

@@ -1,0 +1,523 @@
+//! Derived plan statistics — the inputs to every scheduling priority.
+//!
+//! For a segment `E_x` starting at operator `O_x` and running to the root,
+//! §2 defines:
+//!
+//! * **global selectivity** `S_x = s_x · s_y · … · s_r` — expected tuples
+//!   emitted at the root per tuple entering at `O_x`;
+//! * **global average cost** `C̄_x = c_x + s_x·c_y + s_x·s_y·c_z + …` —
+//!   expected processing time to push one tuple from `O_x` to the root;
+//! * **ideal processing time** `T_k = Σ c_i` — the cost a *produced* tuple
+//!   ideally incurs (every filter satisfied).
+//!
+//! §5 extends these across window joins: a tuple entering join `O_J` from
+//! one side meets an expected `S_other · V/τ_other` candidates in the other
+//! side's hash table (window `V`, other-side post-segment inter-arrival
+//! `τ_other/S_other`), each surviving the predicate with probability `s_J`,
+//! so the join contributes a *multiplicity* `s_J · S_other · V/τ_other` to
+//! `S_x` and `c_J + multiplicity-scaled downstream cost` to `C̄_x`. With
+//! nested joins the other-side arrival rate is itself derived recursively —
+//! here by a forward rate-propagation pass over the compiled plan.
+
+use hcq_common::{HcqError, Nanos, Result, StreamId};
+
+use crate::compiled::{CompiledOpKind, CompiledQuery, Port};
+use crate::node::LeafIndex;
+
+/// Mean inter-arrival times (`τ`) per stream, needed to evaluate the §5
+/// window-occupancy estimates. Single-stream plans need no rates.
+#[derive(Debug, Clone, Default)]
+pub struct StreamRates {
+    tau: Vec<Option<Nanos>>,
+}
+
+impl StreamRates {
+    /// No rates known (sufficient for join-free workloads).
+    pub fn none() -> Self {
+        StreamRates::default()
+    }
+
+    /// Record stream `id`'s mean inter-arrival time.
+    pub fn set(&mut self, id: StreamId, tau: Nanos) -> &mut Self {
+        if self.tau.len() <= id.index() {
+            self.tau.resize(id.index() + 1, None);
+        }
+        self.tau[id.index()] = Some(tau);
+        self
+    }
+
+    /// Builder-style [`StreamRates::set`].
+    pub fn with(mut self, id: StreamId, tau: Nanos) -> Self {
+        self.set(id, tau);
+        self
+    }
+
+    /// The stream's mean inter-arrival time, if known.
+    pub fn tau(&self, id: StreamId) -> Option<Nanos> {
+        self.tau.get(id.index()).copied().flatten()
+    }
+
+    /// The stream's mean arrival rate in tuples per nanosecond, if known.
+    pub fn rate(&self, id: StreamId) -> Option<f64> {
+        self.tau(id).map(|t| {
+            debug_assert!(!t.is_zero());
+            1.0 / t.as_nanos() as f64
+        })
+    }
+}
+
+/// Statistics of one operator segment (operator → root).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SegStats {
+    /// Global selectivity `S_x`: expected root emissions per entering tuple.
+    pub selectivity: f64,
+    /// Global average cost `C̄_x` in nanoseconds (kept in `f64`: expected
+    /// values need not be whole nanoseconds).
+    pub avg_cost_ns: f64,
+}
+
+impl SegStats {
+    /// Global output rate `GR_x = S_x / C̄_x` (units: tuples per nanosecond
+    /// of processing) — the HR priority of [the segment starting at] this
+    /// operator.
+    pub fn output_rate(&self) -> f64 {
+        self.selectivity / self.avg_cost_ns
+    }
+}
+
+/// Segment statistics of an operator, per entry port.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OpSegStats {
+    /// Unary operator: one entry.
+    Unary(SegStats),
+    /// Window join: statistics differ depending on the side a tuple enters
+    /// from (the *other* side's hash-table occupancy sets the multiplicity).
+    Join {
+        /// Stats for a tuple entering on the left port.
+        left: SegStats,
+        /// Stats for a tuple entering on the right port.
+        right: SegStats,
+    },
+}
+
+impl OpSegStats {
+    /// The stats for a given entry port.
+    pub fn at(&self, port: Port) -> SegStats {
+        match (self, port) {
+            (OpSegStats::Unary(s), Port::Single) => *s,
+            (OpSegStats::Join { left, .. }, Port::Left) => *left,
+            (OpSegStats::Join { right, .. }, Port::Right) => *right,
+            _ => panic!("port/operator mismatch"),
+        }
+    }
+}
+
+/// Statistics of one leaf-to-root virtual segment (`E_LL`/`E_RR` in §5.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafSegmentStats {
+    /// Which leaf.
+    pub leaf: LeafIndex,
+    /// The feeding stream.
+    pub stream: StreamId,
+    /// Global selectivity `S` of the whole leaf-to-root segment.
+    pub selectivity: f64,
+    /// Global average cost `C̄` of the segment, in nanoseconds.
+    pub avg_cost_ns: f64,
+    /// The query's ideal total processing time `T_k`.
+    pub ideal_time: Nanos,
+    /// Ideal alone-in-the-system latency from this leaf (Definition 6
+    /// decomposition; see [`CompiledQuery::alone_cost`]).
+    pub alone_cost: Nanos,
+}
+
+impl LeafSegmentStats {
+    /// Global output rate `S/C̄` — the HR priority (Equation 4).
+    pub fn output_rate(&self) -> f64 {
+        self.selectivity / self.avg_cost_ns
+    }
+
+    /// Normalized output rate `S/(C̄·T)` — the HNR priority (Equation 3),
+    /// with `T` in nanoseconds.
+    pub fn normalized_rate(&self) -> f64 {
+        self.output_rate() / self.ideal_time.as_nanos() as f64
+    }
+
+    /// The static BSD factor `Φ = S/(C̄·T²)` (§6.2.1); the dynamic BSD
+    /// priority is `Φ · W`.
+    pub fn bsd_static(&self) -> f64 {
+        let t = self.ideal_time.as_nanos() as f64;
+        self.selectivity / (self.avg_cost_ns * t * t)
+    }
+}
+
+/// All derived statistics of a compiled query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanStats {
+    /// Per-operator segment statistics, indexed like `CompiledQuery::ops`.
+    pub per_op: Vec<OpSegStats>,
+    /// Per-leaf segment statistics, indexed like `CompiledQuery::leaves`.
+    pub per_leaf: Vec<LeafSegmentStats>,
+    /// The query's ideal total processing time `T_k`.
+    pub ideal_time: Nanos,
+}
+
+impl PlanStats {
+    /// Compute the statistics of `cq`. `rates` must cover every stream that
+    /// feeds a join (directly or through a chain); join-free plans accept
+    /// [`StreamRates::none`].
+    pub fn compute(cq: &CompiledQuery, rates: &StreamRates) -> Result<Self> {
+        let n = cq.ops.len();
+
+        // ---- forward pass: input rate (tuples/ns) arriving at each port ----
+        // in_rate[i] = (single_or_left, right)
+        let mut in_rate = vec![(0.0f64, 0.0f64); n];
+        let needs_rates = cq.ops.iter().any(|op| op.is_join());
+        for leaf in &cq.leaves {
+            let rate = match rates.rate(leaf.stream) {
+                Some(r) => r,
+                None if !needs_rates => 0.0, // unused downstream
+                None => {
+                    return Err(HcqError::config(format!(
+                        "plan contains window joins but no inter-arrival time is \
+                         configured for stream {}",
+                        leaf.stream
+                    )))
+                }
+            };
+            add_rate(&mut in_rate, leaf.entry, rate);
+        }
+        let mut out_rate = vec![0.0f64; n];
+        for i in 0..n {
+            let produced = match &cq.ops[i].kind {
+                CompiledOpKind::Unary(u) => (in_rate[i].0) * u.selectivity,
+                CompiledOpKind::Join(j) => {
+                    let (l, r) = in_rate[i];
+                    let v = j.window.as_nanos() as f64;
+                    // Composite generation rate: each left arrival matches an
+                    // expected s_J·(r·V) partners, and symmetrically.
+                    2.0 * j.selectivity * v * l * r
+                }
+            };
+            out_rate[i] = produced;
+            if let Some(target) = cq.ops[i].downstream {
+                add_rate(&mut in_rate, target, produced);
+            }
+        }
+
+        // ---- backward pass: segment stats from each operator to the root ----
+        let mut per_op: Vec<Option<OpSegStats>> = vec![None; n];
+        for i in (0..n).rev() {
+            let down = cq.ops[i].downstream.map(|(d, port)| {
+                per_op[d]
+                    .as_ref()
+                    .expect("downstream already computed (reverse-topological order)")
+                    .at(port)
+            });
+            let stats = match &cq.ops[i].kind {
+                CompiledOpKind::Unary(u) => {
+                    let (sel, cost) = extend(u.selectivity, u.cost, down);
+                    OpSegStats::Unary(SegStats {
+                        selectivity: sel,
+                        avg_cost_ns: cost,
+                    })
+                }
+                CompiledOpKind::Join(j) => {
+                    let v = j.window.as_nanos() as f64;
+                    let (l_in, r_in) = in_rate[i];
+                    // Multiplicity seen by a tuple entering from each side:
+                    // expected qualifying partners in the *other* hash table.
+                    let mult_from_left = j.selectivity * r_in * v;
+                    let mult_from_right = j.selectivity * l_in * v;
+                    let (sel_l, cost_l) = extend(mult_from_left, j.cost, down);
+                    let (sel_r, cost_r) = extend(mult_from_right, j.cost, down);
+                    OpSegStats::Join {
+                        left: SegStats {
+                            selectivity: sel_l,
+                            avg_cost_ns: cost_l,
+                        },
+                        right: SegStats {
+                            selectivity: sel_r,
+                            avg_cost_ns: cost_r,
+                        },
+                    }
+                }
+            };
+            per_op[i] = Some(stats);
+        }
+        let per_op: Vec<OpSegStats> = per_op.into_iter().map(Option::unwrap).collect();
+
+        // ---- leaf segments ----
+        let ideal_time = cq.ideal_time();
+        let per_leaf = cq
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(li, leaf)| {
+                let entry = per_op[leaf.entry.0].at(leaf.entry.1);
+                LeafSegmentStats {
+                    leaf: LeafIndex(li),
+                    stream: leaf.stream,
+                    selectivity: entry.selectivity,
+                    avg_cost_ns: entry.avg_cost_ns,
+                    ideal_time,
+                    alone_cost: cq.alone_cost(LeafIndex(li)),
+                }
+            })
+            .collect();
+
+        Ok(PlanStats {
+            per_op,
+            per_leaf,
+            ideal_time,
+        })
+    }
+
+    /// Segment stats of the operator at `idx` as entered through `port`.
+    pub fn op(&self, idx: usize, port: Port) -> SegStats {
+        self.per_op[idx].at(port)
+    }
+}
+
+/// `(S, C̄)` of a segment whose first operator has per-tuple multiplicity
+/// `mult` (its selectivity, or a join's expected match count) and cost
+/// `cost`, followed by an optional downstream segment.
+fn extend(mult: f64, cost: Nanos, down: Option<SegStats>) -> (f64, f64) {
+    let c = cost.as_nanos() as f64;
+    match down {
+        Some(d) => (mult * d.selectivity, c + mult * d.avg_cost_ns),
+        None => (mult, c),
+    }
+}
+
+fn add_rate(in_rate: &mut [(f64, f64)], target: (usize, Port), rate: f64) {
+    let (idx, port) = target;
+    match port {
+        Port::Single | Port::Left => in_rate[idx].0 += rate,
+        Port::Right => in_rate[idx].1 += rate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::PlanNode;
+    use crate::operator::{JoinSpec, OperatorSpec};
+    use crate::query::QueryPlan;
+    use proptest::prelude::*;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    fn compile(root: PlanNode) -> CompiledQuery {
+        CompiledQuery::compile(&QueryPlan::new(root).unwrap())
+    }
+
+    /// §2 worked example: chain of (c, s) pairs.
+    fn chain(specs: &[(u64, f64)]) -> CompiledQuery {
+        compile(PlanNode::Leaf {
+            stream: StreamId::new(0),
+            ops: specs
+                .iter()
+                .map(|&(c, s)| OperatorSpec::map(ms(c), s))
+                .collect(),
+        })
+    }
+
+    #[test]
+    fn single_op_stats() {
+        let cq = chain(&[(5, 1.0)]);
+        let st = PlanStats::compute(&cq, &StreamRates::none()).unwrap();
+        let leaf = &st.per_leaf[0];
+        assert_eq!(leaf.selectivity, 1.0);
+        assert_eq!(leaf.avg_cost_ns, ms(5).as_nanos() as f64);
+        assert_eq!(leaf.ideal_time, ms(5));
+        // Example 1 priorities: HR = 1/5ms; HNR = 1/(5ms·5ms).
+        let t = ms(5).as_nanos() as f64;
+        assert!((leaf.output_rate() - 1.0 / t).abs() < 1e-18);
+        assert!((leaf.normalized_rate() - 1.0 / (t * t)).abs() < 1e-24);
+    }
+
+    #[test]
+    fn example1_priority_ordering() {
+        // Q1: c=5ms s=1.0; Q2: c=2ms s=0.33. HR prefers Q1, HNR prefers Q2.
+        let q1 = chain(&[(5, 1.0)]);
+        let q2 = chain(&[(2, 0.33)]);
+        let s1 = PlanStats::compute(&q1, &StreamRates::none()).unwrap().per_leaf[0];
+        let s2 = PlanStats::compute(&q2, &StreamRates::none()).unwrap().per_leaf[0];
+        assert!(s1.output_rate() > s2.output_rate(), "HR picks Q1 first");
+        assert!(
+            s2.normalized_rate() > s1.normalized_rate(),
+            "HNR picks Q2 first"
+        );
+    }
+
+    #[test]
+    fn chain_global_selectivity_and_cost() {
+        // S_0 = 0.5·0.4 = 0.2; C̄_0 = 2 + 0.5·10 = 7ms; T = 12ms.
+        let cq = chain(&[(2, 0.5), (10, 0.4)]);
+        let st = PlanStats::compute(&cq, &StreamRates::none()).unwrap();
+        let leaf = &st.per_leaf[0];
+        assert!((leaf.selectivity - 0.2).abs() < 1e-12);
+        assert!((leaf.avg_cost_ns - ms(7).as_nanos() as f64).abs() < 1e-6);
+        assert_eq!(leaf.ideal_time, ms(12));
+        // Mid-segment stats: starting at op 1: S = 0.4, C̄ = 10ms.
+        let mid = st.op(1, Port::Single);
+        assert!((mid.selectivity - 0.4).abs() < 1e-12);
+        assert!((mid.avg_cost_ns - ms(10).as_nanos() as f64).abs() < 1e-6);
+    }
+
+    fn join_query(window_secs: u64) -> CompiledQuery {
+        compile(PlanNode::Join {
+            left: Box::new(PlanNode::Leaf {
+                stream: StreamId::new(0),
+                ops: vec![OperatorSpec::select(ms(1), 0.5)],
+            }),
+            right: Box::new(PlanNode::Leaf {
+                stream: StreamId::new(1),
+                ops: vec![OperatorSpec::select(ms(2), 0.25)],
+            }),
+            join: JoinSpec::new(ms(3), 0.1, Nanos::from_secs(window_secs)),
+            ops: vec![OperatorSpec::project(ms(4))],
+        })
+    }
+
+    #[test]
+    fn join_stats_match_section5_formulas() {
+        // τ_l = 100ms, τ_r = 50ms, V = 1s.
+        let cq = join_query(1);
+        let rates = StreamRates::none()
+            .with(StreamId::new(0), ms(100))
+            .with(StreamId::new(1), ms(50));
+        let st = PlanStats::compute(&cq, &rates).unwrap();
+
+        // E_LL: S_x = S_L · [s_J · S_R · V/τ_R] · S_C
+        //   S_L = 0.5, S_R = 0.25, V/τ_R = 20, s_J = 0.1, S_C = 1.
+        let expect_mult_left = 0.1 * 0.25 * 20.0;
+        let left = &st.per_leaf[0];
+        assert!((left.selectivity - 0.5 * expect_mult_left).abs() < 1e-9);
+        // C̄_LL = c_L + S_L·c_J + S_L·mult·c_C = 1 + 0.5·3 + 0.5·0.5·4 = 3.5ms
+        let expect_cost = 1.0 + 0.5 * 3.0 + 0.5 * expect_mult_left * 4.0;
+        assert!((left.avg_cost_ns - expect_cost * 1e6).abs() < 1e-3);
+
+        // E_RR symmetric: V/τ_L = 10, S_L = 0.5 → mult = 0.1·0.5·10 = 0.5.
+        let right = &st.per_leaf[1];
+        assert!((right.selectivity - 0.25 * 0.5).abs() < 1e-9);
+
+        // T_k = C_L + C_R + 2C_J + C_C = 1 + 2 + 6 + 4 = 13ms (Definition 6);
+        // each leaf's alone path pays the join once.
+        assert_eq!(st.ideal_time, ms(13));
+        assert_eq!(left.alone_cost, ms(1 + 3 + 4));
+        assert_eq!(right.alone_cost, ms(2 + 3 + 4));
+    }
+
+    #[test]
+    fn join_selectivity_scales_with_window() {
+        let rates = StreamRates::none()
+            .with(StreamId::new(0), ms(100))
+            .with(StreamId::new(1), ms(50));
+        let s1 = PlanStats::compute(&join_query(1), &rates).unwrap().per_leaf[0].selectivity;
+        let s10 = PlanStats::compute(&join_query(10), &rates).unwrap().per_leaf[0].selectivity;
+        assert!((s10 / s1 - 10.0).abs() < 1e-9, "S grows linearly with V");
+    }
+
+    #[test]
+    fn join_without_rates_errors() {
+        let cq = join_query(1);
+        let err = PlanStats::compute(&cq, &StreamRates::none()).unwrap_err();
+        assert!(err.to_string().contains("inter-arrival"));
+    }
+
+    #[test]
+    fn single_stream_needs_no_rates() {
+        let cq = chain(&[(1, 0.5)]);
+        assert!(PlanStats::compute(&cq, &StreamRates::none()).is_ok());
+    }
+
+    #[test]
+    fn join_selectivity_can_exceed_one() {
+        // Dense window: each arrival meets many partners (selectivity > 1,
+        // as §9.1.7 notes for join queries).
+        let cq = compile(PlanNode::Join {
+            left: Box::new(PlanNode::Leaf {
+                stream: StreamId::new(0),
+                ops: vec![],
+            }),
+            right: Box::new(PlanNode::Leaf {
+                stream: StreamId::new(1),
+                ops: vec![],
+            }),
+            join: JoinSpec::new(ms(1), 1.0, Nanos::from_secs(10)),
+            ops: vec![],
+        });
+        let rates = StreamRates::none()
+            .with(StreamId::new(0), ms(100))
+            .with(StreamId::new(1), ms(100));
+        let st = PlanStats::compute(&cq, &rates).unwrap();
+        // V/τ = 100 partners expected.
+        assert!(st.per_leaf[0].selectivity > 1.0);
+        assert!((st.per_leaf[0].selectivity - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bsd_static_is_normalized_rate_over_t() {
+        let cq = chain(&[(2, 0.33)]);
+        let st = PlanStats::compute(&cq, &StreamRates::none()).unwrap();
+        let leaf = &st.per_leaf[0];
+        let t = leaf.ideal_time.as_nanos() as f64;
+        assert!((leaf.bsd_static() - leaf.normalized_rate() / t).abs() < 1e-30);
+    }
+
+    proptest! {
+        /// For pure filter chains, C̄ ≤ T always (expected cost cannot exceed
+        /// the everything-passes cost), with equality iff all s = 1.
+        #[test]
+        fn avg_cost_bounded_by_ideal_time(
+            specs in proptest::collection::vec((1u64..20, 0.05f64..1.0), 1..6)
+        ) {
+            let cq = chain(&specs);
+            let st = PlanStats::compute(&cq, &StreamRates::none()).unwrap();
+            let leaf = &st.per_leaf[0];
+            prop_assert!(leaf.avg_cost_ns <= leaf.ideal_time.as_nanos() as f64 + 1e-6);
+            prop_assert!(leaf.selectivity > 0.0 && leaf.selectivity <= 1.0);
+        }
+
+        /// Segment selectivity from op k equals the product of the remaining
+        /// operator selectivities.
+        #[test]
+        fn segment_selectivity_is_suffix_product(
+            specs in proptest::collection::vec((1u64..20, 0.05f64..1.0), 1..6)
+        ) {
+            let cq = chain(&specs);
+            let st = PlanStats::compute(&cq, &StreamRates::none()).unwrap();
+            for k in 0..specs.len() {
+                let expect: f64 = specs[k..].iter().map(|&(_, s)| s).product();
+                let got = st.op(k, Port::Single).selectivity;
+                prop_assert!((got - expect).abs() < 1e-9);
+            }
+        }
+
+        /// HNR ordering is invariant to rescaling all costs by a constant
+        /// factor applied to both queries... (scaling K must not change the
+        /// relative order of priorities with equal structure).
+        #[test]
+        fn priority_order_scale_invariant(
+            c1 in 1u64..50, s1 in 0.05f64..1.0,
+            c2 in 1u64..50, s2 in 0.05f64..1.0,
+            scale in 2u64..10,
+        ) {
+            let a1 = PlanStats::compute(&chain(&[(c1, s1)]), &StreamRates::none()).unwrap().per_leaf[0];
+            let a2 = PlanStats::compute(&chain(&[(c2, s2)]), &StreamRates::none()).unwrap().per_leaf[0];
+            let b1 = PlanStats::compute(&chain(&[(c1 * scale, s1)]), &StreamRates::none()).unwrap().per_leaf[0];
+            let b2 = PlanStats::compute(&chain(&[(c2 * scale, s2)]), &StreamRates::none()).unwrap().per_leaf[0];
+            prop_assert_eq!(
+                a1.normalized_rate() > a2.normalized_rate(),
+                b1.normalized_rate() > b2.normalized_rate()
+            );
+            prop_assert_eq!(
+                a1.output_rate() > a2.output_rate(),
+                b1.output_rate() > b2.output_rate()
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! CLI entry point: regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson]
+//!
+//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate all
+//! (fig5..fig11 share one sweep; requesting any of them runs the sweep once)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hcq_repro::{ext_lp, ext_memory, ext_preemption, ext_seeds, fig11, fig12, fig13, fig14, fig5_to_10, table1, table2, table3, validate, ExpConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut exhibits: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--queries" => cfg.queries = parse(it.next(), "--queries"),
+            "--arrivals" => cfg.arrivals = parse(it.next(), "--arrivals"),
+            "--seed" => cfg.seed = parse(it.next(), "--seed"),
+            "--out" => cfg.out_dir = PathBuf::from(expect(it.next(), "--out")),
+            "--poisson" => cfg.bursty = false,
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+            other => exhibits.push(other.to_string()),
+        }
+    }
+    if exhibits.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    if exhibits.iter().any(|e| e == "all") {
+        exhibits = vec![
+            "table1".into(),
+            "sweep".into(),
+            "fig12".into(),
+            "fig13".into(),
+            "fig14".into(),
+            "table2".into(),
+            "table3".into(),
+            "ext_memory".into(),
+            "ext_lp".into(),
+            "ext_preemption".into(),
+            "ext_seeds".into(),
+        ];
+    }
+    // fig5..fig11 are slices of one sweep; dedupe to a single run.
+    let wants_sweep = exhibits.iter().any(|e| {
+        matches!(
+            e.as_str(),
+            "sweep" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10"
+        )
+    });
+    let mut ran_fig11 = false;
+    if wants_sweep {
+        fig5_to_10(&cfg);
+        ran_fig11 = true;
+    }
+    for e in &exhibits {
+        match e.as_str() {
+            "sweep" | "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" => {}
+            "fig11" => {
+                if !ran_fig11 {
+                    fig11(&cfg);
+                    ran_fig11 = true;
+                }
+            }
+            "table1" => {
+                table1(&cfg);
+            }
+            "fig12" => {
+                fig12(&cfg);
+            }
+            "fig13" => {
+                fig13(&cfg);
+            }
+            "fig14" => {
+                fig14(&cfg);
+            }
+            "table2" => {
+                table2(&cfg);
+            }
+            "ext_memory" => {
+                ext_memory(&cfg);
+            }
+            "ext_lp" => {
+                ext_lp(&cfg);
+            }
+            "ext_preemption" => {
+                ext_preemption(&cfg);
+            }
+            "ext_seeds" => {
+                ext_seeds(&cfg);
+            }
+            "table3" => {
+                table3(&cfg);
+            }
+            "validate" => {
+                let results = validate(&cfg);
+                if results.iter().any(|r| !r.pass) {
+                    return ExitCode::FAILURE;
+                }
+            }
+            other => {
+                eprintln!("unknown exhibit {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    println!("CSV output in {}", cfg.out_dir.display());
+    ExitCode::SUCCESS
+}
+
+fn expect(v: Option<String>, flag: &str) -> String {
+    v.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
+    expect(v, flag).parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs a numeric value");
+        std::process::exit(2);
+    })
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate all"
+    );
+}

@@ -1,0 +1,710 @@
+//! One function per table/figure of §9.
+
+use hcq_common::{det, Nanos, StreamId};
+use hcq_core::{ClusterConfig, Clustering, ClusteredBsdPolicy, PolicyKind, SharingStrategy};
+use hcq_engine::{simulate, SimConfig, SimReport};
+use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
+use hcq_streams::{PoissonSource, TraceReplay};
+use hcq_workload::{multi_stream, shared, MultiStreamConfig, SharedConfig};
+
+use crate::harness::{ExpConfig, SweepResults};
+use crate::plot::Chart;
+use crate::table::{fnum, AsciiTable};
+
+/// A rendered exhibit: the table plus where its CSV landed.
+#[derive(Debug)]
+pub struct ExhibitOutput {
+    /// Exhibit id, e.g. `fig5`.
+    pub name: &'static str,
+    /// The series/rows the paper plots.
+    pub table: AsciiTable,
+}
+
+impl ExhibitOutput {
+    fn emit(self, cfg: &ExpConfig) -> ExhibitOutput {
+        let path = cfg.out_dir.join(format!("{}.csv", self.name));
+        self.table
+            .write_csv(&path)
+            .unwrap_or_else(|e| eprintln!("warning: could not write {path:?}: {e}"));
+        println!("== {} ==\n{}", self.name, self.table.render());
+        self
+    }
+}
+
+// ---------------------------------------------------------------- Table 1
+
+/// The four Table 1 numbers `(HR response, HR slowdown, HNR response, HNR
+/// slowdown)` in milliseconds/ratios — used by the scorecard.
+pub fn table1_values() -> (f64, f64, f64, f64) {
+    let hr = run_example1(PolicyKind::Hr);
+    let hnr = run_example1(PolicyKind::Hnr);
+    (
+        hr.qos.avg_response_ms,
+        hr.qos.avg_slowdown,
+        hnr.qos.avg_response_ms,
+        hnr.qos.avg_slowdown,
+    )
+}
+
+/// Table 1 (§3.4, Example 1): HR vs HNR on the two-query example. Exact.
+pub fn table1(cfg: &ExpConfig) -> ExhibitOutput {
+    let mut t = AsciiTable::new(vec!["policy", "response_ms", "slowdown"]);
+    for kind in [PolicyKind::Hr, PolicyKind::Hnr] {
+        let r = run_example1(kind);
+        t.row(vec![
+            kind.name().to_string(),
+            fnum(r.qos.avg_response_ms),
+            fnum(r.qos.avg_slowdown),
+        ]);
+    }
+    ExhibitOutput {
+        name: "table1",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+fn run_example1(kind: PolicyKind) -> SimReport {
+    fn key_of(seed: u64, id: u64) -> u64 {
+        det::unit_range(det::splitmix64(det::mix2(seed, id)), 1, 100)
+    }
+    // Example 1 needs exactly the middle tuple to pass Q2's 0.33-selective
+    // predicate (`key ≤ 33`).
+    let seed = (0..10_000u64)
+        .find(|&s| key_of(s, 0) > 33 && key_of(s, 1) <= 33 && key_of(s, 2) > 33)
+        .expect("suitable seed");
+    let run = |kind: PolicyKind| -> SimReport {
+        let mut plan = GlobalPlan::default();
+        plan.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(Nanos::from_millis(5), 1.0)
+                .build()
+                .unwrap(),
+        );
+        plan.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(Nanos::from_millis(2), 0.33)
+                .build()
+                .unwrap(),
+        );
+        let trace =
+            TraceReplay::from_arrivals(vec![Nanos::ZERO; 3]).unwrap();
+        simulate(
+            &plan,
+            &StreamRates::none(),
+            vec![Box::new(trace)],
+            kind.build(),
+            SimConfig::new(3).with_seed(seed),
+        )
+        .unwrap()
+    };
+    run(kind)
+}
+
+// ----------------------------------------------------------- Figures 5–10
+
+/// Figures 5–10 share one policy × utilization sweep; regenerate them all.
+pub fn fig5_to_10(cfg: &ExpConfig) -> Vec<ExhibitOutput> {
+    println!("running policy x load sweep ({} queries, {} arrivals per cell)...",
+        cfg.queries, cfg.arrivals);
+    let sweep = SweepResults::collect(cfg, |msg| println!("{msg}"));
+    let series = |name: &'static str,
+                  policies: &[PolicyKind],
+                  metric: fn(&SimReport) -> f64|
+     -> ExhibitOutput {
+        let mut header = vec!["utilization".to_string()];
+        header.extend(policies.iter().map(|p| p.name().to_string()));
+        let mut t = AsciiTable::new(header);
+        for &util in &ExpConfig::UTILIZATIONS {
+            let mut row = vec![format!("{util:.2}")];
+            for &p in policies {
+                row.push(fnum(metric(sweep.get(p, util))));
+            }
+            t.row(row);
+        }
+        // Terminal sketch of the figure (log-y; series letters per policy).
+        let mut chart = Chart::new(
+            format!("{name} (log y)"),
+            ExpConfig::UTILIZATIONS
+                .iter()
+                .map(|u| format!("{u:.2}"))
+                .collect(),
+        );
+        for &p in policies {
+            chart = chart.series(
+                p.name(),
+                ExpConfig::UTILIZATIONS
+                    .iter()
+                    .map(|&u| metric(sweep.get(p, u)))
+                    .collect(),
+            );
+        }
+        let out = ExhibitOutput { name, table: t }.emit(cfg);
+        println!("{}", chart.render(12));
+        out
+    };
+
+    let avg_sd = |r: &SimReport| r.qos.avg_slowdown;
+    let avg_rt = |r: &SimReport| r.qos.avg_response_ms;
+    let max_sd = |r: &SimReport| r.qos.max_slowdown;
+    let l2 = |r: &SimReport| r.qos.l2_slowdown;
+
+    let classic = [
+        PolicyKind::RoundRobin,
+        PolicyKind::Fcfs,
+        PolicyKind::Srpt,
+        PolicyKind::Hr,
+        PolicyKind::Hnr,
+    ];
+    let slowdown_trio = [PolicyKind::Hnr, PolicyKind::Lsf, PolicyKind::Bsd];
+
+    vec![
+        series("fig5", &classic, avg_sd),
+        series("fig6", &classic, avg_rt),
+        series(
+            "fig7",
+            &[PolicyKind::Hr, PolicyKind::Hnr, PolicyKind::Lsf],
+            max_sd,
+        ),
+        series("fig8", &slowdown_trio, max_sd),
+        series("fig9", &slowdown_trio, avg_sd),
+        series("fig10", &slowdown_trio, l2),
+        fig11_from_sweep(cfg, &sweep),
+    ]
+}
+
+/// Figure 11: per-class slowdown of the low-cost queries (cost class 0) by
+/// selectivity bucket, at 0.9 utilization.
+fn fig11_from_sweep(cfg: &ExpConfig, sweep: &SweepResults) -> ExhibitOutput {
+    let policies = [PolicyKind::Hr, PolicyKind::Hnr, PolicyKind::Bsd];
+    let mut header = vec!["selectivity".to_string()];
+    header.extend(policies.iter().map(|p| p.name().to_string()));
+    let mut t = AsciiTable::new(header);
+    for bucket in 0..10u8 {
+        let mut row = vec![format!("{:.2}", 0.05 + 0.1 * f64::from(bucket))];
+        let mut any = false;
+        for &p in &policies {
+            let r = sweep.get(p, 0.9);
+            let cell = r
+                .classes
+                .by_cost_class(0)
+                .into_iter()
+                .find(|(b, _)| *b == bucket)
+                .map(|(_, s)| {
+                    any = true;
+                    fnum(s.avg_slowdown)
+                })
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        if any {
+            t.row(row);
+        }
+    }
+    ExhibitOutput {
+        name: "fig11",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+/// Figure 11 standalone entry point (runs just the three needed cells).
+pub fn fig11(cfg: &ExpConfig) -> ExhibitOutput {
+    let policies = [PolicyKind::Hr, PolicyKind::Hnr, PolicyKind::Bsd];
+    let reports: Vec<SimReport> = policies
+        .iter()
+        .map(|&p| cfg.run_single(0.9, p.build()))
+        .collect();
+    let mut header = vec!["selectivity".to_string()];
+    header.extend(policies.iter().map(|p| p.name().to_string()));
+    let mut t = AsciiTable::new(header);
+    for bucket in 0..10u8 {
+        let mut row = vec![format!("{:.2}", 0.05 + 0.1 * f64::from(bucket))];
+        let mut any = false;
+        for r in &reports {
+            let cell = r
+                .classes
+                .by_cost_class(0)
+                .into_iter()
+                .find(|(b, _)| *b == bucket)
+                .map(|(_, s)| {
+                    any = true;
+                    fnum(s.avg_slowdown)
+                })
+                .unwrap_or_else(|| "-".into());
+            row.push(cell);
+        }
+        if any {
+            t.row(row);
+        }
+    }
+    ExhibitOutput {
+        name: "fig11",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// -------------------------------------------------------------- Figure 12
+
+/// Figure 12: ℓ2 norm of slowdowns for multi-stream (window-join) queries.
+pub fn fig12(cfg: &ExpConfig) -> ExhibitOutput {
+    let policies = [
+        PolicyKind::Fcfs,
+        PolicyKind::RoundRobin,
+        PolicyKind::Hnr,
+        PolicyKind::Bsd,
+    ];
+    // Window joins fan out; scale the population down and the inter-arrival
+    // up so window occupancies stay in the paper's regime.
+    let queries = (cfg.queries / 3).max(10);
+    let mean_gap = Nanos::from_millis(500);
+    let mut header = vec!["utilization".to_string()];
+    header.extend(policies.iter().map(|p| p.name().to_string()));
+    let mut t = AsciiTable::new(header);
+    for &util in &[0.5, 0.6, 0.7, 0.8, 0.9] {
+        println!("  multi-stream @ {util:.2}");
+        let w = multi_stream(&MultiStreamConfig {
+            queries,
+            cost_classes: 5,
+            utilization: util,
+            mean_gap,
+            window_range: (Nanos::from_secs(1), Nanos::from_secs(10)),
+            seed: cfg.seed,
+        })
+        .expect("valid multi-stream config");
+        let mut row = vec![format!("{util:.2}")];
+        for &p in &policies {
+            let sources: Vec<Box<dyn hcq_streams::ArrivalSource>> = vec![
+                Box::new(PoissonSource::new(mean_gap, cfg.seed ^ 0xA)),
+                Box::new(PoissonSource::new(mean_gap, cfg.seed ^ 0xB)),
+            ];
+            let r = simulate(
+                &w.plan,
+                &w.rates,
+                sources,
+                p.build(),
+                SimConfig::new(cfg.arrivals).with_seed(cfg.seed),
+            )
+            .expect("valid simulation");
+            row.push(fnum(r.qos.l2_slowdown));
+        }
+        t.row(row);
+    }
+    ExhibitOutput {
+        name: "fig12",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// -------------------------------------------------------------- Figure 13
+
+/// Figure 13: ℓ2 vs number of clusters at 0.95 utilization, with scheduling
+/// overhead charged at the cheapest operator's cost.
+pub fn fig13(cfg: &ExpConfig) -> ExhibitOutput {
+    let util = 0.95;
+    let ms: Vec<usize> = vec![2, 4, 6, 8, 10, 12, 16, 24, 32];
+    let mut t = AsciiTable::new(vec![
+        "clusters",
+        "HNR",
+        "BSD-Hypothetical",
+        "BSD-Uniform",
+        "BSD-Logarithmic",
+    ]);
+    println!("  reference policies @ {util}");
+    let hnr = cfg
+        .run_single_with(util, PolicyKind::Hnr.build(), |c| c.with_overhead(true))
+        .qos
+        .l2_slowdown;
+    let hypo = cfg
+        .run_single(util, PolicyKind::Bsd.build())
+        .qos
+        .l2_slowdown;
+    for &m in &ms {
+        println!("  clustered BSD @ m={m}");
+        let uniform = cfg
+            .run_single_with(
+                util,
+                Box::new(ClusteredBsdPolicy::new(ClusterConfig::uniform(m))),
+                |c| c.with_overhead(true),
+            )
+            .qos
+            .l2_slowdown;
+        let log = cfg
+            .run_single_with(
+                util,
+                Box::new(ClusteredBsdPolicy::new(ClusterConfig::logarithmic(m))),
+                |c| c.with_overhead(true),
+            )
+            .qos
+            .l2_slowdown;
+        t.row(vec![
+            m.to_string(),
+            fnum(hnr),
+            fnum(hypo),
+            fnum(uniform),
+            fnum(log),
+        ]);
+    }
+    ExhibitOutput {
+        name: "fig13",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// -------------------------------------------------------------- Figure 14
+
+/// Figure 14: incremental implementation gains of the §6 techniques at
+/// m = 12 logarithmic clusters, 0.95 utilization.
+pub fn fig14(cfg: &ExpConfig) -> ExhibitOutput {
+    let util = 0.95;
+    let m = 12;
+    type Variant = (&'static str, Box<dyn hcq_core::Policy>, bool);
+    let variants: Vec<Variant> = vec![
+        ("BSD-Naive", PolicyKind::Bsd.build(), true),
+        (
+            "+Log-Clustering",
+            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
+                clustering: Clustering::Logarithmic,
+                clusters: m,
+                use_fagin: false,
+                batch: false,
+            })),
+            true,
+        ),
+        (
+            "+FA-Pruning",
+            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
+                clustering: Clustering::Logarithmic,
+                clusters: m,
+                use_fagin: true,
+                batch: false,
+            })),
+            true,
+        ),
+        (
+            "+Clustered-Processing",
+            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
+                clustering: Clustering::Logarithmic,
+                clusters: m,
+                use_fagin: true,
+                batch: true,
+            })),
+            true,
+        ),
+        ("BSD-Hypothetical", PolicyKind::Bsd.build(), false),
+    ];
+    let mut t = AsciiTable::new(vec![
+        "variant",
+        "l2_slowdown",
+        "ops_per_point",
+        "overhead_share",
+    ]);
+    for (name, policy, charge) in variants {
+        println!("  {name}");
+        let r = cfg.run_single_with(util, policy, |c| c.with_overhead(charge));
+        let share = r.overhead_time.ratio(r.end_time.max(Nanos(1)));
+        t.row(vec![
+            name.to_string(),
+            fnum(r.qos.l2_slowdown),
+            fnum(r.ops_per_sched_point()),
+            fnum(share),
+        ]);
+    }
+    ExhibitOutput {
+        name: "fig14",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// --------------------------------------------------------------- Table 2
+
+/// Table 2: operator sharing — Max vs Sum vs PDT priorities, measured on
+/// the metric each policy optimizes.
+pub fn table2(cfg: &ExpConfig) -> ExhibitOutput {
+    let util = 0.9;
+    let groups = (cfg.queries / 10).max(3);
+    let mut t = AsciiTable::new(vec!["metric", "policy", "Max", "Sum", "PDT"]);
+    let build = || {
+        shared(&SharedConfig {
+            groups,
+            group_size: 10,
+            cost_classes: 5,
+            utilization: util,
+            mean_gap: cfg.mean_gap,
+            seed: cfg.seed,
+        })
+        .expect("valid shared config")
+    };
+    let strategies = [
+        SharingStrategy::Max,
+        SharingStrategy::Sum,
+        SharingStrategy::Pdt,
+    ];
+    let mut rows: Vec<(&str, &str, Vec<f64>)> = vec![
+        ("avg_slowdown", "HNR", Vec::new()),
+        ("l2_norm", "BSD", Vec::new()),
+    ];
+    for strat in strategies {
+        println!("  sharing strategy {}", strat.name());
+        let w = build();
+        let hnr = simulate(
+            &w.plan,
+            &w.rates,
+            vec![cfg.source(0)],
+            PolicyKind::Hnr.build(),
+            SimConfig::new(cfg.arrivals)
+                .with_seed(cfg.seed)
+                .with_sharing(strat),
+        )
+        .expect("valid simulation");
+        rows[0].2.push(hnr.qos.avg_slowdown);
+        let w = build();
+        let bsd = simulate(
+            &w.plan,
+            &w.rates,
+            vec![cfg.source(0)],
+            PolicyKind::Bsd.build(),
+            SimConfig::new(cfg.arrivals)
+                .with_seed(cfg.seed)
+                .with_sharing(strat),
+        )
+        .expect("valid simulation");
+        rows[1].2.push(bsd.qos.l2_slowdown);
+    }
+    for (metric, policy, vals) in rows {
+        t.row(vec![
+            metric.to_string(),
+            policy.to_string(),
+            fnum(vals[0]),
+            fnum(vals[1]),
+            fnum(vals[2]),
+        ]);
+    }
+    ExhibitOutput {
+        name: "table2",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// ------------------------------------------------- Extension: memory ablation
+
+/// Extension exhibit (beyond the paper's figures): memory footprint versus
+/// QoS across policies, including Chain (Babcock et al., SIGMOD'03 — the
+/// memory-optimal policy the paper's Table 3 classifies). Chain should give
+/// the lowest time-averaged queue population; the slowdown-oriented policies
+/// pay some memory for their QoS.
+pub fn ext_memory(cfg: &ExpConfig) -> ExhibitOutput {
+    use hcq_core::StaticPolicy;
+    use hcq_engine::{SchedulingLevel, SimModel};
+
+    let util = 0.9;
+    let w = cfg.workload(util);
+    let model = SimModel::build(
+        &w.plan,
+        &w.rates,
+        SchedulingLevel::Query,
+        SharingStrategy::Pdt,
+    )
+    .expect("valid model");
+    let chain_priorities = model.chain_priorities();
+
+    let mut t = AsciiTable::new(vec![
+        "policy",
+        "avg_pending",
+        "peak_pending",
+        "avg_slowdown",
+        "l2_slowdown",
+    ]);
+    let mut run = |name: &str, policy: Box<dyn hcq_core::Policy>| {
+        println!("  {name}");
+        let r = simulate(
+            &w.plan,
+            &w.rates,
+            vec![cfg.source(0)],
+            policy,
+            SimConfig::new(cfg.arrivals).with_seed(cfg.seed),
+        )
+        .expect("valid simulation");
+        t.row(vec![
+            name.to_string(),
+            fnum(r.avg_pending),
+            r.peak_pending.to_string(),
+            fnum(r.qos.avg_slowdown),
+            fnum(r.qos.l2_slowdown),
+        ]);
+    };
+    run(
+        "Chain",
+        Box::new(StaticPolicy::custom("Chain", chain_priorities)),
+    );
+    for kind in [
+        PolicyKind::Fcfs,
+        PolicyKind::RoundRobin,
+        PolicyKind::Hr,
+        PolicyKind::Hnr,
+        PolicyKind::Bsd,
+    ] {
+        run(kind.name(), kind.build());
+    }
+    ExhibitOutput {
+        name: "ext_memory",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// ------------------------------------------------ Extension: the ℓp knob
+
+/// Extension exhibit: the ℓp-norm generalization of BSD. The §4.2.2
+/// derivation at exponent `p` gives priority `(S/(C̄·T^p))·W^(p−1)`, which
+/// interpolates HNR (p = 1) → BSD (p = 2) → LSF-like (p → ∞). Sweeping `p`
+/// shows the single knob trading average slowdown against maximum slowdown.
+pub fn ext_lp(cfg: &ExpConfig) -> ExhibitOutput {
+    use hcq_core::LpPolicy;
+    let util = 0.95;
+    let mut t = AsciiTable::new(vec!["policy", "avg_slowdown", "max_slowdown", "l2_norm"]);
+    let mut run = |name: String, policy: Box<dyn hcq_core::Policy>| {
+        println!("  {name}");
+        let r = cfg.run_single(util, policy);
+        t.row(vec![
+            name,
+            fnum(r.qos.avg_slowdown),
+            fnum(r.qos.max_slowdown),
+            fnum(r.qos.l2_slowdown),
+        ]);
+    };
+    run("HNR (=p1)".into(), PolicyKind::Hnr.build());
+    for p in [1.5, 2.0, 3.0, 6.0, 12.0] {
+        run(format!("Lp p={p}"), Box::new(LpPolicy::new(p)));
+    }
+    run("LSF (~p inf)".into(), PolicyKind::Lsf.build());
+    ExhibitOutput {
+        name: "ext_lp",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// ------------------------------------- Extension: scheduling granularity
+
+/// Extension exhibit: query-level (non-preemptive) versus operator-level
+/// (preemptive) scheduling points (§6's two levels) for the same policies.
+/// Preemption lets a newly arrived high-priority tuple interrupt a long
+/// pipeline between operators, at the price of many more scheduling points.
+pub fn ext_preemption(cfg: &ExpConfig) -> ExhibitOutput {
+    use hcq_engine::SchedulingLevel;
+    let util = 0.9;
+    let mut t = AsciiTable::new(vec![
+        "policy",
+        "level",
+        "avg_slowdown",
+        "max_slowdown",
+        "sched_points",
+    ]);
+    for kind in [PolicyKind::Hnr, PolicyKind::Bsd, PolicyKind::Lsf] {
+        for (label, level) in [
+            ("query", SchedulingLevel::Query),
+            ("operator", SchedulingLevel::Operator),
+        ] {
+            println!("  {} @ {label}", kind.name());
+            let r = cfg.run_single_with(util, kind.build(), |c| c.with_level(level));
+            t.row(vec![
+                kind.name().to_string(),
+                label.to_string(),
+                fnum(r.qos.avg_slowdown),
+                fnum(r.qos.max_slowdown),
+                r.sched_points.to_string(),
+            ]);
+        }
+    }
+    ExhibitOutput {
+        name: "ext_preemption",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// --------------------------------------------------------------- Table 3
+
+/// Table 3: the paper's taxonomy of priority-based CQ scheduling policies,
+/// annotated with where each lives in this repository.
+pub fn table3(cfg: &ExpConfig) -> ExhibitOutput {
+    let mut t = AsciiTable::new(vec![
+        "policy",
+        "objective",
+        "metric",
+        "multi_cq",
+        "join_cq",
+        "implementation",
+    ]);
+    let rows: [(&str, &str, &str, &str, &str, &str); 9] = [
+        ("RB", "average", "response time", "no", "yes", "operator-level HR"),
+        ("ML", "average", "response time", "no", "no", "operator-level HR (≈)"),
+        ("RR", "average", "response time", "yes", "no", "RoundRobinPolicy"),
+        ("HR", "average", "response time", "yes", "yes", "StaticPolicy::hr"),
+        ("HNR", "average", "slowdown", "yes", "yes", "StaticPolicy::hnr"),
+        ("LSF", "maximum", "slowdown", "yes", "yes", "LsfPolicy"),
+        ("BSD", "l2", "slowdown", "yes", "yes", "BsdPolicy / ClusteredBsdPolicy"),
+        ("Chain", "maximum", "memory", "yes", "yes", "StaticPolicy::custom + chain_priorities"),
+        ("FAS", "average", "freshness", "yes", "no", "not implemented (out of scope)"),
+    ];
+    for (p, o, m, mc, jc, imp) in rows {
+        t.row(vec![p, o, m, mc, jc, imp]);
+    }
+    ExhibitOutput {
+        name: "table3",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// ------------------------------------------- Extension: seed sensitivity
+
+/// Extension exhibit: robustness of the headline orderings across workload
+/// seeds. Each row is an independent draw of the §8 workload (parameters
+/// *and* arrivals); the orderings the paper reports should hold for every
+/// seed, not just a lucky one.
+pub fn ext_seeds(cfg: &ExpConfig) -> ExhibitOutput {
+    let util = 0.9;
+    let mut t = AsciiTable::new(vec![
+        "seed",
+        "hnr_best_avg",
+        "hr_best_resp",
+        "lsf_best_max",
+        "bsd_best_l2",
+    ]);
+    for s in 0..5u64 {
+        println!("  seed {s}");
+        let seeded = ExpConfig {
+            seed: cfg.seed.wrapping_add(s * 7919),
+            ..cfg.clone()
+        };
+        let run = |kind: PolicyKind| seeded.run_single(util, kind.build());
+        let hnr = run(PolicyKind::Hnr);
+        let hr = run(PolicyKind::Hr);
+        let lsf = run(PolicyKind::Lsf);
+        let bsd = run(PolicyKind::Bsd);
+        let fcfs = run(PolicyKind::Fcfs);
+        let mark = |ok: bool| if ok { "yes" } else { "NO" }.to_string();
+        t.row(vec![
+            seeded.seed.to_string(),
+            mark(hnr.qos.avg_slowdown < hr.qos.avg_slowdown
+                && hnr.qos.avg_slowdown < fcfs.qos.avg_slowdown),
+            mark(hr.qos.avg_response_ms <= hnr.qos.avg_response_ms),
+            mark(lsf.qos.max_slowdown < hnr.qos.max_slowdown
+                && lsf.qos.max_slowdown < bsd.qos.max_slowdown),
+            mark(bsd.qos.l2_slowdown < hnr.qos.l2_slowdown
+                && bsd.qos.l2_slowdown < lsf.qos.l2_slowdown),
+        ]);
+    }
+    ExhibitOutput {
+        name: "ext_seeds",
+        table: t,
+    }
+    .emit(cfg)
+}

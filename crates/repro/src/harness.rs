@@ -1,0 +1,174 @@
+//! Shared experiment machinery: configuration, sources, the policy × load
+//! sweep that Figures 5–10 are sliced from.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use hcq_common::Nanos;
+use hcq_core::{Policy, PolicyKind};
+use hcq_engine::{simulate, SimConfig, SimReport};
+use hcq_streams::{ArrivalSource, OnOffSource, PoissonSource};
+use hcq_workload::{single_stream, PaperWorkload, SingleStreamConfig};
+
+/// Scale and seeding of a reproduction run.
+#[derive(Debug, Clone)]
+pub struct ExpConfig {
+    /// Registered queries (paper: 500; default scaled down for minutes-long
+    /// full reproductions — pass `--queries 500` for paper scale).
+    pub queries: usize,
+    /// Source arrivals per run.
+    pub arrivals: u64,
+    /// Mean inter-arrival time of each stream.
+    pub mean_gap: Nanos,
+    /// Master seed.
+    pub seed: u64,
+    /// Output directory for CSVs.
+    pub out_dir: PathBuf,
+    /// Use the bursty on/off (LBL-like) source for single-stream
+    /// experiments, as the paper does; `false` uses Poisson.
+    pub bursty: bool,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        ExpConfig {
+            queries: 150,
+            arrivals: 4_000,
+            mean_gap: Nanos::from_millis(10),
+            seed: 42,
+            out_dir: PathBuf::from("results"),
+            bursty: true,
+        }
+    }
+}
+
+impl ExpConfig {
+    /// The load points the §9 figures sweep.
+    pub const UTILIZATIONS: [f64; 7] = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.97];
+
+    /// The single-stream source for stream index `s`.
+    pub fn source(&self, s: usize) -> Box<dyn ArrivalSource> {
+        if self.bursty {
+            Box::new(OnOffSource::lbl_like(self.mean_gap, self.seed ^ s as u64))
+        } else {
+            Box::new(PoissonSource::new(self.mean_gap, self.seed ^ s as u64))
+        }
+    }
+
+    /// Build the §8 single-stream workload at a utilization.
+    pub fn workload(&self, utilization: f64) -> PaperWorkload {
+        single_stream(&SingleStreamConfig {
+            queries: self.queries,
+            cost_classes: 5,
+            utilization,
+            mean_gap: self.mean_gap,
+            seed: self.seed,
+        })
+        .expect("valid workload config")
+    }
+
+    /// Run one policy on the single-stream workload at one utilization.
+    pub fn run_single(&self, utilization: f64, policy: Box<dyn Policy>) -> SimReport {
+        self.run_single_with(utilization, policy, |c| c)
+    }
+
+    /// As [`ExpConfig::run_single`] with a [`SimConfig`] tweak (overhead
+    /// charging, sharing strategy, ...).
+    pub fn run_single_with(
+        &self,
+        utilization: f64,
+        policy: Box<dyn Policy>,
+        tweak: impl FnOnce(SimConfig) -> SimConfig,
+    ) -> SimReport {
+        let w = self.workload(utilization);
+        let cfg = tweak(SimConfig::new(self.arrivals).with_seed(self.seed));
+        simulate(&w.plan, &w.rates, vec![self.source(0)], policy, cfg)
+            .expect("simulation config is valid")
+    }
+}
+
+/// Cached results of the policy × utilization sweep behind Figures 5–10.
+#[derive(Debug)]
+pub struct SweepResults {
+    /// `(policy name, utilization·100) → report`.
+    results: BTreeMap<(&'static str, u32), SimReport>,
+}
+
+impl SweepResults {
+    /// Run the full sweep: all seven policies at all seven load points.
+    pub fn collect(cfg: &ExpConfig, progress: impl Fn(&str)) -> Self {
+        let mut results = BTreeMap::new();
+        for kind in PolicyKind::ALL {
+            for &util in &ExpConfig::UTILIZATIONS {
+                progress(&format!("  {} @ {util:.2}", kind.name()));
+                let report = cfg.run_single(util, kind.build());
+                results.insert((kind.name(), key(util)), report);
+            }
+        }
+        SweepResults { results }
+    }
+
+    /// The report for a policy at a load point.
+    pub fn get(&self, policy: PolicyKind, util: f64) -> &SimReport {
+        &self.results[&(policy.name(), key(util))]
+    }
+}
+
+fn key(util: f64) -> u32 {
+    (util * 100.0).round() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ExpConfig {
+        ExpConfig {
+            queries: 10,
+            arrivals: 200,
+            mean_gap: Nanos::from_millis(10),
+            seed: 7,
+            out_dir: std::env::temp_dir(),
+            bursty: false,
+        }
+    }
+
+    #[test]
+    fn run_single_produces_emissions() {
+        let r = tiny().run_single(0.5, PolicyKind::Hnr.build());
+        assert!(r.emitted > 0);
+        assert!(r.qos.avg_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn workload_scales_with_utilization() {
+        let cfg = tiny();
+        let lo = cfg.workload(0.5);
+        let hi = cfg.workload(1.0);
+        assert!((hi.k_ns / lo.k_ns - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sources_are_seeded() {
+        let cfg = tiny();
+        let mut a = cfg.source(0);
+        let mut b = cfg.source(0);
+        let mut c = cfg.source(1);
+        assert_eq!(a.next_arrival(), b.next_arrival());
+        // Different stream index, different seed: overwhelmingly different.
+        assert_ne!(a.next_arrival(), c.next_arrival());
+    }
+
+    #[test]
+    fn sweep_stores_every_cell() {
+        let mut small = tiny();
+        small.arrivals = 50;
+        let sweep = SweepResults::collect(&small, |_| {});
+        for kind in PolicyKind::ALL {
+            for &util in &ExpConfig::UTILIZATIONS {
+                let r = sweep.get(kind, util);
+                assert!(r.arrivals == 50);
+            }
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Reproduction harness for every table and figure of §9.
+//!
+//! Each `figNN`/`tableN` function regenerates one exhibit: it builds the §8
+//! workload at the requested scale, runs the relevant policies through the
+//! simulator, prints the series the paper plots, and writes a CSV next to
+//! the binary's `--out` directory. `EXPERIMENTS.md` records a reference run
+//! against the paper's reported shapes.
+//!
+//! Absolute values are not expected to match the paper (different hardware
+//! model, trace substitute, scaled-down defaults); orderings, gaps and
+//! crossovers are the reproduction target.
+
+pub mod exhibits;
+pub mod harness;
+pub mod plot;
+pub mod table;
+pub mod validate;
+
+pub use exhibits::{ext_lp, ext_memory, ext_preemption, ext_seeds, fig11, fig12, fig13, fig14, fig5_to_10, table1, table2, table3, ExhibitOutput};
+pub use harness::{ExpConfig, SweepResults};
+pub use plot::Chart;
+pub use table::AsciiTable;
+pub use validate::{validate, ClaimResult};

@@ -1,0 +1,182 @@
+//! Terminal line charts for the figure exhibits.
+//!
+//! Each §9 figure is a family of series over utilization; a quick visual of
+//! the orderings and crossovers beats scanning numbers. The renderer draws
+//! each series as its own letter on a shared log-scale canvas (slowdowns
+//! span decades), with collisions marked `*`.
+
+use std::fmt::Write as _;
+
+/// A renderable chart: named series over shared x positions.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_labels: Vec<String>,
+    series: Vec<(String, Vec<f64>)>,
+    log_y: bool,
+}
+
+impl Chart {
+    /// Start a chart with x-axis labels.
+    pub fn new(title: impl Into<String>, x_labels: Vec<String>) -> Self {
+        Chart {
+            title: title.into(),
+            x_labels,
+            series: Vec::new(),
+            log_y: true,
+        }
+    }
+
+    /// Use a linear y axis (default is logarithmic).
+    pub fn linear(mut self) -> Self {
+        self.log_y = false;
+        self
+    }
+
+    /// Add one series (must match the x-label count; non-finite or
+    /// non-positive values are skipped when plotting on a log axis).
+    pub fn series(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), self.x_labels.len(), "series length mismatch");
+        self.series.push((name.into(), values));
+        self
+    }
+
+    /// Render to text with the given canvas height (rows of the plot area).
+    pub fn render(&self, height: usize) -> String {
+        assert!(height >= 2, "canvas too small");
+        let transform = |v: f64| -> Option<f64> {
+            if !v.is_finite() {
+                return None;
+            }
+            if self.log_y {
+                (v > 0.0).then(|| v.ln())
+            } else {
+                Some(v)
+            }
+        };
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, values) in &self.series {
+            for &v in values {
+                if let Some(t) = transform(v) {
+                    lo = lo.min(t);
+                    hi = hi.max(t);
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        if !lo.is_finite() || !hi.is_finite() {
+            out.push_str("(no data)\n");
+            return out;
+        }
+        let span = (hi - lo).max(1e-9);
+        let n_cols = self.x_labels.len();
+        let col_width = 6usize;
+        let mut canvas = vec![vec![' '; n_cols * col_width]; height];
+        for (si, (_, values)) in self.series.iter().enumerate() {
+            let mark = (b'A' + (si % 26) as u8) as char;
+            for (xi, &v) in values.iter().enumerate() {
+                let Some(t) = transform(v) else { continue };
+                let row = ((hi - t) / span * (height - 1) as f64).round() as usize;
+                let col = xi * col_width + col_width / 2;
+                let cell = &mut canvas[row.min(height - 1)][col];
+                *cell = if *cell == ' ' { mark } else { '*' };
+            }
+        }
+        let y_label = |row: usize| -> String {
+            let t = hi - (row as f64 / (height - 1) as f64) * span;
+            let v = if self.log_y { t.exp() } else { t };
+            format!("{v:>9.2e}")
+        };
+        for (row, line) in canvas.iter().enumerate() {
+            let lab = if row == 0 || row == height - 1 || row == height / 2 {
+                y_label(row)
+            } else {
+                " ".repeat(9)
+            };
+            let _ = writeln!(out, "{lab} |{}", line.iter().collect::<String>());
+        }
+        let _ = write!(out, "{} +", " ".repeat(9));
+        out.push_str(&"-".repeat(n_cols * col_width));
+        out.push('\n');
+        let _ = write!(out, "{}  ", " ".repeat(9));
+        for label in &self.x_labels {
+            let _ = write!(out, "{label:^col_width$}");
+        }
+        out.push('\n');
+        let _ = write!(out, "{}  legend: ", " ".repeat(9));
+        for (si, (name, _)) in self.series.iter().enumerate() {
+            let mark = (b'A' + (si % 26) as u8) as char;
+            let _ = write!(out, "{mark}={name} ");
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        Chart::new(
+            "avg slowdown vs utilization",
+            vec!["0.5".into(), "0.7".into(), "0.9".into()],
+        )
+        .series("HNR", vec![10.0, 100.0, 1000.0])
+        .series("FCFS", vec![100.0, 1000.0, 10000.0])
+    }
+
+    #[test]
+    fn renders_title_axes_and_legend() {
+        let s = chart().render(8);
+        assert!(s.starts_with("avg slowdown vs utilization"));
+        assert!(s.contains("legend: A=HNR B=FCFS"));
+        assert!(s.contains("0.5"));
+        assert!(s.contains('A'));
+        assert!(s.contains('B'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn log_scale_orders_marks_vertically() {
+        let s = chart().render(10);
+        // FCFS's value at each x is 10x HNR's, so B must appear above A in
+        // the first column region.
+        let col_of_first = |mark: char| {
+            s.lines()
+                .position(|l| l.contains(mark))
+                .unwrap_or(usize::MAX)
+        };
+        assert!(col_of_first('B') < col_of_first('A'));
+    }
+
+    #[test]
+    fn collisions_become_stars() {
+        let s = Chart::new("t", vec!["x".into()])
+            .series("a", vec![5.0])
+            .series("b", vec![5.0])
+            .render(4);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn empty_or_invalid_values_handled() {
+        let s = Chart::new("t", vec!["x".into()])
+            .series("a", vec![f64::NAN])
+            .render(4);
+        assert!(s.contains("(no data)"));
+        let s = Chart::new("t", vec!["x".into()])
+            .linear()
+            .series("a", vec![-5.0])
+            .render(4);
+        assert!(s.contains('A'), "linear axis accepts negatives: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ragged_series_rejected() {
+        let _ = Chart::new("t", vec!["x".into(), "y".into()]).series("a", vec![1.0]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Minimal aligned ASCII tables + CSV emission.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A rectangular table with a header row.
+#[derive(Debug, Clone)]
+pub struct AsciiTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Start a table with the given column names.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        AsciiTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no data rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:>w$}  ", cell, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.header);
+        let rule: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        out.push_str(&"-".repeat(rule));
+        out.push('\n');
+        for row in &self.rows {
+            line(&mut out, row);
+        }
+        out
+    }
+
+    /// Write as CSV (header + rows, comma-separated; cells are numeric or
+    /// simple identifiers, so no quoting is needed).
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(dir) = path.parent() {
+            fs::create_dir_all(dir)?;
+        }
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        fs::write(path, out)
+    }
+}
+
+/// Format a float compactly for table cells.
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.3e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = AsciiTable::new(vec!["util", "HNR", "HR"]);
+        t.row(vec!["0.5", "1.23", "1.30"]);
+        t.row(vec!["0.97", "10.5", "12.75"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("util"));
+        assert!(lines[1].starts_with('-'));
+        assert!(lines[3].contains("12.75"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut t = AsciiTable::new(vec!["a", "b"]);
+        t.row(vec!["only one"]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("hcq_repro_test");
+        let path = dir.join("t.csv");
+        let mut t = AsciiTable::new(vec!["x", "y"]);
+        t.row(vec!["1", "2"]);
+        t.write_csv(&path).unwrap();
+        let s = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(s, "x,y\n1,2\n");
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(1.5), "1.500");
+        assert_eq!(fnum(123.456), "123.5");
+        assert!(fnum(2.5e7).contains('e'));
+        assert!(fnum(1e-5).contains('e'));
+    }
+}

@@ -1,0 +1,117 @@
+//! Smoke tests: every exhibit function runs at miniature scale and produces
+//! a well-formed table (right columns, non-empty, finite values).
+
+use hcq_common::Nanos;
+use hcq_repro::{ext_memory, fig12, fig13, fig14, table1, table2, ExpConfig};
+
+fn tiny() -> ExpConfig {
+    ExpConfig {
+        queries: 12,
+        arrivals: 150,
+        mean_gap: Nanos::from_millis(10),
+        seed: 3,
+        out_dir: std::env::temp_dir().join("hcq_exhibit_smoke"),
+        bursty: false,
+    }
+}
+
+#[test]
+fn table1_is_exact_regardless_of_scale_flags() {
+    let out = table1(&tiny());
+    assert_eq!(out.name, "table1");
+    let rendered = out.table.render();
+    assert!(rendered.contains("12.250"));
+    assert!(rendered.contains("3.875"));
+    assert!(rendered.contains("13.000"));
+    assert!(rendered.contains("2.900"));
+}
+
+#[test]
+fn fig12_has_all_policy_columns() {
+    let out = fig12(&tiny());
+    assert_eq!(out.name, "fig12");
+    let rendered = out.table.render();
+    for col in ["FCFS", "RR", "HNR", "BSD"] {
+        assert!(rendered.contains(col), "missing column {col}");
+    }
+    assert_eq!(out.table.len(), 5, "five load points");
+}
+
+#[test]
+fn fig13_covers_cluster_range() {
+    let out = fig13(&tiny());
+    assert_eq!(out.name, "fig13");
+    assert_eq!(out.table.len(), 9, "nine m values");
+    let rendered = out.table.render();
+    assert!(rendered.contains("BSD-Logarithmic"));
+    assert!(rendered.contains("BSD-Uniform"));
+    assert!(rendered.contains("BSD-Hypothetical"));
+}
+
+#[test]
+fn fig14_lists_all_variants() {
+    let out = fig14(&tiny());
+    assert_eq!(out.table.len(), 5);
+    let rendered = out.table.render();
+    for v in [
+        "BSD-Naive",
+        "+Log-Clustering",
+        "+FA-Pruning",
+        "+Clustered-Processing",
+        "BSD-Hypothetical",
+    ] {
+        assert!(rendered.contains(v), "missing variant {v}");
+    }
+}
+
+#[test]
+fn table2_compares_three_strategies() {
+    let out = table2(&tiny());
+    assert_eq!(out.table.len(), 2);
+    let rendered = out.table.render();
+    for col in ["Max", "Sum", "PDT", "HNR", "BSD"] {
+        assert!(rendered.contains(col), "missing {col}");
+    }
+}
+
+#[test]
+fn ext_memory_includes_chain() {
+    let out = ext_memory(&tiny());
+    assert_eq!(out.table.len(), 6);
+    assert!(out.table.render().contains("Chain"));
+}
+
+#[test]
+fn csvs_land_in_out_dir() {
+    let cfg = tiny();
+    let _ = table1(&cfg);
+    let path = cfg.out_dir.join("table1.csv");
+    let content = std::fs::read_to_string(&path).expect("csv written");
+    assert!(content.starts_with("policy,response_ms,slowdown"));
+    std::fs::remove_dir_all(&cfg.out_dir).ok();
+}
+
+#[test]
+fn ext_lp_interpolates() {
+    let out = hcq_repro::ext_lp(&tiny());
+    assert_eq!(out.table.len(), 7);
+    assert!(out.table.render().contains("Lp p=2"));
+}
+
+#[test]
+fn ext_preemption_compares_levels() {
+    let out = hcq_repro::ext_preemption(&tiny());
+    assert_eq!(out.table.len(), 6);
+    let rendered = out.table.render();
+    assert!(rendered.contains("query"));
+    assert!(rendered.contains("operator"));
+}
+
+#[test]
+fn table3_taxonomy_complete() {
+    let out = hcq_repro::table3(&tiny());
+    assert_eq!(out.table.len(), 9);
+    for policy in ["RB", "ML", "RR", "HR", "HNR", "LSF", "BSD", "Chain", "FAS"] {
+        assert!(out.table.render().contains(policy));
+    }
+}

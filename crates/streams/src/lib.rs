@@ -1,0 +1,52 @@
+//! Arrival-process substrate.
+//!
+//! The paper's testbed (§8) drives the simulator with the *LBL-PKT-4* trace
+//! from the Internet Traffic Archive — one hour of wide-area packet arrivals
+//! chosen for its "realistic data arrival pattern with On/Off traffic". That
+//! trace is not redistributable with this repository, so this crate provides:
+//!
+//! * [`OnOffSource`] — a Markov-modulated Poisson process with heavy-tailed
+//!   (bounded-Pareto) ON/OFF sojourns, the standard generative model for
+//!   exactly that traffic class (self-similar WAN packet arrivals). This is
+//!   the default stand-in for the paper's trace; see DESIGN.md §3 for the
+//!   substitution rationale.
+//! * [`PoissonSource`] and [`ConstantSource`] — memoryless and deterministic
+//!   baselines (§9.1.7 uses Poisson arrivals for multi-stream experiments).
+//! * [`TraceReplay`] / [`record_trace`] — drop-in replay of a real trace
+//!   file (one fractional-seconds timestamp per line, the format of the
+//!   ITA's `.TL` listings), so the actual LBL-PKT-4 file can be used
+//!   when available.
+//! * [`ArrivalStats`] — empirical inter-arrival statistics, used to measure
+//!   the mean inter-arrival time `τ` that calibrates utilization (§8
+//!   "Costs") and parameterizes the §5 window-join estimates.
+//!
+//! Every source implements [`ArrivalSource`], yielding a non-decreasing
+//! sequence of absolute virtual timestamps, and is deterministic given its
+//! seed.
+//!
+//! ```
+//! use hcq_common::Nanos;
+//! use hcq_streams::{collect_arrivals, ArrivalStats, OnOffSource, PoissonSource};
+//!
+//! // Same mean rate, very different burst structure:
+//! let mut smooth = PoissonSource::new(Nanos::from_millis(10), 7);
+//! let mut bursty = OnOffSource::lbl_like(Nanos::from_millis(10), 7);
+//! let s = ArrivalStats::from_arrivals(&collect_arrivals(&mut smooth, 20_000));
+//! let b = ArrivalStats::from_arrivals(&collect_arrivals(&mut bursty, 20_000));
+//! let window = Nanos::from_secs(2);
+//! assert!(b.index_of_dispersion(window) > 2.0 * s.index_of_dispersion(window));
+//! ```
+
+pub mod onoff;
+pub mod poisson;
+pub mod scale;
+pub mod source;
+pub mod stats;
+pub mod trace;
+
+pub use onoff::{OnOffConfig, OnOffSource};
+pub use poisson::{ConstantSource, PoissonSource};
+pub use scale::TimeScale;
+pub use source::{collect_arrivals, ArrivalSource};
+pub use stats::ArrivalStats;
+pub use trace::{record_trace, TraceReplay};

@@ -1,0 +1,86 @@
+//! The arrival-source abstraction.
+
+use hcq_common::Nanos;
+
+/// A source of tuple arrivals on one stream.
+///
+/// Implementations yield **absolute** virtual timestamps in non-decreasing
+/// order; `None` means the source is exhausted (finite traces) — generative
+/// sources are infinite and never return `None`.
+pub trait ArrivalSource {
+    /// The next arrival instant.
+    fn next_arrival(&mut self) -> Option<Nanos>;
+
+    /// The analytic mean inter-arrival time, when the source knows it
+    /// (generative sources do; replayed traces return `None` and callers
+    /// measure instead via [`crate::ArrivalStats`]).
+    fn mean_gap_hint(&self) -> Option<Nanos> {
+        None
+    }
+}
+
+impl<S: ArrivalSource + ?Sized> ArrivalSource for Box<S> {
+    fn next_arrival(&mut self) -> Option<Nanos> {
+        (**self).next_arrival()
+    }
+
+    fn mean_gap_hint(&self) -> Option<Nanos> {
+        (**self).mean_gap_hint()
+    }
+}
+
+/// Drain up to `n` arrivals into a vector (testing / calibration helper).
+pub fn collect_arrivals<S: ArrivalSource + ?Sized>(source: &mut S, n: usize) -> Vec<Nanos> {
+    let mut out = Vec::with_capacity(n);
+    while out.len() < n {
+        match source.next_arrival() {
+            Some(t) => out.push(t),
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl ArrivalSource for Counter {
+        fn next_arrival(&mut self) -> Option<Nanos> {
+            if self.0 >= 3 {
+                return None;
+            }
+            self.0 += 1;
+            Some(Nanos::from_millis(self.0))
+        }
+    }
+
+    #[test]
+    fn collect_stops_at_exhaustion() {
+        let mut c = Counter(0);
+        let got = collect_arrivals(&mut c, 10);
+        assert_eq!(
+            got,
+            vec![
+                Nanos::from_millis(1),
+                Nanos::from_millis(2),
+                Nanos::from_millis(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn collect_respects_n() {
+        let mut c = Counter(0);
+        assert_eq!(collect_arrivals(&mut c, 2).len(), 2);
+    }
+
+    #[test]
+    fn boxed_source_delegates() {
+        let mut b: Box<dyn ArrivalSource> = Box::new(Counter(0));
+        assert_eq!(b.next_arrival(), Some(Nanos::from_millis(1)));
+        assert_eq!(b.mean_gap_hint(), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! Empirical arrival statistics.
+//!
+//! §8 calibrates utilization from "the average inter-arrival time of the
+//! data trace"; this module measures exactly that, plus dispersion measures
+//! used to verify that the synthetic LBL substitute really is bursty.
+
+use hcq_common::Nanos;
+
+/// Summary statistics over a finite arrival sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalStats {
+    arrivals: u64,
+    span: Nanos,
+    mean_gap_ns: f64,
+    gap_cv: f64,
+    timestamps: Vec<Nanos>,
+}
+
+impl ArrivalStats {
+    /// Compute statistics from a non-decreasing arrival sequence.
+    ///
+    /// # Panics
+    /// Panics if fewer than 2 arrivals are supplied (no gap exists).
+    pub fn from_arrivals(arrivals: &[Nanos]) -> Self {
+        assert!(arrivals.len() >= 2, "need at least two arrivals");
+        let n = arrivals.len() as f64;
+        let span = arrivals[arrivals.len() - 1].saturating_since(arrivals[0]);
+        let mean_gap = span.as_nanos() as f64 / (n - 1.0);
+        let var = arrivals
+            .windows(2)
+            .map(|w| {
+                let g = (w[1] - w[0]).as_nanos() as f64;
+                (g - mean_gap) * (g - mean_gap)
+            })
+            .sum::<f64>()
+            / (n - 1.0);
+        ArrivalStats {
+            arrivals: arrivals.len() as u64,
+            span,
+            mean_gap_ns: mean_gap,
+            gap_cv: var.sqrt() / mean_gap,
+            timestamps: arrivals.to_vec(),
+        }
+    }
+
+    /// Number of arrivals observed.
+    pub fn count(&self) -> u64 {
+        self.arrivals
+    }
+
+    /// Time between first and last arrival.
+    pub fn span(&self) -> Nanos {
+        self.span
+    }
+
+    /// Mean inter-arrival time `τ` — the calibration input of §8.
+    pub fn mean_gap(&self) -> Nanos {
+        Nanos::from_nanos(self.mean_gap_ns.round() as u64)
+    }
+
+    /// Coefficient of variation of inter-arrival gaps (1 for Poisson, 0 for
+    /// constant-rate, ≫1 for bursty sources).
+    pub fn gap_cv(&self) -> f64 {
+        self.gap_cv
+    }
+
+    /// Index of dispersion of counts over windows of the given width:
+    /// `Var(N_w)/E[N_w]`. Poisson arrivals give ≈1 at every scale; values
+    /// well above 1 indicate burstiness / long-range dependence.
+    pub fn index_of_dispersion(&self, window: Nanos) -> f64 {
+        assert!(!window.is_zero());
+        let start = self.timestamps[0];
+        let end = *self.timestamps.last().unwrap();
+        let n_windows = (end.saturating_since(start).as_nanos() / window.as_nanos()).max(1);
+        let mut counts = vec![0u64; n_windows as usize];
+        for &t in &self.timestamps {
+            let w = t.saturating_since(start).as_nanos() / window.as_nanos();
+            if (w as usize) < counts.len() {
+                counts[w as usize] += 1;
+            }
+        }
+        let n = counts.len() as f64;
+        let mean = counts.iter().sum::<u64>() as f64 / n;
+        if mean == 0.0 {
+            return 0.0;
+        }
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+            .sum::<f64>()
+            / n;
+        var / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::{ConstantSource, PoissonSource};
+    use crate::source::collect_arrivals;
+
+    #[test]
+    fn constant_stream_stats() {
+        let mut s = ConstantSource::new(Nanos::from_millis(2));
+        let a = collect_arrivals(&mut s, 100);
+        let st = ArrivalStats::from_arrivals(&a);
+        assert_eq!(st.count(), 100);
+        assert_eq!(st.mean_gap(), Nanos::from_millis(2));
+        assert!(st.gap_cv() < 1e-9);
+        assert_eq!(st.span(), Nanos::from_millis(2 * 99));
+    }
+
+    #[test]
+    fn poisson_dispersion_near_one() {
+        let mut s = PoissonSource::new(Nanos::from_millis(1), 5);
+        let a = collect_arrivals(&mut s, 50_000);
+        let st = ArrivalStats::from_arrivals(&a);
+        let idc = st.index_of_dispersion(Nanos::from_millis(100));
+        assert!((0.7..1.4).contains(&idc), "poisson idc = {idc}");
+        assert!((st.gap_cv() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn too_few_arrivals_panics() {
+        let _ = ArrivalStats::from_arrivals(&[Nanos::ZERO]);
+    }
+
+    #[test]
+    fn dispersion_of_constant_is_low() {
+        let mut s = ConstantSource::new(Nanos::from_millis(1));
+        let a = collect_arrivals(&mut s, 10_000);
+        let st = ArrivalStats::from_arrivals(&a);
+        assert!(st.index_of_dispersion(Nanos::from_millis(50)) < 0.1);
+    }
+}

@@ -1,0 +1,88 @@
+//! Trace record/replay through actual files on disk.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+
+use hcq_common::Nanos;
+use hcq_streams::{collect_arrivals, record_trace, OnOffSource, TraceReplay};
+
+fn temp_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("hcq_trace_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn synthetic_trace_roundtrips_through_a_file() {
+    // Generate a bursty trace, archive it, replay it: must be identical.
+    let mut source = OnOffSource::lbl_like(Nanos::from_millis(5), 42);
+    let arrivals = collect_arrivals(&mut source, 5_000);
+
+    let path = temp_path("onoff.trace");
+    {
+        let mut w = BufWriter::new(File::create(&path).unwrap());
+        record_trace(&mut w, &arrivals).unwrap();
+        w.flush().unwrap();
+    }
+    let mut replay = TraceReplay::parse(File::open(&path).unwrap()).unwrap();
+    assert_eq!(replay.len(), arrivals.len());
+    let replayed = collect_arrivals(&mut replay, arrivals.len());
+    assert_eq!(replayed, arrivals, "bit-identical replay");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn replay_drives_a_simulation_identically_to_the_live_source() {
+    use hcq_common::StreamId;
+    use hcq_core::PolicyKind;
+    use hcq_engine::{simulate, SimConfig};
+    use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
+
+    let mk_plan = || {
+        let mut plan = GlobalPlan::default();
+        for i in 1..=4u64 {
+            plan.add_query(
+                QueryBuilder::on(StreamId::new(0))
+                    .select(Nanos::from_millis(i), 0.5)
+                    .project(Nanos::from_millis(1))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        plan
+    };
+    // Live bursty source...
+    let live = simulate(
+        &mk_plan(),
+        &StreamRates::none(),
+        vec![Box::new(OnOffSource::lbl_like(Nanos::from_millis(20), 9))],
+        PolicyKind::Hnr.build(),
+        SimConfig::new(400).with_seed(5),
+    )
+    .unwrap();
+    // ...vs the same arrivals archived and replayed.
+    let mut source = OnOffSource::lbl_like(Nanos::from_millis(20), 9);
+    let arrivals = collect_arrivals(&mut source, 400);
+    let mut buf = Vec::new();
+    record_trace(&mut buf, &arrivals).unwrap();
+    let replayed = simulate(
+        &mk_plan(),
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::parse(buf.as_slice()).unwrap())],
+        PolicyKind::Hnr.build(),
+        SimConfig::new(400).with_seed(5),
+    )
+    .unwrap();
+    assert_eq!(live.qos, replayed.qos);
+    assert_eq!(live.end_time, replayed.end_time);
+    assert_eq!(live.emitted, replayed.emitted);
+}
+
+#[test]
+fn malformed_file_reports_line() {
+    let path = temp_path("bad.trace");
+    std::fs::write(&path, "0.5\n0.75\nnot-a-number stuff\n").unwrap();
+    let err = TraceReplay::parse(File::open(&path).unwrap()).unwrap_err();
+    assert!(err.to_string().contains("line 3"), "{err}");
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,170 @@
+//! Utilization calibration (§8 "Costs").
+
+use hcq_common::StreamId;
+#[cfg(test)]
+use hcq_common::Nanos;
+use hcq_plan::{CompiledQuery, GlobalPlan, PlanStats, StreamRates};
+
+/// A calibrated workload ready for simulation.
+#[derive(Debug)]
+pub struct PaperWorkload {
+    /// The registered queries (and sharing groups, if any).
+    pub plan: GlobalPlan,
+    /// Mean inter-arrival times per stream (needed for §5 join statistics
+    /// and recorded for reproducibility).
+    pub rates: StreamRates,
+    /// The distinct streams the plan reads.
+    pub streams: Vec<StreamId>,
+    /// The target utilization the costs were calibrated to.
+    pub utilization: f64,
+    /// The realized scaling: nanoseconds of operator cost per §8 cost unit
+    /// (`K`, so a class-`i` operator costs `K·2^i`).
+    pub k_ns: f64,
+}
+
+/// Total expected processing cost (ns) that one arrival on `stream` imposes
+/// across all queries, honouring shared-operator de-duplication: a group of
+/// `N` queries sharing `O_x` costs `Σ C̄_i − (N−1)·c_x` per tuple.
+pub fn expected_cost_per_arrival_ns(
+    plan: &GlobalPlan,
+    rates: &StreamRates,
+    stream: StreamId,
+) -> f64 {
+    let mut in_group = vec![false; plan.queries.len()];
+    let mut total = 0.0;
+    for g in &plan.sharing {
+        for &m in &g.members {
+            in_group[m.index()] = true;
+        }
+        if g.stream != stream {
+            continue;
+        }
+        let sum: f64 = g
+            .members
+            .iter()
+            .map(|&m| leaf_cost_ns(plan, rates, m.index(), 0))
+            .sum();
+        total += sum - (g.members.len() as f64 - 1.0) * g.op.cost.as_nanos() as f64;
+    }
+    for (qi, q) in plan.queries.iter().enumerate() {
+        if in_group[qi] {
+            continue;
+        }
+        for (li, s) in q.leaf_streams().iter().enumerate() {
+            if *s == stream {
+                total += leaf_cost_ns(plan, rates, qi, li);
+            }
+        }
+    }
+    total
+}
+
+fn leaf_cost_ns(plan: &GlobalPlan, rates: &StreamRates, query: usize, leaf: usize) -> f64 {
+    let cq = CompiledQuery::compile(&plan.queries[query]);
+    let stats = PlanStats::compute(&cq, rates)
+        .expect("calibration runs on validated plans with known rates");
+    stats.per_leaf[leaf].avg_cost_ns
+}
+
+/// The §8 scaling factor: given the expected per-arrival cost of the whole
+/// query population measured at `K = 1` cost unit (`unit_cost_ns`, summed as
+/// `Σ_streams cost_per_arrival/τ` — i.e. expected busy time per nanosecond),
+/// return the factor that makes offered load equal `utilization`.
+pub fn scale_for_utilization(busy_per_ns_at_unit: f64, utilization: f64) -> f64 {
+    assert!(busy_per_ns_at_unit > 0.0, "workload must do some work");
+    assert!(utilization > 0.0, "utilization must be positive");
+    utilization / busy_per_ns_at_unit
+}
+
+/// Offered load of a calibrated plan: `Σ_streams cost_per_arrival(s)/τ_s`.
+pub fn offered_load(plan: &GlobalPlan, rates: &StreamRates) -> f64 {
+    plan.streams()
+        .into_iter()
+        .map(|s| {
+            let tau = rates
+                .tau(s)
+                .expect("every referenced stream has a configured rate")
+                .as_nanos() as f64;
+            expected_cost_per_arrival_ns(plan, rates, s) / tau
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcq_plan::QueryBuilder;
+
+    fn ms(n: u64) -> Nanos {
+        Nanos::from_millis(n)
+    }
+
+    #[test]
+    fn per_arrival_cost_of_two_plain_queries() {
+        let mut plan = GlobalPlan::default();
+        for _ in 0..2 {
+            plan.add_query(
+                QueryBuilder::on(StreamId::new(0))
+                    .select(ms(1), 0.5)
+                    .stored_join(ms(1), 0.5)
+                    .project(ms(1))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let rates = StreamRates::none().with(StreamId::new(0), ms(10));
+        // per query: 1 + 0.5 + 0.25 = 1.75 ms
+        let got = expected_cost_per_arrival_ns(&plan, &rates, StreamId::new(0));
+        assert!((got - 2.0 * 1.75e6).abs() < 1.0);
+        assert!((offered_load(&plan, &rates) - 3.5e6 / 10e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sharing_dedupes_the_shared_cost() {
+        let mut plan = GlobalPlan::default();
+        let members: Vec<_> = (0..3)
+            .map(|_| {
+                plan.add_query(
+                    QueryBuilder::on(StreamId::new(0))
+                        .select(ms(2), 0.5)
+                        .project(ms(4))
+                        .build()
+                        .unwrap(),
+                )
+            })
+            .collect();
+        plan.share_first_op(members).unwrap();
+        let rates = StreamRates::none().with(StreamId::new(0), ms(10));
+        // per member C̄ = 2 + 0.5·4 = 4ms; group = 3·4 − 2·2 = 8ms.
+        let got = expected_cost_per_arrival_ns(&plan, &rates, StreamId::new(0));
+        assert!((got - 8.0e6).abs() < 1.0, "{got}");
+    }
+
+    #[test]
+    fn scale_math() {
+        assert!((scale_for_utilization(0.5, 1.0) - 2.0).abs() < 1e-12);
+        assert!((scale_for_utilization(2.0, 0.5) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "some work")]
+    fn zero_work_rejected() {
+        let _ = scale_for_utilization(0.0, 0.5);
+    }
+
+    #[test]
+    fn other_stream_costs_nothing() {
+        let mut plan = GlobalPlan::default();
+        plan.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(ms(1), 0.5)
+                .build()
+                .unwrap(),
+        );
+        let rates = StreamRates::none().with(StreamId::new(0), ms(10));
+        assert_eq!(
+            expected_cost_per_arrival_ns(&plan, &rates, StreamId::new(3)),
+            0.0
+        );
+    }
+}

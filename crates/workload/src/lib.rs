@@ -1,0 +1,31 @@
+//! The §8 evaluation testbed.
+//!
+//! Queries follow the structure of \[Chen et al., ICDE'02\] and
+//! \[Madden et al., SIGMOD'02\]: **select → join → project**. Selectivities
+//! of the select and join operators are drawn uniform in `[0.1, 1.0]`, with
+//! *the same selectivity for operators of the same query* so that query
+//! classes form a controllable grid (§8 "Selectivities"). Costs come in five
+//! classes: every operator of a class-`i` query costs `K·2^i` time units,
+//! `i ∈ [0,4]` (§8 "Costs").
+//!
+//! The scaling factor `K` is set exactly as the paper prescribes: measure
+//! the stream's mean inter-arrival time `τ`, then choose `K` so that the
+//! ratio between the total expected per-arrival cost of all queries and `τ`
+//! equals the simulated utilization.
+//!
+//! Three §9 workload variants:
+//!
+//! * [`single_stream`] — 500 single-stream SJP queries (join with a stored
+//!   relation), Figures 5–11, 13, 14;
+//! * [`multi_stream`] — two-input window-join queries, Poisson arrivals,
+//!   windows 1–10 s, Figure 12;
+//! * [`shared`] — queries grouped in sets of 10 sharing their select
+//!   operator, Table 2.
+
+pub mod build;
+pub mod calibrate;
+
+pub use build::{
+    multi_stream, shared, single_stream, MultiStreamConfig, SharedConfig, SingleStreamConfig,
+};
+pub use calibrate::{expected_cost_per_arrival_ns, PaperWorkload};

@@ -1,0 +1,71 @@
+//! Multi-stream continuous queries: correlating two sensor feeds with
+//! time-based sliding-window joins (§5), scheduled as virtual per-leaf
+//! segments with the window-occupancy-aware priorities.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example multi_stream_join
+//! ```
+
+use hcq::common::{Nanos, StreamId};
+use hcq::core::PolicyKind;
+use hcq::engine::{simulate, SimConfig};
+use hcq::plan::{GlobalPlan, QueryBuilder, StreamRates};
+use hcq::streams::{ArrivalSource, PoissonSource};
+
+fn main() {
+    let ms = Nanos::from_millis;
+    // Correlation queries between a temperature feed (stream 0) and a
+    // vibration feed (stream 1): alert when readings within a window match.
+    let mut plan = GlobalPlan::default();
+    for q in 0..12u64 {
+        let window = Nanos::from_secs(1 + q % 5);
+        let sel = 0.2 + 0.06 * q as f64;
+        let cost = ms(1 << (q % 3));
+        plan.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(cost, sel)
+                .window_join(
+                    QueryBuilder::on(StreamId::new(1)).select(cost, sel),
+                    cost,
+                    0.15,
+                    window,
+                )
+                .project(cost)
+                .build()
+                .unwrap(),
+        );
+    }
+    let gap = ms(400);
+    let rates = StreamRates::none()
+        .with(StreamId::new(0), gap)
+        .with(StreamId::new(1), gap);
+
+    println!("policy   composites  avg_resp_ms  avg_slowdown      l2_norm");
+    println!("--------------------------------------------------------------");
+    for kind in [
+        PolicyKind::Fcfs,
+        PolicyKind::RoundRobin,
+        PolicyKind::Hnr,
+        PolicyKind::Bsd,
+    ] {
+        let sources: Vec<Box<dyn ArrivalSource>> = vec![
+            Box::new(PoissonSource::new(gap, 41)),
+            Box::new(PoissonSource::new(gap, 42)),
+        ];
+        let r = simulate(&plan, &rates, sources, kind.build(), SimConfig::new(6_000))
+            .expect("valid configuration");
+        println!(
+            "{:>6}  {:>10}  {:>11.2}  {:>12.2}  {:>11.3e}",
+            kind.name(),
+            r.emitted,
+            r.qos.avg_response_ms,
+            r.qos.avg_slowdown,
+            r.qos.l2_slowdown
+        );
+    }
+    println!();
+    println!("Join selectivity often exceeds 1 (each arrival meets many window");
+    println!("partners), which is why selectivity-blind policies (FCFS, RR) fall");
+    println!("so far behind HNR/BSD here — the paper's Figure 12 observation.");
+}

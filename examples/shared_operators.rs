@@ -1,0 +1,57 @@
+//! Operator sharing (§7): groups of queries sharing a select operator, and
+//! the effect of the Max / Sum / PDT priority strategies on the group.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example shared_operators
+//! ```
+
+use hcq::common::Nanos;
+use hcq::core::{PolicyKind, SharingStrategy};
+use hcq::engine::{simulate, SimConfig};
+use hcq::streams::OnOffSource;
+use hcq::workload::{shared, SharedConfig};
+
+fn main() {
+    let mean_gap = Nanos::from_millis(10);
+    let w = shared(&SharedConfig {
+        groups: 8,
+        group_size: 10,
+        cost_classes: 5,
+        utilization: 0.9,
+        mean_gap,
+        seed: 99,
+    })
+    .expect("valid workload");
+    println!(
+        "{} queries in {} groups of 10, each group sharing its select operator\n",
+        w.plan.len(),
+        w.plan.sharing.len()
+    );
+    println!("strategy   HNR avg_slowdown   BSD l2_norm");
+    println!("--------------------------------------------");
+    for strat in [SharingStrategy::Max, SharingStrategy::Sum, SharingStrategy::Pdt] {
+        let run = |kind: PolicyKind| {
+            simulate(
+                &w.plan,
+                &w.rates,
+                vec![Box::new(OnOffSource::lbl_like(mean_gap, 4))],
+                kind.build(),
+                SimConfig::new(8_000).with_seed(31).with_sharing(strat),
+            )
+            .expect("valid configuration")
+        };
+        let hnr = run(PolicyKind::Hnr);
+        let bsd = run(PolicyKind::Bsd);
+        println!(
+            "{:>8}  {:>16.2}  {:>12.3e}",
+            strat.name(),
+            hnr.qos.avg_slowdown,
+            bsd.qos.l2_slowdown
+        );
+    }
+    println!();
+    println!("Max underestimates a productive group; Sum lets weak segments drag");
+    println!("strong ones down; the Priority-Defining Tree keeps exactly the");
+    println!("prefix of segments that maximizes the aggregate priority (Table 2).");
+}

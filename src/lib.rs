@@ -1,0 +1,92 @@
+//! # hcq — heterogeneous continuous-query scheduling
+//!
+//! A from-scratch Rust reproduction of **“Efficient Scheduling of
+//! Heterogeneous Continuous Queries”** (Sharaf, Chrysanthis, Labrinidis,
+//! Pruhs — VLDB 2006): slowdown-based scheduling of many continuous queries
+//! in a data-stream management system, together with every substrate the
+//! paper's evaluation needs — a deterministic DSMS simulator, a symmetric
+//! hash join, bursty arrival generators, the §8 workload builder, and a
+//! harness regenerating every table and figure of §9.
+//!
+//! This crate is the umbrella: it re-exports the workspace crates under one
+//! name. Depend on the individual `hcq-*` crates if you want a narrower
+//! dependency.
+//!
+//! ## The 60-second tour
+//!
+//! ```
+//! use hcq::common::{Nanos, StreamId};
+//! use hcq::core::PolicyKind;
+//! use hcq::engine::{simulate, SimConfig};
+//! use hcq::plan::{GlobalPlan, QueryBuilder, StreamRates};
+//! use hcq::streams::PoissonSource;
+//!
+//! // Register two continuous queries of very different weight (the paper's
+//! // GOOGLE vs ANALYSIS example): a cheap selective filter and an expensive
+//! // productive analysis pipeline, both over one stock-tick stream.
+//! let mut plan = GlobalPlan::default();
+//! plan.add_query(
+//!     QueryBuilder::on(StreamId::new(0))
+//!         .select(Nanos::from_micros(50), 0.02) // "notify me about GOOGLE"
+//!         .build()
+//!         .unwrap(),
+//! );
+//! plan.add_query(
+//!     QueryBuilder::on(StreamId::new(0))
+//!         .select(Nanos::from_micros(400), 0.9) // full technical analysis
+//!         .stored_join(Nanos::from_micros(400), 0.8)
+//!         .project(Nanos::from_micros(200))
+//!         .build()
+//!         .unwrap(),
+//! );
+//!
+//! // Drive it with Poisson ticks and schedule with HNR (the paper's
+//! // average-slowdown policy).
+//! let report = simulate(
+//!     &plan,
+//!     &StreamRates::none(),
+//!     vec![Box::new(PoissonSource::new(Nanos::from_millis(1), 7))],
+//!     PolicyKind::Hnr.build(),
+//!     SimConfig::new(2_000),
+//! )
+//! .unwrap();
+//! assert!(report.qos.avg_slowdown >= 1.0);
+//! ```
+//!
+//! ## Crate map
+//!
+//! | alias | crate | contents |
+//! |---|---|---|
+//! | [`common`] | `hcq-common` | virtual time, ids, deterministic coins |
+//! | [`plan`] | `hcq-plan` | operators, plan trees, §2/§5 derived statistics |
+//! | [`streams`] | `hcq-streams` | Poisson / constant / bursty on-off sources, trace replay |
+//! | [`join`] | `hcq-join` | symmetric hash join over sliding windows |
+//! | [`core`] | `hcq-core` | **the paper's policies**: HNR, BSD, LSF, HR, SRPT, FCFS, RR; §6 clustering + Fagin pruning; §7 PDT |
+//! | [`metrics`] | `hcq-metrics` | slowdown/response accumulators, ℓ2, per-class |
+//! | [`engine`] | `hcq-engine` | the discrete-event DSMS simulator |
+//! | [`workload`] | `hcq-workload` | the §8 evaluation workloads + utilization calibration |
+//! | [`aqsios`] | `hcq-aqsios` | an embeddable online mini-DSMS over real records, scheduled by these policies |
+//!
+//! The `hcq-repro` crate (binary: `repro`) regenerates the paper's tables
+//! and figures; see `EXPERIMENTS.md` for a recorded comparison.
+
+pub use hcq_aqsios as aqsios;
+pub use hcq_common as common;
+pub use hcq_core as core;
+pub use hcq_engine as engine;
+pub use hcq_join as join;
+pub use hcq_metrics as metrics;
+pub use hcq_plan as plan;
+pub use hcq_streams as streams;
+pub use hcq_workload as workload;
+
+/// Workspace version, for reports.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate invariants: workload → engine → metrics plumbing.
+
+use hcq::common::Nanos;
+use hcq::core::{ClusterConfig, ClusteredBsdPolicy, PolicyKind};
+use hcq::engine::{simulate, SimConfig, SimReport};
+use hcq::streams::{collect_arrivals, ArrivalStats, OnOffSource, PoissonSource};
+use hcq::workload::{single_stream, SingleStreamConfig};
+
+// Re-export shim: `hcq::workload` is `hcq-workload`, whose calibrate module
+// exposes offered_load; alias locally for readability.
+mod workload_shim {
+    pub use hcq::workload::calibrate::offered_load;
+}
+
+fn build(utilization: f64) -> hcq::workload::PaperWorkload {
+    single_stream(&SingleStreamConfig {
+        queries: 30,
+        cost_classes: 5,
+        utilization,
+        mean_gap: Nanos::from_millis(10),
+        seed: 4,
+    })
+    .unwrap()
+}
+
+fn run(kind: PolicyKind, utilization: f64, seed: u64, bursty: bool) -> SimReport {
+    let w = build(utilization);
+    let gap = Nanos::from_millis(10);
+    let src: Box<dyn hcq::streams::ArrivalSource> = if bursty {
+        Box::new(OnOffSource::lbl_like(gap, seed))
+    } else {
+        Box::new(PoissonSource::new(gap, seed))
+    };
+    simulate(
+        &w.plan,
+        &w.rates,
+        vec![src],
+        kind.build(),
+        SimConfig::new(1_000).with_seed(seed),
+    )
+    .unwrap()
+}
+
+/// With a Poisson source at the calibrated mean gap, measured utilization
+/// lands near the target (drain-phase work and the source's sampling noise
+/// perturb it slightly).
+#[test]
+fn calibration_matches_measured_utilization() {
+    for target in [0.4, 0.7] {
+        let r = run(PolicyKind::Fcfs, target, 2, false);
+        let measured = r.measured_utilization();
+        assert!(
+            (measured - target).abs() < 0.12,
+            "target {target}, measured {measured}"
+        );
+    }
+}
+
+/// The bursty LBL-like source keeps the same long-run mean rate as Poisson,
+/// so arrivals-per-virtual-second agree even though the pattern differs.
+#[test]
+fn bursty_and_poisson_share_mean_rate() {
+    let mut on_off = OnOffSource::lbl_like(Nanos::from_millis(10), 3);
+    let mut poisson = PoissonSource::new(Nanos::from_millis(10), 3);
+    let a = ArrivalStats::from_arrivals(&collect_arrivals(&mut on_off, 60_000));
+    let b = ArrivalStats::from_arrivals(&collect_arrivals(&mut poisson, 60_000));
+    let ratio = a.mean_gap().as_nanos() as f64 / b.mean_gap().as_nanos() as f64;
+    assert!((0.4..2.5).contains(&ratio), "mean gap ratio {ratio}");
+    // ...but the on/off source is much burstier.
+    assert!(
+        a.index_of_dispersion(Nanos::from_secs(2))
+            > 3.0 * b.index_of_dispersion(Nanos::from_secs(2))
+    );
+}
+
+/// Burstiness hurts: the same policy at the same mean load sees strictly
+/// worse slowdowns under the on/off source than under Poisson.
+#[test]
+fn bursty_arrivals_increase_slowdown() {
+    let smooth = run(PolicyKind::Hnr, 0.9, 6, false).qos.avg_slowdown;
+    let bursty = run(PolicyKind::Hnr, 0.9, 6, true).qos.avg_slowdown;
+    assert!(
+        bursty > smooth,
+        "bursty {bursty} should exceed poisson {smooth}"
+    );
+}
+
+/// All policies agree on the workload realization (emissions/drops), and
+/// every report's accounting is internally consistent.
+#[test]
+fn report_accounting_is_consistent() {
+    let reference = run(PolicyKind::Fcfs, 0.8, 5, true);
+    for kind in PolicyKind::ALL {
+        let r = run(kind, 0.8, 5, true);
+        assert_eq!(r.emitted, reference.emitted, "{}", kind.name());
+        assert_eq!(r.qos.count, r.emitted, "{}", kind.name());
+        assert_eq!(r.histogram.total(), r.emitted, "{}", kind.name());
+        assert_eq!(r.classes.overall().count, r.emitted, "{}", kind.name());
+        assert!(r.busy_time <= r.end_time, "{}", kind.name());
+        assert!(r.sched_points > 0 && r.sched_ops >= r.sched_points);
+    }
+}
+
+/// The clustered BSD implementations remain faithful to naive BSD outcomes
+/// through the full stack.
+#[test]
+fn clustered_bsd_full_stack() {
+    let w = build(0.9);
+    let gap = Nanos::from_millis(10);
+    let run_with = |policy: Box<dyn hcq::core::Policy>| {
+        simulate(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(OnOffSource::lbl_like(gap, 11))],
+            policy,
+            SimConfig::new(800).with_seed(11),
+        )
+        .unwrap()
+    };
+    let naive = run_with(PolicyKind::Bsd.build());
+    let clustered = run_with(Box::new(ClusteredBsdPolicy::new(
+        ClusterConfig::logarithmic(12),
+    )));
+    assert_eq!(naive.emitted, clustered.emitted);
+    // Approximation quality: clustered ℓ2 within 2× of exact BSD's.
+    assert!(
+        clustered.qos.l2_slowdown < naive.qos.l2_slowdown * 2.0,
+        "clustered {} vs naive {}",
+        clustered.qos.l2_slowdown,
+        naive.qos.l2_slowdown
+    );
+}
+
+/// `offered_load` (the calibration target) is an exported, stable API.
+#[test]
+fn offered_load_is_public() {
+    let w = build(0.6);
+    let load = workload_shim::offered_load(&w.plan, &w.rates);
+    assert!((load - 0.6).abs() < 0.01, "{load}");
+}

@@ -1,0 +1,206 @@
+//! Qualitative claims of §9 verified end-to-end at test scale: each test
+//! asserts an *ordering* the paper reports (who wins which metric), not
+//! absolute values.
+
+use hcq::common::Nanos;
+use hcq::core::{PolicyKind, SharingStrategy};
+use hcq::engine::{simulate, SimConfig, SimReport};
+use hcq::streams::{ArrivalSource, OnOffSource, PoissonSource};
+use hcq::workload::{
+    multi_stream, shared, single_stream, MultiStreamConfig, SharedConfig, SingleStreamConfig,
+};
+
+const QUERIES: usize = 40;
+const ARRIVALS: u64 = 1_200;
+const GAP_MS: u64 = 10;
+
+fn run(kind: PolicyKind, utilization: f64) -> SimReport {
+    let mean_gap = Nanos::from_millis(GAP_MS);
+    let w = single_stream(&SingleStreamConfig {
+        queries: QUERIES,
+        cost_classes: 5,
+        utilization,
+        mean_gap,
+        seed: 77,
+    })
+    .unwrap();
+    simulate(
+        &w.plan,
+        &w.rates,
+        vec![Box::new(OnOffSource::lbl_like(mean_gap, 13))],
+        kind.build(),
+        SimConfig::new(ARRIVALS).with_seed(21),
+    )
+    .unwrap()
+}
+
+/// Figure 5: average slowdown ordering HNR < HR < {RR, FCFS} at high load.
+#[test]
+fn fig5_ordering_avg_slowdown() {
+    let hnr = run(PolicyKind::Hnr, 0.9).qos.avg_slowdown;
+    let hr = run(PolicyKind::Hr, 0.9).qos.avg_slowdown;
+    let srpt = run(PolicyKind::Srpt, 0.9).qos.avg_slowdown;
+    let rr = run(PolicyKind::RoundRobin, 0.9).qos.avg_slowdown;
+    let fcfs = run(PolicyKind::Fcfs, 0.9).qos.avg_slowdown;
+    assert!(hnr < hr, "HNR {hnr} < HR {hr}");
+    assert!(hnr < srpt, "HNR {hnr} < SRPT {srpt}");
+    assert!(hr < rr, "HR {hr} < RR {rr}");
+    assert!(hr < fcfs, "HR {hr} < FCFS {fcfs}");
+}
+
+/// Figure 6: HR's average response time is at least as good as HNR's, and
+/// the gap is small (paper: 4–7%).
+#[test]
+fn fig6_hr_wins_response_time_narrowly() {
+    let hnr = run(PolicyKind::Hnr, 0.9).qos.avg_response_ms;
+    let hr = run(PolicyKind::Hr, 0.9).qos.avg_response_ms;
+    assert!(hr <= hnr * 1.001, "HR {hr} vs HNR {hnr}");
+    assert!(hnr < hr * 1.5, "HNR within 50% of HR ({hnr} vs {hr})");
+}
+
+/// Figures 7–8: maximum slowdown ordering LSF < BSD < HNR under load.
+#[test]
+fn fig7_fig8_max_slowdown_orderings() {
+    let lsf = run(PolicyKind::Lsf, 0.95).qos.max_slowdown;
+    let bsd = run(PolicyKind::Bsd, 0.95).qos.max_slowdown;
+    let hnr = run(PolicyKind::Hnr, 0.95).qos.max_slowdown;
+    assert!(lsf < hnr, "LSF {lsf} < HNR {hnr}");
+    assert!(bsd < hnr, "BSD {bsd} < HNR {hnr}");
+}
+
+/// Figure 9: average slowdown ordering HNR < BSD < LSF.
+#[test]
+fn fig9_avg_slowdown_ordering() {
+    let lsf = run(PolicyKind::Lsf, 0.95).qos.avg_slowdown;
+    let bsd = run(PolicyKind::Bsd, 0.95).qos.avg_slowdown;
+    let hnr = run(PolicyKind::Hnr, 0.95).qos.avg_slowdown;
+    assert!(hnr <= bsd, "HNR {hnr} <= BSD {bsd}");
+    assert!(bsd < lsf, "BSD {bsd} < LSF {lsf}");
+}
+
+/// Figure 10: BSD provides the best ℓ2 norm of slowdowns.
+#[test]
+fn fig10_bsd_wins_l2() {
+    let lsf = run(PolicyKind::Lsf, 0.95).qos.l2_slowdown;
+    let bsd = run(PolicyKind::Bsd, 0.95).qos.l2_slowdown;
+    let hnr = run(PolicyKind::Hnr, 0.95).qos.l2_slowdown;
+    assert!(bsd < hnr, "BSD {bsd} < HNR {hnr}");
+    assert!(bsd < lsf, "BSD {bsd} < LSF {lsf}");
+}
+
+/// Figure 11: HR is the most biased against low-selectivity low-cost
+/// queries; BSD the least (bias = slowdown ratio of the lowest to highest
+/// populated selectivity bucket within cost class 0).
+#[test]
+fn fig11_bias_ordering() {
+    // Per-class statistics need a denser query population than the other
+    // ordering tests; build a dedicated larger run.
+    let run_big = |kind: PolicyKind| -> SimReport {
+        let mean_gap = Nanos::from_millis(GAP_MS);
+        let w = single_stream(&SingleStreamConfig {
+            queries: 150,
+            cost_classes: 5,
+            utilization: 0.9,
+            mean_gap,
+            seed: 77,
+        })
+        .unwrap();
+        simulate(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(OnOffSource::lbl_like(mean_gap, 13))],
+            kind.build(),
+            SimConfig::new(2_500).with_seed(21),
+        )
+        .unwrap()
+    };
+    let bias = |kind: PolicyKind| -> f64 {
+        let r = run_big(kind);
+        let classes = r.classes.by_cost_class(0);
+        assert!(
+            classes.len() >= 2,
+            "need at least two populated selectivity buckets"
+        );
+        let lo = classes.first().unwrap().1.avg_slowdown;
+        let hi = classes.last().unwrap().1.avg_slowdown;
+        lo / hi
+    };
+    let hr = bias(PolicyKind::Hr);
+    let hnr = bias(PolicyKind::Hnr);
+    let bsd = bias(PolicyKind::Bsd);
+    assert!(hr > hnr, "HR bias {hr} > HNR bias {hnr}");
+    assert!(hr > bsd, "HR bias {hr} > BSD bias {bsd}");
+}
+
+/// Figure 12: for multi-stream (window-join) workloads BSD gives the lowest
+/// ℓ2, and the margin over selectivity-blind policies is large.
+#[test]
+fn fig12_multi_stream_l2() {
+    let mean_gap = Nanos::from_millis(500);
+    let w = multi_stream(&MultiStreamConfig {
+        queries: 15,
+        cost_classes: 5,
+        utilization: 0.9,
+        mean_gap,
+        window_range: (Nanos::from_secs(1), Nanos::from_secs(10)),
+        seed: 5,
+    })
+    .unwrap();
+    let run = |kind: PolicyKind| {
+        let sources: Vec<Box<dyn ArrivalSource>> = vec![
+            Box::new(PoissonSource::new(mean_gap, 61)),
+            Box::new(PoissonSource::new(mean_gap, 62)),
+        ];
+        simulate(
+            &w.plan,
+            &w.rates,
+            sources,
+            kind.build(),
+            SimConfig::new(800).with_seed(9),
+        )
+        .unwrap()
+        .qos
+        .l2_slowdown
+    };
+    let bsd = run(PolicyKind::Bsd);
+    let hnr = run(PolicyKind::Hnr);
+    let fcfs = run(PolicyKind::Fcfs);
+    let rr = run(PolicyKind::RoundRobin);
+    assert!(bsd <= hnr * 1.05, "BSD {bsd} vs HNR {hnr}");
+    assert!(bsd * 2.0 < fcfs, "BSD {bsd} far below FCFS {fcfs}");
+    assert!(bsd * 2.0 < rr, "BSD {bsd} far below RR {rr}");
+}
+
+/// Table 2: the PDT strategy beats Max and Sum on the metric each policy
+/// optimizes.
+#[test]
+fn table2_pdt_wins() {
+    let mean_gap = Nanos::from_millis(GAP_MS);
+    let w = shared(&SharedConfig {
+        groups: 4,
+        group_size: 10,
+        cost_classes: 5,
+        utilization: 0.9,
+        mean_gap,
+        seed: 15,
+    })
+    .unwrap();
+    let run = |kind: PolicyKind, strat: SharingStrategy| {
+        simulate(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(OnOffSource::lbl_like(mean_gap, 77))],
+            kind.build(),
+            SimConfig::new(ARRIVALS).with_seed(3).with_sharing(strat),
+        )
+        .unwrap()
+    };
+    let hnr_pdt = run(PolicyKind::Hnr, SharingStrategy::Pdt).qos.avg_slowdown;
+    let hnr_max = run(PolicyKind::Hnr, SharingStrategy::Max).qos.avg_slowdown;
+    let hnr_sum = run(PolicyKind::Hnr, SharingStrategy::Sum).qos.avg_slowdown;
+    assert!(hnr_pdt <= hnr_max, "PDT {hnr_pdt} <= Max {hnr_max}");
+    assert!(hnr_pdt <= hnr_sum, "PDT {hnr_pdt} <= Sum {hnr_sum}");
+    let bsd_pdt = run(PolicyKind::Bsd, SharingStrategy::Pdt).qos.l2_slowdown;
+    let bsd_max = run(PolicyKind::Bsd, SharingStrategy::Max).qos.l2_slowdown;
+    assert!(bsd_pdt <= bsd_max, "PDT {bsd_pdt} <= Max {bsd_max}");
+}
