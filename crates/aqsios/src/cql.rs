@@ -164,11 +164,7 @@ impl Parser {
         Ok(RtPlan::single(StreamId::new(stream), ops))
     }
 
-    fn join_query(
-        &mut self,
-        left: usize,
-        projection: Option<Vec<usize>>,
-    ) -> Result<RtPlan> {
+    fn join_query(&mut self, left: usize, projection: Option<Vec<usize>>) -> Result<RtPlan> {
         let Some(Tok::Stream(right)) = self.next() else {
             return Err(err("expected a stream (sN) after JOIN"));
         };
@@ -204,8 +200,7 @@ impl Parser {
                             "condition qualifies s{s}, which is not an input of this join"
                         )))
                     }
-                    None => common_ops
-                        .push(RtOp::select(pred, DEFAULT_COST, DEFAULT_SELECTIVITY)),
+                    None => common_ops.push(RtOp::select(pred, DEFAULT_COST, DEFAULT_SELECTIVITY)),
                 }
             }
         }
@@ -351,9 +346,7 @@ fn lex(input: &str) -> Result<Vec<Tok>> {
             }
             c if c.is_ascii_alphabetic() => {
                 let mut word = String::new();
-                while let Some(w) =
-                    chars.next_if(|w| w.is_ascii_alphanumeric() || *w == '_')
-                {
+                while let Some(w) = chars.next_if(|w| w.is_ascii_alphanumeric() || *w == '_') {
                     word.push(w);
                 }
                 let lower = word.to_ascii_lowercase();
@@ -418,7 +411,10 @@ mod tests {
             panic!()
         };
         assert_eq!(ops.len(), 1);
-        assert_eq!(ops[0].kind, RtOpKind::Select(Predicate::new(0, Cmp::Lt, -5)));
+        assert_eq!(
+            ops[0].kind,
+            RtOpKind::Select(Predicate::new(0, Cmp::Lt, -5))
+        );
     }
 
     #[test]
@@ -486,7 +482,10 @@ mod tests {
                 "SELECT * FROM s0 JOIN s1 ON f0 = f1 WITHIN 1s WHERE s2.f0 < 5",
                 "not an input",
             ),
-            ("SELECT * FROM s0 JOIN s1 ON f0 = f1 WITHIN 1parsec", "duration unit"),
+            (
+                "SELECT * FROM s0 JOIN s1 ON f0 = f1 WITHIN 1parsec",
+                "duration unit",
+            ),
             ("SELECT f1 FROM s0 WHERE f0 ! 5", "did you mean"),
             ("SELECT f1 FROM s0 WHERE f0 = 5 f9", "trailing"),
         ] {

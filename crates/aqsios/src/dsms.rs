@@ -338,7 +338,11 @@ impl Dsms {
                     .chain(common_ops)
                     .map(|op| EwmaEstimator::new(alpha, op.est_cost, op.est_selectivity))
                     .collect(),
-                Some(EwmaEstimator::new(alpha, join.est_cost, join.est_selectivity)),
+                Some(EwmaEstimator::new(
+                    alpha,
+                    join.est_cost,
+                    join.est_selectivity,
+                )),
                 Some(SymmetricHashJoin::new(join.window)),
             ),
         };
@@ -402,7 +406,9 @@ impl Dsms {
             if let Some(last) = self.last_arrival[stream.index()] {
                 let gap = now.saturating_since(last);
                 self.stream_gaps[stream.index()]
-                    .get_or_insert_with(|| EwmaEstimator::new(self.ewma_alpha, gap.max(Nanos(1)), 1.0))
+                    .get_or_insert_with(|| {
+                        EwmaEstimator::new(self.ewma_alpha, gap.max(Nanos(1)), 1.0)
+                    })
                     .observe(gap.max(Nanos(1)), 1.0);
             }
             self.last_arrival[stream.index()] = Some(now);
@@ -427,12 +433,9 @@ impl Dsms {
                     arrival: now,
                 },
             );
-            self.policy.as_policy().on_enqueue(
-                unit,
-                TupleId::new(self.tuple_counter),
-                now,
-                now,
-            );
+            self.policy
+                .as_policy()
+                .on_enqueue(unit, TupleId::new(self.tuple_counter), now, now);
         }
     }
 
@@ -696,8 +699,8 @@ impl Dsms {
             };
             let mut composite = left_rec.concat(right_rec);
             let arrival = pending.arrival.max(partner.arrival);
-            let ideal_depart = (pending.arrival + alone[own_leaf])
-                .max(partner.arrival + alone[other_leaf]);
+            let ideal_depart =
+                (pending.arrival + alone[own_leaf]).max(partner.arrival + alone[other_leaf]);
             let mut survived = true;
             for (i, op) in common_ops.iter().enumerate() {
                 let slot = common_base + i;

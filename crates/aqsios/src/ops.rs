@@ -59,7 +59,9 @@ impl RtOp {
 
     fn validate(&self) -> Result<()> {
         if self.est_cost.is_zero() {
-            return Err(HcqError::plan("runtime operator needs a positive cost estimate"));
+            return Err(HcqError::plan(
+                "runtime operator needs a positive cost estimate",
+            ));
         }
         if !(self.est_selectivity > 0.0 && self.est_selectivity <= 1.0) {
             return Err(HcqError::plan(format!(
@@ -246,10 +248,7 @@ mod tests {
             common_ops: vec![],
         };
         assert!(join.validate().is_ok());
-        assert_eq!(
-            join.streams(),
-            vec![StreamId::new(0), StreamId::new(1)]
-        );
+        assert_eq!(join.streams(), vec![StreamId::new(0), StreamId::new(1)]);
         let bad_join = RtPlan::Join {
             left_stream: StreamId::new(0),
             right_stream: StreamId::new(1),

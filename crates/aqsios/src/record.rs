@@ -39,11 +39,7 @@ impl Record {
     /// Keep only the given fields, in order (projection). Missing indexes
     /// are dropped silently — projections are validated at registration.
     pub fn project(&self, keep: &[usize]) -> Record {
-        Record::new(
-            keep.iter()
-                .filter_map(|&i| self.get(i))
-                .collect(),
-        )
+        Record::new(keep.iter().filter_map(|&i| self.get(i)).collect())
     }
 
     /// Concatenate two records (join output).

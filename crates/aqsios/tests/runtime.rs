@@ -208,13 +208,21 @@ fn adaptive_refresh_tracks_selectivity_drift() {
     let a = hr
         .register(RtPlan::single(
             StreamId::new(0),
-            vec![RtOp::select(Predicate::new(0, Cmp::Ge, 10), Nanos::from_millis(5), 0.5)],
+            vec![RtOp::select(
+                Predicate::new(0, Cmp::Ge, 10),
+                Nanos::from_millis(5),
+                0.5,
+            )],
         ))
         .unwrap();
     let b = hr
         .register(RtPlan::single(
             StreamId::new(0),
-            vec![RtOp::select(Predicate::new(0, Cmp::Lt, 10), Nanos::from_millis(5), 0.5)],
+            vec![RtOp::select(
+                Predicate::new(0, Cmp::Lt, 10),
+                Nanos::from_millis(5),
+                0.5,
+            )],
         ))
         .unwrap();
     for i in 0..200 {
@@ -325,10 +333,8 @@ fn cql_queries_run_end_to_end() {
         .unwrap();
     let joined = dsms
         .register(
-            parse_cql(
-                "SELECT f0, f3 FROM s0 JOIN s1 ON f1 = f0 WITHIN 1s WHERE s0.f0 >= 100",
-            )
-            .unwrap(),
+            parse_cql("SELECT f0, f3 FROM s0 JOIN s1 ON f1 = f0 WITHIN 1s WHERE s0.f0 >= 100")
+                .unwrap(),
         )
         .unwrap();
     // s0 records: (price, merchant); s1 records: (merchant, flag).

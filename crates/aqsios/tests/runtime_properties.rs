@@ -9,8 +9,7 @@ use proptest::prelude::*;
 
 fn build(policy: RuntimePolicy, predicates: &[(usize, Cmp, i64)]) -> (Dsms, ManualClock) {
     let clock = ManualClock::new();
-    let mut dsms =
-        Dsms::new(DsmsConfig::new(policy).with_clock(Box::new(clock.clone()))).unwrap();
+    let mut dsms = Dsms::new(DsmsConfig::new(policy).with_clock(Box::new(clock.clone()))).unwrap();
     for &(field, cmp, value) in predicates {
         dsms.register(RtPlan::single(
             StreamId::new(0),

@@ -2,13 +2,14 @@
 //! through the `hcq-aqsios` mini-DSMS under each policy.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hcq_aqsios::{Cmp, Dsms, DsmsConfig, ManualClock, Predicate, Record, RtOp, RtPlan, RuntimePolicy};
+use hcq_aqsios::{
+    Cmp, Dsms, DsmsConfig, ManualClock, Predicate, Record, RtOp, RtPlan, RuntimePolicy,
+};
 use hcq_common::{Nanos, StreamId};
 
 fn build(policy: RuntimePolicy, queries: usize) -> (Dsms, ManualClock) {
     let clock = ManualClock::new();
-    let mut dsms =
-        Dsms::new(DsmsConfig::new(policy).with_clock(Box::new(clock.clone()))).unwrap();
+    let mut dsms = Dsms::new(DsmsConfig::new(policy).with_clock(Box::new(clock.clone()))).unwrap();
     for i in 0..queries {
         dsms.register(RtPlan::single(
             StreamId::new(0),

@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcq_bench::spread_units;
-use hcq_core::{ClusterConfig, Clustering, ClusteredBsdPolicy, Policy};
+use hcq_core::{ClusterConfig, ClusteredBsdPolicy, Clustering, Policy};
 
 fn bench_register(c: &mut Criterion) {
     let mut group = c.benchmark_group("cluster_on_register");
@@ -17,22 +17,18 @@ fn bench_register(c: &mut Criterion) {
                 Clustering::Uniform => "uniform",
                 Clustering::Logarithmic => "logarithmic",
             };
-            group.bench_with_input(
-                BenchmarkId::new(label, q),
-                &units,
-                |b, units| {
-                    b.iter(|| {
-                        let mut p = ClusteredBsdPolicy::new(ClusterConfig {
-                            clustering,
-                            clusters: 12,
-                            use_fagin: true,
-                            batch: true,
-                        });
-                        p.on_register(units);
-                        p.cluster_count()
+            group.bench_with_input(BenchmarkId::new(label, q), &units, |b, units| {
+                b.iter(|| {
+                    let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+                        clustering,
+                        clusters: 12,
+                        use_fagin: true,
+                        batch: true,
                     });
-                },
-            );
+                    p.on_register(units);
+                    p.cluster_count()
+                });
+            });
         }
     }
     group.finish();

@@ -1,50 +1,25 @@
 //! End-to-end simulated throughput: source arrivals per wall-clock second
 //! for a complete workload × policy simulation. This is the figure-of-merit
 //! for the reproduction harness itself (how long a §9 sweep takes).
+//!
+//! The fixture lives in `hcq_bench::pipeline` and is shared with the
+//! `repro bench` baseline emitter, so Criterion trends and the
+//! `BENCH_*.json` trajectory time exactly the same workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use hcq_common::Nanos;
-use hcq_core::PolicyKind;
-use hcq_engine::{simulate, SimConfig};
-use hcq_streams::PoissonSource;
-use hcq_workload::{single_stream, SingleStreamConfig};
+use hcq_bench::pipeline;
 
 fn bench_pipeline(c: &mut Criterion) {
-    let mean_gap = Nanos::from_millis(10);
-    let w = single_stream(&SingleStreamConfig {
-        queries: 60,
-        cost_classes: 5,
-        utilization: 0.9,
-        mean_gap,
-        seed: 5,
-    })
-    .expect("valid workload");
-    let arrivals = 500u64;
+    let w = pipeline::workload();
     let mut group = c.benchmark_group("simulate_arrivals");
     group.sample_size(10);
-    group.throughput(Throughput::Elements(arrivals));
-    for kind in [
-        PolicyKind::Fcfs,
-        PolicyKind::RoundRobin,
-        PolicyKind::Hnr,
-        PolicyKind::Lsf,
-        PolicyKind::Bsd,
-    ] {
+    group.throughput(Throughput::Elements(pipeline::ARRIVALS));
+    for kind in pipeline::POLICIES {
         group.bench_with_input(
             BenchmarkId::from_parameter(kind.name()),
             &kind,
             |b, &kind| {
-                b.iter(|| {
-                    simulate(
-                        &w.plan,
-                        &w.rates,
-                        vec![Box::new(PoissonSource::new(mean_gap, 9))],
-                        kind.build(),
-                        SimConfig::new(arrivals).with_seed(3),
-                    )
-                    .expect("valid simulation")
-                    .emitted
-                });
+                b.iter(|| pipeline::run(kind, &w).emitted);
             },
         );
     }

@@ -8,7 +8,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hcq_bench::loaded_policy;
 use hcq_common::{Nanos, TupleId};
-use hcq_core::{ClusterConfig, Clustering, ClusteredBsdPolicy, PolicyKind};
+use hcq_core::{ClusterConfig, ClusteredBsdPolicy, Clustering, PolicyKind};
 
 fn bench_select(c: &mut Criterion) {
     let mut group = c.benchmark_group("select_per_point");

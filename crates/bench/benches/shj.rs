@@ -36,7 +36,11 @@ fn bench_shj(c: &mut Criterion) {
                 let mut i = 0u64;
                 b.iter(|| {
                     i += 1;
-                    let side = if i.is_multiple_of(2) { Side::Left } else { Side::Right };
+                    let side = if i.is_multiple_of(2) {
+                        Side::Left
+                    } else {
+                        Side::Right
+                    };
                     let m = j.insert_probe(side, &tuple(i));
                     m.len()
                 });

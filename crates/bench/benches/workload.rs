@@ -46,7 +46,9 @@ fn bench_stats(c: &mut Criterion) {
     c.bench_function("plan_stats_join_query", |b| {
         b.iter(|| {
             let cq = CompiledQuery::compile(&plan);
-            PlanStats::compute(&cq, &rates).expect("valid stats").ideal_time
+            PlanStats::compute(&cq, &rates)
+                .expect("valid stats")
+                .ideal_time
         });
     });
 }

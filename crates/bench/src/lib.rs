@@ -15,6 +15,57 @@
 use hcq_common::{Nanos, TupleId};
 use hcq_core::{Policy, QueueView, UnitId, UnitStatics};
 
+/// The fixed reference workload behind the `pipeline` bench and the
+/// `repro bench` baseline emitter (`BENCH_*.json`). Both time exactly this
+/// fixture, so Criterion trends and the JSON trajectory stay comparable.
+pub mod pipeline {
+    use hcq_common::Nanos;
+    use hcq_core::PolicyKind;
+    use hcq_engine::{simulate, SimConfig, SimReport};
+    use hcq_streams::PoissonSource;
+    use hcq_workload::{single_stream, PaperWorkload, SingleStreamConfig};
+
+    /// Source arrivals per simulation.
+    pub const ARRIVALS: u64 = 500;
+    /// Policies timed by the bench, in emission order.
+    pub const POLICIES: [PolicyKind; 5] = [
+        PolicyKind::Fcfs,
+        PolicyKind::RoundRobin,
+        PolicyKind::Hnr,
+        PolicyKind::Lsf,
+        PolicyKind::Bsd,
+    ];
+
+    /// Mean inter-arrival gap of the Poisson source.
+    pub fn mean_gap() -> Nanos {
+        Nanos::from_millis(10)
+    }
+
+    /// The reference workload: 60 queries, 5 cost classes, 0.9 utilization.
+    pub fn workload() -> PaperWorkload {
+        single_stream(&SingleStreamConfig {
+            queries: 60,
+            cost_classes: 5,
+            utilization: 0.9,
+            mean_gap: mean_gap(),
+            seed: 5,
+        })
+        .expect("valid workload")
+    }
+
+    /// One timed simulation of the reference workload under `kind`.
+    pub fn run(kind: PolicyKind, w: &PaperWorkload) -> SimReport {
+        simulate(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(PoissonSource::new(mean_gap(), 9))],
+            kind.build(),
+            SimConfig::new(ARRIVALS).with_seed(3),
+        )
+        .expect("valid simulation")
+    }
+}
+
 /// A heterogeneous unit population with Φ spread over several decades.
 pub fn spread_units(n: usize) -> Vec<UnitStatics> {
     (0..n)

@@ -24,7 +24,10 @@ impl EwmaEstimator {
     /// Create with smoothing factor `alpha ∈ (0, 1]` (weight of the newest
     /// observation) and initial guesses.
     pub fn new(alpha: f64, initial_cost: Nanos, initial_selectivity: f64) -> Self {
-        assert!((0.0..=1.0).contains(&alpha) && alpha > 0.0, "alpha in (0,1]");
+        assert!(
+            (0.0..=1.0).contains(&alpha) && alpha > 0.0,
+            "alpha in (0,1]"
+        );
         EwmaEstimator {
             alpha,
             cost_ns: initial_cost.as_nanos() as f64,

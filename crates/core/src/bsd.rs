@@ -54,9 +54,7 @@ impl Policy for BsdPolicy {
         let mut best: Option<(f64, UnitId)> = None;
         let mut ops = 0;
         for &unit in queues.nonempty() {
-            let arrival = queues
-                .head_arrival(unit)
-                .expect("nonempty unit has a head");
+            let arrival = queues.head_arrival(unit).expect("nonempty unit has a head");
             let wait = now.saturating_since(arrival).as_nanos() as f64;
             let priority = wait * self.phi[unit as usize];
             ops += 2; // priority computation + comparison

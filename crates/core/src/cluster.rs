@@ -263,7 +263,7 @@ impl Policy for ClusteredBsdPolicy {
         let head = *q.front().expect("selected cluster is non-empty");
         let removed = self.by_wait.remove(&(head.arrival, cluster));
         debug_assert!(removed, "front entry tracked in by_wait");
-        let mut units = Vec::with_capacity(1);
+        let mut units = crate::policy::SelectionUnits::new();
         if self.cfg.batch {
             // Clustered processing: every member query pending on the head
             // tuple runs as one batch. Copies of one arriving tuple are
@@ -306,11 +306,7 @@ mod tests {
         (0..n)
             .map(|i| {
                 let c = 1u64 << (i % 5); // costs 1,2,4,8,16 ms
-                UnitStatics::new(
-                    0.2 + 0.15 * (i % 5) as f64,
-                    ms(c),
-                    ms(c * 3),
-                )
+                UnitStatics::new(0.2 + 0.15 * (i % 5) as f64, ms(c), ms(c * 3))
             })
             .collect()
     }
@@ -534,8 +530,9 @@ mod tests {
 
     #[test]
     fn identical_phis_collapse_to_one_cluster() {
-        let units: Vec<UnitStatics> =
-            (0..4).map(|_| UnitStatics::new(0.5, ms(2), ms(4))).collect();
+        let units: Vec<UnitStatics> = (0..4)
+            .map(|_| UnitStatics::new(0.5, ms(2), ms(4)))
+            .collect();
         let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(8));
         p.on_register(&units);
         for u in 0..4 {

@@ -56,12 +56,12 @@ pub mod unit;
 
 pub use adaptive::EwmaEstimator;
 pub use bsd::BsdPolicy;
-pub use cluster::{ClusterConfig, Clustering, ClusteredBsdPolicy};
+pub use cluster::{ClusterConfig, ClusteredBsdPolicy, Clustering};
 pub use fcfs::FcfsPolicy;
 pub use lp::LpPolicy;
 pub use lsf::LsfPolicy;
 pub use pdt::{shared_priority, PdtSelection, SharingStrategy};
-pub use policy::{Policy, PolicyKind, QueueView, Selection, UnitId};
+pub use policy::{Policy, PolicyKind, QueueView, Selection, SelectionUnits, UnitId};
 pub use rr::RoundRobinPolicy;
 pub use statics::{StaticPolicy, StaticRank};
 pub use unit::UnitStatics;

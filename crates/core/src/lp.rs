@@ -74,9 +74,7 @@ impl Policy for LpPolicy {
         let mut ops = 0;
         let w_exp = self.p - 1.0;
         for &unit in queues.nonempty() {
-            let arrival = queues
-                .head_arrival(unit)
-                .expect("nonempty unit has a head");
+            let arrival = queues.head_arrival(unit).expect("nonempty unit has a head");
             let wait = now.saturating_since(arrival).as_nanos() as f64;
             // W^0 = 1 even at W = 0 (p = 1 must reduce to pure HNR order).
             let w_term = if w_exp == 0.0 { 1.0 } else { wait.powf(w_exp) };

@@ -42,18 +42,14 @@ impl Policy for LsfPolicy {
         let mut best: Option<(f64, UnitId)> = None;
         let mut ops = 0;
         for &unit in queues.nonempty() {
-            let arrival = queues
-                .head_arrival(unit)
-                .expect("nonempty unit has a head");
+            let arrival = queues.head_arrival(unit).expect("nonempty unit has a head");
             let wait = now.saturating_since(arrival).as_nanos() as f64;
             let priority = wait * self.slope[unit as usize];
             ops += 2; // one computation + one comparison
-            // Ties broken toward the lower unit id for determinism.
+                      // Ties broken toward the lower unit id for determinism.
             let better = match best {
                 None => true,
-                Some((b, bu)) => {
-                    priority > b || (priority == b && unit < bu)
-                }
+                Some((b, bu)) => priority > b || (priority == b && unit < bu),
             };
             if better {
                 best = Some((priority, unit));
@@ -115,11 +111,7 @@ mod tests {
             UnitStatics::new(1.0, ms(4), ms(4)),
             UnitStatics::new(1.0, ms(4), ms(4)),
         ];
-        let order = drain_order(
-            &mut LsfPolicy::new(),
-            &units,
-            &[(1, 0, 0), (0, 1, 2)],
-        );
+        let order = drain_order(&mut LsfPolicy::new(), &units, &[(1, 0, 0), (0, 1, 2)]);
         assert_eq!(order, vec![1, 0]);
     }
 

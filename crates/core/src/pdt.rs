@@ -190,7 +190,11 @@ mod tests {
     fn single_segment_group_all_strategies_agree() {
         let segs = vec![seg(2, 0.5, 3, 0.7)];
         let c_x = ms(2);
-        for strat in [SharingStrategy::Max, SharingStrategy::Sum, SharingStrategy::Pdt] {
+        for strat in [
+            SharingStrategy::Max,
+            SharingStrategy::Sum,
+            SharingStrategy::Pdt,
+        ] {
             let r = shared_priority(&segs, c_x, strat, SharedRank::Hnr);
             assert_eq!(r.members, vec![0]);
             assert!((r.priority - segs[0].hnr_priority()).abs() < 1e-24);

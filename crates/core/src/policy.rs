@@ -24,7 +24,7 @@ pub struct Selection {
     /// Units to run, each on its current head tuple. A single unit for every
     /// policy except clustered processing (§6.2.3), which batches all member
     /// queries of the chosen cluster over the shared head tuple.
-    pub units: Vec<UnitId>,
+    pub units: SelectionUnits,
     /// Priority computations + comparisons this decision cost; the engine
     /// charges `ops_counted × c_sched` of virtual time when overhead
     /// accounting is on (§9.2 sets `c_sched` to the cheapest operator cost).
@@ -34,12 +34,173 @@ pub struct Selection {
 impl Selection {
     /// A single-unit decision.
     pub fn one(unit: UnitId, ops_counted: u64) -> Self {
-        Selection {
-            units: vec![unit],
-            ops_counted,
+        let mut units = SelectionUnits::new();
+        units.push(unit);
+        Selection { units, ops_counted }
+    }
+}
+
+/// How many units a [`SelectionUnits`] holds before spilling to the heap.
+const SELECTION_INLINE: usize = 4;
+
+/// The unit list of a [`Selection`], stored inline for the common case.
+///
+/// `select` runs once per scheduling point — millions of times per
+/// simulation — and almost always returns exactly one unit, so a `Vec` here
+/// means a heap allocation per decision. Up to [`SELECTION_INLINE`] units
+/// live inline; only clustered-processing batches larger than that spill to
+/// a `Vec`. Dereferences to `[UnitId]`, iterates by value and by reference,
+/// and compares against `Vec<UnitId>` so call sites read like a `Vec`.
+#[derive(Clone)]
+pub enum SelectionUnits {
+    /// At most [`SELECTION_INLINE`] units, no heap allocation.
+    Inline {
+        /// Number of live entries in `buf`.
+        len: u8,
+        /// Storage; only `buf[..len]` is meaningful.
+        buf: [UnitId; SELECTION_INLINE],
+    },
+    /// Batches larger than the inline capacity.
+    Spilled(Vec<UnitId>),
+}
+
+impl SelectionUnits {
+    /// An empty unit list (no allocation).
+    pub fn new() -> Self {
+        SelectionUnits::Inline {
+            len: 0,
+            buf: [0; SELECTION_INLINE],
+        }
+    }
+
+    /// Append a unit, spilling to the heap past the inline capacity.
+    pub fn push(&mut self, unit: UnitId) {
+        match self {
+            SelectionUnits::Inline { len, buf } => {
+                if (*len as usize) < SELECTION_INLINE {
+                    buf[*len as usize] = unit;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(SELECTION_INLINE * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(unit);
+                    *self = SelectionUnits::Spilled(v);
+                }
+            }
+            SelectionUnits::Spilled(v) => v.push(unit),
+        }
+    }
+
+    /// The units as a slice.
+    pub fn as_slice(&self) -> &[UnitId] {
+        match self {
+            SelectionUnits::Inline { len, buf } => &buf[..*len as usize],
+            SelectionUnits::Spilled(v) => v,
         }
     }
 }
+
+impl Default for SelectionUnits {
+    fn default() -> Self {
+        SelectionUnits::new()
+    }
+}
+
+impl std::ops::Deref for SelectionUnits {
+    type Target = [UnitId];
+
+    fn deref(&self) -> &[UnitId] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for SelectionUnits {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for SelectionUnits {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for SelectionUnits {}
+
+impl PartialEq<Vec<UnitId>> for SelectionUnits {
+    fn eq(&self, other: &Vec<UnitId>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<SelectionUnits> for Vec<UnitId> {
+    fn eq(&self, other: &SelectionUnits) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[UnitId]> for SelectionUnits {
+    fn eq(&self, other: &&[UnitId]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl FromIterator<UnitId> for SelectionUnits {
+    fn from_iter<I: IntoIterator<Item = UnitId>>(iter: I) -> Self {
+        let mut units = SelectionUnits::new();
+        for u in iter {
+            units.push(u);
+        }
+        units
+    }
+}
+
+impl IntoIterator for SelectionUnits {
+    type Item = UnitId;
+    type IntoIter = SelectionUnitsIter;
+
+    fn into_iter(self) -> SelectionUnitsIter {
+        SelectionUnitsIter {
+            units: self,
+            next: 0,
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SelectionUnits {
+    type Item = &'a UnitId;
+    type IntoIter = std::slice::Iter<'a, UnitId>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// By-value iterator over [`SelectionUnits`].
+#[derive(Debug)]
+pub struct SelectionUnitsIter {
+    units: SelectionUnits,
+    next: usize,
+}
+
+impl Iterator for SelectionUnitsIter {
+    type Item = UnitId;
+
+    fn next(&mut self) -> Option<UnitId> {
+        let slice = self.units.as_slice();
+        let unit = slice.get(self.next).copied();
+        self.next += 1;
+        unit
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.units.as_slice().len().saturating_sub(self.next);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for SelectionUnitsIter {}
 
 /// A scheduling policy.
 ///

@@ -70,7 +70,14 @@ mod tests {
         let order = drain_order(
             &mut RoundRobinPolicy::new(),
             &units(3),
-            &[(0, 0, 0), (0, 1, 0), (1, 2, 0), (1, 3, 0), (2, 4, 0), (2, 5, 0)],
+            &[
+                (0, 0, 0),
+                (0, 1, 0),
+                (1, 2, 0),
+                (1, 3, 0),
+                (2, 4, 0),
+                (2, 5, 0),
+            ],
         );
         assert_eq!(order, vec![0, 1, 2, 0, 1, 2]);
     }

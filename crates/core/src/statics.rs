@@ -134,7 +134,10 @@ impl Policy for StaticPolicy {
                 );
                 self.custom.iter().map(|&p| PriorityKey(p)).collect()
             }
-            rank => units.iter().map(|u| PriorityKey(rank.priority(u))).collect(),
+            rank => units
+                .iter()
+                .map(|u| PriorityKey(rank.priority(u)))
+                .collect(),
         };
         self.in_heap = vec![false; units.len()];
         self.heap.clear();
@@ -153,8 +156,7 @@ impl Policy for StaticPolicy {
             ops += 1;
             // Discard stale entries: emptied queues, or re-pushed units whose
             // stored key no longer matches the live priority.
-            let stale =
-                queues.len(unit) == 0 || key != self.priorities[unit as usize];
+            let stale = queues.len(unit) == 0 || key != self.priorities[unit as usize];
             if stale {
                 self.heap.pop();
                 if queues.len(unit) == 0 {
@@ -219,8 +221,7 @@ mod tests {
             .iter()
             .map(|&c| UnitStatics::new(1.0, ms(c), ms(c)))
             .collect();
-        let enq: Vec<(UnitId, u64, u64)> =
-            (0..4).map(|i| (i as UnitId, i as u64, 0)).collect();
+        let enq: Vec<(UnitId, u64, u64)> = (0..4).map(|i| (i as UnitId, i as u64, 0)).collect();
         let srpt = drain_order(&mut StaticPolicy::srpt(), &units, &enq);
         let hr = drain_order(&mut StaticPolicy::hr(), &units, &enq);
         let hnr = drain_order(&mut StaticPolicy::hnr(), &units, &enq);

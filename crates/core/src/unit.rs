@@ -135,7 +135,10 @@ mod tests {
     fn priority_key_orders() {
         let mut v = vec![PriorityKey(0.3), PriorityKey(1.0), PriorityKey(0.5)];
         v.sort();
-        assert_eq!(v, vec![PriorityKey(0.3), PriorityKey(0.5), PriorityKey(1.0)]);
+        assert_eq!(
+            v,
+            vec![PriorityKey(0.3), PriorityKey(0.5), PriorityKey(1.0)]
+        );
         assert!(PriorityKey(2.0) > PriorityKey(1.0));
     }
 }

@@ -5,7 +5,9 @@
 use std::collections::VecDeque;
 
 use hcq_common::{Nanos, TupleId};
-use hcq_core::{ClusterConfig, Clustering, ClusteredBsdPolicy, Policy, QueueView, UnitId, UnitStatics};
+use hcq_core::{
+    ClusterConfig, ClusteredBsdPolicy, Clustering, Policy, QueueView, UnitId, UnitStatics,
+};
 use proptest::prelude::*;
 
 #[derive(Default)]

@@ -3,14 +3,12 @@
 use hcq_common::{HcqError, Nanos, Result, StreamId};
 use hcq_core::pdt::{shared_priority, PdtSelection, SharedRank};
 use hcq_core::{SharingStrategy, UnitId, UnitStatics};
-use hcq_plan::{
-    CompiledQuery, GlobalPlan, LeafIndex, PlanStats, Port, QueryTag, StreamRates,
-};
+use hcq_plan::{CompiledQuery, GlobalPlan, LeafIndex, PlanStats, Port, QueryTag, StreamRates};
 
 use crate::config::SchedulingLevel;
 
 /// What a schedulable unit is.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnitKind {
     /// A leaf-to-root operator segment of one query (query-level scheduling;
     /// the §5.2 virtual segments `E_LL`/`E_RR` for join queries).
@@ -156,11 +154,7 @@ impl SimModel {
             }
         }
 
-        let n_streams = plan
-            .streams()
-            .last()
-            .map(|s| s.index() + 1)
-            .unwrap_or(0);
+        let n_streams = plan.streams().last().map(|s| s.index() + 1).unwrap_or(0);
         let mut routes: Vec<Vec<EntryRoute>> = vec![Vec::new(); n_streams];
         let mut units: Vec<UnitDesc> = Vec::new();
         let mut groups: Vec<SharedGroupModel> = Vec::new();
@@ -185,8 +179,7 @@ impl SimModel {
                             },
                         });
                     }
-                    let entry =
-                        first_unit.expect("validated single-stream query has ops");
+                    let entry = first_unit.expect("validated single-stream query has ops");
                     routes[cq.leaves[0].stream.index()].push(EntryRoute {
                         unit: entry,
                         alone: cq.alone_cost(LeafIndex(0)),
@@ -222,18 +215,8 @@ impl SimModel {
                         .iter()
                         .map(|&m| UnitStatics::from_leaf(&stats[m.index()].per_leaf[0]))
                         .collect();
-                    let hnr = shared_priority(
-                        &member_stats,
-                        g.op.cost,
-                        sharing,
-                        SharedRank::Hnr,
-                    );
-                    let bsd = shared_priority(
-                        &member_stats,
-                        g.op.cost,
-                        sharing,
-                        SharedRank::Bsd,
-                    );
+                    let hnr = shared_priority(&member_stats, g.op.cost, sharing, SharedRank::Hnr);
+                    let bsd = shared_priority(&member_stats, g.op.cost, sharing, SharedRank::Bsd);
                     let shared_unit = units.len() as UnitId;
                     units.push(UnitDesc {
                         kind: UnitKind::Shared { group: group_idx },
@@ -398,8 +381,7 @@ impl SimModel {
                             .iter()
                             .map(|&qi| self.stats[qi].per_leaf[0].avg_cost_ns)
                             .sum();
-                        sum - (g.members.len() as f64 - 1.0)
-                            * g.shared_cost.as_nanos() as f64
+                        sum - (g.members.len() as f64 - 1.0) * g.shared_cost.as_nanos() as f64
                     }
                     _ => u.statics.avg_cost_ns,
                 }
@@ -486,7 +468,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.unit_count(), 3);
-        assert!(matches!(m.units[1].kind, UnitKind::Operator { query: 0, op: 1 }));
+        assert!(matches!(
+            m.units[1].kind,
+            UnitKind::Operator { query: 0, op: 1 }
+        ));
         // Stream routes to the first operator's unit only.
         assert_eq!(m.routes[0].len(), 1);
         assert_eq!(m.routes[0][0].unit, 0);
@@ -511,13 +496,8 @@ mod tests {
         let rates = StreamRates::none()
             .with(StreamId::new(0), ms(10))
             .with(StreamId::new(1), ms(10));
-        let m = SimModel::build(
-            &plan,
-            &rates,
-            SchedulingLevel::Query,
-            SharingStrategy::Pdt,
-        )
-        .unwrap();
+        let m =
+            SimModel::build(&plan, &rates, SchedulingLevel::Query, SharingStrategy::Pdt).unwrap();
         assert_eq!(m.unit_count(), 2);
         assert_eq!(m.routes[0].len(), 1);
         assert_eq!(m.routes[1].len(), 1);
@@ -632,18 +612,8 @@ mod tests {
         let member_stats: Vec<UnitStatics> = (1..=3)
             .map(|i| UnitStatics::new(0.5, ms(i + 1), ms(2 * i)))
             .collect();
-        let hnr = shared_priority(
-            &member_stats,
-            ms(1),
-            SharingStrategy::Sum,
-            SharedRank::Hnr,
-        );
-        let bsd = shared_priority(
-            &member_stats,
-            ms(1),
-            SharingStrategy::Sum,
-            SharedRank::Bsd,
-        );
+        let hnr = shared_priority(&member_stats, ms(1), SharingStrategy::Sum, SharedRank::Hnr);
+        let bsd = shared_priority(&member_stats, ms(1), SharingStrategy::Sum, SharedRank::Bsd);
         let s = synthesize_shared_statics(&member_stats, ms(1), &hnr, bsd.priority);
         assert!((s.hnr_priority() - hnr.priority).abs() / hnr.priority < 1e-9);
         assert!((s.bsd_static() - bsd.priority).abs() / bsd.priority < 1e-9);
@@ -691,13 +661,8 @@ mod tests {
             .with(StreamId::new(0), ms(10))
             .with(StreamId::new(1), ms(10))
             .with(StreamId::new(2), ms(10));
-        let err = SimModel::build(
-            &plan,
-            &rates,
-            SchedulingLevel::Query,
-            SharingStrategy::Pdt,
-        )
-        .unwrap_err();
+        let err = SimModel::build(&plan, &rates, SchedulingLevel::Query, SharingStrategy::Pdt)
+            .unwrap_err();
         assert!(err.to_string().contains("at most one window join"));
     }
 }

@@ -20,10 +20,14 @@ pub struct UnitQueues {
 
 impl UnitQueues {
     /// Queues for `n` units.
+    ///
+    /// Each queue gets a small initial capacity and keeps whatever it grows
+    /// to for the rest of the run (`pop` never shrinks), so after a brief
+    /// warm-up the steady-state hot path performs no queue allocations.
     pub fn new(n: usize) -> Self {
         UnitQueues {
-            queues: (0..n).map(|_| VecDeque::new()).collect(),
-            nonempty: Vec::new(),
+            queues: (0..n).map(|_| VecDeque::with_capacity(4)).collect(),
+            nonempty: Vec::with_capacity(n),
             pos: vec![0; n],
             pending: 0,
         }

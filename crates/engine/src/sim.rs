@@ -46,6 +46,12 @@ pub struct Simulator {
     op_units: Vec<Vec<u32>>,
     cfg: SimConfig,
     sched_cost: Nanos,
+    /// `ideal_times[query]` = `T_k`, hoisted out of the per-emission path
+    /// (`stats` is indexed on every emit and every shared-group fan-out).
+    ideal_times: Vec<Nanos>,
+    /// Scratch buffer for join probe results, reused across probes so the
+    /// hot path does not allocate a fresh `Vec` per arriving tuple.
+    probe_buf: Vec<SimTuple>,
 
     clock: Nanos,
     /// Ids for composite tuples (top bit set, so they never collide with
@@ -123,6 +129,7 @@ impl Simulator {
         let series = cfg.sample_window.map(QosTimeSeries::new);
         policy.on_register(&model.unit_statics());
         let n_units = model.unit_count();
+        let ideal_times = model.stats.iter().map(|s| s.ideal_time).collect();
         Ok(Simulator {
             model,
             policy,
@@ -133,6 +140,8 @@ impl Simulator {
             op_units,
             cfg,
             sched_cost,
+            ideal_times,
+            probe_buf: Vec::new(),
             clock: Nanos::ZERO,
             composite_counter: 0,
             arrivals_injected: 0,
@@ -245,8 +254,9 @@ impl Simulator {
         let key = det::unit_range(det::splitmix64(det::mix2(self.cfg.seed, id.raw())), 1, 100);
         // Routes are read through an index to satisfy the borrow checker;
         // the route table is immutable during simulation.
-        for r in 0..self.model.routes[stream.index()].len() {
-            let route = self.model.routes[stream.index()][r];
+        let si = stream.index();
+        for r in 0..self.model.routes[si].len() {
+            let route = self.model.routes[si][r];
             let tuple = SimTuple {
                 id,
                 arrival: at,
@@ -267,7 +277,7 @@ impl Simulator {
     }
 
     fn execute_unit(&mut self, unit: u32) {
-        let kind = self.model.units[unit as usize].kind.clone();
+        let kind = self.model.units[unit as usize].kind;
         let tuple = self.queues.pop(unit);
         match kind {
             UnitKind::Leaf { query, leaf } => {
@@ -287,9 +297,9 @@ impl Simulator {
     fn run_pipeline(&mut self, query: usize, entry: (usize, Port), tuple: SimTuple) {
         let mut cursor = Some(entry);
         while let Some((oi, port)) = cursor {
-            let op = &self.model.compiled[query].ops[oi];
+            let op = self.model.compiled[query].ops[oi];
             let downstream = op.downstream;
-            match op.kind.clone() {
+            match op.kind {
                 CompiledOpKind::Unary(spec) => {
                     self.charge_op(spec.cost, tuple.id, det::mix2(query as u64, oi as u64));
                     if !self.unary_passes(query, oi, &spec, &tuple) {
@@ -305,13 +315,17 @@ impl Simulator {
                         Port::Right => Side::Right,
                         Port::Single => unreachable!("join entered on a unary port"),
                     };
+                    // Reuse the probe scratch buffer across tuples; it is
+                    // taken out of `self` for the duration of the partner
+                    // loop because `run_pipeline` re-borrows the simulator.
+                    let mut matches = std::mem::take(&mut self.probe_buf);
                     let (join_idx, shj) = self.joins[query]
                         .as_mut()
                         .expect("query with join op has a join table");
                     debug_assert_eq!(*join_idx, oi);
-                    let matches = shj.insert_probe(side, &tuple);
+                    shj.insert_probe_into(side, &tuple, &mut matches);
                     let mut produced = false;
-                    for partner in matches {
+                    for &partner in &matches {
                         if !pair_passes(
                             self.cfg.seed,
                             query,
@@ -330,6 +344,7 @@ impl Simulator {
                             None => self.emit(query, composite),
                         }
                     }
+                    self.probe_buf = matches;
                     if !produced {
                         self.dropped += 1;
                     }
@@ -343,18 +358,20 @@ impl Simulator {
     /// §7 shared-operator execution: the shared operator once, then the PDT
     /// members inline and the deferred members' queues.
     fn run_shared(&mut self, group: usize, tuple: SimTuple) {
-        let g = self.model.groups[group].clone();
-        self.charge_op(g.shared_cost, tuple.id, 0xD00D ^ group as u64);
+        // The group model is read through indices rather than cloned: its
+        // member lists are heap-backed, and this runs once per shared tuple.
+        let g = &self.model.groups[group];
+        let shared_cost = g.shared_cost;
+        let n_members = g.members.len();
+        let q0 = g.members[0];
+        self.charge_op(shared_cost, tuple.id, 0xD00D ^ group as u64);
         // The shared operator is physically one operator: one outcome. The
         // §9.3 groups share a *select*, whose outcome is key-driven and thus
         // identical across members by construction; for generality
         // non-key-predicate shared ops use a group-salted coin.
-        let (spec, query0) = {
-            let q0 = g.members[0];
-            match &self.model.compiled[q0].ops[0].kind {
-                CompiledOpKind::Unary(spec) => (spec.clone(), q0),
-                CompiledOpKind::Join(_) => unreachable!("validated: shared op is unary"),
-            }
+        let spec = match self.model.compiled[q0].ops[0].kind {
+            CompiledOpKind::Unary(spec) => spec,
+            CompiledOpKind::Join(_) => unreachable!("validated: shared op is unary"),
         };
         let pass = if spec.kind.is_key_predicate() {
             key_passes(&spec, &tuple)
@@ -364,25 +381,26 @@ impl Simulator {
                 spec.selectivity,
             )
         };
-        let _ = query0;
         if !pass {
-            self.dropped += g.members.len() as u64;
+            self.dropped += n_members as u64;
             return;
         }
-        for &pos in &g.inline_members {
-            let query = g.members[pos];
+        for i in 0..self.model.groups[group].inline_members.len() {
+            let pos = self.model.groups[group].inline_members[i];
+            let query = self.model.groups[group].members[pos];
             let mut copy = tuple;
-            copy.ideal_depart = tuple.arrival + self.model.stats[query].ideal_time;
+            copy.ideal_depart = tuple.arrival + self.ideal_times[query];
             if self.model.compiled[query].ops.len() > 1 {
                 self.run_pipeline(query, (1, Port::Single), copy);
             } else {
                 self.emit(query, copy);
             }
         }
-        for &(pos, unit) in &g.deferred {
-            let query = g.members[pos];
+        for i in 0..self.model.groups[group].deferred.len() {
+            let (pos, unit) = self.model.groups[group].deferred[i];
+            let query = self.model.groups[group].members[pos];
             let mut copy = tuple;
-            copy.ideal_depart = tuple.arrival + self.model.stats[query].ideal_time;
+            copy.ideal_depart = tuple.arrival + self.ideal_times[query];
             self.queues.push(unit, copy);
             self.peak_pending = self.peak_pending.max(self.queues.pending());
             self.policy
@@ -392,12 +410,12 @@ impl Simulator {
 
     /// Operator-level execution: one operator, one tuple.
     fn run_operator_step(&mut self, query: usize, op: usize, tuple: SimTuple) {
-        let (spec, downstream) = match &self.model.compiled[query].ops[op].kind {
-            CompiledOpKind::Unary(spec) => {
-                (spec.clone(), self.model.compiled[query].ops[op].downstream)
-            }
+        let compiled_op = self.model.compiled[query].ops[op];
+        let spec = match compiled_op.kind {
+            CompiledOpKind::Unary(spec) => spec,
             CompiledOpKind::Join(_) => unreachable!("validated: no joins at operator level"),
         };
+        let downstream = compiled_op.downstream;
         self.charge_op(spec.cost, tuple.id, det::mix2(query as u64, op as u64));
         if !self.unary_passes(query, op, &spec, &tuple) {
             self.dropped += 1;
@@ -439,7 +457,11 @@ impl Simulator {
             key_passes(spec, t)
         } else {
             det::coin(
-                det::mix3(t.id.raw(), det::mix2(query as u64, op as u64), self.cfg.seed),
+                det::mix3(
+                    t.id.raw(),
+                    det::mix2(query as u64, op as u64),
+                    self.cfg.seed,
+                ),
                 spec.selectivity,
             )
         }
@@ -447,7 +469,7 @@ impl Simulator {
 
     fn emit(&mut self, query: usize, t: SimTuple) {
         self.emitted += 1;
-        let ideal = self.model.stats[query].ideal_time;
+        let ideal = self.ideal_times[query];
         let response = self.clock.saturating_since(t.arrival);
         // H = 1 + (D_actual − D_ideal)/T (§5.1.2); for single-stream tuples
         // D_ideal = A + T, collapsing to Definition 2's R/T. Under cost

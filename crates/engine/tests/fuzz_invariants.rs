@@ -35,12 +35,7 @@ fn build_plan(chains: &[Vec<(u64, f64)>]) -> GlobalPlan {
     plan
 }
 
-fn run(
-    chains: &[Vec<(u64, f64)>],
-    gaps: &[u64],
-    kind: PolicyKind,
-    seed: u64,
-) -> SimReport {
+fn run(chains: &[Vec<(u64, f64)>], gaps: &[u64], kind: PolicyKind, seed: u64) -> SimReport {
     let plan = build_plan(chains);
     let mut t = Nanos::ZERO;
     let arrivals: Vec<Nanos> = gaps

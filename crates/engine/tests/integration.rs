@@ -21,9 +21,7 @@ fn key_of(seed: u64, id: u64) -> u64 {
 /// selectivity-0.33 predicate `key ≤ 33`.
 fn example1_seed() -> u64 {
     (0..10_000u64)
-        .find(|&seed| {
-            key_of(seed, 0) > 33 && key_of(seed, 1) <= 33 && key_of(seed, 2) > 33
-        })
+        .find(|&seed| key_of(seed, 0) > 33 && key_of(seed, 1) <= 33 && key_of(seed, 2) > 33)
         .expect("a suitable seed exists in the first 10k")
 }
 
@@ -43,8 +41,7 @@ fn example1(policy: PolicyKind) -> SimReport {
             .build()
             .unwrap(),
     );
-    let trace =
-        TraceReplay::from_arrivals(vec![Nanos::ZERO, Nanos::ZERO, Nanos::ZERO]).unwrap();
+    let trace = TraceReplay::from_arrivals(vec![Nanos::ZERO, Nanos::ZERO, Nanos::ZERO]).unwrap();
     simulate(
         &plan,
         &StreamRates::none(),
@@ -299,7 +296,12 @@ fn join_query_produces_composites() {
 #[test]
 fn join_emissions_are_policy_independent() {
     let mut counts = Vec::new();
-    for kind in [PolicyKind::Fcfs, PolicyKind::Hnr, PolicyKind::Bsd, PolicyKind::Lsf] {
+    for kind in [
+        PolicyKind::Fcfs,
+        PolicyKind::Hnr,
+        PolicyKind::Bsd,
+        PolicyKind::Lsf,
+    ] {
         let mut plan = GlobalPlan::default();
         plan.add_query(
             QueryBuilder::on(StreamId::new(0))
@@ -320,8 +322,14 @@ fn join_emissions_are_policy_independent() {
             Box::new(PoissonSource::new(ms(30), 31)),
             Box::new(PoissonSource::new(ms(30), 32)),
         ];
-        let r = simulate(&plan, &rates, sources, kind.build(), SimConfig::new(1_000).with_seed(8))
-            .unwrap();
+        let r = simulate(
+            &plan,
+            &rates,
+            sources,
+            kind.build(),
+            SimConfig::new(1_000).with_seed(8),
+        )
+        .unwrap();
         counts.push((kind.name(), r.emitted, r.arrivals));
     }
     for w in counts.windows(2) {
@@ -351,7 +359,11 @@ fn sharing_strategies_emit_identical_tuples() {
         plan
     };
     let mut results = Vec::new();
-    for strat in [SharingStrategy::Max, SharingStrategy::Sum, SharingStrategy::Pdt] {
+    for strat in [
+        SharingStrategy::Max,
+        SharingStrategy::Sum,
+        SharingStrategy::Pdt,
+    ] {
         let r = simulate(
             &build_shared(),
             &StreamRates::none(),
@@ -403,7 +415,11 @@ fn measured_utilization_tracks_offered_load() {
         SimConfig::new(500).with_seed(5),
     )
     .unwrap();
-    assert!(light.measured_utilization() < 0.4, "{}", light.measured_utilization());
+    assert!(
+        light.measured_utilization() < 0.4,
+        "{}",
+        light.measured_utilization()
+    );
     let heavy = simulate(
         &small_workload(),
         &StreamRates::none(),
@@ -500,7 +516,10 @@ fn chain_reduces_memory_versus_fcfs_under_load() {
 fn memory_accounting_tracks_queue_population() {
     let r = run_small(PolicyKind::Fcfs, 5);
     assert!(r.avg_pending > 0.0);
-    assert!(r.peak_pending >= 8, "peak at least one burst across 8 queries");
+    assert!(
+        r.peak_pending >= 8,
+        "peak at least one burst across 8 queries"
+    );
     assert!(r.avg_pending <= r.peak_pending as f64);
 }
 

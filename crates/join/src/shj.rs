@@ -61,6 +61,16 @@ impl<T: JoinItem + Clone> SymmetricHashJoin<T> {
     /// (FIFO stream queues guarantee this); across sides any interleaving is
     /// fine — that is the point of a *symmetric* join.
     pub fn insert_probe(&mut self, side: Side, tuple: &T) -> Vec<T> {
+        let mut matches = Vec::new();
+        self.insert_probe_into(side, tuple, &mut matches);
+        matches
+    }
+
+    /// [`Self::insert_probe`] writing matches into a caller-provided buffer
+    /// instead of allocating a fresh `Vec`. The buffer is cleared first, so
+    /// callers on a hot path can reuse one scratch vector across probes.
+    pub fn insert_probe_into(&mut self, side: Side, tuple: &T, out: &mut Vec<T>) {
+        out.clear();
         let ts = tuple.timestamp();
         let key = tuple.key();
         match side {
@@ -90,10 +100,9 @@ impl<T: JoinItem + Clone> SymmetricHashJoin<T> {
             Side::Left => &self.right,
             Side::Right => &self.left,
         };
-        let matches = other.range(key, lo, hi).map(|(_, v)| v.clone()).collect();
+        out.extend(other.range(key, lo, hi).map(|(_, v)| v.clone()));
         self.left.expire_before(horizon);
         self.right.expire_before(horizon);
-        matches
     }
 
     /// Live entries in the left table.
@@ -209,10 +218,7 @@ mod tests {
         let mut pairs = Vec::new();
         for (i, (side_a, a)) in events.iter().enumerate() {
             for (side_b, b) in &events[..i] {
-                if side_a != side_b
-                    && a.key == b.key
-                    && a.ts.max(b.ts) - a.ts.min(b.ts) <= window
-                {
+                if side_a != side_b && a.key == b.key && a.ts.max(b.ts) - a.ts.min(b.ts) <= window {
                     pairs.push((a.id.min(b.id), a.id.max(b.id)));
                 }
             }

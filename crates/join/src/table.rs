@@ -18,7 +18,14 @@ pub struct WindowHashTable<T> {
     /// Global insertion log `(timestamp, key)` for lazy eviction.
     log: VecDeque<(Nanos, u64)>,
     newest: Nanos,
+    /// Emptied bucket buffers kept for reuse. Workloads that cycle through
+    /// keys (or share one bucket, as the engine's tuples do) would otherwise
+    /// free and reallocate a `VecDeque` every time a bucket drains.
+    spare: Vec<VecDeque<(Nanos, T)>>,
 }
+
+/// How many drained bucket buffers to keep for reuse.
+const SPARE_CAP: usize = 32;
 
 impl<T> Default for WindowHashTable<T> {
     fn default() -> Self {
@@ -26,6 +33,7 @@ impl<T> Default for WindowHashTable<T> {
             buckets: HashMap::new(),
             log: VecDeque::new(),
             newest: Nanos::ZERO,
+            spare: Vec::new(),
         }
     }
 }
@@ -46,7 +54,7 @@ impl<T> WindowHashTable<T> {
         self.newest = timestamp;
         self.buckets
             .entry(key)
-            .or_default()
+            .or_insert_with(|| self.spare.pop().unwrap_or_default())
             .push_back((timestamp, value));
         self.log.push_back((timestamp, key));
     }
@@ -63,7 +71,10 @@ impl<T> WindowHashTable<T> {
                 let popped = q.pop_front();
                 debug_assert!(matches!(popped, Some((t, _)) if t == ts));
                 if q.is_empty() {
-                    bucket.remove();
+                    let q = bucket.remove();
+                    if self.spare.len() < SPARE_CAP {
+                        self.spare.push(q);
+                    }
                 }
             } else {
                 debug_assert!(false, "expiration log out of sync with buckets");
@@ -131,7 +142,9 @@ mod tests {
         }
         t.expire_before(ms(55));
         assert_eq!(t.len(), 5); // entries at 60..=100 remain
-        assert!(t.range(1, Nanos::ZERO, ms(1000)).all(|(ts, _)| ts >= ms(55)));
+        assert!(t
+            .range(1, Nanos::ZERO, ms(1000))
+            .all(|(ts, _)| ts >= ms(55)));
         t.expire_before(ms(10_000));
         assert!(t.is_empty());
         // idempotent

@@ -25,7 +25,7 @@ pub enum Port {
 }
 
 /// A compiled operator: its spec plus downstream wiring.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompiledOp {
     /// The operator's behaviour and parameters.
     pub kind: CompiledOpKind,
@@ -35,7 +35,7 @@ pub struct CompiledOp {
 }
 
 /// Compiled operator behaviour.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CompiledOpKind {
     /// A unary operator.
     Unary(OperatorSpec),
@@ -184,7 +184,7 @@ fn flatten(
             let first = ops.len();
             for (i, spec) in chain.iter().enumerate() {
                 ops.push(CompiledOp {
-                    kind: CompiledOpKind::Unary(spec.clone()),
+                    kind: CompiledOpKind::Unary(*spec),
                     downstream: if i + 1 < chain.len() {
                         Some((first + i + 1, Port::Single))
                     } else {
@@ -210,7 +210,7 @@ fn flatten(
             let right_exit = flatten(right, ops, leaves);
             let join_idx = ops.len();
             ops.push(CompiledOp {
-                kind: CompiledOpKind::Join(join.clone()),
+                kind: CompiledOpKind::Join(*join),
                 downstream: None,
             });
             // Wire children into the join's ports.
@@ -233,7 +233,7 @@ fn flatten(
             for spec in common {
                 let idx = ops.len();
                 ops.push(CompiledOp {
-                    kind: CompiledOpKind::Unary(spec.clone()),
+                    kind: CompiledOpKind::Unary(*spec),
                     downstream: None,
                 });
                 ops[exit].downstream = Some((idx, Port::Single));
@@ -299,9 +299,7 @@ mod tests {
                     .collect(),
             }),
             join: JoinSpec::new(ms(3), 0.5, Nanos::from_secs(1)),
-            ops: (0..common)
-                .map(|_| OperatorSpec::project(ms(4)))
-                .collect(),
+            ops: (0..common).map(|_| OperatorSpec::project(ms(4))).collect(),
         })
         .unwrap()
     }

@@ -37,11 +37,7 @@ pub fn to_dot(plan: &QueryPlan, name: &str) -> String {
         }
     }
     for (li, leaf) in cq.leaves.iter().enumerate() {
-        let _ = writeln!(
-            out,
-            "  stream{li} [shape=box,label=\"{}\"];",
-            leaf.stream
-        );
+        let _ = writeln!(out, "  stream{li} [shape=box,label=\"{}\"];", leaf.stream);
         let (idx, port) = leaf.entry;
         let _ = writeln!(
             out,

@@ -54,9 +54,11 @@ impl GlobalPlan {
     /// Declare that `members` share their first operator. Validates the
     /// sharing invariant immediately.
     pub fn share_first_op(&mut self, members: Vec<QueryId>) -> Result<()> {
-        let (stream, op) = self.first_op_of(*members.first().ok_or_else(|| {
-            HcqError::plan("a sharing group needs at least one member")
-        })?)?;
+        let (stream, op) = self.first_op_of(
+            *members
+                .first()
+                .ok_or_else(|| HcqError::plan("a sharing group needs at least one member"))?,
+        )?;
         for &m in &members[1..] {
             let (s2, op2) = self.first_op_of(m)?;
             if s2 != stream || op2 != op {
@@ -79,9 +81,7 @@ impl GlobalPlan {
             .get(id.index())
             .ok_or_else(|| HcqError::plan(format!("unknown query {id}")))?;
         match &q.root {
-            PlanNode::Leaf { stream, ops } if !ops.is_empty() => {
-                Ok((*stream, ops[0].clone()))
-            }
+            PlanNode::Leaf { stream, ops } if !ops.is_empty() => Ok((*stream, ops[0])),
             _ => Err(HcqError::plan(format!(
                 "query {id} is not a single-stream chain; only leading select \
                  operators of single-stream queries can be shared"
@@ -94,9 +94,9 @@ impl GlobalPlan {
     /// most one group).
     pub fn validate(&self) -> Result<()> {
         for (i, q) in self.queries.iter().enumerate() {
-            q.root.validate_as_root().map_err(|e| {
-                HcqError::plan(format!("query Q{i}: {e}"))
-            })?;
+            q.root
+                .validate_as_root()
+                .map_err(|e| HcqError::plan(format!("query Q{i}: {e}")))?;
         }
         let mut seen = vec![false; self.queries.len()];
         for group in &self.sharing {
@@ -132,11 +132,7 @@ impl GlobalPlan {
 
     /// The distinct streams referenced by any query, ascending.
     pub fn streams(&self) -> Vec<StreamId> {
-        let mut ids: Vec<StreamId> = self
-            .queries
-            .iter()
-            .flat_map(|q| q.leaf_streams())
-            .collect();
+        let mut ids: Vec<StreamId> = self.queries.iter().flat_map(|q| q.leaf_streams()).collect();
         ids.sort();
         ids.dedup();
         ids

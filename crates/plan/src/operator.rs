@@ -49,7 +49,7 @@ impl OpKind {
 }
 
 /// Specification of a unary operator: kind, cost, selectivity.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OperatorSpec {
     /// What the operator does (affects only how selectivity is realized).
     pub kind: OpKind,
@@ -120,7 +120,7 @@ impl OperatorSpec {
 /// inserted into its side's hash table, then probes the other side's table
 /// for tuples within the window `V`; each matching pair that passes the join
 /// predicate (probability `selectivity`) yields a composite tuple.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct JoinSpec {
     /// Cost `c_J` of the hash + insert + probe work for one input tuple.
     pub cost: Nanos,
@@ -192,8 +192,12 @@ mod tests {
     fn join_validation() {
         let ok = JoinSpec::new(Nanos(10), 0.5, Nanos::from_secs(1));
         assert!(ok.validate().is_ok());
-        assert!(JoinSpec::new(Nanos::ZERO, 0.5, Nanos(1)).validate().is_err());
-        assert!(JoinSpec::new(Nanos(1), 0.5, Nanos::ZERO).validate().is_err());
+        assert!(JoinSpec::new(Nanos::ZERO, 0.5, Nanos(1))
+            .validate()
+            .is_err());
+        assert!(JoinSpec::new(Nanos(1), 0.5, Nanos::ZERO)
+            .validate()
+            .is_err());
         assert!(JoinSpec::new(Nanos(1), 0.0, Nanos(1)).validate().is_err());
         assert!(JoinSpec::new(Nanos(1), 2.0, Nanos(1)).validate().is_err());
     }

@@ -343,8 +343,12 @@ mod tests {
         // Q1: c=5ms s=1.0; Q2: c=2ms s=0.33. HR prefers Q1, HNR prefers Q2.
         let q1 = chain(&[(5, 1.0)]);
         let q2 = chain(&[(2, 0.33)]);
-        let s1 = PlanStats::compute(&q1, &StreamRates::none()).unwrap().per_leaf[0];
-        let s2 = PlanStats::compute(&q2, &StreamRates::none()).unwrap().per_leaf[0];
+        let s1 = PlanStats::compute(&q1, &StreamRates::none())
+            .unwrap()
+            .per_leaf[0];
+        let s2 = PlanStats::compute(&q2, &StreamRates::none())
+            .unwrap()
+            .per_leaf[0];
         assert!(s1.output_rate() > s2.output_rate(), "HR picks Q1 first");
         assert!(
             s2.normalized_rate() > s1.normalized_rate(),
@@ -417,7 +421,10 @@ mod tests {
             .with(StreamId::new(0), ms(100))
             .with(StreamId::new(1), ms(50));
         let s1 = PlanStats::compute(&join_query(1), &rates).unwrap().per_leaf[0].selectivity;
-        let s10 = PlanStats::compute(&join_query(10), &rates).unwrap().per_leaf[0].selectivity;
+        let s10 = PlanStats::compute(&join_query(10), &rates)
+            .unwrap()
+            .per_leaf[0]
+            .selectivity;
         assert!((s10 / s1 - 10.0).abs() < 1e-9, "S grows linearly with V");
     }
 

@@ -1,0 +1,320 @@
+//! `repro bench`: the benchmark-trajectory baseline (`BENCH_*.json`).
+//!
+//! Times two things and writes one JSON snapshot per invocation:
+//!
+//! 1. **Reference workload** — the shared [`hcq_bench::pipeline`] fixture
+//!    (the same cells the Criterion `pipeline` bench runs), per policy:
+//!    wall-clock seconds per simulation and simulated source tuples per
+//!    wall-clock second. The Criterion-compatible view of the same samples
+//!    is emitted under `criterion_pipeline` with Criterion's benchmark ids,
+//!    so JSON trajectories and `cargo bench` trends stay comparable. When
+//!    the `CRITERION_JSON_OUT` environment variable names a readable
+//!    JSON-lines file (as written by the criterion shim), its
+//!    `simulate_arrivals/*` entries are ingested verbatim instead.
+//! 2. **Sweep speedup** — the fig5–10 policy × load sweep run serially and
+//!    with worker threads, recording both wall times and their ratio. The
+//!    measured speedup is whatever the host delivers (a single-core machine
+//!    honestly reports ~1.0×); outputs are byte-identical either way.
+//!
+//! Snapshots are numbered: the first run writes `BENCH_1.json` at the
+//! repository root, the next `BENCH_2.json`, and so on, forming a
+//! performance trajectory across commits. See `DESIGN.md` for the schema.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use hcq_bench::pipeline;
+use hcq_core::PolicyKind;
+
+use crate::harness::{default_jobs, ExpConfig, SweepResults};
+
+/// Timed samples for one policy on the reference workload.
+#[derive(Debug)]
+struct PolicyTiming {
+    policy: &'static str,
+    /// Mean wall-clock seconds per simulation.
+    wall_s: f64,
+    /// Fastest observed run, Criterion-style, in nanoseconds.
+    min_ns: u128,
+    /// Mean run in nanoseconds.
+    mean_ns: u128,
+    /// Output tuples emitted by the simulation (identical across samples).
+    emitted: u64,
+}
+
+/// Warm-up runs per policy before timing.
+const WARMUP: usize = 1;
+/// Timed runs per policy.
+const SAMPLES: usize = 3;
+
+fn time_reference_workload() -> Vec<PolicyTiming> {
+    let w = pipeline::workload();
+    pipeline::POLICIES
+        .iter()
+        .map(|&kind| {
+            for _ in 0..WARMUP {
+                pipeline::run(kind, &w);
+            }
+            let mut emitted = 0;
+            let mut total_ns = 0u128;
+            let mut min_ns = u128::MAX;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                let report = pipeline::run(kind, &w);
+                let ns = t0.elapsed().as_nanos();
+                total_ns += ns;
+                min_ns = min_ns.min(ns);
+                emitted = report.emitted;
+            }
+            let mean_ns = total_ns / SAMPLES as u128;
+            PolicyTiming {
+                policy: kind.name(),
+                wall_s: mean_ns as f64 / 1e9,
+                min_ns,
+                mean_ns,
+                emitted,
+            }
+        })
+        .collect()
+}
+
+/// Time the fig5–10 sweep at a bench-friendly scale, serially and with
+/// worker threads. Returns `(sweep_cfg, serial_s, parallel_s, par_jobs)`.
+fn time_sweep(cfg: &ExpConfig) -> (ExpConfig, f64, f64, usize) {
+    let mut sweep_cfg = cfg.clone();
+    // Cap the per-cell cost so `repro bench` stays seconds, not minutes,
+    // at the default experiment scale; flags can push it either way.
+    sweep_cfg.queries = sweep_cfg.queries.min(60);
+    sweep_cfg.arrivals = sweep_cfg.arrivals.min(1_000);
+    let par_jobs = cfg.jobs.max(2);
+
+    sweep_cfg.jobs = 1;
+    let t0 = Instant::now();
+    let _ = SweepResults::collect(&sweep_cfg, |_| {});
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    sweep_cfg.jobs = par_jobs;
+    let t0 = Instant::now();
+    let _ = SweepResults::collect(&sweep_cfg, |_| {});
+    let parallel_s = t0.elapsed().as_secs_f64();
+
+    (sweep_cfg, serial_s, parallel_s, par_jobs)
+}
+
+/// Criterion-shaped entries for the `criterion_pipeline` section: either
+/// ingested from a `CRITERION_JSON_OUT` JSON-lines file (the criterion
+/// shim's machine-readable output) or derived from our own samples.
+fn criterion_entries(timings: &[PolicyTiming]) -> Vec<String> {
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if let Ok(contents) = std::fs::read_to_string(&path) {
+            let ingested: Vec<String> = contents
+                .lines()
+                .filter(|l| l.contains("\"simulate_arrivals/"))
+                .map(|l| l.trim().to_string())
+                .collect();
+            if !ingested.is_empty() {
+                return ingested;
+            }
+        }
+    }
+    timings
+        .iter()
+        .map(|t| {
+            format!(
+                "{{\"id\":\"simulate_arrivals/{}\",\"mean_ns\":{},\"min_ns\":{},\"elems_per_iter\":{}}}",
+                t.policy,
+                t.mean_ns,
+                t.min_ns,
+                pipeline::ARRIVALS
+            )
+        })
+        .collect()
+}
+
+/// Locate the repository root (nearest ancestor with a `Cargo.toml`) so the
+/// snapshot lands beside the sources regardless of the invocation directory.
+fn repo_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.toml").is_file() {
+            // Prefer the outermost Cargo.toml (the workspace root).
+            let mut root = dir;
+            while let Some(parent) = root.parent() {
+                if parent.join("Cargo.toml").is_file() {
+                    root = parent;
+                } else {
+                    break;
+                }
+            }
+            return root.to_path_buf();
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd,
+        }
+    }
+}
+
+/// The next free `BENCH_<n>.json` in `dir` (trajectory numbering).
+fn next_snapshot_path(dir: &Path) -> PathBuf {
+    for n in 1.. {
+        let candidate = dir.join(format!("BENCH_{n}.json"));
+        if !candidate.exists() {
+            return candidate;
+        }
+    }
+    unreachable!("some index is always free");
+}
+
+fn render_json(
+    cfg: &ExpConfig,
+    timings: &[PolicyTiming],
+    sweep_cfg: &ExpConfig,
+    serial_s: f64,
+    parallel_s: f64,
+    par_jobs: usize,
+) -> String {
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "{{").unwrap();
+    writeln!(w, "  \"schema\": \"hcq-bench-v1\",").unwrap();
+    writeln!(
+        w,
+        "  \"host\": {{\"cores\": {}, \"jobs\": {}}},",
+        default_jobs(),
+        cfg.jobs
+    )
+    .unwrap();
+    writeln!(w, "  \"reference_workload\": {{").unwrap();
+    writeln!(
+        w,
+        "    \"queries\": 60, \"cost_classes\": 5, \"utilization\": 0.9, \"arrivals\": {},",
+        pipeline::ARRIVALS
+    )
+    .unwrap();
+    writeln!(w, "    \"policies\": [").unwrap();
+    for (i, t) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        writeln!(
+            w,
+            "      {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_tuples_per_s\": {:.1}, \"emitted\": {}}}{}",
+            t.policy,
+            t.wall_s,
+            pipeline::ARRIVALS as f64 / t.wall_s,
+            t.emitted,
+            comma
+        )
+        .unwrap();
+    }
+    writeln!(w, "    ]").unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"sweep_speedup\": {{").unwrap();
+    writeln!(
+        w,
+        "    \"cells\": {}, \"queries\": {}, \"arrivals\": {},",
+        PolicyKind::ALL.len() * ExpConfig::UTILIZATIONS.len(),
+        sweep_cfg.queries,
+        sweep_cfg.arrivals
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "    \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"parallel_jobs\": {}, \"speedup\": {:.2}",
+        serial_s,
+        parallel_s,
+        par_jobs,
+        serial_s / parallel_s.max(1e-9)
+    )
+    .unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"criterion_pipeline\": [").unwrap();
+    let entries = criterion_entries(timings);
+    for (i, entry) in entries.iter().enumerate() {
+        let comma = if i + 1 < entries.len() { "," } else { "" };
+        writeln!(w, "    {entry}{comma}").unwrap();
+    }
+    writeln!(w, "  ]").unwrap();
+    writeln!(w, "}}").unwrap();
+    out
+}
+
+/// Run the baseline benchmark and write the next `BENCH_<n>.json` snapshot
+/// at the repository root. Returns the path written.
+pub fn bench(cfg: &ExpConfig) -> PathBuf {
+    println!(
+        "== bench: reference workload ({} policies) ==",
+        pipeline::POLICIES.len()
+    );
+    let timings = time_reference_workload();
+    for t in &timings {
+        println!(
+            "  {:>5}: {:.3} s/run, {:.0} simulated tuples/s",
+            t.policy,
+            t.wall_s,
+            pipeline::ARRIVALS as f64 / t.wall_s
+        );
+    }
+    println!("== bench: sweep serial vs parallel ==");
+    let (sweep_cfg, serial_s, parallel_s, par_jobs) = time_sweep(cfg);
+    println!(
+        "  serial {:.2} s, {} jobs {:.2} s, speedup {:.2}x",
+        serial_s,
+        par_jobs,
+        parallel_s,
+        serial_s / parallel_s.max(1e-9)
+    );
+    let json = render_json(cfg, &timings, &sweep_cfg, serial_s, parallel_s, par_jobs);
+    let path = next_snapshot_path(&repo_root());
+    std::fs::write(&path, json).expect("write bench snapshot");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_well_formed_and_ordered() {
+        let timings = vec![
+            PolicyTiming {
+                policy: "FCFS",
+                wall_s: 0.01,
+                min_ns: 9_000_000,
+                mean_ns: 10_000_000,
+                emitted: 480,
+            },
+            PolicyTiming {
+                policy: "BSD",
+                wall_s: 0.02,
+                min_ns: 19_000_000,
+                mean_ns: 20_000_000,
+                emitted: 470,
+            },
+        ];
+        let cfg = ExpConfig {
+            jobs: 4,
+            ..ExpConfig::default()
+        };
+        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4);
+        assert!(json.contains("\"schema\": \"hcq-bench-v1\""));
+        assert!(json.contains("\"speedup\": 2.00"));
+        assert!(json.contains("\"sim_tuples_per_s\": 50000.0"));
+        assert!(json.contains("simulate_arrivals/FCFS"));
+        // Balanced braces/brackets — cheap well-formedness check without a
+        // JSON parser in the dependency set.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn snapshot_numbering_skips_existing() {
+        let dir = std::env::temp_dir().join("hcq_bench_numbering");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_1.json"), "{}").unwrap();
+        assert!(next_snapshot_path(&dir).ends_with("BENCH_2.json"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,16 +1,24 @@
 //! CLI entry point: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson]
+//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N]
 //!
-//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate all
+//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate bench all
 //! (fig5..fig11 share one sweep; requesting any of them runs the sweep once)
 //! ```
+//!
+//! `--jobs N` sets the worker-thread count for independent experiment cells
+//! (default: the machine's available parallelism). Outputs are byte-identical
+//! at any job count. `bench` times the reference workload and writes
+//! `BENCH_1.json` to the repository root (or `--out`'s parent).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use hcq_repro::{ext_lp, ext_memory, ext_preemption, ext_seeds, fig11, fig12, fig13, fig14, fig5_to_10, table1, table2, table3, validate, ExpConfig};
+use hcq_repro::{
+    bench, ext_lp, ext_memory, ext_preemption, ext_seeds, fig11, fig12, fig13, fig14, fig5_to_10,
+    table1, table2, table3, validate, ExpConfig,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,6 +32,7 @@ fn main() -> ExitCode {
             "--seed" => cfg.seed = parse(it.next(), "--seed"),
             "--out" => cfg.out_dir = PathBuf::from(expect(it.next(), "--out")),
             "--poisson" => cfg.bursty = false,
+            "--jobs" => cfg.jobs = parse(it.next(), "--jobs"),
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -112,6 +121,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "bench" => {
+                let path = bench(&cfg);
+                println!("benchmark baseline written to {}", path.display());
+            }
             other => {
                 eprintln!("unknown exhibit {other}");
                 print_usage();
@@ -139,7 +152,8 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate all"
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate bench all\n\
+         --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)"
     );
 }

@@ -1,15 +1,35 @@
 //! One function per table/figure of §9.
+//!
+//! Every multi-cell exhibit fans its independent `(policy, load, seed, ...)`
+//! cells out over [`run_jobs`] with `cfg.jobs` workers. Cells are pure
+//! functions of the configuration and rows are assembled from the
+//! index-ordered results, so the emitted tables and CSVs are byte-identical
+//! at any job count.
+
+use std::sync::atomic::AtomicUsize;
 
 use hcq_common::{det, Nanos, StreamId};
-use hcq_core::{ClusterConfig, Clustering, ClusteredBsdPolicy, PolicyKind, SharingStrategy};
+use hcq_core::{ClusterConfig, ClusteredBsdPolicy, Clustering, PolicyKind, SharingStrategy};
 use hcq_engine::{simulate, SimConfig, SimReport};
 use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
 use hcq_streams::{PoissonSource, TraceReplay};
 use hcq_workload::{multi_stream, shared, MultiStreamConfig, SharedConfig};
 
-use crate::harness::{ExpConfig, SweepResults};
+use crate::harness::{run_jobs, tick_progress, ExpConfig, SweepResults};
 use crate::plot::Chart;
 use crate::table::{fnum, AsciiTable};
+
+/// A named policy factory: exhibits that fan variant runs out to worker
+/// threads cannot move a prebuilt `Box<dyn Policy>` into a job (policies are
+/// not `Send`), so each job builds its own instance from one of these.
+type PolicyFactory = Box<dyn Fn() -> Box<dyn hcq_core::Policy> + Sync>;
+
+/// Print one whole `  what: done/total cells done` line per finished cell.
+/// Shared by the parallel exhibits below; whole-line writes keyed by a
+/// completed-cell counter stay readable when workers finish concurrently.
+fn print_tick(done: &AtomicUsize, total: usize, what: &str) {
+    tick_progress(&|msg: &str| println!("{msg}"), done, total, what);
+}
 
 /// A rendered exhibit: the table plus where its CSV landed.
 #[derive(Debug)]
@@ -87,8 +107,7 @@ fn run_example1(kind: PolicyKind) -> SimReport {
                 .build()
                 .unwrap(),
         );
-        let trace =
-            TraceReplay::from_arrivals(vec![Nanos::ZERO; 3]).unwrap();
+        let trace = TraceReplay::from_arrivals(vec![Nanos::ZERO; 3]).unwrap();
         simulate(
             &plan,
             &StreamRates::none(),
@@ -105,8 +124,10 @@ fn run_example1(kind: PolicyKind) -> SimReport {
 
 /// Figures 5–10 share one policy × utilization sweep; regenerate them all.
 pub fn fig5_to_10(cfg: &ExpConfig) -> Vec<ExhibitOutput> {
-    println!("running policy x load sweep ({} queries, {} arrivals per cell)...",
-        cfg.queries, cfg.arrivals);
+    println!(
+        "running policy x load sweep ({} queries, {} arrivals per cell)...",
+        cfg.queries, cfg.arrivals
+    );
     let sweep = SweepResults::collect(cfg, |msg| println!("{msg}"));
     let series = |name: &'static str,
                   policies: &[PolicyKind],
@@ -211,10 +232,12 @@ fn fig11_from_sweep(cfg: &ExpConfig, sweep: &SweepResults) -> ExhibitOutput {
 /// Figure 11 standalone entry point (runs just the three needed cells).
 pub fn fig11(cfg: &ExpConfig) -> ExhibitOutput {
     let policies = [PolicyKind::Hr, PolicyKind::Hnr, PolicyKind::Bsd];
-    let reports: Vec<SimReport> = policies
-        .iter()
-        .map(|&p| cfg.run_single(0.9, p.build()))
-        .collect();
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, policies.len(), |i| {
+        let r = cfg.run_single(0.9, policies[i].build());
+        print_tick(&done, policies.len(), "fig11");
+        r
+    });
     let mut header = vec!["selectivity".to_string()];
     header.extend(policies.iter().map(|p| p.name().to_string()));
     let mut t = AsciiTable::new(header);
@@ -262,8 +285,16 @@ pub fn fig12(cfg: &ExpConfig) -> ExhibitOutput {
     let mut header = vec!["utilization".to_string()];
     header.extend(policies.iter().map(|p| p.name().to_string()));
     let mut t = AsciiTable::new(header);
-    for &util in &[0.5, 0.6, 0.7, 0.8, 0.9] {
-        println!("  multi-stream @ {util:.2}");
+    let utils = [0.5, 0.6, 0.7, 0.8, 0.9];
+    // One cell per (utilization, policy); each job rebuilds its (fully
+    // deterministic) workload so cells stay independent.
+    let cells: Vec<(f64, PolicyKind)> = utils
+        .iter()
+        .flat_map(|&u| policies.iter().map(move |&p| (u, p)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let l2s: Vec<f64> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (util, p) = cells[i];
         let w = multi_stream(&MultiStreamConfig {
             queries,
             cost_classes: 5,
@@ -273,21 +304,25 @@ pub fn fig12(cfg: &ExpConfig) -> ExhibitOutput {
             seed: cfg.seed,
         })
         .expect("valid multi-stream config");
+        let sources: Vec<Box<dyn hcq_streams::ArrivalSource>> = vec![
+            Box::new(PoissonSource::new(mean_gap, cfg.seed ^ 0xA)),
+            Box::new(PoissonSource::new(mean_gap, cfg.seed ^ 0xB)),
+        ];
+        let r = simulate(
+            &w.plan,
+            &w.rates,
+            sources,
+            p.build(),
+            SimConfig::new(cfg.arrivals).with_seed(cfg.seed),
+        )
+        .expect("valid simulation");
+        print_tick(&done, cells.len(), "fig12");
+        r.qos.l2_slowdown
+    });
+    for (ui, &util) in utils.iter().enumerate() {
         let mut row = vec![format!("{util:.2}")];
-        for &p in &policies {
-            let sources: Vec<Box<dyn hcq_streams::ArrivalSource>> = vec![
-                Box::new(PoissonSource::new(mean_gap, cfg.seed ^ 0xA)),
-                Box::new(PoissonSource::new(mean_gap, cfg.seed ^ 0xB)),
-            ];
-            let r = simulate(
-                &w.plan,
-                &w.rates,
-                sources,
-                p.build(),
-                SimConfig::new(cfg.arrivals).with_seed(cfg.seed),
-            )
-            .expect("valid simulation");
-            row.push(fnum(r.qos.l2_slowdown));
+        for pi in 0..policies.len() {
+            row.push(fnum(l2s[ui * policies.len() + pi]));
         }
         t.row(row);
     }
@@ -312,39 +347,48 @@ pub fn fig13(cfg: &ExpConfig) -> ExhibitOutput {
         "BSD-Uniform",
         "BSD-Logarithmic",
     ]);
-    println!("  reference policies @ {util}");
-    let hnr = cfg
-        .run_single_with(util, PolicyKind::Hnr.build(), |c| c.with_overhead(true))
-        .qos
-        .l2_slowdown;
-    let hypo = cfg
-        .run_single(util, PolicyKind::Bsd.build())
-        .qos
-        .l2_slowdown;
+    /// One fig13 cell: which run a job performs.
+    #[derive(Clone, Copy)]
+    enum Cell {
+        HnrRef,
+        Hypothetical,
+        Uniform(usize),
+        Logarithmic(usize),
+    }
+    let mut cells = vec![Cell::HnrRef, Cell::Hypothetical];
     for &m in &ms {
-        println!("  clustered BSD @ m={m}");
-        let uniform = cfg
-            .run_single_with(
+        cells.push(Cell::Uniform(m));
+        cells.push(Cell::Logarithmic(m));
+    }
+    let done = AtomicUsize::new(0);
+    let l2s: Vec<f64> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let r = match cells[i] {
+            Cell::HnrRef => {
+                cfg.run_single_with(util, PolicyKind::Hnr.build(), |c| c.with_overhead(true))
+            }
+            Cell::Hypothetical => cfg.run_single(util, PolicyKind::Bsd.build()),
+            Cell::Uniform(m) => cfg.run_single_with(
                 util,
                 Box::new(ClusteredBsdPolicy::new(ClusterConfig::uniform(m))),
                 |c| c.with_overhead(true),
-            )
-            .qos
-            .l2_slowdown;
-        let log = cfg
-            .run_single_with(
+            ),
+            Cell::Logarithmic(m) => cfg.run_single_with(
                 util,
                 Box::new(ClusteredBsdPolicy::new(ClusterConfig::logarithmic(m))),
                 |c| c.with_overhead(true),
-            )
-            .qos
-            .l2_slowdown;
+            ),
+        };
+        print_tick(&done, cells.len(), "fig13");
+        r.qos.l2_slowdown
+    });
+    let (hnr, hypo) = (l2s[0], l2s[1]);
+    for (mi, &m) in ms.iter().enumerate() {
         t.row(vec![
             m.to_string(),
             fnum(hnr),
             fnum(hypo),
-            fnum(uniform),
-            fnum(log),
+            fnum(l2s[2 + 2 * mi]),
+            fnum(l2s[3 + 2 * mi]),
         ]);
     }
     ExhibitOutput {
@@ -361,40 +405,29 @@ pub fn fig13(cfg: &ExpConfig) -> ExhibitOutput {
 pub fn fig14(cfg: &ExpConfig) -> ExhibitOutput {
     let util = 0.95;
     let m = 12;
-    type Variant = (&'static str, Box<dyn hcq_core::Policy>, bool);
+    let clustered = |use_fagin: bool, batch: bool| -> PolicyFactory {
+        Box::new(move || {
+            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
+                clustering: Clustering::Logarithmic,
+                clusters: m,
+                use_fagin,
+                batch,
+            }))
+        })
+    };
+    // Factories, not prebuilt policies: each worker thread builds its own
+    // instance (`Box<dyn Policy>` cannot move across threads).
+    type Variant = (&'static str, PolicyFactory, bool);
     let variants: Vec<Variant> = vec![
-        ("BSD-Naive", PolicyKind::Bsd.build(), true),
+        ("BSD-Naive", Box::new(|| PolicyKind::Bsd.build()), true),
+        ("+Log-Clustering", clustered(false, false), true),
+        ("+FA-Pruning", clustered(true, false), true),
+        ("+Clustered-Processing", clustered(true, true), true),
         (
-            "+Log-Clustering",
-            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
-                clustering: Clustering::Logarithmic,
-                clusters: m,
-                use_fagin: false,
-                batch: false,
-            })),
-            true,
+            "BSD-Hypothetical",
+            Box::new(|| PolicyKind::Bsd.build()),
+            false,
         ),
-        (
-            "+FA-Pruning",
-            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
-                clustering: Clustering::Logarithmic,
-                clusters: m,
-                use_fagin: true,
-                batch: false,
-            })),
-            true,
-        ),
-        (
-            "+Clustered-Processing",
-            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
-                clustering: Clustering::Logarithmic,
-                clusters: m,
-                use_fagin: true,
-                batch: true,
-            })),
-            true,
-        ),
-        ("BSD-Hypothetical", PolicyKind::Bsd.build(), false),
     ];
     let mut t = AsciiTable::new(vec![
         "variant",
@@ -402,9 +435,14 @@ pub fn fig14(cfg: &ExpConfig) -> ExhibitOutput {
         "ops_per_point",
         "overhead_share",
     ]);
-    for (name, policy, charge) in variants {
-        println!("  {name}");
-        let r = cfg.run_single_with(util, policy, |c| c.with_overhead(charge));
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, variants.len(), |i| {
+        let (_, factory, charge) = &variants[i];
+        let r = cfg.run_single_with(util, factory(), |c| c.with_overhead(*charge));
+        print_tick(&done, variants.len(), "fig14");
+        r
+    });
+    for ((name, _, _), r) in variants.iter().zip(&reports) {
         let share = r.overhead_time.ratio(r.end_time.max(Nanos(1)));
         t.row(vec![
             name.to_string(),
@@ -444,44 +482,41 @@ pub fn table2(cfg: &ExpConfig) -> ExhibitOutput {
         SharingStrategy::Sum,
         SharingStrategy::Pdt,
     ];
-    let mut rows: Vec<(&str, &str, Vec<f64>)> = vec![
-        ("avg_slowdown", "HNR", Vec::new()),
-        ("l2_norm", "BSD", Vec::new()),
-    ];
-    for strat in strategies {
-        println!("  sharing strategy {}", strat.name());
+    // One cell per (strategy, policy); row-major by strategy, HNR then BSD.
+    let cells: Vec<(SharingStrategy, PolicyKind)> = strategies
+        .iter()
+        .flat_map(|&s| [PolicyKind::Hnr, PolicyKind::Bsd].map(move |p| (s, p)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let values: Vec<f64> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (strat, kind) = cells[i];
         let w = build();
-        let hnr = simulate(
+        let r = simulate(
             &w.plan,
             &w.rates,
             vec![cfg.source(0)],
-            PolicyKind::Hnr.build(),
+            kind.build(),
             SimConfig::new(cfg.arrivals)
                 .with_seed(cfg.seed)
                 .with_sharing(strat),
         )
         .expect("valid simulation");
-        rows[0].2.push(hnr.qos.avg_slowdown);
-        let w = build();
-        let bsd = simulate(
-            &w.plan,
-            &w.rates,
-            vec![cfg.source(0)],
-            PolicyKind::Bsd.build(),
-            SimConfig::new(cfg.arrivals)
-                .with_seed(cfg.seed)
-                .with_sharing(strat),
-        )
-        .expect("valid simulation");
-        rows[1].2.push(bsd.qos.l2_slowdown);
-    }
-    for (metric, policy, vals) in rows {
+        print_tick(&done, cells.len(), "table2");
+        match kind {
+            PolicyKind::Hnr => r.qos.avg_slowdown,
+            _ => r.qos.l2_slowdown,
+        }
+    });
+    for (ri, (metric, policy)) in [("avg_slowdown", "HNR"), ("l2_norm", "BSD")]
+        .into_iter()
+        .enumerate()
+    {
         t.row(vec![
             metric.to_string(),
             policy.to_string(),
-            fnum(vals[0]),
-            fnum(vals[1]),
-            fnum(vals[2]),
+            fnum(values[ri]),
+            fnum(values[2 + ri]),
+            fnum(values[4 + ri]),
         ]);
     }
     ExhibitOutput {
@@ -520,16 +555,31 @@ pub fn ext_memory(cfg: &ExpConfig) -> ExhibitOutput {
         "avg_slowdown",
         "l2_slowdown",
     ]);
-    let mut run = |name: &str, policy: Box<dyn hcq_core::Policy>| {
-        println!("  {name}");
+    let variants: Vec<(&'static str, PolicyFactory)> = vec![
+        (
+            "Chain",
+            Box::new(move || Box::new(StaticPolicy::custom("Chain", chain_priorities.clone()))),
+        ),
+        ("FCFS", Box::new(|| PolicyKind::Fcfs.build())),
+        ("RR", Box::new(|| PolicyKind::RoundRobin.build())),
+        ("HR", Box::new(|| PolicyKind::Hr.build())),
+        ("HNR", Box::new(|| PolicyKind::Hnr.build())),
+        ("BSD", Box::new(|| PolicyKind::Bsd.build())),
+    ];
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, variants.len(), |i| {
         let r = simulate(
             &w.plan,
             &w.rates,
             vec![cfg.source(0)],
-            policy,
+            variants[i].1(),
             SimConfig::new(cfg.arrivals).with_seed(cfg.seed),
         )
         .expect("valid simulation");
+        print_tick(&done, variants.len(), "ext_memory");
+        r
+    });
+    for ((name, _), r) in variants.iter().zip(&reports) {
         t.row(vec![
             name.to_string(),
             fnum(r.avg_pending),
@@ -537,19 +587,6 @@ pub fn ext_memory(cfg: &ExpConfig) -> ExhibitOutput {
             fnum(r.qos.avg_slowdown),
             fnum(r.qos.l2_slowdown),
         ]);
-    };
-    run(
-        "Chain",
-        Box::new(StaticPolicy::custom("Chain", chain_priorities)),
-    );
-    for kind in [
-        PolicyKind::Fcfs,
-        PolicyKind::RoundRobin,
-        PolicyKind::Hr,
-        PolicyKind::Hnr,
-        PolicyKind::Bsd,
-    ] {
-        run(kind.name(), kind.build());
     }
     ExhibitOutput {
         name: "ext_memory",
@@ -568,21 +605,29 @@ pub fn ext_lp(cfg: &ExpConfig) -> ExhibitOutput {
     use hcq_core::LpPolicy;
     let util = 0.95;
     let mut t = AsciiTable::new(vec!["policy", "avg_slowdown", "max_slowdown", "l2_norm"]);
-    let mut run = |name: String, policy: Box<dyn hcq_core::Policy>| {
-        println!("  {name}");
-        let r = cfg.run_single(util, policy);
+    let mut variants: Vec<(String, PolicyFactory)> =
+        vec![("HNR (=p1)".into(), Box::new(|| PolicyKind::Hnr.build()))];
+    for p in [1.5, 2.0, 3.0, 6.0, 12.0] {
+        variants.push((
+            format!("Lp p={p}"),
+            Box::new(move || Box::new(LpPolicy::new(p))),
+        ));
+    }
+    variants.push(("LSF (~p inf)".into(), Box::new(|| PolicyKind::Lsf.build())));
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, variants.len(), |i| {
+        let r = cfg.run_single(util, variants[i].1());
+        print_tick(&done, variants.len(), "ext_lp");
+        r
+    });
+    for ((name, _), r) in variants.iter().zip(&reports) {
         t.row(vec![
-            name,
+            name.clone(),
             fnum(r.qos.avg_slowdown),
             fnum(r.qos.max_slowdown),
             fnum(r.qos.l2_slowdown),
         ]);
-    };
-    run("HNR (=p1)".into(), PolicyKind::Hnr.build());
-    for p in [1.5, 2.0, 3.0, 6.0, 12.0] {
-        run(format!("Lp p={p}"), Box::new(LpPolicy::new(p)));
     }
-    run("LSF (~p inf)".into(), PolicyKind::Lsf.build());
     ExhibitOutput {
         name: "ext_lp",
         table: t,
@@ -606,21 +651,32 @@ pub fn ext_preemption(cfg: &ExpConfig) -> ExhibitOutput {
         "max_slowdown",
         "sched_points",
     ]);
-    for kind in [PolicyKind::Hnr, PolicyKind::Bsd, PolicyKind::Lsf] {
-        for (label, level) in [
-            ("query", SchedulingLevel::Query),
-            ("operator", SchedulingLevel::Operator),
-        ] {
-            println!("  {} @ {label}", kind.name());
-            let r = cfg.run_single_with(util, kind.build(), |c| c.with_level(level));
-            t.row(vec![
-                kind.name().to_string(),
-                label.to_string(),
-                fnum(r.qos.avg_slowdown),
-                fnum(r.qos.max_slowdown),
-                r.sched_points.to_string(),
-            ]);
-        }
+    let cells: Vec<(PolicyKind, &'static str, SchedulingLevel)> =
+        [PolicyKind::Hnr, PolicyKind::Bsd, PolicyKind::Lsf]
+            .into_iter()
+            .flat_map(|kind| {
+                [
+                    ("query", SchedulingLevel::Query),
+                    ("operator", SchedulingLevel::Operator),
+                ]
+                .map(move |(label, level)| (kind, label, level))
+            })
+            .collect();
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (kind, _, level) = cells[i];
+        let r = cfg.run_single_with(util, kind.build(), |c| c.with_level(level));
+        print_tick(&done, cells.len(), "ext_preemption");
+        r
+    });
+    for ((kind, label, _), r) in cells.iter().zip(&reports) {
+        t.row(vec![
+            kind.name().to_string(),
+            label.to_string(),
+            fnum(r.qos.avg_slowdown),
+            fnum(r.qos.max_slowdown),
+            r.sched_points.to_string(),
+        ]);
     }
     ExhibitOutput {
         name: "ext_preemption",
@@ -643,15 +699,71 @@ pub fn table3(cfg: &ExpConfig) -> ExhibitOutput {
         "implementation",
     ]);
     let rows: [(&str, &str, &str, &str, &str, &str); 9] = [
-        ("RB", "average", "response time", "no", "yes", "operator-level HR"),
-        ("ML", "average", "response time", "no", "no", "operator-level HR (≈)"),
-        ("RR", "average", "response time", "yes", "no", "RoundRobinPolicy"),
-        ("HR", "average", "response time", "yes", "yes", "StaticPolicy::hr"),
-        ("HNR", "average", "slowdown", "yes", "yes", "StaticPolicy::hnr"),
+        (
+            "RB",
+            "average",
+            "response time",
+            "no",
+            "yes",
+            "operator-level HR",
+        ),
+        (
+            "ML",
+            "average",
+            "response time",
+            "no",
+            "no",
+            "operator-level HR (≈)",
+        ),
+        (
+            "RR",
+            "average",
+            "response time",
+            "yes",
+            "no",
+            "RoundRobinPolicy",
+        ),
+        (
+            "HR",
+            "average",
+            "response time",
+            "yes",
+            "yes",
+            "StaticPolicy::hr",
+        ),
+        (
+            "HNR",
+            "average",
+            "slowdown",
+            "yes",
+            "yes",
+            "StaticPolicy::hnr",
+        ),
         ("LSF", "maximum", "slowdown", "yes", "yes", "LsfPolicy"),
-        ("BSD", "l2", "slowdown", "yes", "yes", "BsdPolicy / ClusteredBsdPolicy"),
-        ("Chain", "maximum", "memory", "yes", "yes", "StaticPolicy::custom + chain_priorities"),
-        ("FAS", "average", "freshness", "yes", "no", "not implemented (out of scope)"),
+        (
+            "BSD",
+            "l2",
+            "slowdown",
+            "yes",
+            "yes",
+            "BsdPolicy / ClusteredBsdPolicy",
+        ),
+        (
+            "Chain",
+            "maximum",
+            "memory",
+            "yes",
+            "yes",
+            "StaticPolicy::custom + chain_priorities",
+        ),
+        (
+            "FAS",
+            "average",
+            "freshness",
+            "yes",
+            "no",
+            "not implemented (out of scope)",
+        ),
     ];
     for (p, o, m, mc, jc, imp) in rows {
         t.row(vec![p, o, m, mc, jc, imp]);
@@ -678,28 +790,49 @@ pub fn ext_seeds(cfg: &ExpConfig) -> ExhibitOutput {
         "lsf_best_max",
         "bsd_best_l2",
     ]);
-    for s in 0..5u64 {
-        println!("  seed {s}");
+    let policies = [
+        PolicyKind::Hnr,
+        PolicyKind::Hr,
+        PolicyKind::Lsf,
+        PolicyKind::Bsd,
+        PolicyKind::Fcfs,
+    ];
+    let seeds: Vec<u64> = (0..5u64).map(|s| cfg.seed.wrapping_add(s * 7919)).collect();
+    // One cell per (seed, policy): 25 independent simulations.
+    let cells: Vec<(u64, PolicyKind)> = seeds
+        .iter()
+        .flat_map(|&seed| policies.iter().map(move |&p| (seed, p)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (seed, kind) = cells[i];
         let seeded = ExpConfig {
-            seed: cfg.seed.wrapping_add(s * 7919),
+            seed,
             ..cfg.clone()
         };
-        let run = |kind: PolicyKind| seeded.run_single(util, kind.build());
-        let hnr = run(PolicyKind::Hnr);
-        let hr = run(PolicyKind::Hr);
-        let lsf = run(PolicyKind::Lsf);
-        let bsd = run(PolicyKind::Bsd);
-        let fcfs = run(PolicyKind::Fcfs);
+        let r = seeded.run_single(util, kind.build());
+        print_tick(&done, cells.len(), "ext_seeds");
+        r
+    });
+    for (si, &seed) in seeds.iter().enumerate() {
+        let by = |pi: usize| &reports[si * policies.len() + pi];
+        let (hnr, hr, lsf, bsd, fcfs) = (by(0), by(1), by(2), by(3), by(4));
         let mark = |ok: bool| if ok { "yes" } else { "NO" }.to_string();
         t.row(vec![
-            seeded.seed.to_string(),
-            mark(hnr.qos.avg_slowdown < hr.qos.avg_slowdown
-                && hnr.qos.avg_slowdown < fcfs.qos.avg_slowdown),
+            seed.to_string(),
+            mark(
+                hnr.qos.avg_slowdown < hr.qos.avg_slowdown
+                    && hnr.qos.avg_slowdown < fcfs.qos.avg_slowdown,
+            ),
             mark(hr.qos.avg_response_ms <= hnr.qos.avg_response_ms),
-            mark(lsf.qos.max_slowdown < hnr.qos.max_slowdown
-                && lsf.qos.max_slowdown < bsd.qos.max_slowdown),
-            mark(bsd.qos.l2_slowdown < hnr.qos.l2_slowdown
-                && bsd.qos.l2_slowdown < lsf.qos.l2_slowdown),
+            mark(
+                lsf.qos.max_slowdown < hnr.qos.max_slowdown
+                    && lsf.qos.max_slowdown < bsd.qos.max_slowdown,
+            ),
+            mark(
+                bsd.qos.l2_slowdown < hnr.qos.l2_slowdown
+                    && bsd.qos.l2_slowdown < lsf.qos.l2_slowdown,
+            ),
         ]);
     }
     ExhibitOutput {

@@ -1,8 +1,10 @@
-//! Shared experiment machinery: configuration, sources, the policy × load
-//! sweep that Figures 5–10 are sliced from.
+//! Shared experiment machinery: configuration, sources, the parallel job
+//! runner, and the policy × load sweep that Figures 5–10 are sliced from.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 use hcq_common::Nanos;
 use hcq_core::{Policy, PolicyKind};
@@ -27,6 +29,11 @@ pub struct ExpConfig {
     /// Use the bursty on/off (LBL-like) source for single-stream
     /// experiments, as the paper does; `false` uses Poisson.
     pub bursty: bool,
+    /// Worker threads for independent experiment cells (`1` = serial).
+    /// Every cell is a pure function of its configuration and results are
+    /// reassembled in deterministic order, so any job count produces
+    /// byte-identical outputs.
+    pub jobs: usize,
 }
 
 impl Default for ExpConfig {
@@ -38,8 +45,79 @@ impl Default for ExpConfig {
             seed: 42,
             out_dir: PathBuf::from("results"),
             bursty: true,
+            jobs: default_jobs(),
         }
     }
+}
+
+/// The default worker count: the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `count` independent jobs on up to `jobs` worker threads and return
+/// their results in job-index order.
+///
+/// Workers pull indices from a shared atomic counter (work stealing), so
+/// uneven cell costs balance across threads. Results travel back over a
+/// channel tagged with their index and are reassembled in order, which makes
+/// the output independent of scheduling: callers observe exactly what a
+/// serial `(0..count).map(f)` would produce. With `jobs <= 1` (or a single
+/// job) the closure runs inline on the caller's thread. A panicking job
+/// propagates the panic to the caller once the scope joins.
+pub fn run_jobs<T, F>(jobs: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if jobs <= 1 || count <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let workers = jobs.min(count);
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, T)>();
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= count {
+                    break;
+                }
+                let result = f(i);
+                if tx.send((i, result)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, result) in rx {
+            slots[i] = Some(result);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index completed"))
+        .collect()
+}
+
+/// A thread-safe progress tick: bumps the shared completed-cell counter and
+/// reports `what: done/total cells` through `progress`. Emitting whole lines
+/// keyed by counts (rather than per-cell descriptions) keeps concurrent
+/// workers from interleaving partial messages.
+pub fn tick_progress(
+    progress: &(impl Fn(&str) + Sync),
+    done: &AtomicUsize,
+    total: usize,
+    what: &str,
+) {
+    let n = done.fetch_add(1, Ordering::SeqCst) + 1;
+    progress(&format!("  {what}: {n}/{total} cells done"));
 }
 
 impl ExpConfig {
@@ -96,14 +174,28 @@ pub struct SweepResults {
 
 impl SweepResults {
     /// Run the full sweep: all seven policies at all seven load points.
-    pub fn collect(cfg: &ExpConfig, progress: impl Fn(&str)) -> Self {
+    ///
+    /// Cells run on `cfg.jobs` worker threads; each is an independent
+    /// simulation, and the result map is keyed deterministically, so the
+    /// sweep is byte-for-byte identical at any job count.
+    pub fn collect(cfg: &ExpConfig, progress: impl Fn(&str) + Sync) -> Self {
+        let cells: Vec<(PolicyKind, f64)> = PolicyKind::ALL
+            .into_iter()
+            .flat_map(|kind| ExpConfig::UTILIZATIONS.into_iter().map(move |u| (kind, u)))
+            .collect();
+        let total = cells.len();
+        let done = AtomicUsize::new(0);
+        let reports = run_jobs(cfg.jobs, total, |i| {
+            let (kind, util) = cells[i];
+            // The policy is built inside the job: `Box<dyn Policy>` is not
+            // `Send`, but `PolicyKind` is `Copy` and the report is plain data.
+            let report = cfg.run_single(util, kind.build());
+            tick_progress(&progress, &done, total, "sweep");
+            report
+        });
         let mut results = BTreeMap::new();
-        for kind in PolicyKind::ALL {
-            for &util in &ExpConfig::UTILIZATIONS {
-                progress(&format!("  {} @ {util:.2}", kind.name()));
-                let report = cfg.run_single(util, kind.build());
-                results.insert((kind.name(), key(util)), report);
-            }
+        for ((kind, util), report) in cells.into_iter().zip(reports) {
+            results.insert((kind.name(), key(util)), report);
         }
         SweepResults { results }
     }
@@ -130,6 +222,7 @@ mod tests {
             seed: 7,
             out_dir: std::env::temp_dir(),
             bursty: false,
+            jobs: 1,
         }
     }
 
@@ -157,6 +250,35 @@ mod tests {
         assert_eq!(a.next_arrival(), b.next_arrival());
         // Different stream index, different seed: overwhelmingly different.
         assert_ne!(a.next_arrival(), c.next_arrival());
+    }
+
+    #[test]
+    fn run_jobs_preserves_order() {
+        let parallel = run_jobs(4, 37, |i| i * i);
+        let serial = run_jobs(1, 37, |i| i * i);
+        assert_eq!(parallel, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn run_jobs_handles_edge_counts() {
+        assert!(run_jobs(4, 0, |i| i).is_empty());
+        assert_eq!(run_jobs(8, 1, |i| i + 1), vec![1]);
+        assert_eq!(run_jobs(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sweep_progress_reports_counts() {
+        let mut small = tiny();
+        small.arrivals = 20;
+        small.jobs = 2;
+        let seen = std::sync::Mutex::new(Vec::new());
+        let _ = SweepResults::collect(&small, |msg| {
+            seen.lock().unwrap().push(msg.to_string());
+        });
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 49, "one tick per sweep cell");
+        assert!(seen.iter().any(|m| m.contains("49/49 cells done")));
     }
 
     #[test]

@@ -10,14 +10,19 @@
 //! model, trace substitute, scaled-down defaults); orderings, gaps and
 //! crossovers are the reproduction target.
 
+pub mod bench;
 pub mod exhibits;
 pub mod harness;
 pub mod plot;
 pub mod table;
 pub mod validate;
 
-pub use exhibits::{ext_lp, ext_memory, ext_preemption, ext_seeds, fig11, fig12, fig13, fig14, fig5_to_10, table1, table2, table3, ExhibitOutput};
-pub use harness::{ExpConfig, SweepResults};
+pub use bench::bench;
+pub use exhibits::{
+    ext_lp, ext_memory, ext_preemption, ext_seeds, fig11, fig12, fig13, fig14, fig5_to_10, table1,
+    table2, table3, ExhibitOutput,
+};
+pub use harness::{default_jobs, run_jobs, ExpConfig, SweepResults};
 pub use plot::Chart;
 pub use table::AsciiTable;
 pub use validate::{validate, ClaimResult};

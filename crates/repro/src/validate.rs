@@ -11,7 +11,7 @@ use hcq_engine::{simulate, SimConfig, SimReport};
 use hcq_streams::PoissonSource;
 use hcq_workload::{multi_stream, shared, MultiStreamConfig, SharedConfig};
 
-use crate::harness::ExpConfig;
+use crate::harness::{run_jobs, ExpConfig};
 use crate::table::AsciiTable;
 
 /// One claim's outcome.
@@ -32,15 +32,35 @@ pub fn validate(cfg: &ExpConfig) -> Vec<ClaimResult> {
     let mut results = Vec::new();
     let util = 0.95;
 
-    println!("running scorecard workloads ({} queries, {} arrivals)...", cfg.queries, cfg.arrivals);
-    let run = |kind: PolicyKind| cfg.run_single(util, kind.build());
-    let hnr = run(PolicyKind::Hnr);
-    let hr = run(PolicyKind::Hr);
-    let srpt = run(PolicyKind::Srpt);
-    let rr = run(PolicyKind::RoundRobin);
-    let fcfs = run(PolicyKind::Fcfs);
-    let lsf = run(PolicyKind::Lsf);
-    let bsd = run(PolicyKind::Bsd);
+    println!(
+        "running scorecard workloads ({} queries, {} arrivals)...",
+        cfg.queries, cfg.arrivals
+    );
+    // The seven single-stream runs are independent cells; fan them out on
+    // the harness job pool (order fixed by the `kinds` list, so results are
+    // identical at any job count).
+    let kinds = [
+        PolicyKind::Hnr,
+        PolicyKind::Hr,
+        PolicyKind::Srpt,
+        PolicyKind::RoundRobin,
+        PolicyKind::Fcfs,
+        PolicyKind::Lsf,
+        PolicyKind::Bsd,
+    ];
+    let mut reports = run_jobs(cfg.jobs, kinds.len(), |i| {
+        cfg.run_single(util, kinds[i].build())
+    })
+    .into_iter();
+    let (hnr, hr, srpt, rr, fcfs, lsf, bsd) = (
+        reports.next().unwrap(),
+        reports.next().unwrap(),
+        reports.next().unwrap(),
+        reports.next().unwrap(),
+        reports.next().unwrap(),
+        reports.next().unwrap(),
+        reports.next().unwrap(),
+    );
 
     let mut check = |id, claim, pass: bool, evidence: String| {
         results.push(ClaimResult {
@@ -264,7 +284,11 @@ pub fn validate(cfg: &ExpConfig) -> Vec<ClaimResult> {
     for r in &results {
         t.row(vec![
             r.id.to_string(),
-            if r.pass { "PASS".into() } else { "FAIL".to_string() },
+            if r.pass {
+                "PASS".into()
+            } else {
+                "FAIL".to_string()
+            },
             r.evidence.clone(),
         ]);
     }

@@ -1,0 +1,61 @@
+//! Regression: parallel execution must be invisible in the outputs.
+//!
+//! Every experiment cell is a pure function of its configuration and the
+//! harness reassembles results in job-index order, so running with worker
+//! threads must produce byte-identical CSVs to a serial run. This pins the
+//! tentpole guarantee at a miniature scale.
+
+use hcq_common::Nanos;
+use hcq_repro::{ext_seeds, fig12, fig5_to_10, ExpConfig};
+
+fn cfg(jobs: usize, tag: &str) -> ExpConfig {
+    ExpConfig {
+        queries: 10,
+        arrivals: 120,
+        mean_gap: Nanos::from_millis(10),
+        seed: 11,
+        out_dir: std::env::temp_dir().join(format!("hcq_determinism_{tag}")),
+        bursty: false,
+        jobs,
+    }
+}
+
+/// Compare every CSV in two output directories byte for byte.
+fn assert_dirs_identical(serial: &ExpConfig, parallel: &ExpConfig) {
+    let mut names: Vec<String> = std::fs::read_dir(&serial.out_dir)
+        .expect("serial out dir")
+        .map(|e| e.unwrap().file_name().into_string().unwrap())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "serial run produced no CSVs");
+    for name in &names {
+        let a = std::fs::read(serial.out_dir.join(name)).expect("serial csv");
+        let b = std::fs::read(parallel.out_dir.join(name))
+            .unwrap_or_else(|_| panic!("parallel run missing {name}"));
+        assert_eq!(a, b, "{name} differs between jobs=1 and jobs=4");
+    }
+}
+
+#[test]
+fn sweep_is_byte_identical_across_job_counts() {
+    let serial = cfg(1, "sweep_serial");
+    let parallel = cfg(4, "sweep_parallel");
+    fig5_to_10(&serial);
+    fig5_to_10(&parallel);
+    assert_dirs_identical(&serial, &parallel);
+    std::fs::remove_dir_all(&serial.out_dir).ok();
+    std::fs::remove_dir_all(&parallel.out_dir).ok();
+}
+
+#[test]
+fn multi_axis_exhibits_are_byte_identical_across_job_counts() {
+    let serial = cfg(1, "cells_serial");
+    let parallel = cfg(4, "cells_parallel");
+    fig12(&serial);
+    ext_seeds(&serial);
+    fig12(&parallel);
+    ext_seeds(&parallel);
+    assert_dirs_identical(&serial, &parallel);
+    std::fs::remove_dir_all(&serial.out_dir).ok();
+    std::fs::remove_dir_all(&parallel.out_dir).ok();
+}

@@ -12,6 +12,7 @@ fn tiny() -> ExpConfig {
         seed: 3,
         out_dir: std::env::temp_dir().join("hcq_exhibit_smoke"),
         bursty: false,
+        jobs: 2,
     }
 }
 

@@ -87,8 +87,7 @@ mod tests {
     #[test]
     fn dilation_preserves_burst_structure() {
         // Gaps 1,1,50 (a burst then silence) scaled 2x -> 2,2,100.
-        let trace =
-            TraceReplay::from_arrivals(vec![ms(1), ms(2), ms(52)]).unwrap();
+        let trace = TraceReplay::from_arrivals(vec![ms(1), ms(2), ms(52)]).unwrap();
         let mut scaled = TimeScale::new(trace, 2.0);
         let a = collect_arrivals(&mut scaled, 3);
         assert_eq!(a, vec![ms(2), ms(4), ms(104)]);
@@ -96,8 +95,7 @@ mod tests {
 
     #[test]
     fn extreme_compression_stays_monotone() {
-        let trace =
-            TraceReplay::from_arrivals(vec![Nanos(10), Nanos(11), Nanos(12)]).unwrap();
+        let trace = TraceReplay::from_arrivals(vec![Nanos(10), Nanos(11), Nanos(12)]).unwrap();
         let mut scaled = TimeScale::new(trace, 1e-9);
         let a = collect_arrivals(&mut scaled, 3);
         assert!(a[0] < a[1] && a[1] < a[2], "{a:?}");

@@ -135,9 +135,7 @@ mod tests {
     #[test]
     fn decreasing_timestamps_rejected() {
         assert!(TraceReplay::parse("2.0\n1.0".as_bytes()).is_err());
-        assert!(
-            TraceReplay::from_arrivals(vec![Nanos(5), Nanos(3)]).is_err()
-        );
+        assert!(TraceReplay::from_arrivals(vec![Nanos(5), Nanos(3)]).is_err());
     }
 
     #[test]

@@ -230,7 +230,11 @@ impl SharedConfig {
 /// selectivity — "costs and selectivities assigned uniformly as before"
 /// (§9.3), with the shared select necessarily identical within a group.
 pub fn shared(cfg: &SharedConfig) -> Result<PaperWorkload> {
-    validate(cfg.groups * cfg.group_size, cfg.cost_classes, cfg.utilization)?;
+    validate(
+        cfg.groups * cfg.group_size,
+        cfg.cost_classes,
+        cfg.utilization,
+    )?;
     if cfg.group_size == 0 {
         return Err(HcqError::config("group_size must be positive"));
     }

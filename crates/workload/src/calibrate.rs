@@ -1,8 +1,8 @@
 //! Utilization calibration (§8 "Costs").
 
-use hcq_common::StreamId;
 #[cfg(test)]
 use hcq_common::Nanos;
+use hcq_common::StreamId;
 use hcq_plan::{CompiledQuery, GlobalPlan, PlanStats, StreamRates};
 
 /// A calibrated workload ready for simulation.

@@ -45,9 +45,8 @@ fn main() {
             est_b.observe(jitter(cb, 3), pass(sb, 4));
             tick += 1;
             if i == 399 {
-                let stat = |e: &EwmaEstimator| {
-                    UnitStatics::new(e.selectivity(), e.cost(), e.cost())
-                };
+                let stat =
+                    |e: &EwmaEstimator| UnitStatics::new(e.selectivity(), e.cost(), e.cost());
                 let (pa, pb) = (stat(&est_a).hnr_priority(), stat(&est_b).hnr_priority());
                 println!(
                     "{tick:>5}  {:>9.1}  {:>5.2}  {:>10.1}  {:>5.2}   {}  [{label}]",

@@ -28,7 +28,12 @@ fn main() {
     let window = Nanos::from_secs(5);
     println!("avg slowdown per {window} window (bursty source, util 0.9):\n");
     let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
-    for kind in [PolicyKind::Fcfs, PolicyKind::Hnr, PolicyKind::Bsd, PolicyKind::Lsf] {
+    for kind in [
+        PolicyKind::Fcfs,
+        PolicyKind::Hnr,
+        PolicyKind::Bsd,
+        PolicyKind::Lsf,
+    ] {
         let r = simulate(
             &w.plan,
             &w.rates,

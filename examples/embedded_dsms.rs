@@ -87,8 +87,10 @@ fn main() {
     }
 
     let stats = dsms.stats();
-    println!("pushed {} records; {} emissions, {} drops, {} scheduling decisions",
-        stats.pushed, stats.emitted, stats.dropped, stats.decisions);
+    println!(
+        "pushed {} records; {} emissions, {} drops, {} scheduling decisions",
+        stats.pushed, stats.emitted, stats.dropped, stats.decisions
+    );
     println!();
     println!("query                      emissions");
     println!("--------------------------------------");

@@ -41,7 +41,12 @@ fn main() {
 
     println!("policy    emitted  avg_resp_ms  avg_slowdown  max_slowdown");
     println!("------------------------------------------------------------");
-    for kind in [PolicyKind::Fcfs, PolicyKind::Hr, PolicyKind::Hnr, PolicyKind::Bsd] {
+    for kind in [
+        PolicyKind::Fcfs,
+        PolicyKind::Hr,
+        PolicyKind::Hnr,
+        PolicyKind::Bsd,
+    ] {
         let r = run(&plan, kind);
         println!(
             "{:>6}  {:>8}  {:>11.3}  {:>12.3}  {:>12.3}",

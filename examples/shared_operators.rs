@@ -30,7 +30,11 @@ fn main() {
     );
     println!("strategy   HNR avg_slowdown   BSD l2_norm");
     println!("--------------------------------------------");
-    for strat in [SharingStrategy::Max, SharingStrategy::Sum, SharingStrategy::Pdt] {
+    for strat in [
+        SharingStrategy::Max,
+        SharingStrategy::Sum,
+        SharingStrategy::Pdt,
+    ] {
         let run = |kind: PolicyKind| {
             simulate(
                 &w.plan,

@@ -58,16 +58,22 @@ fn main() {
     let replayed = run(Box::new(
         TraceReplay::parse(archive.as_slice()).expect("well-formed archive"),
     ));
-    println!("replay @ 1x: avg slowdown {:>10.1}, measured util {:.2}",
-        replayed.qos.avg_slowdown, replayed.measured_utilization());
+    println!(
+        "replay @ 1x: avg slowdown {:>10.1}, measured util {:.2}",
+        replayed.qos.avg_slowdown,
+        replayed.measured_utilization()
+    );
 
     // 3. The same trace, time-compressed 2x: double the load, same bursts.
     let doubled = run(Box::new(TimeScale::new(
         TraceReplay::parse(archive.as_slice()).expect("well-formed archive"),
         0.5,
     )));
-    println!("replay @ 2x: avg slowdown {:>10.1}, measured util {:.2}",
-        doubled.qos.avg_slowdown, doubled.measured_utilization());
+    println!(
+        "replay @ 2x: avg slowdown {:>10.1}, measured util {:.2}",
+        doubled.qos.avg_slowdown,
+        doubled.measured_utilization()
+    );
     println!();
     println!("Same workload, same tuples, same burst shape — only the arrival");
     println!("clock changed. Overload amplifies slowdowns super-linearly.");

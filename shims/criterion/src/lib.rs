@@ -1,0 +1,294 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace builds with no crates.io access, so the API subset its
+//! `benches/` targets use is implemented here: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::bench_function`] /
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup`] with `sample_size`,
+//! `throughput`, `bench_with_input` and `finish`, [`Bencher::iter`],
+//! [`BenchmarkId`] and [`Throughput`].
+//!
+//! Measurements are wall-clock: each benchmark is calibrated with one run,
+//! then timed over up to `sample_size` samples with a bounded total budget,
+//! and the per-iteration mean/min are printed. When the
+//! `CRITERION_JSON_OUT` environment variable names a file, one JSON line per
+//! benchmark (`{"id", "mean_ns", "min_ns", "elems_per_iter"}`) is appended so
+//! external tooling (e.g. the `BENCH_*.json` emitter) can ingest the numbers.
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-sample budget; iteration counts are chosen to land near this.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Hard per-benchmark budget across all samples.
+const BENCH_BUDGET: Duration = Duration::from_millis(1500);
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a single named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: 100,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timing samples to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declare how much work one iteration performs.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmark `f` with the given input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        run_sized(&full, self.throughput, self.sample_size, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Benchmark `f` without an explicit input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().0);
+        run_sized(&full, self.throughput, self.sample_size, &mut f);
+        self
+    }
+
+    /// End the group (upstream consumes the group; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A function-plus-parameter id, rendered `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Work performed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` calls of `f`; called repeatedly by the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, throughput: Option<Throughput>, f: &mut F) {
+    run_sized(id, throughput, 100, f)
+}
+
+fn run_sized<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    f: &mut F,
+) {
+    // Calibration run: one iteration, also serves as warm-up.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let once = b.elapsed.max(Duration::from_nanos(1));
+
+    let iters = (SAMPLE_TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+    let per_sample = once * iters as u32;
+    let samples = sample_size
+        .min((BENCH_BUDGET.as_nanos() / per_sample.as_nanos().max(1)) as usize)
+        .max(2);
+
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        b.iters = iters;
+        f(&mut b);
+        means.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+
+    let elems = match throughput {
+        Some(Throughput::Elements(n)) => Some(n as f64),
+        _ => None,
+    };
+    match elems {
+        Some(n) if mean > 0.0 => println!(
+            "{id:<50} time: {:>12} /iter  thrpt: {:>12} elem/s  ({} samples x {} iters)",
+            fmt_ns(mean),
+            fmt_count(n * 1e9 / mean),
+            samples,
+            iters
+        ),
+        _ => println!(
+            "{id:<50} time: {:>12} /iter  ({} samples x {} iters)",
+            fmt_ns(mean),
+            samples,
+            iters
+        ),
+    }
+
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if !path.is_empty() {
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(&path) {
+                let elems_field = elems
+                    .map(|n| format!("{n}"))
+                    .unwrap_or_else(|| "null".into());
+                let _ = writeln!(
+                    file,
+                    "{{\"id\":\"{id}\",\"mean_ns\":{mean:.1},\"min_ns\":{min:.1},\
+                     \"elems_per_iter\":{elems_field}}}"
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declare a benchmark group runner function (upstream-compatible shape).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the benchmark binary's `main`, running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(10));
+        g.bench_with_input(BenchmarkId::new("sum", 32), &32u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        g.bench_with_input(BenchmarkId::from_parameter("p"), &1u64, |b, &n| {
+            b.iter(|| n + 1)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,52 @@
+//! End-to-end check that the `proptest!` macro expansion compiles and runs
+//! the same way the workspace's property tests use it.
+
+use proptest::prelude::*;
+
+fn helper(x: u64) -> Result<(), TestCaseError> {
+    prop_assert!(x < u64::MAX, "never fires");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tuples_and_vecs(
+        pairs in proptest::collection::vec((0u32..10, -5i64..5), 1..20),
+        flag in any::<bool>(),
+    ) {
+        prop_assert!(pairs.len() < 20);
+        for &(a, b) in &pairs {
+            prop_assert!(a < 10);
+            prop_assert!((-5..5).contains(&b));
+        }
+        let _ = flag;
+    }
+
+    #[test]
+    fn assume_and_question_mark(a in 0u64..100, b in 0u64..100) {
+        prop_assume!(a != b);
+        prop_assert_ne!(a, b);
+        helper(a)?;
+    }
+
+    #[test]
+    fn mapped_strategies(v in proptest::collection::vec(1u64..=8, 4..=4).prop_map(|v| v.len())) {
+        prop_assert_eq!(v, 4);
+    }
+
+    #[test]
+    fn weighted_options(o in proptest::option::weighted(0.6, (0u32..3, 0u64..9))) {
+        if let Some((u, w)) = o {
+            prop_assert!(u < 3 && w < 9);
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn default_config_runs(x in any::<u64>()) {
+        prop_assert!(x == x);
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! This workspace builds in environments with no access to a crates.io
+//! registry, so the few `rand` 0.9 entry points the simulator actually uses
+//! are implemented here and wired in via a workspace path dependency:
+//!
+//! - [`rngs::StdRng`] + [`SeedableRng::seed_from_u64`]
+//! - [`Rng::random`] for the primitive types the workload/stream generators
+//!   draw (`f64`, `f32`, `bool`, integers)
+//! - [`Rng::random_range`] over `Range` / `RangeInclusive` of integers and
+//!   floats
+//!
+//! The generator is xoshiro256++ seeded through SplitMix64 — deterministic
+//! and high-quality, but **not** bit-compatible with upstream `StdRng`
+//! (ChaCha12). Every consumer in this repo seeds explicitly via
+//! `seed_from_u64`, so determinism across runs and across `--jobs` levels is
+//! what matters, and that is preserved.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    //! Concrete generators (the subset of `rand::rngs` used here).
+
+    use crate::SeedableRng;
+
+    /// Deterministic xoshiro256++ generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn step(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.step()
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut sm = state;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+}
+
+/// Raw 64-bit output source; everything else is derived from it.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Deterministic construction from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented over [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of `T` (`rand 0.9`'s `random`).
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// A uniform value in `range` (`rand 0.9`'s `random_range`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable uniformly over their whole domain (`[0, 1)` for floats).
+pub trait Standard: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Ranges that can produce a single uniform sample of `T`.
+pub trait SampleRange<T> {
+    /// Draw one value from `rng` inside the range.
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Map a raw 64-bit draw into `[0, span)` via the widening-multiply trick.
+/// `span == 0` encodes the full 2^64 domain.
+fn mul_shift(raw: u64, span: u128) -> u128 {
+    if span == 0 {
+        raw as u128
+    } else {
+        (raw as u128 * span) >> 64
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let lo = self.start as i128;
+                let span = (self.end as i128 - lo) as u128;
+                (lo + mul_shift(rng.next_u64(), span) as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "cannot sample empty range");
+                // A span of exactly 2^64 (the full 64-bit domain) is encoded
+                // as 0, which mul_shift treats as a raw draw.
+                let span_wide = (hi - lo + 1) as u128;
+                let span = if span_wide > u64::MAX as u128 { 0 } else { span_wide };
+                (lo + mul_shift(rng.next_u64(), span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: f64 = f64::sample_standard(rng);
+                (self.start as f64 + u * (self.end as f64 - self.start as f64)) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "cannot sample empty range");
+                let u: f64 = f64::sample_standard(rng);
+                (lo + u * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.random::<f64>().to_bits(), b.random::<f64>().to_bits());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.random::<u64>(), c.random::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: f64 = r.random();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.random_range(3u8..9);
+            assert!((3..9).contains(&v));
+            let w = r.random_range(10u64..=20);
+            assert!((10..=20).contains(&w));
+            let x = r.random_range(-50i64..50);
+            assert!((-50..50).contains(&x));
+            let f = r.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_cover_endpoints_eventually() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..1_000 {
+            seen[r.random_range(0usize..=3)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut r = StdRng::seed_from_u64(3);
+        // span == 2^64 exercises the raw-draw path.
+        let _ = r.random_range(0u64..=u64::MAX);
+        let _ = r.random_range(i64::MIN..=i64::MAX);
+    }
+}

@@ -8,9 +8,7 @@ use hcq::plan::{GlobalPlan, QueryBuilder, StreamRates};
 use hcq::streams::TraceReplay;
 
 fn example1_seed() -> u64 {
-    let key_of = |seed: u64, id: u64| {
-        det::unit_range(det::splitmix64(det::mix2(seed, id)), 1, 100)
-    };
+    let key_of = |seed: u64, id: u64| det::unit_range(det::splitmix64(det::mix2(seed, id)), 1, 100);
     (0..10_000u64)
         .find(|&s| key_of(s, 0) > 33 && key_of(s, 1) <= 33 && key_of(s, 2) > 33)
         .expect("suitable seed exists")
