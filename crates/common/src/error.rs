@@ -10,6 +10,52 @@ use std::io;
 /// Convenient result alias used across the workspace.
 pub type Result<T, E = HcqError> = std::result::Result<T, E>;
 
+/// A policy ⇄ engine contract violation, detected at run time.
+///
+/// These used to be panics inside the simulator; they are typed so an
+/// embedding system (or a fault-injection harness driving a misbehaving
+/// policy) gets a diagnosable value instead of an abort.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineError {
+    /// A dequeue was requested from a unit whose queue is empty — the policy
+    /// selected a unit with no pending work.
+    EmptyQueuePop {
+        /// The offending unit id.
+        unit: u32,
+    },
+    /// A unit id outside the engine's dense unit space was used.
+    UnknownUnit {
+        /// The offending unit id.
+        unit: u32,
+        /// Number of registered units (valid ids are `0..unit_count`).
+        unit_count: usize,
+    },
+    /// The policy returned no selection while work was pending, which would
+    /// stall the event loop forever.
+    NoSelection {
+        /// Tuples pending across all queues at the stalled point.
+        pending: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::EmptyQueuePop { unit } => {
+                write!(f, "pop from empty queue of unit {unit}")
+            }
+            EngineError::UnknownUnit { unit, unit_count } => {
+                write!(f, "unit {unit} out of range (unit count {unit_count})")
+            }
+            EngineError::NoSelection { pending } => {
+                write!(f, "policy made no selection with {pending} tuples pending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Errors surfaced by the `aqsios-cq` crates.
 #[derive(Debug)]
 pub enum HcqError {
@@ -22,6 +68,8 @@ pub enum HcqError {
     TraceFormat(String),
     /// Underlying I/O failure (trace replay, CSV export).
     Io(io::Error),
+    /// A scheduling-contract violation surfaced by the engine at run time.
+    Engine(EngineError),
 }
 
 impl HcqError {
@@ -48,6 +96,7 @@ impl fmt::Display for HcqError {
             HcqError::InvalidConfig(m) => write!(f, "invalid configuration: {m}"),
             HcqError::TraceFormat(m) => write!(f, "malformed trace: {m}"),
             HcqError::Io(e) => write!(f, "i/o error: {e}"),
+            HcqError::Engine(e) => write!(f, "engine contract violation: {e}"),
         }
     }
 }
@@ -56,6 +105,7 @@ impl std::error::Error for HcqError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             HcqError::Io(e) => Some(e),
+            HcqError::Engine(e) => Some(e),
             _ => None,
         }
     }
@@ -64,6 +114,12 @@ impl std::error::Error for HcqError {
 impl From<io::Error> for HcqError {
     fn from(e: io::Error) -> Self {
         HcqError::Io(e)
+    }
+}
+
+impl From<EngineError> for HcqError {
+    fn from(e: EngineError) -> Self {
+        HcqError::Engine(e)
     }
 }
 
@@ -95,5 +151,29 @@ mod tests {
         let e = HcqError::from(io::Error::other("x"));
         assert!(e.source().is_some());
         assert!(HcqError::plan("p").source().is_none());
+    }
+
+    #[test]
+    fn engine_errors_format_and_convert() {
+        use std::error::Error;
+        let pop = EngineError::EmptyQueuePop { unit: 3 };
+        assert_eq!(pop.to_string(), "pop from empty queue of unit 3");
+        let wrapped = HcqError::from(pop);
+        assert!(wrapped
+            .to_string()
+            .contains("engine contract violation: pop from empty queue of unit 3"));
+        assert!(wrapped.source().is_some());
+        assert_eq!(
+            EngineError::UnknownUnit {
+                unit: 9,
+                unit_count: 4
+            }
+            .to_string(),
+            "unit 9 out of range (unit count 4)"
+        );
+        assert_eq!(
+            EngineError::NoSelection { pending: 17 }.to_string(),
+            "policy made no selection with 17 tuples pending"
+        );
     }
 }

@@ -17,6 +17,6 @@ pub mod error;
 pub mod ids;
 pub mod time;
 
-pub use error::{HcqError, Result};
+pub use error::{EngineError, HcqError, Result};
 pub use ids::{ClusterId, OpId, QueryId, StreamId, TupleId};
 pub use time::Nanos;

@@ -253,6 +253,29 @@ impl Policy for ClusteredBsdPolicy {
         });
     }
 
+    fn on_shed(&mut self, unit: UnitId, tuple: TupleId) {
+        // The engine shed the tail tuple of `unit`'s queue; drop the matching
+        // mirror entry (the rearmost with that unit/tuple pair — a tuple sits
+        // in at most one unit queue at a time, so the pair is unambiguous).
+        let c = self.cluster_of[unit as usize];
+        let q = &mut self.queues[c as usize];
+        let Some(i) = q.iter().rposition(|e| e.unit == unit && e.tuple == tuple) else {
+            debug_assert!(false, "shed entry absent from cluster mirror");
+            return;
+        };
+        let was_front = i == 0;
+        if was_front {
+            let removed = self.by_wait.remove(&(q[0].arrival, c));
+            debug_assert!(removed, "front entry tracked in by_wait");
+        }
+        q.remove(i);
+        if was_front {
+            if let Some(front) = q.front() {
+                self.by_wait.insert((front.arrival, c));
+            }
+        }
+    }
+
     fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection> {
         let (cluster, ops) = if self.cfg.use_fagin {
             self.select_fagin(now)?
@@ -402,6 +425,63 @@ mod tests {
         }
         let sel = p.select(&q, ms(10)).unwrap();
         assert_eq!(sel.units, vec![1], "t1 runs alone");
+    }
+
+    #[test]
+    fn shed_keeps_mirror_and_wait_index_consistent() {
+        // One cluster (FCFS-degenerate) makes the expected order obvious.
+        let units = spread_units(3);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+            clustering: Clustering::Logarithmic,
+            clusters: 1,
+            use_fagin: false,
+            batch: false,
+        });
+        p.on_register(&units);
+        let mut q = MockQueues::new(3);
+        for (i, &u) in [0u32, 1, 0, 2].iter().enumerate() {
+            let t = TupleId::new(i as u64);
+            let a = ms(i as u64 * 5);
+            q.push(u, t, a);
+            p.on_enqueue(u, t, a, a);
+        }
+        // Shed unit 0's tail (tuple 2 — a mid-queue mirror entry, so the
+        // by_wait front stays untouched); drain order must skip it.
+        q.pop_back(0);
+        p.on_shed(0, TupleId::new(2));
+        let mut order = Vec::new();
+        while !q.nonempty().is_empty() {
+            let sel = p.select(&q, ms(100)).unwrap();
+            q.pop(sel.units[0]);
+            order.push(sel.units[0]);
+        }
+        assert_eq!(order, vec![0, 1, 2]);
+        assert!(p.select(&q, ms(100)).is_none());
+    }
+
+    #[test]
+    fn shed_of_front_entry_repairs_wait_index() {
+        let units = spread_units(2);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+            clustering: Clustering::Logarithmic,
+            clusters: 1,
+            use_fagin: false,
+            batch: false,
+        });
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        // Unit 0 holds the cluster's single front entry; shedding it must
+        // move by_wait to the next entry (unit 1) or select would stall.
+        q.push(0, TupleId::new(0), ms(0));
+        p.on_enqueue(0, TupleId::new(0), ms(0), ms(0));
+        q.push(1, TupleId::new(1), ms(5));
+        p.on_enqueue(1, TupleId::new(1), ms(5), ms(5));
+        q.pop_back(0);
+        p.on_shed(0, TupleId::new(0));
+        let sel = p.select(&q, ms(100)).unwrap();
+        assert_eq!(sel.units, vec![1]);
+        q.pop(1);
+        assert!(p.select(&q, ms(100)).is_none());
     }
 
     /// With m ≥ distinct Φ values and no batching, clustered BSD must make

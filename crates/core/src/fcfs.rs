@@ -37,6 +37,17 @@ impl Policy for FcfsPolicy {
         self.fifo.push_back(unit);
     }
 
+    fn on_shed(&mut self, unit: UnitId, _tuple: TupleId) {
+        // Shedding removes the unit's *tail* tuple; per-unit queues are FIFO
+        // and the mirror records enqueue order, so that tuple corresponds to
+        // the unit's most recent (rearmost) mirror entry.
+        if let Some(i) = self.fifo.iter().rposition(|&u| u == unit) {
+            self.fifo.remove(i);
+        } else {
+            debug_assert!(false, "shed from unit absent in FCFS mirror");
+        }
+    }
+
     fn select(&mut self, queues: &dyn QueueView, _now: Nanos) -> Option<Selection> {
         let unit = self.fifo.pop_front()?;
         debug_assert!(queues.len(unit) > 0, "FCFS mirror out of sync");
@@ -71,6 +82,33 @@ mod tests {
         p.on_register(&units(1));
         let q = crate::policy::testkit::MockQueues::new(1);
         assert!(p.select(&q, Nanos::ZERO).is_none());
+    }
+
+    #[test]
+    fn shed_forgets_the_units_newest_entry() {
+        use crate::policy::testkit::MockQueues;
+        let mut p = FcfsPolicy::new();
+        p.on_register(&units(2));
+        let mut q = MockQueues::new(2);
+        // Arrivals: unit 0 (t=0), unit 1 (t=1), unit 0 (t=2). Shedding unit
+        // 0's tail must drop the t=2 entry, leaving the order [0, 1].
+        for (u, t, a) in [(0, 0, 0u64), (1, 1, 1), (0, 2, 2)] {
+            let at = Nanos::from_millis(a);
+            q.push(u, TupleId::new(t), at);
+            p.on_enqueue(u, TupleId::new(t), at, at);
+        }
+        q.pop_back(0);
+        p.on_shed(0, TupleId::new(2));
+        let mut order = Vec::new();
+        while !q.nonempty().is_empty() {
+            let sel = p.select(&q, Nanos::from_millis(9)).expect("work pending");
+            for u in sel.units {
+                q.pop(u);
+                order.push(u);
+            }
+        }
+        assert_eq!(order, vec![0, 1]);
+        assert!(p.select(&q, Nanos::from_millis(9)).is_none());
     }
 
     #[test]

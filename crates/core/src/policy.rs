@@ -16,6 +16,17 @@ pub trait QueueView {
     fn head_arrival(&self, unit: UnitId) -> Option<Nanos>;
     /// Units with at least one pending tuple (unordered).
     fn nonempty(&self) -> &[UnitId];
+    /// Per-unit queue capacity when the engine bounds its queues; `None`
+    /// means unbounded (the default — every pre-overload engine state).
+    fn capacity(&self, _unit: UnitId) -> Option<usize> {
+        None
+    }
+    /// True when the unit's queue is at (or past) its capacity bound, i.e.
+    /// the next admission to this unit would trigger the overload policy.
+    /// Always false for unbounded queues.
+    fn is_full(&self, unit: UnitId) -> bool {
+        self.capacity(unit).is_some_and(|cap| self.len(unit) >= cap)
+    }
 }
 
 /// A scheduling decision.
@@ -210,6 +221,11 @@ impl ExactSizeIterator for SelectionUnitsIter {}
 /// * `on_enqueue(unit, tuple, arrival, now)` fires when a tuple enters the
 ///   unit's input queue (`arrival` = the tuple's *system* arrival time, which
 ///   is what every `W` in the paper means).
+/// * `on_shed(unit, tuple)` fires when the engine's overload manager removes
+///   the *tail* tuple of `unit`'s queue without executing it (load shedding).
+///   Policies that mirror per-tuple state must forget that entry; stateless
+///   policies inherit the no-op default. A tuple rejected at admission (never
+///   enqueued) generates no callback at all.
 /// * `select` is called only when at least one queue is non-empty; it must
 ///   return units with non-empty queues. After `select`, the engine dequeues
 ///   exactly one head tuple from each returned unit and executes it.
@@ -222,6 +238,9 @@ pub trait Policy {
 
     /// A tuple entered `unit`'s queue.
     fn on_enqueue(&mut self, unit: UnitId, tuple: TupleId, arrival: Nanos, now: Nanos);
+
+    /// The overload manager shed the tail tuple of `unit`'s queue.
+    fn on_shed(&mut self, _unit: UnitId, _tuple: TupleId) {}
 
     /// Choose what to run next.
     fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection>;
@@ -324,6 +343,16 @@ pub(crate) mod testkit {
             }
             item
         }
+
+        /// Remove the unit's tail tuple (models the engine shedding).
+        pub fn pop_back(&mut self, unit: UnitId) -> (TupleId, Nanos) {
+            let q = &mut self.queues[unit as usize];
+            let item = q.pop_back().expect("shed from empty queue");
+            if q.is_empty() {
+                self.nonempty.retain(|&u| u != unit);
+            }
+            item
+        }
     }
 
     impl QueueView for MockQueues {
@@ -385,5 +414,36 @@ mod tests {
             let p = kind.build();
             assert_eq!(p.name(), kind.name());
         }
+    }
+
+    #[test]
+    fn queue_view_defaults_are_unbounded() {
+        let mut q = testkit::MockQueues::new(2);
+        q.push(0, TupleId::new(1), Nanos::ZERO);
+        assert_eq!(q.capacity(0), None);
+        assert!(!q.is_full(0));
+        assert!(!q.is_full(1));
+    }
+
+    #[test]
+    fn is_full_follows_capacity_override() {
+        struct Bounded(usize);
+        impl QueueView for Bounded {
+            fn len(&self, _unit: UnitId) -> usize {
+                self.0
+            }
+            fn head_arrival(&self, _unit: UnitId) -> Option<Nanos> {
+                None
+            }
+            fn nonempty(&self) -> &[UnitId] {
+                &[]
+            }
+            fn capacity(&self, _unit: UnitId) -> Option<usize> {
+                Some(2)
+            }
+        }
+        assert!(!Bounded(1).is_full(0));
+        assert!(Bounded(2).is_full(0));
+        assert!(Bounded(3).is_full(0));
     }
 }

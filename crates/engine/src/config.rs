@@ -16,6 +16,62 @@ pub enum SchedulingLevel {
     Operator,
 }
 
+/// What happens when a tuple arrives at a full unit queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionMode {
+    /// Queues grow without bound (the paper's assumption and the default):
+    /// no tuple is ever refused, and behavior is bit-identical to an engine
+    /// without overload management.
+    #[default]
+    Unbounded,
+    /// Per-unit hard bound: an arrival at a full queue is discarded. Cheap
+    /// and local, but blind to QoS — a high-priority query sheds as readily
+    /// as a low-priority one.
+    DropTail,
+    /// QoS-aware shedding: when the arriving unit's queue is full *and*
+    /// total pending load is at or above the watermark, the engine sheds
+    /// the tail tuple of the unit with the lowest static HNR priority
+    /// `S/(C̄·T)` — sacrificing the tuple whose processing would contribute
+    /// least to slowdown QoS (the Chain drop-rate intuition applied to
+    /// admission). The arriving tuple itself is shed when its own unit is
+    /// the least valuable. Individual queues may transiently exceed
+    /// `capacity` below the watermark; total load stays bounded.
+    QosShed,
+}
+
+/// Bounded-queue / load-shedding configuration (off by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OverloadConfig {
+    /// Admission decision at a full queue.
+    pub mode: AdmissionMode,
+    /// Per-unit queue capacity (tuples). Ignored under
+    /// [`AdmissionMode::Unbounded`]; must be ≥ 1 otherwise.
+    pub capacity: usize,
+    /// Global pending-tuple threshold: above it the engine accrues
+    /// time-in-overload, and [`AdmissionMode::QosShed`] arms its shedder.
+    /// `0` disables both (no overload accounting, shedding armed whenever a
+    /// queue fills).
+    pub watermark: usize,
+}
+
+/// Deterministic fault injection (engine side). Source-side faults — bursts
+/// and stalls — live in `hcq_streams::FaultySource`; this knob covers the
+/// engine-internal failure mode: the calibrated per-operator cost `C̄_x`
+/// being wrong at run time while policies keep prioritizing on the stale
+/// statics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultConfig {
+    /// Maximum relative cost misestimation `m`: each operator's *actual*
+    /// per-execution cost is its nominal cost scaled by a persistent factor
+    /// drawn deterministically from `[1−m, 1+m]` (a pure function of the
+    /// operator and `seed` — identical across policies, so miscalibrated
+    /// runs remain comparable). `0` disables.
+    pub cost_miscalibration: f64,
+    /// Seed for the fault draws, independent of the workload seed so fault
+    /// scenarios can vary while the workload realization stays fixed.
+    pub seed: u64,
+}
+
 /// Simulation parameters.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
@@ -45,6 +101,10 @@ pub struct SimConfig {
     /// function of tuple/operator/seed, so still policy-independent).
     /// 0 = the paper's deterministic costs.
     pub cost_jitter: f64,
+    /// Bounded queues and load shedding (default: unbounded, no shedding).
+    pub overload: OverloadConfig,
+    /// Deterministic engine-side fault injection (default: none).
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -60,7 +120,35 @@ impl SimConfig {
             seed: 0,
             sample_window: None,
             cost_jitter: 0.0,
+            overload: OverloadConfig::default(),
+            faults: FaultConfig::default(),
         }
+    }
+
+    /// Bound every unit queue at `capacity` tuples under `mode`.
+    pub fn with_admission(mut self, mode: AdmissionMode, capacity: usize) -> Self {
+        self.overload.mode = mode;
+        self.overload.capacity = capacity;
+        self
+    }
+
+    /// Set the global pending-tuple watermark (overload accounting starts,
+    /// and QoS shedding arms, at this total load).
+    pub fn with_watermark(mut self, watermark: usize) -> Self {
+        self.overload.watermark = watermark;
+        self
+    }
+
+    /// Enable persistent per-operator cost misestimation (fraction in
+    /// [0, 1)), drawn deterministically from `fault_seed`.
+    pub fn with_cost_miscalibration(mut self, m: f64, fault_seed: u64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&m),
+            "miscalibration must be in [0, 1), got {m}"
+        );
+        self.faults.cost_miscalibration = m;
+        self.faults.seed = fault_seed;
+        self
     }
 
     /// Enable operator-cost jitter (fraction in [0, 1)).
@@ -113,6 +201,23 @@ mod tests {
         assert!(!c.charge_overhead);
         assert!(c.drain);
         assert_eq!(c.max_arrivals, 100);
+        assert_eq!(c.overload.mode, AdmissionMode::Unbounded);
+        assert_eq!(c.overload.capacity, 0);
+        assert_eq!(c.overload.watermark, 0);
+        assert_eq!(c.faults.cost_miscalibration, 0.0);
+    }
+
+    #[test]
+    fn overload_and_fault_builders() {
+        let c = SimConfig::new(1)
+            .with_admission(AdmissionMode::QosShed, 16)
+            .with_watermark(200)
+            .with_cost_miscalibration(0.5, 99);
+        assert_eq!(c.overload.mode, AdmissionMode::QosShed);
+        assert_eq!(c.overload.capacity, 16);
+        assert_eq!(c.overload.watermark, 200);
+        assert_eq!(c.faults.cost_miscalibration, 0.5);
+        assert_eq!(c.faults.seed, 99);
     }
 
     #[test]

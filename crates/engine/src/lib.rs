@@ -56,7 +56,7 @@ pub mod report;
 pub mod sim;
 pub mod tuple;
 
-pub use config::{SchedulingLevel, SimConfig};
+pub use config::{AdmissionMode, FaultConfig, OverloadConfig, SchedulingLevel, SimConfig};
 pub use model::{SimModel, UnitDesc, UnitKind};
 pub use report::SimReport;
 pub use sim::{simulate, Simulator};

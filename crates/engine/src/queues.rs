@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use hcq_common::Nanos;
+use hcq_common::{EngineError, Nanos};
 use hcq_core::{QueueView, UnitId};
 
 use crate::tuple::SimTuple;
@@ -16,10 +16,15 @@ pub struct UnitQueues {
     /// `pos[u] = i+1` when `nonempty[i] == u`; 0 when absent.
     pos: Vec<u32>,
     pending: usize,
+    /// Per-unit capacity advertised through [`QueueView`]; `None` means
+    /// unbounded. The bound is advisory — admission control lives in the
+    /// simulator, which may deliberately overfill a queue (QoS shedding
+    /// keeps the *global* load bounded, not each queue).
+    capacity: Option<usize>,
 }
 
 impl UnitQueues {
-    /// Queues for `n` units.
+    /// Unbounded queues for `n` units.
     ///
     /// Each queue gets a small initial capacity and keeps whatever it grows
     /// to for the rest of the run (`pop` never shrinks), so after a brief
@@ -30,7 +35,15 @@ impl UnitQueues {
             nonempty: Vec::with_capacity(n),
             pos: vec![0; n],
             pending: 0,
+            capacity: None,
         }
+    }
+
+    /// Queues for `n` units advertising a per-unit capacity bound.
+    pub fn bounded(n: usize, capacity: usize) -> Self {
+        let mut q = UnitQueues::new(n);
+        q.capacity = Some(capacity);
+        q
     }
 
     /// Enqueue a tuple.
@@ -44,25 +57,49 @@ impl UnitQueues {
         self.pending += 1;
     }
 
+    /// Remove `unit` from the non-empty index once its queue has drained.
+    /// Swap-remove: O(1), order not preserved.
+    fn unindex(&mut self, unit: UnitId) {
+        let i = (self.pos[unit as usize] - 1) as usize;
+        let last = self.nonempty.pop().expect("index tracks nonempty");
+        if last != unit {
+            self.nonempty[i] = last;
+            self.pos[last as usize] = i as u32 + 1;
+        }
+        self.pos[unit as usize] = 0;
+    }
+
     /// Dequeue the unit's head tuple.
     ///
-    /// # Panics
-    /// Panics if the queue is empty (a policy/engine contract violation).
-    pub fn pop(&mut self, unit: UnitId) -> SimTuple {
-        let q = &mut self.queues[unit as usize];
-        let t = q.pop_front().expect("pop from empty unit queue");
+    /// Errors (instead of panicking) on an empty queue or an out-of-range
+    /// unit id — both are policy/engine contract violations that a robust
+    /// engine surfaces as values.
+    pub fn pop(&mut self, unit: UnitId) -> Result<SimTuple, EngineError> {
+        let q = self
+            .queues
+            .get_mut(unit as usize)
+            .ok_or(EngineError::UnknownUnit {
+                unit,
+                unit_count: self.pos.len(),
+            })?;
+        let t = q.pop_front().ok_or(EngineError::EmptyQueuePop { unit })?;
         self.pending -= 1;
-        if q.is_empty() {
-            // Swap-remove from the non-empty index.
-            let i = (self.pos[unit as usize] - 1) as usize;
-            let last = self.nonempty.pop().expect("index tracks nonempty");
-            if last != unit {
-                self.nonempty[i] = last;
-                self.pos[last as usize] = i as u32 + 1;
-            }
-            self.pos[unit as usize] = 0;
+        if self.queues[unit as usize].is_empty() {
+            self.unindex(unit);
         }
-        t
+        Ok(t)
+    }
+
+    /// Remove and return the unit's *tail* tuple (load shedding: the newest
+    /// tuple has waited least, so dropping it costs the least sunk QoS).
+    /// Returns `None` when the queue is empty.
+    pub fn shed_tail(&mut self, unit: UnitId) -> Option<SimTuple> {
+        let t = self.queues.get_mut(unit as usize)?.pop_back()?;
+        self.pending -= 1;
+        if self.queues[unit as usize].is_empty() {
+            self.unindex(unit);
+        }
+        Some(t)
     }
 
     /// Total pending tuples across all units.
@@ -87,6 +124,10 @@ impl QueueView for UnitQueues {
 
     fn nonempty(&self) -> &[UnitId] {
         &self.nonempty
+    }
+
+    fn capacity(&self, _unit: UnitId) -> Option<usize> {
+        self.capacity
     }
 }
 
@@ -119,34 +160,92 @@ mod tests {
         let mut ne: Vec<_> = q.nonempty().to_vec();
         ne.sort();
         assert_eq!(ne, vec![0, 1]);
-        assert_eq!(q.pop(1).id, TupleId::new(1));
+        assert_eq!(q.pop(1).unwrap().id, TupleId::new(1));
         assert_eq!(q.head_arrival(1), Some(Nanos::from_millis(20)));
-        assert_eq!(q.pop(1).id, TupleId::new(2));
+        assert_eq!(q.pop(1).unwrap().id, TupleId::new(2));
         assert_eq!(q.nonempty(), &[0]);
-        q.pop(0);
+        q.pop(0).unwrap();
         assert!(q.all_empty());
         assert!(q.nonempty().is_empty());
     }
 
     #[test]
-    #[should_panic(expected = "empty unit queue")]
-    fn popping_empty_panics() {
+    fn popping_empty_is_a_typed_error() {
         let mut q = UnitQueues::new(1);
-        let _ = q.pop(0);
+        assert_eq!(q.pop(0), Err(EngineError::EmptyQueuePop { unit: 0 }));
+    }
+
+    #[test]
+    fn popping_unknown_unit_is_a_typed_error() {
+        let mut q = UnitQueues::new(2);
+        assert_eq!(
+            q.pop(7),
+            Err(EngineError::UnknownUnit {
+                unit: 7,
+                unit_count: 2
+            })
+        );
+    }
+
+    #[test]
+    fn capacity_surfaces_through_queue_view() {
+        let mut q = UnitQueues::bounded(2, 2);
+        assert_eq!(q.capacity(0), Some(2));
+        assert!(!q.is_full(0));
+        q.push(0, tuple(1, 1));
+        q.push(0, tuple(2, 2));
+        assert!(q.is_full(0));
+        assert!(!q.is_full(1));
+        // Unbounded queues never report full.
+        let u = UnitQueues::new(1);
+        assert_eq!(u.capacity(0), None);
+        assert!(!u.is_full(0));
+    }
+
+    #[test]
+    fn shed_tail_removes_newest_and_maintains_index() {
+        let mut q = UnitQueues::new(2);
+        q.push(0, tuple(1, 10));
+        q.push(0, tuple(2, 20));
+        q.push(1, tuple(3, 30));
+        let shed = q.shed_tail(0).unwrap();
+        assert_eq!(shed.id, TupleId::new(2));
+        assert_eq!(q.pending(), 2);
+        assert_eq!(q.head_arrival(0), Some(Nanos::from_millis(10)));
+        // Shedding a queue's last tuple must clear it from the index.
+        let shed = q.shed_tail(1).unwrap();
+        assert_eq!(shed.id, TupleId::new(3));
+        assert_eq!(q.nonempty(), &[0]);
+        assert_eq!(q.shed_tail(1), None);
+        assert_eq!(q.shed_tail(9), None, "out-of-range unit sheds nothing");
+        assert_eq!(q.pop(0).unwrap().id, TupleId::new(1));
+        assert!(q.all_empty());
     }
 
     proptest! {
-        /// The non-empty index always matches the actual queue contents.
+        /// The non-empty index always matches the actual queue contents,
+        /// with shedding interleaved among pushes and pops.
         #[test]
-        fn nonempty_index_consistent(ops in proptest::collection::vec((0u32..6, any::<bool>()), 1..200)) {
+        fn nonempty_index_consistent(ops in proptest::collection::vec((0u32..6, 0u8..4), 1..200)) {
             let mut q = UnitQueues::new(6);
             let mut id = 0u64;
-            for (unit, is_push) in ops {
-                if is_push || q.len(unit) == 0 {
-                    id += 1;
-                    q.push(unit, tuple(id, id));
-                } else {
-                    q.pop(unit);
+            for (unit, op) in ops {
+                match op {
+                    0 | 1 => {
+                        id += 1;
+                        q.push(unit, tuple(id, id));
+                    }
+                    2 => {
+                        if q.len(unit) > 0 {
+                            q.pop(unit).unwrap();
+                        } else {
+                            prop_assert!(q.pop(unit).is_err());
+                        }
+                    }
+                    _ => {
+                        let had = q.len(unit);
+                        prop_assert_eq!(q.shed_tail(unit).is_some(), had > 0);
+                    }
                 }
                 let expect: Vec<u32> = (0..6).filter(|&u| q.len(u) > 0).collect();
                 let mut got = q.nonempty().to_vec();

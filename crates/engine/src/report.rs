@@ -20,6 +20,9 @@ pub struct SimReport {
     pub emitted: u64,
     /// Tuples dropped by filters/joins (per query copy).
     pub dropped: u64,
+    /// Tuples shed by the overload manager (never executed): rejected at
+    /// admission or displaced from a queue tail. 0 under unbounded queues.
+    pub shed: u64,
     /// Scheduling points taken.
     pub sched_points: u64,
     /// Priority computations/comparisons reported by the policy.
@@ -28,6 +31,9 @@ pub struct SimReport {
     pub overhead_time: Nanos,
     /// Virtual time spent executing operators.
     pub busy_time: Nanos,
+    /// Virtual time spent with total pending load at or above the
+    /// configured overload watermark (0 when no watermark is set).
+    pub overload_time: Nanos,
     /// Final virtual clock.
     pub end_time: Nanos,
     /// Time-averaged number of pending tuples across all queues — the
@@ -35,6 +41,8 @@ pub struct SimReport {
     pub avg_pending: f64,
     /// Peak simultaneous pending tuples.
     pub peak_pending: usize,
+    /// Tuples still queued when the run ended (0 when draining).
+    pub pending_end: usize,
 }
 
 impl SimReport {
@@ -55,6 +63,24 @@ impl SimReport {
         }
         self.sched_ops as f64 / self.sched_points as f64
     }
+
+    /// Fraction of per-copy work units the overload manager shed:
+    /// `shed / (emitted + dropped + shed + pending_end)`.
+    pub fn shed_fraction(&self) -> f64 {
+        let total = self.emitted + self.dropped + self.shed + self.pending_end as u64;
+        if total == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / total as f64
+    }
+
+    /// Fraction of virtual time spent above the overload watermark.
+    pub fn overload_share(&self) -> f64 {
+        if self.end_time.is_zero() {
+            return 0.0;
+        }
+        self.overload_time.ratio(self.end_time)
+    }
 }
 
 #[cfg(test)]
@@ -71,16 +97,21 @@ mod tests {
             arrivals: 10,
             emitted: 5,
             dropped: 5,
+            shed: 5,
             sched_points: 4,
             sched_ops: 12,
             overhead_time: Nanos::from_millis(10),
             busy_time: Nanos::from_millis(40),
+            overload_time: Nanos::from_millis(25),
             end_time: Nanos::from_millis(100),
             avg_pending: 2.0,
             peak_pending: 5,
+            pending_end: 5,
         };
         assert!((r.measured_utilization() - 0.5).abs() < 1e-12);
         assert!((r.ops_per_sched_point() - 3.0).abs() < 1e-12);
+        assert!((r.shed_fraction() - 0.25).abs() < 1e-12);
+        assert!((r.overload_share() - 0.25).abs() < 1e-12);
     }
 
     #[test]
@@ -93,15 +124,20 @@ mod tests {
             arrivals: 0,
             emitted: 0,
             dropped: 0,
+            shed: 0,
             sched_points: 0,
             sched_ops: 0,
             overhead_time: Nanos::ZERO,
             busy_time: Nanos::ZERO,
+            overload_time: Nanos::ZERO,
             end_time: Nanos::ZERO,
             avg_pending: 0.0,
             peak_pending: 0,
+            pending_end: 0,
         };
         assert_eq!(r.measured_utilization(), 0.0);
         assert_eq!(r.ops_per_sched_point(), 0.0);
+        assert_eq!(r.shed_fraction(), 0.0);
+        assert_eq!(r.overload_share(), 0.0);
     }
 }

@@ -3,14 +3,14 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use hcq_common::{det, HcqError, Nanos, Result, StreamId, TupleId};
-use hcq_core::Policy;
+use hcq_common::{det, EngineError, HcqError, Nanos, Result, StreamId, TupleId};
+use hcq_core::{Policy, PriorityKey, QueueView};
 use hcq_join::{Side, SymmetricHashJoin};
 use hcq_metrics::{ClassBreakdown, QosAccumulator, QosTimeSeries, SlowdownHistogram};
 use hcq_plan::{CompiledOpKind, GlobalPlan, OperatorSpec, Port, StreamRates};
 use hcq_streams::ArrivalSource;
 
-use crate::config::{SchedulingLevel, SimConfig};
+use crate::config::{AdmissionMode, SchedulingLevel, SimConfig};
 use crate::model::{SimModel, UnitKind};
 use crate::queues::UnitQueues;
 use crate::report::SimReport;
@@ -28,7 +28,7 @@ pub fn simulate(
     policy: Box<dyn Policy>,
     cfg: SimConfig,
 ) -> Result<SimReport> {
-    Ok(Simulator::new(plan, rates, sources, policy, cfg)?.run())
+    Simulator::new(plan, rates, sources, policy, cfg)?.run()
 }
 
 /// The simulator. Most callers use [`simulate`]; the struct is public for
@@ -49,6 +49,10 @@ pub struct Simulator {
     /// `ideal_times[query]` = `T_k`, hoisted out of the per-emission path
     /// (`stats` is indexed on every emit and every shared-group fan-out).
     ideal_times: Vec<Nanos>,
+    /// Per-unit static HNR priority `S/(C̄·T)` — the QoS-shedding victim
+    /// metric (the unit whose tuples contribute least slowdown QoS per unit
+    /// of work sheds first).
+    shed_priority: Vec<f64>,
     /// Scratch buffer for join probe results, reused across probes so the
     /// hot path does not allocate a fresh `Vec` per arriving tuple.
     probe_buf: Vec<SimTuple>,
@@ -65,10 +69,14 @@ pub struct Simulator {
     series: Option<QosTimeSeries>,
     emitted: u64,
     dropped: u64,
+    shed: u64,
     sched_points: u64,
     sched_ops: u64,
     overhead_time: Nanos,
     busy_time: Nanos,
+    /// Virtual time spent with total pending load at or above the
+    /// configured watermark (0 when no watermark is set).
+    overload_time: Nanos,
     /// Integral of pending-tuple count over virtual time (tuple·ns), for
     /// time-averaged memory; updated whenever the clock advances.
     pending_area: f64,
@@ -84,6 +92,12 @@ impl Simulator {
         mut policy: Box<dyn Policy>,
         cfg: SimConfig,
     ) -> Result<Self> {
+        if cfg.overload.mode != AdmissionMode::Unbounded && cfg.overload.capacity == 0 {
+            return Err(HcqError::config(format!(
+                "admission mode {:?} requires a per-unit capacity of at least 1",
+                cfg.overload.mode
+            )));
+        }
         let model = SimModel::build(plan, rates, cfg.level, cfg.sharing)?;
         for (s, routes) in model.routes.iter().enumerate() {
             if !routes.is_empty() && s >= sources.len() {
@@ -127,13 +141,19 @@ impl Simulator {
         }
         let sched_cost = cfg.sched_op_cost.unwrap_or(model.min_op_cost);
         let series = cfg.sample_window.map(QosTimeSeries::new);
-        policy.on_register(&model.unit_statics());
+        let unit_statics = model.unit_statics();
+        policy.on_register(&unit_statics);
+        let shed_priority = unit_statics.iter().map(|u| u.hnr_priority()).collect();
         let n_units = model.unit_count();
         let ideal_times = model.stats.iter().map(|s| s.ideal_time).collect();
+        let queues = match cfg.overload.mode {
+            AdmissionMode::Unbounded => UnitQueues::new(n_units),
+            _ => UnitQueues::bounded(n_units, cfg.overload.capacity),
+        };
         Ok(Simulator {
             model,
             policy,
-            queues: UnitQueues::new(n_units),
+            queues,
             sources,
             upcoming,
             joins,
@@ -141,6 +161,7 @@ impl Simulator {
             cfg,
             sched_cost,
             ideal_times,
+            shed_priority,
             probe_buf: Vec::new(),
             clock: Nanos::ZERO,
             composite_counter: 0,
@@ -151,17 +172,25 @@ impl Simulator {
             series,
             emitted: 0,
             dropped: 0,
+            shed: 0,
             sched_points: 0,
             sched_ops: 0,
             overhead_time: Nanos::ZERO,
             busy_time: Nanos::ZERO,
+            overload_time: Nanos::ZERO,
             pending_area: 0.0,
             peak_pending: 0,
         })
     }
 
     /// Run to completion and report.
-    pub fn run(mut self) -> SimReport {
+    ///
+    /// Errors only on a policy ⇄ engine contract violation (a
+    /// [`hcq_common::EngineError`] wrapped as [`HcqError::Engine`]): no
+    /// selection while work is pending, or a selected unit with an empty
+    /// queue. The built-in policies never trigger these; external
+    /// embeddings and fault harnesses get a value instead of a panic.
+    pub fn run(mut self) -> Result<SimReport> {
         loop {
             self.deliver_due_arrivals();
             if self.queues.all_empty() {
@@ -178,10 +207,12 @@ impl Simulator {
             if !self.cfg.drain && self.arrivals_injected >= self.cfg.max_arrivals {
                 break;
             }
-            let selection = self
-                .policy
-                .select(&self.queues, self.clock)
-                .expect("policy must select when work is pending");
+            let selection =
+                self.policy
+                    .select(&self.queues, self.clock)
+                    .ok_or(EngineError::NoSelection {
+                        pending: self.queues.pending(),
+                    })?;
             self.sched_points += 1;
             self.sched_ops += selection.ops_counted;
             if self.cfg.charge_overhead {
@@ -190,10 +221,10 @@ impl Simulator {
                 self.overhead_time += overhead;
             }
             for unit in selection.units {
-                self.execute_unit(unit);
+                self.execute_unit(unit)?;
             }
         }
-        SimReport {
+        Ok(SimReport {
             qos: self.qos.summary(),
             classes: self.classes,
             histogram: self.histogram,
@@ -201,10 +232,12 @@ impl Simulator {
             arrivals: self.arrivals_injected,
             emitted: self.emitted,
             dropped: self.dropped,
+            shed: self.shed,
             sched_points: self.sched_points,
             sched_ops: self.sched_ops,
             overhead_time: self.overhead_time,
             busy_time: self.busy_time,
+            overload_time: self.overload_time,
             end_time: self.clock,
             avg_pending: if self.clock.is_zero() {
                 0.0
@@ -212,7 +245,8 @@ impl Simulator {
                 self.pending_area / self.clock.as_nanos() as f64
             },
             peak_pending: self.peak_pending,
-        }
+            pending_end: self.queues.pending(),
+        })
     }
 
     /// Advance the virtual clock, integrating the pending-tuple count over
@@ -220,7 +254,12 @@ impl Simulator {
     fn advance_clock(&mut self, target: Nanos) {
         debug_assert!(target >= self.clock);
         let span = target.saturating_since(self.clock);
-        self.pending_area += self.queues.pending() as f64 * span.as_nanos() as f64;
+        let pending = self.queues.pending();
+        self.pending_area += pending as f64 * span.as_nanos() as f64;
+        let watermark = self.cfg.overload.watermark;
+        if watermark > 0 && pending >= watermark {
+            self.overload_time += span;
+        }
         self.clock = target;
     }
 
@@ -264,9 +303,71 @@ impl Simulator {
                 key,
                 ideal_depart: at + route.alone,
             };
-            self.queues.push(route.unit, tuple);
-            self.peak_pending = self.peak_pending.max(self.queues.pending());
-            self.policy.on_enqueue(route.unit, id, at, self.clock);
+            self.admit(route.unit, tuple);
+        }
+    }
+
+    /// Admission control: every tuple entering a unit queue — source
+    /// arrivals, shared-group deferred copies, operator-level handoffs —
+    /// goes through here. Applies the configured [`AdmissionMode`], counts
+    /// shed tuples, and notifies the policy of enqueues and sheds.
+    fn admit(&mut self, unit: u32, tuple: SimTuple) {
+        match self.cfg.overload.mode {
+            AdmissionMode::Unbounded => {}
+            AdmissionMode::DropTail => {
+                if self.queues.len(unit) >= self.cfg.overload.capacity {
+                    self.shed += 1;
+                    return;
+                }
+            }
+            AdmissionMode::QosShed => {
+                if self.queues.len(unit) >= self.cfg.overload.capacity
+                    && self.queues.pending() >= self.cfg.overload.watermark
+                    && !self.shed_lowest_priority(unit)
+                {
+                    // The arriving unit is itself the least valuable:
+                    // reject the arrival rather than displace anyone.
+                    self.shed += 1;
+                    return;
+                }
+            }
+        }
+        self.queues.push(unit, tuple);
+        self.peak_pending = self.peak_pending.max(self.queues.pending());
+        self.policy
+            .on_enqueue(unit, tuple.id, tuple.arrival, self.clock);
+    }
+
+    /// QoS-aware victim selection: shed the tail tuple of the pending unit
+    /// with the lowest static HNR priority `S/(C̄·T)` (ties broken by lower
+    /// unit id), provided it is valued strictly below — or tied with and
+    /// id-before — the arriving unit. Returns false when the arriving unit
+    /// itself is the least valuable, i.e. the arrival should be rejected.
+    /// O(non-empty units) per overloaded admission; the scan only runs past
+    /// the watermark, so the uncongested path never pays it.
+    fn shed_lowest_priority(&mut self, arriving: u32) -> bool {
+        let mut victim = arriving;
+        let mut lowest = PriorityKey(self.shed_priority[arriving as usize]);
+        for &u in self.queues.nonempty() {
+            let p = PriorityKey(self.shed_priority[u as usize]);
+            if p < lowest || (p == lowest && u < victim) {
+                victim = u;
+                lowest = p;
+            }
+        }
+        if victim == arriving {
+            return false;
+        }
+        match self.queues.shed_tail(victim) {
+            Some(t) => {
+                self.shed += 1;
+                self.policy.on_shed(victim, t.id);
+                true
+            }
+            None => {
+                debug_assert!(false, "victim came from the non-empty index");
+                false
+            }
         }
     }
 
@@ -276,9 +377,11 @@ impl Simulator {
         id
     }
 
-    fn execute_unit(&mut self, unit: u32) {
+    fn execute_unit(&mut self, unit: u32) -> Result<(), EngineError> {
+        // `pop` validates the unit id (dense, same space as `model.units`),
+        // so the `kind` lookup below cannot be out of range.
+        let tuple = self.queues.pop(unit)?;
         let kind = self.model.units[unit as usize].kind;
-        let tuple = self.queues.pop(unit);
         match kind {
             UnitKind::Leaf { query, leaf } => {
                 let entry = self.model.compiled[query].leaves[leaf.index()].entry;
@@ -291,6 +394,7 @@ impl Simulator {
             }
             UnitKind::Operator { query, op } => self.run_operator_step(query, op, tuple),
         }
+        Ok(())
     }
 
     /// Pipelined execution from `entry` to the root (query-level units).
@@ -401,10 +505,7 @@ impl Simulator {
             let query = self.model.groups[group].members[pos];
             let mut copy = tuple;
             copy.ideal_depart = tuple.arrival + self.ideal_times[query];
-            self.queues.push(unit, copy);
-            self.peak_pending = self.peak_pending.max(self.queues.pending());
-            self.policy
-                .on_enqueue(unit, copy.id, copy.arrival, self.clock);
+            self.admit(unit, copy);
         }
     }
 
@@ -424,10 +525,7 @@ impl Simulator {
         match downstream {
             Some((next, _)) => {
                 let unit = self.op_units[query][next];
-                self.queues.push(unit, tuple);
-                self.peak_pending = self.peak_pending.max(self.queues.pending());
-                self.policy
-                    .on_enqueue(unit, tuple.id, tuple.arrival, self.clock);
+                self.admit(unit, tuple);
             }
             None => self.emit(query, tuple),
         }
@@ -438,17 +536,27 @@ impl Simulator {
         self.busy_time += cost;
     }
 
-    /// Charge an operator execution, applying the configured cost jitter as
-    /// a deterministic function of `(tuple, salt, seed)` — identical across
-    /// policies, so jittered runs stay comparable.
+    /// Charge an operator execution, applying (1) the configured persistent
+    /// cost misestimation — the fault-injection scenario where the
+    /// calibrated `C̄_x` the policies prioritize on is wrong at run time —
+    /// and (2) the per-execution cost jitter. Both factors are deterministic
+    /// functions of `(operator, seed)` resp. `(tuple, operator, seed)` —
+    /// identical across policies, so faulted runs stay comparable.
     fn charge_op(&mut self, cost: Nanos, tuple: TupleId, salt: u64) {
-        let cost = if self.cfg.cost_jitter > 0.0 {
+        let mut cost = cost;
+        let m = self.cfg.faults.cost_miscalibration;
+        if m > 0.0 {
+            // Persistent per-operator factor: same salt → same factor for
+            // every execution of the operator, so this models a stale
+            // calibration rather than noise.
+            let u = det::unit_f64(det::mix3(salt, 0xFA17_C057, self.cfg.faults.seed));
+            cost = cost.scale(1.0 + m * (2.0 * u - 1.0)).max(Nanos(1));
+        }
+        if self.cfg.cost_jitter > 0.0 {
             let u = det::unit_f64(det::mix3(tuple.raw(), salt, self.cfg.seed ^ 0x1177));
             let factor = 1.0 + self.cfg.cost_jitter * (2.0 * u - 1.0);
-            cost.scale(factor).max(Nanos(1))
-        } else {
-            cost
-        };
+            cost = cost.scale(factor).max(Nanos(1));
+        }
         self.charge(cost);
     }
 

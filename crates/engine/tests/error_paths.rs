@@ -1,11 +1,14 @@
 //! Configuration-error paths: the engine must reject unusable setups with
-//! actionable messages rather than misbehave.
+//! actionable messages rather than misbehave — and runtime contract
+//! violations (queue misuse, broken policies) must come back as typed
+//! [`EngineError`]s, never panics.
 
-use hcq_common::{Nanos, StreamId};
-use hcq_core::PolicyKind;
-use hcq_engine::{simulate, SimConfig};
+use hcq_common::{EngineError, HcqError, Nanos, StreamId, TupleId};
+use hcq_core::{Policy, PolicyKind, QueueView, Selection, UnitId, UnitStatics};
+use hcq_engine::queues::UnitQueues;
+use hcq_engine::{simulate, AdmissionMode, SimConfig, SimTuple};
 use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
-use hcq_streams::PoissonSource;
+use hcq_streams::{PoissonSource, TraceReplay};
 
 fn ms(n: u64) -> Nanos {
     Nanos::from_millis(n)
@@ -122,4 +125,137 @@ fn zero_arrival_budget_is_a_clean_noop() {
     assert_eq!(r.emitted, 0);
     assert_eq!(r.sched_points, 0);
     assert_eq!(r.end_time, Nanos::ZERO);
+}
+
+fn base_tuple(id: u64) -> SimTuple {
+    SimTuple {
+        id: TupleId::new(id),
+        arrival: Nanos::ZERO,
+        ts: Nanos::ZERO,
+        key: 1,
+        ideal_depart: ms(1),
+    }
+}
+
+fn tiny_plan() -> GlobalPlan {
+    let mut plan = GlobalPlan::default();
+    plan.add_query(
+        QueryBuilder::on(StreamId::new(0))
+            .map(ms(2), 1.0)
+            .build()
+            .unwrap(),
+    );
+    plan
+}
+
+#[test]
+fn popping_an_empty_queue_is_a_typed_error() {
+    let mut q = UnitQueues::new(3);
+    q.push(1, base_tuple(0));
+    assert_eq!(q.pop(0), Err(EngineError::EmptyQueuePop { unit: 0 }));
+    assert!(q.pop(1).is_ok());
+    assert_eq!(q.pop(1), Err(EngineError::EmptyQueuePop { unit: 1 }));
+}
+
+#[test]
+fn popping_an_unknown_unit_is_a_typed_error() {
+    let mut q = UnitQueues::new(2);
+    assert_eq!(
+        q.pop(9),
+        Err(EngineError::UnknownUnit {
+            unit: 9,
+            unit_count: 2
+        })
+    );
+}
+
+/// A policy that answers "nothing to run" despite pending work.
+struct SilentPolicy;
+
+impl Policy for SilentPolicy {
+    fn name(&self) -> &'static str {
+        "silent"
+    }
+    fn on_register(&mut self, _units: &[UnitStatics]) {}
+    fn on_enqueue(&mut self, _unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {}
+    fn select(&mut self, _queues: &dyn QueueView, _now: Nanos) -> Option<Selection> {
+        None
+    }
+}
+
+#[test]
+fn policy_returning_no_selection_surfaces_as_engine_error() {
+    let arrivals = vec![ms(1), ms(2)];
+    let err = simulate(
+        &tiny_plan(),
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        Box::new(SilentPolicy),
+        SimConfig::new(2),
+    )
+    .unwrap_err();
+    match err {
+        HcqError::Engine(EngineError::NoSelection { pending }) => assert!(pending > 0),
+        other => panic!("expected NoSelection, got {other}"),
+    }
+}
+
+/// A policy that dequeues the same unit twice per decision, hitting an
+/// empty queue on the second pop (contract violation).
+struct DoubleSelectPolicy;
+
+impl Policy for DoubleSelectPolicy {
+    fn name(&self) -> &'static str {
+        "double-select"
+    }
+    fn on_register(&mut self, _units: &[UnitStatics]) {}
+    fn on_enqueue(&mut self, _unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {}
+    fn select(&mut self, queues: &dyn QueueView, _now: Nanos) -> Option<Selection> {
+        let unit = queues.nonempty()[0];
+        let mut sel = Selection::one(unit, 0);
+        sel.units.push(unit);
+        Some(sel)
+    }
+}
+
+#[test]
+fn selecting_an_empty_queue_surfaces_as_engine_error() {
+    // One pending tuple, but the policy schedules its unit twice.
+    let err = simulate(
+        &tiny_plan(),
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(vec![ms(1)]).unwrap())],
+        Box::new(DoubleSelectPolicy),
+        SimConfig::new(1),
+    )
+    .unwrap_err();
+    match err {
+        HcqError::Engine(EngineError::EmptyQueuePop { unit }) => assert_eq!(unit, 0),
+        other => panic!("expected EmptyQueuePop, got {other}"),
+    }
+}
+
+#[test]
+fn bounded_admission_requires_positive_capacity() {
+    for mode in [AdmissionMode::DropTail, AdmissionMode::QosShed] {
+        let err = simulate(
+            &tiny_plan(),
+            &StreamRates::none(),
+            vec![Box::new(PoissonSource::new(ms(1), 0))],
+            PolicyKind::Fcfs.build(),
+            SimConfig::new(2).with_admission(mode, 0),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, HcqError::InvalidConfig(_)),
+            "expected InvalidConfig for {mode:?}, got {err}"
+        );
+    }
+}
+
+#[test]
+fn engine_errors_convert_into_hcq_error() {
+    let e: HcqError = EngineError::EmptyQueuePop { unit: 4 }.into();
+    assert!(e.to_string().contains("unit 4"), "{e}");
+    assert!(std::error::Error::source(&e).is_some());
 }

@@ -4,7 +4,7 @@
 
 use hcq_common::{Nanos, StreamId};
 use hcq_core::PolicyKind;
-use hcq_engine::{simulate, SimConfig, SimReport};
+use hcq_engine::{simulate, AdmissionMode, SimConfig, SimReport};
 use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
 use hcq_streams::TraceReplay;
 use proptest::prelude::*;
@@ -140,5 +140,153 @@ proptest! {
         prop_assert_eq!(q.emitted, o.emitted);
         prop_assert_eq!(q.dropped, o.dropped);
         prop_assert_eq!(q.busy_time, o.busy_time);
+    }
+}
+
+/// Like [`run`] but with admission control configured.
+fn run_overload(
+    chains: &[Vec<(u64, f64)>],
+    gaps: &[u64],
+    kind: PolicyKind,
+    seed: u64,
+    mode: AdmissionMode,
+    capacity: usize,
+    watermark: usize,
+) -> SimReport {
+    let plan = build_plan(chains);
+    let mut t = Nanos::ZERO;
+    let arrivals: Vec<Nanos> = gaps
+        .iter()
+        .map(|&g| {
+            t += Nanos::from_millis(g);
+            t
+        })
+        .collect();
+    let n = arrivals.len() as u64;
+    simulate(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        kind.build(),
+        SimConfig::new(n)
+            .with_seed(seed)
+            .with_admission(mode, capacity)
+            .with_watermark(watermark),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tuple conservation under every policy × admission mode: every
+    /// per-query work unit ends the run as exactly one of emitted, dropped
+    /// (by a filter), shed (by the overload manager), or still pending.
+    #[test]
+    fn conservation_under_admission_control(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        seed in 0u64..1000,
+        capacity in 1usize..4,
+    ) {
+        let work = gaps.len() as u64 * chains.len() as u64;
+        for kind in PolicyKind::ALL {
+            for (mode, watermark) in [
+                (AdmissionMode::Unbounded, 0usize),
+                (AdmissionMode::DropTail, 0),
+                (AdmissionMode::QosShed, 0),
+                (AdmissionMode::QosShed, 4),
+            ] {
+                let r = run_overload(&chains, &gaps, kind, seed, mode, capacity, watermark);
+                prop_assert_eq!(
+                    r.emitted + r.dropped + r.shed + r.pending_end as u64,
+                    work,
+                    "conservation violated: {} under {:?}/cap={}/wm={}",
+                    kind.name(), mode, capacity, watermark
+                );
+                if mode == AdmissionMode::Unbounded {
+                    prop_assert_eq!(r.shed, 0);
+                }
+            }
+        }
+    }
+
+    /// A watermark the backlog can never reach means QoS shedding never
+    /// arms: zero shed and outcomes identical to unbounded queues.
+    #[test]
+    fn qos_shedding_never_fires_below_watermark(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let watermark = gaps.len() * chains.len() + 1;
+        let baseline = run(&chains, &gaps, PolicyKind::Hnr, seed);
+        let r = run_overload(
+            &chains, &gaps, PolicyKind::Hnr, seed,
+            AdmissionMode::QosShed, 1, watermark,
+        );
+        prop_assert!(r.peak_pending < watermark);
+        prop_assert_eq!(r.shed, 0);
+        prop_assert_eq!(r.emitted, baseline.emitted);
+        prop_assert_eq!(r.dropped, baseline.dropped);
+        prop_assert_eq!(r.qos, baseline.qos);
+    }
+
+    /// Shedding decisions are a pure function of (workload, seed, config):
+    /// reruns agree on every overload counter.
+    #[test]
+    fn shedding_is_deterministic(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        seed in 0u64..1000,
+    ) {
+        for mode in [AdmissionMode::DropTail, AdmissionMode::QosShed] {
+            let a = run_overload(&chains, &gaps, PolicyKind::Bsd, seed, mode, 2, 3);
+            let b = run_overload(&chains, &gaps, PolicyKind::Bsd, seed, mode, 2, 3);
+            prop_assert_eq!(a.shed, b.shed);
+            prop_assert_eq!(a.emitted, b.emitted);
+            prop_assert_eq!(a.overload_time, b.overload_time);
+            prop_assert_eq!(a.qos, b.qos);
+        }
+    }
+
+    /// Cost miscalibration perturbs every operator identically for every
+    /// policy (the fault is a property of the workload, not the scheduler),
+    /// so outcomes and busy time stay policy-independent under faults.
+    #[test]
+    fn miscalibration_is_policy_independent(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let plan = build_plan(&chains);
+        let mut t = Nanos::ZERO;
+        let arrivals: Vec<Nanos> = gaps
+            .iter()
+            .map(|&g| {
+                t += Nanos::from_millis(g);
+                t
+            })
+            .collect();
+        let n = arrivals.len() as u64;
+        let mk = |kind: PolicyKind| {
+            simulate(
+                &plan,
+                &StreamRates::none(),
+                vec![Box::new(TraceReplay::from_arrivals(arrivals.clone()).unwrap())],
+                kind.build(),
+                SimConfig::new(n)
+                    .with_seed(seed)
+                    .with_cost_miscalibration(0.5, seed ^ 0xFA17),
+            )
+            .unwrap()
+        };
+        let reference = mk(PolicyKind::Fcfs);
+        for kind in PolicyKind::ALL {
+            let r = mk(kind);
+            prop_assert_eq!(r.emitted, reference.emitted, "{}", kind.name());
+            prop_assert_eq!(r.dropped, reference.dropped, "{}", kind.name());
+            prop_assert_eq!(r.busy_time, reference.busy_time, "{}", kind.name());
+        }
     }
 }

@@ -25,6 +25,7 @@ use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use hcq_bench::pipeline;
+use hcq_common::{HcqError, Result};
 use hcq_core::PolicyKind;
 
 use crate::harness::{default_jobs, ExpConfig, SweepResults};
@@ -168,6 +169,107 @@ fn next_snapshot_path(dir: &Path) -> PathBuf {
     unreachable!("some index is always free");
 }
 
+/// The most recent existing `BENCH_<n>.json` in `dir`, if any.
+fn latest_snapshot_path(dir: &Path) -> Option<PathBuf> {
+    let mut latest = None;
+    for n in 1.. {
+        let candidate = dir.join(format!("BENCH_{n}.json"));
+        if !candidate.exists() {
+            return latest;
+        }
+        latest = Some(candidate);
+    }
+    unreachable!("some index is always free");
+}
+
+/// Extract `(policy, sim_tuples_per_s)` pairs from a snapshot's
+/// `reference_workload.policies` lines (the exact shape [`render_json`]
+/// writes — one policy object per line).
+fn parse_policy_rates(contents: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in contents.lines() {
+        let Some(p) = line.find("\"policy\": \"") else {
+            continue;
+        };
+        let rest = &line[p + 11..];
+        let Some(p_end) = rest.find('"') else {
+            continue;
+        };
+        let policy = rest[..p_end].to_string();
+        let Some(r) = line.find("\"sim_tuples_per_s\": ") else {
+            continue;
+        };
+        let rest = &line[r + 20..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        if let Ok(rate) = rest[..end].trim().parse::<f64>() {
+            out.push((policy, rate));
+        }
+    }
+    out
+}
+
+/// Band of per-policy throughput ratios (new/old) considered measurement
+/// noise between snapshots on the same host.
+const NOISE_BAND: (f64, f64) = (0.6, 1.67);
+/// Below this ratio the run is treated as a real regression, not noise.
+const REGRESSION_FLOOR: f64 = 0.25;
+
+/// Compare this run's steady-state per-policy throughput against the latest
+/// existing snapshot. Ratios outside [`NOISE_BAND`] are called out; a drop
+/// below [`REGRESSION_FLOOR`] aborts the run so a gross slowdown cannot
+/// silently enter the trajectory.
+fn check_against_previous(dir: &Path, timings: &[PolicyTiming]) -> Result<()> {
+    let Some(prev_path) = latest_snapshot_path(dir) else {
+        return Ok(());
+    };
+    let contents = std::fs::read_to_string(&prev_path).map_err(|e| {
+        HcqError::Io(std::io::Error::new(
+            e.kind(),
+            format!("reading previous snapshot {}: {e}", prev_path.display()),
+        ))
+    })?;
+    let prev = parse_policy_rates(&contents);
+    if prev.is_empty() {
+        println!(
+            "  (no per-policy rates found in {}; skipping comparison)",
+            prev_path.display()
+        );
+        return Ok(());
+    }
+    println!(
+        "== bench: vs {} ==",
+        prev_path.file_name().unwrap_or_default().to_string_lossy()
+    );
+    for t in timings {
+        let Some((_, old_rate)) = prev.iter().find(|(p, _)| p == t.policy) else {
+            continue;
+        };
+        let new_rate = pipeline::ARRIVALS as f64 / t.wall_s;
+        let ratio = new_rate / old_rate;
+        let note = if ratio < NOISE_BAND.0 || ratio > NOISE_BAND.1 {
+            "  <- outside noise band"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>5}: {old_rate:.0} -> {new_rate:.0} tuples/s ({ratio:.2}x){note}",
+            t.policy
+        );
+        assert!(
+            ratio >= REGRESSION_FLOOR,
+            "gross throughput regression for {}: {:.0} -> {:.0} simulated tuples/s \
+             ({:.2}x, floor {}x) vs {}",
+            t.policy,
+            old_rate,
+            new_rate,
+            ratio,
+            REGRESSION_FLOOR,
+            prev_path.display()
+        );
+    }
+    Ok(())
+}
+
 fn render_json(
     cfg: &ExpConfig,
     timings: &[PolicyTiming],
@@ -241,8 +343,10 @@ fn render_json(
 }
 
 /// Run the baseline benchmark and write the next `BENCH_<n>.json` snapshot
-/// at the repository root. Returns the path written.
-pub fn bench(cfg: &ExpConfig) -> PathBuf {
+/// at the repository root. Returns the path written. When a previous
+/// snapshot exists, this run's per-policy throughput is compared against it
+/// first (see [`check_against_previous`]).
+pub fn bench(cfg: &ExpConfig) -> Result<PathBuf> {
     println!(
         "== bench: reference workload ({} policies) ==",
         pipeline::POLICIES.len()
@@ -265,10 +369,17 @@ pub fn bench(cfg: &ExpConfig) -> PathBuf {
         parallel_s,
         serial_s / parallel_s.max(1e-9)
     );
+    let root = repo_root();
+    check_against_previous(&root, &timings)?;
     let json = render_json(cfg, &timings, &sweep_cfg, serial_s, parallel_s, par_jobs);
-    let path = next_snapshot_path(&repo_root());
-    std::fs::write(&path, json).expect("write bench snapshot");
-    path
+    let path = next_snapshot_path(&root);
+    std::fs::write(&path, json).map_err(|e| {
+        HcqError::Io(std::io::Error::new(
+            e.kind(),
+            format!("writing bench snapshot {}: {e}", path.display()),
+        ))
+    })?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -315,6 +426,36 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(dir.join("BENCH_1.json"), "{}").unwrap();
         assert!(next_snapshot_path(&dir).ends_with("BENCH_2.json"));
+        assert!(latest_snapshot_path(&dir)
+            .unwrap()
+            .ends_with("BENCH_1.json"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn latest_snapshot_absent_when_none_written() {
+        let dir = std::env::temp_dir().join("hcq_bench_empty");
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(latest_snapshot_path(&dir).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn policy_rates_round_trip_through_snapshot_json() {
+        let timings = vec![PolicyTiming {
+            policy: "HNR",
+            wall_s: 0.05,
+            min_ns: 50_000_000,
+            mean_ns: 50_000_000,
+            emitted: 480,
+        }];
+        let cfg = ExpConfig::default();
+        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4);
+        let rates = parse_policy_rates(&json);
+        assert_eq!(rates.len(), 1);
+        assert_eq!(rates[0].0, "HNR");
+        let expected = pipeline::ARRIVALS as f64 / 0.05;
+        assert!((rates[0].1 - expected).abs() / expected < 1e-3);
+        assert!(parse_policy_rates("{}").is_empty());
     }
 }

@@ -3,7 +3,7 @@
 //! ```text
 //! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N]
 //!
-//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate bench all
+//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults validate bench all
 //! (fig5..fig11 share one sweep; requesting any of them runs the sweep once)
 //! ```
 //!
@@ -16,8 +16,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hcq_repro::{
-    bench, ext_lp, ext_memory, ext_preemption, ext_seeds, fig11, fig12, fig13, fig14, fig5_to_10,
-    table1, table2, table3, validate, ExpConfig,
+    bench, ext_faults, ext_lp, ext_memory, ext_overload, ext_preemption, ext_seeds, fig11, fig12,
+    fig13, fig14, fig5_to_10, table1, table2, table3, validate, ExpConfig,
 };
 
 fn main() -> ExitCode {
@@ -62,6 +62,8 @@ fn main() -> ExitCode {
             "ext_lp".into(),
             "ext_preemption".into(),
             "ext_seeds".into(),
+            "ext_overload".into(),
+            "ext_faults".into(),
         ];
     }
     // fig5..fig11 are slices of one sweep; dedupe to a single run.
@@ -112,6 +114,12 @@ fn main() -> ExitCode {
             "ext_seeds" => {
                 ext_seeds(&cfg);
             }
+            "ext_overload" => {
+                ext_overload(&cfg);
+            }
+            "ext_faults" => {
+                ext_faults(&cfg);
+            }
             "table3" => {
                 table3(&cfg);
             }
@@ -121,10 +129,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            "bench" => {
-                let path = bench(&cfg);
-                println!("benchmark baseline written to {}", path.display());
-            }
+            "bench" => match bench(&cfg) {
+                Ok(path) => println!("benchmark baseline written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("bench failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             other => {
                 eprintln!("unknown exhibit {other}");
                 print_usage();
@@ -153,7 +164,7 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 fn print_usage() {
     eprintln!(
         "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds validate bench all\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults validate bench all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)"
     );
 }

@@ -10,9 +10,9 @@ use std::sync::atomic::AtomicUsize;
 
 use hcq_common::{det, Nanos, StreamId};
 use hcq_core::{ClusterConfig, ClusteredBsdPolicy, Clustering, PolicyKind, SharingStrategy};
-use hcq_engine::{simulate, SimConfig, SimReport};
+use hcq_engine::{simulate, AdmissionMode, SimConfig, SimReport};
 use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
-use hcq_streams::{PoissonSource, TraceReplay};
+use hcq_streams::{FaultSpec, FaultySource, PoissonSource, TraceReplay};
 use hcq_workload::{multi_stream, shared, MultiStreamConfig, SharedConfig};
 
 use crate::harness::{run_jobs, tick_progress, ExpConfig, SweepResults};
@@ -770,6 +770,204 @@ pub fn table3(cfg: &ExpConfig) -> ExhibitOutput {
     }
     ExhibitOutput {
         name: "table3",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// --------------------------------------------- Extension: overload management
+
+/// True when every per-query work unit is accounted for: each source arrival
+/// fans out to one unit per registered query, and each such unit must end the
+/// run as exactly one of emitted, dropped, shed, or still pending.
+fn conserved(r: &SimReport, queries: usize) -> bool {
+    r.emitted + r.dropped + r.shed + r.pending_end as u64 == r.arrivals * queries as u64
+}
+
+/// Per-unit queue bound used by the overload exhibits. Small enough that
+/// past-saturation runs at the default scale actually hit it, large enough
+/// that sub-saturation runs rarely do.
+const OVERLOAD_CAPACITY: usize = 32;
+
+/// The QoS-shedding watermark for an experiment scale: total pending load
+/// (across all queues) of four tuples per registered query.
+fn overload_watermark(cfg: &ExpConfig) -> usize {
+    cfg.queries * 4
+}
+
+/// Extension exhibit: overload management. Sweeps utilization from below to
+/// well past saturation under the bursty ON/OFF source and compares the
+/// three admission modes: `unbounded` (the paper's setting — backlog and
+/// slowdown grow without bound past ρ = 1), `droptail` (hard per-queue bound,
+/// arrivals discarded blindly), and `qos-shed` (bounded queues plus
+/// shedding the tuple with the lowest static `S/(C̄·T)` contribution once
+/// total pending load passes the watermark). The `conserved` column checks
+/// tuple conservation per cell and is asserted by the CI smoke job.
+pub fn ext_overload(cfg: &ExpConfig) -> ExhibitOutput {
+    const UTILS: [f64; 4] = [0.9, 1.1, 1.3, 1.5];
+    let modes: [(&'static str, AdmissionMode); 3] = [
+        ("unbounded", AdmissionMode::Unbounded),
+        ("droptail", AdmissionMode::DropTail),
+        ("qos-shed", AdmissionMode::QosShed),
+    ];
+    let policies = [
+        PolicyKind::Fcfs,
+        PolicyKind::Hnr,
+        PolicyKind::Lsf,
+        PolicyKind::Bsd,
+    ];
+    let watermark = overload_watermark(cfg);
+    let mut cells: Vec<(f64, usize, PolicyKind)> = Vec::new();
+    for &u in &UTILS {
+        for m in 0..modes.len() {
+            for &p in &policies {
+                cells.push((u, m, p));
+            }
+        }
+    }
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (util, mode_idx, kind) = cells[i];
+        let r = cfg.run_single_with(util, kind.build(), |c| match modes[mode_idx].1 {
+            AdmissionMode::Unbounded => c,
+            AdmissionMode::DropTail => c.with_admission(AdmissionMode::DropTail, OVERLOAD_CAPACITY),
+            AdmissionMode::QosShed => c
+                .with_admission(AdmissionMode::QosShed, OVERLOAD_CAPACITY)
+                .with_watermark(watermark),
+        });
+        print_tick(&done, cells.len(), "ext_overload");
+        r
+    });
+    let mut t = AsciiTable::new(vec![
+        "utilization",
+        "mode",
+        "policy",
+        "avg_slowdown",
+        "shed_fraction",
+        "peak_pending",
+        "pending_end",
+        "overload_share",
+        "conserved",
+    ]);
+    for ((util, mode_idx, kind), r) in cells.iter().zip(&reports) {
+        t.row(vec![
+            format!("{util:.2}"),
+            modes[*mode_idx].0.to_string(),
+            kind.name().to_string(),
+            fnum(r.qos.avg_slowdown),
+            fnum(r.shed_fraction()),
+            r.peak_pending.to_string(),
+            r.pending_end.to_string(),
+            fnum(r.overload_share()),
+            if conserved(r, cfg.queries) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+    ExhibitOutput {
+        name: "ext_overload",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// ------------------------------------------------ Extension: fault injection
+
+/// Extension exhibit: robustness under injected faults. Each scenario runs
+/// the single-stream workload at 0.9 utilization with QoS-aware shedding
+/// armed, and perturbs it one way: `burst` and `stall` inject seeded source
+/// faults ([`FaultySource`]); `miscost` runs every operator at a persistent,
+/// seeded multiple of its calibrated cost (actual cost ≠ C̄ₓ), so the
+/// policies schedule on misestimates. Conservation must hold in every cell
+/// and nothing may panic — overload is absorbed by shedding instead.
+pub fn ext_faults(cfg: &ExpConfig) -> ExhibitOutput {
+    #[derive(Clone, Copy)]
+    enum Scenario {
+        Baseline,
+        Burst,
+        Stall,
+        Miscost,
+    }
+    let util = 0.9;
+    let scenarios: [(&'static str, Scenario); 4] = [
+        ("baseline", Scenario::Baseline),
+        ("burst", Scenario::Burst),
+        ("stall", Scenario::Stall),
+        ("miscost", Scenario::Miscost),
+    ];
+    let policies = [PolicyKind::Fcfs, PolicyKind::Hnr, PolicyKind::Bsd];
+    let watermark = overload_watermark(cfg);
+    let cells: Vec<(usize, PolicyKind)> = (0..scenarios.len())
+        .flat_map(|s| policies.iter().map(move |&p| (s, p)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (scenario_idx, kind) = cells[i];
+        let scenario = scenarios[scenario_idx].1;
+        let w = cfg.workload(util);
+        let mut sim_cfg = SimConfig::new(cfg.arrivals)
+            .with_seed(cfg.seed)
+            .with_admission(AdmissionMode::QosShed, OVERLOAD_CAPACITY)
+            .with_watermark(watermark);
+        if let Scenario::Miscost = scenario {
+            sim_cfg = sim_cfg.with_cost_miscalibration(0.3, cfg.seed ^ 0xFA);
+        }
+        let source: Box<dyn hcq_streams::ArrivalSource> = match scenario {
+            // A 5% chance per arrival of a 12-tuple volley inside one mean
+            // gap: instantaneous load far past the calibrated utilization.
+            Scenario::Burst => Box::new(FaultySource::new(
+                cfg.source(0),
+                FaultSpec::bursts(0.05, 12, cfg.mean_gap, cfg.seed ^ 0xB0),
+            )),
+            // A 1% chance per arrival that the source lags by 50 mean gaps.
+            Scenario::Stall => Box::new(FaultySource::new(
+                cfg.source(0),
+                FaultSpec::stalls(0.01, cfg.mean_gap.scale(50.0), cfg.seed ^ 0x57),
+            )),
+            _ => cfg.source(0),
+        };
+        let r =
+            simulate(&w.plan, &w.rates, vec![source], kind.build(), sim_cfg).unwrap_or_else(|e| {
+                panic!(
+                    "simulating fault scenario '{}' (seed={}): {e}",
+                    scenarios[scenario_idx].0, cfg.seed
+                )
+            });
+        print_tick(&done, cells.len(), "ext_faults");
+        r
+    });
+    let mut t = AsciiTable::new(vec![
+        "scenario",
+        "policy",
+        "avg_slowdown",
+        "max_slowdown",
+        "shed_fraction",
+        "peak_pending",
+        "overload_share",
+        "conserved",
+    ]);
+    for ((scenario_idx, kind), r) in cells.iter().zip(&reports) {
+        t.row(vec![
+            scenarios[*scenario_idx].0.to_string(),
+            kind.name().to_string(),
+            fnum(r.qos.avg_slowdown),
+            fnum(r.qos.max_slowdown),
+            fnum(r.shed_fraction()),
+            r.peak_pending.to_string(),
+            fnum(r.overload_share()),
+            if conserved(r, cfg.queries) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+    ExhibitOutput {
+        name: "ext_faults",
         table: t,
     }
     .emit(cfg)

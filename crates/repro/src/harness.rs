@@ -142,7 +142,12 @@ impl ExpConfig {
             mean_gap: self.mean_gap,
             seed: self.seed,
         })
-        .expect("valid workload config")
+        .unwrap_or_else(|e| {
+            panic!(
+                "building single-stream workload (queries={}, utilization={:.2}, seed={}): {e}",
+                self.queries, utilization, self.seed
+            )
+        })
     }
 
     /// Run one policy on the single-stream workload at one utilization.
@@ -160,8 +165,12 @@ impl ExpConfig {
     ) -> SimReport {
         let w = self.workload(utilization);
         let cfg = tweak(SimConfig::new(self.arrivals).with_seed(self.seed));
-        simulate(&w.plan, &w.rates, vec![self.source(0)], policy, cfg)
-            .expect("simulation config is valid")
+        simulate(&w.plan, &w.rates, vec![self.source(0)], policy, cfg).unwrap_or_else(|e| {
+            panic!(
+                "simulating single-stream workload (utilization={:.2}, arrivals={}, seed={}): {e}",
+                utilization, self.arrivals, self.seed
+            )
+        })
     }
 }
 

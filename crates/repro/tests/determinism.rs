@@ -6,7 +6,7 @@
 //! tentpole guarantee at a miniature scale.
 
 use hcq_common::Nanos;
-use hcq_repro::{ext_seeds, fig12, fig5_to_10, ExpConfig};
+use hcq_repro::{ext_faults, ext_overload, ext_seeds, fig12, fig5_to_10, ExpConfig};
 
 fn cfg(jobs: usize, tag: &str) -> ExpConfig {
     ExpConfig {
@@ -55,6 +55,26 @@ fn multi_axis_exhibits_are_byte_identical_across_job_counts() {
     ext_seeds(&serial);
     fig12(&parallel);
     ext_seeds(&parallel);
+    assert_dirs_identical(&serial, &parallel);
+    std::fs::remove_dir_all(&serial.out_dir).ok();
+    std::fs::remove_dir_all(&parallel.out_dir).ok();
+}
+
+/// The overload and fault exhibits cover shedding and fault injection: both
+/// must stay deterministic under parallel cell execution (the fault draws
+/// and shedding decisions are pure functions of each cell's configuration,
+/// never of worker scheduling). Uses the bursty ON/OFF source like the real
+/// exhibit defaults.
+#[test]
+fn overload_and_fault_exhibits_are_byte_identical_across_job_counts() {
+    let mut serial = cfg(1, "overload_serial");
+    let mut parallel = cfg(4, "overload_parallel");
+    serial.bursty = true;
+    parallel.bursty = true;
+    ext_overload(&serial);
+    ext_faults(&serial);
+    ext_overload(&parallel);
+    ext_faults(&parallel);
     assert_dirs_identical(&serial, &parallel);
     std::fs::remove_dir_all(&serial.out_dir).ok();
     std::fs::remove_dir_all(&parallel.out_dir).ok();

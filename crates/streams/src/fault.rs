@@ -1,0 +1,261 @@
+//! Deterministic source-side fault injection.
+//!
+//! [`FaultySource`] wraps any [`ArrivalSource`] and perturbs its arrival
+//! sequence with two failure modes real feeds exhibit:
+//!
+//! * **Bursts** — with probability `burst_prob` per base arrival, a volley
+//!   of `burst_len` extra arrivals lands spread over `burst_spread` after
+//!   it (a sensor retransmitting, an upstream buffer flushing). Bursts push
+//!   instantaneous load beyond whatever utilization the workload was
+//!   calibrated to, which is exactly what the overload manager is for.
+//! * **Stalls** — with probability `stall_prob` per base arrival, the
+//!   source goes quiet and every *subsequent* base arrival is delayed by
+//!   `stall_len` (a lagging upstream, a network partition healing). Stalls
+//!   starve, then dump accumulated work when the base process resumes.
+//!
+//! Every decision is a pure function of `(arrival ordinal, spec.seed)`, so
+//! a fault scenario is exactly reproducible and independent of scheduling,
+//! job count, or host. The output remains non-decreasing by construction.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use hcq_common::{det, Nanos};
+
+use crate::source::ArrivalSource;
+
+/// A seeded fault scenario. The all-zero default (see [`FaultSpec::none`])
+/// is a passthrough: the wrapped source's arrivals are emitted unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Per-base-arrival probability of triggering a burst.
+    pub burst_prob: f64,
+    /// Extra arrivals injected per burst.
+    pub burst_len: u32,
+    /// Span after the triggering arrival over which the extras spread.
+    pub burst_spread: Nanos,
+    /// Per-base-arrival probability of the source stalling.
+    pub stall_prob: f64,
+    /// Delay added to all subsequent base arrivals per stall.
+    pub stall_len: Nanos,
+    /// Seed for the fault draws (independent of the source's own seed).
+    pub seed: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none(0)
+    }
+}
+
+impl FaultSpec {
+    /// No faults: the wrapper is a passthrough.
+    pub fn none(seed: u64) -> Self {
+        FaultSpec {
+            burst_prob: 0.0,
+            burst_len: 0,
+            burst_spread: Nanos::ZERO,
+            stall_prob: 0.0,
+            stall_len: Nanos::ZERO,
+            seed,
+        }
+    }
+
+    /// A bursts-only scenario.
+    pub fn bursts(prob: f64, len: u32, spread: Nanos, seed: u64) -> Self {
+        FaultSpec {
+            burst_prob: prob,
+            burst_len: len,
+            burst_spread: spread,
+            ..FaultSpec::none(seed)
+        }
+    }
+
+    /// A stalls-only scenario.
+    pub fn stalls(prob: f64, len: Nanos, seed: u64) -> Self {
+        FaultSpec {
+            stall_prob: prob,
+            stall_len: len,
+            ..FaultSpec::none(seed)
+        }
+    }
+}
+
+/// An [`ArrivalSource`] adapter injecting seeded bursts and stalls into the
+/// wrapped source's arrival sequence. See the module docs for semantics.
+#[derive(Debug)]
+pub struct FaultySource<S> {
+    inner: S,
+    spec: FaultSpec,
+    /// Base-arrival ordinal: the fault-draw key, so scenarios replay
+    /// identically regardless of how the output is consumed.
+    ordinal: u64,
+    /// Accumulated stall delay applied to base arrivals.
+    offset: Nanos,
+    /// Pending burst extras, min-merged with the base sequence.
+    extras: BinaryHeap<Reverse<Nanos>>,
+    /// The next (already shifted) base arrival, held back while earlier
+    /// extras drain.
+    lookahead: Option<Nanos>,
+    /// Last emitted instant, enforcing a non-decreasing output.
+    last: Nanos,
+}
+
+impl<S: ArrivalSource> FaultySource<S> {
+    /// Wrap `inner` with a fault scenario.
+    pub fn new(inner: S, spec: FaultSpec) -> Self {
+        FaultySource {
+            inner,
+            spec,
+            ordinal: 0,
+            offset: Nanos::ZERO,
+            extras: BinaryHeap::new(),
+            lookahead: None,
+            last: Nanos::ZERO,
+        }
+    }
+
+    /// Pull one base arrival into the lookahead slot, rolling its fault
+    /// coins (keyed by ordinal, so draws are consumption-order independent).
+    fn refill_lookahead(&mut self) {
+        if self.lookahead.is_some() {
+            return;
+        }
+        let Some(raw) = self.inner.next_arrival() else {
+            return;
+        };
+        let t = raw + self.offset;
+        let h = det::mix3(self.ordinal, 0x5A1F_FA17, self.spec.seed);
+        self.ordinal += 1;
+        if self.spec.burst_len > 0 && det::coin(det::mix2(h, 1), self.spec.burst_prob) {
+            let n = self.spec.burst_len;
+            for i in 1..=n {
+                let dt = self.spec.burst_spread.scale(f64::from(i) / f64::from(n));
+                self.extras.push(Reverse(t + dt));
+            }
+        }
+        if det::coin(det::mix2(h, 2), self.spec.stall_prob) {
+            // The stall delays everything after the triggering arrival.
+            self.offset += self.spec.stall_len;
+        }
+        self.lookahead = Some(t);
+    }
+}
+
+impl<S: ArrivalSource> ArrivalSource for FaultySource<S> {
+    fn next_arrival(&mut self) -> Option<Nanos> {
+        self.refill_lookahead();
+        let candidate = match (self.lookahead, self.extras.peek()) {
+            (Some(base), Some(&Reverse(extra))) if extra <= base => {
+                self.extras.pop();
+                extra
+            }
+            (Some(base), _) => {
+                self.lookahead = None;
+                base
+            }
+            (None, Some(_)) => {
+                let Reverse(extra) = self.extras.pop().expect("peeked entry");
+                extra
+            }
+            (None, None) => return None,
+        };
+        let out = candidate.max(self.last);
+        self.last = out;
+        Some(out)
+    }
+
+    /// The base source's hint. Bursts add arrivals and stalls stretch time,
+    /// so under faults this is the *nominal* (pre-fault) mean gap — which is
+    /// what utilization calibration should keep using.
+    fn mean_gap_hint(&self) -> Option<Nanos> {
+        self.inner.mean_gap_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::PoissonSource;
+    use crate::source::collect_arrivals;
+
+    fn base(seed: u64) -> PoissonSource {
+        PoissonSource::new(Nanos::from_millis(10), seed)
+    }
+
+    #[test]
+    fn zero_spec_is_a_passthrough() {
+        let plain = collect_arrivals(&mut base(7), 500);
+        let mut wrapped = FaultySource::new(base(7), FaultSpec::none(3));
+        assert_eq!(collect_arrivals(&mut wrapped, 500), plain);
+    }
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        let spec = FaultSpec {
+            burst_prob: 0.05,
+            burst_len: 8,
+            burst_spread: Nanos::from_millis(5),
+            stall_prob: 0.02,
+            stall_len: Nanos::from_millis(200),
+            seed: 11,
+        };
+        let mut a = FaultySource::new(base(7), spec);
+        let mut b = FaultySource::new(base(7), spec);
+        assert_eq!(
+            collect_arrivals(&mut a, 1000),
+            collect_arrivals(&mut b, 1000)
+        );
+    }
+
+    #[test]
+    fn output_is_non_decreasing() {
+        let spec = FaultSpec {
+            burst_prob: 0.2,
+            burst_len: 16,
+            burst_spread: Nanos::from_millis(50),
+            stall_prob: 0.1,
+            stall_len: Nanos::from_millis(500),
+            seed: 5,
+        };
+        let mut s = FaultySource::new(base(1), spec);
+        let arrivals = collect_arrivals(&mut s, 2000);
+        assert_eq!(arrivals.len(), 2000);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1], "{} > {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn bursts_densify_the_sequence() {
+        let spec = FaultSpec::bursts(0.1, 10, Nanos::from_millis(5), 9);
+        let plain = collect_arrivals(&mut base(7), 1000);
+        let mut wrapped = FaultySource::new(base(7), spec);
+        let faulted = collect_arrivals(&mut wrapped, 1000);
+        // Same count collected, but bursts pack them into less time.
+        assert!(
+            faulted[999] < plain[999],
+            "bursty sequence should finish earlier: {} vs {}",
+            faulted[999],
+            plain[999]
+        );
+    }
+
+    #[test]
+    fn stalls_stretch_the_sequence() {
+        let spec = FaultSpec::stalls(0.05, Nanos::from_millis(300), 9);
+        let plain = collect_arrivals(&mut base(7), 1000);
+        let mut wrapped = FaultySource::new(base(7), spec);
+        let faulted = collect_arrivals(&mut wrapped, 1000);
+        assert!(
+            faulted[999] > plain[999] + Nanos::from_millis(300),
+            "stalls should push the tail out"
+        );
+    }
+
+    #[test]
+    fn hint_passes_through() {
+        let s = FaultySource::new(base(0), FaultSpec::bursts(0.5, 4, Nanos::ZERO, 1));
+        assert_eq!(s.mean_gap_hint(), Some(Nanos::from_millis(10)));
+    }
+}

@@ -19,6 +19,9 @@
 //! * [`ArrivalStats`] — empirical inter-arrival statistics, used to measure
 //!   the mean inter-arrival time `τ` that calibrates utilization (§8
 //!   "Costs") and parameterizes the §5 window-join estimates.
+//! * [`FaultySource`] — a seeded fault-injection adapter layering arrival
+//!   bursts and source stalls over any other source, for overload and
+//!   robustness experiments.
 //!
 //! Every source implements [`ArrivalSource`], yielding a non-decreasing
 //! sequence of absolute virtual timestamps, and is deterministic given its
@@ -37,6 +40,7 @@
 //! assert!(b.index_of_dispersion(window) > 2.0 * s.index_of_dispersion(window));
 //! ```
 
+pub mod fault;
 pub mod onoff;
 pub mod poisson;
 pub mod scale;
@@ -44,6 +48,7 @@ pub mod source;
 pub mod stats;
 pub mod trace;
 
+pub use fault::{FaultSpec, FaultySource};
 pub use onoff::{OnOffConfig, OnOffSource};
 pub use poisson::{ConstantSource, PoissonSource};
 pub use scale::TimeScale;
