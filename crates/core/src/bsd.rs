@@ -11,7 +11,7 @@
 
 use hcq_common::{Nanos, TupleId};
 
-use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::UnitStatics;
 
 /// Naive BSD: full scan, exact priorities.
@@ -66,7 +66,19 @@ impl Policy for BsdPolicy {
                 best = Some((priority, unit));
             }
         }
-        best.map(|(_, unit)| Selection::one(unit, ops))
+        best.map(|(_, unit)| {
+            // The scan evaluates and compares one exact priority per ready
+            // unit: this O(q) profile is what `ext_overhead` measures against
+            // the clustered implementations.
+            let n = ops / 2;
+            let stats = SchedStats {
+                candidates_scanned: n,
+                priority_evals: n,
+                comparisons: n,
+                ..SchedStats::default()
+            };
+            Selection::one(unit, ops).with_stats(stats)
+        })
     }
 }
 

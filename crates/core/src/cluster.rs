@@ -23,7 +23,7 @@ use std::collections::{BTreeSet, VecDeque};
 use hcq_common::{Nanos, TupleId};
 
 use crate::fagin::fagin_top1;
-use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::UnitStatics;
 
 /// How the `Φ` domain is split into clusters.
@@ -98,6 +98,9 @@ pub struct ClusteredBsdPolicy {
     /// O(log m) maintenance. Only fronts live here, so a list-B walk never
     /// wades through a backlog.
     by_wait: BTreeSet<(Nanos, u32)>,
+    /// Cluster-queue maintenance (routing inserts, shed repairs) since the
+    /// last `select`, reported on the next decision's [`SchedStats`].
+    pending_cluster_ops: u64,
 }
 
 impl ClusteredBsdPolicy {
@@ -111,6 +114,7 @@ impl ClusteredBsdPolicy {
             by_pseudo: Vec::new(),
             queues: Vec::new(),
             by_wait: BTreeSet::new(),
+            pending_cluster_ops: 0,
         }
     }
 
@@ -245,12 +249,14 @@ impl Policy for ClusteredBsdPolicy {
         let q = &mut self.queues[c as usize];
         if q.is_empty() {
             self.by_wait.insert((arrival, c));
+            self.pending_cluster_ops += 1;
         }
         q.push_back(Entry {
             tuple,
             arrival,
             unit,
         });
+        self.pending_cluster_ops += 1;
     }
 
     fn on_shed(&mut self, unit: UnitId, tuple: TupleId) {
@@ -267,11 +273,14 @@ impl Policy for ClusteredBsdPolicy {
         if was_front {
             let removed = self.by_wait.remove(&(q[0].arrival, c));
             debug_assert!(removed, "front entry tracked in by_wait");
+            self.pending_cluster_ops += 1;
         }
         q.remove(i);
+        self.pending_cluster_ops += 1;
         if was_front {
             if let Some(front) = q.front() {
                 self.by_wait.insert((front.arrival, c));
+                self.pending_cluster_ops += 1;
             }
         }
     }
@@ -282,10 +291,32 @@ impl Policy for ClusteredBsdPolicy {
         } else {
             self.select_scan(now)?
         };
+        // Itemize the decision's work: the scan does one priority eval + one
+        // comparison per non-empty cluster (ops = 2·k); Fagin's `ops` counts
+        // sorted/random accesses, each of which reads one grade and updates
+        // the threshold test. Either way the candidate pool is clusters, not
+        // queries — that gap is the §6.2 saving `ext_overhead` plots.
+        let mut stats = if self.cfg.use_fagin {
+            SchedStats {
+                candidates_scanned: ops,
+                priority_evals: ops,
+                comparisons: ops,
+                ..SchedStats::default()
+            }
+        } else {
+            SchedStats {
+                candidates_scanned: ops / 2,
+                priority_evals: ops / 2,
+                comparisons: ops / 2,
+                ..SchedStats::default()
+            }
+        };
+        stats.cluster_ops = std::mem::take(&mut self.pending_cluster_ops);
         let q = &mut self.queues[cluster as usize];
         let head = *q.front().expect("selected cluster is non-empty");
         let removed = self.by_wait.remove(&(head.arrival, cluster));
         debug_assert!(removed, "front entry tracked in by_wait");
+        stats.heap_ops += 1;
         let mut units = crate::policy::SelectionUnits::new();
         if self.cfg.batch {
             // Clustered processing: every member query pending on the head
@@ -304,12 +335,14 @@ impl Policy for ClusteredBsdPolicy {
         }
         if let Some(front) = q.front() {
             self.by_wait.insert((front.arrival, cluster));
+            stats.heap_ops += 1;
         }
         debug_assert!(units.iter().all(|&u| queues.len(u) > 0));
         let _ = queues;
         Some(Selection {
             units,
             ops_counted: ops,
+            stats,
         })
     }
 }

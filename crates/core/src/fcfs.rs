@@ -10,13 +10,16 @@ use std::collections::VecDeque;
 
 use hcq_common::{Nanos, TupleId};
 
-use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::UnitStatics;
 
 /// FCFS over system arrival times.
 #[derive(Debug, Default)]
 pub struct FcfsPolicy {
     fifo: VecDeque<UnitId>,
+    /// Mirror maintenance (pushes, shed repairs) accumulated since the last
+    /// `select`, reported on the next decision's [`SchedStats`].
+    pending_heap_ops: u64,
 }
 
 impl FcfsPolicy {
@@ -35,6 +38,7 @@ impl Policy for FcfsPolicy {
 
     fn on_enqueue(&mut self, unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {
         self.fifo.push_back(unit);
+        self.pending_heap_ops += 1;
     }
 
     fn on_shed(&mut self, unit: UnitId, _tuple: TupleId) {
@@ -43,6 +47,7 @@ impl Policy for FcfsPolicy {
         // the unit's most recent (rearmost) mirror entry.
         if let Some(i) = self.fifo.iter().rposition(|&u| u == unit) {
             self.fifo.remove(i);
+            self.pending_heap_ops += 1;
         } else {
             debug_assert!(false, "shed from unit absent in FCFS mirror");
         }
@@ -51,7 +56,12 @@ impl Policy for FcfsPolicy {
     fn select(&mut self, queues: &dyn QueueView, _now: Nanos) -> Option<Selection> {
         let unit = self.fifo.pop_front()?;
         debug_assert!(queues.len(unit) > 0, "FCFS mirror out of sync");
-        Some(Selection::one(unit, 1))
+        let stats = SchedStats {
+            candidates_scanned: 1,
+            heap_ops: 1 + std::mem::take(&mut self.pending_heap_ops),
+            ..SchedStats::default()
+        };
+        Some(Selection::one(unit, 1).with_stats(stats))
     }
 }
 

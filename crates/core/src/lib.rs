@@ -61,7 +61,7 @@ pub use fcfs::FcfsPolicy;
 pub use lp::LpPolicy;
 pub use lsf::LsfPolicy;
 pub use pdt::{shared_priority, PdtSelection, SharingStrategy};
-pub use policy::{Policy, PolicyKind, QueueView, Selection, SelectionUnits, UnitId};
+pub use policy::{Policy, PolicyKind, QueueView, SchedStats, Selection, SelectionUnits, UnitId};
 pub use rr::RoundRobinPolicy;
 pub use statics::{StaticPolicy, StaticRank};
 pub use unit::{PriorityKey, UnitStatics};

@@ -24,7 +24,7 @@
 
 use hcq_common::{Nanos, TupleId};
 
-use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::UnitStatics;
 
 /// The generalized ℓp slowdown policy.
@@ -88,7 +88,16 @@ impl Policy for LpPolicy {
                 best = Some((priority, unit));
             }
         }
-        best.map(|(_, unit)| Selection::one(unit, ops))
+        best.map(|(_, unit)| {
+            let n = ops / 2;
+            let stats = SchedStats {
+                candidates_scanned: n,
+                priority_evals: n,
+                comparisons: n,
+                ..SchedStats::default()
+            };
+            Selection::one(unit, ops).with_stats(stats)
+        })
     }
 }
 

@@ -10,7 +10,7 @@
 
 use hcq_common::{Nanos, TupleId};
 
-use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::UnitStatics;
 
 /// LSF: run the unit whose head tuple has the largest current slowdown.
@@ -55,7 +55,16 @@ impl Policy for LsfPolicy {
                 best = Some((priority, unit));
             }
         }
-        best.map(|(_, unit)| Selection::one(unit, ops))
+        best.map(|(_, unit)| {
+            let n = ops / 2;
+            let stats = SchedStats {
+                candidates_scanned: n,
+                priority_evals: n,
+                comparisons: n,
+                ..SchedStats::default()
+            };
+            Selection::one(unit, ops).with_stats(stats)
+        })
     }
 }
 

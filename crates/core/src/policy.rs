@@ -29,6 +29,50 @@ pub trait QueueView {
     }
 }
 
+/// Itemized scheduler work behind one decision (§6 overhead accounting).
+///
+/// `Selection::ops_counted` is the *charged* aggregate that §9.2 converts to
+/// virtual time; this struct breaks the same work down by kind so the trace
+/// layer and the `ext_overhead` exhibit can compare implementations
+/// structurally (naive scan vs clustering vs Fagin) instead of by proxy QoS.
+/// Maintenance done between scheduling points (cluster inserts, heap pushes,
+/// shed repairs) is accumulated by the policy and reported on the *next*
+/// decision, so summing per-point stats over a run covers all policy work.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Ready units (or non-empty clusters / sorted-list positions) inspected.
+    pub candidates_scanned: u64,
+    /// Dynamic priority computations (`Φ·W`, `W/T`, Fagin grades, …).
+    pub priority_evals: u64,
+    /// Priority comparisons performed while picking the argmax.
+    pub comparisons: u64,
+    /// Cluster maintenance: member inserts, mirror repairs on shed (§6.2).
+    pub cluster_ops: u64,
+    /// Heap / ordered-index operations: pushes, pops, peeks, BTree edits.
+    pub heap_ops: u64,
+}
+
+impl SchedStats {
+    /// Sum of every counter — a structure-free "total work" scalar.
+    pub fn total(&self) -> u64 {
+        self.candidates_scanned
+            + self.priority_evals
+            + self.comparisons
+            + self.cluster_ops
+            + self.heap_ops
+    }
+}
+
+impl std::ops::AddAssign for SchedStats {
+    fn add_assign(&mut self, rhs: SchedStats) {
+        self.candidates_scanned += rhs.candidates_scanned;
+        self.priority_evals += rhs.priority_evals;
+        self.comparisons += rhs.comparisons;
+        self.cluster_ops += rhs.cluster_ops;
+        self.heap_ops += rhs.heap_ops;
+    }
+}
+
 /// A scheduling decision.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Selection {
@@ -40,6 +84,10 @@ pub struct Selection {
     /// charges `ops_counted × c_sched` of virtual time when overhead
     /// accounting is on (§9.2 sets `c_sched` to the cheapest operator cost).
     pub ops_counted: u64,
+    /// The same work itemized by kind for tracing/profiling. Never feeds
+    /// back into scheduling or overhead charging, so a policy that leaves it
+    /// at `SchedStats::default()` stays behaviorally identical.
+    pub stats: SchedStats,
 }
 
 impl Selection {
@@ -47,7 +95,17 @@ impl Selection {
     pub fn one(unit: UnitId, ops_counted: u64) -> Self {
         let mut units = SelectionUnits::new();
         units.push(unit);
-        Selection { units, ops_counted }
+        Selection {
+            units,
+            ops_counted,
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Attach itemized work counters (builder-style).
+    pub fn with_stats(mut self, stats: SchedStats) -> Self {
+        self.stats = stats;
+        self
     }
 }
 
@@ -406,6 +464,24 @@ mod tests {
         let s = Selection::one(3, 7);
         assert_eq!(s.units, vec![3]);
         assert_eq!(s.ops_counted, 7);
+        assert_eq!(s.stats, SchedStats::default());
+    }
+
+    #[test]
+    fn sched_stats_total_and_accumulate() {
+        let a = SchedStats {
+            candidates_scanned: 1,
+            priority_evals: 2,
+            comparisons: 3,
+            cluster_ops: 4,
+            heap_ops: 5,
+        };
+        assert_eq!(a.total(), 15);
+        let mut b = a;
+        b += a;
+        assert_eq!(b.total(), 30);
+        let s = Selection::one(0, 1).with_stats(a);
+        assert_eq!(s.stats.priority_evals, 2);
     }
 
     #[test]

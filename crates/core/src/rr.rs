@@ -8,7 +8,7 @@
 
 use hcq_common::{Nanos, TupleId};
 
-use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::UnitStatics;
 
 /// Round-robin over units with pending tuples.
@@ -46,7 +46,13 @@ impl Policy for RoundRobinPolicy {
             let unit = (self.cursor + step) % self.n_units;
             if queues.len(unit) > 0 {
                 self.cursor = (unit + 1) % self.n_units;
-                return Some(Selection::one(unit, u64::from(step) + 1));
+                let inspected = u64::from(step) + 1;
+                let stats = SchedStats {
+                    candidates_scanned: inspected,
+                    comparisons: inspected,
+                    ..SchedStats::default()
+                };
+                return Some(Selection::one(unit, inspected).with_stats(stats));
             }
         }
         None

@@ -10,7 +10,7 @@ use std::collections::BinaryHeap;
 
 use hcq_common::{Nanos, TupleId};
 
-use crate::policy::{Policy, QueueView, Selection, UnitId};
+use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::{PriorityKey, UnitStatics};
 
 /// Which static priority function to use.
@@ -49,6 +49,8 @@ pub struct StaticPolicy {
     priorities: Vec<PriorityKey>,
     heap: BinaryHeap<(PriorityKey, UnitId)>,
     in_heap: Vec<bool>,
+    /// Heap pushes since the last `select`, reported on the next decision.
+    pending_heap_ops: u64,
 }
 
 impl StaticPolicy {
@@ -67,6 +69,7 @@ impl StaticPolicy {
             priorities: Vec::new(),
             heap: BinaryHeap::new(),
             in_heap: Vec::new(),
+            pending_heap_ops: 0,
         }
     }
 
@@ -82,6 +85,7 @@ impl StaticPolicy {
             priorities: Vec::new(),
             heap: BinaryHeap::new(),
             in_heap: Vec::new(),
+            pending_heap_ops: 0,
         }
     }
 
@@ -110,6 +114,7 @@ impl StaticPolicy {
         // discarded lazily when popped).
         if self.in_heap[unit as usize] {
             self.heap.push((PriorityKey(priority), unit));
+            self.pending_heap_ops += 1;
         }
     }
 
@@ -146,29 +151,40 @@ impl Policy for StaticPolicy {
     fn on_enqueue(&mut self, unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {
         if !std::mem::replace(&mut self.in_heap[unit as usize], true) {
             self.heap.push((self.priorities[unit as usize], unit));
+            self.pending_heap_ops += 1;
         }
     }
 
     fn select(&mut self, queues: &dyn QueueView, _now: Nanos) -> Option<Selection> {
         let mut ops = 0;
+        let mut heap_ops = 0;
         loop {
             let &(key, unit) = self.heap.peek()?;
             ops += 1;
+            heap_ops += 1;
             // Discard stale entries: emptied queues, or re-pushed units whose
             // stored key no longer matches the live priority.
             let stale = queues.len(unit) == 0 || key != self.priorities[unit as usize];
             if stale {
                 self.heap.pop();
+                heap_ops += 1;
                 if queues.len(unit) == 0 {
                     self.in_heap[unit as usize] = false;
                 } else if !self.heap.iter().any(|&(_, u)| u == unit) {
                     // Removed the only remaining entry of a still-ready unit
                     // (priority changed twice); reinsert the live key.
                     self.heap.push((self.priorities[unit as usize], unit));
+                    heap_ops += 1;
                 }
                 continue;
             }
-            return Some(Selection::one(unit, ops));
+            let stats = SchedStats {
+                candidates_scanned: ops,
+                comparisons: ops,
+                heap_ops: heap_ops + std::mem::take(&mut self.pending_heap_ops),
+                ..SchedStats::default()
+            };
+            return Some(Selection::one(unit, ops).with_stats(stats));
         }
     }
 }

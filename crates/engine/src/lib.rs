@@ -54,10 +54,12 @@ pub mod model;
 pub mod queues;
 pub mod report;
 pub mod sim;
+pub mod trace;
 pub mod tuple;
 
 pub use config::{AdmissionMode, FaultConfig, OverloadConfig, SchedulingLevel, SimConfig};
 pub use model::{SimModel, UnitDesc, UnitKind};
 pub use report::SimReport;
-pub use sim::{simulate, Simulator};
+pub use sim::{simulate, simulate_traced, Simulator};
+pub use trace::{JsonlTrace, NoTrace, TraceEvent, TraceSink, VecTrace};
 pub use tuple::SimTuple;

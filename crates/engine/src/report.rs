@@ -1,7 +1,7 @@
 //! Simulation output.
 
 use hcq_common::Nanos;
-use hcq_metrics::{ClassBreakdown, QosSummary, QosTimeSeries, SlowdownHistogram};
+use hcq_metrics::{ClassBreakdown, OverheadTotals, QosSummary, QosTimeSeries, SlowdownHistogram};
 
 /// Everything a simulation run reports.
 #[derive(Debug)]
@@ -27,6 +27,10 @@ pub struct SimReport {
     pub sched_points: u64,
     /// Priority computations/comparisons reported by the policy.
     pub sched_ops: u64,
+    /// The same scheduler work itemized by kind (§6 overhead accounting):
+    /// candidates scanned, priority evaluations, comparisons, cluster
+    /// maintenance, heap operations — always collected, tracing or not.
+    pub overhead: OverheadTotals,
     /// Virtual time charged for scheduling (0 unless overhead charging on).
     pub overhead_time: Nanos,
     /// Virtual time spent executing operators.
@@ -62,6 +66,12 @@ impl SimReport {
             return 0.0;
         }
         self.sched_ops as f64 / self.sched_points as f64
+    }
+
+    /// Average priority evaluations per scheduling point — `ext_overhead`'s
+    /// y-axis: O(q) for the naive BSD scan, sub-linear once clustered.
+    pub fn evals_per_sched_point(&self) -> f64 {
+        self.overhead.evals_per_point()
     }
 
     /// Fraction of per-copy work units the overload manager shed:
@@ -100,6 +110,13 @@ mod tests {
             shed: 5,
             sched_points: 4,
             sched_ops: 12,
+            overhead: {
+                let mut t = OverheadTotals::new();
+                t.record(6, 2, 6, 0, 0);
+                t.record(6, 4, 6, 0, 0);
+                t.sched_points = 4; // four decisions, two of them trivial
+                t
+            },
             overhead_time: Nanos::from_millis(10),
             busy_time: Nanos::from_millis(40),
             overload_time: Nanos::from_millis(25),
@@ -110,6 +127,7 @@ mod tests {
         };
         assert!((r.measured_utilization() - 0.5).abs() < 1e-12);
         assert!((r.ops_per_sched_point() - 3.0).abs() < 1e-12);
+        assert!((r.evals_per_sched_point() - 1.5).abs() < 1e-12);
         assert!((r.shed_fraction() - 0.25).abs() < 1e-12);
         assert!((r.overload_share() - 0.25).abs() < 1e-12);
     }
@@ -127,6 +145,7 @@ mod tests {
             shed: 0,
             sched_points: 0,
             sched_ops: 0,
+            overhead: OverheadTotals::new(),
             overhead_time: Nanos::ZERO,
             busy_time: Nanos::ZERO,
             overload_time: Nanos::ZERO,
@@ -137,6 +156,7 @@ mod tests {
         };
         assert_eq!(r.measured_utilization(), 0.0);
         assert_eq!(r.ops_per_sched_point(), 0.0);
+        assert_eq!(r.evals_per_sched_point(), 0.0);
         assert_eq!(r.shed_fraction(), 0.0);
         assert_eq!(r.overload_share(), 0.0);
     }

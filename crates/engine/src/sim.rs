@@ -6,7 +6,9 @@ use std::collections::BinaryHeap;
 use hcq_common::{det, EngineError, HcqError, Nanos, Result, StreamId, TupleId};
 use hcq_core::{Policy, PriorityKey, QueueView};
 use hcq_join::{Side, SymmetricHashJoin};
-use hcq_metrics::{ClassBreakdown, QosAccumulator, QosTimeSeries, SlowdownHistogram};
+use hcq_metrics::{
+    ClassBreakdown, OverheadTotals, QosAccumulator, QosTimeSeries, SlowdownHistogram,
+};
 use hcq_plan::{CompiledOpKind, GlobalPlan, OperatorSpec, Port, StreamRates};
 use hcq_streams::ArrivalSource;
 
@@ -14,6 +16,7 @@ use crate::config::{AdmissionMode, SchedulingLevel, SimConfig};
 use crate::model::{SimModel, UnitKind};
 use crate::queues::UnitQueues;
 use crate::report::SimReport;
+use crate::trace::{NoTrace, TraceEvent, TraceSink};
 use crate::tuple::SimTuple;
 
 /// Run a complete simulation.
@@ -31,9 +34,26 @@ pub fn simulate(
     Simulator::new(plan, rates, sources, policy, cfg)?.run()
 }
 
+/// Run a complete simulation streaming [`TraceEvent`]s into `sink`.
+///
+/// Identical decisions and report to [`simulate`] — the sink observes, it
+/// never steers. Returns the sink alongside the report so buffering sinks
+/// (e.g. [`crate::trace::JsonlTrace`]) can be finished/inspected.
+pub fn simulate_traced<S: TraceSink>(
+    plan: &GlobalPlan,
+    rates: &StreamRates,
+    sources: Vec<Box<dyn ArrivalSource>>,
+    policy: Box<dyn Policy>,
+    cfg: SimConfig,
+    sink: S,
+) -> Result<(SimReport, S)> {
+    Simulator::with_sink(plan, rates, sources, policy, cfg, sink)?.run_with_sink()
+}
+
 /// The simulator. Most callers use [`simulate`]; the struct is public for
-/// step-wise tests and custom instrumentation.
-pub struct Simulator {
+/// step-wise tests and custom instrumentation. The `S` parameter is the
+/// trace sink: [`NoTrace`] (the default) compiles every emission site out.
+pub struct Simulator<S: TraceSink = NoTrace> {
     model: SimModel,
     policy: Box<dyn Policy>,
     queues: UnitQueues,
@@ -72,6 +92,9 @@ pub struct Simulator {
     shed: u64,
     sched_points: u64,
     sched_ops: u64,
+    /// Itemized scheduler work (per-kind counters), always accumulated —
+    /// five integer adds per scheduling point, independent of tracing.
+    overhead: OverheadTotals,
     overhead_time: Nanos,
     busy_time: Nanos,
     /// Virtual time spent with total pending load at or above the
@@ -81,16 +104,41 @@ pub struct Simulator {
     /// time-averaged memory; updated whenever the clock advances.
     pending_area: f64,
     peak_pending: usize,
+
+    sink: S,
+    /// Emit/Shed events produced while a unit executes, replayed after the
+    /// enclosing `UnitRun` so a reader always sees the run before its
+    /// outputs. Empty and untouched when `S::ENABLED` is false.
+    trace_buf: Vec<TraceEvent>,
+    /// True while inside `execute_unit` (events route to `trace_buf`).
+    trace_buffering: bool,
+    /// The unit currently executing (attributes `Emit` events).
+    current_unit: u32,
 }
 
-impl Simulator {
-    /// Build a simulator; validates the plan/source/level combination.
+impl Simulator<NoTrace> {
+    /// Build an untraced simulator; validates the plan/source/level
+    /// combination.
     pub fn new(
+        plan: &GlobalPlan,
+        rates: &StreamRates,
+        sources: Vec<Box<dyn ArrivalSource>>,
+        policy: Box<dyn Policy>,
+        cfg: SimConfig,
+    ) -> Result<Self> {
+        Self::with_sink(plan, rates, sources, policy, cfg, NoTrace)
+    }
+}
+
+impl<S: TraceSink> Simulator<S> {
+    /// Build a simulator that streams [`TraceEvent`]s into `sink`.
+    pub fn with_sink(
         plan: &GlobalPlan,
         rates: &StreamRates,
         mut sources: Vec<Box<dyn ArrivalSource>>,
         mut policy: Box<dyn Policy>,
         cfg: SimConfig,
+        sink: S,
     ) -> Result<Self> {
         if cfg.overload.mode != AdmissionMode::Unbounded && cfg.overload.capacity == 0 {
             return Err(HcqError::config(format!(
@@ -175,12 +223,30 @@ impl Simulator {
             shed: 0,
             sched_points: 0,
             sched_ops: 0,
+            overhead: OverheadTotals::new(),
             overhead_time: Nanos::ZERO,
             busy_time: Nanos::ZERO,
             overload_time: Nanos::ZERO,
             pending_area: 0.0,
             peak_pending: 0,
+            sink,
+            trace_buf: Vec::new(),
+            trace_buffering: false,
+            current_unit: 0,
         })
+    }
+
+    /// Route an event: buffered while a unit executes, straight to the sink
+    /// otherwise. Call sites guard with `S::ENABLED` so event construction
+    /// itself is compiled out for [`NoTrace`].
+    fn trace(&mut self, event: TraceEvent) {
+        if S::ENABLED {
+            if self.trace_buffering {
+                self.trace_buf.push(event);
+            } else {
+                self.sink.event(&event);
+            }
+        }
     }
 
     /// Run to completion and report.
@@ -190,7 +256,21 @@ impl Simulator {
     /// selection while work is pending, or a selected unit with an empty
     /// queue. The built-in policies never trigger these; external
     /// embeddings and fault harnesses get a value instead of a panic.
-    pub fn run(mut self) -> Result<SimReport> {
+    pub fn run(self) -> Result<SimReport> {
+        self.run_with_sink().map(|(report, _)| report)
+    }
+
+    /// [`run`](Self::run), but also hand back the trace sink so buffered
+    /// events can be inspected or flushed.
+    pub fn run_with_sink(mut self) -> Result<(SimReport, S)> {
+        if S::ENABLED && self.cfg.faults.cost_miscalibration > 0.0 {
+            let magnitude = self.cfg.faults.cost_miscalibration;
+            self.trace(TraceEvent::Fault {
+                at: Nanos::ZERO,
+                kind: "cost_miscalibration",
+                magnitude,
+            });
+        }
         loop {
             self.deliver_due_arrivals();
             if self.queues.all_empty() {
@@ -215,16 +295,39 @@ impl Simulator {
                     })?;
             self.sched_points += 1;
             self.sched_ops += selection.ops_counted;
+            let st = selection.stats;
+            self.overhead.record(
+                st.candidates_scanned,
+                st.priority_evals,
+                st.comparisons,
+                st.cluster_ops,
+                st.heap_ops,
+            );
+            let charged = if self.cfg.charge_overhead {
+                self.sched_cost * selection.ops_counted
+            } else {
+                Nanos::ZERO
+            };
+            if S::ENABLED {
+                self.trace(TraceEvent::SchedulingPoint {
+                    at: self.clock,
+                    candidates_scanned: st.candidates_scanned,
+                    priority_evals: st.priority_evals,
+                    comparisons: st.comparisons,
+                    cluster_ops: st.cluster_ops,
+                    heap_ops: st.heap_ops,
+                    charged,
+                });
+            }
             if self.cfg.charge_overhead {
-                let overhead = self.sched_cost * selection.ops_counted;
-                self.advance_clock(self.clock + overhead);
-                self.overhead_time += overhead;
+                self.advance_clock(self.clock + charged);
+                self.overhead_time += charged;
             }
             for unit in selection.units {
                 self.execute_unit(unit)?;
             }
         }
-        Ok(SimReport {
+        let report = SimReport {
             qos: self.qos.summary(),
             classes: self.classes,
             histogram: self.histogram,
@@ -235,6 +338,7 @@ impl Simulator {
             shed: self.shed,
             sched_points: self.sched_points,
             sched_ops: self.sched_ops,
+            overhead: self.overhead,
             overhead_time: self.overhead_time,
             busy_time: self.busy_time,
             overload_time: self.overload_time,
@@ -246,7 +350,8 @@ impl Simulator {
             },
             peak_pending: self.peak_pending,
             pending_end: self.queues.pending(),
-        })
+        };
+        Ok((report, self.sink))
     }
 
     /// Advance the virtual clock, integrating the pending-tuple count over
@@ -317,6 +422,13 @@ impl Simulator {
             AdmissionMode::DropTail => {
                 if self.queues.len(unit) >= self.cfg.overload.capacity {
                     self.shed += 1;
+                    if S::ENABLED {
+                        self.trace(TraceEvent::Shed {
+                            at: self.clock,
+                            unit,
+                            tuple: tuple.id.raw(),
+                        });
+                    }
                     return;
                 }
             }
@@ -328,6 +440,13 @@ impl Simulator {
                     // The arriving unit is itself the least valuable:
                     // reject the arrival rather than displace anyone.
                     self.shed += 1;
+                    if S::ENABLED {
+                        self.trace(TraceEvent::Shed {
+                            at: self.clock,
+                            unit,
+                            tuple: tuple.id.raw(),
+                        });
+                    }
                     return;
                 }
             }
@@ -362,6 +481,13 @@ impl Simulator {
             Some(t) => {
                 self.shed += 1;
                 self.policy.on_shed(victim, t.id);
+                if S::ENABLED {
+                    self.trace(TraceEvent::Shed {
+                        at: self.clock,
+                        unit: victim,
+                        tuple: t.id.raw(),
+                    });
+                }
                 true
             }
             None => {
@@ -382,6 +508,16 @@ impl Simulator {
         // so the `kind` lookup below cannot be out of range.
         let tuple = self.queues.pop(unit)?;
         let kind = self.model.units[unit as usize].kind;
+        self.current_unit = unit;
+        let (start, busy0, emitted0) = (self.clock, self.busy_time, self.emitted);
+        let tuple_id = tuple.id;
+        if S::ENABLED {
+            // Buffer the run's Emit/Shed children so the UnitRun — whose
+            // cost/output are only known afterwards — still precedes them
+            // in the stream.
+            debug_assert!(!self.trace_buffering && self.trace_buf.is_empty());
+            self.trace_buffering = true;
+        }
         match kind {
             UnitKind::Leaf { query, leaf } => {
                 let entry = self.model.compiled[query].leaves[leaf.index()].entry;
@@ -393,6 +529,22 @@ impl Simulator {
                 self.run_pipeline(query, (1, Port::Single), tuple);
             }
             UnitKind::Operator { query, op } => self.run_operator_step(query, op, tuple),
+        }
+        if S::ENABLED {
+            self.trace_buffering = false;
+            self.sink.event(&TraceEvent::UnitRun {
+                at: start,
+                unit,
+                tuple: tuple_id.raw(),
+                cost: self.busy_time.saturating_since(busy0),
+                tuples: self.emitted - emitted0,
+            });
+            let buf = std::mem::take(&mut self.trace_buf);
+            for e in &buf {
+                self.sink.event(e);
+            }
+            self.trace_buf = buf;
+            self.trace_buf.clear();
         }
         Ok(())
     }
@@ -594,6 +746,16 @@ impl Simulator {
         self.histogram.record(slowdown);
         if let Some(series) = self.series.as_mut() {
             series.record(self.clock, response, slowdown);
+        }
+        if S::ENABLED {
+            let unit = self.current_unit;
+            self.trace(TraceEvent::Emit {
+                at: self.clock,
+                unit,
+                query: query as u32,
+                tuple: t.id.raw(),
+                slowdown,
+            });
         }
     }
 }

@@ -1,0 +1,375 @@
+//! Scheduling-event tracing.
+//!
+//! The simulator is generic over a [`TraceSink`] that receives one typed
+//! [`TraceEvent`] per scheduler-visible action: a scheduling decision with
+//! its itemized work counters, each unit execution with its virtual cost,
+//! every root emission, every shed tuple, and active fault injections. The
+//! default sink is [`NoTrace`], whose `ENABLED = false` lets the compiler
+//! eliminate every event-construction site from the monomorphized loop —
+//! tracing costs nothing unless a run asks for it, and a traced run makes
+//! *identical* scheduling decisions (events observe, never steer).
+//!
+//! Timestamps are virtual [`Nanos`], so a trace is a pure function of
+//! (workload, policy, config): byte-identical across processes, hosts, and
+//! `--jobs` counts. That determinism is load-bearing — the golden-trace test
+//! pins the full JSONL stream of a small workload.
+//!
+//! Not to be confused with `hcq_streams::TraceReplay`, which *replays* a
+//! recorded arrival schedule into the simulator; this module records what
+//! the scheduler did with it.
+
+use std::io::{self, Write};
+
+use hcq_common::Nanos;
+
+/// One scheduler-visible event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A scheduling decision, with the §6 work counters the policy reported
+    /// and the virtual time charged for it (0 unless overhead charging on).
+    SchedulingPoint {
+        /// Virtual time of the decision.
+        at: Nanos,
+        /// Ready candidates (units / clusters / list positions) inspected.
+        candidates_scanned: u64,
+        /// Dynamic priority computations.
+        priority_evals: u64,
+        /// Priority comparisons.
+        comparisons: u64,
+        /// Cluster maintenance since the previous decision.
+        cluster_ops: u64,
+        /// Heap / ordered-index operations.
+        heap_ops: u64,
+        /// Virtual time charged as scheduling overhead (§9.2).
+        charged: Nanos,
+    },
+    /// One unit execution: the selected unit ran its head tuple (pipelined
+    /// to the root), costing `cost` of virtual time and emitting `tuples`
+    /// root outputs.
+    UnitRun {
+        /// Virtual time the execution started.
+        at: Nanos,
+        /// The executed unit.
+        unit: u32,
+        /// The head tuple's id.
+        tuple: u64,
+        /// Operator time charged while running this unit.
+        cost: Nanos,
+        /// Root emissions produced by this execution.
+        tuples: u64,
+    },
+    /// A tuple left a query root.
+    Emit {
+        /// Virtual departure time.
+        at: Nanos,
+        /// The unit whose execution produced the emission.
+        unit: u32,
+        /// The emitting query.
+        query: u32,
+        /// The emitted tuple's id (composite ids have the top bit set).
+        tuple: u64,
+        /// The tuple's slowdown `H` (≥ 1).
+        slowdown: f64,
+    },
+    /// The overload manager shed a tuple (rejected at admission or
+    /// displaced from a queue tail) without executing it.
+    Shed {
+        /// Virtual time of the shed.
+        at: Nanos,
+        /// The unit whose queue lost the tuple.
+        unit: u32,
+        /// The shed tuple's id.
+        tuple: u64,
+    },
+    /// A fault injection active for this run (reported once at start).
+    Fault {
+        /// Virtual time (always 0 for run-scoped faults).
+        at: Nanos,
+        /// Fault family, e.g. `"cost_miscalibration"`.
+        kind: &'static str,
+        /// The fault's configured magnitude.
+        magnitude: f64,
+    },
+}
+
+/// Receiver of [`TraceEvent`]s.
+///
+/// The simulator is monomorphized per sink; `ENABLED = false` (as on
+/// [`NoTrace`]) turns every `if S::ENABLED { … }` emission site into dead
+/// code, so the untraced simulator binary is unchanged by this layer.
+pub trait TraceSink {
+    /// Whether this sink observes events at all. Sinks that do must leave
+    /// the default `true`.
+    const ENABLED: bool = true;
+
+    /// Observe one event. Events arrive in a deterministic order: faults,
+    /// then per scheduling point the `SchedulingPoint` event followed by a
+    /// `UnitRun` per selected unit, each immediately followed by the
+    /// `Emit`/`Shed` events its execution produced.
+    fn event(&mut self, event: &TraceEvent);
+}
+
+/// The default sink: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoTrace;
+
+impl TraceSink for NoTrace {
+    const ENABLED: bool = false;
+
+    fn event(&mut self, _event: &TraceEvent) {}
+}
+
+/// Collects events in memory — the test-suite sink.
+#[derive(Debug, Default)]
+pub struct VecTrace {
+    /// Every event, in emission order.
+    pub events: Vec<TraceEvent>,
+}
+
+impl VecTrace {
+    /// An empty collector.
+    pub fn new() -> Self {
+        VecTrace::default()
+    }
+}
+
+impl TraceSink for VecTrace {
+    fn event(&mut self, event: &TraceEvent) {
+        self.events.push(*event);
+    }
+}
+
+/// Streams events as JSON Lines: one self-describing object per line, in
+/// emission order. Integer fields are exact; `slowdown`/`magnitude` use
+/// Rust's shortest-roundtrip float formatting, which is platform-independent
+/// — the whole stream is byte-deterministic.
+#[derive(Debug)]
+pub struct JsonlTrace<W: Write> {
+    writer: W,
+    /// First write error, if any (subsequent events are dropped).
+    error: Option<io::Error>,
+}
+
+impl<W: Write> JsonlTrace<W> {
+    /// Wrap a writer. Consider a `BufWriter` for file targets.
+    pub fn new(writer: W) -> Self {
+        JsonlTrace {
+            writer,
+            error: None,
+        }
+    }
+
+    /// Flush and return the writer, surfacing any deferred write error.
+    pub fn finish(mut self) -> io::Result<W> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        self.writer.flush()?;
+        Ok(self.writer)
+    }
+
+    fn write_event(&mut self, event: &TraceEvent) -> io::Result<()> {
+        let w = &mut self.writer;
+        match *event {
+            TraceEvent::SchedulingPoint {
+                at,
+                candidates_scanned,
+                priority_evals,
+                comparisons,
+                cluster_ops,
+                heap_ops,
+                charged,
+            } => writeln!(
+                w,
+                "{{\"type\":\"sched_point\",\"at\":{},\"candidates\":{},\"evals\":{},\
+                 \"comparisons\":{},\"cluster_ops\":{},\"heap_ops\":{},\"charged\":{}}}",
+                at.as_nanos(),
+                candidates_scanned,
+                priority_evals,
+                comparisons,
+                cluster_ops,
+                heap_ops,
+                charged.as_nanos(),
+            ),
+            TraceEvent::UnitRun {
+                at,
+                unit,
+                tuple,
+                cost,
+                tuples,
+            } => writeln!(
+                w,
+                "{{\"type\":\"unit_run\",\"at\":{},\"unit\":{},\"tuple\":{},\
+                 \"cost\":{},\"tuples\":{}}}",
+                at.as_nanos(),
+                unit,
+                tuple,
+                cost.as_nanos(),
+                tuples,
+            ),
+            TraceEvent::Emit {
+                at,
+                unit,
+                query,
+                tuple,
+                slowdown,
+            } => writeln!(
+                w,
+                "{{\"type\":\"emit\",\"at\":{},\"unit\":{},\"query\":{},\
+                 \"tuple\":{},\"slowdown\":{}}}",
+                at.as_nanos(),
+                unit,
+                query,
+                tuple,
+                slowdown,
+            ),
+            TraceEvent::Shed { at, unit, tuple } => writeln!(
+                w,
+                "{{\"type\":\"shed\",\"at\":{},\"unit\":{},\"tuple\":{}}}",
+                at.as_nanos(),
+                unit,
+                tuple,
+            ),
+            TraceEvent::Fault {
+                at,
+                kind,
+                magnitude,
+            } => writeln!(
+                w,
+                "{{\"type\":\"fault\",\"at\":{},\"kind\":\"{}\",\"magnitude\":{}}}",
+                at.as_nanos(),
+                kind,
+                magnitude,
+            ),
+        }
+    }
+}
+
+impl<W: Write> TraceSink for JsonlTrace<W> {
+    fn event(&mut self, event: &TraceEvent) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.write_event(event) {
+            self.error = Some(e);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::Fault {
+                at: Nanos::ZERO,
+                kind: "cost_miscalibration",
+                magnitude: 0.4,
+            },
+            TraceEvent::SchedulingPoint {
+                at: Nanos(5),
+                candidates_scanned: 3,
+                priority_evals: 3,
+                comparisons: 3,
+                cluster_ops: 1,
+                heap_ops: 2,
+                charged: Nanos(6),
+            },
+            TraceEvent::UnitRun {
+                at: Nanos(11),
+                unit: 2,
+                tuple: 7,
+                cost: Nanos(1000),
+                tuples: 1,
+            },
+            TraceEvent::Emit {
+                at: Nanos(1011),
+                unit: 2,
+                query: 2,
+                tuple: 7,
+                slowdown: 1.5,
+            },
+            TraceEvent::Shed {
+                at: Nanos(1011),
+                unit: 0,
+                tuple: 9,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_renders_one_line_per_event() {
+        let mut sink = JsonlTrace::new(Vec::new());
+        for e in sample_events() {
+            sink.event(&e);
+        }
+        let bytes = sink.finish().unwrap();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert_eq!(
+            lines[0],
+            "{\"type\":\"fault\",\"at\":0,\"kind\":\"cost_miscalibration\",\"magnitude\":0.4}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"type\":\"sched_point\",\"at\":5,\"candidates\":3,\"evals\":3,\
+             \"comparisons\":3,\"cluster_ops\":1,\"heap_ops\":2,\"charged\":6}"
+        );
+        assert_eq!(
+            lines[2],
+            "{\"type\":\"unit_run\",\"at\":11,\"unit\":2,\"tuple\":7,\"cost\":1000,\"tuples\":1}"
+        );
+        assert_eq!(
+            lines[3],
+            "{\"type\":\"emit\",\"at\":1011,\"unit\":2,\"query\":2,\"tuple\":7,\"slowdown\":1.5}"
+        );
+        assert_eq!(
+            lines[4],
+            "{\"type\":\"shed\",\"at\":1011,\"unit\":0,\"tuple\":9}"
+        );
+    }
+
+    #[test]
+    fn vec_trace_collects_in_order() {
+        let mut sink = VecTrace::new();
+        for e in sample_events() {
+            sink.event(&e);
+        }
+        assert_eq!(sink.events, sample_events());
+    }
+
+    #[test]
+    fn no_trace_is_disabled() {
+        const { assert!(!NoTrace::ENABLED) };
+        const { assert!(VecTrace::ENABLED) };
+        const { assert!(<JsonlTrace<Vec<u8>> as TraceSink>::ENABLED) };
+    }
+
+    #[test]
+    fn jsonl_write_error_is_deferred_to_finish() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlTrace::new(Failing);
+        sink.event(&TraceEvent::Shed {
+            at: Nanos(1),
+            unit: 0,
+            tuple: 0,
+        });
+        // Further events are dropped silently; finish surfaces the error.
+        sink.event(&TraceEvent::Shed {
+            at: Nanos(2),
+            unit: 0,
+            tuple: 1,
+        });
+        assert!(sink.finish().is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Golden-trace snapshot: the full JSONL scheduling trace of a small fixed
+//! workload, pinned byte-for-byte.
+//!
+//! The trace is a pure function of (workload, policy, config) — integer
+//! virtual time, seeded randomness, shortest-roundtrip float formatting —
+//! so any byte of drift means the scheduler's observable behaviour changed:
+//! a different decision, a different counter, a different emission time.
+//! That is exactly what this test exists to catch; CSV-level exhibits
+//! average too much to notice a swapped pair of decisions.
+//!
+//! The fixture deliberately exercises every event type: a cost-
+//! miscalibration fault (`fault`), overhead charging (nonzero `charged` on
+//! `sched_point`), a clustered policy (nonzero `cluster_ops`), a bounded
+//! queue with QoS shedding (`shed`), and enough arrivals to emit (`unit_run`
+//! + `emit`).
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p hcq-engine --test golden_trace
+//! ```
+//!
+//! and review the diff like any other code change.
+
+use hcq_common::{Nanos, StreamId};
+use hcq_core::{ClusterConfig, ClusteredBsdPolicy};
+use hcq_engine::{simulate_traced, AdmissionMode, JsonlTrace, SimConfig, SimReport};
+use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
+use hcq_streams::TraceReplay;
+
+const GOLDEN: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/tests/golden/small_workload.jsonl"
+);
+
+fn ms(n: u64) -> Nanos {
+    Nanos::from_millis(n)
+}
+
+/// Four heterogeneous single-stream queries (costs 1–8 ms, mixed
+/// selectivities) fed by a fixed burst-heavy arrival schedule.
+fn golden_run() -> (SimReport, Vec<u8>) {
+    let mut plan = GlobalPlan::default();
+    for i in 0..4u64 {
+        plan.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(ms(1 << i), 0.3 + 0.2 * i as f64)
+                .project(ms(1))
+                .build()
+                .unwrap(),
+        );
+    }
+    // Two bursts: five tuples at t=0 (overflowing capacity-2 queues, so
+    // sheds appear) and five spaced tuples from t=40ms (drained normally).
+    let mut arrivals = vec![Nanos::ZERO; 5];
+    arrivals.extend((0..5).map(|i| ms(40 + 20 * i)));
+    let n = arrivals.len() as u64;
+    let cfg = SimConfig::new(n)
+        .with_seed(17)
+        .with_admission(AdmissionMode::QosShed, 2)
+        .with_watermark(6)
+        .with_overhead(true)
+        .with_cost_miscalibration(0.25, 99);
+    let (report, sink) = simulate_traced(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        Box::new(ClusteredBsdPolicy::new(ClusterConfig::logarithmic(3))),
+        cfg,
+        JsonlTrace::new(Vec::new()),
+    )
+    .unwrap();
+    let bytes = sink.finish().unwrap();
+    (report, bytes)
+}
+
+#[test]
+fn trace_matches_golden_snapshot() {
+    let (report, bytes) = golden_run();
+    let text = std::str::from_utf8(&bytes).expect("trace is UTF-8");
+
+    // The fixture must keep exercising every event type — a golden full of
+    // nothing would still "match".
+    for kind in ["fault", "sched_point", "unit_run", "emit", "shed"] {
+        assert!(
+            text.contains(&format!("{{\"type\":\"{kind}\",")),
+            "fixture no longer produces any '{kind}' event:\n{text}"
+        );
+    }
+    assert!(report.shed > 0, "fixture must shed");
+    assert!(report.emitted > 0, "fixture must emit");
+
+    if std::env::var("UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(std::path::Path::new(GOLDEN).parent().unwrap()).unwrap();
+        std::fs::write(GOLDEN, &bytes).unwrap();
+        eprintln!("golden trace regenerated at {GOLDEN}");
+        return;
+    }
+
+    let golden = std::fs::read(GOLDEN).unwrap_or_else(|e| {
+        panic!(
+            "missing golden snapshot {GOLDEN}: {e}\n\
+             run `UPDATE_GOLDEN=1 cargo test -p hcq-engine --test golden_trace` to create it"
+        )
+    });
+    if bytes != golden {
+        let golden_text = String::from_utf8_lossy(&golden);
+        let first_diff = text
+            .lines()
+            .zip(golden_text.lines())
+            .position(|(a, b)| a != b)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  got:    {}\n  golden: {}",
+                    i + 1,
+                    text.lines().nth(i).unwrap_or(""),
+                    golden_text.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: got {}, golden {}",
+                    text.lines().count(),
+                    golden_text.lines().count()
+                )
+            });
+        panic!(
+            "scheduling trace drifted from the golden snapshot ({} vs {} bytes).\n{}\n\
+             If this change is intentional, regenerate with UPDATE_GOLDEN=1 and review the diff.",
+            bytes.len(),
+            golden.len(),
+            first_diff
+        );
+    }
+}
+
+#[test]
+fn golden_run_is_reproducible_in_process() {
+    let (a_report, a) = golden_run();
+    let (b_report, b) = golden_run();
+    assert_eq!(a, b, "same config must stream identical bytes");
+    assert_eq!(a_report.emitted, b_report.emitted);
+    assert_eq!(a_report.shed, b_report.shed);
+    assert_eq!(a_report.overhead, b_report.overhead);
+}

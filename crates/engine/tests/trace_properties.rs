@@ -1,0 +1,258 @@
+//! Randomized invariants of the scheduling-event trace: for arbitrary small
+//! workloads, arrival patterns, policies, and overload settings, the trace
+//! must (a) be causally ordered — every `Emit` follows the `UnitRun` of the
+//! unit that produced it, (b) agree with the [`SimReport`] it accompanies —
+//! event counts and counter sums match the report's totals exactly, and
+//! (c) observe without steering — a traced run's report is identical to the
+//! untraced run's, and its JSONL rendering is byte-stable across runs.
+
+use hcq_common::{Nanos, StreamId};
+use hcq_core::PolicyKind;
+use hcq_engine::{
+    simulate, simulate_traced, AdmissionMode, JsonlTrace, SimConfig, SimReport, TraceEvent,
+    VecTrace,
+};
+use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
+use hcq_streams::TraceReplay;
+use proptest::prelude::*;
+
+/// Random single-stream chains: per query, 1–4 operators with ms costs and
+/// coarse selectivities.
+fn plan_strategy() -> impl Strategy<Value = Vec<Vec<(u64, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((1u64..=16, 0.1f64..=1.0), 1..=4),
+        1..=6,
+    )
+}
+
+/// Random arrival gaps (ms); replayed identically for every run.
+fn arrivals_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=60, 5..=60)
+}
+
+fn build_plan(chains: &[Vec<(u64, f64)>]) -> GlobalPlan {
+    let mut plan = GlobalPlan::default();
+    for chain in chains {
+        let mut b = QueryBuilder::on(StreamId::new(0));
+        for &(cost, sel) in chain {
+            b = b.map(Nanos::from_millis(cost), sel);
+        }
+        plan.add_query(b.build().expect("valid chain"));
+    }
+    plan
+}
+
+fn config(arrivals: u64, seed: u64, overload: bool) -> SimConfig {
+    let cfg = SimConfig::new(arrivals).with_seed(seed);
+    if overload {
+        // A tight bound with QoS shedding armed: sheds become likely, so the
+        // Shed-event invariants get exercised rather than trivially hold.
+        cfg.with_admission(AdmissionMode::QosShed, 2)
+            .with_watermark(4)
+    } else {
+        cfg
+    }
+}
+
+fn run_traced(
+    chains: &[Vec<(u64, f64)>],
+    gaps: &[u64],
+    kind: PolicyKind,
+    seed: u64,
+    overload: bool,
+) -> (SimReport, Vec<TraceEvent>) {
+    let plan = build_plan(chains);
+    let mut t = Nanos::ZERO;
+    let arrivals: Vec<Nanos> = gaps
+        .iter()
+        .map(|&g| {
+            t += Nanos::from_millis(g);
+            t
+        })
+        .collect();
+    let n = arrivals.len() as u64;
+    let (report, sink) = simulate_traced(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        kind.build(),
+        config(n, seed, overload),
+        VecTrace::new(),
+    )
+    .unwrap();
+    (report, sink.events)
+}
+
+fn run_untraced(
+    chains: &[Vec<(u64, f64)>],
+    gaps: &[u64],
+    kind: PolicyKind,
+    seed: u64,
+    overload: bool,
+) -> SimReport {
+    let plan = build_plan(chains);
+    let mut t = Nanos::ZERO;
+    let arrivals: Vec<Nanos> = gaps
+        .iter()
+        .map(|&g| {
+            t += Nanos::from_millis(g);
+            t
+        })
+        .collect();
+    let n = arrivals.len() as u64;
+    simulate(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        kind.build(),
+        config(n, seed, overload),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every `Emit` names the unit of the most recent `UnitRun`, and no
+    /// emission precedes the first execution.
+    #[test]
+    fn every_emit_follows_a_unit_run_of_its_unit(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        seed in 0u64..50,
+        overload in any::<bool>(),
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let (_, events) = run_traced(&chains, &gaps, kind, seed, overload);
+        let mut current_run: Option<u32> = None;
+        for e in &events {
+            match *e {
+                TraceEvent::UnitRun { unit, .. } => current_run = Some(unit),
+                TraceEvent::Emit { unit, .. } => {
+                    prop_assert_eq!(
+                        current_run, Some(unit),
+                        "emission attributed to unit {} outside its execution", unit
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Event counts and counter sums reconcile with the report: sheds,
+    /// scheduling points, emissions, per-run emission totals, and the
+    /// itemized overhead counters all match.
+    #[test]
+    fn trace_reconciles_with_report_totals(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        seed in 0u64..50,
+        overload in any::<bool>(),
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let (report, events) = run_traced(&chains, &gaps, kind, seed, overload);
+        let mut sheds = 0u64;
+        let mut points = 0u64;
+        let mut emits = 0u64;
+        let mut run_tuples = 0u64;
+        let (mut cand, mut evals, mut comps, mut clust, mut heaps) = (0u64, 0, 0, 0, 0);
+        for e in &events {
+            match *e {
+                TraceEvent::Shed { .. } => sheds += 1,
+                TraceEvent::SchedulingPoint {
+                    candidates_scanned,
+                    priority_evals,
+                    comparisons,
+                    cluster_ops,
+                    heap_ops,
+                    ..
+                } => {
+                    points += 1;
+                    cand += candidates_scanned;
+                    evals += priority_evals;
+                    comps += comparisons;
+                    clust += cluster_ops;
+                    heaps += heap_ops;
+                }
+                TraceEvent::Emit { .. } => emits += 1,
+                TraceEvent::UnitRun { tuples, .. } => run_tuples += tuples,
+                TraceEvent::Fault { .. } => {}
+            }
+        }
+        prop_assert_eq!(sheds, report.shed);
+        prop_assert_eq!(points, report.sched_points);
+        prop_assert_eq!(points, report.overhead.sched_points);
+        prop_assert_eq!(emits, report.emitted);
+        prop_assert_eq!(run_tuples, report.emitted, "UnitRun.tuples partition emissions");
+        prop_assert_eq!(cand, report.overhead.candidates_scanned);
+        prop_assert_eq!(evals, report.overhead.priority_evals);
+        prop_assert_eq!(comps, report.overhead.comparisons);
+        prop_assert_eq!(clust, report.overhead.cluster_ops);
+        prop_assert_eq!(heaps, report.overhead.heap_ops);
+    }
+
+    /// Tracing observes, never steers: the traced report matches the
+    /// untraced one, and event timestamps never decrease across scheduling
+    /// points (virtual time is monotone).
+    #[test]
+    fn tracing_never_changes_the_simulation(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        seed in 0u64..50,
+        overload in any::<bool>(),
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let (traced, events) = run_traced(&chains, &gaps, kind, seed, overload);
+        let plain = run_untraced(&chains, &gaps, kind, seed, overload);
+        prop_assert_eq!(traced.qos, plain.qos);
+        prop_assert_eq!(traced.emitted, plain.emitted);
+        prop_assert_eq!(traced.shed, plain.shed);
+        prop_assert_eq!(traced.sched_points, plain.sched_points);
+        prop_assert_eq!(traced.end_time, plain.end_time);
+        prop_assert_eq!(traced.overhead, plain.overhead);
+        let mut last_point = Nanos::ZERO;
+        for e in &events {
+            if let TraceEvent::SchedulingPoint { at, .. } = *e {
+                prop_assert!(at >= last_point, "scheduling points moved backwards");
+                last_point = at;
+            }
+        }
+    }
+
+    /// The JSONL rendering of a run is byte-identical across repeated runs.
+    #[test]
+    fn jsonl_trace_is_byte_deterministic(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        seed in 0u64..50,
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let render = || -> Vec<u8> {
+            let plan = build_plan(&chains);
+            let mut t = Nanos::ZERO;
+            let arrivals: Vec<Nanos> = gaps
+                .iter()
+                .map(|&g| {
+                    t += Nanos::from_millis(g);
+                    t
+                })
+                .collect();
+            let n = arrivals.len() as u64;
+            let (_, sink) = simulate_traced(
+                &plan,
+                &StreamRates::none(),
+                vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+                kind.build(),
+                SimConfig::new(n).with_seed(seed),
+                JsonlTrace::new(Vec::new()),
+            )
+            .unwrap();
+            sink.finish().unwrap()
+        };
+        prop_assert_eq!(render(), render());
+    }
+}

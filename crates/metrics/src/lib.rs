@@ -31,10 +31,12 @@ pub mod accumulator;
 pub mod class;
 pub mod histogram;
 pub mod kahan;
+pub mod overhead;
 pub mod timeseries;
 
 pub use accumulator::{QosAccumulator, QosSummary};
 pub use class::ClassBreakdown;
 pub use histogram::SlowdownHistogram;
 pub use kahan::KahanSum;
+pub use overhead::OverheadTotals;
 pub use timeseries::QosTimeSeries;

@@ -42,6 +42,9 @@ struct PolicyTiming {
     mean_ns: u128,
     /// Output tuples emitted by the simulation (identical across samples).
     emitted: u64,
+    /// Average priority evaluations per scheduling point (identical across
+    /// samples — operation counts are deterministic, unlike wall time).
+    evals_per_point: f64,
 }
 
 /// Warm-up runs per policy before timing.
@@ -58,6 +61,7 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 pipeline::run(kind, &w);
             }
             let mut emitted = 0;
+            let mut evals_per_point = 0.0;
             let mut total_ns = 0u128;
             let mut min_ns = u128::MAX;
             for _ in 0..SAMPLES {
@@ -67,6 +71,7 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 total_ns += ns;
                 min_ns = min_ns.min(ns);
                 emitted = report.emitted;
+                evals_per_point = report.evals_per_sched_point();
             }
             let mean_ns = total_ns / SAMPLES as u128;
             PolicyTiming {
@@ -75,6 +80,7 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 min_ns,
                 mean_ns,
                 emitted,
+                evals_per_point,
             }
         })
         .collect()
@@ -222,12 +228,19 @@ fn check_against_previous(dir: &Path, timings: &[PolicyTiming]) -> Result<()> {
     let Some(prev_path) = latest_snapshot_path(dir) else {
         return Ok(());
     };
-    let contents = std::fs::read_to_string(&prev_path).map_err(|e| {
-        HcqError::Io(std::io::Error::new(
-            e.kind(),
-            format!("reading previous snapshot {}: {e}", prev_path.display()),
-        ))
-    })?;
+    // A previous snapshot that cannot be read (permissions, truncation, a
+    // directory squatting on the name) must not block recording a new one —
+    // the comparison is advisory; the trajectory is the product.
+    let contents = match std::fs::read_to_string(&prev_path) {
+        Ok(c) => c,
+        Err(e) => {
+            println!(
+                "  warning: could not read previous snapshot {} ({e}); skipping comparison",
+                prev_path.display()
+            );
+            return Ok(());
+        }
+    };
     let prev = parse_policy_rates(&contents);
     if prev.is_empty() {
         println!(
@@ -301,10 +314,12 @@ fn render_json(
         let comma = if i + 1 < timings.len() { "," } else { "" };
         writeln!(
             w,
-            "      {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_tuples_per_s\": {:.1}, \"emitted\": {}}}{}",
+            "      {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_tuples_per_s\": {:.1}, \
+             \"sched_evals_per_point\": {:.2}, \"emitted\": {}}}{}",
             t.policy,
             t.wall_s,
             pipeline::ARRIVALS as f64 / t.wall_s,
+            t.evals_per_point,
             t.emitted,
             comma
         )
@@ -354,10 +369,11 @@ pub fn bench(cfg: &ExpConfig) -> Result<PathBuf> {
     let timings = time_reference_workload();
     for t in &timings {
         println!(
-            "  {:>5}: {:.3} s/run, {:.0} simulated tuples/s",
+            "  {:>5}: {:.3} s/run, {:.0} simulated tuples/s, {:.1} evals/point",
             t.policy,
             t.wall_s,
-            pipeline::ARRIVALS as f64 / t.wall_s
+            pipeline::ARRIVALS as f64 / t.wall_s,
+            t.evals_per_point
         );
     }
     println!("== bench: sweep serial vs parallel ==");
@@ -395,6 +411,7 @@ mod tests {
                 min_ns: 9_000_000,
                 mean_ns: 10_000_000,
                 emitted: 480,
+                evals_per_point: 1.0,
             },
             PolicyTiming {
                 policy: "BSD",
@@ -402,6 +419,7 @@ mod tests {
                 min_ns: 19_000_000,
                 mean_ns: 20_000_000,
                 emitted: 470,
+                evals_per_point: 37.25,
             },
         ];
         let cfg = ExpConfig {
@@ -412,6 +430,7 @@ mod tests {
         assert!(json.contains("\"schema\": \"hcq-bench-v1\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"sim_tuples_per_s\": 50000.0"));
+        assert!(json.contains("\"sched_evals_per_point\": 37.25"));
         assert!(json.contains("simulate_arrivals/FCFS"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON parser in the dependency set.
@@ -448,6 +467,7 @@ mod tests {
             min_ns: 50_000_000,
             mean_ns: 50_000_000,
             emitted: 480,
+            evals_per_point: 4.5,
         }];
         let cfg = ExpConfig::default();
         let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4);
@@ -457,5 +477,46 @@ mod tests {
         let expected = pipeline::ARRIVALS as f64 / 0.05;
         assert!((rates[0].1 - expected).abs() / expected < 1e-3);
         assert!(parse_policy_rates("{}").is_empty());
+    }
+
+    fn fixed_timings() -> Vec<PolicyTiming> {
+        vec![PolicyTiming {
+            policy: "FCFS",
+            wall_s: 0.01,
+            min_ns: 10_000_000,
+            mean_ns: 10_000_000,
+            emitted: 480,
+            evals_per_point: 1.0,
+        }]
+    }
+
+    #[test]
+    fn first_run_has_no_previous_snapshot_and_passes() {
+        let dir = std::env::temp_dir().join("hcq_bench_first_run");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No BENCH_*.json at all: the comparison must be a clean no-op.
+        assert!(check_against_previous(&dir, &fixed_timings()).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_previous_snapshot_warns_instead_of_erroring() {
+        let dir = std::env::temp_dir().join("hcq_bench_unreadable_prev");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        // A directory squatting on the snapshot name: `exists()` is true,
+        // `read_to_string` fails. Before the fix this aborted the run.
+        std::fs::create_dir_all(dir.join("BENCH_1.json")).unwrap();
+        assert!(check_against_previous(&dir, &fixed_timings()).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unparseable_previous_snapshot_skips_comparison() {
+        let dir = std::env::temp_dir().join("hcq_bench_garbage_prev");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_1.json"), "not json at all").unwrap();
+        assert!(check_against_previous(&dir, &fixed_timings()).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,29 +1,35 @@
 //! CLI entry point: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N]
+//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE]
 //!
-//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults validate bench all
+//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead validate bench all
 //! (fig5..fig11 share one sweep; requesting any of them runs the sweep once)
 //! ```
 //!
 //! `--jobs N` sets the worker-thread count for independent experiment cells
 //! (default: the machine's available parallelism). Outputs are byte-identical
 //! at any job count. `bench` times the reference workload and writes
-//! `BENCH_1.json` to the repository root (or `--out`'s parent).
+//! `BENCH_1.json` to the repository root (or `--out`'s parent). `--trace FILE`
+//! additionally runs the single-stream workload once (HNR, 0.9 utilization)
+//! with scheduling-event tracing on and writes the JSONL trace to `FILE`;
+//! the trace is a pure function of the configuration, so re-runs are
+//! byte-identical.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use hcq_core::PolicyKind;
 use hcq_repro::{
-    bench, ext_faults, ext_lp, ext_memory, ext_overload, ext_preemption, ext_seeds, fig11, fig12,
-    fig13, fig14, fig5_to_10, table1, table2, table3, validate, ExpConfig,
+    bench, ext_faults, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption, ext_seeds,
+    fig11, fig12, fig13, fig14, fig5_to_10, table1, table2, table3, validate, ExpConfig,
 };
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = ExpConfig::default();
     let mut exhibits: Vec<String> = Vec::new();
+    let mut trace_out: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -33,6 +39,7 @@ fn main() -> ExitCode {
             "--out" => cfg.out_dir = PathBuf::from(expect(it.next(), "--out")),
             "--poisson" => cfg.bursty = false,
             "--jobs" => cfg.jobs = parse(it.next(), "--jobs"),
+            "--trace" => trace_out = Some(PathBuf::from(expect(it.next(), "--trace"))),
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -45,9 +52,24 @@ fn main() -> ExitCode {
             other => exhibits.push(other.to_string()),
         }
     }
-    if exhibits.is_empty() {
+    if exhibits.is_empty() && trace_out.is_none() {
         print_usage();
         return ExitCode::FAILURE;
+    }
+    if let Some(path) = &trace_out {
+        let (report, bytes) = cfg.run_single_traced(0.9, PolicyKind::Hnr.build());
+        if let Err(e) = std::fs::write(path, &bytes) {
+            eprintln!("could not write trace {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let lines = bytes.iter().filter(|&&b| b == b'\n').count();
+        println!(
+            "trace: {} events ({} scheduling points, {} emissions) written to {}",
+            lines,
+            report.sched_points,
+            report.emitted,
+            path.display()
+        );
     }
     if exhibits.iter().any(|e| e == "all") {
         exhibits = vec![
@@ -64,6 +86,7 @@ fn main() -> ExitCode {
             "ext_seeds".into(),
             "ext_overload".into(),
             "ext_faults".into(),
+            "ext_overhead".into(),
         ];
     }
     // fig5..fig11 are slices of one sweep; dedupe to a single run.
@@ -120,6 +143,9 @@ fn main() -> ExitCode {
             "ext_faults" => {
                 ext_faults(&cfg);
             }
+            "ext_overhead" => {
+                ext_overhead(&cfg);
+            }
             "table3" => {
                 table3(&cfg);
             }
@@ -143,7 +169,9 @@ fn main() -> ExitCode {
             }
         }
     }
-    println!("CSV output in {}", cfg.out_dir.display());
+    if !exhibits.is_empty() {
+        println!("CSV output in {}", cfg.out_dir.display());
+    }
     ExitCode::SUCCESS
 }
 
@@ -163,8 +191,9 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults validate bench all\n\
-         --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)"
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead validate bench all\n\
+         --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
+         --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)"
     );
 }

@@ -1039,3 +1039,95 @@ pub fn ext_seeds(cfg: &ExpConfig) -> ExhibitOutput {
     }
     .emit(cfg)
 }
+
+// ---------------------------------------- Extension: scheduler overhead
+
+/// Extension exhibit: the §6 scheduler-cost comparison, measured in exact
+/// operation counts instead of wall time. Sweeps the number of registered
+/// queries `q` and runs four BSD implementations at 0.95 utilization:
+/// the exact `O(q)` argmax scan, uniform and logarithmic Φ-clustering
+/// (`m = 12` clusters), and logarithmic clustering with Fagin top-1
+/// pruning. Columns report average priority evaluations and average total
+/// scheduler work (scans + evals + comparisons + cluster + heap ops) per
+/// scheduling point, from [`SimReport::overhead`] — deterministic and
+/// machine-independent. The exact scan's evals/point grows ~linearly with
+/// `q`; the clustered variants stay bounded by the cluster count.
+pub fn ext_overhead(cfg: &ExpConfig) -> ExhibitOutput {
+    let util = 0.95;
+    let m = 12;
+    let mut qs: Vec<usize> = [
+        cfg.queries / 4,
+        cfg.queries / 2,
+        cfg.queries,
+        cfg.queries * 2,
+    ]
+    .into_iter()
+    .map(|q| q.max(5))
+    .collect();
+    qs.dedup();
+    let clustered = |clustering: Clustering, use_fagin: bool| -> PolicyFactory {
+        Box::new(move || {
+            Box::new(ClusteredBsdPolicy::new(ClusterConfig {
+                clustering,
+                clusters: m,
+                use_fagin,
+                batch: false,
+            }))
+        })
+    };
+    type Variant = (&'static str, PolicyFactory);
+    let variants: Vec<Variant> = vec![
+        ("BSD-Exact", Box::new(|| PolicyKind::Bsd.build())),
+        ("BSD-Uniform", clustered(Clustering::Uniform, false)),
+        ("BSD-Log", clustered(Clustering::Logarithmic, false)),
+        ("BSD-Log-Fagin", clustered(Clustering::Logarithmic, true)),
+    ];
+    // One cell per (q, variant); counters don't need long runs, so cap the
+    // per-cell arrivals the same way `repro bench` caps its sweep.
+    let cells: Vec<(usize, usize)> = qs
+        .iter()
+        .flat_map(|&q| (0..variants.len()).map(move |v| (q, v)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let reports: Vec<SimReport> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (q, v) = cells[i];
+        let scaled = ExpConfig {
+            queries: q,
+            arrivals: cfg.arrivals.min(1_000),
+            ..cfg.clone()
+        };
+        let r = scaled.run_single(util, variants[v].1());
+        print_tick(&done, cells.len(), "ext_overhead");
+        r
+    });
+    let mut t = AsciiTable::new(vec![
+        "queries",
+        "exact_evals",
+        "uniform_evals",
+        "log_evals",
+        "fagin_evals",
+        "exact_work",
+        "uniform_work",
+        "log_work",
+        "fagin_work",
+    ]);
+    for (qi, &q) in qs.iter().enumerate() {
+        let by = |v: usize| &reports[qi * variants.len() + v];
+        t.row(vec![
+            q.to_string(),
+            fnum(by(0).evals_per_sched_point()),
+            fnum(by(1).evals_per_sched_point()),
+            fnum(by(2).evals_per_sched_point()),
+            fnum(by(3).evals_per_sched_point()),
+            fnum(by(0).overhead.work_per_point()),
+            fnum(by(1).overhead.work_per_point()),
+            fnum(by(2).overhead.work_per_point()),
+            fnum(by(3).overhead.work_per_point()),
+        ]);
+    }
+    ExhibitOutput {
+        name: "ext_overhead",
+        table: t,
+    }
+    .emit(cfg)
+}

@@ -8,7 +8,7 @@ use std::sync::mpsc;
 
 use hcq_common::Nanos;
 use hcq_core::{Policy, PolicyKind};
-use hcq_engine::{simulate, SimConfig, SimReport};
+use hcq_engine::{simulate, simulate_traced, JsonlTrace, SimConfig, SimReport};
 use hcq_streams::{ArrivalSource, OnOffSource, PoissonSource};
 use hcq_workload::{single_stream, PaperWorkload, SingleStreamConfig};
 
@@ -172,6 +172,41 @@ impl ExpConfig {
             )
         })
     }
+
+    /// As [`ExpConfig::run_single`], additionally streaming the scheduling
+    /// trace through a [`JsonlTrace`]; returns the report and the trace's
+    /// JSONL bytes. The traced simulation makes identical decisions, so the
+    /// report matches [`ExpConfig::run_single`] field for field.
+    pub fn run_single_traced(
+        &self,
+        utilization: f64,
+        policy: Box<dyn Policy>,
+    ) -> (SimReport, Vec<u8>) {
+        self.run_single_traced_with(utilization, policy, |c| c)
+    }
+
+    /// As [`ExpConfig::run_single_traced`] with a [`SimConfig`] tweak.
+    pub fn run_single_traced_with(
+        &self,
+        utilization: f64,
+        policy: Box<dyn Policy>,
+        tweak: impl FnOnce(SimConfig) -> SimConfig,
+    ) -> (SimReport, Vec<u8>) {
+        let w = self.workload(utilization);
+        let cfg = tweak(SimConfig::new(self.arrivals).with_seed(self.seed));
+        let sink = JsonlTrace::new(Vec::new());
+        let (report, sink) =
+            simulate_traced(&w.plan, &w.rates, vec![self.source(0)], policy, cfg, sink)
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "simulating traced single-stream workload (utilization={:.2}, \
+                         arrivals={}, seed={}): {e}",
+                        utilization, self.arrivals, self.seed
+                    )
+                });
+        let bytes = sink.finish().expect("in-memory trace writes cannot fail");
+        (report, bytes)
+    }
 }
 
 /// Cached results of the policy × utilization sweep behind Figures 5–10.
@@ -240,6 +275,27 @@ mod tests {
         let r = tiny().run_single(0.5, PolicyKind::Hnr.build());
         assert!(r.emitted > 0);
         assert!(r.qos.avg_slowdown >= 1.0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_yields_jsonl() {
+        let cfg = tiny();
+        let plain = cfg.run_single(0.5, PolicyKind::Hnr.build());
+        let (traced, bytes) = cfg.run_single_traced(0.5, PolicyKind::Hnr.build());
+        // Tracing observes; it must not steer.
+        assert_eq!(plain.emitted, traced.emitted);
+        assert_eq!(plain.sched_points, traced.sched_points);
+        assert_eq!(plain.end_time, traced.end_time);
+        assert_eq!(plain.overhead, traced.overhead);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.lines().count() > 0);
+        assert!(text.lines().all(|l| l.starts_with("{\"type\":\"")));
+        assert_eq!(
+            text.lines()
+                .filter(|l| l.contains("\"type\":\"sched_point\""))
+                .count() as u64,
+            traced.sched_points
+        );
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! tentpole guarantee at a miniature scale.
 
 use hcq_common::Nanos;
-use hcq_repro::{ext_faults, ext_overload, ext_seeds, fig12, fig5_to_10, ExpConfig};
+use hcq_core::PolicyKind;
+use hcq_repro::{ext_faults, ext_overhead, ext_overload, ext_seeds, fig12, fig5_to_10, ExpConfig};
 
 fn cfg(jobs: usize, tag: &str) -> ExpConfig {
     ExpConfig {
@@ -65,6 +66,36 @@ fn multi_axis_exhibits_are_byte_identical_across_job_counts() {
 /// and shedding decisions are pure functions of each cell's configuration,
 /// never of worker scheduling). Uses the bursty ON/OFF source like the real
 /// exhibit defaults.
+/// The scheduler-overhead exhibit reports pure operation counters; its CSV
+/// must not depend on how cells are spread over workers.
+#[test]
+fn overhead_exhibit_is_byte_identical_across_job_counts() {
+    let serial = cfg(1, "overhead_serial");
+    let parallel = cfg(4, "overhead_parallel");
+    ext_overhead(&serial);
+    ext_overhead(&parallel);
+    assert_dirs_identical(&serial, &parallel);
+    std::fs::remove_dir_all(&serial.out_dir).ok();
+    std::fs::remove_dir_all(&parallel.out_dir).ok();
+}
+
+/// A JSONL scheduling trace is a pure function of the configuration: the
+/// harness's worker-thread setting and repeated invocations must stream the
+/// exact same bytes.
+#[test]
+fn traces_are_byte_identical_across_job_counts_and_runs() {
+    let serial = cfg(1, "trace_serial");
+    let parallel = cfg(4, "trace_parallel");
+    let (ra, a) = serial.run_single_traced(0.9, PolicyKind::Hnr.build());
+    let (rb, b) = parallel.run_single_traced(0.9, PolicyKind::Hnr.build());
+    let (_, c) = serial.run_single_traced(0.9, PolicyKind::Hnr.build());
+    assert!(!a.is_empty(), "trace must carry events");
+    assert_eq!(a, b, "trace differs between jobs=1 and jobs=4");
+    assert_eq!(a, c, "trace differs between repeated runs");
+    assert_eq!(ra.emitted, rb.emitted);
+    assert_eq!(ra.overhead, rb.overhead);
+}
+
 #[test]
 fn overload_and_fault_exhibits_are_byte_identical_across_job_counts() {
     let mut serial = cfg(1, "overload_serial");

@@ -108,6 +108,46 @@ fn ext_preemption_compares_levels() {
     assert!(rendered.contains("operator"));
 }
 
+/// The acceptance criterion of the overhead exhibit, pinned at miniature
+/// scale: exact BSD's priority evaluations per scheduling point track the
+/// number of registered queries (~linear), while logarithmic clustering
+/// stays measurably sub-linear — straight from the emitted CSV.
+#[test]
+fn ext_overhead_shows_exact_linear_and_clustered_sublinear() {
+    let mut cfg = tiny();
+    cfg.queries = 24;
+    cfg.out_dir = std::env::temp_dir().join("hcq_overhead_smoke");
+    let out = hcq_repro::ext_overhead(&cfg);
+    assert_eq!(out.name, "ext_overhead");
+    let csv = std::fs::read_to_string(cfg.out_dir.join("ext_overhead.csv")).expect("csv written");
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    let col = |name: &str| header.iter().position(|&h| h == name).expect(name);
+    let (qi, exact_i, log_i) = (col("queries"), col("exact_evals"), col("log_evals"));
+    let rows: Vec<Vec<f64>> = lines
+        .map(|l| l.split(',').map(|v| v.parse::<f64>().unwrap()).collect())
+        .collect();
+    assert!(rows.len() >= 3, "needs a q sweep, got {} rows", rows.len());
+    let (first, last) = (&rows[0], &rows[rows.len() - 1]);
+    let q_growth = last[qi] / first[qi];
+    let exact_growth = last[exact_i] / first[exact_i];
+    let log_growth = last[log_i] / first[log_i];
+    assert!(
+        exact_growth > q_growth * 0.5,
+        "exact BSD evals/point must track q (q grew {q_growth:.1}x, evals {exact_growth:.1}x)"
+    );
+    assert!(
+        log_growth < exact_growth * 0.5,
+        "log-clustered evals/point must stay sub-linear \
+         (exact grew {exact_growth:.1}x, clustered {log_growth:.1}x)"
+    );
+    assert!(
+        last[log_i] < last[exact_i],
+        "at the largest q, clustering must undercut the exact scan"
+    );
+    std::fs::remove_dir_all(&cfg.out_dir).ok();
+}
+
 #[test]
 fn table3_taxonomy_complete() {
     let out = hcq_repro::table3(&tiny());
