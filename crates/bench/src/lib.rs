@@ -21,9 +21,25 @@ use hcq_core::{Policy, QueueView, UnitId, UnitStatics};
 pub mod pipeline {
     use hcq_common::Nanos;
     use hcq_core::PolicyKind;
-    use hcq_engine::{simulate, SimConfig, SimReport};
+    use hcq_engine::{
+        simulate, simulate_monitored, MetricsSink, SimConfig, SimReport, TelemetrySnapshot,
+    };
     use hcq_streams::PoissonSource;
     use hcq_workload::{single_stream, PaperWorkload, SingleStreamConfig};
+
+    /// Counts snapshots without storing them. Exporter-shaped: a real sink
+    /// consumes the borrowed snapshot in place, so the bench should not pay
+    /// for a deep clone the way the test-suite's `VecTelemetry` does.
+    #[derive(Debug, Default)]
+    struct CountingSink {
+        samples: usize,
+    }
+
+    impl MetricsSink for CountingSink {
+        fn sample(&mut self, _snapshot: &TelemetrySnapshot) {
+            self.samples += 1;
+        }
+    }
 
     /// Source arrivals per simulation.
     pub const ARRIVALS: u64 = 500;
@@ -63,6 +79,30 @@ pub mod pipeline {
             SimConfig::new(ARRIVALS).with_seed(3),
         )
         .expect("valid simulation")
+    }
+
+    /// Telemetry sampling cadence for the monitored variant of the fixture
+    /// (virtual time between snapshots).
+    pub fn telemetry_cadence() -> Nanos {
+        Nanos::from_millis(250)
+    }
+
+    /// The same simulation as [`run`], but with telemetry sampling on.
+    /// Returns the report plus the number of snapshots taken, so the
+    /// `repro bench` overhead check can compare like against like.
+    pub fn run_monitored(kind: PolicyKind, w: &PaperWorkload) -> (SimReport, usize) {
+        let (report, telemetry) = simulate_monitored(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(PoissonSource::new(mean_gap(), 9))],
+            kind.build(),
+            SimConfig::new(ARRIVALS)
+                .with_seed(3)
+                .with_telemetry_cadence(telemetry_cadence()),
+            CountingSink::default(),
+        )
+        .expect("valid simulation");
+        (report, telemetry.samples)
     }
 }
 

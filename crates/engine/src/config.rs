@@ -105,6 +105,10 @@ pub struct SimConfig {
     pub overload: OverloadConfig,
     /// Deterministic engine-side fault injection (default: none).
     pub faults: FaultConfig,
+    /// Virtual-time cadence between telemetry snapshots (default 100 ms).
+    /// Only read when a run is monitored (a [`crate::MetricsSink`] with
+    /// `ENABLED = true` is attached); otherwise no sampling happens at all.
+    pub telemetry_cadence: Nanos,
 }
 
 impl SimConfig {
@@ -122,6 +126,7 @@ impl SimConfig {
             cost_jitter: 0.0,
             overload: OverloadConfig::default(),
             faults: FaultConfig::default(),
+            telemetry_cadence: Nanos::from_millis(100),
         }
     }
 
@@ -161,6 +166,13 @@ impl SimConfig {
     /// Enable per-window QoS sampling.
     pub fn with_sample_window(mut self, window: Nanos) -> Self {
         self.sample_window = Some(window);
+        self
+    }
+
+    /// Set the telemetry sampling cadence (virtual time; must be positive).
+    pub fn with_telemetry_cadence(mut self, cadence: Nanos) -> Self {
+        assert!(!cadence.is_zero(), "telemetry cadence must be positive");
+        self.telemetry_cadence = cadence;
         self
     }
 
@@ -205,6 +217,19 @@ mod tests {
         assert_eq!(c.overload.capacity, 0);
         assert_eq!(c.overload.watermark, 0);
         assert_eq!(c.faults.cost_miscalibration, 0.0);
+        assert_eq!(c.telemetry_cadence, Nanos::from_millis(100));
+    }
+
+    #[test]
+    fn telemetry_cadence_builder() {
+        let c = SimConfig::new(1).with_telemetry_cadence(Nanos::from_millis(250));
+        assert_eq!(c.telemetry_cadence, Nanos::from_millis(250));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_telemetry_cadence_rejected() {
+        let _ = SimConfig::new(1).with_telemetry_cadence(Nanos::ZERO);
     }
 
     #[test]

@@ -54,12 +54,15 @@ pub mod model;
 pub mod queues;
 pub mod report;
 pub mod sim;
+pub mod telemetry;
 pub mod trace;
 pub mod tuple;
 
 pub use config::{AdmissionMode, FaultConfig, OverloadConfig, SchedulingLevel, SimConfig};
+pub use hcq_metrics::TelemetrySnapshot;
 pub use model::{SimModel, UnitDesc, UnitKind};
 pub use report::SimReport;
-pub use sim::{simulate, simulate_traced, Simulator};
+pub use sim::{simulate, simulate_monitored, simulate_traced, Simulator};
+pub use telemetry::{JsonlTelemetry, MetricsSink, NoTelemetry, VecTelemetry};
 pub use trace::{JsonlTrace, NoTrace, TraceEvent, TraceSink, VecTrace};
 pub use tuple::SimTuple;

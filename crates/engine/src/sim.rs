@@ -16,6 +16,7 @@ use crate::config::{AdmissionMode, SchedulingLevel, SimConfig};
 use crate::model::{SimModel, UnitKind};
 use crate::queues::UnitQueues;
 use crate::report::SimReport;
+use crate::telemetry::{EngineTelemetry, MetricsSink, NoTelemetry};
 use crate::trace::{NoTrace, TraceEvent, TraceSink};
 use crate::tuple::SimTuple;
 
@@ -50,10 +51,30 @@ pub fn simulate_traced<S: TraceSink>(
     Simulator::with_sink(plan, rates, sources, policy, cfg, sink)?.run_with_sink()
 }
 
+/// Run a complete simulation sampling [`hcq_metrics::TelemetrySnapshot`]s
+/// into `metrics` every [`SimConfig::telemetry_cadence`] of virtual time.
+///
+/// Identical decisions and report to [`simulate`] — telemetry observes, it
+/// never steers. Returns the sink alongside the report so buffering sinks
+/// (e.g. [`crate::telemetry::JsonlTelemetry`]) can be finished/inspected.
+pub fn simulate_monitored<M: MetricsSink>(
+    plan: &GlobalPlan,
+    rates: &StreamRates,
+    sources: Vec<Box<dyn ArrivalSource>>,
+    policy: Box<dyn Policy>,
+    cfg: SimConfig,
+    metrics: M,
+) -> Result<(SimReport, M)> {
+    Simulator::with_instrumentation(plan, rates, sources, policy, cfg, NoTrace, metrics)?
+        .run_instrumented()
+        .map(|(report, _, metrics)| (report, metrics))
+}
+
 /// The simulator. Most callers use [`simulate`]; the struct is public for
 /// step-wise tests and custom instrumentation. The `S` parameter is the
-/// trace sink: [`NoTrace`] (the default) compiles every emission site out.
-pub struct Simulator<S: TraceSink = NoTrace> {
+/// trace sink and `M` the telemetry sink: the defaults ([`NoTrace`],
+/// [`NoTelemetry`]) compile every emission and sampling site out.
+pub struct Simulator<S: TraceSink = NoTrace, M: MetricsSink = NoTelemetry> {
     model: SimModel,
     policy: Box<dyn Policy>,
     queues: UnitQueues,
@@ -114,11 +135,16 @@ pub struct Simulator<S: TraceSink = NoTrace> {
     trace_buffering: bool,
     /// The unit currently executing (attributes `Emit` events).
     current_unit: u32,
+
+    metrics: M,
+    /// The instrument set, built only when `M::ENABLED` (boxed so the
+    /// unmonitored simulator carries one pointer, not the whole registry).
+    telemetry: Option<Box<EngineTelemetry>>,
 }
 
-impl Simulator<NoTrace> {
-    /// Build an untraced simulator; validates the plan/source/level
-    /// combination.
+impl Simulator<NoTrace, NoTelemetry> {
+    /// Build an untraced, unmonitored simulator; validates the
+    /// plan/source/level combination.
     pub fn new(
         plan: &GlobalPlan,
         rates: &StreamRates,
@@ -130,15 +156,31 @@ impl Simulator<NoTrace> {
     }
 }
 
-impl<S: TraceSink> Simulator<S> {
+impl<S: TraceSink> Simulator<S, NoTelemetry> {
     /// Build a simulator that streams [`TraceEvent`]s into `sink`.
     pub fn with_sink(
+        plan: &GlobalPlan,
+        rates: &StreamRates,
+        sources: Vec<Box<dyn ArrivalSource>>,
+        policy: Box<dyn Policy>,
+        cfg: SimConfig,
+        sink: S,
+    ) -> Result<Self> {
+        Self::with_instrumentation(plan, rates, sources, policy, cfg, sink, NoTelemetry)
+    }
+}
+
+impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
+    /// Build a fully instrumented simulator: `sink` receives per-event
+    /// [`TraceEvent`]s, `metrics` receives per-cadence snapshots.
+    pub fn with_instrumentation(
         plan: &GlobalPlan,
         rates: &StreamRates,
         mut sources: Vec<Box<dyn ArrivalSource>>,
         mut policy: Box<dyn Policy>,
         cfg: SimConfig,
         sink: S,
+        metrics: M,
     ) -> Result<Self> {
         if cfg.overload.mode != AdmissionMode::Unbounded && cfg.overload.capacity == 0 {
             return Err(HcqError::config(format!(
@@ -198,6 +240,15 @@ impl<S: TraceSink> Simulator<S> {
             AdmissionMode::Unbounded => UnitQueues::new(n_units),
             _ => UnitQueues::bounded(n_units, cfg.overload.capacity),
         };
+        let telemetry = if M::ENABLED {
+            Some(Box::new(EngineTelemetry::new(
+                n_units,
+                model.compiled.len(),
+                &cfg,
+            )))
+        } else {
+            None
+        };
         Ok(Simulator {
             model,
             policy,
@@ -233,6 +284,8 @@ impl<S: TraceSink> Simulator<S> {
             trace_buf: Vec::new(),
             trace_buffering: false,
             current_unit: 0,
+            metrics,
+            telemetry,
         })
     }
 
@@ -262,7 +315,13 @@ impl<S: TraceSink> Simulator<S> {
 
     /// [`run`](Self::run), but also hand back the trace sink so buffered
     /// events can be inspected or flushed.
-    pub fn run_with_sink(mut self) -> Result<(SimReport, S)> {
+    pub fn run_with_sink(self) -> Result<(SimReport, S)> {
+        self.run_instrumented()
+            .map(|(report, sink, _)| (report, sink))
+    }
+
+    /// [`run`](Self::run), handing back both instrumentation sinks.
+    pub fn run_instrumented(mut self) -> Result<(SimReport, S, M)> {
         if S::ENABLED && self.cfg.faults.cost_miscalibration > 0.0 {
             let magnitude = self.cfg.faults.cost_miscalibration;
             self.trace(TraceEvent::Fault {
@@ -273,6 +332,9 @@ impl<S: TraceSink> Simulator<S> {
         }
         loop {
             self.deliver_due_arrivals();
+            if M::ENABLED {
+                self.sample_telemetry();
+            }
             if self.queues.all_empty() {
                 // Idle: jump to the next arrival, or finish.
                 match self.peek_next_arrival() {
@@ -327,6 +389,9 @@ impl<S: TraceSink> Simulator<S> {
                 self.execute_unit(unit)?;
             }
         }
+        if M::ENABLED {
+            self.final_sample();
+        }
         let report = SimReport {
             qos: self.qos.summary(),
             classes: self.classes,
@@ -351,7 +416,67 @@ impl<S: TraceSink> Simulator<S> {
             peak_pending: self.peak_pending,
             pending_end: self.queues.pending(),
         };
-        Ok((report, self.sink))
+        Ok((report, self.sink, self.metrics))
+    }
+
+    /// Emit a snapshot for every cadence boundary the clock has reached.
+    /// Snapshots are stamped at the boundary; the state they carry is read
+    /// at the first scheduling point at or after it (queue contents are
+    /// constant between events, so nothing is missed). The instrument set
+    /// is taken out of `self` for the duration because `record_state`
+    /// re-borrows the simulator.
+    fn sample_telemetry(&mut self) {
+        let Some(mut t) = self.telemetry.take() else {
+            return;
+        };
+        while self.clock >= t.next_sample {
+            let at = t.next_sample;
+            t.next_sample = at + t.cadence;
+            self.record_state(&mut t);
+            self.metrics.sample(&t.registry.snapshot(at));
+        }
+        self.telemetry = Some(t);
+    }
+
+    /// The closing snapshot, stamped at the run's end time, so the last
+    /// sample's counters reconcile exactly with the [`SimReport`].
+    fn final_sample(&mut self) {
+        let Some(mut t) = self.telemetry.take() else {
+            return;
+        };
+        self.record_state(&mut t);
+        self.metrics.sample(&t.registry.snapshot(self.clock));
+        self.telemetry = Some(t);
+    }
+
+    /// Load every counter and gauge from live simulator state. Summary
+    /// instruments are fed incrementally by [`Self::emit`] instead.
+    fn record_state(&self, t: &mut EngineTelemetry) {
+        let reg = &mut t.registry;
+        reg.set_counter(t.arrivals, self.arrivals_injected);
+        reg.set_counter(t.emitted, self.emitted);
+        reg.set_counter(t.dropped, self.dropped);
+        reg.set_counter(t.shed, self.shed);
+        reg.set_counter(t.sched_points, self.sched_points);
+        reg.set_counter(t.busy_ns, self.busy_time.as_nanos());
+        reg.set_counter(t.overhead_ns, self.overhead_time.as_nanos());
+        reg.set_counter(t.overload_ns, self.overload_time.as_nanos());
+        reg.set_gauge(t.pending, self.queues.pending() as f64);
+        reg.set_gauge(t.peak_pending, self.peak_pending as f64);
+        let utilization = if self.clock.is_zero() {
+            0.0
+        } else {
+            (self.busy_time + self.overhead_time).ratio(self.clock)
+        };
+        reg.set_gauge(t.utilization, utilization);
+        for u in 0..t.queue_depth.len() {
+            let unit = u as u32;
+            reg.set_gauge(t.queue_depth[u], self.queues.len(unit) as f64);
+            let age = self.queues.head_arrival(unit).map_or(0.0, |a| {
+                self.clock.saturating_since(a).as_nanos() as f64 / 1e9
+            });
+            reg.set_gauge(t.backlog_age[u], age);
+        }
     }
 
     /// Advance the virtual clock, integrating the pending-tuple count over
@@ -746,6 +871,11 @@ impl<S: TraceSink> Simulator<S> {
         self.histogram.record(slowdown);
         if let Some(series) = self.series.as_mut() {
             series.record(self.clock, response, slowdown);
+        }
+        if M::ENABLED {
+            if let Some(t) = self.telemetry.as_mut() {
+                t.observe_emit(query, response, slowdown);
+            }
         }
         if S::ENABLED {
             let unit = self.current_unit;

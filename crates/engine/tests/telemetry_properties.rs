@@ -1,0 +1,234 @@
+//! Randomized invariants of the telemetry subsystem: for arbitrary small
+//! workloads, arrival patterns, policies, and overload settings, sampling
+//! must (a) observe without steering — a monitored run's report is identical
+//! to the unmonitored run's, (b) reconcile — the final snapshot's counters
+//! equal the report's totals exactly, and (c) be deterministic — the JSONL
+//! snapshot stream is byte-stable across runs and sample timestamps fall on
+//! cadence boundaries (except the closing end-of-run snapshot).
+
+use hcq_common::{Nanos, StreamId};
+use hcq_core::PolicyKind;
+use hcq_engine::{
+    simulate, simulate_monitored, AdmissionMode, JsonlTelemetry, SimConfig, SimReport, VecTelemetry,
+};
+use hcq_metrics::TelemetrySnapshot;
+use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
+use hcq_streams::TraceReplay;
+use proptest::prelude::*;
+
+/// Random single-stream chains: per query, 1–4 operators with ms costs and
+/// coarse selectivities.
+fn plan_strategy() -> impl Strategy<Value = Vec<Vec<(u64, f64)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((1u64..=16, 0.1f64..=1.0), 1..=4),
+        1..=6,
+    )
+}
+
+/// Random arrival gaps (ms); replayed identically for every run.
+fn arrivals_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..=60, 5..=60)
+}
+
+fn build_plan(chains: &[Vec<(u64, f64)>]) -> GlobalPlan {
+    let mut plan = GlobalPlan::default();
+    for chain in chains {
+        let mut b = QueryBuilder::on(StreamId::new(0));
+        for &(cost, sel) in chain {
+            b = b.map(Nanos::from_millis(cost), sel);
+        }
+        plan.add_query(b.build().expect("valid chain"));
+    }
+    plan
+}
+
+fn arrival_times(gaps: &[u64]) -> Vec<Nanos> {
+    let mut t = Nanos::ZERO;
+    gaps.iter()
+        .map(|&g| {
+            t += Nanos::from_millis(g);
+            t
+        })
+        .collect()
+}
+
+fn config(arrivals: u64, seed: u64, overload: bool, cadence_ms: u64) -> SimConfig {
+    let cfg = SimConfig::new(arrivals)
+        .with_seed(seed)
+        .with_telemetry_cadence(Nanos::from_millis(cadence_ms));
+    if overload {
+        cfg.with_admission(AdmissionMode::QosShed, 2)
+            .with_watermark(4)
+    } else {
+        cfg
+    }
+}
+
+fn run_monitored(
+    chains: &[Vec<(u64, f64)>],
+    gaps: &[u64],
+    kind: PolicyKind,
+    seed: u64,
+    overload: bool,
+    cadence_ms: u64,
+) -> (SimReport, Vec<TelemetrySnapshot>) {
+    let plan = build_plan(chains);
+    let arrivals = arrival_times(gaps);
+    let n = arrivals.len() as u64;
+    let (report, sink) = simulate_monitored(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        kind.build(),
+        config(n, seed, overload, cadence_ms),
+        VecTelemetry::new(),
+    )
+    .unwrap();
+    (report, sink.samples)
+}
+
+fn run_plain(
+    chains: &[Vec<(u64, f64)>],
+    gaps: &[u64],
+    kind: PolicyKind,
+    seed: u64,
+    overload: bool,
+    cadence_ms: u64,
+) -> SimReport {
+    let plan = build_plan(chains);
+    let arrivals = arrival_times(gaps);
+    let n = arrivals.len() as u64;
+    simulate(
+        &plan,
+        &StreamRates::none(),
+        vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+        kind.build(),
+        config(n, seed, overload, cadence_ms),
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Telemetry observes, never steers: the monitored report matches the
+    /// unmonitored one in every field that drives the exhibits.
+    #[test]
+    fn telemetry_never_changes_the_simulation(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        seed in 0u64..50,
+        overload in any::<bool>(),
+        cadence_ms in 1u64..=300,
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let (monitored, _) = run_monitored(&chains, &gaps, kind, seed, overload, cadence_ms);
+        let plain = run_plain(&chains, &gaps, kind, seed, overload, cadence_ms);
+        prop_assert_eq!(monitored.qos, plain.qos);
+        prop_assert_eq!(monitored.arrivals, plain.arrivals);
+        prop_assert_eq!(monitored.emitted, plain.emitted);
+        prop_assert_eq!(monitored.dropped, plain.dropped);
+        prop_assert_eq!(monitored.shed, plain.shed);
+        prop_assert_eq!(monitored.sched_points, plain.sched_points);
+        prop_assert_eq!(monitored.end_time, plain.end_time);
+        prop_assert_eq!(monitored.overhead, plain.overhead);
+        prop_assert_eq!(monitored.busy_time, plain.busy_time);
+        prop_assert_eq!(monitored.overload_time, plain.overload_time);
+        prop_assert_eq!(monitored.pending_end, plain.pending_end);
+        prop_assert_eq!(monitored.peak_pending, plain.peak_pending);
+    }
+
+    /// The final snapshot's counters equal the report's totals exactly, and
+    /// its pending/peak gauges match the report's end-of-run state.
+    #[test]
+    fn final_snapshot_reconciles_with_report(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        seed in 0u64..50,
+        overload in any::<bool>(),
+        cadence_ms in 1u64..=300,
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let (report, samples) = run_monitored(&chains, &gaps, kind, seed, overload, cadence_ms);
+        let last = samples.last().expect("a final snapshot always exists");
+        prop_assert_eq!(last.at, report.end_time);
+        prop_assert_eq!(last.counter("hcq_arrivals_total"), Some(report.arrivals));
+        prop_assert_eq!(last.counter("hcq_emitted_total"), Some(report.emitted));
+        prop_assert_eq!(last.counter("hcq_dropped_total"), Some(report.dropped));
+        prop_assert_eq!(last.counter("hcq_shed_total"), Some(report.shed));
+        prop_assert_eq!(
+            last.counter("hcq_sched_points_total"),
+            Some(report.sched_points)
+        );
+        prop_assert_eq!(
+            last.counter("hcq_busy_time_ns_total"),
+            Some(report.busy_time.as_nanos())
+        );
+        prop_assert_eq!(
+            last.counter("hcq_overload_time_ns_total"),
+            Some(report.overload_time.as_nanos())
+        );
+        prop_assert_eq!(
+            last.gauge("hcq_pending_tuples"),
+            Some(report.pending_end as f64)
+        );
+        prop_assert_eq!(
+            last.gauge("hcq_peak_pending_tuples"),
+            Some(report.peak_pending as f64)
+        );
+        // Emission summaries across all windows partition the emissions.
+        let windowed: u64 = samples
+            .iter()
+            .map(|s| s.summary("hcq_slowdown").expect("registered").count)
+            .sum();
+        prop_assert_eq!(windowed, report.emitted);
+    }
+
+    /// Samples are stamped on cadence boundaries (except the closing one),
+    /// strictly ordered in time-then-sequence, and the stream is
+    /// byte-deterministic across repeated runs.
+    #[test]
+    fn snapshot_stream_is_cadenced_and_byte_deterministic(
+        chains in plan_strategy(),
+        gaps in arrivals_strategy(),
+        kind_idx in 0usize..PolicyKind::ALL.len(),
+        seed in 0u64..50,
+        cadence_ms in 1u64..=300,
+    ) {
+        let kind = PolicyKind::ALL[kind_idx];
+        let (_, samples) = run_monitored(&chains, &gaps, kind, seed, false, cadence_ms);
+        let cadence = Nanos::from_millis(cadence_ms);
+        for (i, s) in samples.iter().enumerate() {
+            prop_assert_eq!(s.seq, i as u64 + 1);
+            if i + 1 < samples.len() {
+                prop_assert_eq!(
+                    s.at.as_nanos() % cadence.as_nanos(),
+                    0,
+                    "non-final sample off the cadence grid at {:?}",
+                    s.at
+                );
+            }
+            if i > 0 {
+                prop_assert!(samples[i - 1].at <= s.at, "samples moved backwards");
+            }
+        }
+        let render = || -> Vec<u8> {
+            let plan = build_plan(&chains);
+            let arrivals = arrival_times(&gaps);
+            let n = arrivals.len() as u64;
+            let (_, sink) = simulate_monitored(
+                &plan,
+                &StreamRates::none(),
+                vec![Box::new(TraceReplay::from_arrivals(arrivals).unwrap())],
+                kind.build(),
+                config(n, seed, false, cadence_ms),
+                JsonlTelemetry::new(Vec::new()),
+            )
+            .unwrap();
+            sink.finish().unwrap()
+        };
+        prop_assert_eq!(render(), render());
+    }
+}

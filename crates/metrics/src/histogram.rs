@@ -69,13 +69,22 @@ impl SlowdownHistogram {
             .collect()
     }
 
-    /// Estimate the `q`-quantile (0 ≤ q ≤ 1) as the lower edge of the bucket
-    /// containing it. Returns 0 for an empty histogram.
+    /// Estimate the `q`-quantile as the lower edge of the bucket containing
+    /// the rank-`⌈q·total⌉` observation. Edge cases are pinned:
+    ///
+    /// * empty histogram → `0.0` (the only reachable value below 1),
+    /// * `q = 0.0` → lower edge of the first non-empty bucket,
+    /// * `q = 1.0` → lower edge of the last non-empty bucket (the bucket
+    ///   holding the maximum observation),
+    /// * `q` outside `[0, 1]` (including NaN) clamps into range.
+    ///
+    /// The rank is clamped to `[1, total]`, so the bucket scan always
+    /// terminates at a non-empty bucket — no fallthrough value exists.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
-        let rank = ((q.clamp(0.0, 1.0)) * self.total as f64).ceil().max(1.0) as u64;
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
         let mut seen = 0;
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
@@ -83,7 +92,7 @@ impl SlowdownHistogram {
                 return self.bucket_low(i);
             }
         }
-        self.bucket_low(self.counts.len().saturating_sub(1))
+        unreachable!("rank {rank} exceeds recorded total {}", self.total)
     }
 }
 
@@ -138,6 +147,33 @@ mod tests {
     #[test]
     fn empty_quantile_is_zero() {
         assert_eq!(SlowdownHistogram::default().quantile(0.5), 0.0);
+        assert_eq!(SlowdownHistogram::default().quantile(0.0), 0.0);
+        assert_eq!(SlowdownHistogram::default().quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn quantile_edges_are_pinned() {
+        // Known distribution: 3 in [1,2), 1 in [4,8), 1 in [64,128).
+        let mut h = SlowdownHistogram::new(2.0);
+        for &v in &[1.0, 1.2, 1.9, 5.0, 100.0] {
+            h.record(v);
+        }
+        // p0: first non-empty bucket's lower edge.
+        assert_eq!(h.quantile(0.0), 1.0);
+        // p50: rank ceil(0.5*5)=3 is the last of the three in [1,2).
+        assert_eq!(h.quantile(0.5), 1.0);
+        // p100: the bucket holding the maximum, not a fallthrough.
+        assert_eq!(h.quantile(1.0), 64.0);
+    }
+
+    #[test]
+    fn out_of_range_q_clamps() {
+        let mut h = SlowdownHistogram::new(2.0);
+        h.record(3.0);
+        h.record(9.0);
+        assert_eq!(h.quantile(-0.5), h.quantile(0.0));
+        assert_eq!(h.quantile(1.5), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
     }
 
     #[test]

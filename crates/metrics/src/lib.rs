@@ -15,6 +15,12 @@
 //! log-bucketed distribution shape and quantile estimates;
 //! [`QosTimeSeries`] tracks the trajectory through bursts.
 //!
+//! For live observation, [`TelemetryRegistry`] holds typed instruments
+//! (counters, gauges, windowed quantile summaries) that snapshot into
+//! [`TelemetrySnapshot`]s, exportable as JSONL or Prometheus text
+//! exposition format ([`render_prometheus`], validated by
+//! [`check_exposition`]).
+//!
 //! ```
 //! use hcq_common::Nanos;
 //! use hcq_metrics::QosAccumulator;
@@ -32,6 +38,8 @@ pub mod class;
 pub mod histogram;
 pub mod kahan;
 pub mod overhead;
+pub mod prometheus;
+pub mod telemetry;
 pub mod timeseries;
 
 pub use accumulator::{QosAccumulator, QosSummary};
@@ -39,4 +47,9 @@ pub use class::ClassBreakdown;
 pub use histogram::SlowdownHistogram;
 pub use kahan::KahanSum;
 pub use overhead::OverheadTotals;
+pub use prometheus::{check_exposition, render_prometheus};
+pub use telemetry::{
+    InstrumentId, InstrumentKind, MetricSample, MetricValue, SummaryValue, TelemetryRegistry,
+    TelemetrySnapshot,
+};
 pub use timeseries::QosTimeSeries;

@@ -28,6 +28,11 @@ impl QosTimeSeries {
     }
 
     /// Record an emission that departed at `at`.
+    ///
+    /// Windows are half-open: window `k` covers `[k·w, (k+1)·w)`, so an
+    /// emission landing *exactly* on a boundary `k·w` belongs to window `k`
+    /// (the later window), never the one that just closed. This is the
+    /// integer-division convention — deterministic by construction.
     pub fn record(&mut self, at: Nanos, response: Nanos, slowdown: f64) {
         let idx = (at.as_nanos() / self.window.as_nanos()) as usize;
         if self.buckets.len() <= idx {
@@ -51,14 +56,19 @@ impl QosTimeSeries {
         self.buckets.is_empty()
     }
 
-    /// `(window start, summary)` for every window, including empty ones
-    /// (count 0) so plots keep their time axis.
-    pub fn series(&self) -> Vec<(Nanos, QosSummary)> {
+    /// Iterate `(window start, summary)` over every window, including empty
+    /// ones (count 0) so plots keep their time axis. Window `k` starts at
+    /// `k·w` and covers `[k·w, (k+1)·w)`.
+    pub fn windows(&self) -> impl Iterator<Item = (Nanos, QosSummary)> + '_ {
         self.buckets
             .iter()
             .enumerate()
             .map(|(i, acc)| (self.window * i as u64, acc.summary()))
-            .collect()
+    }
+
+    /// Collected form of [`Self::windows`].
+    pub fn series(&self) -> Vec<(Nanos, QosSummary)> {
+        self.windows().collect()
     }
 
     /// The window with the worst average slowdown, if any emissions exist.
@@ -93,6 +103,30 @@ mod tests {
         assert_eq!(series[2].1.count, 0);
         assert_eq!(series[3].1.count, 1);
         assert_eq!(series[3].0, ms(30));
+    }
+
+    #[test]
+    fn boundary_emissions_land_in_the_later_window() {
+        // Windows are [k·w, (k+1)·w): an emission at exactly k·w belongs to
+        // window k, so window 0 stays empty here.
+        let mut ts = QosTimeSeries::new(ms(10));
+        ts.record(ms(10), ms(1), 2.0);
+        assert_eq!(ts.len(), 2);
+        let series = ts.series();
+        assert_eq!(series[0].1.count, 0);
+        assert_eq!(series[1].0, ms(10));
+        assert_eq!(series[1].1.count, 1);
+    }
+
+    #[test]
+    fn windows_iterator_matches_series() {
+        let mut ts = QosTimeSeries::new(ms(10));
+        ts.record(ms(3), ms(1), 1.5);
+        ts.record(ms(27), ms(2), 4.0);
+        let collected: Vec<_> = ts.windows().collect();
+        assert_eq!(collected, ts.series());
+        assert_eq!(collected.len(), 3);
+        assert_eq!(collected[2].0, ms(20));
     }
 
     #[test]

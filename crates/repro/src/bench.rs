@@ -10,7 +10,10 @@
 //!    so JSON trajectories and `cargo bench` trends stay comparable. When
 //!    the `CRITERION_JSON_OUT` environment variable names a readable
 //!    JSON-lines file (as written by the criterion shim), its
-//!    `simulate_arrivals/*` entries are ingested verbatim instead.
+//!    `simulate_arrivals/*` entries are ingested verbatim instead. Each
+//!    policy is also timed with telemetry sampling on (same workload,
+//!    250 ms virtual-time cadence); the on/off throughput ratio is printed
+//!    and gated so sink hooks cannot silently leak cost into the hot path.
 //! 2. **Sweep speedup** — the fig5–10 policy × load sweep run serially and
 //!    with worker threads, recording both wall times and their ratio. The
 //!    measured speedup is whatever the host delivers (a single-core machine
@@ -45,6 +48,11 @@ struct PolicyTiming {
     /// Average priority evaluations per scheduling point (identical across
     /// samples — operation counts are deterministic, unlike wall time).
     evals_per_point: f64,
+    /// Mean wall-clock seconds per simulation with telemetry sampling on
+    /// (same workload, `pipeline::telemetry_cadence()` snapshots).
+    telemetry_wall_s: f64,
+    /// Snapshots per monitored run (identical across samples).
+    telemetry_samples: usize,
 }
 
 /// Warm-up runs per policy before timing.
@@ -74,6 +82,23 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 evals_per_point = report.evals_per_sched_point();
             }
             let mean_ns = total_ns / SAMPLES as u128;
+            for _ in 0..WARMUP {
+                pipeline::run_monitored(kind, &w);
+            }
+            let mut telemetry_samples = 0;
+            let mut telemetry_ns = 0u128;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                let (report, samples) = pipeline::run_monitored(kind, &w);
+                telemetry_ns += t0.elapsed().as_nanos();
+                telemetry_samples = samples;
+                assert_eq!(
+                    report.emitted,
+                    emitted,
+                    "telemetry changed the simulation for {}",
+                    kind.name()
+                );
+            }
             PolicyTiming {
                 policy: kind.name(),
                 wall_s: mean_ns as f64 / 1e9,
@@ -81,6 +106,8 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 mean_ns,
                 emitted,
                 evals_per_point,
+                telemetry_wall_s: (telemetry_ns / SAMPLES as u128) as f64 / 1e9,
+                telemetry_samples,
             }
         })
         .collect()
@@ -283,6 +310,36 @@ fn check_against_previous(dir: &Path, timings: &[PolicyTiming]) -> Result<()> {
     Ok(())
 }
 
+/// Compare telemetry-on against telemetry-off throughput on the same run.
+/// Sampling at the bench cadence should be free to within measurement noise
+/// ([`NOISE_BAND`]); a drop below [`REGRESSION_FLOOR`] aborts the run — that
+/// would mean the sink hooks leak cost into the hot path.
+fn check_telemetry_overhead(timings: &[PolicyTiming]) {
+    println!("== bench: telemetry overhead (on/off throughput ratio) ==");
+    for t in timings {
+        let ratio = t.wall_s / t.telemetry_wall_s.max(1e-12);
+        let note = if ratio < NOISE_BAND.0 || ratio > NOISE_BAND.1 {
+            "  <- outside noise band"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>5}: {:.3} s off, {:.3} s on ({} snapshots, {ratio:.2}x){note}",
+            t.policy, t.wall_s, t.telemetry_wall_s, t.telemetry_samples
+        );
+        assert!(
+            ratio >= REGRESSION_FLOOR,
+            "telemetry sampling slowed {} beyond the regression floor: \
+             {:.3} s off vs {:.3} s on ({:.2}x, floor {}x)",
+            t.policy,
+            t.wall_s,
+            t.telemetry_wall_s,
+            ratio,
+            REGRESSION_FLOOR
+        );
+    }
+}
+
 fn render_json(
     cfg: &ExpConfig,
     timings: &[PolicyTiming],
@@ -315,12 +372,17 @@ fn render_json(
         writeln!(
             w,
             "      {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_tuples_per_s\": {:.1}, \
-             \"sched_evals_per_point\": {:.2}, \"emitted\": {}}}{}",
+             \"sched_evals_per_point\": {:.2}, \"emitted\": {}, \
+             \"telemetry_wall_s\": {:.6}, \"telemetry_tuples_per_s\": {:.1}, \
+             \"telemetry_samples\": {}}}{}",
             t.policy,
             t.wall_s,
             pipeline::ARRIVALS as f64 / t.wall_s,
             t.evals_per_point,
             t.emitted,
+            t.telemetry_wall_s,
+            pipeline::ARRIVALS as f64 / t.telemetry_wall_s.max(1e-12),
+            t.telemetry_samples,
             comma
         )
         .unwrap();
@@ -376,6 +438,7 @@ pub fn bench(cfg: &ExpConfig) -> Result<PathBuf> {
             t.evals_per_point
         );
     }
+    check_telemetry_overhead(&timings);
     println!("== bench: sweep serial vs parallel ==");
     let (sweep_cfg, serial_s, parallel_s, par_jobs) = time_sweep(cfg);
     println!(
@@ -412,6 +475,8 @@ mod tests {
                 mean_ns: 10_000_000,
                 emitted: 480,
                 evals_per_point: 1.0,
+                telemetry_wall_s: 0.0125,
+                telemetry_samples: 21,
             },
             PolicyTiming {
                 policy: "BSD",
@@ -420,6 +485,8 @@ mod tests {
                 mean_ns: 20_000_000,
                 emitted: 470,
                 evals_per_point: 37.25,
+                telemetry_wall_s: 0.02,
+                telemetry_samples: 21,
             },
         ];
         let cfg = ExpConfig {
@@ -431,6 +498,8 @@ mod tests {
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"sim_tuples_per_s\": 50000.0"));
         assert!(json.contains("\"sched_evals_per_point\": 37.25"));
+        assert!(json.contains("\"telemetry_tuples_per_s\": 40000.0"));
+        assert!(json.contains("\"telemetry_samples\": 21"));
         assert!(json.contains("simulate_arrivals/FCFS"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON parser in the dependency set.
@@ -468,12 +537,16 @@ mod tests {
             mean_ns: 50_000_000,
             emitted: 480,
             evals_per_point: 4.5,
+            telemetry_wall_s: 0.055,
+            telemetry_samples: 21,
         }];
         let cfg = ExpConfig::default();
         let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4);
         let rates = parse_policy_rates(&json);
         assert_eq!(rates.len(), 1);
         assert_eq!(rates[0].0, "HNR");
+        // The untelemetered rate, not `telemetry_tuples_per_s` from the
+        // same line — the trajectory gate compares like against like.
         let expected = pipeline::ARRIVALS as f64 / 0.05;
         assert!((rates[0].1 - expected).abs() / expected < 1e-3);
         assert!(parse_policy_rates("{}").is_empty());
@@ -487,7 +560,19 @@ mod tests {
             mean_ns: 10_000_000,
             emitted: 480,
             evals_per_point: 1.0,
+            telemetry_wall_s: 0.0125,
+            telemetry_samples: 21,
         }]
+    }
+
+    #[test]
+    fn telemetry_overhead_gate_accepts_noise_and_rejects_regressions() {
+        // 0.8x on/off ratio is inside the floor: no panic.
+        check_telemetry_overhead(&fixed_timings());
+        let mut slow = fixed_timings();
+        slow[0].telemetry_wall_s = slow[0].wall_s / (REGRESSION_FLOOR / 2.0);
+        let outcome = std::panic::catch_unwind(|| check_telemetry_overhead(&slow));
+        assert!(outcome.is_err(), "a 0.125x ratio must abort the run");
     }
 
     #[test]

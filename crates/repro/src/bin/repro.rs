@@ -1,9 +1,9 @@
 //! CLI entry point: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE]
+//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR]
 //!
-//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead validate bench all
+//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_transient monitor validate bench all
 //! (fig5..fig11 share one sweep; requesting any of them runs the sweep once)
 //! ```
 //!
@@ -15,14 +15,23 @@
 //! with scheduling-event tracing on and writes the JSONL trace to `FILE`;
 //! the trace is a pure function of the configuration, so re-runs are
 //! byte-identical.
+//!
+//! `monitor` runs the same reference workload with telemetry sampling on
+//! (`--cadence MS` of virtual time per snapshot, default 250) and writes
+//! `telemetry.jsonl` plus `metrics.prom` (Prometheus text exposition format)
+//! into `--out`. With the `http-export` cargo feature, `--serve ADDR`
+//! additionally serves the exposition text at `http://ADDR/metrics` until
+//! Enter is pressed.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use hcq_common::Nanos;
 use hcq_core::PolicyKind;
 use hcq_repro::{
     bench, ext_faults, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption, ext_seeds,
-    fig11, fig12, fig13, fig14, fig5_to_10, table1, table2, table3, validate, ExpConfig,
+    ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, monitor, table1, table2, table3,
+    validate, ExpConfig,
 };
 
 fn main() -> ExitCode {
@@ -30,6 +39,8 @@ fn main() -> ExitCode {
     let mut cfg = ExpConfig::default();
     let mut exhibits: Vec<String> = Vec::new();
     let mut trace_out: Option<PathBuf> = None;
+    let mut cadence_ms: u64 = 250;
+    let mut serve_addr: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -40,6 +51,8 @@ fn main() -> ExitCode {
             "--poisson" => cfg.bursty = false,
             "--jobs" => cfg.jobs = parse(it.next(), "--jobs"),
             "--trace" => trace_out = Some(PathBuf::from(expect(it.next(), "--trace"))),
+            "--cadence" => cadence_ms = parse(it.next(), "--cadence"),
+            "--serve" => serve_addr = Some(expect(it.next(), "--serve")),
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -87,6 +100,7 @@ fn main() -> ExitCode {
             "ext_overload".into(),
             "ext_faults".into(),
             "ext_overhead".into(),
+            "ext_transient".into(),
         ];
     }
     // fig5..fig11 are slices of one sweep; dedupe to a single run.
@@ -146,6 +160,29 @@ fn main() -> ExitCode {
             "ext_overhead" => {
                 ext_overhead(&cfg);
             }
+            "ext_transient" => {
+                ext_transient(&cfg);
+            }
+            "monitor" => {
+                if cadence_ms == 0 {
+                    eprintln!("--cadence must be positive");
+                    return ExitCode::FAILURE;
+                }
+                match monitor(&cfg, Nanos::from_millis(cadence_ms)) {
+                    Ok(out) => {
+                        if let Some(addr) = &serve_addr {
+                            if let Err(e) = serve_metrics(addr, &out.prom_path) {
+                                eprintln!("{e}");
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("monitor failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "table3" => {
                 table3(&cfg);
             }
@@ -175,6 +212,29 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Serve the exported exposition file over HTTP until Enter is pressed.
+#[cfg(feature = "http-export")]
+fn serve_metrics(addr: &str, prom_path: &std::path::Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(prom_path)
+        .map_err(|e| format!("could not read {}: {e}", prom_path.display()))?;
+    let server = hcq_metrics::prometheus::http::ScrapeServer::bind(addr)
+        .map_err(|e| format!("could not bind {addr}: {e}"))?;
+    server.publish(text);
+    println!(
+        "serving metrics at http://{}/metrics (press Enter to stop)",
+        server.addr()
+    );
+    let mut line = String::new();
+    let _ = std::io::stdin().read_line(&mut line);
+    Ok(())
+}
+
+/// Without the `http-export` feature there is nothing to bind.
+#[cfg(not(feature = "http-export"))]
+fn serve_metrics(_addr: &str, _prom_path: &std::path::Path) -> Result<(), String> {
+    Err("--serve requires building with --features http-export".to_string())
+}
+
 fn expect(v: Option<String>, flag: &str) -> String {
     v.unwrap_or_else(|| {
         eprintln!("{flag} needs a value");
@@ -191,9 +251,11 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead validate bench all\n\
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_transient monitor validate bench all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
-         --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)"
+         --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)\n\
+         --cadence MS: virtual-time telemetry sampling interval for `monitor` (default 250)\n\
+         --serve ADDR: after `monitor`, serve metrics.prom over HTTP (needs --features http-export)"
     );
 }

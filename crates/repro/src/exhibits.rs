@@ -10,7 +10,7 @@ use std::sync::atomic::AtomicUsize;
 
 use hcq_common::{det, Nanos, StreamId};
 use hcq_core::{ClusterConfig, ClusteredBsdPolicy, Clustering, PolicyKind, SharingStrategy};
-use hcq_engine::{simulate, AdmissionMode, SimConfig, SimReport};
+use hcq_engine::{simulate, simulate_monitored, AdmissionMode, SimConfig, SimReport, VecTelemetry};
 use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
 use hcq_streams::{FaultSpec, FaultySource, PoissonSource, TraceReplay};
 use hcq_workload::{multi_stream, shared, MultiStreamConfig, SharedConfig};
@@ -971,6 +971,152 @@ pub fn ext_faults(cfg: &ExpConfig) -> ExhibitOutput {
         table: t,
     }
     .emit(cfg)
+}
+
+// ------------------------------------------ Extension: transient dynamics
+
+/// Deterministic ON/OFF burst schedule: each cycle of [`BURST_PER_CYCLE`]
+/// arrivals lands in the first fifth of a `BURST_PER_CYCLE · mean_gap`
+/// span (5× the calibrated rate), followed by four fifths of silence. The
+/// average rate over a cycle equals `1/mean_gap`, so the workload's
+/// utilization calibration still describes the long-run load while the ON
+/// phase runs well past saturation.
+const BURST_PER_CYCLE: u64 = 100;
+
+fn burst_arrivals(arrivals: u64, mean_gap: Nanos) -> Vec<Nanos> {
+    let on_gap = Nanos(mean_gap.as_nanos() / 5);
+    let cycle = mean_gap * BURST_PER_CYCLE;
+    (0..arrivals)
+        .map(|i| cycle * (i / BURST_PER_CYCLE) + on_gap * (i % BURST_PER_CYCLE))
+        .collect()
+}
+
+/// Extension exhibit: transient dynamics through an ON/OFF burst cycle,
+/// rendered from sampled telemetry. Each policy runs the §8 workload at
+/// 0.85 average utilization against the deterministic burst schedule with
+/// telemetry sampled once per ON span (one fifth of a cycle), so every
+/// cycle contributes five windows: the burst peak and four drain windows.
+/// Rows are window boundaries; per policy, `pending` is the backlog gauge
+/// at the boundary and `p95` the 95th-percentile slowdown of the emissions
+/// in the window ending there (`-` once the policy's run has finished).
+/// The companion `ext_transient_totals` table carries per-policy run totals
+/// with the tuple-conservation check CI asserts on.
+pub fn ext_transient(cfg: &ExpConfig) -> Vec<ExhibitOutput> {
+    let util = 0.85;
+    let policies = [PolicyKind::Hnr, PolicyKind::Lsf, PolicyKind::Bsd];
+    let window = cfg.mean_gap * (BURST_PER_CYCLE / 5);
+    let done = AtomicUsize::new(0);
+    let runs = run_jobs(cfg.jobs, policies.len(), |i| {
+        let w = cfg.workload(util);
+        let arrivals = burst_arrivals(cfg.arrivals, cfg.mean_gap);
+        let replay = TraceReplay::from_arrivals(arrivals).expect("ordered arrivals");
+        let sim_cfg = SimConfig::new(cfg.arrivals)
+            .with_seed(cfg.seed)
+            .with_telemetry_cadence(window);
+        let (report, sink) = simulate_monitored(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(replay)],
+            policies[i].build(),
+            sim_cfg,
+            VecTelemetry::new(),
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "simulating transient workload ({}, seed={}): {e}",
+                policies[i].name(),
+                cfg.seed
+            )
+        });
+        print_tick(&done, policies.len(), "ext_transient");
+        (report, sink.samples)
+    });
+
+    // Per policy: window boundary (ns) → (pending gauge, p95 slowdown of
+    // the window ending there). The final end-of-run snapshot can coincide
+    // with a boundary whose sample was already taken — its summary window
+    // is then empty, so the first (boundary-stamped) sample wins.
+    let per_policy: Vec<std::collections::BTreeMap<u64, (f64, f64)>> = runs
+        .iter()
+        .map(|(_, samples)| {
+            let mut map = std::collections::BTreeMap::new();
+            for s in samples {
+                if s.at.as_nanos() % window.as_nanos() != 0 {
+                    continue;
+                }
+                let pending = s.gauge("hcq_pending_tuples").expect("registered gauge");
+                let p95 = s.summary("hcq_slowdown").expect("registered summary").p95;
+                map.entry(s.at.as_nanos()).or_insert((pending, p95));
+            }
+            map
+        })
+        .collect();
+    let boundaries: std::collections::BTreeSet<u64> =
+        per_policy.iter().flat_map(|m| m.keys().copied()).collect();
+
+    let mut columns = vec!["window_end_ms".to_string()];
+    for p in &policies {
+        columns.push(format!("{}_pending", p.name()));
+        columns.push(format!("{}_p95", p.name()));
+    }
+    let mut t = AsciiTable::new(columns);
+    for at in &boundaries {
+        let mut row = vec![(at / 1_000_000).to_string()];
+        for m in &per_policy {
+            match m.get(at) {
+                Some(&(pending, p95)) => {
+                    row.push((pending as u64).to_string());
+                    row.push(fnum(p95));
+                }
+                None => {
+                    row.push("-".to_string());
+                    row.push("-".to_string());
+                }
+            }
+        }
+        t.row(row);
+    }
+
+    let mut totals = AsciiTable::new(vec![
+        "policy",
+        "arrivals",
+        "emitted",
+        "dropped",
+        "shed",
+        "pending_end",
+        "peak_pending",
+        "conserved",
+    ]);
+    for (p, (r, _)) in policies.iter().zip(&runs) {
+        totals.row(vec![
+            p.name().to_string(),
+            r.arrivals.to_string(),
+            r.emitted.to_string(),
+            r.dropped.to_string(),
+            r.shed.to_string(),
+            r.pending_end.to_string(),
+            r.peak_pending.to_string(),
+            if conserved(r, cfg.queries) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+
+    vec![
+        ExhibitOutput {
+            name: "ext_transient",
+            table: t,
+        }
+        .emit(cfg),
+        ExhibitOutput {
+            name: "ext_transient_totals",
+            table: totals,
+        }
+        .emit(cfg),
+    ]
 }
 
 // ------------------------------------------- Extension: seed sensitivity

@@ -8,7 +8,10 @@ use std::sync::mpsc;
 
 use hcq_common::Nanos;
 use hcq_core::{Policy, PolicyKind};
-use hcq_engine::{simulate, simulate_traced, JsonlTrace, SimConfig, SimReport};
+use hcq_engine::{
+    simulate, simulate_monitored, simulate_traced, JsonlTrace, SimConfig, SimReport, VecTelemetry,
+};
+use hcq_metrics::TelemetrySnapshot;
 use hcq_streams::{ArrivalSource, OnOffSource, PoissonSource};
 use hcq_workload::{single_stream, PaperWorkload, SingleStreamConfig};
 
@@ -207,6 +210,51 @@ impl ExpConfig {
         let bytes = sink.finish().expect("in-memory trace writes cannot fail");
         (report, bytes)
     }
+
+    /// As [`ExpConfig::run_single`], additionally sampling telemetry
+    /// snapshots at `cadence` of virtual time; returns the report and the
+    /// snapshot stream. The monitored simulation makes identical decisions,
+    /// so the report matches [`ExpConfig::run_single`] field for field.
+    pub fn run_single_monitored(
+        &self,
+        utilization: f64,
+        policy: Box<dyn Policy>,
+        cadence: Nanos,
+    ) -> (SimReport, Vec<TelemetrySnapshot>) {
+        self.run_single_monitored_with(utilization, policy, cadence, |c| c)
+    }
+
+    /// As [`ExpConfig::run_single_monitored`] with a [`SimConfig`] tweak.
+    pub fn run_single_monitored_with(
+        &self,
+        utilization: f64,
+        policy: Box<dyn Policy>,
+        cadence: Nanos,
+        tweak: impl FnOnce(SimConfig) -> SimConfig,
+    ) -> (SimReport, Vec<TelemetrySnapshot>) {
+        let w = self.workload(utilization);
+        let cfg = tweak(
+            SimConfig::new(self.arrivals)
+                .with_seed(self.seed)
+                .with_telemetry_cadence(cadence),
+        );
+        let (report, sink) = simulate_monitored(
+            &w.plan,
+            &w.rates,
+            vec![self.source(0)],
+            policy,
+            cfg,
+            VecTelemetry::new(),
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "simulating monitored single-stream workload (utilization={:.2}, \
+                 arrivals={}, seed={}): {e}",
+                utilization, self.arrivals, self.seed
+            )
+        });
+        (report, sink.samples)
+    }
 }
 
 /// Cached results of the policy × utilization sweep behind Figures 5–10.
@@ -296,6 +344,21 @@ mod tests {
                 .count() as u64,
             traced.sched_points
         );
+    }
+
+    #[test]
+    fn monitored_run_matches_plain_and_yields_snapshots() {
+        let cfg = tiny();
+        let plain = cfg.run_single(0.5, PolicyKind::Hnr.build());
+        let (monitored, samples) =
+            cfg.run_single_monitored(0.5, PolicyKind::Hnr.build(), Nanos::from_millis(100));
+        // Telemetry observes; it must not steer.
+        assert_eq!(plain.emitted, monitored.emitted);
+        assert_eq!(plain.sched_points, monitored.sched_points);
+        assert_eq!(plain.end_time, monitored.end_time);
+        let last = samples.last().unwrap();
+        assert_eq!(last.at, monitored.end_time);
+        assert_eq!(last.counter("hcq_emitted_total"), Some(monitored.emitted));
     }
 
     #[test]

@@ -7,7 +7,10 @@
 
 use hcq_common::Nanos;
 use hcq_core::PolicyKind;
-use hcq_repro::{ext_faults, ext_overhead, ext_overload, ext_seeds, fig12, fig5_to_10, ExpConfig};
+use hcq_repro::{
+    ext_faults, ext_overhead, ext_overload, ext_seeds, ext_transient, fig12, fig5_to_10, monitor,
+    ExpConfig,
+};
 
 fn cfg(jobs: usize, tag: &str) -> ExpConfig {
     ExpConfig {
@@ -94,6 +97,54 @@ fn traces_are_byte_identical_across_job_counts_and_runs() {
     assert_eq!(a, c, "trace differs between repeated runs");
     assert_eq!(ra.emitted, rb.emitted);
     assert_eq!(ra.overhead, rb.overhead);
+}
+
+/// Telemetry sampling is driven by virtual time, so the transient-dynamics
+/// exhibit (per-window queue depth and p95 slowdown read from telemetry
+/// snapshots) must be byte-identical at any worker count, like every other
+/// CSV. Uses the bursty default the real exhibit runs with.
+#[test]
+fn transient_exhibit_is_byte_identical_across_job_counts() {
+    let mut serial = cfg(1, "transient_serial");
+    let mut parallel = cfg(4, "transient_parallel");
+    serial.bursty = true;
+    parallel.bursty = true;
+    ext_transient(&serial);
+    ext_transient(&parallel);
+    assert_dirs_identical(&serial, &parallel);
+    std::fs::remove_dir_all(&serial.out_dir).ok();
+    std::fs::remove_dir_all(&parallel.out_dir).ok();
+}
+
+/// Both telemetry exports — the JSONL snapshot stream and the Prometheus
+/// exposition text — are pure functions of the configuration: repeated
+/// `monitor` runs at different job counts must write the exact same bytes.
+#[test]
+fn monitor_exports_are_byte_identical_across_job_counts_and_runs() {
+    let serial = cfg(1, "monitor_serial");
+    let parallel = cfg(4, "monitor_parallel");
+    let cadence = Nanos::from_millis(100);
+    let a = monitor(&serial, cadence).expect("serial monitor");
+    let b = monitor(&parallel, cadence).expect("parallel monitor");
+    let a_jsonl = std::fs::read(&a.jsonl_path).unwrap();
+    let b_jsonl = std::fs::read(&b.jsonl_path).unwrap();
+    assert!(!a_jsonl.is_empty(), "snapshot stream must carry samples");
+    assert_eq!(
+        a_jsonl, b_jsonl,
+        "telemetry.jsonl differs across job counts"
+    );
+    let a_prom = std::fs::read(&a.prom_path).unwrap();
+    let b_prom = std::fs::read(&b.prom_path).unwrap();
+    assert_eq!(a_prom, b_prom, "metrics.prom differs across job counts");
+    let c = monitor(&serial, cadence).expect("repeat monitor");
+    assert_eq!(
+        std::fs::read(&c.jsonl_path).unwrap(),
+        a_jsonl,
+        "telemetry.jsonl differs between repeated runs"
+    );
+    assert_eq!(a.report.emitted, b.report.emitted);
+    std::fs::remove_dir_all(&serial.out_dir).ok();
+    std::fs::remove_dir_all(&parallel.out_dir).ok();
 }
 
 #[test]

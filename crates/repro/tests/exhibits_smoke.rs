@@ -148,6 +148,31 @@ fn ext_overhead_shows_exact_linear_and_clustered_sublinear() {
     std::fs::remove_dir_all(&cfg.out_dir).ok();
 }
 
+/// The transient-dynamics exhibit at miniature scale: both tables present,
+/// all policies covered, every burst window accounted for, and the totals
+/// table conserving tuples for every policy.
+#[test]
+fn ext_transient_tracks_bursts_and_conserves_tuples() {
+    let mut cfg = tiny();
+    cfg.bursty = true;
+    cfg.out_dir = std::env::temp_dir().join("hcq_transient_smoke");
+    let outs = hcq_repro::ext_transient(&cfg);
+    assert_eq!(outs.len(), 2);
+    assert_eq!(outs[0].name, "ext_transient");
+    assert_eq!(outs[1].name, "ext_transient_totals");
+    let windows = outs[0].table.render();
+    for col in ["window_end_ms", "HNR_pending", "LSF_p95", "BSD_pending"] {
+        assert!(windows.contains(col), "missing column {col}");
+    }
+    assert!(outs[0].table.len() >= 5, "needs at least one burst cycle");
+    let totals = outs[1].table.render();
+    for policy in ["HNR", "LSF", "BSD"] {
+        assert!(totals.contains(policy), "missing policy {policy}");
+    }
+    assert!(!totals.contains("NO"), "a policy failed tuple conservation");
+    std::fs::remove_dir_all(&cfg.out_dir).ok();
+}
+
 #[test]
 fn table3_taxonomy_complete() {
     let out = hcq_repro::table3(&tiny());
