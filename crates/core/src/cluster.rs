@@ -194,29 +194,65 @@ impl Policy for ClusteredBsdPolicy {
     }
 
     fn on_register(&mut self, units: &[UnitStatics]) {
-        let phi: Vec<f64> = units.iter().map(UnitStatics::bsd_static).collect();
+        // Sanitize the Φ domain before deriving ranges from it: a NaN or
+        // negative Φ (zero-selectivity units, external statics) maps to 0
+        // and +∞ saturates to f64::MAX, so every arithmetic step below stays
+        // well-defined. Division by `hi − lo` and `ln(hi/lo)` is reached
+        // only when `hi > lo` (a genuinely spread domain); degenerate
+        // domains — one unit, a single static priority (`lo == hi`), or an
+        // all-zero Φ — collapse to a single cluster instead of producing
+        // NaN bucket indices.
+        let phi: Vec<f64> = units
+            .iter()
+            .map(|u| {
+                let p = u.bsd_static();
+                if p.is_nan() {
+                    0.0
+                } else {
+                    p.clamp(0.0, f64::MAX)
+                }
+            })
+            .collect();
         let (lo, hi) = phi
             .iter()
             .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
                 (lo.min(p), hi.max(p))
             });
         let m = self.cfg.clusters;
+        // The logarithmic split needs a positive lower edge: `lo == 0`
+        // (some unit never emits) would give `ε = ∞` and NaN indices. The
+        // zero-Φ units join cluster 0 below their positive peers; the
+        // equal-ratio ranges cover the positive sub-domain [lo_pos, hi].
+        let lo_pos = if lo > 0.0 {
+            lo
+        } else {
+            phi.iter().copied().filter(|&p| p > 0.0).fold(hi, f64::min)
+        };
+        let degenerate = units.len() <= 1 || lo >= hi || lo_pos <= 0.0 || lo_pos >= hi;
         self.cluster_of = phi
             .iter()
             .map(|&p| {
-                if units.len() <= 1 || lo == hi {
+                if degenerate {
                     return 0;
                 }
                 let idx = match self.cfg.clustering {
                     Clustering::Uniform => {
-                        // Equal-width ranges over [lo, hi].
+                        // Equal-width ranges over [lo, hi]. `p == hi` lands
+                        // exactly on `m` before the clamp — the boundary
+                        // value belongs to the top cluster `m − 1`.
                         ((p - lo) / (hi - lo) * m as f64).floor() as usize
                     }
                     Clustering::Logarithmic => {
-                        // Equal-ratio ranges: cluster i covers
-                        // [lo·ε^i, lo·ε^(i+1)) with ε = (hi/lo)^(1/m).
-                        let eps = (hi / lo).powf(1.0 / m as f64);
-                        ((p / lo).ln() / eps.ln()).floor() as usize
+                        if p < lo_pos {
+                            // Zero-Φ unit: lowest cluster.
+                            0
+                        } else {
+                            // Equal-ratio ranges: cluster i covers
+                            // [lo·ε^i, lo·ε^(i+1)) with ε = (hi/lo)^(1/m);
+                            // `p == hi` floors to `m`, clamped to `m − 1`.
+                            let eps = (hi / lo_pos).powf(1.0 / m as f64);
+                            ((p / lo_pos).ln() / eps.ln()).floor() as usize
+                        }
                     }
                 };
                 idx.min(m - 1) as u32
@@ -225,14 +261,14 @@ impl Policy for ClusteredBsdPolicy {
         // Pseudo-priority = lower edge of each cluster's range.
         self.pseudo = (0..m)
             .map(|i| {
-                if lo == hi {
-                    return lo;
+                if degenerate {
+                    return hi.max(0.0);
                 }
                 match self.cfg.clustering {
                     Clustering::Uniform => lo + (hi - lo) * i as f64 / m as f64,
                     Clustering::Logarithmic => {
-                        let eps = (hi / lo).powf(1.0 / m as f64);
-                        lo * eps.powi(i as i32)
+                        let eps = (hi / lo_pos).powf(1.0 / m as f64);
+                        lo_pos * eps.powi(i as i32)
                     }
                 }
             })
@@ -639,6 +675,141 @@ mod tests {
             sf.ops_counted,
             ss.ops_counted
         );
+    }
+
+    /// Enqueue one tuple per unit (FIFO arrival order by unit id) and drain
+    /// through the policy, returning the unit execution order. Panics if
+    /// `select` ever wedges while work is pending.
+    fn drain_all(p: &mut ClusteredBsdPolicy, n: usize) -> Vec<UnitId> {
+        let mut q = MockQueues::new(n);
+        for u in 0..n as u32 {
+            let t = TupleId::new(u as u64);
+            let a = ms(u as u64 * 3);
+            q.push(u, t, a);
+            p.on_enqueue(u, t, a, a);
+        }
+        let mut order = Vec::new();
+        while !q.nonempty().is_empty() {
+            let sel = p.select(&q, ms(100)).expect("work pending, must select");
+            for &u in sel.units.iter() {
+                q.pop(u);
+                order.push(u);
+            }
+        }
+        order
+    }
+
+    #[test]
+    fn single_static_priority_domain_does_not_panic_or_nan() {
+        // lo == hi (every Φ identical): both splits must degenerate to one
+        // cluster with a finite pseudo-priority instead of dividing by
+        // (hi − lo) or taking ln(1)/m ratios.
+        for clustering in [Clustering::Uniform, Clustering::Logarithmic] {
+            let units: Vec<UnitStatics> = (0..2)
+                .map(|_| UnitStatics::new(0.5, ms(2), ms(4)))
+                .collect();
+            let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+                clustering,
+                clusters: 8,
+                use_fagin: false,
+                batch: false,
+            });
+            p.on_register(&units);
+            for c in 0..8 {
+                assert!(
+                    p.pseudo_priority(c).is_finite(),
+                    "{clustering:?}: pseudo must be finite"
+                );
+            }
+            assert_eq!(p.cluster_of(0), 0);
+            assert_eq!(p.cluster_of(1), 0);
+            assert_eq!(drain_all(&mut p, 2), vec![0, 1], "FIFO within the cluster");
+        }
+    }
+
+    #[test]
+    fn zero_phi_units_cluster_low_without_nan() {
+        // lo == 0 (a zero-selectivity unit): the logarithmic split's
+        // `ln(hi/lo)` is ∞ unguarded; the zero-Φ unit must land in cluster
+        // 0 with every pseudo-priority finite, and draining must terminate.
+        let units = vec![
+            UnitStatics::new(0.0, ms(2), ms(4)), // Φ = 0
+            UnitStatics::new(0.4, ms(1), ms(2)), // Φ > 0
+            UnitStatics::new(0.9, ms(1), ms(2)), // Φ_max
+        ];
+        for clustering in [Clustering::Uniform, Clustering::Logarithmic] {
+            let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+                clustering,
+                clusters: 4,
+                use_fagin: false,
+                batch: false,
+            });
+            p.on_register(&units);
+            assert_eq!(p.cluster_of(0), 0, "{clustering:?}: zero-Φ in cluster 0");
+            assert_eq!(p.cluster_of(2), 3, "{clustering:?}: Φ_max in top cluster");
+            for c in 0..4 {
+                assert!(p.pseudo_priority(c).is_finite());
+            }
+            let order = drain_all(&mut p, 3);
+            assert_eq!(order.len(), 3, "{clustering:?}: every tuple served");
+        }
+    }
+
+    #[test]
+    fn nan_phi_units_are_tamed_to_cluster_zero() {
+        // Raw statics whose Φ would be NaN (0/0 before the UnitStatics
+        // clamp existed) must still register and drain. After the clamp the
+        // Φ is finite, but on_register additionally sanitizes, so even a
+        // custom UnitStatics with poisoned fields cannot wedge selection.
+        let mut units = vec![UnitStatics::new(0.8, ms(1), ms(2)); 2];
+        units[0].selectivity = f64::NAN; // forces Φ = NaN through bsd_static
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(4));
+        p.on_register(&units);
+        assert_eq!(p.cluster_of(0), 0);
+        for c in 0..4 {
+            assert!(!p.pseudo_priority(c).is_nan());
+        }
+        let mut pf = ClusteredBsdPolicy::new(ClusterConfig {
+            clustering: Clustering::Logarithmic,
+            clusters: 4,
+            use_fagin: false,
+            batch: false,
+        });
+        pf.on_register(&units);
+        assert_eq!(drain_all(&mut pf, 2).len(), 2);
+    }
+
+    #[test]
+    fn phi_exactly_at_hi_maps_to_top_cluster() {
+        // The boundary case p == hi: the raw bucket formula floors to m
+        // (out of range) for both splits; the unit owning Φ_max must land
+        // in cluster m − 1, and indexing must stay in bounds.
+        let units = spread_units(50);
+        let phis: Vec<f64> = units.iter().map(UnitStatics::bsd_static).collect();
+        let hi = phis.iter().fold(0.0f64, |h, &p| h.max(p));
+        let top = phis.iter().position(|&p| p == hi).unwrap();
+        for (clustering, m) in [
+            (Clustering::Uniform, 8usize),
+            (Clustering::Logarithmic, 8),
+            (Clustering::Uniform, 1),
+            (Clustering::Logarithmic, 1),
+        ] {
+            let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+                clustering,
+                clusters: m,
+                use_fagin: true,
+                batch: true,
+            });
+            p.on_register(&units);
+            assert_eq!(
+                p.cluster_of(top as UnitId),
+                m as u32 - 1,
+                "{clustering:?} m={m}: Φ_max belongs to the top cluster"
+            );
+            for u in 0..units.len() {
+                assert!((p.cluster_of(u as UnitId) as usize) < m, "index in range");
+            }
+        }
     }
 
     #[test]

@@ -64,4 +64,4 @@ pub use pdt::{shared_priority, PdtSelection, SharingStrategy};
 pub use policy::{Policy, PolicyKind, QueueView, SchedStats, Selection, SelectionUnits, UnitId};
 pub use rr::RoundRobinPolicy;
 pub use statics::{StaticPolicy, StaticRank};
-pub use unit::{PriorityKey, UnitStatics};
+pub use unit::{PriorityKey, UnitStatics, MIN_TIME_NS};

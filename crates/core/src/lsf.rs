@@ -14,9 +14,15 @@ use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
 use crate::unit::UnitStatics;
 
 /// LSF: run the unit whose head tuple has the largest current slowdown.
+///
+/// The priority is the ratio `W/T_k`; a zero ideal processing time would
+/// make it `∞` at any positive wait, letting one degenerate unit capture
+/// every scheduling point (and `0/0 = NaN` at zero wait would poison the
+/// argmax comparison entirely). [`UnitStatics`] clamps `T_k` (and `C̄`) to
+/// [`crate::unit::MIN_TIME_NS`], so every slope stored here is finite.
 #[derive(Debug, Default)]
 pub struct LsfPolicy {
-    /// `1/T` per unit.
+    /// `1/T` per unit, finite by the [`crate::unit::MIN_TIME_NS`] clamp.
     slope: Vec<f64>,
 }
 
@@ -122,6 +128,27 @@ mod tests {
         ];
         let order = drain_order(&mut LsfPolicy::new(), &units, &[(1, 0, 0), (0, 1, 2)]);
         assert_eq!(order, vec![1, 0]);
+    }
+
+    #[test]
+    fn zero_ideal_time_unit_cannot_capture_the_scheduler() {
+        // A zero-T unit's slope is clamped finite (1/MIN_TIME_NS), so a
+        // normal unit with enough accumulated wait can still outrank it and
+        // the policy keeps draining both queues.
+        let units = vec![
+            UnitStatics::new(1.0, Nanos::ZERO, Nanos::ZERO),
+            UnitStatics::new(1.0, Nanos::from_nanos(2), Nanos::from_nanos(2)),
+        ];
+        let mut p = LsfPolicy::new();
+        p.on_register(&units);
+        assert!(units.iter().all(|u| u.lsf_slope().is_finite()));
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), Nanos::from_nanos(10));
+        q.push(1, TupleId::new(1), Nanos::from_nanos(0));
+        // At t=12: unit0 stretch = 2ns·(1/1ns) = 2, unit1 stretch =
+        // 12ns·(1/2ns) = 6 -> the ordinary unit outranks the degenerate one.
+        let sel = p.select(&q, Nanos::from_nanos(12)).unwrap();
+        assert_eq!(sel.units, vec![1]);
     }
 
     #[test]

@@ -3,6 +3,30 @@
 use hcq_common::Nanos;
 use hcq_plan::LeafSegmentStats;
 
+/// Minimum global cost / ideal processing time, in nanoseconds.
+///
+/// Every priority formula in the paper divides by `C̄`, `T`, or both
+/// (Equations 3–6), so a zero-cost segment would make LSF/HNR/BSD
+/// priorities infinite or NaN — one degenerate unit could then capture the
+/// scheduler forever (its slowdown ratio `W/T` is `∞` at any wait) or wedge
+/// it outright (NaN poisons every comparison). The plan layer already
+/// rejects zero-cost *operators*, but [`UnitStatics::new`] is a public
+/// constructor fed by shared-group synthesis, external embeddings, and the
+/// fuzzer, so the statics themselves enforce the floor: costs and ideal
+/// times are clamped to one nanosecond — the engine's cost resolution, so
+/// no realizable workload is altered by the clamp.
+pub const MIN_TIME_NS: f64 = 1.0;
+
+/// Clamp a cost/ideal-time figure to [`MIN_TIME_NS`], mapping NaN and
+/// non-positive values to the floor (a degenerate statistic must degrade to
+/// "very cheap", never to an unschedulable infinity).
+fn clamp_time_ns(t: f64) -> f64 {
+    if t.is_nan() {
+        return MIN_TIME_NS;
+    }
+    t.max(MIN_TIME_NS)
+}
+
 /// Static, per-unit characterization — everything a priority function may
 /// consume besides the dynamic wait time `W`.
 ///
@@ -26,17 +50,19 @@ impl UnitStatics {
     pub fn from_leaf(stats: &LeafSegmentStats) -> Self {
         UnitStatics {
             selectivity: stats.selectivity,
-            avg_cost_ns: stats.avg_cost_ns,
-            ideal_time_ns: stats.ideal_time.as_nanos() as f64,
+            avg_cost_ns: clamp_time_ns(stats.avg_cost_ns),
+            ideal_time_ns: clamp_time_ns(stats.ideal_time.as_nanos() as f64),
         }
     }
 
-    /// Build from raw components (shared groups, tests).
+    /// Build from raw components (shared groups, tests). Costs and ideal
+    /// times are clamped to [`MIN_TIME_NS`] so zero-cost segments cannot
+    /// produce infinite or NaN priorities (see the constant's docs).
     pub fn new(selectivity: f64, avg_cost: Nanos, ideal_time: Nanos) -> Self {
         UnitStatics {
             selectivity,
-            avg_cost_ns: avg_cost.as_nanos() as f64,
-            ideal_time_ns: ideal_time.as_nanos() as f64,
+            avg_cost_ns: clamp_time_ns(avg_cost.as_nanos() as f64),
+            ideal_time_ns: clamp_time_ns(ideal_time.as_nanos() as f64),
         }
     }
 
@@ -67,10 +93,32 @@ impl UnitStatics {
     }
 }
 
-/// Total order over `f64` priorities (NaN-free by construction — all
-/// priority formulas are ratios of positive finite quantities).
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Total order over `f64` priorities.
+///
+/// Built-in priority formulas are NaN-free once [`UnitStatics`] clamps its
+/// times, but custom priorities ([`crate::StaticPolicy::custom`]) and
+/// external embeddings can still feed NaN. The previous implementation
+/// leaned on `partial_cmp` plus a `debug_assert!`, so **release** builds
+/// silently produced an arbitrary order (heaps with NaN keys corrupt their
+/// invariant and can starve valid units). The defined NaN policy is:
+///
+/// * a NaN priority compares **below every other priority** (including
+///   `-∞`), so in max-priority structures a NaN-ranked unit is
+///   deterministically served last rather than capturing the scheduler;
+/// * two NaNs compare equal (ties then break on unit id as usual);
+/// * non-NaN values use [`f64::total_cmp`], which also gives `-0.0 < 0.0`
+///   a stable order.
+///
+/// `PartialEq` follows the same policy (`NaN == NaN` here), keeping `Eq`,
+/// `Ord`, and hash-free container invariants mutually consistent.
+#[derive(Debug, Clone, Copy)]
 pub struct PriorityKey(pub f64);
+
+impl PartialEq for PriorityKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 
 impl Eq for PriorityKey {}
 
@@ -82,10 +130,12 @@ impl PartialOrd for PriorityKey {
 
 impl Ord for PriorityKey {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        debug_assert!(!self.0.is_nan() && !other.0.is_nan());
-        self.0
-            .partial_cmp(&other.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => std::cmp::Ordering::Equal,
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => self.0.total_cmp(&other.0),
+        }
     }
 }
 
@@ -140,5 +190,63 @@ mod tests {
             vec![PriorityKey(0.3), PriorityKey(0.5), PriorityKey(1.0)]
         );
         assert!(PriorityKey(2.0) > PriorityKey(1.0));
+    }
+
+    #[test]
+    fn nan_priority_is_deterministically_ranked_last() {
+        // NaN sorts below everything, even -inf: a max-heap/argmax over
+        // priorities serves a NaN-ranked unit last instead of (release-mode)
+        // arbitrary ordering.
+        let nan = PriorityKey(f64::NAN);
+        assert!(nan < PriorityKey(f64::NEG_INFINITY));
+        assert!(nan < PriorityKey(0.0));
+        assert!(PriorityKey(f64::INFINITY) > nan);
+        assert_eq!(nan.cmp(&PriorityKey(f64::NAN)), std::cmp::Ordering::Equal);
+        assert_eq!(nan, PriorityKey(f64::NAN));
+        let mut v = vec![
+            PriorityKey(0.5),
+            PriorityKey(f64::NAN),
+            PriorityKey(f64::NEG_INFINITY),
+            PriorityKey(2.0),
+        ];
+        v.sort();
+        assert!(
+            v[0].0.is_nan(),
+            "NaN first in ascending order = served last"
+        );
+        assert_eq!(v[1], PriorityKey(f64::NEG_INFINITY));
+        assert_eq!(v[3], PriorityKey(2.0));
+        // The order is total and consistent under reversal.
+        let mut w = v.clone();
+        w.reverse();
+        w.sort();
+        assert_eq!(v, w);
+        // A max-heap never surfaces the NaN while real work is ranked.
+        let mut heap = std::collections::BinaryHeap::from(v);
+        assert_eq!(heap.pop(), Some(PriorityKey(2.0)));
+    }
+
+    #[test]
+    fn zero_time_statics_are_clamped_finite() {
+        // A zero-cost, zero-ideal-time segment must not produce infinite or
+        // NaN priorities — these formulas feed heaps and the shed victim
+        // scan, where a captured ∞ would wedge the scheduler.
+        let u = UnitStatics::new(0.5, Nanos::ZERO, Nanos::ZERO);
+        assert_eq!(u.avg_cost_ns, MIN_TIME_NS);
+        assert_eq!(u.ideal_time_ns, MIN_TIME_NS);
+        for p in [
+            u.hr_priority(),
+            u.hnr_priority(),
+            u.srpt_priority(),
+            u.bsd_static(),
+            u.lsf_slope(),
+        ] {
+            assert!(p.is_finite(), "priority must stay finite, got {p}");
+        }
+        // Zero selectivity zeroes the rate-based priorities without NaN.
+        let z = UnitStatics::new(0.0, Nanos::ZERO, Nanos::ZERO);
+        assert_eq!(z.hr_priority(), 0.0);
+        assert_eq!(z.hnr_priority(), 0.0);
+        assert_eq!(z.bsd_static(), 0.0);
     }
 }

@@ -30,8 +30,8 @@ use hcq_common::Nanos;
 use hcq_core::PolicyKind;
 use hcq_repro::{
     bench, ext_faults, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption, ext_seeds,
-    ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, monitor, table1, table2, table3,
-    validate, ExpConfig,
+    ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, fuzz, fuzz_replay, monitor, table1,
+    table2, table3, validate, ExpConfig,
 };
 
 fn main() -> ExitCode {
@@ -41,6 +41,8 @@ fn main() -> ExitCode {
     let mut trace_out: Option<PathBuf> = None;
     let mut cadence_ms: u64 = 250;
     let mut serve_addr: Option<String> = None;
+    let mut fuzz_cases: u64 = 200;
+    let mut fuzz_replay_path: Option<PathBuf> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -53,6 +55,8 @@ fn main() -> ExitCode {
             "--trace" => trace_out = Some(PathBuf::from(expect(it.next(), "--trace"))),
             "--cadence" => cadence_ms = parse(it.next(), "--cadence"),
             "--serve" => serve_addr = Some(expect(it.next(), "--serve")),
+            "--cases" => fuzz_cases = parse(it.next(), "--cases"),
+            "--replay" => fuzz_replay_path = Some(PathBuf::from(expect(it.next(), "--replay"))),
             "--help" | "-h" => {
                 print_usage();
                 return ExitCode::SUCCESS;
@@ -192,6 +196,29 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
+            "fuzz" => {
+                if let Some(path) = &fuzz_replay_path {
+                    if !fuzz_replay(path) {
+                        return ExitCode::FAILURE;
+                    }
+                } else {
+                    if fuzz_cases == 0 {
+                        eprintln!("--cases must be positive");
+                        return ExitCode::FAILURE;
+                    }
+                    match fuzz(&cfg, fuzz_cases) {
+                        Ok(summary) => {
+                            if !summary.clean {
+                                return ExitCode::FAILURE;
+                            }
+                        }
+                        Err(e) => {
+                            eprintln!("fuzz failed: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
             "bench" => match bench(&cfg) {
                 Ok(path) => println!("benchmark baseline written to {}", path.display()),
                 Err(e) => {
@@ -251,11 +278,13 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_transient monitor validate bench all\n\
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_transient monitor validate bench fuzz all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
          --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)\n\
          --cadence MS: virtual-time telemetry sampling interval for `monitor` (default 250)\n\
-         --serve ADDR: after `monitor`, serve metrics.prom over HTTP (needs --features http-export)"
+         --serve ADDR: after `monitor`, serve metrics.prom over HTTP (needs --features http-export)\n\
+         --cases K: scenarios for `fuzz` (default 200; seeded by --seed, minimized artifacts land in --out)\n\
+         --replay FILE: for `fuzz`, re-run one fuzz-repro-*.json artifact instead of sweeping"
     );
 }

@@ -12,6 +12,7 @@
 
 pub mod bench;
 pub mod exhibits;
+pub mod fuzz;
 pub mod harness;
 pub mod monitor;
 pub mod plot;
@@ -23,6 +24,7 @@ pub use exhibits::{
     ext_faults, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption, ext_seeds,
     ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, table1, table2, table3, ExhibitOutput,
 };
+pub use fuzz::{fuzz, fuzz_replay, FuzzSummary};
 pub use harness::{default_jobs, run_jobs, ExpConfig, SweepResults};
 pub use monitor::{monitor, MonitorOutput};
 pub use plot::Chart;

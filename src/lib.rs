@@ -66,11 +66,13 @@
 //! | [`engine`] | `hcq-engine` | the discrete-event DSMS simulator |
 //! | [`workload`] | `hcq-workload` | the §8 evaluation workloads + utilization calibration |
 //! | [`aqsios`] | `hcq-aqsios` | an embeddable online mini-DSMS over real records, scheduled by these policies |
+//! | [`check`] | `hcq-check` | seeded scenario fuzzing, the invariant suite, shrinking + replay artifacts |
 //!
 //! The `hcq-repro` crate (binary: `repro`) regenerates the paper's tables
 //! and figures; see `EXPERIMENTS.md` for a recorded comparison.
 
 pub use hcq_aqsios as aqsios;
+pub use hcq_check as check;
 pub use hcq_common as common;
 pub use hcq_core as core;
 pub use hcq_engine as engine;
