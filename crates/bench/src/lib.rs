@@ -11,9 +11,13 @@
 //! * `shj` — symmetric-hash-join insert/probe throughput versus window size.
 //! * `pipeline` — end-to-end simulated tuple throughput per policy.
 //! * `workload` — §8 plan-statistics derivation and utilization calibration.
+//! * [`large_q`] — the 10³…10⁶-query scheduling-point sweep behind
+//!   `repro bench --large-q` and the CI sub-linearity gate.
 
 use hcq_common::{Nanos, TupleId};
 use hcq_core::{Policy, QueueView, UnitId, UnitStatics};
+
+pub mod large_q;
 
 /// The fixed reference workload behind the `pipeline` bench and the
 /// `repro bench` baseline emitter (`BENCH_*.json`). Both time exactly this

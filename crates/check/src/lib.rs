@@ -18,6 +18,10 @@
 //!   validation would reject (exact-zero times, NaN selectivity) and holds
 //!   clustered BSD to its §6.2.1 `ε = (Φ_max/Φ_min)^(1/m)` approximation
 //!   bound against the exact BSD argmax.
+//! * [`incremental`] — differential sequences over the large-q maintenance
+//!   API (statics updates, unit add/retire, sheds): after any mutation
+//!   stream, the incrementally-maintained clustered BSD must drain
+//!   byte-identically to a from-scratch rebuild of the same state.
 //! * [`shrink`] — greedy minimization of failing scenarios to replayable
 //!   `fuzz-repro-<seed>-<case>.json` artifacts.
 //! * [`runner`] — the sweep: a jobs-invariant parallel map whose digest
@@ -28,6 +32,7 @@
 //! land as artifacts that `crates/check/tests/replay.rs` re-runs as
 //! regression tests forever after.
 
+pub mod incremental;
 pub mod invariants;
 pub mod json;
 pub mod policyfuzz;
@@ -35,6 +40,7 @@ pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
+pub use incremental::fuzz_incremental;
 pub use invariants::{check_scenario, check_scenario_full, fingerprint, ScenarioCheck, Violation};
 pub use json::Json;
 pub use policyfuzz::fuzz_policies;

@@ -21,6 +21,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::incremental::fuzz_incremental;
 use crate::invariants::{check_scenario, check_scenario_full, Violation};
 use crate::policyfuzz::fuzz_policies;
 use crate::scenario::Scenario;
@@ -93,6 +94,7 @@ fn run_case(seed: u64, case: u64) -> CaseResult {
     let engine = check_scenario_full(&scenario);
     let mut violations = engine.violations;
     violations.extend(fuzz_policies(seed, case));
+    violations.extend(fuzz_incremental(seed, case));
     let minimized = if violations.is_empty() {
         None
     } else {
@@ -189,6 +191,7 @@ pub fn write_artifact(
 pub fn replay(scenario: &Scenario) -> Vec<Violation> {
     let mut violations = check_scenario(scenario);
     violations.extend(fuzz_policies(scenario.seed, scenario.case));
+    violations.extend(fuzz_incremental(scenario.seed, scenario.case));
     violations
 }
 

@@ -12,13 +12,17 @@
 use hcq_common::{Nanos, TupleId};
 
 use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
+use crate::soa::StaticsTable;
 use crate::unit::UnitStatics;
 
 /// Naive BSD: full scan, exact priorities.
+///
+/// Statics live in a [`StaticsTable`], so the O(q) scan reads one contiguous
+/// `Φ` column instead of striding through whole [`UnitStatics`] records.
 #[derive(Debug, Default)]
 pub struct BsdPolicy {
-    /// `Φ = S/(C̄·T²)` per unit.
-    phi: Vec<f64>,
+    /// SoA statics; the `Φ = S/(C̄·T²)` column drives the scan.
+    statics: StaticsTable,
 }
 
 impl BsdPolicy {
@@ -30,12 +34,12 @@ impl BsdPolicy {
     /// Override a unit's static factor (shared-operator groups, adaptive
     /// re-estimation).
     pub fn set_phi(&mut self, unit: UnitId, phi: f64) {
-        self.phi[unit as usize] = phi;
+        self.statics.set_phi(unit, phi);
     }
 
     /// The unit's static factor `Φ`.
     pub fn phi(&self, unit: UnitId) -> f64 {
-        self.phi[unit as usize]
+        self.statics.phi_of(unit)
     }
 }
 
@@ -45,18 +49,28 @@ impl Policy for BsdPolicy {
     }
 
     fn on_register(&mut self, units: &[UnitStatics]) {
-        self.phi = units.iter().map(UnitStatics::bsd_static).collect();
+        self.statics = StaticsTable::from_units(units);
     }
 
     fn on_enqueue(&mut self, _unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {}
 
+    fn on_statics_update(&mut self, unit: UnitId, statics: &UnitStatics) {
+        // O(1): refresh the unit's columns; Φ is derived in the same call.
+        self.statics.set(unit, statics);
+    }
+
+    fn memory_footprint(&self) -> Option<usize> {
+        Some(self.statics.heap_bytes())
+    }
+
     fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection> {
         let mut best: Option<(f64, UnitId)> = None;
         let mut ops = 0;
+        let phi = self.statics.phi();
         for &unit in queues.nonempty() {
             let arrival = queues.head_arrival(unit).expect("nonempty unit has a head");
             let wait = now.saturating_since(arrival).as_nanos() as f64;
-            let priority = wait * self.phi[unit as usize];
+            let priority = wait * phi[unit as usize];
             ops += 2; // priority computation + comparison
             let better = match best {
                 None => true,
@@ -149,6 +163,28 @@ mod tests {
         }
         let sel = p.select(&q, ms(100)).unwrap();
         assert_eq!(sel.ops_counted, 10, "2 ops per ready unit");
+    }
+
+    #[test]
+    fn statics_update_changes_the_scan_in_place() {
+        let units = vec![
+            UnitStatics::new(1.0, ms(1), ms(1)),
+            UnitStatics::new(0.5, ms(2), ms(2)),
+        ];
+        let mut p = BsdPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), ms(0));
+        q.push(1, TupleId::new(1), ms(0));
+        assert_eq!(p.select(&q, ms(10)).unwrap().units, vec![0], "Φ0 > Φ1");
+        // Re-estimate unit 1 as much cheaper: its Φ overtakes.
+        p.on_statics_update(
+            1,
+            &UnitStatics::new(1.0, Nanos::from_nanos(500_000), Nanos::from_nanos(500_000)),
+        );
+        assert!(p.phi(1) > p.phi(0));
+        assert_eq!(p.select(&q, ms(10)).unwrap().units, vec![1]);
+        assert!(p.memory_footprint().unwrap() >= 2 * 4 * 8);
     }
 
     #[test]

@@ -17,14 +17,36 @@
 //! [`crate::fagin`]; §6.2.3 amortizes scheduling points by executing *all*
 //! queries of the chosen cluster that are pending on the head tuple as one
 //! batch.
-
-use std::collections::{BTreeSet, VecDeque};
+//!
+//! # Large-q internals
+//!
+//! The implementation is sized for 10⁵–10⁶ concurrent units:
+//!
+//! * statics live in a struct-of-arrays [`StaticsTable`] so re-bucketing
+//!   scans touch one contiguous `Φ` column;
+//! * pending entries live in one slab ([`crate::waitlist`]) threaded by
+//!   intrusive per-cluster FIFOs and per-unit chains — O(1) enqueue, O(1)
+//!   shed, slot reuse, no allocation per decision at steady state;
+//! * the `Φ` **domain is frozen at `on_register`**: [`Self::add_unit`],
+//!   [`Self::retire_unit`] and [`Self::update_unit_statics`] re-bucket only
+//!   the affected unit against the frozen ranges (a `Φ` outside the
+//!   registered domain clamps to the edge cluster), and a unit whose bucket
+//!   changes drags only *its own* pending entries into the destination
+//!   cluster — never a full priority-domain rebuild.
+//!
+//! The incremental path is held to the from-scratch semantics by
+//! [`Self::rebuild_reference`] plus a fuzzed differential invariant in
+//! `hcq-check`: after any mutation sequence, the incremental policy and a
+//! rebuilt one must produce byte-identical selections and
+//! [`SchedStats`].
 
 use hcq_common::{Nanos, TupleId};
 
-use crate::fagin::fagin_top1;
+use crate::fagin::{fagin_top1_with, FaginScratch};
 use crate::policy::{Policy, QueueView, SchedStats, Selection, UnitId};
+use crate::soa::StaticsTable;
 use crate::unit::UnitStatics;
+use crate::waitlist::{SortedFronts, WaitEntry, WaitLists};
 
 /// How the `Φ` domain is split into clusters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,34 +95,140 @@ impl ClusterConfig {
     }
 }
 
-/// One pending entry mirrored from the engine's queues.
+/// The `Φ` domain snapshot frozen at registration, from which every bucket
+/// assignment derives. Sanitization happens before this struct sees a value
+/// ([`UnitStatics::sanitized_phi`]), so the fields are NaN-free.
 #[derive(Debug, Clone, Copy)]
-struct Entry {
-    tuple: TupleId,
-    arrival: Nanos,
-    unit: UnitId,
+struct PhiDomain {
+    /// Degenerate domains (≤ 1 unit, `lo == hi`, all-zero `Φ`) collapse to
+    /// a single cluster instead of producing NaN bucket indices.
+    degenerate: bool,
+    /// Smallest sanitized `Φ` at registration.
+    lo: f64,
+    /// Largest sanitized `Φ` at registration.
+    hi: f64,
+    /// Smallest *positive* `Φ` — the logarithmic split's lower edge (`lo ==
+    /// 0` would give `ε = ∞`; zero-`Φ` units join cluster 0 below it).
+    lo_pos: f64,
+}
+
+impl Default for PhiDomain {
+    fn default() -> Self {
+        // No registration yet: everything buckets to cluster 0.
+        PhiDomain {
+            degenerate: true,
+            lo: 0.0,
+            hi: 0.0,
+            lo_pos: 0.0,
+        }
+    }
+}
+
+impl PhiDomain {
+    /// Derive the frozen domain from the sanitized `Φ` column.
+    fn compute(phis: &[f64]) -> Self {
+        let (lo, hi) = phis
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
+                (lo.min(p), hi.max(p))
+            });
+        let lo_pos = if lo > 0.0 {
+            lo
+        } else {
+            phis.iter().copied().filter(|&p| p > 0.0).fold(hi, f64::min)
+        };
+        let degenerate = phis.len() <= 1 || lo >= hi || lo_pos <= 0.0 || lo_pos >= hi;
+        PhiDomain {
+            degenerate,
+            lo,
+            hi,
+            lo_pos,
+        }
+    }
+
+    /// The bucket for a sanitized `Φ`. Registration-time values reproduce
+    /// the frozen assignment exactly; post-registration values outside
+    /// `[lo, hi]` saturate to the edge clusters (the float→int cast clamps
+    /// below, the `min` clamps above), so incremental churn never indexes
+    /// out of range.
+    fn bucket(&self, clustering: Clustering, m: usize, p: f64) -> u32 {
+        if self.degenerate {
+            return 0;
+        }
+        let idx = match clustering {
+            Clustering::Uniform => {
+                // Equal-width ranges over [lo, hi]. `p == hi` lands exactly
+                // on `m` before the clamp — the boundary value belongs to
+                // the top cluster `m − 1`.
+                ((p - self.lo) / (self.hi - self.lo) * m as f64).floor() as usize
+            }
+            Clustering::Logarithmic => {
+                if p < self.lo_pos {
+                    // Zero-Φ unit: lowest cluster.
+                    0
+                } else {
+                    // Equal-ratio ranges: cluster i covers
+                    // [lo·ε^i, lo·ε^(i+1)) with ε = (hi/lo)^(1/m);
+                    // `p == hi` floors to `m`, clamped to `m − 1`.
+                    let eps = (self.hi / self.lo_pos).powf(1.0 / m as f64);
+                    ((p / self.lo_pos).ln() / eps.ln()).floor() as usize
+                }
+            }
+        };
+        idx.min(m - 1) as u32
+    }
+
+    /// Pseudo-priority = lower edge of cluster `i`'s range.
+    fn pseudo(&self, clustering: Clustering, m: usize, i: usize) -> f64 {
+        if self.degenerate {
+            return self.hi.max(0.0);
+        }
+        match clustering {
+            Clustering::Uniform => self.lo + (self.hi - self.lo) * i as f64 / m as f64,
+            Clustering::Logarithmic => {
+                let eps = (self.hi / self.lo_pos).powf(1.0 / m as f64);
+                self.lo_pos * eps.powi(i as i32)
+            }
+        }
+    }
 }
 
 /// BSD through the §6.2 machinery.
 #[derive(Debug)]
 pub struct ClusteredBsdPolicy {
     cfg: ClusterConfig,
+    /// Frozen `Φ` domain (see [`PhiDomain`]).
+    domain: PhiDomain,
+    /// Struct-of-arrays statics; the `Φ` column holds *sanitized* values.
+    statics: StaticsTable,
     /// Cluster index per unit.
     cluster_of: Vec<u32>,
+    /// Units retired via [`Self::retire_unit`] (backlog-free, no further
+    /// enqueues expected).
+    retired: Vec<bool>,
     /// Pseudo-priority per cluster (the range's lower edge).
     pseudo: Vec<f64>,
     /// Clusters sorted by pseudo-priority, descending (for Fagin's list A).
     by_pseudo: Vec<u32>,
-    /// FIFO input queue per cluster.
-    queues: Vec<VecDeque<Entry>>,
+    /// Slab-backed per-cluster FIFOs + per-unit chains.
+    lists: WaitLists,
     /// `(front arrival, cluster)` for every non-empty cluster, ordered by
     /// arrival — Fagin's list B (descending wait = ascending arrival) with
-    /// O(log m) maintenance. Only fronts live here, so a list-B walk never
-    /// wades through a backlog.
-    by_wait: BTreeSet<(Nanos, u32)>,
-    /// Cluster-queue maintenance (routing inserts, shed repairs) since the
-    /// last `select`, reported on the next decision's [`SchedStats`].
+    /// O(log m) search and O(m) memmove, allocation-free at steady state.
+    /// Only fronts live here, so a list-B walk never wades through a
+    /// backlog.
+    by_wait: SortedFronts,
+    /// Global enqueue sequence number: the canonical FIFO order, preserved
+    /// when a unit's entries migrate between clusters.
+    seq: u64,
+    /// Cluster-queue maintenance (routing inserts, shed repairs, membership
+    /// churn) since the last `select`, reported on the next decision's
+    /// [`SchedStats`].
     pending_cluster_ops: u64,
+    /// Reused by [`Self::select_fagin`] so decisions allocate nothing.
+    fagin_scratch: FaginScratch,
+    /// Reused by entry migration in [`Self::update_unit_statics`].
+    move_scratch: Vec<u32>,
 }
 
 impl ClusteredBsdPolicy {
@@ -109,18 +237,29 @@ impl ClusteredBsdPolicy {
         assert!(cfg.clusters >= 1, "need at least one cluster");
         ClusteredBsdPolicy {
             cfg,
+            domain: PhiDomain::default(),
+            statics: StaticsTable::new(),
             cluster_of: Vec::new(),
+            retired: Vec::new(),
             pseudo: Vec::new(),
             by_pseudo: Vec::new(),
-            queues: Vec::new(),
-            by_wait: BTreeSet::new(),
+            lists: WaitLists::default(),
+            by_wait: SortedFronts::default(),
+            seq: 0,
             pending_cluster_ops: 0,
+            fagin_scratch: FaginScratch::default(),
+            move_scratch: Vec::new(),
         }
     }
 
     /// The number of clusters actually in use.
     pub fn cluster_count(&self) -> usize {
         self.pseudo.len()
+    }
+
+    /// The number of registered units (including retired ones).
+    pub fn unit_count(&self) -> usize {
+        self.cluster_of.len()
     }
 
     /// The cluster a unit was assigned to.
@@ -133,12 +272,158 @@ impl ClusteredBsdPolicy {
         self.pseudo[cluster as usize]
     }
 
+    /// Register one more unit after `on_register`, bucketing it into the
+    /// *frozen* `Φ` domain (out-of-domain factors clamp to the edge
+    /// clusters). O(1); no other cluster is touched. Returns the new id.
+    pub fn add_unit(&mut self, statics: UnitStatics) -> UnitId {
+        let unit = self.statics.push(&statics);
+        self.statics.set_phi(unit, statics.sanitized_phi());
+        let c = self.domain.bucket(
+            self.cfg.clustering,
+            self.cfg.clusters,
+            self.statics.phi_of(unit),
+        );
+        self.cluster_of.push(c);
+        self.retired.push(false);
+        let from_lists = self.lists.add_unit();
+        debug_assert_eq!(from_lists, unit, "statics table and wait lists in step");
+        self.pending_cluster_ops += 1;
+        unit
+    }
+
+    /// Retire a unit with an empty backlog: it keeps its id (dense spaces
+    /// stay dense) but is expected never to enqueue again. O(1).
+    ///
+    /// # Panics
+    /// If the unit still has pending entries — drain or shed them first.
+    pub fn retire_unit(&mut self, unit: UnitId) {
+        assert!(
+            self.lists.is_unit_empty(unit),
+            "retire_unit({unit}) with pending entries"
+        );
+        self.retired[unit as usize] = true;
+        self.pending_cluster_ops += 1;
+    }
+
+    /// True when the unit has been retired.
+    pub fn is_retired(&self, unit: UnitId) -> bool {
+        self.retired[unit as usize]
+    }
+
+    /// Install fresh statics for one unit, re-bucketing it against the
+    /// frozen domain. If its cluster changes, only its own pending entries
+    /// migrate (a seq-ordered merge into the destination FIFO) and only the
+    /// two affected clusters' front keys are repaired — never a domain
+    /// rebuild, never a scan over other units.
+    pub fn update_unit_statics(&mut self, unit: UnitId, statics: &UnitStatics) {
+        self.statics.set(unit, statics);
+        self.statics.set_phi(unit, statics.sanitized_phi());
+        // One re-bucket evaluation, charged whether or not the bucket moves.
+        self.pending_cluster_ops += 1;
+        let from = self.cluster_of[unit as usize];
+        let to = self.domain.bucket(
+            self.cfg.clustering,
+            self.cfg.clusters,
+            self.statics.phi_of(unit),
+        );
+        if to == from {
+            return;
+        }
+        self.cluster_of[unit as usize] = to;
+        if self.lists.is_unit_empty(unit) {
+            return;
+        }
+        let old_from_front = self.lists.front(from).map(|e| e.arrival);
+        let old_to_front = self.lists.front(to).map(|e| e.arrival);
+        let moved = self.lists.move_unit(unit, to, &mut self.move_scratch);
+        self.pending_cluster_ops += moved as u64;
+        self.repair_front(from, old_from_front);
+        self.repair_front(to, old_to_front);
+    }
+
+    /// Re-sync one cluster's `by_wait` key after its front may have changed.
+    fn repair_front(&mut self, cluster: u32, old: Option<Nanos>) {
+        let new = self.lists.front(cluster).map(|e| e.arrival);
+        if old == new {
+            return;
+        }
+        if let Some(a) = old {
+            if self.by_wait.remove(&(a, cluster)) {
+                self.pending_cluster_ops += 1;
+            }
+        }
+        if let Some(a) = new {
+            if self.by_wait.insert((a, cluster)) {
+                self.pending_cluster_ops += 1;
+            }
+        }
+    }
+
+    /// A from-scratch reconstruction of this policy's observable state: same
+    /// frozen domain, memberships recomputed from the stored `Φ` column, and
+    /// every live entry replayed in global enqueue order. Counters that feed
+    /// [`SchedStats`] are carried over verbatim, so the reference and the
+    /// incremental original must produce **byte-identical** selections and
+    /// stats from here on — the differential invariant `hcq-check` fuzzes.
+    pub fn rebuild_reference(&self) -> ClusteredBsdPolicy {
+        let mut p = ClusteredBsdPolicy::new(self.cfg);
+        let m = self.cfg.clusters;
+        p.domain = self.domain;
+        p.statics = self.statics.clone();
+        p.cluster_of = (0..self.statics.len())
+            .map(|u| {
+                self.domain
+                    .bucket(self.cfg.clustering, m, self.statics.phi_of(u as UnitId))
+            })
+            .collect();
+        p.retired = self.retired.clone();
+        p.pseudo = self.pseudo.clone();
+        p.by_pseudo = self.by_pseudo.clone();
+        p.lists.reset(m, self.statics.len());
+        p.by_wait.reserve(m);
+        let mut live: Vec<WaitEntry> = Vec::with_capacity(self.lists.live());
+        self.lists.collect_live(&mut live);
+        live.sort_by_key(|e| e.seq);
+        for e in &live {
+            p.lists.push_back(
+                p.cluster_of[e.unit as usize],
+                e.unit,
+                e.tuple,
+                e.arrival,
+                e.seq,
+            );
+        }
+        for c in 0..m as u32 {
+            if let Some(front) = p.lists.front(c) {
+                p.by_wait.insert((front.arrival, c));
+            }
+        }
+        p.seq = self.seq;
+        p.pending_cluster_ops = self.pending_cluster_ops;
+        p
+    }
+
+    /// Heap bytes committed for unit, statics, and wait-list storage — the
+    /// per-query memory figure the large-q bench reports.
+    pub fn memory_footprint(&self) -> usize {
+        self.statics.heap_bytes()
+            + self.lists.heap_bytes()
+            + self.by_wait.heap_bytes()
+            + self.cluster_of.capacity() * std::mem::size_of::<u32>()
+            + self.retired.capacity()
+            + self.pseudo.capacity() * std::mem::size_of::<f64>()
+            + self.by_pseudo.capacity() * std::mem::size_of::<u32>()
+            + self.move_scratch.capacity() * std::mem::size_of::<u32>()
+    }
+
     /// Linear scan over non-empty clusters (clustering only, no pruning).
     fn select_scan(&self, now: Nanos) -> Option<(u32, u64)> {
         let mut best: Option<(f64, u32)> = None;
         let mut ops = 0;
-        for (c, q) in self.queues.iter().enumerate() {
-            let Some(front) = q.front() else { continue };
+        for c in 0..self.pseudo.len() {
+            let Some(front) = self.lists.front(c as u32) else {
+                continue;
+            };
             let wait = now.saturating_since(front.arrival).as_nanos() as f64;
             let priority = self.pseudo[c] * wait;
             ops += 2;
@@ -155,29 +440,32 @@ impl ClusteredBsdPolicy {
 
     /// Fagin top-1 over (pseudo-priority, wait).
     fn select_fagin(&mut self, now: Nanos) -> Option<(u32, u64)> {
+        let ClusteredBsdPolicy {
+            pseudo,
+            by_pseudo,
+            by_wait,
+            lists,
+            fagin_scratch,
+            ..
+        } = self;
         // List A: clusters by pseudo-priority desc, skipping empty ones.
-        let list_a = self
-            .by_pseudo
+        let list_a = by_pseudo
             .iter()
             .copied()
-            .filter(|&c| !self.queues[c as usize].is_empty())
-            .map(|c| (c, self.pseudo[c as usize]));
+            .filter(|&c| !lists.is_cluster_empty(c))
+            .map(|c| (c, pseudo[c as usize]));
         // List B: non-empty clusters by head wait desc = ascending front
         // arrival; `by_wait` holds exactly the fronts.
-        let list_b = self
-            .by_wait
+        let list_b = by_wait
             .iter()
             .map(|&(arrival, c)| (c, now.saturating_since(arrival).as_nanos() as f64));
-        let pseudo = &self.pseudo;
-        let queues = &self.queues;
-        let top = fagin_top1(
+        let top = fagin_top1_with(
+            fagin_scratch,
             list_a,
             list_b,
             |c| pseudo[c as usize],
             |c| {
-                let front = queues[c as usize]
-                    .front()
-                    .expect("fagin only sees non-empty clusters");
+                let front = lists.front(c).expect("fagin only sees non-empty clusters");
                 now.saturating_since(front.arrival).as_nanos() as f64
             },
         )?;
@@ -197,124 +485,74 @@ impl Policy for ClusteredBsdPolicy {
         // Sanitize the Φ domain before deriving ranges from it: a NaN or
         // negative Φ (zero-selectivity units, external statics) maps to 0
         // and +∞ saturates to f64::MAX, so every arithmetic step below stays
-        // well-defined. Division by `hi − lo` and `ln(hi/lo)` is reached
-        // only when `hi > lo` (a genuinely spread domain); degenerate
-        // domains — one unit, a single static priority (`lo == hi`), or an
-        // all-zero Φ — collapse to a single cluster instead of producing
-        // NaN bucket indices.
-        let phi: Vec<f64> = units
-            .iter()
-            .map(|u| {
-                let p = u.bsd_static();
-                if p.is_nan() {
-                    0.0
-                } else {
-                    p.clamp(0.0, f64::MAX)
-                }
-            })
-            .collect();
-        let (lo, hi) = phi
-            .iter()
-            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &p| {
-                (lo.min(p), hi.max(p))
-            });
+        // well-defined (see UnitStatics::sanitized_phi). The domain freezes
+        // here; later churn re-buckets against these ranges.
+        self.statics = StaticsTable::from_units(units);
+        for (u, unit) in units.iter().enumerate() {
+            self.statics.set_phi(u as UnitId, unit.sanitized_phi());
+        }
         let m = self.cfg.clusters;
-        // The logarithmic split needs a positive lower edge: `lo == 0`
-        // (some unit never emits) would give `ε = ∞` and NaN indices. The
-        // zero-Φ units join cluster 0 below their positive peers; the
-        // equal-ratio ranges cover the positive sub-domain [lo_pos, hi].
-        let lo_pos = if lo > 0.0 {
-            lo
-        } else {
-            phi.iter().copied().filter(|&p| p > 0.0).fold(hi, f64::min)
-        };
-        let degenerate = units.len() <= 1 || lo >= hi || lo_pos <= 0.0 || lo_pos >= hi;
-        self.cluster_of = phi
+        self.domain = PhiDomain::compute(self.statics.phi());
+        self.cluster_of = self
+            .statics
+            .phi()
             .iter()
-            .map(|&p| {
-                if degenerate {
-                    return 0;
-                }
-                let idx = match self.cfg.clustering {
-                    Clustering::Uniform => {
-                        // Equal-width ranges over [lo, hi]. `p == hi` lands
-                        // exactly on `m` before the clamp — the boundary
-                        // value belongs to the top cluster `m − 1`.
-                        ((p - lo) / (hi - lo) * m as f64).floor() as usize
-                    }
-                    Clustering::Logarithmic => {
-                        if p < lo_pos {
-                            // Zero-Φ unit: lowest cluster.
-                            0
-                        } else {
-                            // Equal-ratio ranges: cluster i covers
-                            // [lo·ε^i, lo·ε^(i+1)) with ε = (hi/lo)^(1/m);
-                            // `p == hi` floors to `m`, clamped to `m − 1`.
-                            let eps = (hi / lo_pos).powf(1.0 / m as f64);
-                            ((p / lo_pos).ln() / eps.ln()).floor() as usize
-                        }
-                    }
-                };
-                idx.min(m - 1) as u32
-            })
+            .map(|&p| self.domain.bucket(self.cfg.clustering, m, p))
             .collect();
-        // Pseudo-priority = lower edge of each cluster's range.
+        self.retired = vec![false; units.len()];
         self.pseudo = (0..m)
-            .map(|i| {
-                if degenerate {
-                    return hi.max(0.0);
-                }
-                match self.cfg.clustering {
-                    Clustering::Uniform => lo + (hi - lo) * i as f64 / m as f64,
-                    Clustering::Logarithmic => {
-                        let eps = (hi / lo_pos).powf(1.0 / m as f64);
-                        lo_pos * eps.powi(i as i32)
-                    }
-                }
-            })
+            .map(|i| self.domain.pseudo(self.cfg.clustering, m, i))
             .collect();
         self.by_pseudo = (0..m as u32).collect();
         self.by_pseudo
             .sort_by(|&a, &b| self.pseudo[b as usize].total_cmp(&self.pseudo[a as usize]));
-        self.queues = (0..m).map(|_| VecDeque::new()).collect();
+        self.lists.reset(m, units.len());
         self.by_wait.clear();
+        self.by_wait.reserve(m);
+        self.seq = 0;
     }
 
     fn on_enqueue(&mut self, unit: UnitId, tuple: TupleId, arrival: Nanos, _now: Nanos) {
+        debug_assert!(
+            !self.retired[unit as usize],
+            "enqueue on retired unit {unit}"
+        );
         let c = self.cluster_of[unit as usize];
-        let q = &mut self.queues[c as usize];
-        if q.is_empty() {
+        if self.lists.is_cluster_empty(c) {
             self.by_wait.insert((arrival, c));
             self.pending_cluster_ops += 1;
         }
-        q.push_back(Entry {
-            tuple,
-            arrival,
-            unit,
-        });
+        self.lists.push_back(c, unit, tuple, arrival, self.seq);
+        self.seq += 1;
         self.pending_cluster_ops += 1;
     }
 
     fn on_shed(&mut self, unit: UnitId, tuple: TupleId) {
-        // The engine shed the tail tuple of `unit`'s queue; drop the matching
-        // mirror entry (the rearmost with that unit/tuple pair — a tuple sits
-        // in at most one unit queue at a time, so the pair is unambiguous).
-        let c = self.cluster_of[unit as usize];
-        let q = &mut self.queues[c as usize];
-        let Some(i) = q.iter().rposition(|e| e.unit == unit && e.tuple == tuple) else {
+        // The engine shed the tail tuple of `unit`'s queue; the matching
+        // mirror entry is the unit chain's tail (per-unit queues are FIFO,
+        // so the rearmost entry is the shed victim) — O(1), no backlog scan.
+        if self.lists.is_unit_empty(unit) {
             debug_assert!(false, "shed entry absent from cluster mirror");
             return;
-        };
-        let was_front = i == 0;
+        }
+        debug_assert_eq!(
+            self.lists.unit_tail_entry(unit).map(|e| e.tuple),
+            Some(tuple),
+            "shed tuple is the unit's rearmost mirror entry"
+        );
+        let (entry, was_front) = self
+            .lists
+            .remove_unit_tail(unit)
+            .expect("unit chain is non-empty");
+        let c = entry.cluster;
         if was_front {
-            let removed = self.by_wait.remove(&(q[0].arrival, c));
+            let removed = self.by_wait.remove(&(entry.arrival, c));
             debug_assert!(removed, "front entry tracked in by_wait");
             self.pending_cluster_ops += 1;
         }
-        q.remove(i);
         self.pending_cluster_ops += 1;
         if was_front {
-            if let Some(front) = q.front() {
+            if let Some(front) = self.lists.front(c) {
                 self.by_wait.insert((front.arrival, c));
                 self.pending_cluster_ops += 1;
             }
@@ -348,8 +586,10 @@ impl Policy for ClusteredBsdPolicy {
             }
         };
         stats.cluster_ops = std::mem::take(&mut self.pending_cluster_ops);
-        let q = &mut self.queues[cluster as usize];
-        let head = *q.front().expect("selected cluster is non-empty");
+        let head = *self
+            .lists
+            .front(cluster)
+            .expect("selected cluster is non-empty");
         let removed = self.by_wait.remove(&(head.arrival, cluster));
         debug_assert!(removed, "front entry tracked in by_wait");
         stats.heap_ops += 1;
@@ -358,18 +598,18 @@ impl Policy for ClusteredBsdPolicy {
             // Clustered processing: every member query pending on the head
             // tuple runs as one batch. Copies of one arriving tuple are
             // enqueued back-to-back, so they sit contiguously at the front.
-            while let Some(e) = q.front() {
+            while let Some(e) = self.lists.front(cluster) {
                 if e.tuple != head.tuple {
                     break;
                 }
                 units.push(e.unit);
-                q.pop_front();
+                self.lists.pop_front(cluster);
             }
         } else {
             units.push(head.unit);
-            q.pop_front();
+            self.lists.pop_front(cluster);
         }
-        if let Some(front) = q.front() {
+        if let Some(front) = self.lists.front(cluster) {
             self.by_wait.insert((front.arrival, cluster));
             stats.heap_ops += 1;
         }
@@ -380,6 +620,14 @@ impl Policy for ClusteredBsdPolicy {
             ops_counted: ops,
             stats,
         })
+    }
+
+    fn on_statics_update(&mut self, unit: UnitId, statics: &UnitStatics) {
+        self.update_unit_statics(unit, statics);
+    }
+
+    fn memory_footprint(&self) -> Option<usize> {
+        Some(self.memory_footprint())
     }
 }
 
@@ -822,5 +1070,149 @@ mod tests {
         for u in 0..4 {
             assert_eq!(p.cluster_of(u), 0);
         }
+    }
+
+    // ---- incremental maintenance ----
+
+    #[test]
+    fn added_unit_joins_the_frozen_domain() {
+        let units = spread_units(50);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(8));
+        p.on_register(&units);
+        // A clone of unit 7 must land in unit 7's cluster; an off-domain
+        // Φ clamps to an edge cluster.
+        let u = p.add_unit(units[7]);
+        assert_eq!(u, 50);
+        assert_eq!(p.cluster_of(u), p.cluster_of(7));
+        let huge = p.add_unit(UnitStatics::new(
+            1.0,
+            Nanos::from_nanos(1),
+            Nanos::from_nanos(1),
+        ));
+        assert_eq!(p.cluster_of(huge), 7, "off-domain Φ clamps to the top");
+        let zero = p.add_unit(UnitStatics::new(0.0, ms(5), ms(5)));
+        assert_eq!(p.cluster_of(zero), 0, "zero Φ clamps to the bottom");
+        assert_eq!(p.unit_count(), 53);
+    }
+
+    #[test]
+    fn statics_update_rebuckets_and_drags_pending_entries() {
+        let units = spread_units(10);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+            clustering: Clustering::Logarithmic,
+            clusters: 8,
+            use_fagin: false,
+            batch: false,
+        });
+        p.on_register(&units);
+        let mut q = MockQueues::new(10);
+        for u in 0..10u32 {
+            let t = TupleId::new(u as u64);
+            let a = ms(u as u64);
+            q.push(u, t, a);
+            p.on_enqueue(u, t, a, a);
+        }
+        // Give unit 0 the statics of a unit in a different cluster.
+        let donor = (0..10u32)
+            .find(|&u| p.cluster_of(u) != p.cluster_of(0))
+            .expect("spread units span clusters");
+        let before = p.cluster_of(0);
+        p.update_unit_statics(0, &units[donor as usize]);
+        assert_ne!(p.cluster_of(0), before);
+        assert_eq!(p.cluster_of(0), p.cluster_of(donor));
+        // All ten tuples still drain (by_wait repaired, entries migrated).
+        let mut served = 0;
+        while !q.nonempty().is_empty() {
+            let sel = p.select(&q, ms(1000)).expect("no wedge after migration");
+            for &u in sel.units.iter() {
+                q.pop(u);
+                served += 1;
+            }
+        }
+        assert_eq!(served, 10);
+    }
+
+    #[test]
+    fn rebuild_reference_is_behaviorally_identical() {
+        let units = spread_units(12);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(6));
+        p.on_register(&units);
+        let mut q = MockQueues::new(12);
+        for u in 0..12u32 {
+            let t = TupleId::new(u as u64);
+            let a = ms(u as u64 * 2);
+            q.push(u, t, a);
+            p.on_enqueue(u, t, a, a);
+        }
+        // Mutate: one statics change, one shed, one extra arrival.
+        p.update_unit_statics(3, &units[8]);
+        q.pop_back(5);
+        p.on_shed(5, TupleId::new(5));
+        q.push(2, TupleId::new(20), ms(40));
+        p.on_enqueue(2, TupleId::new(20), ms(40), ms(40));
+
+        let mut r = p.rebuild_reference();
+        let mut qr = MockQueues::new(12);
+        for u in 0..12u32 {
+            if u == 5 {
+                continue;
+            }
+            qr.push(u, TupleId::new(u as u64), ms(u as u64 * 2));
+        }
+        qr.push(2, TupleId::new(20), ms(40));
+
+        let mut now = ms(50);
+        while !q.nonempty().is_empty() {
+            let a = p.select(&q, now).expect("original selects");
+            let b = r.select(&qr, now).expect("reference selects");
+            assert_eq!(a.units, b.units, "selection diverged at {now}");
+            assert_eq!(a.ops_counted, b.ops_counted);
+            assert_eq!(a.stats, b.stats, "stats diverged at {now}");
+            for &u in a.units.iter() {
+                q.pop(u);
+                qr.pop(u);
+            }
+            now += ms(3);
+        }
+        assert!(r.select(&qr, now).is_none());
+    }
+
+    #[test]
+    fn retire_requires_empty_backlog_and_sticks() {
+        let units = spread_units(3);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(4));
+        p.on_register(&units);
+        p.retire_unit(1);
+        assert!(p.is_retired(1));
+        assert!(!p.is_retired(0));
+        let mut q = MockQueues::new(3);
+        q.push(0, TupleId::new(0), ms(1));
+        p.on_enqueue(0, TupleId::new(0), ms(1), ms(1));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.retire_unit(0);
+        }));
+        assert!(outcome.is_err(), "retiring a backlogged unit must panic");
+    }
+
+    #[test]
+    fn memory_footprint_scales_with_units_not_backlog_squared() {
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(8));
+        p.on_register(&spread_units(1000));
+        let empty = p.memory_footprint();
+        assert!(empty > 0);
+        let mut q = MockQueues::new(1000);
+        for u in 0..1000u32 {
+            let t = TupleId::new(u as u64);
+            q.push(u, t, ms(1));
+            p.on_enqueue(u, t, ms(1), ms(1));
+        }
+        let loaded = p.memory_footprint();
+        // Statics (4×8) + entry (48) + links and membership: comfortably
+        // under the 200 B/query budget the large-q bench gates.
+        assert!(
+            loaded < 1000 * 200,
+            "footprint {loaded} exceeds 200 B/query at q=1000"
+        );
+        assert!(loaded >= empty);
     }
 }

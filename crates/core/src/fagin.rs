@@ -27,6 +27,19 @@ pub struct Top1 {
     pub accesses: u64,
 }
 
+/// Reusable working storage for [`fagin_top1_with`].
+///
+/// A scheduling point at large `m` must not allocate; callers on the hot
+/// path hold one scratch and pass it to every decision. The vectors keep
+/// their capacity between calls, so after warm-up the sorted/random phases
+/// run allocation-free.
+#[derive(Debug, Default)]
+pub struct FaginScratch {
+    seen_a: Vec<u32>,
+    seen_b: Vec<u32>,
+    graded: Vec<u32>,
+}
+
 /// Find the object maximizing `grade_a(x) · grade_b(x)`.
 ///
 /// * `list_a` must yield `(object, grade_a)` in non-increasing `grade_a`
@@ -35,7 +48,29 @@ pub struct Top1 {
 /// * `grade_a` / `grade_b` provide random access for the second phase.
 ///
 /// Returns `None` when the lists are empty.
+///
+/// Convenience wrapper over [`fagin_top1_with`] that allocates fresh
+/// scratch; hot paths should hold a [`FaginScratch`] instead.
 pub fn fagin_top1(
+    list_a: impl IntoIterator<Item = (u32, f64)>,
+    list_b: impl IntoIterator<Item = (u32, f64)>,
+    grade_a: impl Fn(u32) -> f64,
+    grade_b: impl Fn(u32) -> f64,
+) -> Option<Top1> {
+    fagin_top1_with(
+        &mut FaginScratch::default(),
+        list_a,
+        list_b,
+        grade_a,
+        grade_b,
+    )
+}
+
+/// [`fagin_top1`] with caller-provided working storage — allocation-free
+/// once the scratch capacity has warmed up. Results and access counts are
+/// identical to the allocating wrapper.
+pub fn fagin_top1_with(
+    scratch: &mut FaginScratch,
     list_a: impl IntoIterator<Item = (u32, f64)>,
     list_b: impl IntoIterator<Item = (u32, f64)>,
     grade_a: impl Fn(u32) -> f64,
@@ -43,8 +78,14 @@ pub fn fagin_top1(
 ) -> Option<Top1> {
     let mut a = list_a.into_iter();
     let mut b = list_b.into_iter();
-    let mut seen_a: Vec<u32> = Vec::new();
-    let mut seen_b: Vec<u32> = Vec::new();
+    let FaginScratch {
+        seen_a,
+        seen_b,
+        graded,
+    } = scratch;
+    seen_a.clear();
+    seen_b.clear();
+    graded.clear();
     let mut accesses = 0u64;
 
     // Sorted phase: lockstep until intersection is non-empty.
@@ -76,8 +117,8 @@ pub fn fagin_top1(
     // Random-access phase over the union of seen objects. An object seen in
     // both lists appears in both vectors; grade it once.
     let mut best: Option<(f64, u32)> = None;
-    let mut graded: Vec<u32> = Vec::with_capacity(seen_a.len() + seen_b.len());
-    for &obj in seen_a.iter().chain(&seen_b) {
+    graded.reserve(seen_a.len() + seen_b.len());
+    for &obj in seen_a.iter().chain(seen_b.iter()) {
         if graded.contains(&obj) {
             continue;
         }
@@ -168,6 +209,43 @@ mod tests {
         let r = run_fagin(&objects).unwrap();
         assert_eq!(r.object, 1);
         assert_eq!(r.grade, 9.0);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh() {
+        // A warm scratch (stale contents from a previous decision) must not
+        // leak into the next call's answer or access count.
+        let first = [(10.0, 0.1), (3.0, 3.0), (0.1, 10.0)];
+        let second = [(1.0, 1.0), (2.0, 2.0), (9.0, 9.0)];
+        let mut scratch = FaginScratch::default();
+        for objects in [&first[..], &second[..], &first[..]] {
+            let mut by_a: Vec<(u32, f64)> = objects
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, _))| (i as u32, a))
+                .collect();
+            by_a.sort_by(|x, y| y.1.total_cmp(&x.1));
+            let mut by_b: Vec<(u32, f64)> = objects
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, b))| (i as u32, b))
+                .collect();
+            by_b.sort_by(|x, y| y.1.total_cmp(&x.1));
+            let warm = fagin_top1_with(
+                &mut scratch,
+                by_a.clone(),
+                by_b.clone(),
+                |o| objects[o as usize].0,
+                |o| objects[o as usize].1,
+            );
+            let fresh = fagin_top1(
+                by_a,
+                by_b,
+                |o| objects[o as usize].0,
+                |o| objects[o as usize].1,
+            );
+            assert_eq!(warm, fresh);
+        }
     }
 
     proptest! {

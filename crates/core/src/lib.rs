@@ -51,8 +51,10 @@ pub mod lsf;
 pub mod pdt;
 pub mod policy;
 pub mod rr;
+pub mod soa;
 pub mod statics;
 pub mod unit;
+mod waitlist;
 
 pub use adaptive::EwmaEstimator;
 pub use bsd::BsdPolicy;
@@ -63,5 +65,6 @@ pub use lsf::LsfPolicy;
 pub use pdt::{shared_priority, PdtSelection, SharingStrategy};
 pub use policy::{Policy, PolicyKind, QueueView, SchedStats, Selection, SelectionUnits, UnitId};
 pub use rr::RoundRobinPolicy;
+pub use soa::StaticsTable;
 pub use statics::{StaticPolicy, StaticRank};
 pub use unit::{PriorityKey, UnitStatics, MIN_TIME_NS};

@@ -44,6 +44,15 @@ impl Policy for LsfPolicy {
 
     fn on_enqueue(&mut self, _unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {}
 
+    fn on_statics_update(&mut self, unit: UnitId, statics: &UnitStatics) {
+        // O(1): only this unit's slope changes; the scan reads it next point.
+        self.slope[unit as usize] = statics.lsf_slope();
+    }
+
+    fn memory_footprint(&self) -> Option<usize> {
+        Some(self.slope.capacity() * std::mem::size_of::<f64>())
+    }
+
     fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection> {
         let mut best: Option<(f64, UnitId)> = None;
         let mut ops = 0;
@@ -149,6 +158,24 @@ mod tests {
         // 12ns·(1/2ns) = 6 -> the ordinary unit outranks the degenerate one.
         let sel = p.select(&q, Nanos::from_nanos(12)).unwrap();
         assert_eq!(sel.units, vec![1]);
+    }
+
+    #[test]
+    fn statics_update_changes_the_slope_in_place() {
+        let units = vec![
+            UnitStatics::new(1.0, ms(10), ms(10)),
+            UnitStatics::new(1.0, ms(10), ms(10)),
+        ];
+        let mut p = LsfPolicy::new();
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), ms(0));
+        q.push(1, TupleId::new(1), ms(0));
+        assert_eq!(p.select(&q, ms(20)).unwrap().units, vec![0], "tie → id");
+        // Unit 1 is re-estimated much shorter: its stretch slope dominates.
+        p.on_statics_update(1, &UnitStatics::new(1.0, ms(1), ms(1)));
+        assert_eq!(p.select(&q, ms(20)).unwrap().units, vec![1]);
+        assert!(p.memory_footprint().unwrap() >= 2 * 8);
     }
 
     #[test]

@@ -300,6 +300,20 @@ pub trait Policy {
     /// The overload manager shed the tail tuple of `unit`'s queue.
     fn on_shed(&mut self, _unit: UnitId, _tuple: TupleId) {}
 
+    /// One unit's statics changed mid-run (§10 adaptive estimation, operator
+    /// re-costing). Policies holding derived per-unit state (Φ, slopes,
+    /// static priorities, cluster memberships) refresh *only* that unit; the
+    /// default no-op suits policies that never read statics after
+    /// registration (FCFS, RR).
+    fn on_statics_update(&mut self, _unit: UnitId, _statics: &UnitStatics) {}
+
+    /// Heap bytes committed for per-unit scheduler state (statics mirrors,
+    /// wait-list slabs, priority heaps). `None` when the policy does not
+    /// account for its footprint; the large-q bench reports this per query.
+    fn memory_footprint(&self) -> Option<usize> {
+        None
+    }
+
     /// Choose what to run next.
     fn select(&mut self, queues: &dyn QueueView, now: Nanos) -> Option<Selection>;
 }

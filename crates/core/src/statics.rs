@@ -51,6 +51,13 @@ pub struct StaticPolicy {
     in_heap: Vec<bool>,
     /// Heap pushes since the last `select`, reported on the next decision.
     pending_heap_ops: u64,
+    /// Priority-formula evaluations since the last `select` (registration
+    /// computes one per unit, overrides one each), reported on the next
+    /// decision. A static policy evaluates its formula *between* scheduling
+    /// points rather than per point — leaving this at zero (as earlier
+    /// versions did) made HNR look like it never computes priorities in the
+    /// §6 overhead comparison.
+    pending_evals: u64,
 }
 
 impl StaticPolicy {
@@ -70,6 +77,7 @@ impl StaticPolicy {
             heap: BinaryHeap::new(),
             in_heap: Vec::new(),
             pending_heap_ops: 0,
+            pending_evals: 0,
         }
     }
 
@@ -86,6 +94,7 @@ impl StaticPolicy {
             heap: BinaryHeap::new(),
             in_heap: Vec::new(),
             pending_heap_ops: 0,
+            pending_evals: 0,
         }
     }
 
@@ -109,6 +118,7 @@ impl StaticPolicy {
     /// adaptive extension when estimates drift).
     pub fn set_priority(&mut self, unit: UnitId, priority: f64) {
         self.priorities[unit as usize] = PriorityKey(priority);
+        self.pending_evals += 1;
         // If the unit is currently queued in the heap, its stored key is
         // stale; re-push so the new value takes effect (the stale entry is
         // discarded lazily when popped).
@@ -139,13 +149,36 @@ impl Policy for StaticPolicy {
                 );
                 self.custom.iter().map(|&p| PriorityKey(p)).collect()
             }
-            rank => units
-                .iter()
-                .map(|u| PriorityKey(rank.priority(u)))
-                .collect(),
+            rank => {
+                // One formula evaluation per unit — the static policy's
+                // entire priority-computation budget, spent up front.
+                self.pending_evals += units.len() as u64;
+                units
+                    .iter()
+                    .map(|u| PriorityKey(rank.priority(u)))
+                    .collect()
+            }
         };
         self.in_heap = vec![false; units.len()];
         self.heap.clear();
+    }
+
+    fn on_statics_update(&mut self, unit: UnitId, statics: &UnitStatics) {
+        // Re-evaluate the rank formula for this unit only. Custom ranks have
+        // no formula here — their owner re-installs via `set_priority`.
+        if self.rank != StaticRank::Custom {
+            self.set_priority(unit, self.rank.priority(statics));
+        }
+    }
+
+    fn memory_footprint(&self) -> Option<usize> {
+        let key = std::mem::size_of::<PriorityKey>();
+        Some(
+            self.priorities.capacity() * key
+                + self.heap.capacity() * std::mem::size_of::<(PriorityKey, UnitId)>()
+                + self.in_heap.capacity()
+                + self.custom.capacity() * std::mem::size_of::<f64>(),
+        )
     }
 
     fn on_enqueue(&mut self, unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {
@@ -180,6 +213,7 @@ impl Policy for StaticPolicy {
             }
             let stats = SchedStats {
                 candidates_scanned: ops,
+                priority_evals: std::mem::take(&mut self.pending_evals),
                 comparisons: ops,
                 heap_ops: heap_ops + std::mem::take(&mut self.pending_heap_ops),
                 ..SchedStats::default()
@@ -277,6 +311,50 @@ mod tests {
         }
         assert_eq!(p.select(&q, Nanos::ZERO).unwrap().units, vec![0]);
         assert_eq!(p.priority(0), 1.0);
+    }
+
+    #[test]
+    fn priority_evals_are_itemized_not_zero() {
+        // Satellite of the §6 cost comparison: HNR evaluates one formula per
+        // unit at registration and one per override; those evals must show
+        // up in SchedStats instead of reading 0.00 forever.
+        let mut p = StaticPolicy::hnr();
+        p.on_register(&example1());
+        let mut q = MockQueues::new(2);
+        for u in 0..2 {
+            q.push(u, TupleId::new(u as u64), Nanos::ZERO);
+            p.on_enqueue(u, TupleId::new(u as u64), Nanos::ZERO, Nanos::ZERO);
+        }
+        let first = p.select(&q, Nanos::ZERO).unwrap();
+        assert_eq!(
+            first.stats.priority_evals, 2,
+            "one eval per registered unit"
+        );
+        q.pop(first.units[0]);
+        // No new evals between points: the next decision reports zero.
+        let second = p.select(&q, Nanos::ZERO).unwrap();
+        assert_eq!(second.stats.priority_evals, 0);
+        // A statics update re-evaluates exactly one formula.
+        p.on_statics_update(0, &UnitStatics::new(0.9, ms(1), ms(1)));
+        q.push(0, TupleId::new(9), Nanos::ZERO);
+        p.on_enqueue(0, TupleId::new(9), Nanos::ZERO, Nanos::ZERO);
+        let third = p.select(&q, Nanos::ZERO).unwrap();
+        assert_eq!(third.stats.priority_evals, 1);
+        assert!(p.memory_footprint().unwrap() > 0);
+    }
+
+    #[test]
+    fn statics_update_reorders_rank_policies() {
+        let mut p = StaticPolicy::srpt();
+        p.on_register(&example1());
+        let mut q = MockQueues::new(2);
+        for u in 0..2 {
+            q.push(u, TupleId::new(u as u64), Nanos::ZERO);
+            p.on_enqueue(u, TupleId::new(u as u64), Nanos::ZERO, Nanos::ZERO);
+        }
+        // SRPT prefers unit 1 (T=2ms); re-estimate unit 0 shorter.
+        p.on_statics_update(0, &UnitStatics::new(1.0, ms(1), ms(1)));
+        assert_eq!(p.select(&q, Nanos::ZERO).unwrap().units, vec![0]);
     }
 
     #[test]

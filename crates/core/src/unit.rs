@@ -91,6 +91,21 @@ impl UnitStatics {
     pub fn lsf_slope(&self) -> f64 {
         1.0 / self.ideal_time_ns
     }
+
+    /// `Φ` sanitized for *domain arithmetic*: NaN (a poisoned selectivity
+    /// fed through [`Self::bsd_static`]) maps to 0 and the result is clamped
+    /// to `[0, f64::MAX]`. Clustered BSD derives its priority ranges from
+    /// folds, divisions and logarithms over these values, where a single
+    /// NaN/∞ would poison every cluster boundary; the exact-BSD scan needs
+    /// no such guard because [`PriorityKey`] already ranks NaN last.
+    pub fn sanitized_phi(&self) -> f64 {
+        let p = self.bsd_static();
+        if p.is_nan() {
+            0.0
+        } else {
+            p.clamp(0.0, f64::MAX)
+        }
+    }
 }
 
 /// Total order over `f64` priorities.
@@ -179,6 +194,18 @@ mod tests {
         let u = UnitStatics::new(0.5, ms(4), ms(6));
         assert!((u.bsd_static() - u.hnr_priority() / u.ideal_time_ns).abs() < 1e-30);
         assert!((u.lsf_slope() - 1.0 / u.ideal_time_ns).abs() < 1e-30);
+    }
+
+    #[test]
+    fn sanitized_phi_tames_nan_and_negatives() {
+        let mut u = UnitStatics::new(0.5, ms(4), ms(6));
+        assert_eq!(u.sanitized_phi(), u.bsd_static(), "clean Φ passes through");
+        u.selectivity = f64::NAN;
+        assert_eq!(u.sanitized_phi(), 0.0, "NaN Φ maps to zero");
+        u.selectivity = -3.0;
+        assert_eq!(u.sanitized_phi(), 0.0, "negative Φ clamps to zero");
+        u.selectivity = f64::INFINITY;
+        assert_eq!(u.sanitized_phi(), f64::MAX, "∞ saturates finite");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use hcq_common::{det, EngineError, HcqError, Nanos, Result, StreamId, TupleId};
-use hcq_core::{Policy, PriorityKey, QueueView};
+use hcq_core::{Policy, PriorityKey, QueueView, UnitStatics};
 use hcq_join::{Side, SymmetricHashJoin};
 use hcq_metrics::{
     ClassBreakdown, OverheadTotals, QosAccumulator, QosTimeSeries, SlowdownHistogram,
@@ -287,6 +287,17 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             metrics,
             telemetry,
         })
+    }
+
+    /// Install fresh statics for one unit mid-run — the §10 adaptive path
+    /// (online cost/selectivity re-estimation) crossing the queue/policy
+    /// boundary. Refreshes the engine's own derived state (the QoS-shedding
+    /// victim priority) and forwards to the policy's incremental
+    /// [`Policy::on_statics_update`] hook, so a clustered policy re-buckets
+    /// only the affected unit instead of rebuilding its priority domain.
+    pub fn update_unit_statics(&mut self, unit: u32, statics: UnitStatics) {
+        self.shed_priority[unit as usize] = statics.hnr_priority();
+        self.policy.on_statics_update(unit, &statics);
     }
 
     /// Route an event: buffered while a unit executes, straight to the sink

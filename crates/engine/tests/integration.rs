@@ -588,3 +588,47 @@ fn cost_jitter_preserves_policy_independence_and_orderings() {
     .unwrap();
     assert_ne!(det.busy_time, hnr.busy_time);
 }
+
+#[test]
+fn mid_run_statics_update_crosses_the_policy_boundary() {
+    // Two deterministic queries (selectivity 1), one tuple at t = 0.
+    // SRPT ranks by 1/T: baseline prefers Q2 (T = 2ms); after the engine
+    // installs fresh statics declaring Q1 much shorter, Q1 must run first.
+    let build = || {
+        let mut plan = GlobalPlan::default();
+        plan.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(ms(5), 1.0)
+                .build()
+                .unwrap(),
+        );
+        plan.add_query(
+            QueryBuilder::on(StreamId::new(0))
+                .select(ms(2), 1.0)
+                .build()
+                .unwrap(),
+        );
+        let trace = TraceReplay::from_arrivals(vec![Nanos::ZERO]).unwrap();
+        hcq_engine::Simulator::new(
+            &plan,
+            &StreamRates::none(),
+            vec![Box::new(trace)],
+            PolicyKind::Srpt.build(),
+            SimConfig::new(1).with_seed(3),
+        )
+        .unwrap()
+    };
+    // Baseline: Q2 (2ms) then Q1 (5ms) -> responses 2ms and 7ms.
+    let base = build().run().unwrap();
+    assert!((base.qos.avg_response_ms - 4.5).abs() < 1e-9, "{base:?}");
+    // Updated: Q1 re-estimated at T = 1ms outranks Q2; execution still costs
+    // the plan's 5ms -> responses 5ms and 7ms.
+    let mut sim = build();
+    sim.update_unit_statics(0, hcq_core::UnitStatics::new(1.0, ms(1), ms(1)));
+    let flipped = sim.run().unwrap();
+    assert!(
+        (flipped.qos.avg_response_ms - 6.0).abs() < 1e-9,
+        "{flipped:?}"
+    );
+    assert_eq!(base.emitted, flipped.emitted);
+}

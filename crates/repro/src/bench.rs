@@ -27,6 +27,7 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
+use hcq_bench::large_q::{self, LargeQCell};
 use hcq_bench::pipeline;
 use hcq_common::{HcqError, Result};
 use hcq_core::PolicyKind;
@@ -340,6 +341,93 @@ fn check_telemetry_overhead(timings: &[PolicyTiming]) {
     }
 }
 
+/// Run the large-q scheduling-point sweep (all variants, q ≤ `max_q`),
+/// printing one line per cell.
+fn run_large_q(max_q: usize) -> Vec<LargeQCell> {
+    println!("== bench: large-q scheduling points (q <= {max_q}) ==");
+    large_q::sweep(max_q, |c| {
+        println!(
+            "  {:>13} q={:<7} {:>9.1} ns/point, {:>9.1} evals/point, \
+             {:>5.1} B/query, digest {}",
+            c.policy, c.q, c.ns_per_point, c.evals_per_point, c.bytes_per_query, c.digest
+        );
+    })
+}
+
+/// Evals/point growth allowed for a clustered variant across the whole
+/// sweep (q grows 1000×; the exact scan grows exactly 1000×).
+const LARGE_Q_EVALS_RATIO: f64 = 50.0;
+/// Wall-time growth allowed for `C-BSD-log` from q=10³ to q=10⁵ (a 100×
+/// q increase; the exact scan's wall cost grows ~100×).
+const LARGE_Q_NS_RATIO: f64 = 8.0;
+/// Resident policy bytes per registered query, unit + statics storage.
+const LARGE_Q_BYTES_PER_QUERY: f64 = 200.0;
+
+/// The sub-linearity gates over a finished large-q sweep. Operation-count
+/// gates are deterministic; the wall-clock gate has an 8× allowance over a
+/// 100× q increase, so host noise cannot trip it without a real slope.
+fn check_large_q_gates(cells: &[LargeQCell]) {
+    let cell = |policy: &str, q: usize| cells.iter().find(|c| c.policy == policy && c.q == q);
+    let qs: Vec<usize> = {
+        let mut qs: Vec<usize> = cells.iter().map(|c| c.q).collect();
+        qs.sort_unstable();
+        qs.dedup();
+        qs
+    };
+    for c in cells {
+        // The exact scan is the linear yardstick: it evaluates every ready
+        // unit, so its evals/point must equal q exactly.
+        if c.policy == "BSD-Exact" {
+            assert_eq!(
+                c.evals_per_point, c.q as f64,
+                "exact BSD must evaluate every ready unit (q={})",
+                c.q
+            );
+        }
+        assert!(
+            c.bytes_per_query > 0.0 && c.bytes_per_query < LARGE_Q_BYTES_PER_QUERY,
+            "{} at q={} uses {:.1} resident bytes/query (cap {})",
+            c.policy,
+            c.q,
+            c.bytes_per_query,
+            LARGE_Q_BYTES_PER_QUERY
+        );
+    }
+    let (&q_lo, &q_hi) = match (qs.first(), qs.last()) {
+        (Some(lo), Some(hi)) if hi / lo >= 100 => (lo, hi),
+        _ => return, // smoke-scale sweep: growth gates need a q span
+    };
+    for name in large_q::clustered_names() {
+        let (lo, hi) = match (cell(name, q_lo), cell(name, q_hi)) {
+            (Some(lo), Some(hi)) => (lo, hi),
+            _ => continue,
+        };
+        let ratio = hi.evals_per_point / lo.evals_per_point.max(1.0);
+        println!(
+            "  gate {name}: evals/point {:.1} -> {:.1} over q {q_lo} -> {q_hi} ({ratio:.1}x)",
+            lo.evals_per_point, hi.evals_per_point
+        );
+        assert!(
+            ratio < LARGE_Q_EVALS_RATIO,
+            "{name} scheduling cost is not sub-linear: evals/point grew {ratio:.1}x \
+             (cap {LARGE_Q_EVALS_RATIO}x) while q grew {}x",
+            q_hi / q_lo
+        );
+    }
+    if let (Some(lo), Some(hi)) = (cell("C-BSD-log", 1_000), cell("C-BSD-log", 100_000)) {
+        let ratio = hi.ns_per_point / lo.ns_per_point.max(1.0);
+        println!(
+            "  gate C-BSD-log: {:.1} -> {:.1} ns/point over q 1k -> 100k ({ratio:.2}x)",
+            lo.ns_per_point, hi.ns_per_point
+        );
+        assert!(
+            ratio < LARGE_Q_NS_RATIO,
+            "C-BSD-log wall cost grew {ratio:.2}x from q=1k to q=100k \
+             (cap {LARGE_Q_NS_RATIO}x)"
+        );
+    }
+}
+
 fn render_json(
     cfg: &ExpConfig,
     timings: &[PolicyTiming],
@@ -347,6 +435,7 @@ fn render_json(
     serial_s: f64,
     parallel_s: f64,
     par_jobs: usize,
+    large_q_cells: Option<&[LargeQCell]>,
 ) -> String {
     let mut out = String::new();
     let w = &mut out;
@@ -372,7 +461,7 @@ fn render_json(
         writeln!(
             w,
             "      {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_tuples_per_s\": {:.1}, \
-             \"sched_evals_per_point\": {:.2}, \"emitted\": {}, \
+             \"sched_evals_per_point\": {:.4}, \"emitted\": {}, \
              \"telemetry_wall_s\": {:.6}, \"telemetry_tuples_per_s\": {:.1}, \
              \"telemetry_samples\": {}}}{}",
             t.policy,
@@ -408,6 +497,33 @@ fn render_json(
     )
     .unwrap();
     writeln!(w, "  }},").unwrap();
+    if let Some(cells) = large_q_cells {
+        writeln!(w, "  \"large_q\": {{").unwrap();
+        writeln!(w, "    \"clusters\": {},", large_q::CLUSTERS).unwrap();
+        writeln!(w, "    \"cells\": [").unwrap();
+        for (i, c) in cells.iter().enumerate() {
+            let comma = if i + 1 < cells.len() { "," } else { "" };
+            writeln!(
+                w,
+                "      {{\"policy\": \"{}\", \"q\": {}, \"points\": {}, \
+                 \"ns_per_point\": {:.1}, \"evals_per_point\": {:.2}, \
+                 \"work_per_point\": {:.2}, \"bytes_per_query\": {:.1}, \
+                 \"digest\": \"{}\"}}{}",
+                c.policy,
+                c.q,
+                c.points,
+                c.ns_per_point,
+                c.evals_per_point,
+                c.work_per_point,
+                c.bytes_per_query,
+                c.digest,
+                comma
+            )
+            .unwrap();
+        }
+        writeln!(w, "    ]").unwrap();
+        writeln!(w, "  }},").unwrap();
+    }
     writeln!(w, "  \"criterion_pipeline\": [").unwrap();
     let entries = criterion_entries(timings);
     for (i, entry) in entries.iter().enumerate() {
@@ -422,8 +538,10 @@ fn render_json(
 /// Run the baseline benchmark and write the next `BENCH_<n>.json` snapshot
 /// at the repository root. Returns the path written. When a previous
 /// snapshot exists, this run's per-policy throughput is compared against it
-/// first (see [`check_against_previous`]).
-pub fn bench(cfg: &ExpConfig) -> Result<PathBuf> {
+/// first (see [`check_against_previous`]). With `large_q_max`, the large-q
+/// scheduling-point sweep runs too (q ≤ the cap), its sub-linearity gates
+/// are enforced, and its cells land in the snapshot's `large_q` section.
+pub fn bench(cfg: &ExpConfig, large_q_max: Option<usize>) -> Result<PathBuf> {
     println!(
         "== bench: reference workload ({} policies) ==",
         pipeline::POLICIES.len()
@@ -431,7 +549,7 @@ pub fn bench(cfg: &ExpConfig) -> Result<PathBuf> {
     let timings = time_reference_workload();
     for t in &timings {
         println!(
-            "  {:>5}: {:.3} s/run, {:.0} simulated tuples/s, {:.1} evals/point",
+            "  {:>5}: {:.3} s/run, {:.0} simulated tuples/s, {:.4} evals/point",
             t.policy,
             t.wall_s,
             pipeline::ARRIVALS as f64 / t.wall_s,
@@ -448,9 +566,22 @@ pub fn bench(cfg: &ExpConfig) -> Result<PathBuf> {
         parallel_s,
         serial_s / parallel_s.max(1e-9)
     );
+    let large_q_cells = large_q_max.map(|max_q| {
+        let cells = run_large_q(max_q);
+        check_large_q_gates(&cells);
+        cells
+    });
     let root = repo_root();
     check_against_previous(&root, &timings)?;
-    let json = render_json(cfg, &timings, &sweep_cfg, serial_s, parallel_s, par_jobs);
+    let json = render_json(
+        cfg,
+        &timings,
+        &sweep_cfg,
+        serial_s,
+        parallel_s,
+        par_jobs,
+        large_q_cells.as_deref(),
+    );
     let path = next_snapshot_path(&root);
     std::fs::write(&path, json).map_err(|e| {
         HcqError::Io(std::io::Error::new(
@@ -493,8 +624,15 @@ mod tests {
             jobs: 4,
             ..ExpConfig::default()
         };
-        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4);
+        let cells = vec![
+            fixed_cell("BSD-Exact", 1_000, 1_000.0, 120.0),
+            fixed_cell("C-BSD-log", 1_000, 9.0, 260.0),
+        ];
+        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4, Some(&cells));
         assert!(json.contains("\"schema\": \"hcq-bench-v1\""));
+        assert!(json.contains("\"large_q\""));
+        assert!(json.contains("\"policy\": \"C-BSD-log\", \"q\": 1000"));
+        assert!(json.contains("\"digest\": \"00000000deadbeef\""));
         assert!(json.contains("\"speedup\": 2.00"));
         assert!(json.contains("\"sim_tuples_per_s\": 50000.0"));
         assert!(json.contains("\"sched_evals_per_point\": 37.25"));
@@ -541,7 +679,7 @@ mod tests {
             telemetry_samples: 21,
         }];
         let cfg = ExpConfig::default();
-        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4);
+        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4, None);
         let rates = parse_policy_rates(&json);
         assert_eq!(rates.len(), 1);
         assert_eq!(rates[0].0, "HNR");
@@ -550,6 +688,69 @@ mod tests {
         let expected = pipeline::ARRIVALS as f64 / 0.05;
         assert!((rates[0].1 - expected).abs() / expected < 1e-3);
         assert!(parse_policy_rates("{}").is_empty());
+    }
+
+    fn fixed_cell(policy: &'static str, q: usize, evals: f64, ns: f64) -> LargeQCell {
+        LargeQCell {
+            policy,
+            q,
+            points: 100,
+            ns_per_point: ns,
+            evals_per_point: evals,
+            work_per_point: evals * 3.0,
+            bytes_per_query: 110.0,
+            digest: "00000000deadbeef".to_string(),
+        }
+    }
+
+    #[test]
+    fn large_q_gates_pass_on_sub_linear_cells() {
+        // Exact BSD linear (evals == q), clustered flat: all gates green.
+        let cells = vec![
+            fixed_cell("BSD-Exact", 1_000, 1_000.0, 500.0),
+            fixed_cell("C-BSD-log", 1_000, 9.0, 120.0),
+            fixed_cell("BSD-Exact", 1_000_000, 1_000_000.0, 500_000.0),
+            fixed_cell("C-BSD-log", 1_000_000, 90.0, 300.0),
+        ];
+        check_large_q_gates(&cells);
+    }
+
+    #[test]
+    fn large_q_gate_rejects_linear_clustered_cost() {
+        let cells = vec![
+            fixed_cell("C-BSD-log", 1_000, 1_000.0, 120.0),
+            fixed_cell("C-BSD-log", 1_000_000, 1_000_000.0, 120.0),
+        ];
+        let outcome = std::panic::catch_unwind(|| check_large_q_gates(&cells));
+        assert!(outcome.is_err(), "a 1000x evals growth must abort the run");
+    }
+
+    #[test]
+    fn large_q_gate_rejects_wall_clock_slope() {
+        let mut slow = fixed_cell("C-BSD-log", 100_000, 9.0, 1_000.0);
+        slow.ns_per_point = 1_000.0;
+        let cells = vec![fixed_cell("C-BSD-log", 1_000, 9.0, 100.0), slow];
+        let outcome = std::panic::catch_unwind(|| check_large_q_gates(&cells));
+        assert!(outcome.is_err(), "a 10x ns/point slope must abort the run");
+    }
+
+    #[test]
+    fn large_q_gate_rejects_memory_blowup() {
+        let mut fat = fixed_cell("C-BSD-log", 1_000, 9.0, 120.0);
+        fat.bytes_per_query = 4_096.0;
+        let outcome = std::panic::catch_unwind(|| check_large_q_gates(&[fat]));
+        assert!(outcome.is_err(), "4 KiB/query must abort the run");
+    }
+
+    #[test]
+    fn large_q_gates_skip_growth_checks_on_smoke_spans() {
+        // A single-q smoke run has no growth to measure; only the per-cell
+        // memory/linearity checks apply.
+        let cells = vec![
+            fixed_cell("BSD-Exact", 10_000, 10_000.0, 500.0),
+            fixed_cell("C-BSD-log", 10_000, 2_000.0, 120.0),
+        ];
+        check_large_q_gates(&cells);
     }
 
     fn fixed_timings() -> Vec<PolicyTiming> {

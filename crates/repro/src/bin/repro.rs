@@ -29,9 +29,9 @@ use std::process::ExitCode;
 use hcq_common::Nanos;
 use hcq_core::PolicyKind;
 use hcq_repro::{
-    bench, ext_faults, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption, ext_seeds,
-    ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, fuzz, fuzz_replay, monitor, table1,
-    table2, table3, validate, ExpConfig,
+    bench, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
+    ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, fuzz, fuzz_replay, monitor,
+    table1, table2, table3, validate, ExpConfig,
 };
 
 fn main() -> ExitCode {
@@ -43,9 +43,12 @@ fn main() -> ExitCode {
     let mut serve_addr: Option<String> = None;
     let mut fuzz_cases: u64 = 200;
     let mut fuzz_replay_path: Option<PathBuf> = None;
+    let mut large_q: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--large-q" => large_q = large_q.or(Some(1_000_000)),
+            "--large-q-max" => large_q = Some(parse(it.next(), "--large-q-max")),
             "--queries" => cfg.queries = parse(it.next(), "--queries"),
             "--arrivals" => cfg.arrivals = parse(it.next(), "--arrivals"),
             "--seed" => cfg.seed = parse(it.next(), "--seed"),
@@ -164,6 +167,9 @@ fn main() -> ExitCode {
             "ext_overhead" => {
                 ext_overhead(&cfg);
             }
+            "ext_large_q" => {
+                ext_large_q(&cfg, large_q.unwrap_or(1_000_000));
+            }
             "ext_transient" => {
                 ext_transient(&cfg);
             }
@@ -219,7 +225,7 @@ fn main() -> ExitCode {
                     }
                 }
             }
-            "bench" => match bench(&cfg) {
+            "bench" => match bench(&cfg, large_q) {
                 Ok(path) => println!("benchmark baseline written to {}", path.display()),
                 Err(e) => {
                     eprintln!("bench failed: {e}");
@@ -278,13 +284,15 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_transient monitor validate bench fuzz all\n\
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE] [--large-q] [--large-q-max Q]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient monitor validate bench fuzz all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
          --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)\n\
          --cadence MS: virtual-time telemetry sampling interval for `monitor` (default 250)\n\
          --serve ADDR: after `monitor`, serve metrics.prom over HTTP (needs --features http-export)\n\
          --cases K: scenarios for `fuzz` (default 200; seeded by --seed, minimized artifacts land in --out)\n\
-         --replay FILE: for `fuzz`, re-run one fuzz-repro-*.json artifact instead of sweeping"
+         --replay FILE: for `fuzz`, re-run one fuzz-repro-*.json artifact instead of sweeping\n\
+         --large-q: with `bench`, add the 10^3..10^6-query scheduling-point sweep and its sub-linearity gates to the snapshot\n\
+         --large-q-max Q: cap the large-q sweep at Q queries (implies --large-q; `ext_large_q` honours it too)"
     );
 }

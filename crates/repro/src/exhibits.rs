@@ -1277,3 +1277,51 @@ pub fn ext_overhead(cfg: &ExpConfig) -> ExhibitOutput {
     }
     .emit(cfg)
 }
+
+// ---------------------------------------------- Extension: large-q sweep
+
+/// Extension exhibit: the large-q scheduling-point sweep from
+/// [`hcq_bench::large_q`] as a table/CSV — the exact O(q) BSD scan against
+/// the incrementally-maintained clustered variants at q up to `max_q`
+/// (capped at 10⁶). Cells run serially in deterministic order; the op
+/// counts, byte footprints and selection digests are pure functions of the
+/// fixture, so the CSV is byte-identical across hosts and `--jobs` values —
+/// the digest column is what the CI smoke compares between job counts.
+pub fn ext_large_q(cfg: &ExpConfig, max_q: usize) -> ExhibitOutput {
+    let mut t = AsciiTable::new(vec![
+        "policy",
+        "q",
+        "points",
+        "ns_per_point",
+        "evals_per_point",
+        "work_per_point",
+        "bytes_per_query",
+        "digest",
+    ]);
+    let total = hcq_bench::large_q::QS
+        .iter()
+        .filter(|&&q| q <= max_q)
+        .count()
+        * hcq_bench::large_q::variants().len();
+    let done = AtomicUsize::new(0);
+    let cells = hcq_bench::large_q::sweep(max_q, |_| {
+        print_tick(&done, total, "ext_large_q");
+    });
+    for c in &cells {
+        t.row(vec![
+            c.policy.to_string(),
+            c.q.to_string(),
+            c.points.to_string(),
+            fnum(c.ns_per_point),
+            fnum(c.evals_per_point),
+            fnum(c.work_per_point),
+            fnum(c.bytes_per_query),
+            c.digest.clone(),
+        ]);
+    }
+    ExhibitOutput {
+        name: "ext_large_q",
+        table: t,
+    }
+    .emit(cfg)
+}
