@@ -26,7 +26,8 @@ pub mod pipeline {
     use hcq_common::Nanos;
     use hcq_core::PolicyKind;
     use hcq_engine::{
-        simulate, simulate_monitored, MetricsSink, SimConfig, SimReport, TelemetrySnapshot,
+        simulate, simulate_monitored, GovernorConfig, MetricsSink, SimConfig, SimReport,
+        TelemetrySnapshot,
     };
     use hcq_streams::PoissonSource;
     use hcq_workload::{single_stream, PaperWorkload, SingleStreamConfig};
@@ -89,6 +90,40 @@ pub mod pipeline {
     /// (virtual time between snapshots).
     pub fn telemetry_cadence() -> Nanos {
         Nanos::from_millis(250)
+    }
+
+    /// The governor configuration for the governed variant of the fixture:
+    /// a decision every five mean gaps, a four-decision dwell, and a
+    /// pending-tuple hysteresis band of (queries, 4·queries) — the same
+    /// shape the repro harness's `--govern` switch arms.
+    pub fn governor() -> GovernorConfig {
+        GovernorConfig {
+            enabled: true,
+            cadence: mean_gap() * 5,
+            min_dwell: mean_gap() * 20,
+            escalate_pending: 240,
+            deescalate_pending: 60,
+            capacity: 32,
+            watermark: 120,
+            ..GovernorConfig::default()
+        }
+    }
+
+    /// The same fixture as [`run`] with the closed-loop overload governor
+    /// armed. The governed run may legitimately make different scheduling
+    /// decisions (that is the point), so callers compare wall time and
+    /// record the transition count rather than asserting identical output.
+    pub fn run_governed(kind: PolicyKind, w: &PaperWorkload) -> SimReport {
+        simulate(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(PoissonSource::new(mean_gap(), 9))],
+            kind.build(),
+            SimConfig::new(ARRIVALS)
+                .with_seed(3)
+                .with_governor(governor()),
+        )
+        .expect("valid simulation")
     }
 
     /// The same simulation as [`run`], but with telemetry sampling on.

@@ -10,8 +10,9 @@
 //! | invariant | statement |
 //! |---|---|
 //! | `engine-ok` | the engine returns a report, not an [`EngineError`] wedge |
-//! | `conservation` | `arrivals × queries = emitted + dropped + shed + pending` (single-stream unary plans: every admitted copy meets exactly one fate) |
-//! | `no-shed-unbounded` | `shed = 0` under [`AdmissionMode::Unbounded`] |
+//! | `conservation` | `arrivals × queries = emitted + dropped + shed + expired + pending` (single-stream unary plans: every admitted copy meets exactly one fate; quarantined tuples count as pending) |
+//! | `no-shed-unbounded` | `shed = 0` under [`AdmissionMode::Unbounded`] with the governor off |
+//! | `governor-dwell` | mode transitions ≤ `end_time / min_dwell + 1` when governed; 0 otherwise |
 //! | `monotone-time` | trace-event timestamps never decrease; the final clock bounds them |
 //! | `qos-sane` | responses/slowdowns are finite, non-negative, slowdowns ≥ 1, max ≥ avg, emission count matches |
 //! | `accounting` | `busy + charged overhead ≤ end_time`; pending peak ≥ mean |
@@ -73,11 +74,20 @@ pub fn policy_roster(clusters: usize) -> Vec<(String, Box<dyn Policy>)> {
 pub fn fingerprint(report: &SimReport) -> String {
     let b = |x: f64| format!("{:016x}", x.to_bits());
     format!(
-        "a{} e{} d{} s{} sp{} so{} cs{} pe{} cm{} co{} ho{} ot{} bt{} ov{} et{} pk{} pd{} ap{} qc{} qr{} qR{} qs{} qS{} ql{}",
+        "a{} e{} d{} s{} x{} of{} qt{} gt{} ft{} fx{} dc{} ra{} la{} sp{} so{} cs{} pe{} cm{} co{} ho{} ot{} bt{} ov{} et{} pk{} pd{} ap{} qc{} qr{} qR{} qs{} qS{} ql{}",
         report.arrivals,
         report.emitted,
         report.dropped,
         report.shed,
+        report.expired,
+        report.op_failures,
+        report.quarantine_time.as_nanos(),
+        report.governor_transitions,
+        report.fault_stall_time.as_nanos(),
+        report.fault_stall_truncated.as_nanos(),
+        report.source_disconnects,
+        report.source_retry_attempts,
+        report.source_lost_arrivals,
         report.sched_points,
         report.sched_ops,
         report.overhead.candidates_scanned,
@@ -213,31 +223,65 @@ fn check_policy(
     }
 
     // Conservation: single-stream unary-only plans admit exactly one fate
-    // per (arrival × query) copy.
+    // per (arrival × query) copy — emitted, dropped, shed, expired, or
+    // still pending (queued or quarantined) at the end.
     let copies = plain.arrivals * scenario.queries.len() as u64;
-    let accounted = plain.emitted + plain.dropped + plain.shed + plain.pending_end as u64;
+    let accounted =
+        plain.emitted + plain.dropped + plain.shed + plain.expired + plain.pending_end as u64;
     if copies != accounted {
         fail(
             violations,
             "conservation",
             format!(
-                "{} arrivals × {} queries = {} copies, but emitted {} + dropped {} + shed {} + pending {} = {}",
+                "{} arrivals × {} queries = {} copies, but emitted {} + dropped {} + shed {} + expired {} + pending {} = {}",
                 plain.arrivals,
                 scenario.queries.len(),
                 copies,
                 plain.emitted,
                 plain.dropped,
                 plain.shed,
+                plain.expired,
                 plain.pending_end,
                 accounted
             ),
         );
     }
-    if scenario.admission.mode() == AdmissionMode::Unbounded && plain.shed != 0 {
+    // An enabled governor may escalate an unbounded base mode into a
+    // shedding one, so the no-shed invariant only binds without it.
+    if scenario.admission.mode() == AdmissionMode::Unbounded
+        && !scenario.governor.enabled
+        && plain.shed != 0
+    {
         fail(
             violations,
             "no-shed-unbounded",
             format!("{} tuples shed under unbounded queues", plain.shed),
+        );
+    }
+    // Governor anti-flapping: the minimum dwell bounds the transition rate.
+    if scenario.governor.enabled {
+        let max = plain.end_time.as_nanos() / scenario.governor.min_dwell_ns.max(1) + 1;
+        if plain.governor_transitions > max {
+            fail(
+                violations,
+                "governor-dwell",
+                format!(
+                    "{} transitions over {} ns exceeds the {} ns dwell bound of {}",
+                    plain.governor_transitions,
+                    plain.end_time.as_nanos(),
+                    scenario.governor.min_dwell_ns,
+                    max
+                ),
+            );
+        }
+    } else if plain.governor_transitions != 0 {
+        fail(
+            violations,
+            "governor-dwell",
+            format!(
+                "{} transitions with the governor disabled",
+                plain.governor_transitions
+            ),
         );
     }
 
@@ -382,6 +426,12 @@ fn check_policy(
                         ("hcq_emitted_total", report.emitted),
                         ("hcq_dropped_total", report.dropped),
                         ("hcq_shed_total", report.shed),
+                        ("hcq_expired_total", report.expired),
+                        ("hcq_op_failures_total", report.op_failures),
+                        (
+                            "hcq_governor_transitions_total",
+                            report.governor_transitions,
+                        ),
                         ("hcq_sched_points_total", report.sched_points),
                     ] {
                         let got = snap.counter(counter);
@@ -411,7 +461,10 @@ fn event_time(ev: &TraceEvent) -> hcq_common::Nanos {
         | TraceEvent::UnitRun { at, .. }
         | TraceEvent::Emit { at, .. }
         | TraceEvent::Shed { at, .. }
-        | TraceEvent::Fault { at, .. } => *at,
+        | TraceEvent::Fault { at, .. }
+        | TraceEvent::Expire { at, .. }
+        | TraceEvent::GovernorTransition { at, .. }
+        | TraceEvent::OpFailure { at, .. } => *at,
     }
 }
 
@@ -454,5 +507,84 @@ mod tests {
         // An empty query can't build a plan; expect plan-valid to fire.
         let violations = check_scenario(&s);
         assert!(!violations.is_empty());
+    }
+
+    #[test]
+    fn governed_qos_never_worse_than_worst_static_mode_when_calibrated() {
+        // Calibrated overload workloads (no miscalibration/jitter/faults,
+        // utilization > 1): the governor's average slowdown must not exceed
+        // the worst static admission mode's, with 5% discretization slack.
+        // Scoped to calibrated scenarios — under arbitrary fuzz dimensions
+        // the comparison is not a theorem.
+        use crate::scenario::{AdmissionPlan, GovernorPlan};
+        use hcq_engine::simulate;
+        use hcq_plan::StreamRates;
+        for case in 0..6u64 {
+            let mut s = Scenario::generate(29, case);
+            s.cost_miscalibration = 0.0;
+            s.cost_jitter = 0.0;
+            s.faults = Default::default();
+            s.op_failures = Default::default();
+            s.disconnect = Default::default();
+            s.deadline_ns = None;
+            // Sustained overload: halve the gap.
+            s.mean_gap_ns = (s.mean_gap_ns / 2).max(1);
+            // Floor at Unbounded so the ladder is fully available, matching
+            // the static alternatives below.
+            s.admission = AdmissionPlan {
+                mode: 0,
+                capacity: 0,
+                watermark: 0,
+            };
+            s.governor = GovernorPlan {
+                enabled: true,
+                cadence_ns: s.mean_gap_ns.saturating_mul(s.arrivals / 64).max(1),
+                min_dwell_ns: s.mean_gap_ns.saturating_mul(s.arrivals / 16).max(1),
+                escalate_pending: 32,
+                deescalate_pending: 8,
+                capacity: 8,
+                watermark: 16,
+            };
+            let run = |s: &Scenario| {
+                simulate(
+                    &s.plan().unwrap(),
+                    &StreamRates::none(),
+                    vec![s.source()],
+                    hcq_core::PolicyKind::Hnr.build(),
+                    s.config(),
+                )
+                .unwrap()
+                .qos
+                .avg_slowdown
+            };
+            let governed = run(&s);
+            let mut worst = 0.0f64;
+            for admission in [
+                AdmissionPlan {
+                    mode: 0,
+                    capacity: 0,
+                    watermark: 0,
+                },
+                AdmissionPlan {
+                    mode: 1,
+                    capacity: 8,
+                    watermark: 0,
+                },
+                AdmissionPlan {
+                    mode: 2,
+                    capacity: 8,
+                    watermark: 16,
+                },
+            ] {
+                let mut stat = s.clone();
+                stat.governor = GovernorPlan::default();
+                stat.admission = admission;
+                worst = worst.max(run(&stat));
+            }
+            assert!(
+                governed <= worst * 1.05,
+                "case {case}: governed {governed} vs worst static {worst}"
+            );
+        }
     }
 }

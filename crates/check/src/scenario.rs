@@ -1,4 +1,4 @@
-//! Seeded random scenarios and the `hcq-fuzz-v1` artifact format.
+//! Seeded random scenarios and the `hcq-fuzz-v2` artifact format.
 //!
 //! A [`Scenario`] is a complete, self-contained description of one fuzz
 //! case: the query plans (operator kinds, costs, selectivities), the arrival
@@ -14,20 +14,31 @@
 //! at both extremes of the plan layer's `(0, 1]` validity interval, single
 //! -query plans (collapsing the clustered-BSD priority domain to a point),
 //! bursty/stalling sources, and bounded queues under every admission mode.
+//! v2 adds the robustness dimensions: the closed-loop overload governor,
+//! per-query deadlines (including the degenerate deadline-0 corner),
+//! transient operator failures, and source disconnect/reconnect schedules.
+//! v1 artifacts parse with all of those off, so historical regression
+//! artifacts keep replaying unchanged.
 //! Exact-zero costs and NaN statics cannot pass plan validation, so those
 //! live in the policy-level fuzzer ([`crate::policyfuzz`]) instead.
 
 use hcq_common::{det, Nanos, Result, StreamId};
-use hcq_engine::{AdmissionMode, SimConfig};
+use hcq_engine::{AdmissionMode, GovernorConfig, SimConfig};
 use hcq_plan::{GlobalPlan, QueryBuilder};
 use hcq_streams::{
-    ArrivalSource, ConstantSource, FaultSpec, FaultySource, OnOffSource, PoissonSource,
+    ArrivalSource, ConstantSource, DisconnectSource, DisconnectSpec, FaultSpec, FaultySource,
+    OnOffSource, PoissonSource,
 };
 
 use crate::json::Json;
 
-/// Artifact schema identifier.
-pub const SCHEMA: &str = "hcq-fuzz-v1";
+/// Artifact schema identifier (current version).
+pub const SCHEMA: &str = "hcq-fuzz-v2";
+
+/// The original schema. v1 artifacts lack the governor, deadline,
+/// op-failure, and disconnect dimensions; they parse with those disabled,
+/// so historical regression artifacts keep replaying byte-for-byte.
+pub const SCHEMA_V1: &str = "hcq-fuzz-v1";
 
 /// One operator in a generated query.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,6 +113,50 @@ impl AdmissionPlan {
     }
 }
 
+/// Closed-loop governor knobs (all-zero = disabled). Hysteresis shares stay
+/// at the engine defaults; the fuzzer varies the structural knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GovernorPlan {
+    /// Master switch.
+    pub enabled: bool,
+    /// Decision cadence (ns).
+    pub cadence_ns: u64,
+    /// Minimum dwell between transitions (ns).
+    pub min_dwell_ns: u64,
+    /// Escalate at this total pending depth.
+    pub escalate_pending: usize,
+    /// De-escalate at or below this depth.
+    pub deescalate_pending: usize,
+    /// Per-unit capacity applied in bounded modes.
+    pub capacity: usize,
+    /// Pending watermark for the overload-share signal.
+    pub watermark: usize,
+}
+
+/// Transient operator-failure schedule (all-zero = disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OpFailurePlan {
+    /// Per-execution failure probability.
+    pub prob: f64,
+    /// Quarantine cooldown (ns).
+    pub cooldown_ns: u64,
+    /// Retries after the first failure.
+    pub retries: u32,
+}
+
+/// Source disconnect/reconnect schedule (zero prob = disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DisconnectPlan {
+    /// Per-base-arrival disconnect probability.
+    pub prob: f64,
+    /// First retry delay (ns).
+    pub retry_base_ns: u64,
+    /// Maximum reconnection attempts.
+    pub max_retries: u32,
+    /// Per-attempt reconnection probability.
+    pub reconnect_prob: f64,
+}
+
 /// A complete fuzz case.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -130,6 +185,15 @@ pub struct Scenario {
     pub cost_miscalibration: f64,
     /// Per-execution cost jitter (0 = deterministic costs).
     pub cost_jitter: f64,
+    /// Closed-loop overload governor (disabled by default; v1 artifacts).
+    pub governor: GovernorPlan,
+    /// Per-query response deadline applied to every query (`None` = no
+    /// deadlines; `Some(0)` is valid and means "must start at arrival").
+    pub deadline_ns: Option<u64>,
+    /// Transient operator-failure schedule.
+    pub op_failures: OpFailurePlan,
+    /// Source disconnect/reconnect schedule.
+    pub disconnect: DisconnectPlan,
 }
 
 /// Pick a cost: mostly µs-scale, over-sampling the 1 ns near-zero corner.
@@ -235,6 +299,63 @@ impl Scenario {
         } else {
             0.0
         };
+        // Robustness dimensions (salts ≥ 22): governor, deadlines, operator
+        // failures, and source disconnects, each off most of the time so
+        // plain scenarios stay the common case.
+        let gh = det::mix2(base, 22);
+        let governor = if det::coin(gh, 0.3) {
+            let run_ns = mean_gap_ns.saturating_mul(arrivals).max(1);
+            let cadence_ns = (run_ns / 64).max(1);
+            let escalate = det::unit_range(det::mix2(gh, 2), 8, 64) as usize;
+            GovernorPlan {
+                enabled: true,
+                cadence_ns,
+                min_dwell_ns: cadence_ns
+                    .saturating_mul(det::unit_range(det::mix2(gh, 1), 2, 8))
+                    .max(1),
+                escalate_pending: escalate,
+                deescalate_pending: escalate / 4,
+                capacity: det::unit_range(det::mix2(gh, 3), 1, 16) as usize,
+                watermark: (escalate / 2).max(1),
+            }
+        } else {
+            GovernorPlan::default()
+        };
+        let dh = det::mix2(base, 26);
+        let deadline_ns = if det::coin(dh, 0.25) {
+            if det::coin(det::mix2(dh, 1), 0.15) {
+                Some(0) // the degenerate "must start at arrival" corner
+            } else {
+                Some(mean_gap_ns.saturating_mul(det::unit_range(det::mix2(dh, 2), 1, 60)))
+            }
+        } else {
+            None
+        };
+        let oh = det::mix2(base, 28);
+        let op_failures = if det::coin(oh, 0.25) {
+            OpFailurePlan {
+                prob: 0.02 + 0.1 * det::unit_f64(det::mix2(oh, 1)),
+                cooldown_ns: mean_gap_ns
+                    .saturating_mul(det::unit_range(det::mix2(oh, 2), 1, 20))
+                    .max(1),
+                retries: det::unit_range(det::mix2(oh, 3), 0, 3) as u32,
+            }
+        } else {
+            OpFailurePlan::default()
+        };
+        let xh = det::mix2(base, 30);
+        let disconnect = if det::coin(xh, 0.2) {
+            DisconnectPlan {
+                prob: 0.002 + 0.02 * det::unit_f64(det::mix2(xh, 1)),
+                retry_base_ns: mean_gap_ns
+                    .saturating_mul(det::unit_range(det::mix2(xh, 2), 1, 10))
+                    .max(1),
+                max_retries: det::unit_range(det::mix2(xh, 3), 1, 6) as u32,
+                reconnect_prob: 0.3 + 0.7 * det::unit_f64(det::mix2(xh, 4)),
+            }
+        } else {
+            DisconnectPlan::default()
+        };
         Scenario {
             seed,
             case,
@@ -248,6 +369,10 @@ impl Scenario {
             sim_seed: det::mix2(base, 21),
             cost_miscalibration,
             cost_jitter,
+            governor,
+            deadline_ns,
+            op_failures,
+            disconnect,
         }
     }
 
@@ -264,6 +389,9 @@ impl Scenario {
                     2 => b.project(cost),
                     _ => b.map(cost, op.sel),
                 };
+            }
+            if let Some(d) = self.deadline_ns {
+                b = b.with_deadline(Nanos::from_nanos(d));
             }
             plan.add_query(b.build()?);
         }
@@ -294,10 +422,26 @@ impl Scenario {
                 }
             };
         }
-        match self.source {
+        let src = match self.source {
             SourceKind::Constant => wrap!(ConstantSource::new(gap)),
             SourceKind::Poisson => wrap!(PoissonSource::new(gap, seed)),
             SourceKind::OnOff => wrap!(OnOffSource::lbl_like(gap, seed)),
+        };
+        if self.disconnect.prob > 0.0 {
+            Box::new(DisconnectSource::new(
+                src,
+                DisconnectSpec {
+                    disconnect_prob: self.disconnect.prob,
+                    retry_base: Nanos::from_nanos(self.disconnect.retry_base_ns),
+                    retry_factor: 2.0,
+                    retry_jitter: 0.25,
+                    max_retries: self.disconnect.max_retries,
+                    reconnect_prob: self.disconnect.reconnect_prob,
+                    seed: det::mix2(self.sim_seed, 0xd15c),
+                },
+            ))
+        } else {
+            src
         }
     }
 
@@ -311,6 +455,21 @@ impl Scenario {
         cfg.overload.watermark = self.admission.watermark;
         cfg.faults.cost_miscalibration = self.cost_miscalibration;
         cfg.faults.seed = det::mix2(self.sim_seed, 0xc057);
+        cfg.faults.op_failure_prob = self.op_failures.prob;
+        cfg.faults.op_failure_cooldown = Nanos::from_nanos(self.op_failures.cooldown_ns);
+        cfg.faults.op_failure_retries = self.op_failures.retries;
+        if self.governor.enabled {
+            cfg.governor = GovernorConfig {
+                enabled: true,
+                cadence: Nanos::from_nanos(self.governor.cadence_ns),
+                min_dwell: Nanos::from_nanos(self.governor.min_dwell_ns),
+                escalate_pending: self.governor.escalate_pending,
+                deescalate_pending: self.governor.deescalate_pending,
+                capacity: self.governor.capacity,
+                watermark: self.governor.watermark,
+                ..GovernorConfig::default()
+            };
+        }
         cfg
     }
 
@@ -386,13 +545,81 @@ impl Scenario {
                 Json::Num(self.cost_miscalibration),
             ),
             ("cost_jitter".into(), Json::Num(self.cost_jitter)),
+            (
+                "governor".into(),
+                Json::Obj(vec![
+                    (
+                        "enabled".into(),
+                        Json::Num(if self.governor.enabled { 1.0 } else { 0.0 }),
+                    ),
+                    (
+                        "cadence_ns".into(),
+                        Json::Num(self.governor.cadence_ns as f64),
+                    ),
+                    (
+                        "min_dwell_ns".into(),
+                        Json::Num(self.governor.min_dwell_ns as f64),
+                    ),
+                    (
+                        "escalate_pending".into(),
+                        Json::Num(self.governor.escalate_pending as f64),
+                    ),
+                    (
+                        "deescalate_pending".into(),
+                        Json::Num(self.governor.deescalate_pending as f64),
+                    ),
+                    ("capacity".into(), Json::Num(self.governor.capacity as f64)),
+                    (
+                        "watermark".into(),
+                        Json::Num(self.governor.watermark as f64),
+                    ),
+                ]),
+            ),
+            (
+                "deadline_ns".into(),
+                match self.deadline_ns {
+                    // -1 encodes "no deadline": 0 is a meaningful budget.
+                    None => Json::Num(-1.0),
+                    Some(d) => Json::Num(d as f64),
+                },
+            ),
+            (
+                "op_failures".into(),
+                Json::Obj(vec![
+                    ("prob".into(), Json::Num(self.op_failures.prob)),
+                    (
+                        "cooldown_ns".into(),
+                        Json::Num(self.op_failures.cooldown_ns as f64),
+                    ),
+                    ("retries".into(), Json::Num(self.op_failures.retries as f64)),
+                ]),
+            ),
+            (
+                "disconnect".into(),
+                Json::Obj(vec![
+                    ("prob".into(), Json::Num(self.disconnect.prob)),
+                    (
+                        "retry_base_ns".into(),
+                        Json::Num(self.disconnect.retry_base_ns as f64),
+                    ),
+                    (
+                        "max_retries".into(),
+                        Json::Num(self.disconnect.max_retries as f64),
+                    ),
+                    (
+                        "reconnect_prob".into(),
+                        Json::Num(self.disconnect.reconnect_prob),
+                    ),
+                ]),
+            ),
         ])
     }
 
-    /// Parse an `hcq-fuzz-v1` artifact document.
+    /// Parse an artifact document (`hcq-fuzz-v2`, or `hcq-fuzz-v1` with the
+    /// robustness dimensions defaulting to "off").
     pub fn from_json(doc: &Json) -> Result<Scenario, String> {
         let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
-        if schema != SCHEMA {
+        if schema != SCHEMA && schema != SCHEMA_V1 {
             return Err(format!("unsupported artifact schema {schema:?}"));
         }
         let num = |key: &str| -> Result<f64, String> {
@@ -468,6 +695,40 @@ impl Scenario {
             sim_seed: int("sim_seed")?,
             cost_miscalibration: num("cost_miscalibration")?,
             cost_jitter: num("cost_jitter")?,
+            governor: match doc.get("governor") {
+                None => GovernorPlan::default(),
+                Some(g) => GovernorPlan {
+                    enabled: sub_num(g, "enabled")? != 0.0,
+                    cadence_ns: sub_num(g, "cadence_ns")? as u64,
+                    min_dwell_ns: sub_num(g, "min_dwell_ns")? as u64,
+                    escalate_pending: sub_num(g, "escalate_pending")? as usize,
+                    deescalate_pending: sub_num(g, "deescalate_pending")? as usize,
+                    capacity: sub_num(g, "capacity")? as usize,
+                    watermark: sub_num(g, "watermark")? as usize,
+                },
+            },
+            deadline_ns: match doc.get("deadline_ns").and_then(Json::as_f64) {
+                None => None,
+                Some(d) if d < 0.0 => None,
+                Some(d) => Some(d as u64),
+            },
+            op_failures: match doc.get("op_failures") {
+                None => OpFailurePlan::default(),
+                Some(o) => OpFailurePlan {
+                    prob: sub_num(o, "prob")?,
+                    cooldown_ns: sub_num(o, "cooldown_ns")? as u64,
+                    retries: sub_num(o, "retries")? as u32,
+                },
+            },
+            disconnect: match doc.get("disconnect") {
+                None => DisconnectPlan::default(),
+                Some(d) => DisconnectPlan {
+                    prob: sub_num(d, "prob")?,
+                    retry_base_ns: sub_num(d, "retry_base_ns")? as u64,
+                    max_retries: sub_num(d, "max_retries")? as u32,
+                    reconnect_prob: sub_num(d, "reconnect_prob")?,
+                },
+            },
         })
     }
 }
@@ -519,5 +780,65 @@ mod tests {
             pairs[0].1 = Json::Str("hcq-fuzz-v0".into());
         }
         assert!(Scenario::from_json(&s).is_err());
+    }
+
+    #[test]
+    fn v1_artifacts_parse_with_robustness_dimensions_off() {
+        // Strip the v2 fields and relabel: the document a v1 fuzzer wrote.
+        let mut s = Scenario::generate(3, 5).to_json();
+        if let Json::Obj(pairs) = &mut s {
+            pairs[0].1 = Json::Str(SCHEMA_V1.into());
+            pairs.retain(|(k, _)| {
+                !matches!(
+                    k.as_str(),
+                    "governor" | "deadline_ns" | "op_failures" | "disconnect"
+                )
+            });
+        }
+        let back = Scenario::from_json(&s).unwrap();
+        assert_eq!(back.governor, GovernorPlan::default());
+        assert_eq!(back.deadline_ns, None);
+        assert_eq!(back.op_failures, OpFailurePlan::default());
+        assert_eq!(back.disconnect, DisconnectPlan::default());
+        // The shared v1 dimensions survive untouched.
+        let orig = Scenario::generate(3, 5);
+        assert_eq!(back.queries, orig.queries);
+        assert_eq!(back.admission, orig.admission);
+        assert_eq!(back.faults, orig.faults);
+    }
+
+    #[test]
+    fn robustness_dimensions_are_generated() {
+        // Over 200 cases every new dimension must show up at least once,
+        // and every generated governor must satisfy the engine's hysteresis
+        // validation (escalate > deescalate, capacity ≥ 1).
+        let (mut gov, mut dl, mut dl0, mut opf, mut disc) = (0, 0, 0, 0, 0);
+        for case in 0..200 {
+            let s = Scenario::generate(11, case);
+            if s.governor.enabled {
+                gov += 1;
+                assert!(s.governor.escalate_pending > s.governor.deescalate_pending);
+                assert!(s.governor.capacity >= 1);
+                assert!(s.governor.cadence_ns >= 1 && s.governor.min_dwell_ns >= 1);
+            }
+            match s.deadline_ns {
+                Some(0) => dl0 += 1,
+                Some(_) => dl += 1,
+                None => {}
+            }
+            if s.op_failures.prob > 0.0 {
+                opf += 1;
+                assert!(s.op_failures.cooldown_ns >= 1);
+            }
+            if s.disconnect.prob > 0.0 {
+                disc += 1;
+                assert!(s.disconnect.max_retries >= 1);
+            }
+        }
+        assert!(gov > 20, "governor in {gov}/200 cases");
+        assert!(dl > 10, "deadlines in {dl}/200 cases");
+        assert!(dl0 > 0, "the deadline-0 corner never generated");
+        assert!(opf > 20, "op failures in {opf}/200 cases");
+        assert!(disc > 10, "disconnects in {disc}/200 cases");
     }
 }

@@ -531,8 +531,10 @@ impl Policy for ClusteredBsdPolicy {
         // The engine shed the tail tuple of `unit`'s queue; the matching
         // mirror entry is the unit chain's tail (per-unit queues are FIFO,
         // so the rearmost entry is the shed victim) — O(1), no backlog scan.
+        // A shed for a unit with no mirror entries is a no-op per the trait
+        // contract (the governor can re-shed a unit drained in the same
+        // admission storm).
         if self.lists.is_unit_empty(unit) {
-            debug_assert!(false, "shed entry absent from cluster mirror");
             return;
         }
         debug_assert_eq!(
@@ -794,6 +796,34 @@ mod tests {
         q.push(1, TupleId::new(1), ms(5));
         p.on_enqueue(1, TupleId::new(1), ms(5), ms(5));
         q.pop_back(0);
+        p.on_shed(0, TupleId::new(0));
+        let sel = p.select(&q, ms(100)).unwrap();
+        assert_eq!(sel.units, vec![1]);
+        q.pop(1);
+        assert!(p.select(&q, ms(100)).is_none());
+    }
+
+    #[test]
+    fn double_shed_is_a_noop_on_empty_mirror() {
+        let units = spread_units(2);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig {
+            clustering: Clustering::Logarithmic,
+            clusters: 1,
+            use_fagin: false,
+            batch: false,
+        });
+        p.on_register(&units);
+        let mut q = MockQueues::new(2);
+        q.push(0, TupleId::new(0), ms(0));
+        p.on_enqueue(0, TupleId::new(0), ms(0), ms(0));
+        q.push(1, TupleId::new(1), ms(5));
+        p.on_enqueue(1, TupleId::new(1), ms(5), ms(5));
+        // First shed drains unit 0's only entry; the second hits an already
+        // empty mirror and must be tolerated as a no-op (trait contract:
+        // idempotent per queue position — no underflow, no panic, and the
+        // wait index must not be corrupted for the surviving unit.
+        q.pop_back(0);
+        p.on_shed(0, TupleId::new(0));
         p.on_shed(0, TupleId::new(0));
         let sel = p.select(&q, ms(100)).unwrap();
         assert_eq!(sel.units, vec![1]);

@@ -44,12 +44,12 @@ impl Policy for FcfsPolicy {
     fn on_shed(&mut self, unit: UnitId, _tuple: TupleId) {
         // Shedding removes the unit's *tail* tuple; per-unit queues are FIFO
         // and the mirror records enqueue order, so that tuple corresponds to
-        // the unit's most recent (rearmost) mirror entry.
+        // the unit's most recent (rearmost) mirror entry. A shed for a unit
+        // with no mirror entries is a no-op per the trait contract (the
+        // governor can re-shed a unit drained in the same admission storm).
         if let Some(i) = self.fifo.iter().rposition(|&u| u == unit) {
             self.fifo.remove(i);
             self.pending_heap_ops += 1;
-        } else {
-            debug_assert!(false, "shed from unit absent in FCFS mirror");
         }
     }
 
@@ -118,6 +118,29 @@ mod tests {
             }
         }
         assert_eq!(order, vec![0, 1]);
+        assert!(p.select(&q, Nanos::from_millis(9)).is_none());
+    }
+
+    #[test]
+    fn double_shed_is_a_noop_on_empty_mirror() {
+        use crate::policy::testkit::MockQueues;
+        let mut p = FcfsPolicy::new();
+        p.on_register(&units(2));
+        let mut q = MockQueues::new(2);
+        for (u, t, a) in [(0, 0, 0u64), (1, 1, 1)] {
+            let at = Nanos::from_millis(a);
+            q.push(u, TupleId::new(t), at);
+            p.on_enqueue(u, TupleId::new(t), at, at);
+        }
+        // First shed drains unit 0's only entry; the second hits an already
+        // empty mirror and must be tolerated as a no-op (trait contract:
+        // idempotent per queue position — no underflow, no panic).
+        q.pop_back(0);
+        p.on_shed(0, TupleId::new(0));
+        p.on_shed(0, TupleId::new(0));
+        let sel = p.select(&q, Nanos::from_millis(9)).expect("unit 1 pending");
+        assert_eq!(sel.units, vec![1]);
+        q.pop(1);
         assert!(p.select(&q, Nanos::from_millis(9)).is_none());
     }
 

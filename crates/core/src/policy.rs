@@ -283,7 +283,13 @@ impl ExactSizeIterator for SelectionUnitsIter {}
 ///   the *tail* tuple of `unit`'s queue without executing it (load shedding).
 ///   Policies that mirror per-tuple state must forget that entry; stateless
 ///   policies inherit the no-op default. A tuple rejected at admission (never
-///   enqueued) generates no callback at all.
+///   enqueued) generates no callback at all. The callback must be
+///   **idempotent per queue position**: the engine guarantees at most one
+///   `on_shed` per enqueued tuple, but fault harnesses and the overload
+///   governor can shed the *same unit* repeatedly in one admission storm, so
+///   an implementation must tolerate a shed for a unit whose mirrored queue
+///   is already empty (treat it as a no-op rather than underflowing or
+///   panicking).
 /// * `select` is called only when at least one queue is non-empty; it must
 ///   return units with non-empty queues. After `select`, the engine dequeues
 ///   exactly one head tuple from each returned unit and executes it.
@@ -297,7 +303,9 @@ pub trait Policy {
     /// A tuple entered `unit`'s queue.
     fn on_enqueue(&mut self, unit: UnitId, tuple: TupleId, arrival: Nanos, now: Nanos);
 
-    /// The overload manager shed the tail tuple of `unit`'s queue.
+    /// The overload manager shed the tail tuple of `unit`'s queue. Must be
+    /// safe to call again for a unit whose mirror is already empty (see the
+    /// trait docs: idempotent per queue position, no underflow).
     fn on_shed(&mut self, _unit: UnitId, _tuple: TupleId) {}
 
     /// One unit's statics changed mid-run (§10 adaptive estimation, operator

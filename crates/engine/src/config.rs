@@ -70,6 +70,70 @@ pub struct FaultConfig {
     /// Seed for the fault draws, independent of the workload seed so fault
     /// scenarios can vary while the workload realization stays fixed.
     pub seed: u64,
+    /// Per-execution probability of a transient operator failure: the run is
+    /// charged its full virtual-time cost but the output is suppressed, and
+    /// the tuple is quarantined for [`FaultConfig::op_failure_cooldown`]
+    /// before being retried (a pure function of tuple/unit/attempt/`seed`,
+    /// so identical across policies). `0` disables.
+    pub op_failure_prob: f64,
+    /// Quarantine length after a transient operator failure; the tuple is
+    /// re-admitted once the cooldown elapses.
+    pub op_failure_cooldown: Nanos,
+    /// Retries after the first failure before the tuple is abandoned
+    /// (counted as dropped). `0` means one attempt total.
+    pub op_failure_retries: u32,
+}
+
+/// Closed-loop overload governor configuration (off by default).
+///
+/// When enabled, the engine samples its own queue-depth and overload-share
+/// signals every [`GovernorConfig::cadence`] of virtual time and walks the
+/// admission-mode ladder `Unbounded → DropTail → QosShed` (and back down)
+/// with hysteresis bands and a minimum dwell time so the mode never flaps.
+/// The configured [`OverloadConfig::mode`] is the ladder *floor*: the
+/// governor only escalates from there and never de-escalates below it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GovernorConfig {
+    /// Master switch. When false the engine carries no governor state and
+    /// behaves bit-identically to an ungoverned run.
+    pub enabled: bool,
+    /// Virtual-time interval between governor decisions (must be positive
+    /// when enabled).
+    pub cadence: Nanos,
+    /// Minimum virtual time between two mode transitions (anti-flapping).
+    pub min_dwell: Nanos,
+    /// Escalate one ladder step when total pending tuples reach this level.
+    pub escalate_pending: usize,
+    /// De-escalate one step only when total pending tuples are at or below
+    /// this level (must be < `escalate_pending` for a real hysteresis band).
+    pub deescalate_pending: usize,
+    /// Escalate when the fraction of the last cadence window spent above
+    /// the governor watermark reaches this share.
+    pub escalate_share: f64,
+    /// De-escalate only when the window overload share is at or below this.
+    pub deescalate_share: f64,
+    /// Per-unit queue capacity the governor applies while in a bounded mode
+    /// (DropTail/QosShed); must be ≥ 1 when enabled.
+    pub capacity: usize,
+    /// Pending-tuple watermark the governor measures its window overload
+    /// share against (and that arms QosShed while escalated).
+    pub watermark: usize,
+}
+
+impl Default for GovernorConfig {
+    fn default() -> Self {
+        GovernorConfig {
+            enabled: false,
+            cadence: Nanos::from_millis(50),
+            min_dwell: Nanos::from_millis(200),
+            escalate_pending: 0,
+            deescalate_pending: 0,
+            escalate_share: 0.5,
+            deescalate_share: 0.1,
+            capacity: 0,
+            watermark: 0,
+        }
+    }
 }
 
 /// Simulation parameters.
@@ -105,6 +169,8 @@ pub struct SimConfig {
     pub overload: OverloadConfig,
     /// Deterministic engine-side fault injection (default: none).
     pub faults: FaultConfig,
+    /// Closed-loop admission-mode governor (default: disabled).
+    pub governor: GovernorConfig,
     /// Virtual-time cadence between telemetry snapshots (default 100 ms).
     /// Only read when a run is monitored (a [`crate::MetricsSink`] with
     /// `ENABLED = true` is attached); otherwise no sampling happens at all.
@@ -126,6 +192,7 @@ impl SimConfig {
             cost_jitter: 0.0,
             overload: OverloadConfig::default(),
             faults: FaultConfig::default(),
+            governor: GovernorConfig::default(),
             telemetry_cadence: Nanos::from_millis(100),
         }
     }
@@ -153,6 +220,54 @@ impl SimConfig {
         );
         self.faults.cost_miscalibration = m;
         self.faults.seed = fault_seed;
+        self
+    }
+
+    /// Enable transient operator failures: each execution fails with
+    /// probability `p` (in [0, 1)), charging its cost but suppressing
+    /// output; the tuple is quarantined for `cooldown` and retried up to
+    /// `retries` times before being abandoned. Draws are keyed on
+    /// `FaultConfig::seed` (set it via [`SimConfig::with_cost_miscalibration`]
+    /// or directly).
+    pub fn with_op_failures(mut self, p: f64, cooldown: Nanos, retries: u32) -> Self {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "op-failure probability must be in [0, 1), got {p}"
+        );
+        assert!(
+            p == 0.0 || !cooldown.is_zero(),
+            "op-failure cooldown must be positive when failures are enabled"
+        );
+        self.faults.op_failure_prob = p;
+        self.faults.op_failure_cooldown = cooldown;
+        self.faults.op_failure_retries = retries;
+        self
+    }
+
+    /// Attach the closed-loop overload governor. `governor.enabled` must be
+    /// true, its cadence and dwell positive, its capacity ≥ 1, and its
+    /// hysteresis bands well-formed (escalate thresholds strictly above
+    /// their de-escalate counterparts).
+    pub fn with_governor(mut self, governor: GovernorConfig) -> Self {
+        assert!(governor.enabled, "with_governor requires enabled = true");
+        assert!(
+            !governor.cadence.is_zero(),
+            "governor cadence must be positive"
+        );
+        assert!(
+            !governor.min_dwell.is_zero(),
+            "governor min_dwell must be positive"
+        );
+        assert!(governor.capacity >= 1, "governor capacity must be >= 1");
+        assert!(
+            governor.escalate_pending > governor.deescalate_pending,
+            "escalate_pending must exceed deescalate_pending (hysteresis band)"
+        );
+        assert!(
+            governor.escalate_share > governor.deescalate_share,
+            "escalate_share must exceed deescalate_share (hysteresis band)"
+        );
+        self.governor = governor;
         self
     }
 
@@ -217,6 +332,8 @@ mod tests {
         assert_eq!(c.overload.capacity, 0);
         assert_eq!(c.overload.watermark, 0);
         assert_eq!(c.faults.cost_miscalibration, 0.0);
+        assert_eq!(c.faults.op_failure_prob, 0.0);
+        assert!(!c.governor.enabled);
         assert_eq!(c.telemetry_cadence, Nanos::from_millis(100));
     }
 
@@ -237,12 +354,58 @@ mod tests {
         let c = SimConfig::new(1)
             .with_admission(AdmissionMode::QosShed, 16)
             .with_watermark(200)
-            .with_cost_miscalibration(0.5, 99);
+            .with_cost_miscalibration(0.5, 99)
+            .with_op_failures(0.1, Nanos::from_millis(5), 3);
         assert_eq!(c.overload.mode, AdmissionMode::QosShed);
         assert_eq!(c.overload.capacity, 16);
         assert_eq!(c.overload.watermark, 200);
         assert_eq!(c.faults.cost_miscalibration, 0.5);
         assert_eq!(c.faults.seed, 99);
+        assert_eq!(c.faults.op_failure_prob, 0.1);
+        assert_eq!(c.faults.op_failure_cooldown, Nanos::from_millis(5));
+        assert_eq!(c.faults.op_failure_retries, 3);
+    }
+
+    #[test]
+    fn governor_builder() {
+        let g = GovernorConfig {
+            enabled: true,
+            escalate_pending: 100,
+            deescalate_pending: 20,
+            capacity: 32,
+            watermark: 64,
+            ..GovernorConfig::default()
+        };
+        let c = SimConfig::new(1).with_governor(g);
+        assert!(c.governor.enabled);
+        assert_eq!(c.governor.escalate_pending, 100);
+        assert_eq!(c.governor.capacity, 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "hysteresis")]
+    fn governor_rejects_inverted_band() {
+        let g = GovernorConfig {
+            enabled: true,
+            escalate_pending: 10,
+            deescalate_pending: 10,
+            capacity: 32,
+            ..GovernorConfig::default()
+        };
+        let _ = SimConfig::new(1).with_governor(g);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn governor_rejects_zero_capacity() {
+        let g = GovernorConfig {
+            enabled: true,
+            escalate_pending: 10,
+            deescalate_pending: 2,
+            capacity: 0,
+            ..GovernorConfig::default()
+        };
+        let _ = SimConfig::new(1).with_governor(g);
     }
 
     #[test]

@@ -58,7 +58,9 @@ pub mod telemetry;
 pub mod trace;
 pub mod tuple;
 
-pub use config::{AdmissionMode, FaultConfig, OverloadConfig, SchedulingLevel, SimConfig};
+pub use config::{
+    AdmissionMode, FaultConfig, GovernorConfig, OverloadConfig, SchedulingLevel, SimConfig,
+};
 pub use hcq_metrics::TelemetrySnapshot;
 pub use model::{SimModel, UnitDesc, UnitKind};
 pub use report::SimReport;

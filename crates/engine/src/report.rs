@@ -23,6 +23,32 @@ pub struct SimReport {
     /// Tuples shed by the overload manager (never executed): rejected at
     /// admission or displaced from a queue tail. 0 under unbounded queues.
     pub shed: u64,
+    /// Tuples expired at dequeue because their query's response-time
+    /// deadline had already passed. 0 unless a plan sets `with_deadline`.
+    pub expired: u64,
+    /// Transient operator failures: runs charged but suppressed. Each
+    /// failed attempt counts once; a tuple retried twice contributes two.
+    pub op_failures: u64,
+    /// Total quarantine time assigned after transient operator failures
+    /// (sum of cooldowns, not wall-clock overlap).
+    pub quarantine_time: Nanos,
+    /// Admission-mode transitions taken by the overload governor. 0 when
+    /// the governor is disabled.
+    pub governor_transitions: u64,
+    /// Source stall time that fell inside the run (`FaultySource` windows
+    /// clipped to the final clock).
+    pub fault_stall_time: Nanos,
+    /// Source stall time scheduled past the end of the run and therefore
+    /// never observed. `fault_stall_time + fault_stall_truncated` equals
+    /// the total stall time the fault scenario decided.
+    pub fault_stall_truncated: Nanos,
+    /// Source disconnect events (see `DisconnectSource`).
+    pub source_disconnects: u64,
+    /// Reconnection attempts across all disconnects.
+    pub source_retry_attempts: u64,
+    /// Base arrivals lost inside source downtime windows. These never
+    /// reached the engine and are *not* part of `arrivals`.
+    pub source_lost_arrivals: u64,
     /// Scheduling points taken.
     pub sched_points: u64,
     /// Priority computations/comparisons reported by the policy.
@@ -108,6 +134,15 @@ mod tests {
             emitted: 5,
             dropped: 5,
             shed: 5,
+            expired: 0,
+            op_failures: 0,
+            quarantine_time: Nanos::ZERO,
+            governor_transitions: 0,
+            fault_stall_time: Nanos::ZERO,
+            fault_stall_truncated: Nanos::ZERO,
+            source_disconnects: 0,
+            source_retry_attempts: 0,
+            source_lost_arrivals: 0,
             sched_points: 4,
             sched_ops: 12,
             overhead: {
@@ -143,6 +178,15 @@ mod tests {
             emitted: 0,
             dropped: 0,
             shed: 0,
+            expired: 0,
+            op_failures: 0,
+            quarantine_time: Nanos::ZERO,
+            governor_transitions: 0,
+            fault_stall_time: Nanos::ZERO,
+            fault_stall_truncated: Nanos::ZERO,
+            source_disconnects: 0,
+            source_retry_attempts: 0,
+            source_lost_arrivals: 0,
             sched_points: 0,
             sched_ops: 0,
             overhead: OverheadTotals::new(),

@@ -1,7 +1,7 @@
 //! The discrete-event simulation loop.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap};
 
 use hcq_common::{det, EngineError, HcqError, Nanos, Result, StreamId, TupleId};
 use hcq_core::{Policy, PriorityKey, QueueView, UnitStatics};
@@ -10,9 +10,9 @@ use hcq_metrics::{
     ClassBreakdown, OverheadTotals, QosAccumulator, QosTimeSeries, SlowdownHistogram,
 };
 use hcq_plan::{CompiledOpKind, GlobalPlan, OperatorSpec, Port, StreamRates};
-use hcq_streams::ArrivalSource;
+use hcq_streams::{ArrivalSource, SourceFaultStats};
 
-use crate::config::{AdmissionMode, SchedulingLevel, SimConfig};
+use crate::config::{AdmissionMode, GovernorConfig, SchedulingLevel, SimConfig};
 use crate::model::{SimModel, UnitKind};
 use crate::queues::UnitQueues;
 use crate::report::SimReport;
@@ -70,6 +70,81 @@ pub fn simulate_monitored<M: MetricsSink>(
         .map(|(report, _, metrics)| (report, metrics))
 }
 
+/// The admission-mode ladder the governor walks. Level 0 is the most
+/// permissive; each escalation step sheds load more aggressively.
+const LADDER: [AdmissionMode; 3] = [
+    AdmissionMode::Unbounded,
+    AdmissionMode::DropTail,
+    AdmissionMode::QosShed,
+];
+
+/// Ladder level of a mode (its index in [`LADDER`]).
+fn ladder_level(mode: AdmissionMode) -> u8 {
+    match mode {
+        AdmissionMode::Unbounded => 0,
+        AdmissionMode::DropTail => 1,
+        AdmissionMode::QosShed => 2,
+    }
+}
+
+/// Stable mode names for trace events.
+fn mode_name(mode: AdmissionMode) -> &'static str {
+    match mode {
+        AdmissionMode::Unbounded => "Unbounded",
+        AdmissionMode::DropTail => "DropTail",
+        AdmissionMode::QosShed => "QosShed",
+    }
+}
+
+/// Live state of the closed-loop overload governor. Boxed behind an
+/// `Option` on the simulator so a governor-disabled run carries one null
+/// pointer and is bit-identical to an engine without the feature.
+struct GovernorState {
+    cfg: GovernorConfig,
+    /// Next cadence boundary at which to take a decision.
+    next_decision: Nanos,
+    /// Instant of the last mode transition (`None` before the first).
+    last_transition: Option<Nanos>,
+    /// Ladder floor: the configured base admission mode's level. The
+    /// governor never de-escalates below it.
+    floor: u8,
+    /// Current ladder level.
+    level: u8,
+    /// Virtual time spent at or above the watermark since the last
+    /// decision (the hysteresis signal's numerator).
+    window_overload: Nanos,
+    /// Mode transitions taken so far.
+    transitions: u64,
+}
+
+/// A tuple quarantined after a transient operator failure, waiting for its
+/// cooldown to elapse before re-admission.
+struct Parked {
+    release: Nanos,
+    /// Park ordinal: ties on `release` pop in park order, keeping the
+    /// release sequence deterministic.
+    seq: u64,
+    unit: u32,
+    tuple: SimTuple,
+}
+
+impl PartialEq for Parked {
+    fn eq(&self, other: &Self) -> bool {
+        (self.release, self.seq) == (other.release, other.seq)
+    }
+}
+impl Eq for Parked {}
+impl PartialOrd for Parked {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Parked {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.release, self.seq).cmp(&(other.release, other.seq))
+    }
+}
+
 /// The simulator. Most callers use [`simulate`]; the struct is public for
 /// step-wise tests and custom instrumentation. The `S` parameter is the
 /// trace sink and `M` the telemetry sink: the defaults ([`NoTrace`],
@@ -97,6 +172,29 @@ pub struct Simulator<S: TraceSink = NoTrace, M: MetricsSink = NoTelemetry> {
     /// Scratch buffer for join probe results, reused across probes so the
     /// hot path does not allocate a fresh `Vec` per arriving tuple.
     probe_buf: Vec<SimTuple>,
+    /// Per-query deadline, hoisted from the plans (all `None` unless a
+    /// query used `with_deadline`, in which case head tuples past budget
+    /// expire at dequeue).
+    deadlines: Vec<Option<Nanos>>,
+    /// Whether any query carries a deadline (skips the per-dequeue lookup
+    /// entirely for deadline-free workloads).
+    any_deadline: bool,
+
+    /// Live admission state. Initialized from [`SimConfig::overload`]; the
+    /// governor (when enabled) moves `admission_mode` along the ladder.
+    admission_mode: AdmissionMode,
+    admission_capacity: usize,
+    admission_watermark: usize,
+    /// The closed-loop governor; `None` when disabled.
+    governor: Option<Box<GovernorState>>,
+
+    /// Tuples quarantined by transient operator failures, keyed by release
+    /// time; min-heap.
+    parked: BinaryHeap<Reverse<Parked>>,
+    park_seq: u64,
+    /// Failed-attempt counts per `(unit, tuple id)`, touched only on
+    /// failures — the happy path never inserts.
+    fail_attempts: HashMap<(u32, u64), u32>,
 
     clock: Nanos,
     /// Ids for composite tuples (top bit set, so they never collide with
@@ -111,6 +209,12 @@ pub struct Simulator<S: TraceSink = NoTrace, M: MetricsSink = NoTelemetry> {
     emitted: u64,
     dropped: u64,
     shed: u64,
+    /// Tuples expired at dequeue past their query's deadline.
+    expired: u64,
+    /// Transient operator failures injected.
+    op_failures: u64,
+    /// Total virtual time tuples spent quarantined after failures.
+    quarantine_time: Nanos,
     sched_points: u64,
     sched_ops: u64,
     /// Itemized scheduler work (per-kind counters), always accumulated —
@@ -188,6 +292,25 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 cfg.overload.mode
             )));
         }
+        if cfg.governor.enabled {
+            if cfg.governor.capacity == 0 {
+                return Err(HcqError::config(
+                    "the governor needs a per-unit capacity of at least 1 \
+                     for its bounded modes"
+                        .to_string(),
+                ));
+            }
+            if cfg.governor.cadence.is_zero() || cfg.governor.min_dwell.is_zero() {
+                return Err(HcqError::config(
+                    "governor cadence and min_dwell must be positive".to_string(),
+                ));
+            }
+        }
+        if cfg.faults.op_failure_prob > 0.0 && cfg.faults.op_failure_cooldown.is_zero() {
+            return Err(HcqError::config(
+                "op-failure injection needs a positive cooldown".to_string(),
+            ));
+        }
         let model = SimModel::build(plan, rates, cfg.level, cfg.sharing)?;
         for (s, routes) in model.routes.iter().enumerate() {
             if !routes.is_empty() && s >= sources.len() {
@@ -236,9 +359,37 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         let shed_priority = unit_statics.iter().map(|u| u.hnr_priority()).collect();
         let n_units = model.unit_count();
         let ideal_times = model.stats.iter().map(|s| s.ideal_time).collect();
-        let queues = match cfg.overload.mode {
-            AdmissionMode::Unbounded => UnitQueues::new(n_units),
-            _ => UnitQueues::bounded(n_units, cfg.overload.capacity),
+        let deadlines: Vec<Option<Nanos>> = plan.queries.iter().map(|q| q.deadline).collect();
+        let any_deadline = deadlines.iter().any(|d| d.is_some());
+        // Live admission state: the governor moves the mode along the
+        // ladder; capacity and watermark are fixed at the base values when
+        // set, else the governor's.
+        let admission_mode = cfg.overload.mode;
+        let admission_capacity = if cfg.overload.capacity > 0 {
+            cfg.overload.capacity
+        } else {
+            cfg.governor.capacity
+        };
+        let admission_watermark = if cfg.overload.watermark > 0 {
+            cfg.overload.watermark
+        } else {
+            cfg.governor.watermark
+        };
+        let governor = cfg.governor.enabled.then(|| {
+            Box::new(GovernorState {
+                cfg: cfg.governor,
+                next_decision: cfg.governor.cadence,
+                last_transition: None,
+                floor: ladder_level(cfg.overload.mode),
+                level: ladder_level(cfg.overload.mode),
+                window_overload: Nanos::ZERO,
+                transitions: 0,
+            })
+        });
+        let queues = if cfg.overload.mode != AdmissionMode::Unbounded || cfg.governor.enabled {
+            UnitQueues::bounded(n_units, admission_capacity)
+        } else {
+            UnitQueues::new(n_units)
         };
         let telemetry = if M::ENABLED {
             Some(Box::new(EngineTelemetry::new(
@@ -262,6 +413,15 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             ideal_times,
             shed_priority,
             probe_buf: Vec::new(),
+            deadlines,
+            any_deadline,
+            admission_mode,
+            admission_capacity,
+            admission_watermark,
+            governor,
+            parked: BinaryHeap::new(),
+            park_seq: 0,
+            fail_attempts: HashMap::new(),
             clock: Nanos::ZERO,
             composite_counter: 0,
             arrivals_injected: 0,
@@ -272,6 +432,9 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             emitted: 0,
             dropped: 0,
             shed: 0,
+            expired: 0,
+            op_failures: 0,
+            quarantine_time: Nanos::ZERO,
             sched_points: 0,
             sched_ops: 0,
             overhead: OverheadTotals::new(),
@@ -341,20 +504,49 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 magnitude,
             });
         }
+        if S::ENABLED && self.cfg.faults.op_failure_prob > 0.0 {
+            let magnitude = self.cfg.faults.op_failure_prob;
+            self.trace(TraceEvent::Fault {
+                at: Nanos::ZERO,
+                kind: "op_failure",
+                magnitude,
+            });
+        }
         loop {
             self.deliver_due_arrivals();
+            self.release_parked_due();
             if M::ENABLED {
                 self.sample_telemetry();
             }
+            if self.governor.is_some() {
+                self.govern();
+            }
             if self.queues.all_empty() {
-                // Idle: jump to the next arrival, or finish.
-                match self.peek_next_arrival() {
-                    Some(t) if self.arrivals_injected < self.cfg.max_arrivals => {
-                        let target = self.clock.max(t);
-                        self.advance_clock(target);
+                // Idle: jump to the next event — an arrival or a parked
+                // release — or finish.
+                let next_arrival = if self.arrivals_injected < self.cfg.max_arrivals {
+                    self.peek_next_arrival()
+                } else {
+                    None
+                };
+                let next_release = if self.cfg.drain || next_arrival.is_some() {
+                    self.parked.peek().map(|Reverse(p)| p.release)
+                } else {
+                    // Not draining and arrivals exhausted: quarantined
+                    // tuples stay parked and count as pending at the end.
+                    None
+                };
+                let target = match (next_arrival, next_release) {
+                    (Some(a), Some(r)) => Some(a.min(r)),
+                    (Some(a), None) => Some(a),
+                    (None, r) => r,
+                };
+                match target {
+                    Some(t) => {
+                        self.advance_clock(self.clock.max(t));
                         continue;
                     }
-                    _ => break,
+                    None => break,
                 }
             }
             if !self.cfg.drain && self.arrivals_injected >= self.cfg.max_arrivals {
@@ -403,6 +595,24 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         if M::ENABLED {
             self.final_sample();
         }
+        // Source-side fault accounting: clip every scheduled fault window
+        // against the final clock so schedule and report reconcile even when
+        // a window extends past the end of the run.
+        let mut source_stats = SourceFaultStats::default();
+        for s in &self.sources {
+            source_stats.absorb(s.fault_stats());
+        }
+        let mut fault_stall_time = Nanos::ZERO;
+        let mut fault_stall_truncated = Nanos::ZERO;
+        for &(start, end) in &source_stats.windows {
+            let in_run_end = end.min(self.clock);
+            if in_run_end > start {
+                fault_stall_time += in_run_end - start;
+            }
+            if end > self.clock {
+                fault_stall_truncated += end - self.clock.max(start);
+            }
+        }
         let report = SimReport {
             qos: self.qos.summary(),
             classes: self.classes,
@@ -412,6 +622,15 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             emitted: self.emitted,
             dropped: self.dropped,
             shed: self.shed,
+            expired: self.expired,
+            op_failures: self.op_failures,
+            quarantine_time: self.quarantine_time,
+            governor_transitions: self.governor.as_ref().map_or(0, |g| g.transitions),
+            fault_stall_time,
+            fault_stall_truncated,
+            source_disconnects: source_stats.disconnects,
+            source_retry_attempts: source_stats.retry_attempts,
+            source_lost_arrivals: source_stats.lost_arrivals,
             sched_points: self.sched_points,
             sched_ops: self.sched_ops,
             overhead: self.overhead,
@@ -425,7 +644,9 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 self.pending_area / self.clock.as_nanos() as f64
             },
             peak_pending: self.peak_pending,
-            pending_end: self.queues.pending(),
+            // Quarantined tuples are still in flight: they count as pending
+            // so conservation holds when a run ends mid-cooldown.
+            pending_end: self.queues.pending() + self.parked.len(),
         };
         Ok((report, self.sink, self.metrics))
     }
@@ -472,8 +693,19 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         reg.set_counter(t.busy_ns, self.busy_time.as_nanos());
         reg.set_counter(t.overhead_ns, self.overhead_time.as_nanos());
         reg.set_counter(t.overload_ns, self.overload_time.as_nanos());
+        reg.set_counter(t.expired, self.expired);
+        reg.set_counter(t.op_failures, self.op_failures);
+        reg.set_counter(t.quarantine_ns, self.quarantine_time.as_nanos());
+        reg.set_counter(
+            t.governor_transitions,
+            self.governor.as_ref().map_or(0, |g| g.transitions),
+        );
         reg.set_gauge(t.pending, self.queues.pending() as f64);
         reg.set_gauge(t.peak_pending, self.peak_pending as f64);
+        reg.set_gauge(
+            t.governor_mode,
+            f64::from(ladder_level(self.admission_mode)),
+        );
         let utilization = if self.clock.is_zero() {
             0.0
         } else {
@@ -497,11 +729,85 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         let span = target.saturating_since(self.clock);
         let pending = self.queues.pending();
         self.pending_area += pending as f64 * span.as_nanos() as f64;
-        let watermark = self.cfg.overload.watermark;
+        let watermark = self.admission_watermark;
         if watermark > 0 && pending >= watermark {
             self.overload_time += span;
+            if let Some(g) = self.governor.as_mut() {
+                g.window_overload += span;
+            }
         }
         self.clock = target;
+    }
+
+    /// Take a governor decision at every cadence boundary the clock has
+    /// reached: escalate one ladder step when either signal (pending depth
+    /// or window overload share) crosses its upper threshold, de-escalate
+    /// when *both* sit at or below their lower thresholds, and in either
+    /// direction only after `min_dwell` has elapsed since the last
+    /// transition. The governor state is taken out of `self` for the
+    /// duration because transitions re-borrow the simulator.
+    fn govern(&mut self) {
+        let Some(mut g) = self.governor.take() else {
+            return;
+        };
+        while self.clock >= g.next_decision {
+            let at = g.next_decision;
+            g.next_decision = at + g.cfg.cadence;
+            let pending = self.queues.pending();
+            let share = g.window_overload.ratio(g.cfg.cadence).min(1.0);
+            g.window_overload = Nanos::ZERO;
+            let dwell_ok = match g.last_transition {
+                None => true,
+                Some(last) => at.saturating_since(last) >= g.cfg.min_dwell,
+            };
+            if !dwell_ok {
+                continue;
+            }
+            let want_up = g.level < ladder_level(AdmissionMode::QosShed)
+                && ((g.cfg.escalate_pending > 0 && pending >= g.cfg.escalate_pending)
+                    || share >= g.cfg.escalate_share);
+            let want_down = g.level > g.floor
+                && pending <= g.cfg.deescalate_pending
+                && share <= g.cfg.deescalate_share;
+            let next_level = if want_up {
+                g.level + 1
+            } else if want_down {
+                g.level - 1
+            } else {
+                continue;
+            };
+            let from = LADDER[g.level as usize];
+            let to = LADDER[next_level as usize];
+            g.level = next_level;
+            g.last_transition = Some(at);
+            g.transitions += 1;
+            self.admission_mode = to;
+            if S::ENABLED {
+                // Stamped with the clock, not the (possibly caught-up past)
+                // cadence boundary, so the trace stays monotone.
+                self.trace(TraceEvent::GovernorTransition {
+                    at: self.clock,
+                    from: mode_name(from),
+                    to: mode_name(to),
+                    pending: pending as u64,
+                    share,
+                });
+            }
+        }
+        self.governor = Some(g);
+    }
+
+    /// Re-admit every quarantined tuple whose cooldown has elapsed. The
+    /// returning tuple goes through normal admission, so a still-overloaded
+    /// engine may shed it instead of queueing it.
+    fn release_parked_due(&mut self) {
+        while let Some(Reverse(p)) = self.parked.peek() {
+            if p.release > self.clock {
+                break;
+            }
+            let Reverse(p) = self.parked.pop().expect("peeked entry");
+            self.admit(p.unit, p.tuple);
+        }
     }
 
     fn peek_next_arrival(&self) -> Option<Nanos> {
@@ -553,10 +859,10 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
     /// goes through here. Applies the configured [`AdmissionMode`], counts
     /// shed tuples, and notifies the policy of enqueues and sheds.
     fn admit(&mut self, unit: u32, tuple: SimTuple) {
-        match self.cfg.overload.mode {
+        match self.admission_mode {
             AdmissionMode::Unbounded => {}
             AdmissionMode::DropTail => {
-                if self.queues.len(unit) >= self.cfg.overload.capacity {
+                if self.queues.len(unit) >= self.admission_capacity {
                     self.shed += 1;
                     if S::ENABLED {
                         self.trace(TraceEvent::Shed {
@@ -569,8 +875,8 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 }
             }
             AdmissionMode::QosShed => {
-                if self.queues.len(unit) >= self.cfg.overload.capacity
-                    && self.queues.pending() >= self.cfg.overload.watermark
+                if self.queues.len(unit) >= self.admission_capacity
+                    && self.queues.pending() >= self.admission_watermark
                     && !self.shed_lowest_priority(unit)
                 {
                     // The arriving unit is itself the least valuable:
@@ -645,6 +951,87 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         let tuple = self.queues.pop(unit)?;
         let kind = self.model.units[unit as usize].kind;
         self.current_unit = unit;
+        // Deadline enforcement: a tuple already past its query's response
+        // budget when the scheduler reaches it is expired, not run — the
+        // answer would be too stale to matter. Shared units carry tuples for
+        // several queries at once and are exempt (per-member deadlines apply
+        // downstream at the remainder units).
+        if self.any_deadline {
+            let query = match kind {
+                UnitKind::Leaf { query, .. } => Some(query),
+                UnitKind::Remainder { group, member } => {
+                    Some(self.model.groups[group].members[member])
+                }
+                UnitKind::Operator { query, .. } => Some(query),
+                UnitKind::Shared { .. } => None,
+            };
+            if let Some(q) = query {
+                if let Some(d) = self.deadlines[q] {
+                    let due = tuple.arrival + d;
+                    if self.clock > due {
+                        self.expired += 1;
+                        if S::ENABLED {
+                            self.trace(TraceEvent::Expire {
+                                at: self.clock,
+                                unit,
+                                query: q as u32,
+                                tuple: tuple.id.raw(),
+                                late_by: self.clock - due,
+                            });
+                        }
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        // Transient operator failure: the entry operator's cost is charged
+        // (the work happened), its output is suppressed, and the tuple is
+        // quarantined for a cooldown before being retried — or abandoned
+        // once retries run out. The draw is a pure function of
+        // (tuple, unit, attempt, fault seed): identical across policies.
+        if self.cfg.faults.op_failure_prob > 0.0 {
+            let key = (unit, tuple.id.raw());
+            let attempt = self.fail_attempts.get(&key).copied().unwrap_or(0);
+            let roll = det::mix3(
+                tuple.id.raw(),
+                det::mix2(u64::from(unit), u64::from(attempt)),
+                self.cfg.faults.seed ^ 0x00FA_11ED,
+            );
+            if det::coin(roll, self.cfg.faults.op_failure_prob) {
+                let (cost, salt) = self.entry_charge(kind);
+                self.charge_op(cost, tuple.id, salt);
+                self.op_failures += 1;
+                let retrying = attempt < self.cfg.faults.op_failure_retries;
+                if S::ENABLED {
+                    self.trace(TraceEvent::OpFailure {
+                        at: self.clock,
+                        unit,
+                        tuple: tuple.id.raw(),
+                        attempt,
+                        retrying,
+                    });
+                }
+                if retrying {
+                    self.fail_attempts.insert(key, attempt + 1);
+                    let cooldown = self.cfg.faults.op_failure_cooldown;
+                    self.quarantine_time += cooldown;
+                    self.parked.push(Reverse(Parked {
+                        release: self.clock + cooldown,
+                        seq: self.park_seq,
+                        unit,
+                        tuple,
+                    }));
+                    self.park_seq += 1;
+                } else {
+                    self.fail_attempts.remove(&key);
+                    self.dropped += 1;
+                }
+                return Ok(());
+            }
+            if attempt > 0 {
+                self.fail_attempts.remove(&key);
+            }
+        }
         let (start, busy0, emitted0) = (self.clock, self.busy_time, self.emitted);
         let tuple_id = tuple.id;
         if S::ENABLED {
@@ -683,6 +1070,33 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             self.trace_buf.clear();
         }
         Ok(())
+    }
+
+    /// Nominal cost and charge salt of the unit's *entry* operator — what a
+    /// transient failure of the first processing step costs. Uses the same
+    /// salt as the real execution so the persistent miscalibration factor
+    /// matches.
+    fn entry_charge(&self, kind: UnitKind) -> (Nanos, u64) {
+        let op_cost = |query: usize, oi: usize| {
+            let salt = det::mix2(query as u64, oi as u64);
+            match self.model.compiled[query].ops[oi].kind {
+                CompiledOpKind::Unary(spec) => (spec.cost, salt),
+                CompiledOpKind::Join(spec) => (spec.cost, salt),
+            }
+        };
+        match kind {
+            UnitKind::Leaf { query, leaf } => {
+                let (oi, _) = self.model.compiled[query].leaves[leaf.index()].entry;
+                op_cost(query, oi)
+            }
+            UnitKind::Shared { group } => {
+                (self.model.groups[group].shared_cost, 0xD00D ^ group as u64)
+            }
+            UnitKind::Remainder { group, member } => {
+                op_cost(self.model.groups[group].members[member], 1)
+            }
+            UnitKind::Operator { query, op } => op_cost(query, op),
+        }
     }
 
     /// Pipelined execution from `entry` to the root (query-level units).

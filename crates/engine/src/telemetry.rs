@@ -133,9 +133,14 @@ pub(crate) struct EngineTelemetry {
     pub busy_ns: InstrumentId,
     pub overhead_ns: InstrumentId,
     pub overload_ns: InstrumentId,
+    pub expired: InstrumentId,
+    pub op_failures: InstrumentId,
+    pub quarantine_ns: InstrumentId,
+    pub governor_transitions: InstrumentId,
     pub pending: InstrumentId,
     pub peak_pending: InstrumentId,
     pub utilization: InstrumentId,
+    pub governor_mode: InstrumentId,
     /// `hcq_queue_depth{unit=…}`, indexed by unit id.
     pub queue_depth: Vec<InstrumentId>,
     /// `hcq_backlog_age_seconds{unit=…}`, indexed by unit id.
@@ -184,6 +189,26 @@ impl EngineTelemetry {
             "Virtual nanoseconds spent at or above the overload watermark",
             vec![],
         );
+        let expired = reg.counter(
+            "hcq_expired_total",
+            "Tuples expired at dequeue past their query deadline",
+            vec![],
+        );
+        let op_failures = reg.counter(
+            "hcq_op_failures_total",
+            "Transient operator failures (run charged, output suppressed)",
+            vec![],
+        );
+        let quarantine_ns = reg.counter(
+            "hcq_quarantine_time_ns_total",
+            "Virtual nanoseconds of tuple quarantine after operator failures",
+            vec![],
+        );
+        let governor_transitions = reg.counter(
+            "hcq_governor_transitions_total",
+            "Admission-mode transitions taken by the overload governor",
+            vec![],
+        );
         let pending = reg.gauge(
             "hcq_pending_tuples",
             "Tuples pending across all queues",
@@ -197,6 +222,11 @@ impl EngineTelemetry {
         let utilization = reg.gauge(
             "hcq_utilization",
             "Fraction of virtual time spent busy or on charged overhead",
+            vec![],
+        );
+        let governor_mode = reg.gauge(
+            "hcq_governor_mode",
+            "Current admission mode (0 Unbounded, 1 DropTail, 2 QosShed)",
             vec![],
         );
         let fault = reg.gauge(
@@ -263,9 +293,14 @@ impl EngineTelemetry {
             busy_ns,
             overhead_ns,
             overload_ns,
+            expired,
+            op_failures,
+            quarantine_ns,
+            governor_transitions,
             pending,
             peak_pending,
             utilization,
+            governor_mode,
             queue_depth,
             backlog_age,
             slowdown,

@@ -90,6 +90,50 @@ pub enum TraceEvent {
         /// The fault's configured magnitude.
         magnitude: f64,
     },
+    /// A tuple expired at dequeue: its queueing delay already exceeded its
+    /// query's deadline, so it was discarded instead of executed.
+    Expire {
+        /// Virtual time of the expiry (the scheduling decision's instant).
+        at: Nanos,
+        /// The unit whose head tuple expired.
+        unit: u32,
+        /// The deadline-bearing query.
+        query: u32,
+        /// The expired tuple's id.
+        tuple: u64,
+        /// How far past the deadline the tuple already was.
+        late_by: Nanos,
+    },
+    /// The overload governor moved the admission mode one ladder step.
+    GovernorTransition {
+        /// Virtual time at which the transition took effect (the decision
+        /// itself is paced on cadence boundaries, which the clock may have
+        /// overshot while the engine was busy).
+        at: Nanos,
+        /// Admission mode before the transition.
+        from: &'static str,
+        /// Admission mode after the transition.
+        to: &'static str,
+        /// Total pending tuples observed at the decision.
+        pending: u64,
+        /// Fraction of the last cadence window spent above the watermark.
+        share: f64,
+    },
+    /// A transient operator failure: the execution was charged, its output
+    /// suppressed, and the tuple quarantined (or abandoned when retries ran
+    /// out).
+    OpFailure {
+        /// Virtual time of the failed execution.
+        at: Nanos,
+        /// The unit whose execution failed.
+        unit: u32,
+        /// The tuple whose run was lost.
+        tuple: u64,
+        /// Zero-based attempt number that failed.
+        attempt: u32,
+        /// False when retries were exhausted and the tuple was abandoned.
+        retrying: bool,
+    },
 }
 
 /// Receiver of [`TraceEvent`]s.
@@ -241,6 +285,54 @@ impl<W: Write> JsonlTrace<W> {
                 kind,
                 magnitude,
             ),
+            TraceEvent::Expire {
+                at,
+                unit,
+                query,
+                tuple,
+                late_by,
+            } => writeln!(
+                w,
+                "{{\"type\":\"expire\",\"at\":{},\"unit\":{},\"query\":{},\
+                 \"tuple\":{},\"late_by\":{}}}",
+                at.as_nanos(),
+                unit,
+                query,
+                tuple,
+                late_by.as_nanos(),
+            ),
+            TraceEvent::GovernorTransition {
+                at,
+                from,
+                to,
+                pending,
+                share,
+            } => writeln!(
+                w,
+                "{{\"type\":\"governor\",\"at\":{},\"from\":\"{}\",\"to\":\"{}\",\
+                 \"pending\":{},\"share\":{}}}",
+                at.as_nanos(),
+                from,
+                to,
+                pending,
+                share,
+            ),
+            TraceEvent::OpFailure {
+                at,
+                unit,
+                tuple,
+                attempt,
+                retrying,
+            } => writeln!(
+                w,
+                "{{\"type\":\"op_failure\",\"at\":{},\"unit\":{},\"tuple\":{},\
+                 \"attempt\":{},\"retrying\":{}}}",
+                at.as_nanos(),
+                unit,
+                tuple,
+                attempt,
+                retrying,
+            ),
         }
     }
 }
@@ -295,6 +387,27 @@ mod tests {
                 unit: 0,
                 tuple: 9,
             },
+            TraceEvent::Expire {
+                at: Nanos(1500),
+                unit: 1,
+                query: 1,
+                tuple: 8,
+                late_by: Nanos(250),
+            },
+            TraceEvent::GovernorTransition {
+                at: Nanos(2000),
+                from: "DropTail",
+                to: "QosShed",
+                pending: 40,
+                share: 0.75,
+            },
+            TraceEvent::OpFailure {
+                at: Nanos(2200),
+                unit: 3,
+                tuple: 12,
+                attempt: 0,
+                retrying: true,
+            },
         ]
     }
 
@@ -307,7 +420,7 @@ mod tests {
         let bytes = sink.finish().unwrap();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 5);
+        assert_eq!(lines.len(), 8);
         assert_eq!(
             lines[0],
             "{\"type\":\"fault\",\"at\":0,\"kind\":\"cost_miscalibration\",\"magnitude\":0.4}"
@@ -328,6 +441,20 @@ mod tests {
         assert_eq!(
             lines[4],
             "{\"type\":\"shed\",\"at\":1011,\"unit\":0,\"tuple\":9}"
+        );
+        assert_eq!(
+            lines[5],
+            "{\"type\":\"expire\",\"at\":1500,\"unit\":1,\"query\":1,\"tuple\":8,\"late_by\":250}"
+        );
+        assert_eq!(
+            lines[6],
+            "{\"type\":\"governor\",\"at\":2000,\"from\":\"DropTail\",\"to\":\"QosShed\",\
+             \"pending\":40,\"share\":0.75}"
+        );
+        assert_eq!(
+            lines[7],
+            "{\"type\":\"op_failure\",\"at\":2200,\"unit\":3,\"tuple\":12,\
+             \"attempt\":0,\"retrying\":true}"
         );
     }
 

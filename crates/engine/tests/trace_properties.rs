@@ -178,7 +178,10 @@ proptest! {
                 }
                 TraceEvent::Emit { .. } => emits += 1,
                 TraceEvent::UnitRun { tuples, .. } => run_tuples += tuples,
-                TraceEvent::Fault { .. } => {}
+                TraceEvent::Fault { .. }
+                | TraceEvent::Expire { .. }
+                | TraceEvent::GovernorTransition { .. }
+                | TraceEvent::OpFailure { .. } => {}
             }
         }
         prop_assert_eq!(sheds, report.shed);

@@ -35,6 +35,7 @@ use crate::query::{QueryPlan, QueryTag};
 pub struct QueryBuilder {
     node: PlanNode,
     tag: QueryTag,
+    deadline: Option<Nanos>,
 }
 
 impl QueryBuilder {
@@ -46,6 +47,7 @@ impl QueryBuilder {
                 ops: Vec::new(),
             },
             tag: QueryTag::default(),
+            deadline: None,
         }
     }
 
@@ -94,6 +96,7 @@ impl QueryBuilder {
                 ops: Vec::new(),
             },
             tag: self.tag,
+            deadline: self.deadline,
         }
     }
 
@@ -103,9 +106,19 @@ impl QueryBuilder {
         self
     }
 
+    /// Attach a per-query response-time deadline: tuples whose queueing
+    /// delay already exceeds `deadline` at dequeue are expired instead of
+    /// processed (stale results are worthless to this query).
+    pub fn with_deadline(mut self, deadline: Nanos) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
     /// Validate and produce the query plan.
     pub fn build(self) -> Result<QueryPlan> {
-        QueryPlan::with_tag(self.node, self.tag)
+        let mut plan = QueryPlan::with_tag(self.node, self.tag)?;
+        plan.deadline = self.deadline;
+        Ok(plan)
     }
 }
 
@@ -164,6 +177,35 @@ mod tests {
             .build()
             .unwrap();
         assert_eq!(q.tag, tag);
+    }
+
+    #[test]
+    fn deadline_is_attached_and_survives_joins() {
+        let q = QueryBuilder::on(StreamId::new(0))
+            .select(ms(1), 0.5)
+            .with_deadline(ms(20))
+            .build()
+            .unwrap();
+        assert_eq!(q.deadline, Some(ms(20)));
+
+        let q = QueryBuilder::on(StreamId::new(0))
+            .with_deadline(ms(7))
+            .window_join(
+                QueryBuilder::on(StreamId::new(1)),
+                ms(2),
+                0.2,
+                Nanos::from_secs(1),
+            )
+            .select(ms(1), 0.9)
+            .build()
+            .unwrap();
+        assert_eq!(q.deadline, Some(ms(7)));
+
+        let plain = QueryBuilder::on(StreamId::new(0))
+            .select(ms(1), 0.5)
+            .build()
+            .unwrap();
+        assert_eq!(plain.deadline, None);
     }
 
     #[test]

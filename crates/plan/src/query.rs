@@ -33,6 +33,11 @@ pub struct QueryPlan {
     pub root: PlanNode,
     /// Classification tag used for per-class metrics.
     pub tag: QueryTag,
+    /// Optional per-query response-time deadline: a tuple whose queueing
+    /// delay already exceeds this budget when it reaches the head of a queue
+    /// is *expired* (counted, traced, never executed) instead of processed.
+    /// `None` (the default) disables expiry for this query.
+    pub deadline: Option<hcq_common::Nanos>,
 }
 
 impl QueryPlan {
@@ -42,13 +47,18 @@ impl QueryPlan {
         Ok(QueryPlan {
             root,
             tag: QueryTag::default(),
+            deadline: None,
         })
     }
 
     /// Validate and wrap a plan tree with a classification tag.
     pub fn with_tag(root: PlanNode, tag: QueryTag) -> Result<Self> {
         root.validate_as_root()?;
-        Ok(QueryPlan { root, tag })
+        Ok(QueryPlan {
+            root,
+            tag,
+            deadline: None,
+        })
     }
 
     /// True if the query reads exactly one stream (no window joins).

@@ -14,6 +14,10 @@
 //!    policy is also timed with telemetry sampling on (same workload,
 //!    250 ms virtual-time cadence); the on/off throughput ratio is printed
 //!    and gated so sink hooks cannot silently leak cost into the hot path.
+//!    A third variant arms the closed-loop overload governor
+//!    ([`hcq_bench::pipeline::governor`]); its on/off ratio is gated the
+//!    same way and its admission-mode transition count lands in the
+//!    snapshot, so a flapping ladder shows up in the trajectory.
 //! 2. **Sweep speedup** — the fig5–10 policy × load sweep run serially and
 //!    with worker threads, recording both wall times and their ratio. The
 //!    measured speedup is whatever the host delivers (a single-core machine
@@ -54,6 +58,12 @@ struct PolicyTiming {
     telemetry_wall_s: f64,
     /// Snapshots per monitored run (identical across samples).
     telemetry_samples: usize,
+    /// Mean wall-clock seconds per simulation with the closed-loop overload
+    /// governor armed (same workload, `pipeline::governor()` settings).
+    governed_wall_s: f64,
+    /// Admission-mode transitions per governed run (identical across
+    /// samples — governor decisions are virtual-time deterministic).
+    governor_transitions: u64,
 }
 
 /// Warm-up runs per policy before timing.
@@ -100,6 +110,17 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                     kind.name()
                 );
             }
+            for _ in 0..WARMUP {
+                pipeline::run_governed(kind, &w);
+            }
+            let mut governor_transitions = 0;
+            let mut governed_ns = 0u128;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                let report = pipeline::run_governed(kind, &w);
+                governed_ns += t0.elapsed().as_nanos();
+                governor_transitions = report.governor_transitions;
+            }
             PolicyTiming {
                 policy: kind.name(),
                 wall_s: mean_ns as f64 / 1e9,
@@ -109,6 +130,8 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 evals_per_point,
                 telemetry_wall_s: (telemetry_ns / SAMPLES as u128) as f64 / 1e9,
                 telemetry_samples,
+                governed_wall_s: (governed_ns / SAMPLES as u128) as f64 / 1e9,
+                governor_transitions,
             }
         })
         .collect()
@@ -341,6 +364,39 @@ fn check_telemetry_overhead(timings: &[PolicyTiming]) {
     }
 }
 
+/// Compare governor-on against governor-off throughput on the same run.
+/// The governor samples on a virtual-time cadence and is a no-op object
+/// when idle, so arming it should cost nothing to within measurement noise
+/// ([`NOISE_BAND`]); a drop below [`REGRESSION_FLOOR`] aborts the run —
+/// that would mean the feedback loop leaks cost into the hot path. The
+/// per-run transition count is printed (and recorded in the snapshot) so a
+/// flapping ladder is visible in the trajectory.
+fn check_governor_overhead(timings: &[PolicyTiming]) {
+    println!("== bench: governor overhead (on/off throughput ratio) ==");
+    for t in timings {
+        let ratio = t.wall_s / t.governed_wall_s.max(1e-12);
+        let note = if ratio < NOISE_BAND.0 || ratio > NOISE_BAND.1 {
+            "  <- outside noise band"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>5}: {:.3} s off, {:.3} s on ({} transitions, {ratio:.2}x){note}",
+            t.policy, t.wall_s, t.governed_wall_s, t.governor_transitions
+        );
+        assert!(
+            ratio >= REGRESSION_FLOOR,
+            "the overload governor slowed {} beyond the regression floor: \
+             {:.3} s off vs {:.3} s on ({:.2}x, floor {}x)",
+            t.policy,
+            t.wall_s,
+            t.governed_wall_s,
+            ratio,
+            REGRESSION_FLOOR
+        );
+    }
+}
+
 /// Run the large-q scheduling-point sweep (all variants, q ≤ `max_q`),
 /// printing one line per cell.
 fn run_large_q(max_q: usize) -> Vec<LargeQCell> {
@@ -463,7 +519,9 @@ fn render_json(
             "      {{\"policy\": \"{}\", \"wall_s\": {:.6}, \"sim_tuples_per_s\": {:.1}, \
              \"sched_evals_per_point\": {:.4}, \"emitted\": {}, \
              \"telemetry_wall_s\": {:.6}, \"telemetry_tuples_per_s\": {:.1}, \
-             \"telemetry_samples\": {}}}{}",
+             \"telemetry_samples\": {}, \
+             \"governed_wall_s\": {:.6}, \"governed_tuples_per_s\": {:.1}, \
+             \"governor_transitions\": {}}}{}",
             t.policy,
             t.wall_s,
             pipeline::ARRIVALS as f64 / t.wall_s,
@@ -472,6 +530,9 @@ fn render_json(
             t.telemetry_wall_s,
             pipeline::ARRIVALS as f64 / t.telemetry_wall_s.max(1e-12),
             t.telemetry_samples,
+            t.governed_wall_s,
+            pipeline::ARRIVALS as f64 / t.governed_wall_s.max(1e-12),
+            t.governor_transitions,
             comma
         )
         .unwrap();
@@ -557,6 +618,7 @@ pub fn bench(cfg: &ExpConfig, large_q_max: Option<usize>) -> Result<PathBuf> {
         );
     }
     check_telemetry_overhead(&timings);
+    check_governor_overhead(&timings);
     println!("== bench: sweep serial vs parallel ==");
     let (sweep_cfg, serial_s, parallel_s, par_jobs) = time_sweep(cfg);
     println!(
@@ -608,6 +670,8 @@ mod tests {
                 evals_per_point: 1.0,
                 telemetry_wall_s: 0.0125,
                 telemetry_samples: 21,
+                governed_wall_s: 0.0125,
+                governor_transitions: 2,
             },
             PolicyTiming {
                 policy: "BSD",
@@ -618,6 +682,8 @@ mod tests {
                 evals_per_point: 37.25,
                 telemetry_wall_s: 0.02,
                 telemetry_samples: 21,
+                governed_wall_s: 0.02,
+                governor_transitions: 0,
             },
         ];
         let cfg = ExpConfig {
@@ -638,6 +704,8 @@ mod tests {
         assert!(json.contains("\"sched_evals_per_point\": 37.25"));
         assert!(json.contains("\"telemetry_tuples_per_s\": 40000.0"));
         assert!(json.contains("\"telemetry_samples\": 21"));
+        assert!(json.contains("\"governed_tuples_per_s\": 40000.0"));
+        assert!(json.contains("\"governor_transitions\": 2"));
         assert!(json.contains("simulate_arrivals/FCFS"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON parser in the dependency set.
@@ -677,6 +745,8 @@ mod tests {
             evals_per_point: 4.5,
             telemetry_wall_s: 0.055,
             telemetry_samples: 21,
+            governed_wall_s: 0.052,
+            governor_transitions: 4,
         }];
         let cfg = ExpConfig::default();
         let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4, None);
@@ -763,6 +833,8 @@ mod tests {
             evals_per_point: 1.0,
             telemetry_wall_s: 0.0125,
             telemetry_samples: 21,
+            governed_wall_s: 0.011,
+            governor_transitions: 0,
         }]
     }
 
@@ -773,6 +845,16 @@ mod tests {
         let mut slow = fixed_timings();
         slow[0].telemetry_wall_s = slow[0].wall_s / (REGRESSION_FLOOR / 2.0);
         let outcome = std::panic::catch_unwind(|| check_telemetry_overhead(&slow));
+        assert!(outcome.is_err(), "a 0.125x ratio must abort the run");
+    }
+
+    #[test]
+    fn governor_overhead_gate_accepts_noise_and_rejects_regressions() {
+        // ~0.9x on/off ratio is well inside the floor: no panic.
+        check_governor_overhead(&fixed_timings());
+        let mut slow = fixed_timings();
+        slow[0].governed_wall_s = slow[0].wall_s / (REGRESSION_FLOOR / 2.0);
+        let outcome = std::panic::catch_unwind(|| check_governor_overhead(&slow));
         assert!(outcome.is_err(), "a 0.125x ratio must abort the run");
     }
 

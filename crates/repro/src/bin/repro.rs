@@ -1,9 +1,9 @@
 //! CLI entry point: regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR]
+//! repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--govern] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR]
 //!
-//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_transient monitor validate bench all
+//! exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_transient ext_recovery monitor validate bench all
 //! (fig5..fig11 share one sweep; requesting any of them runs the sweep once)
 //! ```
 //!
@@ -30,8 +30,8 @@ use hcq_common::Nanos;
 use hcq_core::PolicyKind;
 use hcq_repro::{
     bench, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
-    ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, fuzz, fuzz_replay, monitor,
-    table1, table2, table3, validate, ExpConfig,
+    ext_recovery, ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, fuzz,
+    fuzz_replay, monitor, table1, table2, table3, validate, ExpConfig,
 };
 
 fn main() -> ExitCode {
@@ -54,6 +54,7 @@ fn main() -> ExitCode {
             "--seed" => cfg.seed = parse(it.next(), "--seed"),
             "--out" => cfg.out_dir = PathBuf::from(expect(it.next(), "--out")),
             "--poisson" => cfg.bursty = false,
+            "--govern" => cfg.govern = true,
             "--jobs" => cfg.jobs = parse(it.next(), "--jobs"),
             "--trace" => trace_out = Some(PathBuf::from(expect(it.next(), "--trace"))),
             "--cadence" => cadence_ms = parse(it.next(), "--cadence"),
@@ -108,6 +109,7 @@ fn main() -> ExitCode {
             "ext_faults".into(),
             "ext_overhead".into(),
             "ext_transient".into(),
+            "ext_recovery".into(),
         ];
     }
     // fig5..fig11 are slices of one sweep; dedupe to a single run.
@@ -172,6 +174,9 @@ fn main() -> ExitCode {
             }
             "ext_transient" => {
                 ext_transient(&cfg);
+            }
+            "ext_recovery" => {
+                ext_recovery(&cfg);
             }
             "monitor" => {
                 if cadence_ms == 0 {
@@ -284,9 +289,10 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE] [--large-q] [--large-q-max Q]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient monitor validate bench fuzz all\n\
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--govern] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE] [--large-q] [--large-q-max Q]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient ext_recovery monitor validate bench fuzz all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
+         --govern: arm the closed-loop overload governor on single-stream runs (admission ladder + hysteresis; ext_recovery compares it to static admission regardless of this flag)\n\
          --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)\n\
          --cadence MS: virtual-time telemetry sampling interval for `monitor` (default 250)\n\
          --serve ADDR: after `monitor`, serve metrics.prom over HTTP (needs --features http-export)\n\

@@ -12,7 +12,9 @@ use hcq_common::{det, Nanos, StreamId};
 use hcq_core::{ClusterConfig, ClusteredBsdPolicy, Clustering, PolicyKind, SharingStrategy};
 use hcq_engine::{simulate, simulate_monitored, AdmissionMode, SimConfig, SimReport, VecTelemetry};
 use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
-use hcq_streams::{FaultSpec, FaultySource, PoissonSource, TraceReplay};
+use hcq_streams::{
+    DisconnectSource, DisconnectSpec, FaultSpec, FaultySource, PoissonSource, TraceReplay,
+};
 use hcq_workload::{multi_stream, shared, MultiStreamConfig, SharedConfig};
 
 use crate::harness::{run_jobs, tick_progress, ExpConfig, SweepResults};
@@ -779,9 +781,11 @@ pub fn table3(cfg: &ExpConfig) -> ExhibitOutput {
 
 /// True when every per-query work unit is accounted for: each source arrival
 /// fans out to one unit per registered query, and each such unit must end the
-/// run as exactly one of emitted, dropped, shed, or still pending.
+/// run as exactly one of emitted, dropped, shed, expired (missed its
+/// deadline), or still pending (queued or quarantined after an operator
+/// failure — both are folded into `pending_end`).
 fn conserved(r: &SimReport, queries: usize) -> bool {
-    r.emitted + r.dropped + r.shed + r.pending_end as u64 == r.arrivals * queries as u64
+    r.emitted + r.dropped + r.shed + r.expired + r.pending_end as u64 == r.arrivals * queries as u64
 }
 
 /// Per-unit queue bound used by the overload exhibits. Small enough that
@@ -1113,6 +1117,199 @@ pub fn ext_transient(cfg: &ExpConfig) -> Vec<ExhibitOutput> {
         .emit(cfg),
         ExhibitOutput {
             name: "ext_transient_totals",
+            table: totals,
+        }
+        .emit(cfg),
+    ]
+}
+
+// --------------------------------------- Extension: graceful degradation
+
+/// Extension exhibit: closed-loop recovery through injected fault episodes.
+///
+/// Three scenarios perturb the §8 single-stream workload at 0.9 utilization:
+/// `burst` (seeded arrival volleys far past the calibrated rate),
+/// `disconnect` (the source drops out and reconnects with exponential
+/// backoff, losing arrivals while down), and `quarantine` (transient
+/// operator failures park tuples for a cooldown before retrying). Each runs
+/// twice — `static` keeps the paper's unbounded admission, `governed` arms
+/// the [`ExpConfig::governor`] feedback loop — under windowed telemetry.
+///
+/// `ext_recovery` plots the backlog gauge and windowed p95 slowdown per
+/// (scenario, mode) column: the governed runs should shed through each
+/// episode and return to their pre-fault p95 band instead of compounding
+/// backlog. `ext_recovery_totals` carries run totals (expired, operator
+/// failures, governor transitions) with the conservation check the CI smoke
+/// job greps for.
+pub fn ext_recovery(cfg: &ExpConfig) -> Vec<ExhibitOutput> {
+    #[derive(Clone, Copy)]
+    enum Scenario {
+        Burst,
+        Disconnect,
+        Quarantine,
+    }
+    let util = 0.9;
+    let window = cfg.mean_gap * (BURST_PER_CYCLE / 5);
+    let scenarios: [(&'static str, Scenario); 3] = [
+        ("burst", Scenario::Burst),
+        ("disconnect", Scenario::Disconnect),
+        ("quarantine", Scenario::Quarantine),
+    ];
+    let cells: Vec<(usize, bool)> = (0..scenarios.len())
+        .flat_map(|s| [false, true].map(move |governed| (s, governed)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let runs = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (scenario_idx, governed) = cells[i];
+        let scenario = scenarios[scenario_idx].1;
+        let w = cfg.workload(util);
+        let mut sim_cfg = SimConfig::new(cfg.arrivals)
+            .with_seed(cfg.seed)
+            .with_telemetry_cadence(window);
+        if let Scenario::Quarantine = scenario {
+            sim_cfg = sim_cfg.with_op_failures(0.15, cfg.mean_gap * 4, 2);
+        }
+        if governed {
+            sim_cfg = sim_cfg.with_governor(cfg.governor());
+        }
+        let source: Box<dyn hcq_streams::ArrivalSource> = match scenario {
+            // A 5% chance per arrival of a 12-tuple volley inside one mean
+            // gap — the same episode shape `ext_faults` uses.
+            Scenario::Burst => Box::new(FaultySource::new(
+                cfg.source(0),
+                FaultSpec::bursts(0.05, 12, cfg.mean_gap, cfg.seed ^ 0xB0),
+            )),
+            // A 1% chance per arrival that the feed drops; reconnection
+            // backs off exponentially and only lands with probability 0.7
+            // per attempt, so downtime windows vary in length.
+            Scenario::Disconnect => Box::new(DisconnectSource::new(
+                cfg.source(0),
+                DisconnectSpec {
+                    disconnect_prob: 0.01,
+                    retry_base: cfg.mean_gap * 10,
+                    retry_factor: 2.0,
+                    retry_jitter: 0.25,
+                    max_retries: 6,
+                    reconnect_prob: 0.7,
+                    seed: cfg.seed ^ 0xD15C,
+                },
+            )),
+            Scenario::Quarantine => cfg.source(0),
+        };
+        let (report, sink) = simulate_monitored(
+            &w.plan,
+            &w.rates,
+            vec![source],
+            PolicyKind::Hnr.build(),
+            sim_cfg,
+            VecTelemetry::new(),
+        )
+        .unwrap_or_else(|e| {
+            panic!(
+                "simulating recovery scenario '{}' (governed={governed}, seed={}): {e}",
+                scenarios[scenario_idx].0, cfg.seed
+            )
+        });
+        print_tick(&done, cells.len(), "ext_recovery");
+        (report, sink.samples)
+    });
+
+    // Per cell: window boundary (ns) → (pending gauge, p95 slowdown of the
+    // window ending there); boundary-stamped samples win over the end-of-run
+    // snapshot, exactly as in `ext_transient`.
+    let per_cell: Vec<std::collections::BTreeMap<u64, (f64, f64)>> = runs
+        .iter()
+        .map(|(_, samples)| {
+            let mut map = std::collections::BTreeMap::new();
+            for s in samples {
+                if s.at.as_nanos() % window.as_nanos() != 0 {
+                    continue;
+                }
+                let pending = s.gauge("hcq_pending_tuples").expect("registered gauge");
+                let p95 = s.summary("hcq_slowdown").expect("registered summary").p95;
+                map.entry(s.at.as_nanos()).or_insert((pending, p95));
+            }
+            map
+        })
+        .collect();
+    let boundaries: std::collections::BTreeSet<u64> =
+        per_cell.iter().flat_map(|m| m.keys().copied()).collect();
+
+    let mode_name = |governed: bool| if governed { "gov" } else { "static" };
+    let mut columns = vec!["window_end_ms".to_string()];
+    for &(scenario_idx, governed) in &cells {
+        let label = format!("{}_{}", scenarios[scenario_idx].0, mode_name(governed));
+        columns.push(format!("{label}_pending"));
+        columns.push(format!("{label}_p95"));
+    }
+    let mut t = AsciiTable::new(columns);
+    for at in &boundaries {
+        let mut row = vec![(at / 1_000_000).to_string()];
+        for m in &per_cell {
+            match m.get(at) {
+                Some(&(pending, p95)) => {
+                    row.push((pending as u64).to_string());
+                    row.push(fnum(p95));
+                }
+                None => {
+                    row.push("-".to_string());
+                    row.push("-".to_string());
+                }
+            }
+        }
+        t.row(row);
+    }
+
+    let mut totals = AsciiTable::new(vec![
+        "scenario",
+        "mode",
+        "emitted",
+        "dropped",
+        "shed",
+        "expired",
+        "pending_end",
+        "peak_pending",
+        "op_failures",
+        "disconnects",
+        "lost_arrivals",
+        "transitions",
+        "avg_slowdown",
+        "max_slowdown",
+        "conserved",
+    ]);
+    for (&(scenario_idx, governed), (r, _)) in cells.iter().zip(&runs) {
+        totals.row(vec![
+            scenarios[scenario_idx].0.to_string(),
+            mode_name(governed).to_string(),
+            r.emitted.to_string(),
+            r.dropped.to_string(),
+            r.shed.to_string(),
+            r.expired.to_string(),
+            r.pending_end.to_string(),
+            r.peak_pending.to_string(),
+            r.op_failures.to_string(),
+            r.source_disconnects.to_string(),
+            r.source_lost_arrivals.to_string(),
+            r.governor_transitions.to_string(),
+            fnum(r.qos.avg_slowdown),
+            fnum(r.qos.max_slowdown),
+            if conserved(r, cfg.queries) {
+                "yes"
+            } else {
+                "NO"
+            }
+            .to_string(),
+        ]);
+    }
+
+    vec![
+        ExhibitOutput {
+            name: "ext_recovery",
+            table: t,
+        }
+        .emit(cfg),
+        ExhibitOutput {
+            name: "ext_recovery_totals",
             table: totals,
         }
         .emit(cfg),

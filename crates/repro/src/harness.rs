@@ -9,7 +9,8 @@ use std::sync::mpsc;
 use hcq_common::Nanos;
 use hcq_core::{Policy, PolicyKind};
 use hcq_engine::{
-    simulate, simulate_monitored, simulate_traced, JsonlTrace, SimConfig, SimReport, VecTelemetry,
+    simulate, simulate_monitored, simulate_traced, GovernorConfig, JsonlTrace, SimConfig,
+    SimReport, VecTelemetry,
 };
 use hcq_metrics::TelemetrySnapshot;
 use hcq_streams::{ArrivalSource, OnOffSource, PoissonSource};
@@ -37,6 +38,11 @@ pub struct ExpConfig {
     /// reassembled in deterministic order, so any job count produces
     /// byte-identical outputs.
     pub jobs: usize,
+    /// Arm the closed-loop overload governor (`--govern`) on every
+    /// single-stream run: the admission ladder starts Unbounded and the
+    /// [`ExpConfig::governor`] feedback loop escalates/relaxes it. Off by
+    /// default, in which case runs are byte-identical to ungoverned builds.
+    pub govern: bool,
 }
 
 impl Default for ExpConfig {
@@ -49,6 +55,7 @@ impl Default for ExpConfig {
             out_dir: PathBuf::from("results"),
             bursty: true,
             jobs: default_jobs(),
+            govern: false,
         }
     }
 }
@@ -153,6 +160,34 @@ impl ExpConfig {
         })
     }
 
+    /// The governor configuration `--govern` (and `ext_recovery`) arms,
+    /// scaled to the experiment: a decision every five mean gaps, a dwell of
+    /// four decisions, and a pending-tuple hysteresis band of
+    /// `(queries, 4·queries)` — the upper edge matching the watermark the
+    /// static QoS-shedding exhibits use, so governed and static runs contend
+    /// with the same notion of "overloaded".
+    pub fn governor(&self) -> GovernorConfig {
+        GovernorConfig {
+            enabled: true,
+            cadence: self.mean_gap * 5,
+            min_dwell: self.mean_gap * 20,
+            escalate_pending: self.queries * 4,
+            deescalate_pending: self.queries,
+            capacity: 32,
+            watermark: (self.queries * 2).max(1),
+            ..GovernorConfig::default()
+        }
+    }
+
+    /// Apply the `--govern` switch to a finished [`SimConfig`].
+    fn armed(&self, cfg: SimConfig) -> SimConfig {
+        if self.govern {
+            cfg.with_governor(self.governor())
+        } else {
+            cfg
+        }
+    }
+
     /// Run one policy on the single-stream workload at one utilization.
     pub fn run_single(&self, utilization: f64, policy: Box<dyn Policy>) -> SimReport {
         self.run_single_with(utilization, policy, |c| c)
@@ -167,7 +202,7 @@ impl ExpConfig {
         tweak: impl FnOnce(SimConfig) -> SimConfig,
     ) -> SimReport {
         let w = self.workload(utilization);
-        let cfg = tweak(SimConfig::new(self.arrivals).with_seed(self.seed));
+        let cfg = self.armed(tweak(SimConfig::new(self.arrivals).with_seed(self.seed)));
         simulate(&w.plan, &w.rates, vec![self.source(0)], policy, cfg).unwrap_or_else(|e| {
             panic!(
                 "simulating single-stream workload (utilization={:.2}, arrivals={}, seed={}): {e}",
@@ -196,7 +231,7 @@ impl ExpConfig {
         tweak: impl FnOnce(SimConfig) -> SimConfig,
     ) -> (SimReport, Vec<u8>) {
         let w = self.workload(utilization);
-        let cfg = tweak(SimConfig::new(self.arrivals).with_seed(self.seed));
+        let cfg = self.armed(tweak(SimConfig::new(self.arrivals).with_seed(self.seed)));
         let sink = JsonlTrace::new(Vec::new());
         let (report, sink) =
             simulate_traced(&w.plan, &w.rates, vec![self.source(0)], policy, cfg, sink)
@@ -233,11 +268,11 @@ impl ExpConfig {
         tweak: impl FnOnce(SimConfig) -> SimConfig,
     ) -> (SimReport, Vec<TelemetrySnapshot>) {
         let w = self.workload(utilization);
-        let cfg = tweak(
+        let cfg = self.armed(tweak(
             SimConfig::new(self.arrivals)
                 .with_seed(self.seed)
                 .with_telemetry_cadence(cadence),
-        );
+        ));
         let (report, sink) = simulate_monitored(
             &w.plan,
             &w.rates,
@@ -315,6 +350,7 @@ mod tests {
             out_dir: std::env::temp_dir(),
             bursty: false,
             jobs: 1,
+            govern: false,
         }
     }
 
@@ -359,6 +395,22 @@ mod tests {
         let last = samples.last().unwrap();
         assert_eq!(last.at, monitored.end_time);
         assert_eq!(last.counter("hcq_emitted_total"), Some(monitored.emitted));
+    }
+
+    #[test]
+    fn govern_flag_is_inert_on_a_calm_workload() {
+        let plain = tiny().run_single(0.5, PolicyKind::Hnr.build());
+        let governed = ExpConfig {
+            govern: true,
+            ..tiny()
+        }
+        .run_single(0.5, PolicyKind::Hnr.build());
+        // Well under saturation the ladder never needs to move, so the
+        // governed run matches the ungoverned one decision for decision.
+        assert_eq!(governed.governor_transitions, 0);
+        assert_eq!(governed.emitted, plain.emitted);
+        assert_eq!(governed.sched_points, plain.sched_points);
+        assert_eq!(governed.end_time, plain.end_time);
     }
 
     #[test]

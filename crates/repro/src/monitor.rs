@@ -91,6 +91,7 @@ mod tests {
             out_dir: dir,
             bursty: false,
             jobs: 1,
+            govern: false,
         }
     }
 

@@ -8,8 +8,8 @@
 use hcq_common::Nanos;
 use hcq_core::PolicyKind;
 use hcq_repro::{
-    ext_faults, ext_overhead, ext_overload, ext_seeds, ext_transient, fig12, fig5_to_10, monitor,
-    ExpConfig,
+    ext_faults, ext_overhead, ext_overload, ext_recovery, ext_seeds, ext_transient, fig12,
+    fig5_to_10, monitor, ExpConfig,
 };
 
 fn cfg(jobs: usize, tag: &str) -> ExpConfig {
@@ -21,6 +21,7 @@ fn cfg(jobs: usize, tag: &str) -> ExpConfig {
         out_dir: std::env::temp_dir().join(format!("hcq_determinism_{tag}")),
         bursty: false,
         jobs,
+        govern: false,
     }
 }
 
@@ -143,6 +144,24 @@ fn monitor_exports_are_byte_identical_across_job_counts_and_runs() {
         "telemetry.jsonl differs between repeated runs"
     );
     assert_eq!(a.report.emitted, b.report.emitted);
+    std::fs::remove_dir_all(&serial.out_dir).ok();
+    std::fs::remove_dir_all(&parallel.out_dir).ok();
+}
+
+/// The recovery exhibit mixes every robustness dimension — governed
+/// admission, source disconnects, operator quarantine, burst faults — and
+/// its fault draws and governor decisions are all keyed on virtual time and
+/// seeds, so its CSVs (including the conservation column) must be
+/// byte-identical at any worker count.
+#[test]
+fn recovery_exhibit_is_byte_identical_across_job_counts() {
+    let mut serial = cfg(1, "recovery_serial");
+    let mut parallel = cfg(4, "recovery_parallel");
+    serial.bursty = true;
+    parallel.bursty = true;
+    ext_recovery(&serial);
+    ext_recovery(&parallel);
+    assert_dirs_identical(&serial, &parallel);
     std::fs::remove_dir_all(&serial.out_dir).ok();
     std::fs::remove_dir_all(&parallel.out_dir).ok();
 }

@@ -13,6 +13,7 @@ fn tiny() -> ExpConfig {
         out_dir: std::env::temp_dir().join("hcq_exhibit_smoke"),
         bursty: false,
         jobs: 2,
+        govern: false,
     }
 }
 
@@ -170,6 +171,56 @@ fn ext_transient_tracks_bursts_and_conserves_tuples() {
         assert!(totals.contains(policy), "missing policy {policy}");
     }
     assert!(!totals.contains("NO"), "a policy failed tuple conservation");
+    std::fs::remove_dir_all(&cfg.out_dir).ok();
+}
+
+/// The graceful-degradation exhibit at miniature scale: both tables present,
+/// every (scenario, mode) column covered, tuple conservation (now including
+/// deadline-expired units) holding in every cell, and the governed runs
+/// actually exercising the admission ladder under at least one fault
+/// scenario.
+#[test]
+fn ext_recovery_governs_faults_and_conserves_tuples() {
+    let mut cfg = tiny();
+    cfg.bursty = true;
+    cfg.arrivals = 400;
+    cfg.out_dir = std::env::temp_dir().join("hcq_recovery_smoke");
+    let outs = hcq_repro::ext_recovery(&cfg);
+    assert_eq!(outs.len(), 2);
+    assert_eq!(outs[0].name, "ext_recovery");
+    assert_eq!(outs[1].name, "ext_recovery_totals");
+    let windows = outs[0].table.render();
+    for col in [
+        "window_end_ms",
+        "burst_static_pending",
+        "burst_gov_p95",
+        "disconnect_gov_pending",
+        "quarantine_static_p95",
+    ] {
+        assert!(windows.contains(col), "missing column {col}");
+    }
+    let csv = std::fs::read_to_string(cfg.out_dir.join("ext_recovery_totals.csv")).expect("csv");
+    let mut lines = csv.lines();
+    let header: Vec<&str> = lines.next().expect("header").split(',').collect();
+    let col = |name: &str| header.iter().position(|&h| h == name).expect(name);
+    let (mode_i, trans_i, cons_i) = (col("mode"), col("transitions"), col("conserved"));
+    let mut governed_transitions = 0u64;
+    let mut rows = 0;
+    for line in lines {
+        let fields: Vec<&str> = line.split(',').collect();
+        rows += 1;
+        assert_eq!(fields[cons_i], "yes", "conservation failed: {line}");
+        let transitions: u64 = fields[trans_i].parse().unwrap();
+        match fields[mode_i] {
+            "gov" => governed_transitions += transitions,
+            _ => assert_eq!(transitions, 0, "static rows cannot transition: {line}"),
+        }
+    }
+    assert_eq!(rows, 6, "three scenarios x two modes");
+    assert!(
+        governed_transitions > 0,
+        "the governed runs must exercise the admission ladder"
+    );
     std::fs::remove_dir_all(&cfg.out_dir).ok();
 }
 

@@ -1,0 +1,259 @@
+//! Deterministic source disconnection with seeded backoff reconnection.
+//!
+//! [`DisconnectSource`] wraps any [`ArrivalSource`] and models the failure
+//! mode [`crate::FaultySource`] does not: the feed *goes away* and has to be
+//! re-established. With probability `disconnect_prob` per base arrival the
+//! source drops its connection right after that arrival; reconnection is
+//! then attempted on an exponential-backoff schedule (`retry_base` doubling
+//! by `retry_factor`, each delay jittered by ±`retry_jitter`), each attempt
+//! succeeding with probability `reconnect_prob`, up to `max_retries`
+//! attempts. Base arrivals falling inside the downtime are lost, not
+//! delayed — a disconnected feed does not buffer. If every retry fails the
+//! source is permanently down and yields no further arrivals.
+//!
+//! Every decision is a pure function of `(disconnect ordinal, attempt,
+//! spec.seed)`, so a disconnect scenario replays identically regardless of
+//! scheduling policy, job count, or host. Downtime windows, attempt counts,
+//! and lost arrivals are recorded in [`SourceFaultStats`] at decision time.
+
+use hcq_common::{det, Nanos};
+
+use crate::source::{ArrivalSource, SourceFaultStats};
+
+/// A seeded disconnect/reconnect scenario.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DisconnectSpec {
+    /// Per-base-arrival probability of the connection dropping immediately
+    /// after that arrival.
+    pub disconnect_prob: f64,
+    /// Delay before the first reconnection attempt.
+    pub retry_base: Nanos,
+    /// Multiplier applied to the delay after each failed attempt (≥ 1).
+    pub retry_factor: f64,
+    /// Relative jitter on each retry delay, in `[0, 1)`: the delay is scaled
+    /// by a seeded factor in `[1−j, 1+j]`.
+    pub retry_jitter: f64,
+    /// Maximum reconnection attempts per disconnect; exhausting them leaves
+    /// the source permanently down.
+    pub max_retries: u32,
+    /// Per-attempt probability of a reconnection succeeding.
+    pub reconnect_prob: f64,
+    /// Seed for all disconnect and reconnection draws.
+    pub seed: u64,
+}
+
+impl DisconnectSpec {
+    /// No disconnects: the wrapper is a passthrough.
+    pub fn none(seed: u64) -> Self {
+        DisconnectSpec {
+            disconnect_prob: 0.0,
+            retry_base: Nanos::from_millis(100),
+            retry_factor: 2.0,
+            retry_jitter: 0.0,
+            max_retries: 8,
+            reconnect_prob: 1.0,
+            seed,
+        }
+    }
+}
+
+impl Default for DisconnectSpec {
+    fn default() -> Self {
+        DisconnectSpec::none(0)
+    }
+}
+
+/// Salt separating disconnect draws from other seeded decision streams.
+const DISCONNECT_SALT: u64 = 0xD15C_0113;
+
+/// An [`ArrivalSource`] adapter injecting seeded disconnections with
+/// exponential-backoff reconnection. See the module docs for semantics.
+#[derive(Debug)]
+pub struct DisconnectSource<S> {
+    inner: S,
+    spec: DisconnectSpec,
+    /// Base-arrival ordinal: the disconnect-draw key.
+    ordinal: u64,
+    /// Arrivals strictly before this instant are inside a downtime window
+    /// and get dropped.
+    reconnect_at: Nanos,
+    /// All retries failed: the feed never comes back.
+    permanently_down: bool,
+    stats: SourceFaultStats,
+}
+
+impl<S: ArrivalSource> DisconnectSource<S> {
+    /// Wrap `inner` with a disconnect scenario.
+    pub fn new(inner: S, spec: DisconnectSpec) -> Self {
+        debug_assert!((0.0..1.0).contains(&spec.disconnect_prob));
+        debug_assert!((0.0..=1.0).contains(&spec.reconnect_prob));
+        debug_assert!((0.0..1.0).contains(&spec.retry_jitter));
+        debug_assert!(spec.retry_factor >= 1.0);
+        DisconnectSource {
+            inner,
+            spec,
+            ordinal: 0,
+            reconnect_at: Nanos::ZERO,
+            permanently_down: false,
+            stats: SourceFaultStats::default(),
+        }
+    }
+
+    /// Play out one disconnect starting at `t`: walk the backoff schedule
+    /// until an attempt succeeds or retries run out. Returns the reconnect
+    /// instant, or `None` for a permanent failure. All draws are keyed on
+    /// the disconnect's ordinal so the schedule is consumption-independent.
+    fn play_reconnect(&mut self, t: Nanos) -> Option<Nanos> {
+        self.stats.disconnects += 1;
+        let h = det::mix3(self.ordinal, DISCONNECT_SALT, self.spec.seed);
+        let mut at = t;
+        let mut delay = self.spec.retry_base;
+        for attempt in 0..self.spec.max_retries {
+            let k = det::mix2(h, u64::from(attempt));
+            let jitter =
+                1.0 + self.spec.retry_jitter * (2.0 * det::unit_f64(det::mix2(k, 1)) - 1.0);
+            at += delay.scale(jitter).max(Nanos(1));
+            self.stats.retry_attempts += 1;
+            if det::coin(det::mix2(k, 2), self.spec.reconnect_prob) {
+                self.stats.windows.push((t, at));
+                return Some(at);
+            }
+            delay = delay.scale(self.spec.retry_factor);
+        }
+        self.stats.windows.push((t, at));
+        None
+    }
+}
+
+impl<S: ArrivalSource> ArrivalSource for DisconnectSource<S> {
+    fn next_arrival(&mut self) -> Option<Nanos> {
+        loop {
+            if self.permanently_down {
+                return None;
+            }
+            let t = self.inner.next_arrival()?;
+            let h = det::mix3(self.ordinal, DISCONNECT_SALT, self.spec.seed);
+            self.ordinal += 1;
+            if t < self.reconnect_at {
+                // Inside a downtime window: the arrival never happened.
+                self.stats.lost_arrivals += 1;
+                continue;
+            }
+            // This arrival is delivered; roll whether the connection drops
+            // right after it (the keyed hash predates the ordinal bump).
+            if det::coin(det::mix2(h, 3), self.spec.disconnect_prob) {
+                match self.play_reconnect(t) {
+                    Some(up) => self.reconnect_at = up,
+                    None => self.permanently_down = true,
+                }
+            }
+            return Some(t);
+        }
+    }
+
+    fn mean_gap_hint(&self) -> Option<Nanos> {
+        self.inner.mean_gap_hint()
+    }
+
+    fn fault_stats(&self) -> SourceFaultStats {
+        let mut stats = self.stats.clone();
+        stats.absorb(self.inner.fault_stats());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poisson::PoissonSource;
+    use crate::source::collect_arrivals;
+
+    fn base(seed: u64) -> PoissonSource {
+        PoissonSource::new(Nanos::from_millis(10), seed)
+    }
+
+    fn spec() -> DisconnectSpec {
+        DisconnectSpec {
+            disconnect_prob: 0.01,
+            retry_base: Nanos::from_millis(50),
+            retry_factor: 2.0,
+            retry_jitter: 0.25,
+            max_retries: 6,
+            reconnect_prob: 0.6,
+            seed: 17,
+        }
+    }
+
+    #[test]
+    fn zero_spec_is_a_passthrough() {
+        let plain = collect_arrivals(&mut base(7), 500);
+        let mut wrapped = DisconnectSource::new(base(7), DisconnectSpec::none(3));
+        assert_eq!(collect_arrivals(&mut wrapped, 500), plain);
+        assert_eq!(wrapped.fault_stats(), SourceFaultStats::default());
+    }
+
+    #[test]
+    fn scenarios_are_seed_deterministic() {
+        let mut a = DisconnectSource::new(base(7), spec());
+        let mut b = DisconnectSource::new(base(7), spec());
+        assert_eq!(
+            collect_arrivals(&mut a, 2000),
+            collect_arrivals(&mut b, 2000)
+        );
+        assert_eq!(a.fault_stats(), b.fault_stats());
+    }
+
+    #[test]
+    fn downtime_swallows_arrivals_and_is_recorded() {
+        let mut s = DisconnectSource::new(base(7), spec());
+        let arrivals = collect_arrivals(&mut s, 2000);
+        let stats = s.fault_stats();
+        assert!(stats.disconnects > 0, "1% of ~2000 draws should disconnect");
+        assert!(stats.retry_attempts >= stats.disconnects);
+        assert!(stats.lost_arrivals > 0);
+        // No delivered arrival sits strictly inside a recorded window
+        // (window starts are delivered arrivals themselves).
+        for &(start, end) in &stats.windows {
+            assert!(end > start);
+            for &a in &arrivals {
+                assert!(
+                    a <= start || a >= end,
+                    "arrival {a} inside downtime ({start}, {end})"
+                );
+            }
+        }
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn backoff_delays_grow() {
+        // With reconnect_prob 0 every attempt fails; the recorded window
+        // spans the full capped backoff schedule and the source dies.
+        let s = DisconnectSpec {
+            disconnect_prob: 0.9,
+            retry_base: Nanos::from_millis(10),
+            retry_factor: 2.0,
+            retry_jitter: 0.0,
+            max_retries: 4,
+            reconnect_prob: 0.0,
+            seed: 1,
+        };
+        let mut src = DisconnectSource::new(base(7), s);
+        let arrivals = collect_arrivals(&mut src, 100);
+        assert!(arrivals.len() < 100, "permanent failure must end the feed");
+        let stats = src.fault_stats();
+        assert_eq!(stats.disconnects, 1);
+        assert_eq!(stats.retry_attempts, 4);
+        // 10 + 20 + 40 + 80 ms of jitter-free backoff.
+        let (start, end) = stats.windows[0];
+        assert_eq!(end - start, Nanos::from_millis(150));
+    }
+
+    #[test]
+    fn hint_passes_through() {
+        let s = DisconnectSource::new(base(0), DisconnectSpec::none(1));
+        assert_eq!(s.mean_gap_hint(), Some(Nanos::from_millis(10)));
+    }
+}

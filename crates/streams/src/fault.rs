@@ -22,7 +22,7 @@ use std::collections::BinaryHeap;
 
 use hcq_common::{det, Nanos};
 
-use crate::source::ArrivalSource;
+use crate::source::{ArrivalSource, SourceFaultStats};
 
 /// A seeded fault scenario. The all-zero default (see [`FaultSpec::none`])
 /// is a passthrough: the wrapped source's arrivals are emitted unchanged.
@@ -99,6 +99,9 @@ pub struct FaultySource<S> {
     lookahead: Option<Nanos>,
     /// Last emitted instant, enforcing a non-decreasing output.
     last: Nanos,
+    /// Stall windows recorded as the coins are rolled (see
+    /// [`SourceFaultStats`] for the truncation contract).
+    stats: SourceFaultStats,
 }
 
 impl<S: ArrivalSource> FaultySource<S> {
@@ -112,6 +115,7 @@ impl<S: ArrivalSource> FaultySource<S> {
             extras: BinaryHeap::new(),
             lookahead: None,
             last: Nanos::ZERO,
+            stats: SourceFaultStats::default(),
         }
     }
 
@@ -136,6 +140,9 @@ impl<S: ArrivalSource> FaultySource<S> {
         }
         if det::coin(det::mix2(h, 2), self.spec.stall_prob) {
             // The stall delays everything after the triggering arrival.
+            // Recorded at decision time so a stall scheduled near the end of
+            // a run still shows up (clipped) in the engine's accounting.
+            self.stats.windows.push((t, t + self.spec.stall_len));
             self.offset += self.spec.stall_len;
         }
         self.lookahead = Some(t);
@@ -170,6 +177,12 @@ impl<S: ArrivalSource> ArrivalSource for FaultySource<S> {
     /// what utilization calibration should keep using.
     fn mean_gap_hint(&self) -> Option<Nanos> {
         self.inner.mean_gap_hint()
+    }
+
+    fn fault_stats(&self) -> SourceFaultStats {
+        let mut stats = self.stats.clone();
+        stats.absorb(self.inner.fault_stats());
+        stats
     }
 }
 
@@ -250,6 +263,22 @@ mod tests {
         assert!(
             faulted[999] > plain[999] + Nanos::from_millis(300),
             "stalls should push the tail out"
+        );
+    }
+
+    #[test]
+    fn stall_windows_are_recorded_at_decision_time() {
+        let spec = FaultSpec::stalls(0.05, Nanos::from_millis(300), 9);
+        let mut s = FaultySource::new(base(7), spec);
+        let _ = collect_arrivals(&mut s, 1000);
+        let stats = s.fault_stats();
+        assert!(!stats.windows.is_empty(), "5% of 1000 draws should stall");
+        for &(start, end) in &stats.windows {
+            assert_eq!(end - start, Nanos::from_millis(300));
+        }
+        assert_eq!(
+            stats.total_window_time(),
+            Nanos::from_millis(300) * stats.windows.len() as u64
         );
     }
 

@@ -22,6 +22,10 @@
 //! * [`FaultySource`] — a seeded fault-injection adapter layering arrival
 //!   bursts and source stalls over any other source, for overload and
 //!   robustness experiments.
+//! * [`DisconnectSource`] — a seeded disconnect/reconnect adapter: the feed
+//!   drops, reconnection follows a capped jittered exponential backoff, and
+//!   arrivals inside the downtime are lost. Fault windows and retry counts
+//!   are reported via [`SourceFaultStats`].
 //!
 //! Every source implements [`ArrivalSource`], yielding a non-decreasing
 //! sequence of absolute virtual timestamps, and is deterministic given its
@@ -40,6 +44,7 @@
 //! assert!(b.index_of_dispersion(window) > 2.0 * s.index_of_dispersion(window));
 //! ```
 
+pub mod disconnect;
 pub mod fault;
 pub mod onoff;
 pub mod poisson;
@@ -48,10 +53,11 @@ pub mod source;
 pub mod stats;
 pub mod trace;
 
+pub use disconnect::{DisconnectSource, DisconnectSpec};
 pub use fault::{FaultSpec, FaultySource};
 pub use onoff::{OnOffConfig, OnOffSource};
 pub use poisson::{ConstantSource, PoissonSource};
 pub use scale::TimeScale;
-pub use source::{collect_arrivals, ArrivalSource};
+pub use source::{collect_arrivals, ArrivalSource, SourceFaultStats};
 pub use stats::ArrivalStats;
 pub use trace::{record_trace, TraceReplay};

@@ -2,6 +2,44 @@
 
 use hcq_common::Nanos;
 
+/// Fault bookkeeping a source accumulates while it is consumed.
+///
+/// Fault-injecting adapters ([`crate::FaultySource`],
+/// [`crate::DisconnectSource`]) record every quiet window they impose, in
+/// absolute virtual time, *as the decision is made* — including windows that
+/// extend past whatever horizon the consumer eventually stops at. The engine
+/// clips windows against its final clock at report time, so scheduled fault
+/// time always reconciles with in-run plus truncated fault time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SourceFaultStats {
+    /// Disconnect events the source suffered.
+    pub disconnects: u64,
+    /// Reconnection attempts rolled (successful or not).
+    pub retry_attempts: u64,
+    /// Arrivals swallowed while the source was down.
+    pub lost_arrivals: u64,
+    /// Quiet windows `(start, end)` imposed by faults: stall delays and
+    /// disconnect downtimes. Non-overlap is not guaranteed.
+    pub windows: Vec<(Nanos, Nanos)>,
+}
+
+impl SourceFaultStats {
+    /// Fold another source's stats into this one (for adapter stacks).
+    pub fn absorb(&mut self, other: SourceFaultStats) {
+        self.disconnects += other.disconnects;
+        self.retry_attempts += other.retry_attempts;
+        self.lost_arrivals += other.lost_arrivals;
+        self.windows.extend(other.windows);
+    }
+
+    /// Total scheduled fault time: the sum of all window lengths.
+    pub fn total_window_time(&self) -> Nanos {
+        self.windows
+            .iter()
+            .fold(Nanos::ZERO, |acc, &(s, e)| acc + (e - s))
+    }
+}
+
 /// A source of tuple arrivals on one stream.
 ///
 /// Implementations yield **absolute** virtual timestamps in non-decreasing
@@ -17,6 +55,13 @@ pub trait ArrivalSource {
     fn mean_gap_hint(&self) -> Option<Nanos> {
         None
     }
+
+    /// Fault bookkeeping accumulated so far; fault-free sources report the
+    /// all-zero default. Reflects only decisions already made — call after
+    /// the source has been drained.
+    fn fault_stats(&self) -> SourceFaultStats {
+        SourceFaultStats::default()
+    }
 }
 
 impl<S: ArrivalSource + ?Sized> ArrivalSource for Box<S> {
@@ -26,6 +71,10 @@ impl<S: ArrivalSource + ?Sized> ArrivalSource for Box<S> {
 
     fn mean_gap_hint(&self) -> Option<Nanos> {
         (**self).mean_gap_hint()
+    }
+
+    fn fault_stats(&self) -> SourceFaultStats {
+        (**self).fault_stats()
     }
 }
 
@@ -82,5 +131,26 @@ mod tests {
         let mut b: Box<dyn ArrivalSource> = Box::new(Counter(0));
         assert_eq!(b.next_arrival(), Some(Nanos::from_millis(1)));
         assert_eq!(b.mean_gap_hint(), None);
+        assert_eq!(b.fault_stats(), SourceFaultStats::default());
+    }
+
+    #[test]
+    fn fault_stats_absorb_and_total() {
+        let mut a = SourceFaultStats {
+            disconnects: 1,
+            retry_attempts: 3,
+            lost_arrivals: 2,
+            windows: vec![(Nanos::from_millis(10), Nanos::from_millis(30))],
+        };
+        a.absorb(SourceFaultStats {
+            disconnects: 0,
+            retry_attempts: 1,
+            lost_arrivals: 0,
+            windows: vec![(Nanos::from_millis(50), Nanos::from_millis(55))],
+        });
+        assert_eq!(a.disconnects, 1);
+        assert_eq!(a.retry_attempts, 4);
+        assert_eq!(a.lost_arrivals, 2);
+        assert_eq!(a.total_window_time(), Nanos::from_millis(25));
     }
 }
