@@ -26,8 +26,8 @@ pub mod pipeline {
     use hcq_common::Nanos;
     use hcq_core::PolicyKind;
     use hcq_engine::{
-        simulate, simulate_monitored, GovernorConfig, MetricsSink, SimConfig, SimReport,
-        TelemetrySnapshot,
+        simulate, simulate_monitored, AdaptConfig, AdaptMode, GovernorConfig, MetricsSink,
+        SimConfig, SimReport, TelemetrySnapshot,
     };
     use hcq_streams::PoissonSource;
     use hcq_workload::{single_stream, PaperWorkload, SingleStreamConfig};
@@ -122,6 +122,68 @@ pub mod pipeline {
             SimConfig::new(ARRIVALS)
                 .with_seed(3)
                 .with_governor(governor()),
+        )
+        .expect("valid simulation")
+    }
+
+    /// The adaptation configuration for the adaptive variant of the
+    /// fixture: batch-mean EWMA re-estimation publishing every five mean
+    /// gaps — the tuned shape the engine's adaptive test suite uses.
+    pub fn adaptation() -> AdaptConfig {
+        AdaptConfig {
+            enabled: true,
+            mode: AdaptMode::Ewma,
+            alpha: 0.1,
+            cadence: mean_gap() * 5,
+            min_observations: 2,
+            refreeze_factor: 1.5,
+            publish: true,
+        }
+    }
+
+    /// The miscalibrated baseline the adaptive overhead gate compares
+    /// against: 3× seeded cost miscalibration and the policy-switching
+    /// governor, but no re-estimation. Sharing the fault and governor
+    /// settings with [`run_adaptive`] isolates what adaptation itself
+    /// costs — a plain-fixture comparison would fold the (deliberately
+    /// heavier) miscalibrated workload into the ratio.
+    pub fn run_miscalibrated(kind: PolicyKind, w: &PaperWorkload) -> SimReport {
+        simulate(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(PoissonSource::new(mean_gap(), 9))],
+            kind.build(),
+            SimConfig::new(ARRIVALS)
+                .with_seed(3)
+                .with_cost_miscalibration(3.0, 3)
+                .with_governor(GovernorConfig {
+                    switch_policy: true,
+                    ..governor()
+                }),
+        )
+        .expect("valid simulation")
+    }
+
+    /// [`run_miscalibrated`] with the full feedback stack armed on top:
+    /// online re-estimation ([`adaptation`]) correcting the miscalibrated
+    /// statics while the governor's policy-switching rung watches overload.
+    /// The adaptive run legitimately makes different scheduling decisions;
+    /// callers compare wall time and record the update/switch counts rather
+    /// than asserting identical output.
+    pub fn run_adaptive(kind: PolicyKind, w: &PaperWorkload) -> SimReport {
+        simulate(
+            &w.plan,
+            &w.rates,
+            vec![Box::new(PoissonSource::new(mean_gap(), 9))],
+            kind.build(),
+            SimConfig::new(ARRIVALS)
+                .with_seed(3)
+                .with_cost_miscalibration(3.0, 3)
+                .with_adaptation(adaptation())
+                .with_governor(GovernorConfig {
+                    switch_policy: true,
+                    ..governor()
+                }),
         )
         .expect("valid simulation")
     }

@@ -1,0 +1,398 @@
+//! Differential oracle for the online statistics estimators.
+//!
+//! The adaptive layer ([`hcq_engine`]'s `AdaptConfig`) rests on two small
+//! pieces of arithmetic in `hcq-core`: the EWMA recurrence
+//! `est ← est + α·(x − est)` and tumbling-window means. Both are trivial to
+//! state and easy to get subtly wrong (clamp order, degenerate-sample
+//! guards, reset semantics), and a wrong estimate silently reprices every
+//! priority downstream. This module re-derives both estimators from scratch
+//! along *different* computation paths and holds the production code to
+//! them, sample by sample, over seeded adversarial observation sequences:
+//!
+//! * The EWMA reference evaluates the **closed form** over the retained
+//!   sample list — `(1−α)^n·init + α·Σ (1−α)^(n−1−i)·x_i` — rather than the
+//!   incremental recurrence, so a dropped, duplicated, or mis-weighted
+//!   sample shows up as a divergence the recurrence alone could mask.
+//! * The window reference maintains the **incremental mean**
+//!   `m ← m + (x − m)/k` where production sums and divides, so the two
+//!   paths only agree when both are correct means.
+//!
+//! Sequences over-sample the corners the guards exist for: zero costs,
+//! NaN/∞/negative produced figures, α = 1 (last-observation), α near 0, and
+//! resets at arbitrary points. A convergence property rides along: seeded
+//! with a miscalibrated initial guess, the EWMA must end within tolerance
+//! of a stationary stream's true mean — the estimator analog of the
+//! engine-level recovery tests.
+
+use hcq_common::{det, Nanos};
+use hcq_core::{EwmaEstimator, WindowedEstimator};
+
+use crate::invariants::Violation;
+
+/// Relative tolerance for the EWMA differential comparison: the closed form
+/// and the recurrence are algebraically equal but round differently.
+const EWMA_RTOL: f64 = 1e-6;
+
+/// Relative tolerance for the window-mean comparison (two summation
+/// orders).
+const MEAN_RTOL: f64 = 1e-9;
+
+/// From-scratch EWMA reference: retains every accepted sample and evaluates
+/// the closed-form weighted sum on demand.
+struct RefEwma {
+    alpha: f64,
+    init_cost_ns: f64,
+    init_sel: f64,
+    samples: Vec<(f64, f64)>,
+}
+
+impl RefEwma {
+    fn new(alpha: f64, init_cost: Nanos, init_sel: f64) -> Self {
+        RefEwma {
+            alpha,
+            init_cost_ns: init_cost.as_nanos() as f64,
+            init_sel,
+            samples: Vec::new(),
+        }
+    }
+
+    /// Mirror of the production guard: non-finite/negative `produced`
+    /// figures drop the whole sample.
+    fn observe(&mut self, cost: Nanos, produced: f64) {
+        if produced.is_finite() && produced >= 0.0 {
+            self.samples.push((cost.as_nanos() as f64, produced));
+        }
+    }
+
+    /// Closed-form weighted sum over one component (0 = cost, 1 = sel).
+    fn closed_form(&self, init: f64, pick: impl Fn(&(f64, f64)) -> f64) -> f64 {
+        let n = self.samples.len() as i32;
+        let decay = (1.0 - self.alpha).powi(n);
+        let mut acc = decay * init;
+        for (i, s) in self.samples.iter().enumerate() {
+            acc += self.alpha * (1.0 - self.alpha).powi(n - 1 - i as i32) * pick(s);
+        }
+        acc
+    }
+
+    fn cost(&self) -> Nanos {
+        let raw = self.closed_form(self.init_cost_ns, |s| s.0);
+        Nanos::from_nanos(raw.round().max(1.0) as u64)
+    }
+
+    fn selectivity(&self) -> f64 {
+        self.closed_form(self.init_sel, |s| s.1).max(1e-6)
+    }
+
+    fn observations(&self) -> u64 {
+        self.samples.len() as u64
+    }
+}
+
+/// From-scratch window reference: incremental mean instead of sum/divide.
+#[derive(Default)]
+struct RefWindow {
+    mean_cost_ns: f64,
+    mean_produced: f64,
+    count: u64,
+    total: u64,
+}
+
+impl RefWindow {
+    fn observe(&mut self, cost: Nanos, produced: f64) {
+        if produced.is_finite() && produced >= 0.0 {
+            self.count += 1;
+            self.total += 1;
+            let k = self.count as f64;
+            self.mean_cost_ns += (cost.as_nanos() as f64 - self.mean_cost_ns) / k;
+            self.mean_produced += (produced - self.mean_produced) / k;
+        }
+    }
+
+    fn cost(&self) -> Option<Nanos> {
+        (self.count > 0).then(|| Nanos::from_nanos(self.mean_cost_ns.round().max(1.0) as u64))
+    }
+
+    fn selectivity(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.mean_produced.max(1e-6))
+    }
+
+    fn reset(&mut self) {
+        self.mean_cost_ns = 0.0;
+        self.mean_produced = 0.0;
+        self.count = 0;
+    }
+}
+
+fn close(a: f64, b: f64, rtol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= rtol * scale
+}
+
+/// One generated observation: a cost and a produced figure, over-sampling
+/// zero costs and the degenerate produced values the guards must drop.
+fn gen_observation(h: u64) -> (Nanos, f64) {
+    let cost = if det::coin(det::mix2(h, 1), 0.1) {
+        Nanos::ZERO
+    } else {
+        // Log-uniform over [1 ns, 1 s).
+        let exp = det::unit_f64(det::mix2(h, 2)) * 9.0;
+        Nanos::from_nanos(10f64.powf(exp) as u64)
+    };
+    let produced = if det::coin(det::mix2(h, 3), 0.1) {
+        match det::unit_range(det::mix2(h, 4), 0, 3) {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            2 => f64::NEG_INFINITY,
+            _ => -1.0,
+        }
+    } else {
+        // Joins can produce more than one tuple per input.
+        3.0 * det::unit_f64(det::mix2(h, 5))
+    };
+    (cost, produced)
+}
+
+/// Pick a smoothing factor, over-sampling both ends of (0, 1].
+fn gen_alpha(h: u64) -> f64 {
+    let r = det::unit_f64(det::mix2(h, 6));
+    if r < 0.15 {
+        1.0
+    } else if r < 0.3 {
+        1e-3
+    } else {
+        0.05 + 0.9 * det::unit_f64(det::mix2(h, 7))
+    }
+}
+
+/// Differentially fuzz both estimators for case `case` of run `seed`.
+///
+/// Drives one adversarial observation sequence through the production
+/// estimators and the references, comparing after **every** sample, then
+/// checks the convergence property on a stationary tail. Violations use
+/// the policy field to name the estimator under test.
+pub fn fuzz_estimators(seed: u64, case: u64) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut fail = |estimator: &str, invariant: &'static str, detail: String| {
+        violations.push(Violation {
+            policy: estimator.to_string(),
+            invariant,
+            detail,
+        });
+    };
+    let base = det::mix2(det::splitmix64(seed ^ 0x6573_7469_6d61_7465), case);
+    let alpha = gen_alpha(base);
+    let init_cost = Nanos::from_nanos(det::unit_range(det::mix2(base, 8), 1, 1_000_000));
+    let init_sel = det::unit_f64(det::mix2(base, 9));
+    let n = det::unit_range(det::mix2(base, 10), 1, 200);
+
+    let mut ewma = EwmaEstimator::new(alpha, init_cost, init_sel);
+    let mut ewma_ref = RefEwma::new(alpha, init_cost, init_sel);
+    let mut win = WindowedEstimator::new();
+    let mut win_ref = RefWindow::default();
+    for i in 0..n {
+        let h = det::mix2(base, 1_000 + i);
+        let (cost, produced) = gen_observation(h);
+        ewma.observe(cost, produced);
+        ewma_ref.observe(cost, produced);
+        win.observe(cost, produced);
+        win_ref.observe(cost, produced);
+
+        if ewma.observations() != ewma_ref.observations() {
+            fail(
+                "EWMA",
+                "estimator-differential",
+                format!(
+                    "step {i}: {} samples accepted, reference accepted {}",
+                    ewma.observations(),
+                    ewma_ref.observations()
+                ),
+            );
+            break;
+        }
+        let (c, rc) = (ewma.cost().as_nanos() as f64, ewma_ref.cost().as_nanos() as f64);
+        if !close(c, rc, EWMA_RTOL) {
+            fail(
+                "EWMA",
+                "estimator-differential",
+                format!("step {i}: cost {c} ns, closed form says {rc} ns"),
+            );
+            break;
+        }
+        let (s, rs) = (ewma.selectivity(), ewma_ref.selectivity());
+        if !close(s, rs, EWMA_RTOL) {
+            fail(
+                "EWMA",
+                "estimator-differential",
+                format!("step {i}: selectivity {s}, closed form says {rs}"),
+            );
+            break;
+        }
+        if !s.is_finite() || !c.is_finite() || s < 0.0 {
+            fail(
+                "EWMA",
+                "estimator-sane",
+                format!("step {i}: estimate left the sane range (cost {c}, sel {s})"),
+            );
+            break;
+        }
+
+        if win.window_len() != win_ref.count {
+            fail(
+                "Windowed",
+                "estimator-differential",
+                format!(
+                    "step {i}: window holds {} samples, reference holds {}",
+                    win.window_len(),
+                    win_ref.count
+                ),
+            );
+            break;
+        }
+        match (win.cost(), win_ref.cost(), win.selectivity(), win_ref.selectivity()) {
+            (Some(c), Some(rc), Some(s), Some(rs)) => {
+                let (c, rc) = (c.as_nanos() as f64, rc.as_nanos() as f64);
+                // Means round to whole nanoseconds; the two summation
+                // orders may land on adjacent integers, never further —
+                // beyond that, require bit-level relative agreement.
+                if (c - rc).abs() > 1.0 && !close(c, rc, MEAN_RTOL) {
+                    fail(
+                        "Windowed",
+                        "estimator-differential",
+                        format!("step {i}: mean cost {c} ns, incremental mean says {rc} ns"),
+                    );
+                    break;
+                }
+                if !close(s, rs, MEAN_RTOL) {
+                    fail(
+                        "Windowed",
+                        "estimator-differential",
+                        format!("step {i}: mean selectivity {s}, incremental mean says {rs}"),
+                    );
+                    break;
+                }
+            }
+            (None, None, None, None) => {}
+            other => {
+                fail(
+                    "Windowed",
+                    "estimator-differential",
+                    format!("step {i}: emptiness disagreement {other:?}"),
+                );
+                break;
+            }
+        }
+        if win.observations() != win_ref.total {
+            fail(
+                "Windowed",
+                "estimator-differential",
+                format!(
+                    "step {i}: lifetime count {} vs reference {}",
+                    win.observations(),
+                    win_ref.total
+                ),
+            );
+            break;
+        }
+        // Publication boundaries at arbitrary points: both must forget.
+        if det::coin(det::mix2(h, 11), 0.2) {
+            win.reset();
+            win_ref.reset();
+        }
+    }
+
+    // Convergence: seeded miscalibrated (the stationary stream's true mean
+    // is far from the initial guess), a fresh moderate-α EWMA must end
+    // within tolerance of the truth. Mirrors the engine-level recovery
+    // property at the estimator's own level.
+    let true_cost_ns = det::unit_range(det::mix2(base, 12), 1_000, 1_000_000) as f64;
+    let true_sel = 0.05 + 0.9 * det::unit_f64(det::mix2(base, 13));
+    let mut conv = EwmaEstimator::new(
+        0.2,
+        Nanos::from_nanos((true_cost_ns * 4.0) as u64),
+        (true_sel * 0.25).max(1e-6),
+    );
+    // Feed per-window batch means, as the engine's adaptive layer does: the
+    // EWMA sees one low-variance sample per publication window rather than
+    // raw Bernoulli draws.
+    for w in 0..40u64 {
+        let (mut cost_sum, mut produced_sum) = (0.0, 0.0);
+        for i in 0..10u64 {
+            let h = det::mix2(base, 10_000 + w * 10 + i);
+            // ±20% deterministic noise around the stationary truth;
+            // produced is a Bernoulli draw at the true selectivity.
+            let jitter = 1.0 + 0.2 * (2.0 * det::unit_f64(det::mix2(h, 1)) - 1.0);
+            cost_sum += true_cost_ns * jitter;
+            produced_sum += if det::coin(det::mix2(h, 2), true_sel) { 1.0 } else { 0.0 };
+        }
+        conv.observe(Nanos::from_nanos((cost_sum / 10.0) as u64), produced_sum / 10.0);
+    }
+    let got_cost = conv.cost().as_nanos() as f64;
+    if (got_cost - true_cost_ns).abs() > 0.15 * true_cost_ns {
+        fail(
+            "EWMA",
+            "estimator-convergence",
+            format!("stationary cost {true_cost_ns} ns estimated as {got_cost} ns"),
+        );
+    }
+    let got_sel = conv.selectivity();
+    if (got_sel - true_sel).abs() > 0.25 {
+        fail(
+            "EWMA",
+            "estimator-convergence",
+            format!("stationary selectivity {true_sel} estimated as {got_sel}"),
+        );
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_clean() {
+        for case in 0..64 {
+            let v = fuzz_estimators(5, case);
+            assert!(
+                v.is_empty(),
+                "case {case} diverged:\n{}",
+                v.iter().map(|x| format!("  {x}\n")).collect::<String>()
+            );
+        }
+    }
+
+    #[test]
+    fn is_a_pure_function() {
+        // Violation-free or not, the drill must be deterministic (it feeds
+        // the jobs-invariant sweep digest).
+        for case in 0..8 {
+            assert_eq!(fuzz_estimators(7, case), fuzz_estimators(7, case));
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_a_hand_computed_sequence() {
+        // α = 0.5, init 100: after samples 200, 400 the recurrence gives
+        // 100→150→275; the closed form must agree exactly.
+        let mut r = RefEwma::new(0.5, Nanos::from_nanos(100), 0.0);
+        r.observe(Nanos::from_nanos(200), 0.0);
+        r.observe(Nanos::from_nanos(400), 0.0);
+        assert_eq!(r.cost(), Nanos::from_nanos(275));
+        assert_eq!(r.observations(), 2);
+    }
+
+    #[test]
+    fn references_drop_degenerate_samples_like_production() {
+        let mut r = RefEwma::new(0.5, Nanos::from_nanos(100), 0.5);
+        let mut w = RefWindow::default();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -2.0] {
+            r.observe(Nanos::from_nanos(999), bad);
+            w.observe(Nanos::from_nanos(999), bad);
+        }
+        assert_eq!(r.observations(), 0);
+        assert_eq!(r.cost(), Nanos::from_nanos(100));
+        assert_eq!(w.count, 0);
+        assert_eq!(w.cost(), None);
+    }
+}

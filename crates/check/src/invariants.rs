@@ -16,6 +16,7 @@
 //! | `monotone-time` | trace-event timestamps never decrease; the final clock bounds them |
 //! | `qos-sane` | responses/slowdowns are finite, non-negative, slowdowns ≥ 1, max ≥ avg, emission count matches |
 //! | `accounting` | `busy + charged overhead ≤ end_time`; pending peak ≥ mean |
+//! | `adapt-sane` | disabled adaptation leaves no estimator trace; an observe-only probe is decision-identical to a non-adaptive run; no policy switches without the meta-scheduler |
 //! | `determinism` | two identical runs produce bit-identical reports |
 //! | `instrumentation-inert` | traced and monitored runs report exactly what the plain run reports |
 //! | `telemetry-reconciles` | the final telemetry snapshot's counters equal the report's |
@@ -72,9 +73,27 @@ pub fn policy_roster(clusters: usize) -> Vec<(String, Box<dyn Policy>)> {
 /// floats rendered through their IEEE-754 bit patterns. Two reports with
 /// equal fingerprints are behaviorally identical runs.
 pub fn fingerprint(report: &SimReport) -> String {
+    // The estimates vector (adaptive runs only) folds to one FNV-1a hash of
+    // its IEEE-754 bit patterns; 0 marks "no estimator ran". It is the LAST
+    // token: the probe-inertness check compares everything before it.
+    let mut est = 0u64;
+    if let Some(estimates) = &report.estimates {
+        est = 0xcbf2_9ce4_8422_2325;
+        let mut fold = |x: f64| {
+            for byte in x.to_bits().to_le_bytes() {
+                est ^= byte as u64;
+                est = est.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        for s in estimates {
+            fold(s.selectivity);
+            fold(s.avg_cost_ns);
+            fold(s.ideal_time_ns);
+        }
+    }
     let b = |x: f64| format!("{:016x}", x.to_bits());
     format!(
-        "a{} e{} d{} s{} x{} of{} qt{} gt{} ft{} fx{} dc{} ra{} la{} sp{} so{} cs{} pe{} cm{} co{} ho{} ot{} bt{} ov{} et{} pk{} pd{} ap{} qc{} qr{} qR{} qs{} qS{} ql{}",
+        "a{} e{} d{} s{} x{} of{} qt{} gt{} ft{} fx{} dc{} ra{} la{} sp{} so{} cs{} pe{} cm{} co{} ho{} ot{} bt{} ov{} et{} pk{} pd{} ap{} qc{} qr{} qR{} qs{} qS{} ql{} ps{} su{} dr{} es{:016x}",
         report.arrivals,
         report.emitted,
         report.dropped,
@@ -108,7 +127,19 @@ pub fn fingerprint(report: &SimReport) -> String {
         b(report.qos.avg_slowdown),
         b(report.qos.max_slowdown),
         b(report.qos.l2_slowdown),
+        report.policy_switches,
+        report.statics_updates,
+        report.domain_refreezes,
+        est,
     )
+}
+
+/// Fingerprint minus the trailing estimates fold: the *decision* behavior
+/// of a run. An observe-only adaptive probe must match the plain run here
+/// while legitimately differing in the harvested estimates.
+fn behavior_fingerprint(report: &SimReport) -> String {
+    let fp = fingerprint(report);
+    fp[..fp.rfind(" es").expect("fingerprint ends in the estimates fold")].to_string()
 }
 
 /// Outcome of one scenario's full check: any violations, plus the per-policy
@@ -281,6 +312,84 @@ fn check_policy(
             format!(
                 "{} transitions with the governor disabled",
                 plain.governor_transitions
+            ),
+        );
+    }
+
+    // Adaptive-layer sanity: a disabled feature must leave no trace in the
+    // report, and an observe-only probe must not steer.
+    if !scenario.adapt.enabled {
+        if plain.statics_updates != 0 || plain.domain_refreezes != 0 {
+            fail(
+                violations,
+                "adapt-sane",
+                format!(
+                    "{} statics updates / {} refreezes with adaptation disabled",
+                    plain.statics_updates, plain.domain_refreezes
+                ),
+            );
+        }
+        if plain.estimates.is_some() {
+            fail(
+                violations,
+                "adapt-sane",
+                "estimates harvested with adaptation disabled".into(),
+            );
+        }
+    } else {
+        if plain.estimates.is_none() {
+            fail(
+                violations,
+                "adapt-sane",
+                "adaptive run reported no estimates".into(),
+            );
+        }
+        if !scenario.adapt.publish {
+            if plain.statics_updates != 0 {
+                fail(
+                    violations,
+                    "adapt-sane",
+                    format!(
+                        "{} statics updates from an observe-only probe",
+                        plain.statics_updates
+                    ),
+                );
+            }
+            // The probe watches every execution but never feeds the policy:
+            // scheduling must be bit-identical to a non-adaptive run.
+            let mut disabled = scenario.clone();
+            disabled.adapt = Default::default();
+            match simulate(
+                plan,
+                rates,
+                vec![disabled.source()],
+                build_policy(&disabled, name),
+                disabled.config(),
+            ) {
+                Ok(r) => {
+                    let (probe, plain_fp) = (behavior_fingerprint(&plain), behavior_fingerprint(&r));
+                    if probe != plain_fp {
+                        fail(
+                            violations,
+                            "adapt-sane",
+                            format!(
+                                "observe-only probe steered the run:\n  probed {probe}\n  plain  {plain_fp}"
+                            ),
+                        );
+                    }
+                }
+                Err(e) => fail(violations, "engine-ok", format!("probe-off rerun errored: {e}")),
+            }
+        }
+    }
+    if !(scenario.governor.enabled && scenario.governor.switch_policy) && plain.policy_switches != 0
+    {
+        fail(
+            violations,
+            "adapt-sane",
+            format!(
+                "{} policy switches with the meta-scheduler disabled",
+                plain.policy_switches
             ),
         );
     }
@@ -464,6 +573,7 @@ fn event_time(ev: &TraceEvent) -> hcq_common::Nanos {
         | TraceEvent::Fault { at, .. }
         | TraceEvent::Expire { at, .. }
         | TraceEvent::GovernorTransition { at, .. }
+        | TraceEvent::PolicySwitch { at, .. }
         | TraceEvent::OpFailure { at, .. } => *at,
     }
 }
@@ -544,6 +654,7 @@ mod tests {
                 deescalate_pending: 8,
                 capacity: 8,
                 watermark: 16,
+                switch_policy: false,
             };
             let run = |s: &Scenario| {
                 simulate(
@@ -584,6 +695,93 @@ mod tests {
             assert!(
                 governed <= worst * 1.05,
                 "case {case}: governed {governed} vs worst static {worst}"
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_governed_qos_never_worse_when_calibrated() {
+        // The closed loop closed twice over: governor AND online estimator
+        // active on a calibrated overload workload. With nothing to learn
+        // (statics start true and stay true), publishing re-estimates must
+        // not lose QoS against the worst static admission mode either —
+        // adaptation riding along cannot make the governed bound fail.
+        use crate::scenario::{AdaptPlan, AdmissionPlan, GovernorPlan};
+        use hcq_engine::simulate;
+        use hcq_plan::StreamRates;
+        for case in 0..4u64 {
+            let mut s = Scenario::generate(31, case);
+            s.cost_miscalibration = 0.0;
+            s.cost_jitter = 0.0;
+            s.faults = Default::default();
+            s.op_failures = Default::default();
+            s.disconnect = Default::default();
+            s.deadline_ns = None;
+            s.drift = Vec::new();
+            s.mean_gap_ns = (s.mean_gap_ns / 2).max(1);
+            s.admission = AdmissionPlan {
+                mode: 0,
+                capacity: 0,
+                watermark: 0,
+            };
+            s.governor = GovernorPlan {
+                enabled: true,
+                cadence_ns: s.mean_gap_ns.saturating_mul(s.arrivals / 64).max(1),
+                min_dwell_ns: s.mean_gap_ns.saturating_mul(s.arrivals / 16).max(1),
+                escalate_pending: 32,
+                deescalate_pending: 8,
+                capacity: 8,
+                watermark: 16,
+                switch_policy: false,
+            };
+            s.adapt = AdaptPlan {
+                enabled: true,
+                mode: 0,
+                alpha: 0.1,
+                cadence_ns: s.mean_gap_ns.saturating_mul(s.arrivals / 32).max(1),
+                min_observations: 2,
+                publish: true,
+            };
+            let run = |s: &Scenario| {
+                simulate(
+                    &s.plan().unwrap(),
+                    &StreamRates::none(),
+                    vec![s.source()],
+                    hcq_core::PolicyKind::Hnr.build(),
+                    s.config(),
+                )
+                .unwrap()
+                .qos
+                .avg_slowdown
+            };
+            let adaptive = run(&s);
+            let mut worst = 0.0f64;
+            for admission in [
+                AdmissionPlan {
+                    mode: 0,
+                    capacity: 0,
+                    watermark: 0,
+                },
+                AdmissionPlan {
+                    mode: 1,
+                    capacity: 8,
+                    watermark: 0,
+                },
+                AdmissionPlan {
+                    mode: 2,
+                    capacity: 8,
+                    watermark: 16,
+                },
+            ] {
+                let mut stat = s.clone();
+                stat.governor = GovernorPlan::default();
+                stat.adapt = AdaptPlan::default();
+                stat.admission = admission;
+                worst = worst.max(run(&stat));
+            }
+            assert!(
+                adaptive <= worst * 1.05,
+                "case {case}: adaptive governed {adaptive} vs worst static {worst}"
             );
         }
     }

@@ -18,6 +18,10 @@
 //!   validation would reject (exact-zero times, NaN selectivity) and holds
 //!   clustered BSD to its §6.2.1 `ε = (Φ_max/Φ_min)^(1/m)` approximation
 //!   bound against the exact BSD argmax.
+//! * [`estimator`] — differential oracle for the online statistics
+//!   estimators: a from-scratch closed-form EWMA and incremental-mean
+//!   window reference checked sample-by-sample against production, plus a
+//!   seeded-miscalibration convergence property.
 //! * [`incremental`] — differential sequences over the large-q maintenance
 //!   API (statics updates, unit add/retire, sheds): after any mutation
 //!   stream, the incrementally-maintained clustered BSD must drain
@@ -32,6 +36,7 @@
 //! land as artifacts that `crates/check/tests/replay.rs` re-runs as
 //! regression tests forever after.
 
+pub mod estimator;
 pub mod incremental;
 pub mod invariants;
 pub mod json;
@@ -40,10 +45,13 @@ pub mod runner;
 pub mod scenario;
 pub mod shrink;
 
+pub use estimator::fuzz_estimators;
 pub use incremental::fuzz_incremental;
 pub use invariants::{check_scenario, check_scenario_full, fingerprint, ScenarioCheck, Violation};
 pub use json::Json;
 pub use policyfuzz::fuzz_policies;
 pub use runner::{replay, run_fuzz, write_artifact, CaseResult, FuzzConfig, FuzzOutcome};
-pub use scenario::{AdmissionPlan, FaultPlan, OpSpec, QuerySpec, Scenario, SourceKind};
+pub use scenario::{
+    AdaptPlan, AdmissionPlan, DriftStepPlan, FaultPlan, OpSpec, QuerySpec, Scenario, SourceKind,
+};
 pub use shrink::{artifact_name, parse_artifact, render_artifact, shrink};

@@ -1,8 +1,9 @@
 //! The fuzz sweep: generate → check → shrink → artifact.
 //!
-//! [`run_fuzz`] drives `cases` scenarios derived from one seed through both
-//! check layers — the engine-level invariant suite ([`crate::invariants`])
-//! and the policy-level degenerate-statics drill ([`crate::policyfuzz`]) —
+//! [`run_fuzz`] drives `cases` scenarios derived from one seed through the
+//! check layers — the engine-level invariant suite ([`crate::invariants`]),
+//! the policy-level degenerate-statics drill ([`crate::policyfuzz`]), and
+//! the estimator differential oracle ([`crate::estimator`]) —
 //! optionally across a thread pool. Work distribution is a shared atomic
 //! cursor (identical to the repro harness's pattern, but dependency-free:
 //! `hcq-repro` depends on this crate, not the other way around), and results
@@ -21,6 +22,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use crate::estimator::fuzz_estimators;
 use crate::incremental::fuzz_incremental;
 use crate::invariants::{check_scenario, check_scenario_full, Violation};
 use crate::policyfuzz::fuzz_policies;
@@ -95,6 +97,7 @@ fn run_case(seed: u64, case: u64) -> CaseResult {
     let mut violations = engine.violations;
     violations.extend(fuzz_policies(seed, case));
     violations.extend(fuzz_incremental(seed, case));
+    violations.extend(fuzz_estimators(seed, case));
     let minimized = if violations.is_empty() {
         None
     } else {
@@ -192,6 +195,7 @@ pub fn replay(scenario: &Scenario) -> Vec<Violation> {
     let mut violations = check_scenario(scenario);
     violations.extend(fuzz_policies(scenario.seed, scenario.case));
     violations.extend(fuzz_incremental(scenario.seed, scenario.case));
+    violations.extend(fuzz_estimators(scenario.seed, scenario.case));
     violations
 }
 

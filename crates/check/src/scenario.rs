@@ -18,12 +18,16 @@
 //! per-query deadlines (including the degenerate deadline-0 corner),
 //! transient operator failures, and source disconnect/reconnect schedules.
 //! v1 artifacts parse with all of those off, so historical regression
-//! artifacts keep replaying unchanged.
+//! artifacts keep replaying unchanged. The adaptive dimensions — the online
+//! statistics estimator (including its observe-only probe form), the
+//! drifting-statics fault schedule, and the governor's policy-switching
+//! meta-scheduler — are optional keys under the same schema: artifacts
+//! written before they existed parse with them off.
 //! Exact-zero costs and NaN statics cannot pass plan validation, so those
 //! live in the policy-level fuzzer ([`crate::policyfuzz`]) instead.
 
 use hcq_common::{det, Nanos, Result, StreamId};
-use hcq_engine::{AdmissionMode, GovernorConfig, SimConfig};
+use hcq_engine::{AdaptConfig, AdaptMode, AdmissionMode, DriftStep, GovernorConfig, SimConfig};
 use hcq_plan::{GlobalPlan, QueryBuilder};
 use hcq_streams::{
     ArrivalSource, ConstantSource, DisconnectSource, DisconnectSpec, FaultSpec, FaultySource,
@@ -131,6 +135,9 @@ pub struct GovernorPlan {
     pub capacity: usize,
     /// Pending watermark for the overload-share signal.
     pub watermark: usize,
+    /// Meta-scheduler: switch the scheduling policy itself under sustained
+    /// overload (hysteresis shares stay at the engine defaults).
+    pub switch_policy: bool,
 }
 
 /// Transient operator-failure schedule (all-zero = disabled).
@@ -142,6 +149,38 @@ pub struct OpFailurePlan {
     pub cooldown_ns: u64,
     /// Retries after the first failure.
     pub retries: u32,
+}
+
+/// Online statistics adaptation knobs (disabled by default; artifacts
+/// written before the dimension existed parse with it off).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AdaptPlan {
+    /// Master switch.
+    pub enabled: bool,
+    /// 0 = EWMA over window means, 1 = tumbling-window means.
+    pub mode: u8,
+    /// EWMA smoothing factor in (0, 1].
+    pub alpha: f64,
+    /// Publication cadence (ns).
+    pub cadence_ns: u64,
+    /// Minimum fresh samples per published window.
+    pub min_observations: u64,
+    /// False = observe-only probe (estimates harvested, decisions
+    /// untouched) — the engine must then behave bit-identically to a
+    /// non-adaptive run, which the invariant suite checks.
+    pub publish: bool,
+}
+
+/// One step of the piecewise-constant drifting-statics schedule: from
+/// `at_ns` on, operator costs and selectivities scale by these factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStepPlan {
+    /// Virtual time the step takes effect.
+    pub at_ns: u64,
+    /// Multiplier on every operator cost from this step on.
+    pub cost_factor: f64,
+    /// Multiplier on every selectivity (clamped to 1.0 by the engine).
+    pub sel_factor: f64,
 }
 
 /// Source disconnect/reconnect schedule (zero prob = disabled).
@@ -194,6 +233,10 @@ pub struct Scenario {
     pub op_failures: OpFailurePlan,
     /// Source disconnect/reconnect schedule.
     pub disconnect: DisconnectPlan,
+    /// Online statistics adaptation (disabled by default).
+    pub adapt: AdaptPlan,
+    /// Drifting-statics schedule (empty = stationary environment).
+    pub drift: Vec<DriftStepPlan>,
 }
 
 /// Pick a cost: mostly µs-scale, over-sampling the 1 ns near-zero corner.
@@ -317,6 +360,7 @@ impl Scenario {
                 deescalate_pending: escalate / 4,
                 capacity: det::unit_range(det::mix2(gh, 3), 1, 16) as usize,
                 watermark: (escalate / 2).max(1),
+                switch_policy: det::coin(det::mix2(gh, 4), 0.3),
             }
         } else {
             GovernorPlan::default()
@@ -342,6 +386,40 @@ impl Scenario {
             }
         } else {
             OpFailurePlan::default()
+        };
+        let run_ns = mean_gap_ns.saturating_mul(arrivals).max(1);
+        let eh = det::mix2(base, 32);
+        let adapt = if det::coin(eh, 0.25) {
+            AdaptPlan {
+                enabled: true,
+                mode: if det::coin(det::mix2(eh, 1), 0.3) { 1 } else { 0 },
+                alpha: 0.05 + 0.45 * det::unit_f64(det::mix2(eh, 2)),
+                cadence_ns: (run_ns / det::unit_range(det::mix2(eh, 3), 8, 64)).max(1),
+                min_observations: det::unit_range(det::mix2(eh, 4), 1, 4),
+                // Mostly closed-loop; sometimes the observe-only probe whose
+                // bit-identity to a plain run the invariant suite asserts.
+                publish: !det::coin(det::mix2(eh, 5), 0.2),
+            }
+        } else {
+            AdaptPlan::default()
+        };
+        let rh = det::mix2(base, 33);
+        let drift = if det::coin(rh, 0.2) {
+            let steps = det::unit_range(det::mix2(rh, 1), 1, 3);
+            (0..steps)
+                .map(|i| {
+                    let sh = det::mix2(rh, 10 + i);
+                    DriftStepPlan {
+                        // Strictly increasing step times across the run.
+                        at_ns: run_ns / (steps + 1) * (i + 1),
+                        // Log-uniform over [0.25, 4].
+                        cost_factor: 4f64.powf(2.0 * det::unit_f64(det::mix2(sh, 1)) - 1.0),
+                        sel_factor: 0.5 + det::unit_f64(det::mix2(sh, 2)),
+                    }
+                })
+                .collect()
+        } else {
+            Vec::new()
         };
         let xh = det::mix2(base, 30);
         let disconnect = if det::coin(xh, 0.2) {
@@ -373,6 +451,8 @@ impl Scenario {
             deadline_ns,
             op_failures,
             disconnect,
+            adapt,
+            drift,
         }
     }
 
@@ -467,8 +547,35 @@ impl Scenario {
                 deescalate_pending: self.governor.deescalate_pending,
                 capacity: self.governor.capacity,
                 watermark: self.governor.watermark,
+                switch_policy: self.governor.switch_policy,
                 ..GovernorConfig::default()
             };
+        }
+        if self.adapt.enabled {
+            cfg.adapt = AdaptConfig {
+                enabled: true,
+                mode: if self.adapt.mode == 1 {
+                    AdaptMode::Windowed
+                } else {
+                    AdaptMode::Ewma
+                },
+                alpha: self.adapt.alpha,
+                cadence: Nanos::from_nanos(self.adapt.cadence_ns.max(1)),
+                min_observations: self.adapt.min_observations,
+                publish: self.adapt.publish,
+                ..AdaptConfig::default()
+            };
+        }
+        if !self.drift.is_empty() {
+            cfg.drift = self
+                .drift
+                .iter()
+                .map(|d| DriftStep {
+                    at: Nanos::from_nanos(d.at_ns),
+                    cost_factor: d.cost_factor,
+                    selectivity_factor: d.sel_factor,
+                })
+                .collect();
         }
         cfg
     }
@@ -573,6 +680,10 @@ impl Scenario {
                         "watermark".into(),
                         Json::Num(self.governor.watermark as f64),
                     ),
+                    (
+                        "switch_policy".into(),
+                        Json::Num(if self.governor.switch_policy { 1.0 } else { 0.0 }),
+                    ),
                 ]),
             ),
             (
@@ -611,6 +722,41 @@ impl Scenario {
                         Json::Num(self.disconnect.reconnect_prob),
                     ),
                 ]),
+            ),
+            (
+                "adapt".into(),
+                Json::Obj(vec![
+                    (
+                        "enabled".into(),
+                        Json::Num(if self.adapt.enabled { 1.0 } else { 0.0 }),
+                    ),
+                    ("mode".into(), Json::Num(self.adapt.mode as f64)),
+                    ("alpha".into(), Json::Num(self.adapt.alpha)),
+                    ("cadence_ns".into(), Json::Num(self.adapt.cadence_ns as f64)),
+                    (
+                        "min_observations".into(),
+                        Json::Num(self.adapt.min_observations as f64),
+                    ),
+                    (
+                        "publish".into(),
+                        Json::Num(if self.adapt.publish { 1.0 } else { 0.0 }),
+                    ),
+                ]),
+            ),
+            (
+                "drift".into(),
+                Json::Arr(
+                    self.drift
+                        .iter()
+                        .map(|d| {
+                            Json::Obj(vec![
+                                ("at_ns".into(), Json::Num(d.at_ns as f64)),
+                                ("cost_factor".into(), Json::Num(d.cost_factor)),
+                                ("sel_factor".into(), Json::Num(d.sel_factor)),
+                            ])
+                        })
+                        .collect(),
+                ),
             ),
         ])
     }
@@ -705,6 +851,13 @@ impl Scenario {
                     deescalate_pending: sub_num(g, "deescalate_pending")? as usize,
                     capacity: sub_num(g, "capacity")? as usize,
                     watermark: sub_num(g, "watermark")? as usize,
+                    // Absent in artifacts written before the meta-scheduler
+                    // existed: parse as "never switch".
+                    switch_policy: g
+                        .get("switch_policy")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                        != 0.0,
                 },
             },
             deadline_ns: match doc.get("deadline_ns").and_then(Json::as_f64) {
@@ -728,6 +881,33 @@ impl Scenario {
                     max_retries: sub_num(d, "max_retries")? as u32,
                     reconnect_prob: sub_num(d, "reconnect_prob")?,
                 },
+            },
+            // Absent in artifacts written before the adaptive layer existed:
+            // parse with adaptation off and a stationary environment.
+            adapt: match doc.get("adapt") {
+                None => AdaptPlan::default(),
+                Some(a) => AdaptPlan {
+                    enabled: sub_num(a, "enabled")? != 0.0,
+                    mode: sub_num(a, "mode")? as u8,
+                    alpha: sub_num(a, "alpha")?,
+                    cadence_ns: sub_num(a, "cadence_ns")? as u64,
+                    min_observations: sub_num(a, "min_observations")? as u64,
+                    publish: sub_num(a, "publish")? != 0.0,
+                },
+            },
+            drift: match doc.get("drift").and_then(Json::as_arr) {
+                None => Vec::new(),
+                Some(steps) => {
+                    let mut drift = Vec::with_capacity(steps.len());
+                    for d in steps {
+                        drift.push(DriftStepPlan {
+                            at_ns: sub_num(d, "at_ns")? as u64,
+                            cost_factor: sub_num(d, "cost_factor")?,
+                            sel_factor: sub_num(d, "sel_factor")?,
+                        });
+                    }
+                    drift
+                }
             },
         })
     }
@@ -791,7 +971,7 @@ mod tests {
             pairs.retain(|(k, _)| {
                 !matches!(
                     k.as_str(),
-                    "governor" | "deadline_ns" | "op_failures" | "disconnect"
+                    "governor" | "deadline_ns" | "op_failures" | "disconnect" | "adapt" | "drift"
                 )
             });
         }
@@ -800,6 +980,8 @@ mod tests {
         assert_eq!(back.deadline_ns, None);
         assert_eq!(back.op_failures, OpFailurePlan::default());
         assert_eq!(back.disconnect, DisconnectPlan::default());
+        assert_eq!(back.adapt, AdaptPlan::default());
+        assert!(back.drift.is_empty());
         // The shared v1 dimensions survive untouched.
         let orig = Scenario::generate(3, 5);
         assert_eq!(back.queries, orig.queries);
@@ -813,6 +995,7 @@ mod tests {
         // and every generated governor must satisfy the engine's hysteresis
         // validation (escalate > deescalate, capacity ≥ 1).
         let (mut gov, mut dl, mut dl0, mut opf, mut disc) = (0, 0, 0, 0, 0);
+        let (mut adp, mut probe, mut drift, mut switch) = (0, 0, 0, 0);
         for case in 0..200 {
             let s = Scenario::generate(11, case);
             if s.governor.enabled {
@@ -820,6 +1003,30 @@ mod tests {
                 assert!(s.governor.escalate_pending > s.governor.deescalate_pending);
                 assert!(s.governor.capacity >= 1);
                 assert!(s.governor.cadence_ns >= 1 && s.governor.min_dwell_ns >= 1);
+                if s.governor.switch_policy {
+                    switch += 1;
+                }
+            } else {
+                assert!(!s.governor.switch_policy);
+            }
+            if s.adapt.enabled {
+                adp += 1;
+                assert!(s.adapt.alpha > 0.0 && s.adapt.alpha <= 1.0);
+                assert!(s.adapt.cadence_ns >= 1);
+                assert!(s.adapt.min_observations >= 1);
+                if !s.adapt.publish {
+                    probe += 1;
+                }
+            }
+            if !s.drift.is_empty() {
+                drift += 1;
+                let mut last = 0;
+                for d in &s.drift {
+                    assert!(d.at_ns > last, "drift steps must be strictly increasing");
+                    last = d.at_ns;
+                    assert!(d.cost_factor >= 0.25 && d.cost_factor <= 4.0);
+                    assert!(d.sel_factor >= 0.5 && d.sel_factor <= 1.5);
+                }
             }
             match s.deadline_ns {
                 Some(0) => dl0 += 1,
@@ -840,5 +1047,9 @@ mod tests {
         assert!(dl0 > 0, "the deadline-0 corner never generated");
         assert!(opf > 20, "op failures in {opf}/200 cases");
         assert!(disc > 10, "disconnects in {disc}/200 cases");
+        assert!(adp > 20, "adaptation in {adp}/200 cases");
+        assert!(probe > 0, "the observe-only probe never generated");
+        assert!(drift > 10, "drift in {drift}/200 cases");
+        assert!(switch > 0, "policy switching never generated");
     }
 }

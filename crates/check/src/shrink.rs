@@ -119,6 +119,26 @@ fn single_cluster(s: &Scenario) -> Option<Scenario> {
     Some(t)
 }
 
+fn strip_drift(s: &Scenario) -> Option<Scenario> {
+    // Drop drift steps from the back first (earlier steps dominate the
+    // run), then the whole schedule.
+    if s.drift.is_empty() {
+        return None;
+    }
+    let mut t = s.clone();
+    t.drift.pop();
+    Some(t)
+}
+
+fn disable_adaptation(s: &Scenario) -> Option<Scenario> {
+    if !s.adapt.enabled {
+        return None;
+    }
+    let mut t = s.clone();
+    t.adapt = Default::default();
+    Some(t)
+}
+
 const TRANSFORMS: &[Transform] = &[
     halve_queries,
     drop_last_query,
@@ -130,6 +150,8 @@ const TRANSFORMS: &[Transform] = &[
     flatten_source,
     calm_costs,
     single_cluster,
+    strip_drift,
+    disable_adaptation,
 ];
 
 /// Greedily shrink `scenario` while `still_fails` holds, to a fixed point.
@@ -209,6 +231,8 @@ mod tests {
         assert_eq!(minimal.admission.mode, 0);
         assert_eq!(minimal.source, SourceKind::Constant);
         assert_eq!(minimal.clusters, 1);
+        assert!(minimal.drift.is_empty(), "drift schedule must shrink away");
+        assert!(!minimal.adapt.enabled, "adaptation must shrink away");
         // Identity is preserved for replay.
         assert_eq!(minimal.seed, original.seed);
         assert_eq!(minimal.case, original.case);

@@ -11,6 +11,16 @@
 
 use hcq_common::Nanos;
 
+/// Accept an observed emissions-per-input figure only when it is a finite,
+/// non-negative number. Selectivity observations come from counter deltas in
+/// well-behaved runtimes, but external embeddings can feed ratios of raw
+/// clock/counter readings where a zero denominator yields NaN/∞ — folding
+/// one such sample into an EWMA poisons every later estimate (NaN absorbs),
+/// so degenerate samples are dropped whole rather than clamped.
+fn valid_produced(produced: f64) -> bool {
+    produced.is_finite() && produced >= 0.0
+}
+
 /// EWMA estimator of one operator's processing cost and selectivity.
 #[derive(Debug, Clone, Copy)]
 pub struct EwmaEstimator {
@@ -37,8 +47,15 @@ impl EwmaEstimator {
     }
 
     /// Record one execution: measured processing time and tuples produced
-    /// per input tuple (0 or 1 for filters; can exceed 1 for joins).
+    /// per input tuple (0 or 1 for filters; can exceed 1 for joins). A
+    /// non-finite or negative `produced` drops the whole sample — one NaN
+    /// folded into an EWMA would poison every later estimate. Zero-cost
+    /// observations are fine: they pull the mean down and [`Self::cost`]
+    /// clamps the reported estimate to the 1 ns engine resolution.
     pub fn observe(&mut self, cost: Nanos, produced: f64) {
+        if !valid_produced(produced) {
+            return;
+        }
         let c = cost.as_nanos() as f64;
         self.cost_ns += self.alpha * (c - self.cost_ns);
         self.selectivity += self.alpha * (produced - self.selectivity);
@@ -48,8 +65,12 @@ impl EwmaEstimator {
     /// Record only a selectivity observation (tuples produced per input
     /// tuple), leaving the cost estimate untouched — for runtimes whose
     /// clock cannot meaningfully time individual operators (manual/replay
-    /// clocks).
+    /// clocks). Non-finite/negative samples are dropped like in
+    /// [`Self::observe`].
     pub fn observe_selectivity(&mut self, produced: f64) {
+        if !valid_produced(produced) {
+            return;
+        }
         self.selectivity += self.alpha * (produced - self.selectivity);
         self.observations += 1;
     }
@@ -68,6 +89,70 @@ impl EwmaEstimator {
     /// Number of observations folded in.
     pub fn observations(&self) -> u64 {
         self.observations
+    }
+}
+
+/// Tumbling-window estimator: plain means over the current window, reset at
+/// each publication. Where the EWMA blends phases together with a half-life
+/// set by `alpha`, the windowed estimator forgets completely at every
+/// [`Self::reset`] — the right shape for on/off workloads whose phases are
+/// longer than the window, at the price of higher variance within one.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WindowedEstimator {
+    cost_sum_ns: f64,
+    produced_sum: f64,
+    count: u64,
+    /// Lifetime observation count (never reset), mirroring
+    /// [`EwmaEstimator::observations`].
+    total: u64,
+}
+
+impl WindowedEstimator {
+    /// An empty window.
+    pub fn new() -> Self {
+        WindowedEstimator::default()
+    }
+
+    /// Record one execution into the current window. Degenerate `produced`
+    /// samples (NaN/∞/negative) are dropped whole, as in
+    /// [`EwmaEstimator::observe`].
+    pub fn observe(&mut self, cost: Nanos, produced: f64) {
+        if !valid_produced(produced) {
+            return;
+        }
+        self.cost_sum_ns += cost.as_nanos() as f64;
+        self.produced_sum += produced;
+        self.count += 1;
+        self.total += 1;
+    }
+
+    /// Mean cost over the current window, `None` when it holds no samples.
+    pub fn cost(&self) -> Option<Nanos> {
+        (self.count > 0)
+            .then(|| Nanos::from_nanos((self.cost_sum_ns / self.count as f64).round().max(1.0) as u64))
+    }
+
+    /// Mean selectivity over the current window (clamped away from zero),
+    /// `None` when it holds no samples.
+    pub fn selectivity(&self) -> Option<f64> {
+        (self.count > 0).then(|| (self.produced_sum / self.count as f64).max(1e-6))
+    }
+
+    /// Samples in the current window.
+    pub fn window_len(&self) -> u64 {
+        self.count
+    }
+
+    /// Lifetime samples across all windows.
+    pub fn observations(&self) -> u64 {
+        self.total
+    }
+
+    /// Start a new window (publication boundary).
+    pub fn reset(&mut self) {
+        self.cost_sum_ns = 0.0;
+        self.produced_sum = 0.0;
+        self.count = 0;
     }
 }
 
@@ -117,5 +202,59 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn zero_alpha_rejected() {
         let _ = EwmaEstimator::new(0.0, ms(1), 1.0);
+    }
+
+    #[test]
+    fn degenerate_samples_never_poison_the_ewma() {
+        let mut e = EwmaEstimator::new(0.5, ms(4), 0.5);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            e.observe(ms(9), bad);
+            e.observe_selectivity(bad);
+        }
+        assert_eq!(e.observations(), 0, "degenerate samples are dropped whole");
+        assert_eq!(e.cost(), ms(4));
+        assert_eq!(e.selectivity(), 0.5);
+        // A later clean sample lands on an unpoisoned state.
+        e.observe(ms(8), 1.0);
+        assert!(e.cost() > ms(4));
+        assert!(e.selectivity().is_finite());
+    }
+
+    #[test]
+    fn zero_cost_observations_clamp_to_engine_resolution() {
+        let mut e = EwmaEstimator::new(1.0, ms(5), 1.0);
+        e.observe(Nanos::ZERO, 0.0);
+        assert_eq!(e.cost(), Nanos::from_nanos(1), "cost floor is 1 ns");
+        assert!(e.selectivity() > 0.0, "selectivity floor stays positive");
+    }
+
+    #[test]
+    fn windowed_means_and_reset() {
+        let mut w = WindowedEstimator::new();
+        assert_eq!(w.cost(), None);
+        assert_eq!(w.selectivity(), None);
+        w.observe(ms(2), 1.0);
+        w.observe(ms(4), 0.0);
+        assert_eq!(w.cost(), Some(ms(3)));
+        assert_eq!(w.selectivity(), Some(0.5));
+        assert_eq!(w.window_len(), 2);
+        w.reset();
+        assert_eq!(w.cost(), None, "reset forgets the window completely");
+        assert_eq!(w.window_len(), 0);
+        assert_eq!(w.observations(), 2, "lifetime count survives resets");
+        // The next window sees only its own phase — the on/off property.
+        w.observe(ms(10), 1.0);
+        assert_eq!(w.cost(), Some(ms(10)));
+    }
+
+    #[test]
+    fn windowed_drops_degenerate_samples() {
+        let mut w = WindowedEstimator::new();
+        w.observe(ms(1), f64::NAN);
+        w.observe(ms(1), f64::INFINITY);
+        assert_eq!(w.window_len(), 0);
+        w.observe(Nanos::ZERO, 2.0);
+        assert_eq!(w.cost(), Some(Nanos::from_nanos(1)), "zero cost clamps, not poisons");
+        assert_eq!(w.selectivity(), Some(2.0));
     }
 }

@@ -403,6 +403,69 @@ impl ClusteredBsdPolicy {
         p
     }
 
+    /// Thaw and refreeze the `Φ` domain from the *current* statics column
+    /// (§10 adaptive estimation). Incremental churn deliberately never moves
+    /// the domain — [`Self::update_unit_statics`] clamps drifted `Φ` into
+    /// the frozen edge clusters — so after sustained drift many units can
+    /// pile up in one edge bucket and the clustering loses its resolution.
+    /// This recomputes the domain, the pseudo-priorities, and every bucket
+    /// assignment, then replays all live entries in global enqueue order
+    /// into their new clusters (the same construction as
+    /// [`Self::rebuild_reference`], in place). O(q + live·log) — callers
+    /// pace it (the engine triggers on observed out-of-domain drift, not
+    /// per update).
+    ///
+    /// Returns false — with no state touched beyond installing the
+    /// recomputed (identical-assignment) domain — when no membership or
+    /// pseudo-priority actually changes, so callers can count effective
+    /// refreezes.
+    pub fn refreeze_domain(&mut self) -> bool {
+        let m = self.cfg.clusters;
+        let domain = PhiDomain::compute(self.statics.phi());
+        let cluster_of: Vec<u32> = self
+            .statics
+            .phi()
+            .iter()
+            .map(|&p| domain.bucket(self.cfg.clustering, m, p))
+            .collect();
+        let pseudo: Vec<f64> = (0..m)
+            .map(|i| domain.pseudo(self.cfg.clustering, m, i))
+            .collect();
+        self.domain = domain;
+        if cluster_of == self.cluster_of && pseudo == self.pseudo {
+            return false;
+        }
+        self.pseudo = pseudo;
+        self.by_pseudo = (0..m as u32).collect();
+        self.by_pseudo
+            .sort_by(|&a, &b| self.pseudo[b as usize].total_cmp(&self.pseudo[a as usize]));
+        let mut live: Vec<WaitEntry> = Vec::with_capacity(self.lists.live());
+        self.lists.collect_live(&mut live);
+        live.sort_by_key(|e| e.seq);
+        self.cluster_of = cluster_of;
+        self.lists.reset(m, self.statics.len());
+        self.by_wait.clear();
+        self.by_wait.reserve(m);
+        for e in &live {
+            self.lists.push_back(
+                self.cluster_of[e.unit as usize],
+                e.unit,
+                e.tuple,
+                e.arrival,
+                e.seq,
+            );
+        }
+        for c in 0..m as u32 {
+            if let Some(front) = self.lists.front(c) {
+                self.by_wait.insert((front.arrival, c));
+            }
+        }
+        // Charge the rebuild like the §6 maintenance it is: one op per
+        // re-bucketed unit plus one per replayed entry.
+        self.pending_cluster_ops += self.statics.len() as u64 + live.len() as u64;
+        true
+    }
+
     /// Heap bytes committed for unit, statics, and wait-list storage — the
     /// per-query memory figure the large-q bench reports.
     pub fn memory_footprint(&self) -> usize {
@@ -622,6 +685,10 @@ impl Policy for ClusteredBsdPolicy {
             ops_counted: ops,
             stats,
         })
+    }
+
+    fn on_domain_refreeze(&mut self) -> bool {
+        self.refreeze_domain()
     }
 
     fn on_statics_update(&mut self, unit: UnitId, statics: &UnitStatics) {
@@ -1205,6 +1272,106 @@ mod tests {
             now += ms(3);
         }
         assert!(r.select(&qr, now).is_none());
+    }
+
+    #[test]
+    fn refreeze_restores_resolution_after_domain_drift() {
+        let units = spread_units(10);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(8));
+        p.on_register(&units);
+        let mut q = MockQueues::new(10);
+        for u in 0..10u32 {
+            let t = TupleId::new(u as u64);
+            let a = ms(u as u64);
+            q.push(u, t, a);
+            p.on_enqueue(u, t, a, a);
+        }
+        // Drift every unit far above the frozen domain: incremental updates
+        // clamp them all into the top edge cluster.
+        for (u, s) in units.iter().enumerate() {
+            let drifted = UnitStatics {
+                selectivity: s.selectivity * 1e6,
+                ..*s
+            };
+            p.update_unit_statics(u as UnitId, &drifted);
+        }
+        let clamped = p.cluster_of(0);
+        assert!(
+            (0..10u32).all(|u| p.cluster_of(u) == clamped),
+            "drift past the frozen hi edge collapses everything into one bucket"
+        );
+        assert!(p.refreeze_domain(), "a real domain move reports true");
+        let distinct: std::collections::BTreeSet<u32> =
+            (0..10u32).map(|u| p.cluster_of(u)).collect();
+        assert!(
+            distinct.len() > 1,
+            "refreeze re-spreads the drifted Φ across clusters"
+        );
+        // Behavior matches a policy registered fresh on the drifted statics.
+        let drifted: Vec<UnitStatics> = units
+            .iter()
+            .map(|s| UnitStatics {
+                selectivity: s.selectivity * 1e6,
+                ..*s
+            })
+            .collect();
+        let mut fresh = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(8));
+        fresh.on_register(&drifted);
+        let mut qf = MockQueues::new(10);
+        for u in 0..10u32 {
+            let t = TupleId::new(u as u64);
+            let a = ms(u as u64);
+            qf.push(u, t, a);
+            fresh.on_enqueue(u, t, a, a);
+        }
+        let mut now = ms(100);
+        while !q.nonempty().is_empty() {
+            let a = p.select(&q, now).expect("refrozen selects");
+            let b = fresh.select(&qf, now).expect("fresh selects");
+            assert_eq!(a.units, b.units, "order diverged from fresh at {now}");
+            for &u in a.units.iter() {
+                q.pop(u);
+                qf.pop(u);
+            }
+            now += ms(3);
+        }
+        // And the rebuilt reference still agrees from here on (the
+        // differential invariant holds across a refreeze).
+        let r = p.rebuild_reference();
+        assert_eq!(r.cluster_of, p.cluster_of);
+        assert_eq!(r.pseudo, p.pseudo);
+    }
+
+    #[test]
+    fn refreeze_without_drift_reports_false() {
+        let units = spread_units(6);
+        let mut p = ClusteredBsdPolicy::new(ClusterConfig::logarithmic(4));
+        p.on_register(&units);
+        let mut q = MockQueues::new(6);
+        for u in 0..6u32 {
+            let t = TupleId::new(u as u64);
+            q.push(u, t, ms(u as u64));
+            p.on_enqueue(u, t, ms(u as u64), ms(u as u64));
+        }
+        let before: Vec<u32> = (0..6u32).map(|u| p.cluster_of(u)).collect();
+        let ops_before = p.pending_cluster_ops;
+        assert!(!p.refreeze_domain(), "unchanged statics: no-op refreeze");
+        let after: Vec<u32> = (0..6u32).map(|u| p.cluster_of(u)).collect();
+        assert_eq!(before, after);
+        assert_eq!(
+            p.pending_cluster_ops, ops_before,
+            "a no-op refreeze charges nothing"
+        );
+        // The backlog is untouched: everything still drains.
+        let mut served = 0;
+        while !q.nonempty().is_empty() {
+            let sel = p.select(&q, ms(500)).expect("drains after no-op refreeze");
+            for &u in sel.units.iter() {
+                q.pop(u);
+                served += 1;
+            }
+        }
+        assert_eq!(served, 6);
     }
 
     #[test]

@@ -34,7 +34,13 @@ impl Policy for FcfsPolicy {
         "FCFS"
     }
 
-    fn on_register(&mut self, _units: &[UnitStatics]) {}
+    fn on_register(&mut self, _units: &[UnitStatics]) {
+        // Re-registration is a full reset (trait contract): the engine
+        // replays the live backlog via `on_enqueue` right after, so any
+        // surviving mirror entries would be counted twice and desync
+        // `select` from the real queues.
+        self.fifo.clear();
+    }
 
     fn on_enqueue(&mut self, unit: UnitId, _tuple: TupleId, _arrival: Nanos, _now: Nanos) {
         self.fifo.push_back(unit);

@@ -56,7 +56,7 @@ pub mod statics;
 pub mod unit;
 mod waitlist;
 
-pub use adaptive::EwmaEstimator;
+pub use adaptive::{EwmaEstimator, WindowedEstimator};
 pub use bsd::BsdPolicy;
 pub use cluster::{ClusterConfig, ClusteredBsdPolicy, Clustering};
 pub use fcfs::FcfsPolicy;

@@ -298,6 +298,13 @@ pub trait Policy {
     fn name(&self) -> &'static str;
 
     /// Receive the static characterization of all units.
+    ///
+    /// Registration is a **full reset**, not an increment: implementations
+    /// must drop any transient per-tuple mirror state (wait lists, FIFOs,
+    /// heaps) along with rebuilding priorities. The engine relies on this
+    /// when it re-registers a standby policy on a governor policy switch —
+    /// it replays the live backlog through `on_enqueue` immediately after,
+    /// so mirror entries that survive `on_register` would be double-counted.
     fn on_register(&mut self, units: &[UnitStatics]);
 
     /// A tuple entered `unit`'s queue.
@@ -314,6 +321,18 @@ pub trait Policy {
     /// default no-op suits policies that never read statics after
     /// registration (FCFS, RR).
     fn on_statics_update(&mut self, _unit: UnitId, _statics: &UnitStatics) {}
+
+    /// Recompute any priority domain frozen at `on_register` from the unit
+    /// statics as the policy currently knows them (§10 adaptive estimation:
+    /// observed `Φ` can drift outside the registered range, and a frozen
+    /// clustering then clamps drifted units into its edge buckets, eroding
+    /// priority resolution). Returns true when domain-derived state was
+    /// actually rebuilt; the default no-op — correct for every policy
+    /// without a frozen domain — reports false so callers can count real
+    /// refreezes.
+    fn on_domain_refreeze(&mut self) -> bool {
+        false
+    }
 
     /// Heap bytes committed for per-unit scheduler state (statics mirrors,
     /// wait-list slabs, priority heaps). `None` when the policy does not

@@ -1,7 +1,7 @@
 //! Simulation configuration.
 
 use hcq_common::Nanos;
-use hcq_core::SharingStrategy;
+use hcq_core::{PolicyKind, SharingStrategy};
 
 /// Where scheduling points fall (§6).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -118,6 +118,27 @@ pub struct GovernorConfig {
     /// Pending-tuple watermark the governor measures its window overload
     /// share against (and that arms QosShed while escalated).
     pub watermark: usize,
+    /// Arm the meta-scheduler: on sustained overload the governor swaps the
+    /// running policy for [`GovernorConfig::overload_policy`] (re-syncing it
+    /// to the live queue state), and swaps the original back once the
+    /// overload regime subsides. Off by default — the governor then only
+    /// walks the admission-mode ladder.
+    pub switch_policy: bool,
+    /// Policy engaged while the overload regime persists. LSF (max-slowdown
+    /// minimizing) is the natural overload triage choice: under saturation
+    /// the tail, not the average, is what degrades first.
+    pub overload_policy: PolicyKind,
+    /// Engage the overload policy when the window overload share is at or
+    /// above this level for [`GovernorConfig::switch_sustain`] consecutive
+    /// complete windows.
+    pub switch_share: f64,
+    /// Return to the base policy when the share is at or below this level
+    /// for the same number of consecutive complete windows (must be <
+    /// `switch_share` for a real hysteresis band).
+    pub return_share: f64,
+    /// Consecutive complete cadence windows required on either side of the
+    /// switch band (≥ 1) — incomplete windows never count.
+    pub switch_sustain: u32,
 }
 
 impl Default for GovernorConfig {
@@ -132,8 +153,103 @@ impl Default for GovernorConfig {
             deescalate_share: 0.1,
             capacity: 0,
             watermark: 0,
+            switch_policy: false,
+            overload_policy: PolicyKind::Lsf,
+            switch_share: 0.6,
+            return_share: 0.15,
+            switch_sustain: 2,
         }
     }
+}
+
+/// How the adaptive layer folds execution observations into estimates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptMode {
+    /// Exponentially-weighted moving average over per-cadence *window
+    /// means* with smoothing factor [`AdaptConfig::alpha`]: one EWMA step
+    /// per publication window, fed the window's mean observation. Batching
+    /// first kills the per-execution variance (a tuple dropped by the entry
+    /// operator costs far less than one that runs the full pipeline) before
+    /// smoothing across windows. The default.
+    #[default]
+    Ewma,
+    /// Tumbling-window means, reset at every publication cadence: each
+    /// window sees only its own phase (right for on/off workloads), at the
+    /// price of higher variance within one.
+    Windowed,
+}
+
+/// Online statistics adaptation (§10 "dynamic environment"; off by default).
+///
+/// When enabled, the engine observes every unit execution's charged cost and
+/// root emissions — the same quantities the `UnitRun` trace event reports —
+/// and folds them into per-unit estimators. Every [`AdaptConfig::cadence`]
+/// of virtual time, units with at least [`AdaptConfig::min_observations`]
+/// fresh samples get their statics re-published through the policy's
+/// `on_statics_update` path (O(1) per unit for clustered BSD), and when a
+/// published `Φ` drifts outside the policy's frozen priority domain by more
+/// than [`AdaptConfig::refreeze_factor`], the engine asks the policy to
+/// refreeze the domain. Disabled, the engine carries no estimator state and
+/// behaves bit-identically to a non-adaptive run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptConfig {
+    /// Master switch. When false the engine allocates nothing and every
+    /// observation site compiles down to a null-pointer check.
+    pub enabled: bool,
+    /// Estimate shape: EWMA or tumbling-window means.
+    pub mode: AdaptMode,
+    /// EWMA smoothing factor in (0, 1] (weight of the newest window mean);
+    /// ignored under [`AdaptMode::Windowed`].
+    pub alpha: f64,
+    /// Virtual-time interval between publications (must be positive when
+    /// enabled).
+    pub cadence: Nanos,
+    /// Minimum fresh samples a unit needs before its estimate is published
+    /// at a cadence boundary — keeps one noisy execution from repricing a
+    /// unit.
+    pub min_observations: u64,
+    /// Slack ratio on the frozen `Φ` domain before a refreeze is requested:
+    /// published `Φ` outside `[lo/f, hi·f]` triggers one. Must be ≥ 1; the
+    /// paper-faithful "never refreeze" is `f64::INFINITY`.
+    pub refreeze_factor: f64,
+    /// When false, estimates are maintained but never published to the
+    /// policy — an observe-only probe whose scheduling is bit-identical to
+    /// a non-adaptive run (used to measure true statics under faults, and
+    /// as an ablation).
+    pub publish: bool,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            enabled: false,
+            mode: AdaptMode::Ewma,
+            alpha: 0.2,
+            cadence: Nanos::from_millis(50),
+            min_observations: 2,
+            refreeze_factor: 1.5,
+            publish: true,
+        }
+    }
+}
+
+/// One step of a piecewise drifting-statics schedule: from `at` onward,
+/// every operator's actual cost is additionally scaled by `cost_factor` and
+/// every selectivity decision by `selectivity_factor` (clamped into [0, 1]
+/// at the decision). Steps model environment drift — data distribution or
+/// load changes that move the *true* statistics away from whatever the plan
+/// (and any earlier observation) believed — and are policy-independent, so
+/// drifted runs remain comparable across policies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftStep {
+    /// Virtual time the step takes effect.
+    pub at: Nanos,
+    /// Multiplier on actual operator cost from `at` on (must be positive
+    /// and finite).
+    pub cost_factor: f64,
+    /// Multiplier on operator selectivity from `at` on (must be
+    /// non-negative and finite; the effective probability clamps to 1).
+    pub selectivity_factor: f64,
 }
 
 /// Simulation parameters.
@@ -171,6 +287,11 @@ pub struct SimConfig {
     pub faults: FaultConfig,
     /// Closed-loop admission-mode governor (default: disabled).
     pub governor: GovernorConfig,
+    /// Online statistics adaptation (default: disabled).
+    pub adapt: AdaptConfig,
+    /// Piecewise drifting-statics schedule, sorted by
+    /// [`DriftStep::at`] (default: empty — stationary true statistics).
+    pub drift: Vec<DriftStep>,
     /// Virtual-time cadence between telemetry snapshots (default 100 ms).
     /// Only read when a run is monitored (a [`crate::MetricsSink`] with
     /// `ENABLED = true` is attached); otherwise no sampling happens at all.
@@ -193,6 +314,8 @@ impl SimConfig {
             overload: OverloadConfig::default(),
             faults: FaultConfig::default(),
             governor: GovernorConfig::default(),
+            adapt: AdaptConfig::default(),
+            drift: Vec::new(),
             telemetry_cadence: Nanos::from_millis(100),
         }
     }
@@ -211,12 +334,17 @@ impl SimConfig {
         self
     }
 
-    /// Enable persistent per-operator cost misestimation (fraction in
-    /// [0, 1)), drawn deterministically from `fault_seed`.
+    /// Enable persistent per-operator cost misestimation: each operator's
+    /// actual cost is scaled by a deterministic factor from `[1−m, 1+m]`,
+    /// drawn from `fault_seed`. `m` up to (exclusive) 8 is accepted — past
+    /// `m = 1` the low side of the draw would go non-positive, so realized
+    /// factors clamp to a 1% floor (the high side reaches `1+m`, i.e. up to
+    /// 4× actual cost at `m = 3`); for `m < 1` behavior is unchanged from
+    /// the historical [0, 1) range.
     pub fn with_cost_miscalibration(mut self, m: f64, fault_seed: u64) -> Self {
         assert!(
-            (0.0..1.0).contains(&m),
-            "miscalibration must be in [0, 1), got {m}"
+            (0.0..8.0).contains(&m),
+            "miscalibration must be in [0, 8), got {m}"
         );
         self.faults.cost_miscalibration = m;
         self.faults.seed = fault_seed;
@@ -267,7 +395,66 @@ impl SimConfig {
             governor.escalate_share > governor.deescalate_share,
             "escalate_share must exceed deescalate_share (hysteresis band)"
         );
+        if governor.switch_policy {
+            assert!(
+                governor.switch_share > governor.return_share,
+                "switch_share must exceed return_share (hysteresis band)"
+            );
+            assert!(
+                governor.switch_sustain >= 1,
+                "switch_sustain must be >= 1"
+            );
+        }
         self.governor = governor;
+        self
+    }
+
+    /// Attach online statistics adaptation. `adapt.enabled` must be true,
+    /// its cadence positive, its alpha in (0, 1], and its refreeze slack
+    /// ≥ 1.
+    pub fn with_adaptation(mut self, adapt: AdaptConfig) -> Self {
+        assert!(adapt.enabled, "with_adaptation requires enabled = true");
+        assert!(
+            !adapt.cadence.is_zero(),
+            "adaptation cadence must be positive"
+        );
+        assert!(
+            adapt.alpha > 0.0 && adapt.alpha <= 1.0,
+            "adaptation alpha must be in (0, 1], got {}",
+            adapt.alpha
+        );
+        assert!(
+            adapt.refreeze_factor >= 1.0,
+            "refreeze factor must be >= 1, got {}",
+            adapt.refreeze_factor
+        );
+        self.adapt = adapt;
+        self
+    }
+
+    /// Attach a piecewise drifting-statics schedule. Steps must be sorted
+    /// by time with positive finite cost factors and non-negative finite
+    /// selectivity factors.
+    pub fn with_drift(mut self, steps: Vec<DriftStep>) -> Self {
+        for pair in steps.windows(2) {
+            assert!(
+                pair[0].at <= pair[1].at,
+                "drift steps must be sorted by time"
+            );
+        }
+        for s in &steps {
+            assert!(
+                s.cost_factor.is_finite() && s.cost_factor > 0.0,
+                "drift cost factor must be positive and finite, got {}",
+                s.cost_factor
+            );
+            assert!(
+                s.selectivity_factor.is_finite() && s.selectivity_factor >= 0.0,
+                "drift selectivity factor must be non-negative and finite, got {}",
+                s.selectivity_factor
+            );
+        }
+        self.drift = steps;
         self
     }
 
@@ -396,6 +583,31 @@ mod tests {
     }
 
     #[test]
+    fn governor_switch_defaults_off_with_sane_band() {
+        let g = GovernorConfig::default();
+        assert!(!g.switch_policy);
+        assert_eq!(g.overload_policy, PolicyKind::Lsf);
+        assert!(g.switch_share > g.return_share);
+        assert!(g.switch_sustain >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "switch_share")]
+    fn governor_rejects_inverted_switch_band() {
+        let g = GovernorConfig {
+            enabled: true,
+            escalate_pending: 10,
+            deescalate_pending: 2,
+            capacity: 32,
+            switch_policy: true,
+            switch_share: 0.1,
+            return_share: 0.5,
+            ..GovernorConfig::default()
+        };
+        let _ = SimConfig::new(1).with_governor(g);
+    }
+
+    #[test]
     #[should_panic(expected = "capacity")]
     fn governor_rejects_zero_capacity() {
         let g = GovernorConfig {
@@ -406,6 +618,114 @@ mod tests {
             ..GovernorConfig::default()
         };
         let _ = SimConfig::new(1).with_governor(g);
+    }
+
+    #[test]
+    fn adaptation_defaults_off() {
+        let c = SimConfig::new(10);
+        assert!(!c.adapt.enabled);
+        assert!(c.drift.is_empty());
+    }
+
+    #[test]
+    fn adaptation_builder() {
+        let c = SimConfig::new(10).with_adaptation(AdaptConfig {
+            enabled: true,
+            alpha: 0.3,
+            cadence: Nanos::from_millis(20),
+            ..AdaptConfig::default()
+        });
+        assert!(c.adapt.enabled);
+        assert_eq!(c.adapt.alpha, 0.3);
+        assert_eq!(c.adapt.mode, AdaptMode::Ewma);
+        assert!(c.adapt.publish);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn adaptation_rejects_bad_alpha() {
+        let _ = SimConfig::new(1).with_adaptation(AdaptConfig {
+            enabled: true,
+            alpha: 1.5,
+            ..AdaptConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence")]
+    fn adaptation_rejects_zero_cadence() {
+        let _ = SimConfig::new(1).with_adaptation(AdaptConfig {
+            enabled: true,
+            cadence: Nanos::ZERO,
+            ..AdaptConfig::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "refreeze")]
+    fn adaptation_rejects_sub_unity_refreeze_slack() {
+        let _ = SimConfig::new(1).with_adaptation(AdaptConfig {
+            enabled: true,
+            refreeze_factor: 0.5,
+            ..AdaptConfig::default()
+        });
+    }
+
+    #[test]
+    fn drift_builder_and_validation() {
+        let c = SimConfig::new(1).with_drift(vec![
+            DriftStep {
+                at: Nanos::from_millis(10),
+                cost_factor: 2.0,
+                selectivity_factor: 0.5,
+            },
+            DriftStep {
+                at: Nanos::from_millis(30),
+                cost_factor: 0.5,
+                selectivity_factor: 1.0,
+            },
+        ]);
+        assert_eq!(c.drift.len(), 2);
+        assert_eq!(c.drift[1].cost_factor, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn drift_rejects_unsorted_steps() {
+        let _ = SimConfig::new(1).with_drift(vec![
+            DriftStep {
+                at: Nanos::from_millis(30),
+                cost_factor: 2.0,
+                selectivity_factor: 1.0,
+            },
+            DriftStep {
+                at: Nanos::from_millis(10),
+                cost_factor: 2.0,
+                selectivity_factor: 1.0,
+            },
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cost factor")]
+    fn drift_rejects_non_positive_cost_factor() {
+        let _ = SimConfig::new(1).with_drift(vec![DriftStep {
+            at: Nanos::ZERO,
+            cost_factor: 0.0,
+            selectivity_factor: 1.0,
+        }]);
+    }
+
+    #[test]
+    fn wide_miscalibration_is_accepted() {
+        let c = SimConfig::new(1).with_cost_miscalibration(3.0, 5);
+        assert_eq!(c.faults.cost_miscalibration, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "miscalibration")]
+    fn absurd_miscalibration_is_rejected() {
+        let _ = SimConfig::new(1).with_cost_miscalibration(8.0, 5);
     }
 
     #[test]

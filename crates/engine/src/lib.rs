@@ -59,7 +59,8 @@ pub mod trace;
 pub mod tuple;
 
 pub use config::{
-    AdmissionMode, FaultConfig, GovernorConfig, OverloadConfig, SchedulingLevel, SimConfig,
+    AdaptConfig, AdaptMode, AdmissionMode, DriftStep, FaultConfig, GovernorConfig, OverloadConfig,
+    SchedulingLevel, SimConfig,
 };
 pub use hcq_metrics::TelemetrySnapshot;
 pub use model::{SimModel, UnitDesc, UnitKind};

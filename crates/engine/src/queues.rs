@@ -102,6 +102,13 @@ impl UnitQueues {
         Some(t)
     }
 
+    /// Iterate the unit's queued tuples in FIFO order (head first) without
+    /// disturbing them — the policy-switch resync path reads the full
+    /// backlog to replay it into a freshly built policy.
+    pub fn tuples(&self, unit: UnitId) -> impl Iterator<Item = &SimTuple> {
+        self.queues[unit as usize].iter()
+    }
+
     /// Total pending tuples across all units.
     pub fn pending(&self) -> usize {
         self.pending

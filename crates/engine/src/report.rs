@@ -1,6 +1,7 @@
 //! Simulation output.
 
 use hcq_common::Nanos;
+use hcq_core::UnitStatics;
 use hcq_metrics::{ClassBreakdown, OverheadTotals, QosSummary, QosTimeSeries, SlowdownHistogram};
 
 /// Everything a simulation run reports.
@@ -35,6 +36,22 @@ pub struct SimReport {
     /// Admission-mode transitions taken by the overload governor. 0 when
     /// the governor is disabled.
     pub governor_transitions: u64,
+    /// Policy switches taken by the governor's meta-scheduler (engage and
+    /// disengage each count). 0 unless `switch_policy` is armed.
+    pub policy_switches: u64,
+    /// Re-estimated statics publications the online estimator forwarded to
+    /// the policy. 0 when adaptation is disabled or observe-only refinement
+    /// never crossed the publication bar.
+    pub statics_updates: u64,
+    /// Priority-domain refreezes the policy acknowledged after published
+    /// estimates drifted outside the span frozen at registration.
+    pub domain_refreezes: u64,
+    /// The estimator's final per-unit statics view (`None` when adaptation
+    /// is disabled): smoothed estimates under EWMA, the open window's mean
+    /// (or last published values) under windowed estimation. `ideal_time`
+    /// is carried through unchanged — only cost and selectivity are
+    /// re-estimated.
+    pub estimates: Option<Vec<UnitStatics>>,
     /// Source stall time that fell inside the run (`FaultySource` windows
     /// clipped to the final clock).
     pub fault_stall_time: Nanos,
@@ -138,6 +155,10 @@ mod tests {
             op_failures: 0,
             quarantine_time: Nanos::ZERO,
             governor_transitions: 0,
+            policy_switches: 0,
+            statics_updates: 0,
+            domain_refreezes: 0,
+            estimates: None,
             fault_stall_time: Nanos::ZERO,
             fault_stall_truncated: Nanos::ZERO,
             source_disconnects: 0,
@@ -182,6 +203,10 @@ mod tests {
             op_failures: 0,
             quarantine_time: Nanos::ZERO,
             governor_transitions: 0,
+            policy_switches: 0,
+            statics_updates: 0,
+            domain_refreezes: 0,
+            estimates: None,
             fault_stall_time: Nanos::ZERO,
             fault_stall_truncated: Nanos::ZERO,
             source_disconnects: 0,

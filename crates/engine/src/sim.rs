@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use hcq_common::{det, EngineError, HcqError, Nanos, Result, StreamId, TupleId};
-use hcq_core::{Policy, PriorityKey, QueueView, UnitStatics};
+use hcq_core::{EwmaEstimator, Policy, PriorityKey, QueueView, UnitStatics, WindowedEstimator};
 use hcq_join::{Side, SymmetricHashJoin};
 use hcq_metrics::{
     ClassBreakdown, OverheadTotals, QosAccumulator, QosTimeSeries, SlowdownHistogram,
@@ -12,7 +12,7 @@ use hcq_metrics::{
 use hcq_plan::{CompiledOpKind, GlobalPlan, OperatorSpec, Port, StreamRates};
 use hcq_streams::{ArrivalSource, SourceFaultStats};
 
-use crate::config::{AdmissionMode, GovernorConfig, SchedulingLevel, SimConfig};
+use crate::config::{AdaptConfig, AdaptMode, AdmissionMode, GovernorConfig, SchedulingLevel, SimConfig};
 use crate::model::{SimModel, UnitKind};
 use crate::queues::UnitQueues;
 use crate::report::SimReport;
@@ -113,8 +113,104 @@ struct GovernorState {
     /// Virtual time spent at or above the watermark since the last
     /// decision (the hysteresis signal's numerator).
     window_overload: Nanos,
+    /// Instant the current accumulation window opened (the last time
+    /// `window_overload` was zeroed). A window is *complete* only once a
+    /// full cadence of observation has elapsed since then; caught-up
+    /// decision boundaries processed in one `govern` call all see the same
+    /// clock, so their windows are empty and must not be read as calm.
+    window_start: Nanos,
     /// Mode transitions taken so far.
     transitions: u64,
+    /// Consecutive complete windows with overload share at or above
+    /// [`GovernorConfig::switch_share`].
+    high_streak: u32,
+    /// Consecutive complete windows with overload share at or below
+    /// [`GovernorConfig::return_share`].
+    low_streak: u32,
+    /// The base policy, parked while the overload policy is engaged.
+    standby: Option<Box<dyn Policy>>,
+    /// Instant of the last policy switch (`None` before the first).
+    last_switch: Option<Nanos>,
+    /// Policy switches taken so far (engage and disengage each count).
+    switches: u64,
+}
+
+/// Live state of the online statistics estimator. Boxed behind an `Option`
+/// on the simulator so an adaptation-disabled run carries one null pointer
+/// and is bit-identical to an engine without the feature.
+struct AdaptState {
+    cfg: AdaptConfig,
+    /// Next cadence boundary at which to publish re-estimates.
+    next_flush: Nanos,
+    /// Per-unit EWMA estimators ([`AdaptMode::Ewma`]; empty otherwise).
+    /// These smooth across cadence-window *means*, not raw observations:
+    /// per-execution cost is heavily bimodal (a tuple dropped by the entry
+    /// operator versus one that runs the full pipeline), and feeding raw
+    /// samples makes priorities thrash hard enough to lose QoS outright.
+    ewma: Vec<EwmaEstimator>,
+    /// Per-unit in-window accumulators (both modes): the open cadence
+    /// window's running sums, folded into `ewma` or read directly at flush.
+    windowed: Vec<WindowedEstimator>,
+    /// The statics as the policy currently knows them: plan statics at
+    /// registration, then whatever was last published.
+    current: Vec<UnitStatics>,
+    /// Observations per unit since the last flush boundary.
+    fresh: Vec<u64>,
+    /// Span of the positive priority coordinates `Φ` at registration —
+    /// the engine's view of the domain a clustered policy froze. Published
+    /// estimates drifting outside `[lo/f, hi·f]` trigger a refreeze.
+    phi_lo: f64,
+    phi_hi: f64,
+    /// Statics publications forwarded to the policy.
+    statics_updates: u64,
+    /// Priority-domain refreezes the policy acknowledged.
+    refreezes: u64,
+}
+
+impl AdaptState {
+    /// Record one observed unit execution: total charged cost and tuples
+    /// emitted while the unit ran one input tuple.
+    fn observe(&mut self, unit: u32, cost: Nanos, produced: f64) {
+        let u = unit as usize;
+        self.windowed[u].observe(cost, produced);
+        self.fresh[u] += 1;
+    }
+
+    /// The current estimate for `unit`: smoothed (EWMA) or the open
+    /// window's mean, falling back to the last published statics when the
+    /// window is empty. `ideal_time` is never re-estimated.
+    fn estimate_of(&self, unit: usize) -> UnitStatics {
+        let base = self.current[unit];
+        let ideal = Nanos::from_nanos(base.ideal_time_ns.round() as u64);
+        match self.cfg.mode {
+            AdaptMode::Ewma => {
+                let e = &self.ewma[unit];
+                UnitStatics::new(e.selectivity(), e.cost(), ideal)
+            }
+            AdaptMode::Windowed => {
+                let w = &self.windowed[unit];
+                match (w.cost(), w.selectivity()) {
+                    (Some(c), Some(s)) => UnitStatics::new(s, c, ideal),
+                    _ => base,
+                }
+            }
+        }
+    }
+
+    /// Re-anchor the tracked Φ span to the currently published statics,
+    /// so a single drifted unit does not re-trigger every flush.
+    fn reanchor_phi_span(&mut self) {
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for s in &self.current {
+            let p = s.sanitized_phi();
+            if p > 0.0 {
+                lo = lo.min(p);
+            }
+            hi = hi.max(p);
+        }
+        self.phi_lo = if lo.is_finite() { lo } else { 0.0 };
+        self.phi_hi = hi;
+    }
 }
 
 /// A tuple quarantined after a transient operator failure, waiting for its
@@ -187,6 +283,16 @@ pub struct Simulator<S: TraceSink = NoTrace, M: MetricsSink = NoTelemetry> {
     admission_watermark: usize,
     /// The closed-loop governor; `None` when disabled.
     governor: Option<Box<GovernorState>>,
+    /// The online statistics estimator; `None` when disabled.
+    adapt: Option<Box<AdaptState>>,
+
+    /// Drifting-statics runtime: the factors currently in force and the
+    /// next [`crate::config::DriftStep`] not yet applied. Both factors are
+    /// exactly `1.0` until a step installs them, so the drift-free hot path
+    /// is a single float compare.
+    drift_cost: f64,
+    drift_sel: f64,
+    drift_idx: usize,
 
     /// Tuples quarantined by transient operator failures, keyed by release
     /// time; min-heap.
@@ -305,6 +411,37 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                     "governor cadence and min_dwell must be positive".to_string(),
                 ));
             }
+            if cfg.governor.switch_policy {
+                if cfg.governor.switch_share <= cfg.governor.return_share {
+                    return Err(HcqError::config(
+                        "policy switching needs switch_share > return_share \
+                         (hysteresis band)"
+                            .to_string(),
+                    ));
+                }
+                if cfg.governor.switch_sustain == 0 {
+                    return Err(HcqError::config(
+                        "policy switching needs switch_sustain of at least 1".to_string(),
+                    ));
+                }
+            }
+        }
+        if cfg.adapt.enabled {
+            if cfg.adapt.cadence.is_zero() {
+                return Err(HcqError::config(
+                    "adaptation cadence must be positive".to_string(),
+                ));
+            }
+            if !(cfg.adapt.alpha > 0.0 && cfg.adapt.alpha <= 1.0) {
+                return Err(HcqError::config(
+                    "adaptation alpha must be in (0, 1]".to_string(),
+                ));
+            }
+            if !(cfg.adapt.refreeze_factor >= 1.0) {
+                return Err(HcqError::config(
+                    "adaptation refreeze_factor must be at least 1".to_string(),
+                ));
+            }
         }
         if cfg.faults.op_failure_prob > 0.0 && cfg.faults.op_failure_cooldown.is_zero() {
             return Err(HcqError::config(
@@ -383,8 +520,42 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 floor: ladder_level(cfg.overload.mode),
                 level: ladder_level(cfg.overload.mode),
                 window_overload: Nanos::ZERO,
+                window_start: Nanos::ZERO,
                 transitions: 0,
+                high_streak: 0,
+                low_streak: 0,
+                standby: None,
+                last_switch: None,
+                switches: 0,
             })
+        });
+        let adapt = cfg.adapt.enabled.then(|| {
+            let mut state = Box::new(AdaptState {
+                cfg: cfg.adapt,
+                next_flush: cfg.adapt.cadence,
+                ewma: match cfg.adapt.mode {
+                    AdaptMode::Ewma => unit_statics
+                        .iter()
+                        .map(|s| {
+                            EwmaEstimator::new(
+                                cfg.adapt.alpha,
+                                Nanos::from_nanos(s.avg_cost_ns.round() as u64),
+                                s.selectivity,
+                            )
+                        })
+                        .collect(),
+                    AdaptMode::Windowed => Vec::new(),
+                },
+                windowed: vec![WindowedEstimator::new(); unit_statics.len()],
+                current: unit_statics.clone(),
+                fresh: vec![0; unit_statics.len()],
+                phi_lo: 0.0,
+                phi_hi: 0.0,
+                statics_updates: 0,
+                refreezes: 0,
+            });
+            state.reanchor_phi_span();
+            state
         });
         let queues = if cfg.overload.mode != AdmissionMode::Unbounded || cfg.governor.enabled {
             UnitQueues::bounded(n_units, admission_capacity)
@@ -419,6 +590,10 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             admission_capacity,
             admission_watermark,
             governor,
+            adapt,
+            drift_cost: 1.0,
+            drift_sel: 1.0,
+            drift_idx: 0,
             parked: BinaryHeap::new(),
             park_seq: 0,
             fail_attempts: HashMap::new(),
@@ -460,6 +635,9 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
     /// only the affected unit instead of rebuilding its priority domain.
     pub fn update_unit_statics(&mut self, unit: u32, statics: UnitStatics) {
         self.shed_priority[unit as usize] = statics.hnr_priority();
+        if let Some(a) = self.adapt.as_mut() {
+            a.current[unit as usize] = statics;
+        }
         self.policy.on_statics_update(unit, &statics);
     }
 
@@ -496,6 +674,10 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
 
     /// [`run`](Self::run), handing back both instrumentation sinks.
     pub fn run_instrumented(mut self) -> Result<(SimReport, S, M)> {
+        // Steps scheduled at t=0 are in force before the first charge.
+        if self.drift_idx < self.cfg.drift.len() {
+            self.apply_due_drift();
+        }
         if S::ENABLED && self.cfg.faults.cost_miscalibration > 0.0 {
             let magnitude = self.cfg.faults.cost_miscalibration;
             self.trace(TraceEvent::Fault {
@@ -520,6 +702,9 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             }
             if self.governor.is_some() {
                 self.govern();
+            }
+            if self.adapt.is_some() {
+                self.adapt_flush();
             }
             if self.queues.all_empty() {
                 // Idle: jump to the next event — an arrival or a parked
@@ -626,6 +811,14 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             op_failures: self.op_failures,
             quarantine_time: self.quarantine_time,
             governor_transitions: self.governor.as_ref().map_or(0, |g| g.transitions),
+            policy_switches: self.governor.as_ref().map_or(0, |g| g.switches),
+            statics_updates: self.adapt.as_ref().map_or(0, |a| a.statics_updates),
+            domain_refreezes: self.adapt.as_ref().map_or(0, |a| a.refreezes),
+            estimates: self.adapt.as_ref().map(|a| {
+                (0..self.model.unit_count())
+                    .map(|u| a.estimate_of(u))
+                    .collect()
+            }),
             fault_stall_time,
             fault_stall_truncated,
             source_disconnects: source_stats.disconnects,
@@ -700,6 +893,18 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             t.governor_transitions,
             self.governor.as_ref().map_or(0, |g| g.transitions),
         );
+        reg.set_counter(
+            t.policy_switches,
+            self.governor.as_ref().map_or(0, |g| g.switches),
+        );
+        reg.set_counter(
+            t.statics_updates,
+            self.adapt.as_ref().map_or(0, |a| a.statics_updates),
+        );
+        reg.set_counter(
+            t.domain_refreezes,
+            self.adapt.as_ref().map_or(0, |a| a.refreezes),
+        );
         reg.set_gauge(t.pending, self.queues.pending() as f64);
         reg.set_gauge(t.peak_pending, self.peak_pending as f64);
         reg.set_gauge(
@@ -737,6 +942,35 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             }
         }
         self.clock = target;
+        if self.drift_idx < self.cfg.drift.len() {
+            self.apply_due_drift();
+        }
+    }
+
+    /// Install every drift step whose instant the clock has reached. Steps
+    /// are validated sorted, so the factors in force are always those of
+    /// the latest due step.
+    fn apply_due_drift(&mut self) {
+        while self.drift_idx < self.cfg.drift.len() {
+            let step = self.cfg.drift[self.drift_idx];
+            if step.at > self.clock {
+                break;
+            }
+            self.drift_cost = step.cost_factor;
+            self.drift_sel = step.selectivity_factor;
+            self.drift_idx += 1;
+        }
+    }
+
+    /// The selectivity actually in force for a nominal `s` under the
+    /// current drift factors.
+    #[inline]
+    fn drifted_selectivity(&self, s: f64) -> f64 {
+        if self.drift_sel == 1.0 {
+            s
+        } else {
+            (s * self.drift_sel).min(1.0)
+        }
     }
 
     /// Take a governor decision at every cadence boundary the clock has
@@ -755,46 +989,217 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             g.next_decision = at + g.cfg.cadence;
             let pending = self.queues.pending();
             let share = g.window_overload.ratio(g.cfg.cadence).min(1.0);
+            // A window that accumulated for less than one cadence — the
+            // trailing boundaries of a catch-up batch, or the first
+            // boundary after a transition when min_dwell is shorter than
+            // the cadence — understates the overload share. Escalation may
+            // still act on it (a high share on a short window is a real
+            // signal, and pending depth is unaffected); de-escalation and
+            // switch-streak accounting must not mistake it for calm.
+            let window_complete =
+                self.clock.saturating_since(g.window_start) >= g.cfg.cadence;
             g.window_overload = Nanos::ZERO;
+            g.window_start = self.clock;
             let dwell_ok = match g.last_transition {
                 None => true,
                 Some(last) => at.saturating_since(last) >= g.cfg.min_dwell,
             };
-            if !dwell_ok {
-                continue;
+            if dwell_ok {
+                let want_up = g.level < ladder_level(AdmissionMode::QosShed)
+                    && ((g.cfg.escalate_pending > 0 && pending >= g.cfg.escalate_pending)
+                        || share >= g.cfg.escalate_share);
+                let want_down = g.level > g.floor
+                    && window_complete
+                    && pending <= g.cfg.deescalate_pending
+                    && share <= g.cfg.deescalate_share;
+                if want_up || want_down {
+                    let next_level = if want_up { g.level + 1 } else { g.level - 1 };
+                    let from = LADDER[g.level as usize];
+                    let to = LADDER[next_level as usize];
+                    g.level = next_level;
+                    g.last_transition = Some(at);
+                    g.transitions += 1;
+                    self.admission_mode = to;
+                    if S::ENABLED {
+                        // Stamped with the clock, not the (possibly
+                        // caught-up past) cadence boundary, so the trace
+                        // stays monotone.
+                        self.trace(TraceEvent::GovernorTransition {
+                            at: self.clock,
+                            from: mode_name(from),
+                            to: mode_name(to),
+                            pending: pending as u64,
+                            share,
+                        });
+                    }
+                }
             }
-            let want_up = g.level < ladder_level(AdmissionMode::QosShed)
-                && ((g.cfg.escalate_pending > 0 && pending >= g.cfg.escalate_pending)
-                    || share >= g.cfg.escalate_share);
-            let want_down = g.level > g.floor
-                && pending <= g.cfg.deescalate_pending
-                && share <= g.cfg.deescalate_share;
-            let next_level = if want_up {
-                g.level + 1
-            } else if want_down {
-                g.level - 1
-            } else {
-                continue;
-            };
-            let from = LADDER[g.level as usize];
-            let to = LADDER[next_level as usize];
-            g.level = next_level;
-            g.last_transition = Some(at);
-            g.transitions += 1;
-            self.admission_mode = to;
-            if S::ENABLED {
-                // Stamped with the clock, not the (possibly caught-up past)
-                // cadence boundary, so the trace stays monotone.
-                self.trace(TraceEvent::GovernorTransition {
-                    at: self.clock,
-                    from: mode_name(from),
-                    to: mode_name(to),
-                    pending: pending as u64,
-                    share,
-                });
+            if g.cfg.switch_policy {
+                self.meta_schedule(&mut g, at, share, window_complete);
             }
         }
         self.governor = Some(g);
+    }
+
+    /// The meta-scheduler rung of the governor: swap the running policy for
+    /// the configured overload policy after `switch_sustain` consecutive
+    /// complete windows at or above `switch_share`, and back after as many
+    /// at or below `return_share`. The band between the thresholds resets
+    /// both streaks, and `min_dwell` applies between switches, so a share
+    /// oscillating around either threshold cannot thrash the policy.
+    fn meta_schedule(
+        &mut self,
+        g: &mut GovernorState,
+        at: Nanos,
+        share: f64,
+        window_complete: bool,
+    ) {
+        if window_complete {
+            if share >= g.cfg.switch_share {
+                g.high_streak += 1;
+                g.low_streak = 0;
+            } else if share <= g.cfg.return_share {
+                g.low_streak += 1;
+                g.high_streak = 0;
+            } else {
+                g.high_streak = 0;
+                g.low_streak = 0;
+            }
+        }
+        let dwell_ok = match g.last_switch {
+            None => true,
+            Some(last) => at.saturating_since(last) >= g.cfg.min_dwell,
+        };
+        if !dwell_ok {
+            return;
+        }
+        let engaged = g.standby.is_some();
+        if !engaged && g.high_streak >= g.cfg.switch_sustain {
+            // Don't switch to what is already running (e.g. the base
+            // policy IS the configured overload policy).
+            if self.policy.name() == g.cfg.overload_policy.name() {
+                g.high_streak = 0;
+                return;
+            }
+            let mut next: Box<dyn Policy> = g.cfg.overload_policy.build();
+            self.resync_policy(next.as_mut());
+            let from = self.policy.name();
+            g.standby = Some(std::mem::replace(&mut self.policy, next));
+            self.record_switch(g, at, from, share);
+        } else if engaged && g.low_streak >= g.cfg.switch_sustain {
+            let mut base = g.standby.take().expect("engaged implies a standby");
+            self.resync_policy(base.as_mut());
+            let from = self.policy.name();
+            self.policy = base;
+            self.record_switch(g, at, from, share);
+        }
+    }
+
+    /// Bookkeeping and tracing common to both switch directions.
+    fn record_switch(&mut self, g: &mut GovernorState, at: Nanos, from: &'static str, share: f64) {
+        g.last_switch = Some(at);
+        g.switches += 1;
+        g.high_streak = 0;
+        g.low_streak = 0;
+        if S::ENABLED {
+            let to = self.policy.name();
+            self.trace(TraceEvent::PolicySwitch {
+                at: self.clock,
+                from,
+                to,
+                share,
+            });
+        }
+    }
+
+    /// Bring a policy that has not been observing the run up to date:
+    /// register the statics as currently published (re-estimates when
+    /// adaptation is on, plan statics otherwise), then replay every queued
+    /// tuple in global arrival order. Quarantined tuples re-enter through
+    /// admission on release, so only live queue contents need replaying.
+    fn resync_policy(&self, policy: &mut dyn Policy) {
+        let statics = match self.adapt.as_ref() {
+            Some(a) => a.current.clone(),
+            None => self.model.unit_statics(),
+        };
+        policy.on_register(&statics);
+        let mut backlog: Vec<(Nanos, u32, TupleId)> = Vec::new();
+        for unit in 0..self.model.unit_count() as u32 {
+            for t in self.queues.tuples(unit) {
+                backlog.push((t.arrival, unit, t.id));
+            }
+        }
+        // Stable by arrival: per-unit FIFO order is preserved for ties,
+        // and the replay order is a pure function of queue contents.
+        backlog.sort_by_key(|&(arrival, unit, _)| (arrival, unit));
+        for (arrival, unit, id) in backlog {
+            policy.on_enqueue(unit, id, arrival, self.clock);
+        }
+    }
+
+    /// Publish re-estimated statics at every adaptation cadence boundary
+    /// the clock has reached, and refreeze the policy's priority domain
+    /// when the published coordinates have drifted outside the span frozen
+    /// at registration (scaled by the configured slack). The estimator
+    /// state is taken out of `self` for the duration because publishing
+    /// re-borrows the simulator.
+    fn adapt_flush(&mut self) {
+        let Some(mut a) = self.adapt.take() else {
+            return;
+        };
+        let mut due = false;
+        while self.clock >= a.next_flush {
+            a.next_flush += a.cfg.cadence;
+            due = true;
+        }
+        if !due {
+            self.adapt = Some(a);
+            return;
+        }
+        let mut drifted = false;
+        for u in 0..a.current.len() {
+            if a.fresh[u] < a.cfg.min_observations {
+                // Sparse units keep accumulating across boundaries until
+                // they have a publishable window.
+                continue;
+            }
+            a.fresh[u] = 0;
+            if a.cfg.mode == AdaptMode::Ewma {
+                // One EWMA step per cadence window, fed the window's mean:
+                // batching kills the per-execution variance before it can
+                // reach the priority domain.
+                if let (Some(c), Some(s)) = (a.windowed[u].cost(), a.windowed[u].selectivity()) {
+                    a.ewma[u].observe(c, s);
+                }
+            }
+            let estimate = a.estimate_of(u);
+            a.windowed[u].reset();
+            if !a.cfg.publish || estimate == a.current[u] {
+                continue;
+            }
+            a.current[u] = estimate;
+            a.statics_updates += 1;
+            self.shed_priority[u] = estimate.hnr_priority();
+            self.policy.on_statics_update(u as u32, &estimate);
+            if a.phi_hi > 0.0 {
+                let phi = estimate.sanitized_phi();
+                if phi > a.phi_hi * a.cfg.refreeze_factor
+                    || (phi > 0.0 && phi < a.phi_lo / a.cfg.refreeze_factor)
+                {
+                    drifted = true;
+                }
+            }
+        }
+        if drifted {
+            if self.policy.on_domain_refreeze() {
+                a.refreezes += 1;
+            }
+            // Re-anchor even when the policy declined (static policies
+            // have no frozen domain): the span check should not re-fire
+            // every flush for the same drift.
+            a.reanchor_phi_span();
+        }
+        self.adapt = Some(a);
     }
 
     /// Re-admit every quarantined tuple whose cooldown has elapsed. The
@@ -1053,6 +1458,17 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             }
             UnitKind::Operator { query, op } => self.run_operator_step(query, op, tuple),
         }
+        if self.adapt.is_some() {
+            // One observation per completed unit execution: total charged
+            // cost and tuples emitted for this input. Expired and failed
+            // tuples return before this point — a suppressed output is not
+            // evidence about selectivity.
+            let cost = self.busy_time.saturating_since(busy0);
+            let produced = self.emitted - emitted0;
+            if let Some(a) = self.adapt.as_mut() {
+                a.observe(unit, cost, produced as f64);
+            }
+        }
         if S::ENABLED {
             self.trace_buffering = false;
             self.sink.event(&TraceEvent::UnitRun {
@@ -1131,15 +1547,9 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                     debug_assert_eq!(*join_idx, oi);
                     shj.insert_probe_into(side, &tuple, &mut matches);
                     let mut produced = false;
+                    let sel = self.drifted_selectivity(spec.selectivity);
                     for &partner in &matches {
-                        if !pair_passes(
-                            self.cfg.seed,
-                            query,
-                            oi,
-                            spec.selectivity,
-                            &tuple,
-                            &partner,
-                        ) {
+                        if !pair_passes(self.cfg.seed, query, oi, sel, &tuple, &partner) {
                             continue;
                         }
                         produced = true;
@@ -1179,12 +1589,13 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             CompiledOpKind::Unary(spec) => spec,
             CompiledOpKind::Join(_) => unreachable!("validated: shared op is unary"),
         };
+        let s = self.drifted_selectivity(spec.selectivity);
         let pass = if spec.kind.is_key_predicate() {
-            key_passes(&spec, &tuple)
+            key_passes(s, &tuple)
         } else {
             det::coin(
                 det::mix3(tuple.id.raw(), 0xC0DE_5A17 ^ group as u64, self.cfg.seed),
-                spec.selectivity,
+                s,
             )
         };
         if !pass {
@@ -1252,7 +1663,18 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             // every execution of the operator, so this models a stale
             // calibration rather than noise.
             let u = det::unit_f64(det::mix3(salt, 0xFA17_C057, self.cfg.faults.seed));
-            cost = cost.scale(1.0 + m * (2.0 * u - 1.0)).max(Nanos(1));
+            let mut factor = 1.0 + m * (2.0 * u - 1.0);
+            if m >= 1.0 {
+                // Magnitudes past 1 would otherwise drive the factor
+                // negative; floor at 1% so "wildly miscalibrated" still
+                // means a positive cost. Magnitudes below 1 keep their
+                // exact historical behavior.
+                factor = factor.max(0.01);
+            }
+            cost = cost.scale(factor).max(Nanos(1));
+        }
+        if self.drift_cost != 1.0 {
+            cost = cost.scale(self.drift_cost).max(Nanos(1));
         }
         if self.cfg.cost_jitter > 0.0 {
             let u = det::unit_f64(det::mix3(tuple.raw(), salt, self.cfg.seed ^ 0x1177));
@@ -1263,8 +1685,9 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
     }
 
     fn unary_passes(&self, query: usize, op: usize, spec: &OperatorSpec, t: &SimTuple) -> bool {
+        let s = self.drifted_selectivity(spec.selectivity);
         if spec.kind.is_key_predicate() {
-            key_passes(spec, t)
+            key_passes(s, t)
         } else {
             det::coin(
                 det::mix3(
@@ -1272,7 +1695,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                     det::mix2(query as u64, op as u64),
                     self.cfg.seed,
                 ),
-                spec.selectivity,
+                s,
             )
         }
     }
@@ -1317,9 +1740,10 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
 
 /// Key-predicate select: pass iff `key ≤ s·100` (the §8 predicate-over-an-
 /// attribute realization; outcomes correlate across queries sharing the
-/// attribute, exactly as in the paper's testbed).
-fn key_passes(spec: &OperatorSpec, t: &SimTuple) -> bool {
-    t.key <= (spec.selectivity * 100.0).round() as u64
+/// attribute, exactly as in the paper's testbed). Takes the *effective*
+/// selectivity so drifting statics shift the threshold.
+fn key_passes(selectivity: f64, t: &SimTuple) -> bool {
+    t.key <= (selectivity * 100.0).round() as u64
 }
 
 /// Join-predicate coin for a candidate pair: symmetric in the pair (the

@@ -137,6 +137,9 @@ pub(crate) struct EngineTelemetry {
     pub op_failures: InstrumentId,
     pub quarantine_ns: InstrumentId,
     pub governor_transitions: InstrumentId,
+    pub policy_switches: InstrumentId,
+    pub statics_updates: InstrumentId,
+    pub domain_refreezes: InstrumentId,
     pub pending: InstrumentId,
     pub peak_pending: InstrumentId,
     pub utilization: InstrumentId,
@@ -207,6 +210,21 @@ impl EngineTelemetry {
         let governor_transitions = reg.counter(
             "hcq_governor_transitions_total",
             "Admission-mode transitions taken by the overload governor",
+            vec![],
+        );
+        let policy_switches = reg.counter(
+            "hcq_policy_switches_total",
+            "Policy switches taken by the governor's meta-scheduler",
+            vec![],
+        );
+        let statics_updates = reg.counter(
+            "hcq_statics_updates_total",
+            "Re-estimated statics publications forwarded to the policy",
+            vec![],
+        );
+        let domain_refreezes = reg.counter(
+            "hcq_domain_refreezes_total",
+            "Priority-domain refreezes acknowledged by the policy",
             vec![],
         );
         let pending = reg.gauge(
@@ -297,6 +315,9 @@ impl EngineTelemetry {
             op_failures,
             quarantine_ns,
             governor_transitions,
+            policy_switches,
+            statics_updates,
+            domain_refreezes,
             pending,
             peak_pending,
             utilization,

@@ -119,6 +119,18 @@ pub enum TraceEvent {
         /// Fraction of the last cadence window spent above the watermark.
         share: f64,
     },
+    /// The governor's meta-scheduler swapped the running policy (base →
+    /// overload policy, or back).
+    PolicySwitch {
+        /// Virtual time at which the switch took effect.
+        at: Nanos,
+        /// Policy name before the switch.
+        from: &'static str,
+        /// Policy name after the switch.
+        to: &'static str,
+        /// Overload share of the window that completed the streak.
+        share: f64,
+    },
     /// A transient operator failure: the execution was charged, its output
     /// suppressed, and the tuple quarantined (or abandoned when retries ran
     /// out).
@@ -317,6 +329,20 @@ impl<W: Write> JsonlTrace<W> {
                 pending,
                 share,
             ),
+            TraceEvent::PolicySwitch {
+                at,
+                from,
+                to,
+                share,
+            } => writeln!(
+                w,
+                "{{\"type\":\"policy_switch\",\"at\":{},\"from\":\"{}\",\"to\":\"{}\",\
+                 \"share\":{}}}",
+                at.as_nanos(),
+                from,
+                to,
+                share,
+            ),
             TraceEvent::OpFailure {
                 at,
                 unit,
@@ -401,6 +427,12 @@ mod tests {
                 pending: 40,
                 share: 0.75,
             },
+            TraceEvent::PolicySwitch {
+                at: Nanos(2100),
+                from: "BSD-Logarithmic",
+                to: "LSF",
+                share: 0.8,
+            },
             TraceEvent::OpFailure {
                 at: Nanos(2200),
                 unit: 3,
@@ -420,7 +452,7 @@ mod tests {
         let bytes = sink.finish().unwrap();
         let text = String::from_utf8(bytes).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 8);
+        assert_eq!(lines.len(), 9);
         assert_eq!(
             lines[0],
             "{\"type\":\"fault\",\"at\":0,\"kind\":\"cost_miscalibration\",\"magnitude\":0.4}"
@@ -453,6 +485,11 @@ mod tests {
         );
         assert_eq!(
             lines[7],
+            "{\"type\":\"policy_switch\",\"at\":2100,\"from\":\"BSD-Logarithmic\",\
+             \"to\":\"LSF\",\"share\":0.8}"
+        );
+        assert_eq!(
+            lines[8],
             "{\"type\":\"op_failure\",\"at\":2200,\"unit\":3,\"tuple\":12,\
              \"attempt\":0,\"retrying\":true}"
         );

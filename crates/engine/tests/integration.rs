@@ -661,6 +661,7 @@ fn governor_cfg() -> GovernorConfig {
         deescalate_share: 0.1,
         capacity: 16,
         watermark: 32,
+        ..GovernorConfig::default()
     }
 }
 

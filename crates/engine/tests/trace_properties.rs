@@ -181,6 +181,7 @@ proptest! {
                 TraceEvent::Fault { .. }
                 | TraceEvent::Expire { .. }
                 | TraceEvent::GovernorTransition { .. }
+                | TraceEvent::PolicySwitch { .. }
                 | TraceEvent::OpFailure { .. } => {}
             }
         }

@@ -64,6 +64,22 @@ struct PolicyTiming {
     /// Admission-mode transitions per governed run (identical across
     /// samples — governor decisions are virtual-time deterministic).
     governor_transitions: u64,
+    /// Mean wall-clock seconds per simulation with seeded cost
+    /// miscalibration and the policy-switching governor but no
+    /// re-estimation (`pipeline::run_miscalibrated`) — the apples-to-apples
+    /// baseline for the adaptive gate, since the miscalibrated workload is
+    /// deliberately heavier than the plain fixture.
+    miscal_wall_s: f64,
+    /// Mean wall-clock seconds per simulation with the full feedback stack
+    /// armed (miscalibration + online re-estimation + policy-switching
+    /// governor, `pipeline::run_adaptive`).
+    adaptive_wall_s: f64,
+    /// Published statics updates per adaptive run (identical across
+    /// samples — adaptation is virtual-time deterministic).
+    statics_updates: u64,
+    /// Meta-scheduler policy switches per adaptive run (identical across
+    /// samples).
+    policy_switches: u64,
 }
 
 /// Warm-up runs per policy before timing.
@@ -121,6 +137,28 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 governed_ns += t0.elapsed().as_nanos();
                 governor_transitions = report.governor_transitions;
             }
+            for _ in 0..WARMUP {
+                pipeline::run_miscalibrated(kind, &w);
+            }
+            let mut miscal_ns = 0u128;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                pipeline::run_miscalibrated(kind, &w);
+                miscal_ns += t0.elapsed().as_nanos();
+            }
+            for _ in 0..WARMUP {
+                pipeline::run_adaptive(kind, &w);
+            }
+            let mut statics_updates = 0;
+            let mut policy_switches = 0;
+            let mut adaptive_ns = 0u128;
+            for _ in 0..SAMPLES {
+                let t0 = Instant::now();
+                let report = pipeline::run_adaptive(kind, &w);
+                adaptive_ns += t0.elapsed().as_nanos();
+                statics_updates = report.statics_updates;
+                policy_switches = report.policy_switches;
+            }
             PolicyTiming {
                 policy: kind.name(),
                 wall_s: mean_ns as f64 / 1e9,
@@ -132,6 +170,10 @@ fn time_reference_workload() -> Vec<PolicyTiming> {
                 telemetry_samples,
                 governed_wall_s: (governed_ns / SAMPLES as u128) as f64 / 1e9,
                 governor_transitions,
+                miscal_wall_s: (miscal_ns / SAMPLES as u128) as f64 / 1e9,
+                adaptive_wall_s: (adaptive_ns / SAMPLES as u128) as f64 / 1e9,
+                statics_updates,
+                policy_switches,
             }
         })
         .collect()
@@ -397,6 +439,43 @@ fn check_governor_overhead(timings: &[PolicyTiming]) {
     }
 }
 
+/// Compare adaptation-on against adaptation-off throughput under the same
+/// miscalibrated, policy-switching-governed fixture. Both runs carry the
+/// identical (deliberately heavier) fault workload, so the ratio isolates
+/// what re-estimation itself costs; the estimator is O(1) per execution and
+/// the meta-scheduler piggybacks on the governor cadence, so that should be
+/// little ([`NOISE_BAND`] is still generous: the adaptive run schedules
+/// differently by design, so some drift is honest work, not overhead). A
+/// drop below [`REGRESSION_FLOOR`] aborts the run — that would mean
+/// re-estimation leaks cost into the per-tuple hot path. Update and switch
+/// counts are printed (and recorded in the snapshot) so a thrashing
+/// estimator is visible in the trajectory.
+fn check_adaptive_overhead(timings: &[PolicyTiming]) {
+    println!("== bench: adaptive-stack overhead (on/off throughput ratio, miscalibrated baseline) ==");
+    for t in timings {
+        let ratio = t.miscal_wall_s / t.adaptive_wall_s.max(1e-12);
+        let note = if ratio < NOISE_BAND.0 || ratio > NOISE_BAND.1 {
+            "  <- outside noise band"
+        } else {
+            ""
+        };
+        println!(
+            "  {:>5}: {:.3} s off, {:.3} s on ({} updates, {} switches, {ratio:.2}x){note}",
+            t.policy, t.miscal_wall_s, t.adaptive_wall_s, t.statics_updates, t.policy_switches
+        );
+        assert!(
+            ratio >= REGRESSION_FLOOR,
+            "online re-estimation slowed {} beyond the regression floor: \
+             {:.3} s off vs {:.3} s on ({:.2}x, floor {}x)",
+            t.policy,
+            t.miscal_wall_s,
+            t.adaptive_wall_s,
+            ratio,
+            REGRESSION_FLOOR
+        );
+    }
+}
+
 /// Run the large-q scheduling-point sweep (all variants, q ≤ `max_q`),
 /// printing one line per cell.
 fn run_large_q(max_q: usize) -> Vec<LargeQCell> {
@@ -521,7 +600,10 @@ fn render_json(
              \"telemetry_wall_s\": {:.6}, \"telemetry_tuples_per_s\": {:.1}, \
              \"telemetry_samples\": {}, \
              \"governed_wall_s\": {:.6}, \"governed_tuples_per_s\": {:.1}, \
-             \"governor_transitions\": {}}}{}",
+             \"governor_transitions\": {}, \
+             \"miscal_wall_s\": {:.6}, \
+             \"adaptive_wall_s\": {:.6}, \"adaptive_tuples_per_s\": {:.1}, \
+             \"statics_updates\": {}, \"policy_switches\": {}}}{}",
             t.policy,
             t.wall_s,
             pipeline::ARRIVALS as f64 / t.wall_s,
@@ -533,6 +615,11 @@ fn render_json(
             t.governed_wall_s,
             pipeline::ARRIVALS as f64 / t.governed_wall_s.max(1e-12),
             t.governor_transitions,
+            t.miscal_wall_s,
+            t.adaptive_wall_s,
+            pipeline::ARRIVALS as f64 / t.adaptive_wall_s.max(1e-12),
+            t.statics_updates,
+            t.policy_switches,
             comma
         )
         .unwrap();
@@ -619,6 +706,7 @@ pub fn bench(cfg: &ExpConfig, large_q_max: Option<usize>) -> Result<PathBuf> {
     }
     check_telemetry_overhead(&timings);
     check_governor_overhead(&timings);
+    check_adaptive_overhead(&timings);
     println!("== bench: sweep serial vs parallel ==");
     let (sweep_cfg, serial_s, parallel_s, par_jobs) = time_sweep(cfg);
     println!(
@@ -672,6 +760,10 @@ mod tests {
                 telemetry_samples: 21,
                 governed_wall_s: 0.0125,
                 governor_transitions: 2,
+                miscal_wall_s: 0.0140,
+                adaptive_wall_s: 0.0125,
+                statics_updates: 96,
+                policy_switches: 1,
             },
             PolicyTiming {
                 policy: "BSD",
@@ -684,6 +776,10 @@ mod tests {
                 telemetry_samples: 21,
                 governed_wall_s: 0.02,
                 governor_transitions: 0,
+                miscal_wall_s: 0.02,
+                adaptive_wall_s: 0.02,
+                statics_updates: 0,
+                policy_switches: 0,
             },
         ];
         let cfg = ExpConfig {
@@ -706,6 +802,10 @@ mod tests {
         assert!(json.contains("\"telemetry_samples\": 21"));
         assert!(json.contains("\"governed_tuples_per_s\": 40000.0"));
         assert!(json.contains("\"governor_transitions\": 2"));
+        assert!(json.contains("\"miscal_wall_s\": 0.014000"));
+        assert!(json.contains("\"adaptive_tuples_per_s\": 40000.0"));
+        assert!(json.contains("\"statics_updates\": 96"));
+        assert!(json.contains("\"policy_switches\": 1"));
         assert!(json.contains("simulate_arrivals/FCFS"));
         // Balanced braces/brackets — cheap well-formedness check without a
         // JSON parser in the dependency set.
@@ -747,6 +847,10 @@ mod tests {
             telemetry_samples: 21,
             governed_wall_s: 0.052,
             governor_transitions: 4,
+            miscal_wall_s: 0.058,
+            adaptive_wall_s: 0.053,
+            statics_updates: 96,
+            policy_switches: 1,
         }];
         let cfg = ExpConfig::default();
         let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4, None);
@@ -835,6 +939,10 @@ mod tests {
             telemetry_samples: 21,
             governed_wall_s: 0.011,
             governor_transitions: 0,
+            miscal_wall_s: 0.010,
+            adaptive_wall_s: 0.012,
+            statics_updates: 96,
+            policy_switches: 1,
         }]
     }
 
@@ -855,6 +963,16 @@ mod tests {
         let mut slow = fixed_timings();
         slow[0].governed_wall_s = slow[0].wall_s / (REGRESSION_FLOOR / 2.0);
         let outcome = std::panic::catch_unwind(|| check_governor_overhead(&slow));
+        assert!(outcome.is_err(), "a 0.125x ratio must abort the run");
+    }
+
+    #[test]
+    fn adaptive_overhead_gate_accepts_noise_and_rejects_regressions() {
+        // ~0.83x on/off ratio is well inside the floor: no panic.
+        check_adaptive_overhead(&fixed_timings());
+        let mut slow = fixed_timings();
+        slow[0].adaptive_wall_s = slow[0].miscal_wall_s / (REGRESSION_FLOOR / 2.0);
+        let outcome = std::panic::catch_unwind(|| check_adaptive_overhead(&slow));
         assert!(outcome.is_err(), "a 0.125x ratio must abort the run");
     }
 

@@ -29,7 +29,7 @@ use std::process::ExitCode;
 use hcq_common::Nanos;
 use hcq_core::PolicyKind;
 use hcq_repro::{
-    bench, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
+    bench, ext_adaptive, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
     ext_recovery, ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, fuzz,
     fuzz_replay, monitor, table1, table2, table3, validate, ExpConfig,
 };
@@ -110,6 +110,7 @@ fn main() -> ExitCode {
             "ext_overhead".into(),
             "ext_transient".into(),
             "ext_recovery".into(),
+            "ext_adaptive".into(),
         ];
     }
     // fig5..fig11 are slices of one sweep; dedupe to a single run.
@@ -168,6 +169,9 @@ fn main() -> ExitCode {
             }
             "ext_overhead" => {
                 ext_overhead(&cfg);
+            }
+            "ext_adaptive" => {
+                ext_adaptive(&cfg);
             }
             "ext_large_q" => {
                 ext_large_q(&cfg, large_q.unwrap_or(1_000_000));
@@ -290,7 +294,7 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 fn print_usage() {
     eprintln!(
         "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--govern] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE] [--large-q] [--large-q-max Q]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient ext_recovery monitor validate bench fuzz all\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient ext_recovery ext_adaptive monitor validate bench fuzz all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
          --govern: arm the closed-loop overload governor on single-stream runs (admission ladder + hysteresis; ext_recovery compares it to static admission regardless of this flag)\n\
          --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)\n\

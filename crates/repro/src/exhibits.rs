@@ -10,7 +10,10 @@ use std::sync::atomic::AtomicUsize;
 
 use hcq_common::{det, Nanos, StreamId};
 use hcq_core::{ClusterConfig, ClusteredBsdPolicy, Clustering, PolicyKind, SharingStrategy};
-use hcq_engine::{simulate, simulate_monitored, AdmissionMode, SimConfig, SimReport, VecTelemetry};
+use hcq_engine::{
+    simulate, simulate_monitored, AdaptConfig, AdaptMode, AdmissionMode, SimConfig, SimReport,
+    Simulator, VecTelemetry,
+};
 use hcq_plan::{GlobalPlan, QueryBuilder, StreamRates};
 use hcq_streams::{
     DisconnectSource, DisconnectSpec, FaultSpec, FaultySource, PoissonSource, TraceReplay,
@@ -1518,6 +1521,149 @@ pub fn ext_large_q(cfg: &ExpConfig, max_q: usize) -> ExhibitOutput {
     }
     ExhibitOutput {
         name: "ext_large_q",
+        table: t,
+    }
+    .emit(cfg)
+}
+
+// ------------------------------------------- Extension: adaptive statistics
+
+/// Extension exhibit: closing the miscalibration gap online (ROADMAP item
+/// 3). Every operator's actual cost runs at a persistent, seeded multiple
+/// of its calibrated C̄ₓ (the ext_faults `miscost` fault at 3×), so a
+/// static policy schedules on statics that are wrong for the whole run.
+/// Three runs per (utilization × policy) cell:
+///
+/// * `stale` — the miscalibrated run, statics never corrected; an inert
+///   windowed probe (publish off, cadence beyond the horizon) harvests the
+///   observed per-unit means without touching a single decision;
+/// * `adaptive` — the same run with batch-mean EWMA re-estimation
+///   publishing corrected statics at every cadence;
+/// * `oracle` — the same run with the probe's harvested statics installed
+///   before the first arrival: the best any online estimator could reach.
+///
+/// `recovery` is the share of the stale → oracle QoS gap (average
+/// slowdown) the adaptive run closes; the CI adaptive-smoke job gates
+/// clustered BSD at ≥ 0.5 in every cell. The exhibit ignores `--govern`:
+/// all three runs must differ only in estimation.
+pub fn ext_adaptive(cfg: &ExpConfig) -> ExhibitOutput {
+    const UTILS: [f64; 3] = [0.9, 1.1, 1.3];
+    const MISCALIBRATION: f64 = 3.0;
+    let policies: Vec<(&'static str, PolicyFactory)> = vec![
+        (
+            "C-BSD-log3",
+            Box::new(|| {
+                Box::new(ClusteredBsdPolicy::new(ClusterConfig::logarithmic(3)))
+                    as Box<dyn hcq_core::Policy>
+            }),
+        ),
+        (
+            "C-BSD-log8",
+            Box::new(|| {
+                Box::new(ClusteredBsdPolicy::new(ClusterConfig::logarithmic(8)))
+                    as Box<dyn hcq_core::Policy>
+            }),
+        ),
+        (
+            "C-BSD-log16",
+            Box::new(|| {
+                Box::new(ClusteredBsdPolicy::new(ClusterConfig::logarithmic(16)))
+                    as Box<dyn hcq_core::Policy>
+            }),
+        ),
+        ("HNR", Box::new(|| PolicyKind::Hnr.build())),
+    ];
+    // The probe never flushes (cadence beyond any horizon) and never
+    // publishes; the online config is the tuned batch-mean EWMA.
+    let probe = AdaptConfig {
+        enabled: true,
+        mode: AdaptMode::Windowed,
+        alpha: 0.1,
+        cadence: Nanos::from_millis(1 << 40),
+        min_observations: 2,
+        refreeze_factor: 1.5,
+        publish: false,
+    };
+    let online = AdaptConfig {
+        mode: AdaptMode::Ewma,
+        alpha: 0.05,
+        cadence: Nanos::from_millis(200),
+        publish: true,
+        ..probe
+    };
+
+    let cells: Vec<(f64, usize)> = UTILS
+        .iter()
+        .flat_map(|&u| (0..policies.len()).map(move |p| (u, p)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let reports: Vec<(SimReport, SimReport, SimReport)> = run_jobs(cfg.jobs, cells.len(), |i| {
+        let (util, p) = cells[i];
+        let make = &policies[p].1;
+        let run = |adapt: Option<AdaptConfig>, preapply: Option<&[hcq_core::UnitStatics]>| {
+            let w = cfg.workload(util);
+            let mut sim_cfg = SimConfig::new(cfg.arrivals)
+                .with_seed(cfg.seed)
+                .with_cost_miscalibration(MISCALIBRATION, cfg.seed);
+            if let Some(a) = adapt {
+                sim_cfg = sim_cfg.with_adaptation(a);
+            }
+            let mut sim =
+                Simulator::new(&w.plan, &w.rates, vec![cfg.source(0)], make(), sim_cfg)
+                    .expect("exhibit workloads are valid");
+            if let Some(est) = preapply {
+                for (u, s) in est.iter().enumerate() {
+                    sim.update_unit_statics(u as u32, *s);
+                }
+            }
+            sim.run().expect("built-in policies respect the contract")
+        };
+        let stale = run(Some(probe.clone()), None);
+        let adaptive = run(Some(online.clone()), None);
+        let est = stale
+            .estimates
+            .clone()
+            .expect("the probe harvests estimates");
+        let oracle = run(None, Some(&est));
+        print_tick(&done, cells.len(), "ext_adaptive");
+        (stale, adaptive, oracle)
+    });
+
+    let mut t = AsciiTable::new(vec![
+        "utilization",
+        "policy",
+        "stale_avg_slowdown",
+        "adaptive_avg_slowdown",
+        "oracle_avg_slowdown",
+        "statics_updates",
+        "refreezes",
+        "recovery",
+        "conserved",
+    ]);
+    for ((util, p), (stale, adaptive, oracle)) in cells.iter().zip(&reports) {
+        let gap = stale.qos.avg_slowdown - oracle.qos.avg_slowdown;
+        let recovery = if gap.abs() > f64::EPSILON {
+            (stale.qos.avg_slowdown - adaptive.qos.avg_slowdown) / gap
+        } else {
+            1.0
+        };
+        let all_conserved = conserved(stale, cfg.queries)
+            && conserved(adaptive, cfg.queries)
+            && conserved(oracle, cfg.queries);
+        t.row(vec![
+            format!("{util:.2}"),
+            policies[*p].0.to_string(),
+            fnum(stale.qos.avg_slowdown),
+            fnum(adaptive.qos.avg_slowdown),
+            fnum(oracle.qos.avg_slowdown),
+            adaptive.statics_updates.to_string(),
+            adaptive.domain_refreezes.to_string(),
+            fnum(recovery),
+            if all_conserved { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    ExhibitOutput {
+        name: "ext_adaptive",
         table: t,
     }
     .emit(cfg)

@@ -21,7 +21,7 @@ pub mod validate;
 
 pub use bench::bench;
 pub use exhibits::{
-    ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
+    ext_adaptive, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
     ext_recovery, ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, table1, table2,
     table3, ExhibitOutput,
 };
