@@ -18,6 +18,7 @@ fn tuple(i: u64) -> SimTuple {
         ts,
         key: 1 + i % 100,
         ideal_depart: ts,
+        lineage: TupleId::new(i),
     }
 }
 

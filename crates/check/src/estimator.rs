@@ -210,7 +210,10 @@ pub fn fuzz_estimators(seed: u64, case: u64) -> Vec<Violation> {
             );
             break;
         }
-        let (c, rc) = (ewma.cost().as_nanos() as f64, ewma_ref.cost().as_nanos() as f64);
+        let (c, rc) = (
+            ewma.cost().as_nanos() as f64,
+            ewma_ref.cost().as_nanos() as f64,
+        );
         if !close(c, rc, EWMA_RTOL) {
             fail(
                 "EWMA",
@@ -249,7 +252,12 @@ pub fn fuzz_estimators(seed: u64, case: u64) -> Vec<Violation> {
             );
             break;
         }
-        match (win.cost(), win_ref.cost(), win.selectivity(), win_ref.selectivity()) {
+        match (
+            win.cost(),
+            win_ref.cost(),
+            win.selectivity(),
+            win_ref.selectivity(),
+        ) {
             (Some(c), Some(rc), Some(s), Some(rs)) => {
                 let (c, rc) = (c.as_nanos() as f64, rc.as_nanos() as f64);
                 // Means round to whole nanoseconds; the two summation
@@ -323,9 +331,16 @@ pub fn fuzz_estimators(seed: u64, case: u64) -> Vec<Violation> {
             // produced is a Bernoulli draw at the true selectivity.
             let jitter = 1.0 + 0.2 * (2.0 * det::unit_f64(det::mix2(h, 1)) - 1.0);
             cost_sum += true_cost_ns * jitter;
-            produced_sum += if det::coin(det::mix2(h, 2), true_sel) { 1.0 } else { 0.0 };
+            produced_sum += if det::coin(det::mix2(h, 2), true_sel) {
+                1.0
+            } else {
+                0.0
+            };
         }
-        conv.observe(Nanos::from_nanos((cost_sum / 10.0) as u64), produced_sum / 10.0);
+        conv.observe(
+            Nanos::from_nanos((cost_sum / 10.0) as u64),
+            produced_sum / 10.0,
+        );
     }
     let got_cost = conv.cost().as_nanos() as f64;
     if (got_cost - true_cost_ns).abs() > 0.15 * true_cost_ns {

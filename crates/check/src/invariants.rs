@@ -139,7 +139,10 @@ pub fn fingerprint(report: &SimReport) -> String {
 /// while legitimately differing in the harvested estimates.
 fn behavior_fingerprint(report: &SimReport) -> String {
     let fp = fingerprint(report);
-    fp[..fp.rfind(" es").expect("fingerprint ends in the estimates fold")].to_string()
+    fp[..fp
+        .rfind(" es")
+        .expect("fingerprint ends in the estimates fold")]
+        .to_string()
 }
 
 /// Outcome of one scenario's full check: any violations, plus the per-policy
@@ -367,7 +370,8 @@ fn check_policy(
                 disabled.config(),
             ) {
                 Ok(r) => {
-                    let (probe, plain_fp) = (behavior_fingerprint(&plain), behavior_fingerprint(&r));
+                    let (probe, plain_fp) =
+                        (behavior_fingerprint(&plain), behavior_fingerprint(&r));
                     if probe != plain_fp {
                         fail(
                             violations,
@@ -378,7 +382,11 @@ fn check_policy(
                         );
                     }
                 }
-                Err(e) => fail(violations, "engine-ok", format!("probe-off rerun errored: {e}")),
+                Err(e) => fail(
+                    violations,
+                    "engine-ok",
+                    format!("probe-off rerun errored: {e}"),
+                ),
             }
         }
     }

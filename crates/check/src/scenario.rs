@@ -392,7 +392,11 @@ impl Scenario {
         let adapt = if det::coin(eh, 0.25) {
             AdaptPlan {
                 enabled: true,
-                mode: if det::coin(det::mix2(eh, 1), 0.3) { 1 } else { 0 },
+                mode: if det::coin(det::mix2(eh, 1), 0.3) {
+                    1
+                } else {
+                    0
+                },
                 alpha: 0.05 + 0.45 * det::unit_f64(det::mix2(eh, 2)),
                 cadence_ns: (run_ns / det::unit_range(det::mix2(eh, 3), 8, 64)).max(1),
                 min_observations: det::unit_range(det::mix2(eh, 4), 1, 4),
@@ -682,7 +686,11 @@ impl Scenario {
                     ),
                     (
                         "switch_policy".into(),
-                        Json::Num(if self.governor.switch_policy { 1.0 } else { 0.0 }),
+                        Json::Num(if self.governor.switch_policy {
+                            1.0
+                        } else {
+                            0.0
+                        }),
                     ),
                 ]),
             ),
@@ -853,10 +861,7 @@ impl Scenario {
                     watermark: sub_num(g, "watermark")? as usize,
                     // Absent in artifacts written before the meta-scheduler
                     // existed: parse as "never switch".
-                    switch_policy: g
-                        .get("switch_policy")
-                        .and_then(Json::as_f64)
-                        .unwrap_or(0.0)
+                    switch_policy: g.get("switch_policy").and_then(Json::as_f64).unwrap_or(0.0)
                         != 0.0,
                 },
             },

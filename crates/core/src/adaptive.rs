@@ -128,8 +128,9 @@ impl WindowedEstimator {
 
     /// Mean cost over the current window, `None` when it holds no samples.
     pub fn cost(&self) -> Option<Nanos> {
-        (self.count > 0)
-            .then(|| Nanos::from_nanos((self.cost_sum_ns / self.count as f64).round().max(1.0) as u64))
+        (self.count > 0).then(|| {
+            Nanos::from_nanos((self.cost_sum_ns / self.count as f64).round().max(1.0) as u64)
+        })
     }
 
     /// Mean selectivity over the current window (clamped away from zero),
@@ -254,7 +255,11 @@ mod tests {
         w.observe(ms(1), f64::INFINITY);
         assert_eq!(w.window_len(), 0);
         w.observe(Nanos::ZERO, 2.0);
-        assert_eq!(w.cost(), Some(Nanos::from_nanos(1)), "zero cost clamps, not poisons");
+        assert_eq!(
+            w.cost(),
+            Some(Nanos::from_nanos(1)),
+            "zero cost clamps, not poisons"
+        );
         assert_eq!(w.selectivity(), Some(2.0));
     }
 }

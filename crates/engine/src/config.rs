@@ -400,10 +400,7 @@ impl SimConfig {
                 governor.switch_share > governor.return_share,
                 "switch_share must exceed return_share (hysteresis band)"
             );
-            assert!(
-                governor.switch_sustain >= 1,
-                "switch_sustain must be >= 1"
-            );
+            assert!(governor.switch_sustain >= 1, "switch_sustain must be >= 1");
         }
         self.governor = governor;
         self

@@ -151,6 +151,7 @@ mod tests {
             ts: Nanos::from_millis(arrival_ms),
             key: 1,
             ideal_depart: Nanos::from_millis(arrival_ms),
+            lineage: TupleId::new(id),
         }
     }
 

@@ -12,7 +12,9 @@ use hcq_metrics::{
 use hcq_plan::{CompiledOpKind, GlobalPlan, OperatorSpec, Port, StreamRates};
 use hcq_streams::{ArrivalSource, SourceFaultStats};
 
-use crate::config::{AdaptConfig, AdaptMode, AdmissionMode, GovernorConfig, SchedulingLevel, SimConfig};
+use crate::config::{
+    AdaptConfig, AdaptMode, AdmissionMode, GovernorConfig, SchedulingLevel, SimConfig,
+};
 use crate::model::{SimModel, UnitKind};
 use crate::queues::UnitQueues;
 use crate::report::SimReport;
@@ -437,7 +439,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                     "adaptation alpha must be in (0, 1]".to_string(),
                 ));
             }
-            if !(cfg.adapt.refreeze_factor >= 1.0) {
+            if cfg.adapt.refreeze_factor < 1.0 || cfg.adapt.refreeze_factor.is_nan() {
                 return Err(HcqError::config(
                     "adaptation refreeze_factor must be at least 1".to_string(),
                 ));
@@ -996,8 +998,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             // still act on it (a high share on a short window is a real
             // signal, and pending depth is unaffected); de-escalation and
             // switch-streak accounting must not mistake it for calm.
-            let window_complete =
-                self.clock.saturating_since(g.window_start) >= g.cfg.cadence;
+            let window_complete = self.clock.saturating_since(g.window_start) >= g.cfg.cadence;
             g.window_overload = Nanos::ZERO;
             g.window_start = self.clock;
             let dwell_ok = match g.last_transition {
@@ -1254,6 +1255,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 ts: at,
                 key,
                 ideal_depart: at + route.alone,
+                lineage: id,
             };
             self.admit(route.unit, tuple);
         }
@@ -1274,6 +1276,8 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                             at: self.clock,
                             unit,
                             tuple: tuple.id.raw(),
+                            lineage: tuple.lineage.raw(),
+                            arrival: tuple.arrival,
                         });
                     }
                     return;
@@ -1292,6 +1296,8 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                             at: self.clock,
                             unit,
                             tuple: tuple.id.raw(),
+                            lineage: tuple.lineage.raw(),
+                            arrival: tuple.arrival,
                         });
                     }
                     return;
@@ -1333,6 +1339,8 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                         at: self.clock,
                         unit: victim,
                         tuple: t.id.raw(),
+                        lineage: t.lineage.raw(),
+                        arrival: t.arrival,
                     });
                 }
                 true
@@ -1381,6 +1389,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                                 unit,
                                 query: q as u32,
                                 tuple: tuple.id.raw(),
+                                arrival: tuple.arrival,
                                 late_by: self.clock - due,
                             });
                         }
@@ -1404,14 +1413,17 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             );
             if det::coin(roll, self.cfg.faults.op_failure_prob) {
                 let (cost, salt) = self.entry_charge(kind);
+                let at = self.clock;
+                let busy0 = self.busy_time;
                 self.charge_op(cost, tuple.id, salt);
                 self.op_failures += 1;
                 let retrying = attempt < self.cfg.faults.op_failure_retries;
                 if S::ENABLED {
                     self.trace(TraceEvent::OpFailure {
-                        at: self.clock,
+                        at,
                         unit,
                         tuple: tuple.id.raw(),
+                        cost: self.busy_time.saturating_since(busy0),
                         attempt,
                         retrying,
                     });
@@ -1438,7 +1450,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             }
         }
         let (start, busy0, emitted0) = (self.clock, self.busy_time, self.emitted);
-        let tuple_id = tuple.id;
+        let (tuple_id, tuple_arrival) = (tuple.id, tuple.arrival);
         if S::ENABLED {
             // Buffer the run's Emit/Shed children so the UnitRun — whose
             // cost/output are only known afterwards — still precedes them
@@ -1475,6 +1487,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 at: start,
                 unit,
                 tuple: tuple_id.raw(),
+                arrival: tuple_arrival,
                 cost: self.busy_time.saturating_since(busy0),
                 tuples: self.emitted - emitted0,
             });
@@ -1732,6 +1745,8 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 unit,
                 query: query as u32,
                 tuple: t.id.raw(),
+                lineage: t.lineage.raw(),
+                arrival: t.arrival,
                 slowdown,
             });
         }

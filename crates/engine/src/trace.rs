@@ -53,6 +53,9 @@ pub enum TraceEvent {
         unit: u32,
         /// The head tuple's id.
         tuple: u64,
+        /// The head tuple's system arrival time (`at − arrival` is the queue
+        /// wait the tuple had accrued when selected).
+        arrival: Nanos,
         /// Operator time charged while running this unit.
         cost: Nanos,
         /// Root emissions produced by this execution.
@@ -68,6 +71,13 @@ pub enum TraceEvent {
         query: u32,
         /// The emitted tuple's id (composite ids have the top bit set).
         tuple: u64,
+        /// The stable lineage id: the base arrival this emission's response
+        /// time is measured against (composites inherit the later-arriving
+        /// constituent's lineage).
+        lineage: u64,
+        /// The tuple's system arrival time (`at − arrival` is the response
+        /// time the QoS accumulator recorded).
+        arrival: Nanos,
         /// The tuple's slowdown `H` (≥ 1).
         slowdown: f64,
     },
@@ -80,6 +90,10 @@ pub enum TraceEvent {
         unit: u32,
         /// The shed tuple's id.
         tuple: u64,
+        /// The shed tuple's stable lineage id.
+        lineage: u64,
+        /// The shed tuple's system arrival time.
+        arrival: Nanos,
     },
     /// A fault injection active for this run (reported once at start).
     Fault {
@@ -101,6 +115,8 @@ pub enum TraceEvent {
         query: u32,
         /// The expired tuple's id.
         tuple: u64,
+        /// The expired tuple's system arrival time.
+        arrival: Nanos,
         /// How far past the deadline the tuple already was.
         late_by: Nanos,
     },
@@ -141,6 +157,9 @@ pub enum TraceEvent {
         unit: u32,
         /// The tuple whose run was lost.
         tuple: u64,
+        /// Operator time charged for the failed attempt (counted in
+        /// `busy_time` even though the output was suppressed).
+        cost: Nanos,
         /// Zero-based attempt number that failed.
         attempt: u32,
         /// False when retries were exhausted and the tuple was abandoned.
@@ -251,15 +270,17 @@ impl<W: Write> JsonlTrace<W> {
                 at,
                 unit,
                 tuple,
+                arrival,
                 cost,
                 tuples,
             } => writeln!(
                 w,
                 "{{\"type\":\"unit_run\",\"at\":{},\"unit\":{},\"tuple\":{},\
-                 \"cost\":{},\"tuples\":{}}}",
+                 \"arrival\":{},\"cost\":{},\"tuples\":{}}}",
                 at.as_nanos(),
                 unit,
                 tuple,
+                arrival.as_nanos(),
                 cost.as_nanos(),
                 tuples,
             ),
@@ -268,23 +289,36 @@ impl<W: Write> JsonlTrace<W> {
                 unit,
                 query,
                 tuple,
+                lineage,
+                arrival,
                 slowdown,
             } => writeln!(
                 w,
                 "{{\"type\":\"emit\",\"at\":{},\"unit\":{},\"query\":{},\
-                 \"tuple\":{},\"slowdown\":{}}}",
+                 \"tuple\":{},\"lineage\":{},\"arrival\":{},\"slowdown\":{}}}",
                 at.as_nanos(),
                 unit,
                 query,
                 tuple,
+                lineage,
+                arrival.as_nanos(),
                 slowdown,
             ),
-            TraceEvent::Shed { at, unit, tuple } => writeln!(
+            TraceEvent::Shed {
+                at,
+                unit,
+                tuple,
+                lineage,
+                arrival,
+            } => writeln!(
                 w,
-                "{{\"type\":\"shed\",\"at\":{},\"unit\":{},\"tuple\":{}}}",
+                "{{\"type\":\"shed\",\"at\":{},\"unit\":{},\"tuple\":{},\
+                 \"lineage\":{},\"arrival\":{}}}",
                 at.as_nanos(),
                 unit,
                 tuple,
+                lineage,
+                arrival.as_nanos(),
             ),
             TraceEvent::Fault {
                 at,
@@ -302,15 +336,17 @@ impl<W: Write> JsonlTrace<W> {
                 unit,
                 query,
                 tuple,
+                arrival,
                 late_by,
             } => writeln!(
                 w,
                 "{{\"type\":\"expire\",\"at\":{},\"unit\":{},\"query\":{},\
-                 \"tuple\":{},\"late_by\":{}}}",
+                 \"tuple\":{},\"arrival\":{},\"late_by\":{}}}",
                 at.as_nanos(),
                 unit,
                 query,
                 tuple,
+                arrival.as_nanos(),
                 late_by.as_nanos(),
             ),
             TraceEvent::GovernorTransition {
@@ -347,15 +383,17 @@ impl<W: Write> JsonlTrace<W> {
                 at,
                 unit,
                 tuple,
+                cost,
                 attempt,
                 retrying,
             } => writeln!(
                 w,
                 "{{\"type\":\"op_failure\",\"at\":{},\"unit\":{},\"tuple\":{},\
-                 \"attempt\":{},\"retrying\":{}}}",
+                 \"cost\":{},\"attempt\":{},\"retrying\":{}}}",
                 at.as_nanos(),
                 unit,
                 tuple,
+                cost.as_nanos(),
                 attempt,
                 retrying,
             ),
@@ -398,6 +436,7 @@ mod tests {
                 at: Nanos(11),
                 unit: 2,
                 tuple: 7,
+                arrival: Nanos(4),
                 cost: Nanos(1000),
                 tuples: 1,
             },
@@ -406,18 +445,23 @@ mod tests {
                 unit: 2,
                 query: 2,
                 tuple: 7,
+                lineage: 7,
+                arrival: Nanos(4),
                 slowdown: 1.5,
             },
             TraceEvent::Shed {
                 at: Nanos(1011),
                 unit: 0,
                 tuple: 9,
+                lineage: 9,
+                arrival: Nanos(6),
             },
             TraceEvent::Expire {
                 at: Nanos(1500),
                 unit: 1,
                 query: 1,
                 tuple: 8,
+                arrival: Nanos(5),
                 late_by: Nanos(250),
             },
             TraceEvent::GovernorTransition {
@@ -437,6 +481,7 @@ mod tests {
                 at: Nanos(2200),
                 unit: 3,
                 tuple: 12,
+                cost: Nanos(900),
                 attempt: 0,
                 retrying: true,
             },
@@ -464,19 +509,22 @@ mod tests {
         );
         assert_eq!(
             lines[2],
-            "{\"type\":\"unit_run\",\"at\":11,\"unit\":2,\"tuple\":7,\"cost\":1000,\"tuples\":1}"
+            "{\"type\":\"unit_run\",\"at\":11,\"unit\":2,\"tuple\":7,\
+             \"arrival\":4,\"cost\":1000,\"tuples\":1}"
         );
         assert_eq!(
             lines[3],
-            "{\"type\":\"emit\",\"at\":1011,\"unit\":2,\"query\":2,\"tuple\":7,\"slowdown\":1.5}"
+            "{\"type\":\"emit\",\"at\":1011,\"unit\":2,\"query\":2,\"tuple\":7,\
+             \"lineage\":7,\"arrival\":4,\"slowdown\":1.5}"
         );
         assert_eq!(
             lines[4],
-            "{\"type\":\"shed\",\"at\":1011,\"unit\":0,\"tuple\":9}"
+            "{\"type\":\"shed\",\"at\":1011,\"unit\":0,\"tuple\":9,\"lineage\":9,\"arrival\":6}"
         );
         assert_eq!(
             lines[5],
-            "{\"type\":\"expire\",\"at\":1500,\"unit\":1,\"query\":1,\"tuple\":8,\"late_by\":250}"
+            "{\"type\":\"expire\",\"at\":1500,\"unit\":1,\"query\":1,\"tuple\":8,\
+             \"arrival\":5,\"late_by\":250}"
         );
         assert_eq!(
             lines[6],
@@ -491,7 +539,7 @@ mod tests {
         assert_eq!(
             lines[8],
             "{\"type\":\"op_failure\",\"at\":2200,\"unit\":3,\"tuple\":12,\
-             \"attempt\":0,\"retrying\":true}"
+             \"cost\":900,\"attempt\":0,\"retrying\":true}"
         );
     }
 
@@ -527,12 +575,16 @@ mod tests {
             at: Nanos(1),
             unit: 0,
             tuple: 0,
+            lineage: 0,
+            arrival: Nanos(0),
         });
         // Further events are dropped silently; finish surfaces the error.
         sink.event(&TraceEvent::Shed {
             at: Nanos(2),
             unit: 0,
             tuple: 1,
+            lineage: 1,
+            arrival: Nanos(0),
         });
         assert!(sink.finish().is_err());
     }

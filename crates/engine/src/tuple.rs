@@ -25,6 +25,14 @@ pub struct SimTuple {
     /// `arrival + alone-path cost`. Equals `arrival + T_k` for single-stream
     /// tuples.
     pub ideal_depart: Nanos,
+    /// Stable lineage id: the arrival id of the base tuple this one's
+    /// response time is measured against. Base tuples carry their own id;
+    /// composites inherit the lineage of the later-arriving constituent —
+    /// the same constituent whose arrival defines the composite's Definition
+    /// 5 arrival, so `at − arrival` on an `Emit` is the response time of
+    /// exactly this lineage. Lets offline analysis chain a root emission
+    /// back to the physical arrival that paid its queue wait.
+    pub lineage: TupleId,
 }
 
 impl SimTuple {
@@ -40,6 +48,11 @@ impl SimTuple {
             // attribute distributionally uniform by mixing both.
             key: 1 + (hcq_common::det::mix2(left.key, right.key) % 100),
             ideal_depart: left.ideal_depart.max(right.ideal_depart),
+            lineage: if right.arrival > left.arrival {
+                right.lineage
+            } else {
+                left.lineage
+            },
         }
     }
 }
@@ -69,6 +82,7 @@ mod tests {
             ts: Nanos::from_millis(arrival_ms),
             key,
             ideal_depart: Nanos::from_millis(ideal_ms),
+            lineage: TupleId::new(id),
         }
     }
 
@@ -81,6 +95,16 @@ mod tests {
         assert_eq!(c.ts, Nanos::from_millis(20));
         assert_eq!(c.ideal_depart, Nanos::from_millis(30));
         assert!((1..=100).contains(&c.key));
+        // Lineage follows the later-arriving constituent (b at 20ms).
+        assert_eq!(c.lineage, TupleId::new(2));
+    }
+
+    #[test]
+    fn composite_lineage_ties_break_left() {
+        let a = t(1, 20, 30, 5);
+        let b = t(2, 20, 25, 80);
+        let c = SimTuple::composite(TupleId::new(3), &a, &b);
+        assert_eq!(c.lineage, TupleId::new(1));
     }
 
     #[test]

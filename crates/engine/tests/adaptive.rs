@@ -105,7 +105,9 @@ fn observe_only_probe_is_decision_identical() {
     // feeds the policy, so scheduling is identical to a non-adaptive run —
     // while the report still carries the harvested estimates.
     let plain = run_with(
-        SimConfig::new(600).with_seed(11).with_cost_miscalibration(0.5, 42),
+        SimConfig::new(600)
+            .with_seed(11)
+            .with_cost_miscalibration(0.5, 42),
         PolicyKind::Bsd.build(),
         ms(30),
     );
@@ -243,7 +245,10 @@ fn adaptive_clustered_bsd_is_never_worse_under_miscalibration() {
     for gap in [14u64, 20, 25, 30, 40] {
         let stale = run_with(cfg(false), clustered(), ms(gap));
         let adaptive = run_with(cfg(true), clustered(), ms(gap));
-        assert!(adaptive.statics_updates > 0, "gap {gap}ms: loop never closed");
+        assert!(
+            adaptive.statics_updates > 0,
+            "gap {gap}ms: loop never closed"
+        );
         assert!(
             adaptive.qos.avg_slowdown <= stale.qos.avg_slowdown * 1.02,
             "gap {gap}ms: adaptive avg slowdown {:.2} worse than stale {:.2}",
@@ -308,7 +313,11 @@ fn domain_refreeze_fires_when_estimates_leave_the_frozen_span() {
 
 #[test]
 fn drift_changes_the_workload_realization() {
-    let base = run_with(SimConfig::new(500).with_seed(5), PolicyKind::Hnr.build(), ms(40));
+    let base = run_with(
+        SimConfig::new(500).with_seed(5),
+        PolicyKind::Hnr.build(),
+        ms(40),
+    );
     // Doubling every cost mid-run must cost virtual time.
     let slowed = run_with(
         SimConfig::new(500).with_seed(5).with_drift(vec![DriftStep {
@@ -338,20 +347,18 @@ fn drift_changes_the_workload_realization() {
 fn drift_preserves_work_conservation() {
     for kind in PolicyKind::ALL {
         let r = run_with(
-            SimConfig::new(400)
-                .with_seed(8)
-                .with_drift(vec![
-                    DriftStep {
-                        at: Nanos::from_millis(500),
-                        cost_factor: 2.5,
-                        selectivity_factor: 0.6,
-                    },
-                    DriftStep {
-                        at: Nanos::from_millis(4_000),
-                        cost_factor: 0.5,
-                        selectivity_factor: 1.4,
-                    },
-                ]),
+            SimConfig::new(400).with_seed(8).with_drift(vec![
+                DriftStep {
+                    at: Nanos::from_millis(500),
+                    cost_factor: 2.5,
+                    selectivity_factor: 0.6,
+                },
+                DriftStep {
+                    at: Nanos::from_millis(4_000),
+                    cost_factor: 0.5,
+                    selectivity_factor: 1.4,
+                },
+            ]),
             kind.build(),
             ms(40),
         );
@@ -407,7 +414,9 @@ fn sustained_overload_switches_the_policy() {
         .events
         .iter()
         .filter_map(|e| match *e {
-            TraceEvent::PolicySwitch { from, to, share, .. } => Some((from, to, share)),
+            TraceEvent::PolicySwitch {
+                from, to, share, ..
+            } => Some((from, to, share)),
             _ => None,
         })
         .collect();
@@ -511,7 +520,11 @@ fn governed_adaptive_closed_loop_never_worse_than_worst_static() {
         ms(12),
     );
     let worst = [
-        run_with(SimConfig::new(2_000).with_seed(1), PolicyKind::Hnr.build(), ms(12)),
+        run_with(
+            SimConfig::new(2_000).with_seed(1),
+            PolicyKind::Hnr.build(),
+            ms(12),
+        ),
         run_with(
             SimConfig::new(2_000)
                 .with_seed(1)
@@ -607,4 +620,3 @@ fn deescalation_waits_for_a_complete_window() {
         );
     }
 }
-

@@ -134,6 +134,7 @@ fn base_tuple(id: u64) -> SimTuple {
         ts: Nanos::ZERO,
         key: 1,
         ideal_depart: ms(1),
+        lineage: TupleId::new(id),
     }
 }
 

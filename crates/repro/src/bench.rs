@@ -232,6 +232,12 @@ fn criterion_entries(timings: &[PolicyTiming]) -> Vec<String> {
         .collect()
 }
 
+/// The directory `BENCH_<n>.json` snapshots are written to and read from
+/// (`bench --history`).
+pub fn snapshot_dir() -> PathBuf {
+    repo_root()
+}
+
 /// Locate the repository root (nearest ancestor with a `Cargo.toml`) so the
 /// snapshot lands beside the sources regardless of the invocation directory.
 fn repo_root() -> PathBuf {
@@ -451,7 +457,9 @@ fn check_governor_overhead(timings: &[PolicyTiming]) {
 /// counts are printed (and recorded in the snapshot) so a thrashing
 /// estimator is visible in the trajectory.
 fn check_adaptive_overhead(timings: &[PolicyTiming]) {
-    println!("== bench: adaptive-stack overhead (on/off throughput ratio, miscalibrated baseline) ==");
+    println!(
+        "== bench: adaptive-stack overhead (on/off throughput ratio, miscalibrated baseline) =="
+    );
     for t in timings {
         let ratio = t.miscal_wall_s / t.adaptive_wall_s.max(1e-12);
         let note = if ratio < NOISE_BAND.0 || ratio > NOISE_BAND.1 {

@@ -22,6 +22,14 @@
 //! into `--out`. With the `http-export` cargo feature, `--serve ADDR`
 //! additionally serves the exposition text at `http://ADDR/metrics` until
 //! Enter is pressed.
+//!
+//! `inspect TRACE` analyses a previously captured trace offline: per-query
+//! latency waterfalls, starvation diagnosis, `--diff TRACE2` decision
+//! diffing, and `--format perfetto` Chrome trace-event export. `bench
+//! --history` consolidates every `BENCH_<n>.json` at the repository root
+//! into one PR-over-PR trajectory table. Modes that write user-named files
+//! (`monitor`, `--trace`, `inspect --format perfetto`) refuse to overwrite
+//! existing outputs unless `--force` is given.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -29,9 +37,10 @@ use std::process::ExitCode;
 use hcq_common::Nanos;
 use hcq_core::PolicyKind;
 use hcq_repro::{
-    bench, ext_adaptive, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
-    ext_recovery, ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, fuzz,
-    fuzz_replay, monitor, table1, table2, table3, validate, ExpConfig,
+    bench, bench_history, ext_adaptive, ext_faults, ext_inspect, ext_large_q, ext_lp, ext_memory,
+    ext_overhead, ext_overload, ext_preemption, ext_recovery, ext_seeds, ext_transient, fig11,
+    fig12, fig13, fig14, fig5_to_10, fuzz, fuzz_replay, guard_overwrite, inspect_trace, monitor,
+    table1, table2, table3, validate, ExpConfig, InspectFormat,
 };
 
 fn main() -> ExitCode {
@@ -44,9 +53,23 @@ fn main() -> ExitCode {
     let mut fuzz_cases: u64 = 200;
     let mut fuzz_replay_path: Option<PathBuf> = None;
     let mut large_q: Option<usize> = None;
+    let mut diff_path: Option<PathBuf> = None;
+    let mut format = InspectFormat::Text;
+    let mut force = false;
+    let mut history = false;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--diff" => diff_path = Some(PathBuf::from(expect(it.next(), "--diff"))),
+            "--format" => match expect(it.next(), "--format").parse() {
+                Ok(f) => format = f,
+                Err(e) => {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--force" => force = true,
+            "--history" => history = true,
             "--large-q" => large_q = large_q.or(Some(1_000_000)),
             "--large-q-max" => large_q = Some(parse(it.next(), "--large-q-max")),
             "--queries" => cfg.queries = parse(it.next(), "--queries"),
@@ -77,7 +100,28 @@ fn main() -> ExitCode {
         print_usage();
         return ExitCode::FAILURE;
     }
+    if exhibits.first().map(String::as_str) == Some("inspect") {
+        if exhibits.len() != 2 {
+            eprintln!(
+                "usage: repro inspect TRACE [--diff TRACE2] [--format text|perfetto] \
+                 [--out DIR] [--force]"
+            );
+            return ExitCode::FAILURE;
+        }
+        let trace = PathBuf::from(&exhibits[1]);
+        return match inspect_trace(&trace, diff_path.as_deref(), format, &cfg.out_dir, force) {
+            Ok(_) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("inspect failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     if let Some(path) = &trace_out {
+        if let Err(e) = guard_overwrite(path, force) {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
         let (report, bytes) = cfg.run_single_traced(0.9, PolicyKind::Hnr.build());
         if let Err(e) = std::fs::write(path, &bytes) {
             eprintln!("could not write trace {}: {e}", path.display());
@@ -111,6 +155,7 @@ fn main() -> ExitCode {
             "ext_transient".into(),
             "ext_recovery".into(),
             "ext_adaptive".into(),
+            "ext_inspect".into(),
         ];
     }
     // fig5..fig11 are slices of one sweep; dedupe to a single run.
@@ -187,7 +232,7 @@ fn main() -> ExitCode {
                     eprintln!("--cadence must be positive");
                     return ExitCode::FAILURE;
                 }
-                match monitor(&cfg, Nanos::from_millis(cadence_ms)) {
+                match monitor(&cfg, Nanos::from_millis(cadence_ms), force) {
                     Ok(out) => {
                         if let Some(addr) = &serve_addr {
                             if let Err(e) = serve_metrics(addr, &out.prom_path) {
@@ -234,6 +279,15 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "bench" if history => match bench_history(&hcq_repro::snapshot_dir()) {
+                Ok(table) => {
+                    println!("== bench trajectory ==\n{}", table.render());
+                }
+                Err(e) => {
+                    eprintln!("bench --history failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
             "bench" => match bench(&cfg, large_q) {
                 Ok(path) => println!("benchmark baseline written to {}", path.display()),
                 Err(e) => {
@@ -241,6 +295,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "ext_inspect" => {
+                ext_inspect(&cfg);
+            }
             other => {
                 eprintln!("unknown exhibit {other}");
                 print_usage();
@@ -293,8 +350,9 @@ fn parse<T: std::str::FromStr>(v: Option<String>, flag: &str) -> T {
 
 fn print_usage() {
     eprintln!(
-        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--govern] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE] [--large-q] [--large-q-max Q]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient ext_recovery ext_adaptive monitor validate bench fuzz all\n\
+        "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--govern] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE] [--large-q] [--large-q-max Q] [--force]\n\
+         \x20      repro inspect TRACE [--diff TRACE2] [--format text|perfetto] [--out DIR] [--force]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient ext_recovery ext_adaptive ext_inspect monitor validate bench fuzz all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
          --govern: arm the closed-loop overload governor on single-stream runs (admission ladder + hysteresis; ext_recovery compares it to static admission regardless of this flag)\n\
          --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)\n\
@@ -303,6 +361,10 @@ fn print_usage() {
          --cases K: scenarios for `fuzz` (default 200; seeded by --seed, minimized artifacts land in --out)\n\
          --replay FILE: for `fuzz`, re-run one fuzz-repro-*.json artifact instead of sweeping\n\
          --large-q: with `bench`, add the 10^3..10^6-query scheduling-point sweep and its sub-linearity gates to the snapshot\n\
-         --large-q-max Q: cap the large-q sweep at Q queries (implies --large-q; `ext_large_q` honours it too)"
+         --large-q-max Q: cap the large-q sweep at Q queries (implies --large-q; `ext_large_q` honours it too)\n\
+         --history: with `bench`, print the PR-over-PR trajectory consolidated from every BENCH_<n>.json instead of running the benchmark\n\
+         --diff TRACE2: with `inspect`, align a second trace at scheduling-point granularity and report the first divergent decision\n\
+         --format text|perfetto: `inspect` output — text reports (default) or Chrome trace-event JSON into --out\n\
+         --force: allow `monitor`, `--trace`, and `inspect --format perfetto` to overwrite existing output files"
     );
 }

@@ -46,7 +46,7 @@ pub struct ExhibitOutput {
 }
 
 impl ExhibitOutput {
-    fn emit(self, cfg: &ExpConfig) -> ExhibitOutput {
+    pub(crate) fn emit(self, cfg: &ExpConfig) -> ExhibitOutput {
         let path = cfg.out_dir.join(format!("{}.csv", self.name));
         self.table
             .write_csv(&path)
@@ -1608,9 +1608,8 @@ pub fn ext_adaptive(cfg: &ExpConfig) -> ExhibitOutput {
             if let Some(a) = adapt {
                 sim_cfg = sim_cfg.with_adaptation(a);
             }
-            let mut sim =
-                Simulator::new(&w.plan, &w.rates, vec![cfg.source(0)], make(), sim_cfg)
-                    .expect("exhibit workloads are valid");
+            let mut sim = Simulator::new(&w.plan, &w.rates, vec![cfg.source(0)], make(), sim_cfg)
+                .expect("exhibit workloads are valid");
             if let Some(est) = preapply {
                 for (u, s) in est.iter().enumerate() {
                     sim.update_unit_statics(u as u32, *s);
@@ -1618,8 +1617,8 @@ pub fn ext_adaptive(cfg: &ExpConfig) -> ExhibitOutput {
             }
             sim.run().expect("built-in policies respect the contract")
         };
-        let stale = run(Some(probe.clone()), None);
-        let adaptive = run(Some(online.clone()), None);
+        let stale = run(Some(probe), None);
+        let adaptive = run(Some(online), None);
         let est = stale
             .estimates
             .clone()

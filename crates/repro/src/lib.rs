@@ -14,19 +14,21 @@ pub mod bench;
 pub mod exhibits;
 pub mod fuzz;
 pub mod harness;
+pub mod inspect;
 pub mod monitor;
 pub mod plot;
 pub mod table;
 pub mod validate;
 
-pub use bench::bench;
+pub use bench::{bench, snapshot_dir};
 pub use exhibits::{
-    ext_adaptive, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload, ext_preemption,
-    ext_recovery, ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10, table1, table2,
-    table3, ExhibitOutput,
+    ext_adaptive, ext_faults, ext_large_q, ext_lp, ext_memory, ext_overhead, ext_overload,
+    ext_preemption, ext_recovery, ext_seeds, ext_transient, fig11, fig12, fig13, fig14, fig5_to_10,
+    table1, table2, table3, ExhibitOutput,
 };
 pub use fuzz::{fuzz, fuzz_replay, FuzzSummary};
 pub use harness::{default_jobs, run_jobs, ExpConfig, SweepResults};
+pub use inspect::{bench_history, ext_inspect, guard_overwrite, inspect_trace, InspectFormat};
 pub use monitor::{monitor, MonitorOutput};
 pub use plot::Chart;
 pub use table::AsciiTable;

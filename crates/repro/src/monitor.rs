@@ -31,8 +31,14 @@ pub struct MonitorOutput {
 }
 
 /// Run the monitored reference workload and export both formats into
-/// `cfg.out_dir`. `cadence` is the virtual-time sampling interval.
-pub fn monitor(cfg: &ExpConfig, cadence: Nanos) -> std::io::Result<MonitorOutput> {
+/// `cfg.out_dir`. `cadence` is the virtual-time sampling interval. Existing
+/// exports are never overwritten unless `force` is set — the check runs
+/// before the simulation, so a refused run costs nothing.
+pub fn monitor(cfg: &ExpConfig, cadence: Nanos, force: bool) -> std::io::Result<MonitorOutput> {
+    let jsonl_path = cfg.out_dir.join("telemetry.jsonl");
+    let prom_path = cfg.out_dir.join("metrics.prom");
+    crate::inspect::guard_overwrite(&jsonl_path, force)?;
+    crate::inspect::guard_overwrite(&prom_path, force)?;
     let util = 0.9;
     println!(
         "monitoring hnr at utilization {util} ({} queries, {} arrivals, cadence {} ms)...",
@@ -43,7 +49,6 @@ pub fn monitor(cfg: &ExpConfig, cadence: Nanos) -> std::io::Result<MonitorOutput
     let (report, samples) = cfg.run_single_monitored(util, PolicyKind::Hnr.build(), cadence);
     std::fs::create_dir_all(&cfg.out_dir)?;
 
-    let jsonl_path = cfg.out_dir.join("telemetry.jsonl");
     let mut jsonl = String::new();
     for s in &samples {
         jsonl.push_str(&s.to_jsonl());
@@ -51,7 +56,6 @@ pub fn monitor(cfg: &ExpConfig, cadence: Nanos) -> std::io::Result<MonitorOutput
     }
     std::fs::write(&jsonl_path, jsonl)?;
 
-    let prom_path = cfg.out_dir.join("metrics.prom");
     let last = samples.last().expect("a final snapshot always exists");
     let prom = render_prometheus(last);
     check_exposition(&prom)
@@ -98,7 +102,8 @@ mod tests {
     #[test]
     fn monitor_writes_valid_exports() {
         let cfg = tiny();
-        let out = monitor(&cfg, Nanos::from_millis(100)).unwrap();
+        std::fs::remove_dir_all(&cfg.out_dir).ok();
+        let out = monitor(&cfg, Nanos::from_millis(100), false).unwrap();
         assert!(!out.samples.is_empty());
         let jsonl = std::fs::read_to_string(&out.jsonl_path).unwrap();
         assert_eq!(jsonl.lines().count(), out.samples.len());
@@ -108,6 +113,12 @@ mod tests {
         let prom = std::fs::read_to_string(&out.prom_path).unwrap();
         check_exposition(&prom).unwrap();
         assert!(prom.contains(&format!("hcq_emitted_total {}", out.report.emitted)));
+
+        // A re-run must refuse to clobber the exports unless forced.
+        let err = monitor(&cfg, Nanos::from_millis(100), false).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert!(err.to_string().contains("--force"), "{err}");
+        monitor(&cfg, Nanos::from_millis(100), true).unwrap();
         std::fs::remove_dir_all(&cfg.out_dir).ok();
     }
 }

@@ -125,8 +125,8 @@ fn monitor_exports_are_byte_identical_across_job_counts_and_runs() {
     let serial = cfg(1, "monitor_serial");
     let parallel = cfg(4, "monitor_parallel");
     let cadence = Nanos::from_millis(100);
-    let a = monitor(&serial, cadence).expect("serial monitor");
-    let b = monitor(&parallel, cadence).expect("parallel monitor");
+    let a = monitor(&serial, cadence, false).expect("serial monitor");
+    let b = monitor(&parallel, cadence, false).expect("parallel monitor");
     let a_jsonl = std::fs::read(&a.jsonl_path).unwrap();
     let b_jsonl = std::fs::read(&b.jsonl_path).unwrap();
     assert!(!a_jsonl.is_empty(), "snapshot stream must carry samples");
@@ -137,7 +137,7 @@ fn monitor_exports_are_byte_identical_across_job_counts_and_runs() {
     let a_prom = std::fs::read(&a.prom_path).unwrap();
     let b_prom = std::fs::read(&b.prom_path).unwrap();
     assert_eq!(a_prom, b_prom, "metrics.prom differs across job counts");
-    let c = monitor(&serial, cadence).expect("repeat monitor");
+    let c = monitor(&serial, cadence, true).expect("repeat monitor");
     assert_eq!(
         std::fs::read(&c.jsonl_path).unwrap(),
         a_jsonl,

@@ -67,6 +67,7 @@
 //! | [`workload`] | `hcq-workload` | the §8 evaluation workloads + utilization calibration |
 //! | [`aqsios`] | `hcq-aqsios` | an embeddable online mini-DSMS over real records, scheduled by these policies |
 //! | [`check`] | `hcq-check` | seeded scenario fuzzing, the invariant suite, shrinking + replay artifacts |
+//! | [`inspect`] | `hcq-inspect` | offline trace analysis: latency waterfalls, starvation diagnosis, decision diffs, Perfetto export |
 //!
 //! The `hcq-repro` crate (binary: `repro`) regenerates the paper's tables
 //! and figures; see `EXPERIMENTS.md` for a recorded comparison.
@@ -76,6 +77,7 @@ pub use hcq_check as check;
 pub use hcq_common as common;
 pub use hcq_core as core;
 pub use hcq_engine as engine;
+pub use hcq_inspect as inspect;
 pub use hcq_join as join;
 pub use hcq_metrics as metrics;
 pub use hcq_plan as plan;
