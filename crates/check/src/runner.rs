@@ -40,6 +40,10 @@ pub struct FuzzConfig {
     pub jobs: usize,
     /// Where failing-case artifacts are written (`None` = don't write).
     pub artifact_dir: Option<PathBuf>,
+    /// Overwrite an existing artifact file instead of refusing. A replay
+    /// artifact someone is still debugging should not be silently replaced
+    /// by a re-run; the CLI surfaces this as `repro fuzz --force`.
+    pub force: bool,
 }
 
 impl FuzzConfig {
@@ -51,6 +55,7 @@ impl FuzzConfig {
             cases,
             jobs: 1,
             artifact_dir: None,
+            force: false,
         }
     }
 }
@@ -166,7 +171,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> std::io::Result<FuzzOutcome> {
     if let Some(dir) = &cfg.artifact_dir {
         for r in &results {
             if let Some(minimized) = &r.minimized {
-                artifacts.push(write_artifact(dir, minimized, &r.violations)?);
+                artifacts.push(write_artifact(dir, minimized, &r.violations, cfg.force)?);
             }
         }
     }
@@ -177,14 +182,27 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> std::io::Result<FuzzOutcome> {
     })
 }
 
-/// Write one failing case's artifact; returns its path.
+/// Write one failing case's artifact; returns its path. Unless `force` is
+/// set, an existing artifact at the same path is left untouched and the
+/// write fails with `AlreadyExists` — repro artifacts are evidence, and a
+/// re-run must not clobber one mid-investigation.
 pub fn write_artifact(
     dir: &Path,
     scenario: &Scenario,
     violations: &[Violation],
+    force: bool,
 ) -> std::io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(artifact_name(scenario.seed, scenario.case));
+    if !force && path.exists() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::AlreadyExists,
+            format!(
+                "{} already exists; pass --force to overwrite",
+                path.display()
+            ),
+        ));
+    }
     std::fs::write(&path, render_artifact(scenario, violations))?;
     Ok(path)
 }
@@ -224,5 +242,31 @@ mod tests {
     fn replay_matches_sweep_for_generated_cases() {
         let s = Scenario::generate(13, 2);
         assert!(replay(&s).is_empty());
+    }
+
+    #[test]
+    fn artifact_writes_refuse_to_clobber_without_force() {
+        let dir = std::env::temp_dir().join(format!("hcq_artifact_guard_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let scenario = Scenario::generate(13, 2);
+        let first = write_artifact(&dir, &scenario, &[], false).unwrap();
+        std::fs::write(&first, "hand-edited repro").unwrap();
+        // A second sweep hitting the same (seed, case) must not clobber the
+        // artifact someone is debugging...
+        let err = write_artifact(&dir, &scenario, &[], false).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+        assert!(err.to_string().contains("--force"));
+        assert_eq!(
+            std::fs::read_to_string(&first).unwrap(),
+            "hand-edited repro"
+        );
+        // ...until force is given.
+        let again = write_artifact(&dir, &scenario, &[], true).unwrap();
+        assert_eq!(again, first);
+        assert_ne!(
+            std::fs::read_to_string(&first).unwrap(),
+            "hand-edited repro"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

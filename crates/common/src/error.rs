@@ -36,6 +36,34 @@ pub enum EngineError {
         /// Tuples pending across all queues at the stalled point.
         pending: usize,
     },
+    /// The queues' O(1) non-empty index disagrees with the queue contents —
+    /// internal state corruption (e.g. an index clobbered while crossing a
+    /// thread boundary) rather than a caller mistake.
+    QueueIndexCorrupt {
+        /// The unit whose index slot was inconsistent.
+        unit: u32,
+    },
+    /// A query's plan contains a join operator but the engine holds no join
+    /// state for it.
+    MissingJoinState {
+        /// The query missing its symmetric-hash join table.
+        query: usize,
+    },
+    /// A join operator was entered through the unary (single-input) port.
+    UnaryPortAtJoin {
+        /// The query owning the operator.
+        query: usize,
+        /// The operator index within the query's compiled pipeline.
+        op: usize,
+    },
+    /// A join operator appeared where the execution mode requires a unary
+    /// operator (shared-group entry, operator-level scheduling).
+    UnexpectedJoin {
+        /// The query owning the operator.
+        query: usize,
+        /// The operator index within the query's compiled pipeline.
+        op: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -49,6 +77,24 @@ impl fmt::Display for EngineError {
             }
             EngineError::NoSelection { pending } => {
                 write!(f, "policy made no selection with {pending} tuples pending")
+            }
+            EngineError::QueueIndexCorrupt { unit } => {
+                write!(f, "non-empty index corrupt for unit {unit}")
+            }
+            EngineError::MissingJoinState { query } => {
+                write!(f, "query {query} has a join operator but no join state")
+            }
+            EngineError::UnaryPortAtJoin { query, op } => {
+                write!(
+                    f,
+                    "join operator {op} of query {query} entered on a unary port"
+                )
+            }
+            EngineError::UnexpectedJoin { query, op } => {
+                write!(
+                    f,
+                    "operator {op} of query {query} is a join where a unary operator is required"
+                )
             }
         }
     }
@@ -174,6 +220,26 @@ mod tests {
         assert_eq!(
             EngineError::NoSelection { pending: 17 }.to_string(),
             "policy made no selection with 17 tuples pending"
+        );
+    }
+
+    #[test]
+    fn runtime_hardening_variants_format() {
+        assert_eq!(
+            EngineError::QueueIndexCorrupt { unit: 5 }.to_string(),
+            "non-empty index corrupt for unit 5"
+        );
+        assert_eq!(
+            EngineError::MissingJoinState { query: 2 }.to_string(),
+            "query 2 has a join operator but no join state"
+        );
+        assert_eq!(
+            EngineError::UnaryPortAtJoin { query: 1, op: 3 }.to_string(),
+            "join operator 3 of query 1 entered on a unary port"
+        );
+        assert_eq!(
+            EngineError::UnexpectedJoin { query: 0, op: 1 }.to_string(),
+            "operator 1 of query 0 is a join where a unary operator is required"
         );
     }
 }

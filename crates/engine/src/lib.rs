@@ -50,6 +50,7 @@
 //! ```
 
 pub mod config;
+pub mod exec;
 pub mod model;
 pub mod queues;
 pub mod report;

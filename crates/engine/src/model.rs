@@ -7,6 +7,19 @@ use hcq_plan::{CompiledQuery, GlobalPlan, LeafIndex, PlanStats, Port, QueryTag, 
 
 use crate::config::SchedulingLevel;
 
+/// The next dense unit id for a unit table already holding `len` units.
+///
+/// `len as UnitId` would silently truncate past `u32::MAX` units and alias
+/// existing ids; every unit-table append goes through this check instead.
+fn checked_unit_id(len: usize) -> Result<UnitId> {
+    UnitId::try_from(len).map_err(|_| {
+        HcqError::plan(format!(
+            "unit table exhausted the {}-entry unit-id space",
+            u32::MAX
+        ))
+    })
+}
+
 /// What a schedulable unit is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UnitKind {
@@ -166,7 +179,7 @@ impl SimModel {
                     let mut first_unit = None;
                     for (oi, _) in cq.ops.iter().enumerate() {
                         let seg = stats[qi].op(oi, Port::Single);
-                        let unit = units.len() as UnitId;
+                        let unit = checked_unit_id(units.len())?;
                         if oi == cq.leaves[0].entry.0 {
                             first_unit = Some(unit);
                         }
@@ -179,7 +192,9 @@ impl SimModel {
                             },
                         });
                     }
-                    let entry = first_unit.expect("validated single-stream query has ops");
+                    let entry = first_unit.ok_or_else(|| {
+                        HcqError::plan(format!("query Q{qi} compiled to no operators"))
+                    })?;
                     routes[cq.leaves[0].stream.index()].push(EntryRoute {
                         unit: entry,
                         alone: cq.alone_cost(LeafIndex(0)),
@@ -193,7 +208,7 @@ impl SimModel {
                         continue;
                     }
                     for (li, leaf) in cq.leaves.iter().enumerate() {
-                        let unit = units.len() as UnitId;
+                        let unit = checked_unit_id(units.len())?;
                         units.push(UnitDesc {
                             kind: UnitKind::Leaf {
                                 query: qi,
@@ -217,7 +232,7 @@ impl SimModel {
                         .collect();
                     let hnr = shared_priority(&member_stats, g.op.cost, sharing, SharedRank::Hnr);
                     let bsd = shared_priority(&member_stats, g.op.cost, sharing, SharedRank::Bsd);
-                    let shared_unit = units.len() as UnitId;
+                    let shared_unit = checked_unit_id(units.len())?;
                     units.push(UnitDesc {
                         kind: UnitKind::Shared { group: group_idx },
                         statics: synthesize_shared_statics(
@@ -247,7 +262,7 @@ impl SimModel {
                             continue;
                         }
                         let seg = stats[qi].op(1, Port::Single);
-                        let unit = units.len() as UnitId;
+                        let unit = checked_unit_id(units.len())?;
                         units.push(UnitDesc {
                             kind: UnitKind::Remainder {
                                 group: group_idx,
@@ -276,7 +291,7 @@ impl SimModel {
             .iter()
             .flat_map(|cq| cq.ops.iter().map(|op| op.cost()))
             .min()
-            .expect("non-empty plan has operators");
+            .ok_or_else(|| HcqError::plan("plan has no operators"))?;
 
         Ok(SimModel {
             compiled,
@@ -433,6 +448,15 @@ mod tests {
             .project(ms(cost))
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn unit_id_space_is_checked_not_truncated() {
+        // `len as UnitId` used to alias unit 0 at 2^32 — the checked path
+        // errors instead of handing out a truncated id.
+        assert_eq!(checked_unit_id(0).unwrap(), 0);
+        assert_eq!(checked_unit_id(u32::MAX as usize).unwrap(), u32::MAX);
+        assert!(checked_unit_id(u32::MAX as usize + 1).is_err());
     }
 
     #[test]

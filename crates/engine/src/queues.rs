@@ -59,14 +59,41 @@ impl UnitQueues {
 
     /// Remove `unit` from the non-empty index once its queue has drained.
     /// Swap-remove: O(1), order not preserved.
-    fn unindex(&mut self, unit: UnitId) {
-        let i = (self.pos[unit as usize] - 1) as usize;
-        let last = self.nonempty.pop().expect("index tracks nonempty");
+    ///
+    /// Errors (instead of underflowing `pos - 1` or panicking on an empty
+    /// index) when the index slot disagrees with the queue contents — state
+    /// corruption, not a caller mistake.
+    fn unindex(&mut self, unit: UnitId) -> Result<(), EngineError> {
+        let corrupt = EngineError::QueueIndexCorrupt { unit };
+        let i = self
+            .pos
+            .get(unit as usize)
+            .copied()
+            .and_then(|p| p.checked_sub(1))
+            .map(|i| i as usize)
+            .filter(|&i| self.nonempty.get(i) == Some(&unit))
+            .ok_or(corrupt)?;
+        let last = self.nonempty.pop().ok_or(corrupt)?;
         if last != unit {
             self.nonempty[i] = last;
             self.pos[last as usize] = i as u32 + 1;
         }
         self.pos[unit as usize] = 0;
+        Ok(())
+    }
+
+    /// Reconstruct the non-empty index from the queue contents — the
+    /// self-healing path taken when [`UnitQueues::unindex`] detects
+    /// corruption on a call that cannot surface an error.
+    fn rebuild_index(&mut self) {
+        self.nonempty.clear();
+        self.pos.iter_mut().for_each(|p| *p = 0);
+        for (u, q) in self.queues.iter().enumerate() {
+            if !q.is_empty() {
+                self.nonempty.push(u as UnitId);
+                self.pos[u] = self.nonempty.len() as u32;
+            }
+        }
     }
 
     /// Dequeue the unit's head tuple.
@@ -85,7 +112,7 @@ impl UnitQueues {
         let t = q.pop_front().ok_or(EngineError::EmptyQueuePop { unit })?;
         self.pending -= 1;
         if self.queues[unit as usize].is_empty() {
-            self.unindex(unit);
+            self.unindex(unit)?;
         }
         Ok(t)
     }
@@ -96,10 +123,19 @@ impl UnitQueues {
     pub fn shed_tail(&mut self, unit: UnitId) -> Option<SimTuple> {
         let t = self.queues.get_mut(unit as usize)?.pop_back()?;
         self.pending -= 1;
-        if self.queues[unit as usize].is_empty() {
-            self.unindex(unit);
+        if self.queues[unit as usize].is_empty() && self.unindex(unit).is_err() {
+            // `shed_tail` has no error channel; a corrupt index slot heals
+            // by rebuilding the whole index from the queues.
+            self.rebuild_index();
         }
         Some(t)
+    }
+
+    /// Corrupt the unit's index slot — regression-test hook for the
+    /// [`EngineError::QueueIndexCorrupt`] paths.
+    #[cfg(test)]
+    fn corrupt_pos_for_tests(&mut self, unit: UnitId, pos: u32) {
+        self.pos[unit as usize] = pos;
     }
 
     /// Iterate the unit's queued tuples in FIFO order (head first) without
@@ -228,6 +264,33 @@ mod tests {
         assert_eq!(q.shed_tail(9), None, "out-of-range unit sheds nothing");
         assert_eq!(q.pop(0).unwrap().id, TupleId::new(1));
         assert!(q.all_empty());
+    }
+
+    #[test]
+    fn corrupt_index_pop_is_a_typed_error() {
+        // A zeroed slot (claims "absent" while the queue holds a tuple)
+        // used to underflow `pos - 1`; an out-of-range slot used to panic
+        // or clobber a neighbour. Both now surface as a typed error.
+        for bad_pos in [0u32, 99] {
+            let mut q = UnitQueues::new(2);
+            q.push(0, tuple(1, 10));
+            q.corrupt_pos_for_tests(0, bad_pos);
+            assert_eq!(q.pop(0), Err(EngineError::QueueIndexCorrupt { unit: 0 }));
+        }
+    }
+
+    #[test]
+    fn corrupt_index_shed_self_heals() {
+        let mut q = UnitQueues::new(3);
+        q.push(0, tuple(1, 10));
+        q.push(2, tuple(2, 20));
+        q.corrupt_pos_for_tests(0, 0);
+        // `shed_tail` has no error channel: it rebuilds the index instead.
+        assert_eq!(q.shed_tail(0).unwrap().id, TupleId::new(1));
+        assert_eq!(q.nonempty(), &[2]);
+        assert_eq!(q.pop(2).unwrap().id, TupleId::new(2));
+        assert!(q.all_empty());
+        assert!(q.nonempty().is_empty());
     }
 
     proptest! {

@@ -4,7 +4,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
 use hcq_common::{det, EngineError, HcqError, Nanos, Result, StreamId, TupleId};
-use hcq_core::{EwmaEstimator, Policy, PriorityKey, QueueView, UnitStatics, WindowedEstimator};
+use hcq_core::{EwmaEstimator, Policy, QueueView, UnitStatics, WindowedEstimator};
 use hcq_join::{Side, SymmetricHashJoin};
 use hcq_metrics::{
     ClassBreakdown, OverheadTotals, QosAccumulator, QosTimeSeries, SlowdownHistogram,
@@ -15,6 +15,7 @@ use hcq_streams::{ArrivalSource, SourceFaultStats};
 use crate::config::{
     AdaptConfig, AdaptMode, AdmissionMode, GovernorConfig, SchedulingLevel, SimConfig,
 };
+use crate::exec;
 use crate::model::{SimModel, UnitKind};
 use crate::queues::UnitQueues;
 use crate::report::SimReport;
@@ -465,19 +466,20 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                 upcoming.push(Reverse((t, s)));
             }
         }
-        let joins = model
-            .compiled
-            .iter()
-            .map(|cq| {
-                cq.join_indices().first().map(|&ji| {
-                    let window = match &cq.ops[ji].kind {
-                        CompiledOpKind::Join(j) => j.window,
-                        _ => unreachable!("join index points at a join"),
-                    };
-                    (ji, SymmetricHashJoin::new(window))
-                })
-            })
-            .collect();
+        let mut joins = Vec::with_capacity(model.compiled.len());
+        for (qi, cq) in model.compiled.iter().enumerate() {
+            joins.push(match cq.join_indices().first() {
+                Some(&ji) => match &cq.ops[ji].kind {
+                    CompiledOpKind::Join(j) => Some((ji, SymmetricHashJoin::new(j.window))),
+                    _ => {
+                        return Err(HcqError::plan(format!(
+                            "query Q{qi}: join index {ji} does not point at a join operator"
+                        )))
+                    }
+                },
+                None => None,
+            });
+        }
         let mut op_units: Vec<Vec<u32>> = Vec::new();
         if cfg.level == SchedulingLevel::Operator {
             op_units = model
@@ -1088,7 +1090,12 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             g.standby = Some(std::mem::replace(&mut self.policy, next));
             self.record_switch(g, at, from, share);
         } else if engaged && g.low_streak >= g.cfg.switch_sustain {
-            let mut base = g.standby.take().expect("engaged implies a standby");
+            // `engaged` was computed from `standby.is_some()`; a missing
+            // standby here means the invariant broke — bail out rather
+            // than panic, leaving the current policy engaged.
+            let Some(mut base) = g.standby.take() else {
+                return;
+            };
             self.resync_policy(base.as_mut());
             let from = self.policy.name();
             self.policy = base;
@@ -1211,7 +1218,9 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             if p.release > self.clock {
                 break;
             }
-            let Reverse(p) = self.parked.pop().expect("peeked entry");
+            let Some(Reverse(p)) = self.parked.pop() else {
+                break;
+            };
             self.admit(p.unit, p.tuple);
         }
     }
@@ -1243,7 +1252,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         let id = TupleId::new(self.arrivals_injected);
         self.arrivals_injected += 1;
         // The §8 extra attribute: uniform in [1,100], shared by every copy.
-        let key = det::unit_range(det::splitmix64(det::mix2(self.cfg.seed, id.raw())), 1, 100);
+        let key = exec::arrival_key(self.cfg.seed, id);
         // Routes are read through an index to satisfy the borrow checker;
         // the route table is immutable during simulation.
         let si = stream.index();
@@ -1318,18 +1327,10 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
     /// O(non-empty units) per overloaded admission; the scan only runs past
     /// the watermark, so the uncongested path never pays it.
     fn shed_lowest_priority(&mut self, arriving: u32) -> bool {
-        let mut victim = arriving;
-        let mut lowest = PriorityKey(self.shed_priority[arriving as usize]);
-        for &u in self.queues.nonempty() {
-            let p = PriorityKey(self.shed_priority[u as usize]);
-            if p < lowest || (p == lowest && u < victim) {
-                victim = u;
-                lowest = p;
-            }
-        }
-        if victim == arriving {
+        let Some(victim) = exec::shed_victim(self.queues.nonempty(), &self.shed_priority, arriving)
+        else {
             return false;
-        }
+        };
         match self.queues.shed_tail(victim) {
             Some(t) => {
                 self.shed += 1;
@@ -1461,14 +1462,14 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         match kind {
             UnitKind::Leaf { query, leaf } => {
                 let entry = self.model.compiled[query].leaves[leaf.index()].entry;
-                self.run_pipeline(query, entry, tuple);
+                self.run_pipeline(query, entry, tuple)?;
             }
-            UnitKind::Shared { group } => self.run_shared(group, tuple),
+            UnitKind::Shared { group } => self.run_shared(group, tuple)?,
             UnitKind::Remainder { group, member } => {
                 let query = self.model.groups[group].members[member];
-                self.run_pipeline(query, (1, Port::Single), tuple);
+                self.run_pipeline(query, (1, Port::Single), tuple)?;
             }
-            UnitKind::Operator { query, op } => self.run_operator_step(query, op, tuple),
+            UnitKind::Operator { query, op } => self.run_operator_step(query, op, tuple)?,
         }
         if self.adapt.is_some() {
             // One observation per completed unit execution: total charged
@@ -1529,7 +1530,12 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
     }
 
     /// Pipelined execution from `entry` to the root (query-level units).
-    fn run_pipeline(&mut self, query: usize, entry: (usize, Port), tuple: SimTuple) {
+    fn run_pipeline(
+        &mut self,
+        query: usize,
+        entry: (usize, Port),
+        tuple: SimTuple,
+    ) -> Result<(), EngineError> {
         let mut cursor = Some(entry);
         while let Some((oi, port)) = cursor {
             let op = self.model.compiled[query].ops[oi];
@@ -1539,7 +1545,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                     self.charge_op(spec.cost, tuple.id, det::mix2(query as u64, oi as u64));
                     if !self.unary_passes(query, oi, &spec, &tuple) {
                         self.dropped += 1;
-                        return;
+                        return Ok(());
                     }
                     cursor = downstream;
                 }
@@ -1548,28 +1554,28 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                     let side = match port {
                         Port::Left => Side::Left,
                         Port::Right => Side::Right,
-                        Port::Single => unreachable!("join entered on a unary port"),
+                        Port::Single => return Err(EngineError::UnaryPortAtJoin { query, op: oi }),
                     };
                     // Reuse the probe scratch buffer across tuples; it is
                     // taken out of `self` for the duration of the partner
                     // loop because `run_pipeline` re-borrows the simulator.
                     let mut matches = std::mem::take(&mut self.probe_buf);
-                    let (join_idx, shj) = self.joins[query]
-                        .as_mut()
-                        .expect("query with join op has a join table");
+                    let Some((join_idx, shj)) = self.joins[query].as_mut() else {
+                        return Err(EngineError::MissingJoinState { query });
+                    };
                     debug_assert_eq!(*join_idx, oi);
                     shj.insert_probe_into(side, &tuple, &mut matches);
                     let mut produced = false;
                     let sel = self.drifted_selectivity(spec.selectivity);
                     for &partner in &matches {
-                        if !pair_passes(self.cfg.seed, query, oi, sel, &tuple, &partner) {
+                        if !exec::pair_passes(self.cfg.seed, query, oi, sel, &tuple, &partner) {
                             continue;
                         }
                         produced = true;
                         let id = self.next_composite_id();
                         let composite = SimTuple::composite(id, &tuple, &partner);
                         match downstream {
-                            Some(next) => self.run_pipeline(query, next, composite),
+                            Some(next) => self.run_pipeline(query, next, composite)?,
                             None => self.emit(query, composite),
                         }
                     }
@@ -1577,16 +1583,17 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
                     if !produced {
                         self.dropped += 1;
                     }
-                    return;
+                    return Ok(());
                 }
             }
         }
         self.emit(query, tuple);
+        Ok(())
     }
 
     /// §7 shared-operator execution: the shared operator once, then the PDT
     /// members inline and the deferred members' queues.
-    fn run_shared(&mut self, group: usize, tuple: SimTuple) {
+    fn run_shared(&mut self, group: usize, tuple: SimTuple) -> Result<(), EngineError> {
         // The group model is read through indices rather than cloned: its
         // member lists are heap-backed, and this runs once per shared tuple.
         let g = &self.model.groups[group];
@@ -1600,11 +1607,13 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         // non-key-predicate shared ops use a group-salted coin.
         let spec = match self.model.compiled[q0].ops[0].kind {
             CompiledOpKind::Unary(spec) => spec,
-            CompiledOpKind::Join(_) => unreachable!("validated: shared op is unary"),
+            CompiledOpKind::Join(_) => {
+                return Err(EngineError::UnexpectedJoin { query: q0, op: 0 })
+            }
         };
         let s = self.drifted_selectivity(spec.selectivity);
         let pass = if spec.kind.is_key_predicate() {
-            key_passes(s, &tuple)
+            exec::key_passes(s, &tuple)
         } else {
             det::coin(
                 det::mix3(tuple.id.raw(), 0xC0DE_5A17 ^ group as u64, self.cfg.seed),
@@ -1613,7 +1622,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         };
         if !pass {
             self.dropped += n_members as u64;
-            return;
+            return Ok(());
         }
         for i in 0..self.model.groups[group].inline_members.len() {
             let pos = self.model.groups[group].inline_members[i];
@@ -1621,7 +1630,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             let mut copy = tuple;
             copy.ideal_depart = tuple.arrival + self.ideal_times[query];
             if self.model.compiled[query].ops.len() > 1 {
-                self.run_pipeline(query, (1, Port::Single), copy);
+                self.run_pipeline(query, (1, Port::Single), copy)?;
             } else {
                 self.emit(query, copy);
             }
@@ -1633,20 +1642,26 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             copy.ideal_depart = tuple.arrival + self.ideal_times[query];
             self.admit(unit, copy);
         }
+        Ok(())
     }
 
     /// Operator-level execution: one operator, one tuple.
-    fn run_operator_step(&mut self, query: usize, op: usize, tuple: SimTuple) {
+    fn run_operator_step(
+        &mut self,
+        query: usize,
+        op: usize,
+        tuple: SimTuple,
+    ) -> Result<(), EngineError> {
         let compiled_op = self.model.compiled[query].ops[op];
         let spec = match compiled_op.kind {
             CompiledOpKind::Unary(spec) => spec,
-            CompiledOpKind::Join(_) => unreachable!("validated: no joins at operator level"),
+            CompiledOpKind::Join(_) => return Err(EngineError::UnexpectedJoin { query, op }),
         };
         let downstream = compiled_op.downstream;
         self.charge_op(spec.cost, tuple.id, det::mix2(query as u64, op as u64));
         if !self.unary_passes(query, op, &spec, &tuple) {
             self.dropped += 1;
-            return;
+            return Ok(());
         }
         match downstream {
             Some((next, _)) => {
@@ -1655,6 +1670,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             }
             None => self.emit(query, tuple),
         }
+        Ok(())
     }
 
     fn charge(&mut self, cost: Nanos) {
@@ -1699,18 +1715,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
 
     fn unary_passes(&self, query: usize, op: usize, spec: &OperatorSpec, t: &SimTuple) -> bool {
         let s = self.drifted_selectivity(spec.selectivity);
-        if spec.kind.is_key_predicate() {
-            key_passes(s, t)
-        } else {
-            det::coin(
-                det::mix3(
-                    t.id.raw(),
-                    det::mix2(query as u64, op as u64),
-                    self.cfg.seed,
-                ),
-                s,
-            )
-        }
+        exec::unary_passes(self.cfg.seed, query, op, spec, s, t)
     }
 
     fn emit(&mut self, query: usize, t: SimTuple) {
@@ -1721,11 +1726,7 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
         // D_ideal = A + T, collapsing to Definition 2's R/T. Under cost
         // jitter an execution can beat the nominal ideal; slowdown then
         // clamps at 1 (the tuple was served ideally).
-        let slowdown = if self.clock > t.ideal_depart {
-            1.0 + (self.clock - t.ideal_depart).ratio(ideal)
-        } else {
-            1.0
-        };
+        let slowdown = exec::slowdown(self.clock, t.ideal_depart, ideal);
         self.qos.record(response, slowdown);
         self.classes
             .record(self.model.tags[query], response, slowdown);
@@ -1751,30 +1752,4 @@ impl<S: TraceSink, M: MetricsSink> Simulator<S, M> {
             });
         }
     }
-}
-
-/// Key-predicate select: pass iff `key ≤ s·100` (the §8 predicate-over-an-
-/// attribute realization; outcomes correlate across queries sharing the
-/// attribute, exactly as in the paper's testbed). Takes the *effective*
-/// selectivity so drifting statics shift the threshold.
-fn key_passes(selectivity: f64, t: &SimTuple) -> bool {
-    t.key <= (selectivity * 100.0).round() as u64
-}
-
-/// Join-predicate coin for a candidate pair: symmetric in the pair (the
-/// probing order is policy-dependent; the outcome must not be).
-fn pair_passes(
-    seed: u64,
-    query: usize,
-    op: usize,
-    selectivity: f64,
-    a: &SimTuple,
-    b: &SimTuple,
-) -> bool {
-    let lo = a.id.raw().min(b.id.raw());
-    let hi = a.id.raw().max(b.id.raw());
-    det::coin(
-        det::mix3(lo, hi, det::mix3(query as u64, op as u64, seed)),
-        selectivity,
-    )
 }

@@ -87,6 +87,105 @@ const WARMUP: usize = 1;
 /// Timed runs per policy.
 const SAMPLES: usize = 3;
 
+/// Detected hardware parallelism, recorded in the snapshot so a reader can
+/// tell an honest ~1.0× single-core speedup from a parallelism regression.
+fn detected_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Arrivals for the wall-clock runtime scaling runs: heavier than the
+/// simulator fixture so thread scaling has signal to show.
+const RUNTIME_ARRIVALS: u64 = 2_000;
+/// Thread counts the runtime section sweeps.
+const RUNTIME_THREADS: [usize; 3] = [1, 2, 4];
+
+/// Timed wall-clock runtime run at one thread count (HNR, reference
+/// workload).
+#[derive(Debug)]
+struct RuntimeTiming {
+    threads: usize,
+    /// Best-of-samples wall seconds (minimum is the stablest scaling
+    /// estimator under scheduler noise).
+    wall_s: f64,
+    /// Completed tuple copies per wall second on the best run.
+    tuples_per_s: f64,
+    /// Work-stolen executions on the best run.
+    stolen: u64,
+}
+
+fn time_runtime() -> Vec<RuntimeTiming> {
+    let w = pipeline::workload();
+    let sources = || -> Vec<Box<dyn hcq_streams::ArrivalSource>> {
+        vec![Box::new(hcq_streams::PoissonSource::new(
+            pipeline::mean_gap(),
+            9,
+        ))]
+    };
+    RUNTIME_THREADS
+        .iter()
+        .map(|&threads| {
+            let cfg = hcq_runtime::RuntimeConfig::new(RUNTIME_ARRIVALS)
+                .with_seed(3)
+                .with_threads(threads);
+            let run = || {
+                hcq_runtime::run(&w.plan, &w.rates, sources(), PolicyKind::Hnr, &cfg)
+                    .expect("reference workload is runtime-supported")
+            };
+            for _ in 0..WARMUP {
+                run();
+            }
+            let mut best: Option<RuntimeTiming> = None;
+            for _ in 0..SAMPLES {
+                let report = run();
+                assert!(report.conserved(), "runtime bench run must conserve tuples");
+                let wall_s = report.wall_ns as f64 / 1e9;
+                let improved = match &best {
+                    Some(b) => wall_s < b.wall_s,
+                    None => true,
+                };
+                if improved {
+                    best = Some(RuntimeTiming {
+                        threads,
+                        wall_s,
+                        tuples_per_s: report.tuples_per_sec,
+                        stolen: report.stolen,
+                    });
+                }
+            }
+            best.expect("SAMPLES > 0")
+        })
+        .collect()
+}
+
+/// Gate the 1→2 thread scaling of the wall-clock runtime. On a single-core
+/// host the comparison is meaningless (two threads timeslice one core), so
+/// it is skipped with a note instead of producing a misleading number.
+fn check_runtime_scaling(cores: usize, timings: &[RuntimeTiming]) {
+    let t1 = timings.iter().find(|t| t.threads == 1);
+    let t2 = timings.iter().find(|t| t.threads == 2);
+    let (Some(t1), Some(t2)) = (t1, t2) else {
+        return;
+    };
+    let scaling = t1.wall_s / t2.wall_s.max(1e-12);
+    if cores < 2 {
+        println!(
+            "  runtime 1->2 thread scaling: n/a (single-core host; measured {scaling:.2}x \
+             is timeslicing, not parallelism)"
+        );
+        return;
+    }
+    println!("  runtime 1->2 thread scaling: {scaling:.2}x");
+    assert!(
+        scaling > 1.0,
+        "runtime gained nothing from a second thread on a {cores}-core host \
+         ({:.4} s at 1 thread vs {:.4} s at 2)",
+        t1.wall_s,
+        t2.wall_s
+    );
+}
+
 fn time_reference_workload() -> Vec<PolicyTiming> {
     let w = pipeline::workload();
     pipeline::POLICIES
@@ -571,9 +670,12 @@ fn check_large_q_gates(cells: &[LargeQCell]) {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     cfg: &ExpConfig,
+    cores: usize,
     timings: &[PolicyTiming],
+    runtime: &[RuntimeTiming],
     sweep_cfg: &ExpConfig,
     serial_s: f64,
     parallel_s: f64,
@@ -586,7 +688,7 @@ fn render_json(
     writeln!(w, "  \"schema\": \"hcq-bench-v1\",").unwrap();
     writeln!(
         w,
-        "  \"host\": {{\"cores\": {}, \"jobs\": {}}},",
+        "  \"host\": {{\"cores\": {}, \"cores_detected\": {cores}, \"jobs\": {}}},",
         default_jobs(),
         cfg.jobs
     )
@@ -643,15 +745,48 @@ fn render_json(
         sweep_cfg.arrivals
     )
     .unwrap();
+    // On a single-core host "serial vs parallel" measures timeslicing
+    // overhead, not parallelism — annotate honestly instead of recording a
+    // ~1.0x number that reads as a regression in the trajectory.
+    let speedup = if cores < 2 {
+        "\"n/a (single-core host)\"".to_string()
+    } else {
+        format!("{:.2}", serial_s / parallel_s.max(1e-9))
+    };
     writeln!(
         w,
-        "    \"serial_s\": {:.3}, \"parallel_s\": {:.3}, \"parallel_jobs\": {}, \"speedup\": {:.2}",
-        serial_s,
-        parallel_s,
-        par_jobs,
-        serial_s / parallel_s.max(1e-9)
+        "    \"serial_s\": {serial_s:.3}, \"parallel_s\": {parallel_s:.3}, \
+         \"parallel_jobs\": {par_jobs}, \"speedup\": {speedup}",
     )
     .unwrap();
+    writeln!(w, "  }},").unwrap();
+    writeln!(w, "  \"runtime\": {{").unwrap();
+    writeln!(
+        w,
+        "    \"policy\": \"HNR\", \"arrivals\": {RUNTIME_ARRIVALS}, \"points\": ["
+    )
+    .unwrap();
+    for (i, t) in runtime.iter().enumerate() {
+        let comma = if i + 1 < runtime.len() { "," } else { "" };
+        writeln!(
+            w,
+            "      {{\"threads\": {}, \"wall_s\": {:.6}, \"tuples_per_s\": {:.1}, \
+             \"stolen\": {}}}{}",
+            t.threads, t.wall_s, t.tuples_per_s, t.stolen, comma
+        )
+        .unwrap();
+    }
+    writeln!(w, "    ],").unwrap();
+    let scaling = match (
+        runtime.iter().find(|t| t.threads == 1),
+        runtime.iter().find(|t| t.threads == 2),
+    ) {
+        (Some(t1), Some(t2)) if cores >= 2 => {
+            format!("{:.2}", t1.wall_s / t2.wall_s.max(1e-12))
+        }
+        _ => "\"n/a (single-core host)\"".to_string(),
+    };
+    writeln!(w, "    \"scaling_1_to_2\": {scaling}").unwrap();
     writeln!(w, "  }},").unwrap();
     if let Some(cells) = large_q_cells {
         writeln!(w, "  \"large_q\": {{").unwrap();
@@ -715,6 +850,20 @@ pub fn bench(cfg: &ExpConfig, large_q_max: Option<usize>) -> Result<PathBuf> {
     check_telemetry_overhead(&timings);
     check_governor_overhead(&timings);
     check_adaptive_overhead(&timings);
+    let cores = detected_cores();
+    println!("== bench: wall-clock runtime thread scaling ({cores} cores detected) ==");
+    let runtime_timings = time_runtime();
+    for t in &runtime_timings {
+        println!(
+            "  {} thread{}: {:.4} s, {:.0} tuples/s, {} stolen",
+            t.threads,
+            if t.threads == 1 { " " } else { "s" },
+            t.wall_s,
+            t.tuples_per_s,
+            t.stolen
+        );
+    }
+    check_runtime_scaling(cores, &runtime_timings);
     println!("== bench: sweep serial vs parallel ==");
     let (sweep_cfg, serial_s, parallel_s, par_jobs) = time_sweep(cfg);
     println!(
@@ -733,21 +882,50 @@ pub fn bench(cfg: &ExpConfig, large_q_max: Option<usize>) -> Result<PathBuf> {
     check_against_previous(&root, &timings)?;
     let json = render_json(
         cfg,
+        cores,
         &timings,
+        &runtime_timings,
         &sweep_cfg,
         serial_s,
         parallel_s,
         par_jobs,
         large_q_cells.as_deref(),
     );
-    let path = next_snapshot_path(&root);
-    std::fs::write(&path, json).map_err(|e| {
-        HcqError::Io(std::io::Error::new(
-            e.kind(),
-            format!("writing bench snapshot {}: {e}", path.display()),
-        ))
-    })?;
-    Ok(path)
+    write_snapshot(&root, &json)
+}
+
+/// Write `json` to the next free `BENCH_<n>.json` with create-new
+/// semantics: the snapshot trajectory is append-only, so an existing file
+/// is never clobbered — a concurrent bench run (or a stale `next` guess)
+/// just advances to the following index.
+fn write_snapshot(root: &Path, json: &str) -> Result<PathBuf> {
+    use std::io::Write as _;
+    loop {
+        let path = next_snapshot_path(root);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(mut f) => {
+                f.write_all(json.as_bytes()).map_err(|e| {
+                    HcqError::Io(std::io::Error::new(
+                        e.kind(),
+                        format!("writing bench snapshot {}: {e}", path.display()),
+                    ))
+                })?;
+                return Ok(path);
+            }
+            // Lost the index race to another writer: take the next one.
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => {
+                return Err(HcqError::Io(std::io::Error::new(
+                    e.kind(),
+                    format!("creating bench snapshot {}: {e}", path.display()),
+                )))
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -798,8 +976,13 @@ mod tests {
             fixed_cell("BSD-Exact", 1_000, 1_000.0, 120.0),
             fixed_cell("C-BSD-log", 1_000, 9.0, 260.0),
         ];
-        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4, Some(&cells));
+        let runtime = fixed_runtime();
+        let json = render_json(&cfg, 4, &timings, &runtime, &cfg, 1.0, 0.5, 4, Some(&cells));
         assert!(json.contains("\"schema\": \"hcq-bench-v1\""));
+        assert!(json.contains("\"cores_detected\": 4"));
+        assert!(json.contains("\"runtime\": {"));
+        assert!(json.contains("\"threads\": 2, \"wall_s\": 0.055000"));
+        assert!(json.contains("\"scaling_1_to_2\": 1.82"));
         assert!(json.contains("\"large_q\""));
         assert!(json.contains("\"policy\": \"C-BSD-log\", \"q\": 1000"));
         assert!(json.contains("\"digest\": \"00000000deadbeef\""));
@@ -861,7 +1044,7 @@ mod tests {
             policy_switches: 1,
         }];
         let cfg = ExpConfig::default();
-        let json = render_json(&cfg, &timings, &cfg, 1.0, 0.5, 4, None);
+        let json = render_json(&cfg, 4, &timings, &fixed_runtime(), &cfg, 1.0, 0.5, 4, None);
         let rates = parse_policy_rates(&json);
         assert_eq!(rates.len(), 1);
         assert_eq!(rates[0].0, "HNR");
@@ -870,6 +1053,86 @@ mod tests {
         let expected = pipeline::ARRIVALS as f64 / 0.05;
         assert!((rates[0].1 - expected).abs() / expected < 1e-3);
         assert!(parse_policy_rates("{}").is_empty());
+    }
+
+    fn fixed_runtime() -> Vec<RuntimeTiming> {
+        vec![
+            RuntimeTiming {
+                threads: 1,
+                wall_s: 0.1,
+                tuples_per_s: 300_000.0,
+                stolen: 0,
+            },
+            RuntimeTiming {
+                threads: 2,
+                wall_s: 0.055,
+                tuples_per_s: 545_454.0,
+                stolen: 120,
+            },
+            RuntimeTiming {
+                threads: 4,
+                wall_s: 0.03,
+                tuples_per_s: 1_000_000.0,
+                stolen: 400,
+            },
+        ]
+    }
+
+    #[test]
+    fn single_core_speedups_are_annotated_not_asserted() {
+        // On a 1-core host both the sweep speedup and the runtime scaling
+        // must be recorded as "n/a", and the scaling gate must not fire
+        // even though 2 threads measured *slower* than 1 (pure
+        // timeslicing overhead).
+        let cfg = ExpConfig::default();
+        let mut runtime = fixed_runtime();
+        runtime[1].wall_s = runtime[0].wall_s * 1.3;
+        check_runtime_scaling(1, &runtime);
+        let json = render_json(
+            &cfg,
+            1,
+            &fixed_timings(),
+            &runtime,
+            &cfg,
+            1.0,
+            0.98,
+            2,
+            None,
+        );
+        assert!(json.contains("\"cores_detected\": 1"));
+        assert!(json.contains("\"speedup\": \"n/a (single-core host)\""));
+        assert!(json.contains("\"scaling_1_to_2\": \"n/a (single-core host)\""));
+        assert!(!json.contains("\"speedup\": 1.02"));
+        let opens = json.matches(['{', '[']).count();
+        assert_eq!(opens, json.matches(['}', ']']).count());
+    }
+
+    #[test]
+    fn runtime_scaling_gate_fires_on_multicore_regression() {
+        let mut runtime = fixed_runtime();
+        // 2 threads slower than 1 on a 4-core host: a real regression.
+        runtime[1].wall_s = runtime[0].wall_s * 1.1;
+        let outcome = std::panic::catch_unwind(|| check_runtime_scaling(4, &runtime));
+        assert!(outcome.is_err(), "sub-1.0x scaling on 4 cores must abort");
+        check_runtime_scaling(4, &fixed_runtime());
+    }
+
+    #[test]
+    fn snapshot_writes_never_clobber() {
+        let dir = std::env::temp_dir().join(format!("hcq_bench_noclobber_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("BENCH_1.json"), "keep me").unwrap();
+        let p2 = write_snapshot(&dir, "{\"n\":2}").unwrap();
+        assert!(p2.ends_with("BENCH_2.json"));
+        let p3 = write_snapshot(&dir, "{\"n\":3}").unwrap();
+        assert!(p3.ends_with("BENCH_3.json"));
+        assert_eq!(
+            std::fs::read_to_string(dir.join("BENCH_1.json")).unwrap(),
+            "keep me",
+            "existing snapshots are never overwritten"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     fn fixed_cell(policy: &'static str, q: usize, evals: f64, ns: f64) -> LargeQCell {

@@ -40,7 +40,7 @@ use hcq_repro::{
     bench, bench_history, ext_adaptive, ext_faults, ext_inspect, ext_large_q, ext_lp, ext_memory,
     ext_overhead, ext_overload, ext_preemption, ext_recovery, ext_seeds, ext_transient, fig11,
     fig12, fig13, fig14, fig5_to_10, fuzz, fuzz_replay, guard_overwrite, inspect_trace, monitor,
-    table1, table2, table3, validate, ExpConfig, InspectFormat,
+    run_runtime, table1, table2, table3, validate, ExpConfig, InspectFormat,
 };
 
 fn main() -> ExitCode {
@@ -57,6 +57,8 @@ fn main() -> ExitCode {
     let mut format = InspectFormat::Text;
     let mut force = false;
     let mut history = false;
+    let mut runtime = false;
+    let mut threads: Option<usize> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -70,6 +72,8 @@ fn main() -> ExitCode {
             },
             "--force" => force = true,
             "--history" => history = true,
+            "--runtime" => runtime = true,
+            "--threads" => threads = Some(parse(it.next(), "--threads")),
             "--large-q" => large_q = large_q.or(Some(1_000_000)),
             "--large-q-max" => large_q = Some(parse(it.next(), "--large-q-max")),
             "--queries" => cfg.queries = parse(it.next(), "--queries"),
@@ -247,6 +251,16 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "run" => {
+                if !runtime {
+                    eprintln!("`repro run` currently requires --runtime (wall-clock execution)");
+                    return ExitCode::FAILURE;
+                }
+                let n = threads.unwrap_or_else(hcq_repro::default_jobs).max(1);
+                if !run_runtime(&cfg, n) {
+                    return ExitCode::FAILURE;
+                }
+            }
             "table3" => {
                 table3(&cfg);
             }
@@ -266,7 +280,7 @@ fn main() -> ExitCode {
                         eprintln!("--cases must be positive");
                         return ExitCode::FAILURE;
                     }
-                    match fuzz(&cfg, fuzz_cases) {
+                    match fuzz(&cfg, fuzz_cases, force) {
                         Ok(summary) => {
                             if !summary.clean {
                                 return ExitCode::FAILURE;
@@ -352,7 +366,8 @@ fn print_usage() {
     eprintln!(
         "usage: repro <exhibit>... [--queries N] [--arrivals N] [--seed S] [--out DIR] [--poisson] [--govern] [--jobs N] [--trace FILE] [--cadence MS] [--serve ADDR] [--cases K] [--replay FILE] [--large-q] [--large-q-max Q] [--force]\n\
          \x20      repro inspect TRACE [--diff TRACE2] [--format text|perfetto] [--out DIR] [--force]\n\
-         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient ext_recovery ext_adaptive ext_inspect monitor validate bench fuzz all\n\
+         \x20      repro run --runtime [--threads N] [--arrivals N] [--seed S]\n\
+         exhibits: table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 table2 table3 ext_memory ext_lp ext_preemption ext_seeds ext_overload ext_faults ext_overhead ext_large_q ext_transient ext_recovery ext_adaptive ext_inspect monitor validate bench fuzz run all\n\
          --jobs N: worker threads for independent cells (default: available parallelism; outputs are byte-identical at any N)\n\
          --govern: arm the closed-loop overload governor on single-stream runs (admission ladder + hysteresis; ext_recovery compares it to static admission regardless of this flag)\n\
          --trace FILE: write a deterministic JSONL scheduling trace of one reference run (HNR, 0.9 utilization)\n\
@@ -365,6 +380,8 @@ fn print_usage() {
          --history: with `bench`, print the PR-over-PR trajectory consolidated from every BENCH_<n>.json instead of running the benchmark\n\
          --diff TRACE2: with `inspect`, align a second trace at scheduling-point granularity and report the first divergent decision\n\
          --format text|perfetto: `inspect` output — text reports (default) or Chrome trace-event JSON into --out\n\
-         --force: allow `monitor`, `--trace`, and `inspect --format perfetto` to overwrite existing output files"
+         --runtime: with `run`, execute the reference workload on real OS threads via hcq-runtime instead of the simulator\n\
+         --threads N: worker threads for `run --runtime` (default: available parallelism)\n\
+         --force: allow `monitor`, `--trace`, `inspect --format perfetto`, and `fuzz` artifacts to overwrite existing output files"
     );
 }

@@ -22,13 +22,16 @@ pub struct FuzzSummary {
 }
 
 /// Run the sweep: `cases` scenarios under `cfg.seed`, `cfg.jobs` workers,
-/// artifacts into `cfg.out_dir`.
-pub fn fuzz(cfg: &ExpConfig, cases: u64) -> std::io::Result<FuzzSummary> {
+/// artifacts into `cfg.out_dir`. Without `force`, an existing
+/// `fuzz-repro-*.json` artifact is never overwritten — the sweep fails
+/// with `AlreadyExists` instead of clobbering repro evidence.
+pub fn fuzz(cfg: &ExpConfig, cases: u64, force: bool) -> std::io::Result<FuzzSummary> {
     let fuzz_cfg = FuzzConfig {
         seed: cfg.seed,
         cases,
         jobs: cfg.jobs.max(1),
         artifact_dir: Some(cfg.out_dir.clone()),
+        force,
     };
     let outcome = run_fuzz(&fuzz_cfg)?;
     let failures = outcome.failures();
@@ -98,9 +101,9 @@ mod tests {
             jobs: 1,
             ..ExpConfig::default()
         };
-        let a = fuzz(&cfg, 3).unwrap();
+        let a = fuzz(&cfg, 3, false).unwrap();
         cfg.jobs = 3;
-        let b = fuzz(&cfg, 3).unwrap();
+        let b = fuzz(&cfg, 3, false).unwrap();
         assert!(a.clean && b.clean);
         assert_eq!(a.outcome.digest, b.outcome.digest);
         assert!(a.outcome.artifacts.is_empty());

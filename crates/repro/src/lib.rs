@@ -17,6 +17,7 @@ pub mod harness;
 pub mod inspect;
 pub mod monitor;
 pub mod plot;
+pub mod runtime;
 pub mod table;
 pub mod validate;
 
@@ -31,5 +32,6 @@ pub use harness::{default_jobs, run_jobs, ExpConfig, SweepResults};
 pub use inspect::{bench_history, ext_inspect, guard_overwrite, inspect_trace, InspectFormat};
 pub use monitor::{monitor, MonitorOutput};
 pub use plot::Chart;
+pub use runtime::run_runtime;
 pub use table::AsciiTable;
 pub use validate::{validate, ClaimResult};

@@ -1,0 +1,970 @@
+//! # hcq-runtime — the wall-clock multicore executor
+//!
+//! Every other crate in this workspace schedules *virtual* time; this one
+//! runs the same query plans and the same [`hcq_core::Policy`]
+//! implementations on real OS threads against real queue contention.
+//!
+//! ## Architecture
+//!
+//! ```text
+//!  ingest thread                     worker threads (shards)
+//!  ─────────────                     ───────────────────────
+//!  pre-generated arrival schedule       ┌─ shard 0: Policy + UnitQueues
+//!  (same ids/keys/ideal departures  ──► │  inbox Ring (MPMC)
+//!   as the simulator's inject)          ├─ shard 1: Policy + UnitQueues
+//!                                   ──► │  inbox Ring (MPMC)   ▲
+//!                                       └─ ...                 │ steal
+//!                                          idle shards ────────┘
+//! ```
+//!
+//! - **Shards**: each schedulable unit is pinned to the worker
+//!   `unit % threads`. A shard owns a private [`UnitQueues`] and its own
+//!   policy instance, so the scheduling hot path (enqueue callbacks,
+//!   `select`, pop) is single-threaded per shard — exactly the contract the
+//!   simulator gives a policy, replicated per thread.
+//! - **Rings**: cross-thread tuple movement happens only through bounded
+//!   lock-free MPMC rings ([`ring::Ring`]); a full inbox backpressures the
+//!   ingest thread rather than growing unboundedly.
+//! - **Work stealing**: a shard with nothing queued locally pops from
+//!   sibling *inboxes* (MPMC pop by a non-owner) and executes the stolen
+//!   tuple directly. Unary pipeline outcomes are pure functions of the
+//!   tuple ([`hcq_engine::exec`]), so a stolen execution emits exactly what
+//!   the owner would have emitted.
+//! - **Admission**: the simulator's ladder — `Unbounded`, `DropTail`,
+//!   [`exec::shed_victim`]-driven `QosShed` — applies when a shard moves an
+//!   inbox item into its unit queue, and an optional closed-loop governor
+//!   walks the ladder from global backlog, mapping the engine's overload
+//!   machinery onto the real queues.
+//!
+//! ## Determinism contract (and its limits)
+//!
+//! The arrival schedule (ids, keys, virtual arrival timestamps, ideal
+//! departures) is pre-generated exactly as the simulator's `inject`, and
+//! every drop/emit decision is a pure function of `(tuple, operator,
+//! seed)`. Therefore, for workloads where nothing is shed, the **multiset
+//! of emissions** — total and per-query emitted counts, and the
+//! order-insensitive lineage fingerprint — is identical across thread
+//! counts, policies, and runs, and identical to the simulator's
+//! ([`differential`] proves it). What is *not* deterministic: emission
+//! order, wall-clock QoS (response/slowdown), and which tuples are shed
+//! once bounded queues actually overflow.
+
+pub mod ring;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use hcq_common::{EngineError, HcqError, Nanos, Result, TupleId};
+use hcq_core::{Policy, PolicyKind, QueueView, UnitId};
+use hcq_engine::exec;
+use hcq_engine::queues::UnitQueues;
+use hcq_engine::{AdmissionMode, OverloadConfig, SimModel, SimTuple, UnitKind};
+use hcq_metrics::{QosAccumulator, QosSummary, TelemetryRegistry, TelemetrySnapshot};
+use hcq_plan::{CompiledOpKind, GlobalPlan, StreamRates};
+use hcq_streams::ArrivalSource;
+
+use ring::Ring;
+
+/// One queued tuple crossing a ring: the target unit, the tuple, and the
+/// wall-clock enqueue instant (nanoseconds since run start) that anchors
+/// the runtime's response-time measurement.
+#[derive(Debug, Clone, Copy)]
+struct RtItem {
+    unit: UnitId,
+    tuple: SimTuple,
+    enq_ns: u64,
+}
+
+/// Closed-loop admission governor thresholds: the ingest thread walks the
+/// `Unbounded → DropTail → QosShed` ladder one rung at a time from the
+/// global in-flight backlog.
+#[derive(Debug, Clone, Copy)]
+pub struct GovernorThresholds {
+    /// Escalate one rung when the in-flight backlog exceeds this.
+    pub escalate_pending: usize,
+    /// De-escalate one rung when it falls below this.
+    pub deescalate_pending: usize,
+    /// Minimum injected items between transitions (hysteresis dwell).
+    pub min_dwell_items: u64,
+}
+
+/// Wall-clock executor configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker (shard) threads.
+    pub threads: usize,
+    /// Per-shard inbox ring capacity (rounded up to a power of two).
+    pub ring_capacity: usize,
+    /// Admission ladder position and per-unit queue bounds, with the same
+    /// semantics as the simulator's [`OverloadConfig`].
+    pub overload: OverloadConfig,
+    /// Let idle shards pop from sibling inboxes.
+    pub steal: bool,
+    /// Master seed for attribute values and selectivity coins (must match
+    /// the simulator's seed for differential runs).
+    pub seed: u64,
+    /// Total source arrivals to inject (summed over all streams).
+    pub max_arrivals: u64,
+    /// Closed-loop admission governor (`None` = the configured mode is
+    /// fixed for the whole run).
+    pub govern: Option<GovernorThresholds>,
+}
+
+impl RuntimeConfig {
+    /// Single-threaded, unbounded-admission run of `max_arrivals` arrivals.
+    pub fn new(max_arrivals: u64) -> Self {
+        RuntimeConfig {
+            threads: 1,
+            ring_capacity: 1024,
+            overload: OverloadConfig::default(),
+            steal: true,
+            seed: 0,
+            max_arrivals,
+            govern: None,
+        }
+    }
+
+    /// Set the worker thread count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Set the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Bound every unit queue at `capacity` tuples under `mode`.
+    pub fn with_admission(mut self, mode: AdmissionMode, capacity: usize) -> Self {
+        self.overload.mode = mode;
+        self.overload.capacity = capacity;
+        self
+    }
+
+    /// Set the global pending-tuple watermark for QoS shedding.
+    pub fn with_watermark(mut self, watermark: usize) -> Self {
+        self.overload.watermark = watermark;
+        self
+    }
+}
+
+/// What a run produced, merged over all shards.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Physical source arrivals injected.
+    pub arrivals: u64,
+    /// Tuple copies entering unit queues (arrivals × per-stream fan-out).
+    pub injected: u64,
+    /// Root emissions.
+    pub emitted: u64,
+    /// Tuples dropped by operator predicates.
+    pub dropped: u64,
+    /// Tuples shed by admission control.
+    pub shed: u64,
+    /// Tuples executed by a non-owner shard via work stealing.
+    pub stolen: u64,
+    /// Scheduling points (policy `select` calls) across all shards.
+    pub selections: u64,
+    /// Emissions per query — ordering-insensitive, deterministic for
+    /// no-shed workloads.
+    pub per_query_emitted: Vec<u64>,
+    /// Commutative (xor, sum) hash over emitted `(query, lineage)` pairs —
+    /// equal iff the emission multisets are equal (up to hash collision).
+    pub fingerprint: (u64, u64),
+    /// Wall-clock QoS over emissions (response anchored at ring enqueue;
+    /// nondeterministic — excluded from differential comparison).
+    pub qos: QosSummary,
+    /// Wall-clock duration of the run.
+    pub wall_ns: u64,
+    /// Completed tuple copies (emitted + dropped + shed) per wall second.
+    pub tuples_per_sec: f64,
+    /// Governor ladder transitions.
+    pub governor_transitions: u64,
+    /// Admission mode at the end of the run.
+    pub final_mode: AdmissionMode,
+    /// Counter snapshot in the engine's telemetry-registry format.
+    pub telemetry: TelemetrySnapshot,
+}
+
+impl RuntimeReport {
+    /// Tuple conservation: every injected copy was emitted, dropped, or
+    /// shed.
+    pub fn conserved(&self) -> bool {
+        self.injected == self.emitted + self.dropped + self.shed
+    }
+}
+
+/// The admission ladder as an atomic (governor-walkable) position.
+const LADDER: [AdmissionMode; 3] = [
+    AdmissionMode::Unbounded,
+    AdmissionMode::DropTail,
+    AdmissionMode::QosShed,
+];
+
+fn ladder_index(mode: AdmissionMode) -> u8 {
+    match mode {
+        AdmissionMode::Unbounded => 0,
+        AdmissionMode::DropTail => 1,
+        AdmissionMode::QosShed => 2,
+    }
+}
+
+/// State shared by the ingest thread and every shard.
+struct Shared<'a> {
+    model: &'a SimModel,
+    shed_priority: Vec<f64>,
+    inboxes: Vec<Ring<RtItem>>,
+    /// Injected copies not yet emitted/dropped/shed.
+    in_flight: AtomicUsize,
+    ingest_done: AtomicBool,
+    /// Current ladder position (index into [`LADDER`]).
+    mode: AtomicU8,
+    transitions: AtomicU64,
+    /// A worker hit an engine error; everyone winds down.
+    failed: AtomicBool,
+    capacity: usize,
+    watermark: usize,
+    steal: bool,
+    seed: u64,
+    threads: usize,
+    start: Instant,
+}
+
+impl Shared<'_> {
+    fn mode(&self) -> AdmissionMode {
+        LADDER[self.mode.load(Ordering::Relaxed) as usize]
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.start.elapsed().as_nanos() as u64
+    }
+
+    /// A tuple copy reached its final outcome.
+    fn complete_one(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Per-shard tallies, merged into the [`RuntimeReport`] after join.
+struct ShardStats {
+    emitted: u64,
+    dropped: u64,
+    shed: u64,
+    stolen: u64,
+    selections: u64,
+    per_query: Vec<u64>,
+    fingerprint: (u64, u64),
+    qos: QosAccumulator,
+}
+
+impl ShardStats {
+    fn new(queries: usize) -> Self {
+        ShardStats {
+            emitted: 0,
+            dropped: 0,
+            shed: 0,
+            stolen: 0,
+            selections: 0,
+            per_query: vec![0; queries],
+            fingerprint: (0, 0),
+            qos: QosAccumulator::new(),
+        }
+    }
+}
+
+/// One shard's scheduling state: a private policy instance over private
+/// queues. Only this worker thread touches either.
+struct Shard<'a> {
+    id: usize,
+    policy: Box<dyn Policy>,
+    queues: UnitQueues,
+    /// Virtual watermark: max arrival admitted so far. Policies receive it
+    /// as `now`, keeping priority arithmetic in the virtual-time domain the
+    /// arrival timestamps live in (see DESIGN §14 for the caveat).
+    watermark: Nanos,
+    /// Wall enqueue instants, per unit FIFO — parallel to `queues` so
+    /// responses are measured from ring enqueue to emission.
+    enq_ns: Vec<std::collections::VecDeque<u64>>,
+    stats: ShardStats,
+    shared: &'a Shared<'a>,
+}
+
+impl<'a> Shard<'a> {
+    fn new(id: usize, kind: PolicyKind, shared: &'a Shared<'a>) -> Self {
+        let n_units = shared.model.unit_count();
+        let mut policy = kind.build();
+        policy.on_register(&shared.model.unit_statics());
+        Shard {
+            id,
+            policy,
+            queues: UnitQueues::new(n_units),
+            watermark: Nanos::ZERO,
+            enq_ns: (0..n_units)
+                .map(|_| std::collections::VecDeque::new())
+                .collect(),
+            stats: ShardStats::new(shared.model.compiled.len()),
+            shared,
+        }
+    }
+
+    /// The worker loop: drain the inbox, schedule, execute; steal when
+    /// idle; exit when ingest is done and nothing is in flight anywhere.
+    fn run(mut self) -> Result<ShardStats, EngineError> {
+        const DRAIN_BATCH: usize = 64;
+        let mut idle_spins: u32 = 0;
+        loop {
+            let mut drained = 0;
+            while drained < DRAIN_BATCH {
+                match self.shared.inboxes[self.id].try_pop() {
+                    Some(item) => {
+                        self.admit(item)?;
+                        drained += 1;
+                    }
+                    None => break,
+                }
+            }
+            if self.queues.pending() > 0 {
+                idle_spins = 0;
+                self.schedule_once()?;
+                continue;
+            }
+            if drained > 0 {
+                idle_spins = 0;
+                continue;
+            }
+            if self.shared.steal && self.shared.threads > 1 {
+                if let Some(item) = self.try_steal() {
+                    idle_spins = 0;
+                    self.stats.stolen += 1;
+                    self.execute(item.unit, item.tuple, item.enq_ns)?;
+                    continue;
+                }
+            }
+            if self.shared.failed.load(Ordering::Relaxed) {
+                break;
+            }
+            if self.shared.ingest_done.load(Ordering::Acquire)
+                && self.shared.in_flight.load(Ordering::Acquire) == 0
+            {
+                break;
+            }
+            idle_spins = idle_spins.saturating_add(1);
+            if idle_spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        Ok(self.stats)
+    }
+
+    /// Move one ring item into the local queues under the current
+    /// admission mode (the simulator's `admit`, on real queues).
+    fn admit(&mut self, item: RtItem) -> Result<(), EngineError> {
+        let unit = item.unit;
+        match self.shared.mode() {
+            AdmissionMode::Unbounded => {}
+            AdmissionMode::DropTail => {
+                if self.queues.len(unit) >= self.shared.capacity {
+                    self.stats.shed += 1;
+                    self.shared.complete_one();
+                    return Ok(());
+                }
+            }
+            AdmissionMode::QosShed => {
+                if self.queues.len(unit) >= self.shared.capacity
+                    && self.queues.pending() >= self.shared.watermark
+                {
+                    match exec::shed_victim(
+                        self.queues.nonempty(),
+                        &self.shared.shed_priority,
+                        unit,
+                    ) {
+                        Some(victim) => {
+                            if let Some(t) = self.queues.shed_tail(victim) {
+                                self.enq_ns[victim as usize].pop_back();
+                                self.policy.on_shed(victim, t.id);
+                                self.stats.shed += 1;
+                                self.shared.complete_one();
+                            }
+                        }
+                        None => {
+                            // The arriving unit is itself the least
+                            // valuable: reject the arrival.
+                            self.stats.shed += 1;
+                            self.shared.complete_one();
+                            return Ok(());
+                        }
+                    }
+                }
+            }
+        }
+        self.watermark = self.watermark.max(item.tuple.arrival);
+        self.queues.push(unit, item.tuple);
+        self.enq_ns[unit as usize].push_back(item.enq_ns);
+        self.policy
+            .on_enqueue(unit, item.tuple.id, item.tuple.arrival, self.watermark);
+        Ok(())
+    }
+
+    /// One scheduling point: ask the policy, execute every selected unit.
+    fn schedule_once(&mut self) -> Result<(), EngineError> {
+        let selection =
+            self.policy
+                .select(&self.queues, self.watermark)
+                .ok_or(EngineError::NoSelection {
+                    pending: self.queues.pending(),
+                })?;
+        self.stats.selections += 1;
+        for unit in selection.units {
+            let tuple = self.queues.pop(unit)?;
+            let enq = self.enq_ns[unit as usize]
+                .pop_front()
+                .unwrap_or_else(|| self.shared.now_ns());
+            self.execute(unit, tuple, enq)?;
+        }
+        Ok(())
+    }
+
+    /// Pop one item from a sibling inbox (MPMC pop by a non-owner).
+    fn try_steal(&self) -> Option<RtItem> {
+        // Start from a shard-dependent offset so thieves spread out.
+        for off in 1..self.shared.threads {
+            let victim = (self.id + off) % self.shared.threads;
+            if let Some(item) = self.shared.inboxes[victim].try_pop() {
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Run one tuple through its unit's unary pipeline to the root.
+    fn execute(&mut self, unit: UnitId, tuple: SimTuple, enq_ns: u64) -> Result<(), EngineError> {
+        let model = self.shared.model;
+        let desc = model
+            .units
+            .get(unit as usize)
+            .ok_or(EngineError::UnknownUnit {
+                unit,
+                unit_count: model.unit_count(),
+            })?;
+        let UnitKind::Leaf { query, leaf } = desc.kind else {
+            // `build` validated a pure query-level unary workload.
+            return Err(EngineError::UnknownUnit {
+                unit,
+                unit_count: model.unit_count(),
+            });
+        };
+        let cq = &model.compiled[query];
+        let mut cursor = Some(cq.leaves[leaf.index()].entry);
+        while let Some((oi, _port)) = cursor {
+            let op = &cq.ops[oi];
+            match op.kind {
+                CompiledOpKind::Unary(spec) => {
+                    if !exec::unary_passes(
+                        self.shared.seed,
+                        query,
+                        oi,
+                        &spec,
+                        spec.selectivity,
+                        &tuple,
+                    ) {
+                        self.stats.dropped += 1;
+                        self.shared.complete_one();
+                        return Ok(());
+                    }
+                    cursor = op.downstream;
+                }
+                CompiledOpKind::Join(_) => {
+                    return Err(EngineError::UnexpectedJoin { query, op: oi })
+                }
+            }
+        }
+        // Root emission.
+        self.stats.emitted += 1;
+        self.stats.per_query[query] += 1;
+        self.stats.fingerprint = exec::fold_emission(self.stats.fingerprint, query, tuple.lineage);
+        let response = Nanos::from_nanos(self.shared.now_ns().saturating_sub(enq_ns));
+        let ideal = model.stats[query].ideal_time;
+        let slowdown = if ideal.is_zero() {
+            1.0
+        } else {
+            (response.as_nanos() as f64 / ideal.as_nanos() as f64).max(1.0)
+        };
+        self.stats.qos.record(response, slowdown);
+        self.shared.complete_one();
+        Ok(())
+    }
+}
+
+/// Pre-generate the full injection schedule: the same merge over sources,
+/// the same global arrival ordinals, keys, and per-route ideal departures
+/// as the simulator's `inject`.
+fn build_schedule(
+    model: &SimModel,
+    mut sources: Vec<Box<dyn ArrivalSource>>,
+    seed: u64,
+    max_arrivals: u64,
+) -> (u64, Vec<(UnitId, SimTuple)>) {
+    let mut heap = BinaryHeap::new();
+    for (s, src) in sources.iter_mut().enumerate() {
+        if let Some(t) = src.next_arrival() {
+            heap.push(Reverse((t, s)));
+        }
+    }
+    let mut out = Vec::new();
+    let mut injected = 0u64;
+    while injected < max_arrivals {
+        let Some(Reverse((t, s))) = heap.pop() else {
+            break;
+        };
+        if let Some(next) = sources[s].next_arrival() {
+            heap.push(Reverse((next, s)));
+        }
+        let id = TupleId::new(injected);
+        injected += 1;
+        let key = exec::arrival_key(seed, id);
+        if s >= model.routes.len() {
+            continue;
+        }
+        for route in &model.routes[s] {
+            out.push((
+                route.unit,
+                SimTuple {
+                    id,
+                    arrival: t,
+                    ts: t,
+                    key,
+                    ideal_depart: t + route.alone,
+                    lineage: id,
+                },
+            ));
+        }
+    }
+    (injected, out)
+}
+
+/// Execute `plan` on `cfg.threads` OS threads under `kind` scheduling.
+///
+/// Supports the same workload family the differential harness certifies:
+/// query-level scheduling of unary pipelines (no window joins, no shared
+/// operators, no fault injection). Anything else is rejected up front.
+pub fn run(
+    plan: &GlobalPlan,
+    rates: &StreamRates,
+    sources: Vec<Box<dyn ArrivalSource>>,
+    kind: PolicyKind,
+    cfg: &RuntimeConfig,
+) -> Result<RuntimeReport> {
+    if cfg.threads == 0 {
+        return Err(HcqError::config("runtime needs at least one thread"));
+    }
+    if cfg.overload.mode != AdmissionMode::Unbounded && cfg.overload.capacity == 0 {
+        return Err(HcqError::config(
+            "bounded admission needs a per-unit capacity of at least 1",
+        ));
+    }
+    let model = SimModel::build(
+        plan,
+        rates,
+        hcq_engine::SchedulingLevel::Query,
+        hcq_core::SharingStrategy::Pdt,
+    )?;
+    if !model.groups.is_empty() {
+        return Err(HcqError::config(
+            "the wall-clock runtime does not execute shared-operator groups yet",
+        ));
+    }
+    if model
+        .compiled
+        .iter()
+        .any(|cq| !cq.join_indices().is_empty())
+    {
+        return Err(HcqError::config(
+            "the wall-clock runtime does not execute window joins yet",
+        ));
+    }
+    for (s, routes) in model.routes.iter().enumerate() {
+        if !routes.is_empty() && s >= sources.len() {
+            return Err(HcqError::config(format!(
+                "stream {s} is referenced by the plan but has no source"
+            )));
+        }
+    }
+
+    let (arrivals, schedule) = build_schedule(&model, sources, cfg.seed, cfg.max_arrivals);
+    let injected = schedule.len() as u64;
+
+    let shared = Shared {
+        model: &model,
+        shed_priority: model
+            .unit_statics()
+            .iter()
+            .map(|u| u.hnr_priority())
+            .collect(),
+        inboxes: (0..cfg.threads)
+            .map(|_| Ring::new(cfg.ring_capacity))
+            .collect(),
+        in_flight: AtomicUsize::new(0),
+        ingest_done: AtomicBool::new(false),
+        mode: AtomicU8::new(ladder_index(cfg.overload.mode)),
+        transitions: AtomicU64::new(0),
+        failed: AtomicBool::new(false),
+        capacity: cfg.overload.capacity,
+        watermark: cfg.overload.watermark,
+        steal: cfg.steal,
+        seed: cfg.seed,
+        threads: cfg.threads,
+        start: Instant::now(),
+    };
+
+    let mut shard_results: Vec<Result<ShardStats, EngineError>> = Vec::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.threads)
+            .map(|i| {
+                let shared = &shared;
+                scope.spawn(move || {
+                    let result = Shard::new(i, kind, shared).run();
+                    if result.is_err() {
+                        shared.failed.store(true, Ordering::Release);
+                    }
+                    result
+                })
+            })
+            .collect();
+
+        // Ingest: push every scheduled copy to its owner shard's inbox,
+        // walking the governor ladder from the global backlog.
+        let mut since_transition = 0u64;
+        for (unit, tuple) in &schedule {
+            if shared.failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let target = (*unit as usize) % cfg.threads;
+            shared.in_flight.fetch_add(1, Ordering::Release);
+            let mut item = RtItem {
+                unit: *unit,
+                tuple: *tuple,
+                enq_ns: shared.now_ns(),
+            };
+            loop {
+                match shared.inboxes[target].try_push(item) {
+                    Ok(()) => break,
+                    Err(back) => {
+                        item = back;
+                        if shared.failed.load(Ordering::Relaxed) {
+                            shared.complete_one();
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                }
+            }
+            since_transition += 1;
+            if let Some(g) = cfg.govern {
+                if since_transition >= g.min_dwell_items {
+                    let backlog = shared.in_flight.load(Ordering::Relaxed);
+                    let rung = shared.mode.load(Ordering::Relaxed);
+                    if backlog > g.escalate_pending && (rung as usize) < LADDER.len() - 1 {
+                        shared.mode.store(rung + 1, Ordering::Relaxed);
+                        shared.transitions.fetch_add(1, Ordering::Relaxed);
+                        since_transition = 0;
+                    } else if backlog < g.deescalate_pending && rung > 0 {
+                        shared.mode.store(rung - 1, Ordering::Relaxed);
+                        shared.transitions.fetch_add(1, Ordering::Relaxed);
+                        since_transition = 0;
+                    }
+                }
+            }
+        }
+        shared.ingest_done.store(true, Ordering::Release);
+        shard_results = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect();
+    });
+
+    let wall_ns = shared.now_ns().max(1);
+    let mut emitted = 0u64;
+    let mut dropped = 0u64;
+    let mut shed = 0u64;
+    let mut stolen = 0u64;
+    let mut selections = 0u64;
+    let mut per_query = vec![0u64; model.compiled.len()];
+    let mut fingerprint = (0u64, 0u64);
+    let mut qos = QosAccumulator::new();
+    for r in shard_results {
+        let s = r.map_err(HcqError::Engine)?;
+        emitted += s.emitted;
+        dropped += s.dropped;
+        shed += s.shed;
+        stolen += s.stolen;
+        selections += s.selections;
+        for (acc, q) in per_query.iter_mut().zip(&s.per_query) {
+            *acc += q;
+        }
+        fingerprint.0 ^= s.fingerprint.0;
+        fingerprint.1 = fingerprint.1.wrapping_add(s.fingerprint.1);
+        qos.merge(&s.qos);
+    }
+
+    let completed = emitted + dropped + shed;
+    let mut reg = TelemetryRegistry::new();
+    let c_arrivals = reg.counter("hcq_arrivals_total", "source arrivals injected", vec![]);
+    let c_emitted = reg.counter("hcq_emitted_total", "root emissions", vec![]);
+    let c_dropped = reg.counter("hcq_dropped_total", "predicate drops", vec![]);
+    let c_shed = reg.counter("hcq_shed_total", "admission sheds", vec![]);
+    let c_stolen = reg.counter("hcq_stolen_total", "work-stolen executions", vec![]);
+    let g_threads = reg.gauge("hcq_runtime_threads", "worker threads", vec![]);
+    reg.set_counter(c_arrivals, arrivals);
+    reg.set_counter(c_emitted, emitted);
+    reg.set_counter(c_dropped, dropped);
+    reg.set_counter(c_shed, shed);
+    reg.set_counter(c_stolen, stolen);
+    reg.set_gauge(g_threads, cfg.threads as f64);
+    let telemetry = reg.snapshot(Nanos::from_nanos(wall_ns));
+
+    Ok(RuntimeReport {
+        threads: cfg.threads,
+        arrivals,
+        injected,
+        emitted,
+        dropped,
+        shed,
+        stolen,
+        selections,
+        per_query_emitted: per_query,
+        fingerprint,
+        qos: qos.summary(),
+        wall_ns,
+        tuples_per_sec: completed as f64 / (wall_ns as f64 / 1e9),
+        governor_transitions: shared.transitions.load(Ordering::Relaxed),
+        final_mode: shared.mode(),
+        telemetry,
+    })
+}
+
+pub mod differential {
+    //! The runtime ⇄ simulator differential harness.
+    //!
+    //! For a deterministic no-shed workload the two executors must agree
+    //! exactly on the emission multiset; this module runs both and compares
+    //! the ordering-insensitive aggregates.
+
+    use super::*;
+    use hcq_engine::{simulate_traced, SimConfig, VecTrace};
+
+    /// The ordering-insensitive aggregates both executors must agree on.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Aggregates {
+        /// Root emissions.
+        pub emitted: u64,
+        /// Predicate drops.
+        pub dropped: u64,
+        /// Admission sheds.
+        pub shed: u64,
+        /// Emissions per query.
+        pub per_query_emitted: Vec<u64>,
+        /// Commutative `(xor, sum)` emission-multiset hash.
+        pub fingerprint: (u64, u64),
+    }
+
+    /// Run the simulator on the identical workload and reduce its trace to
+    /// [`Aggregates`].
+    pub fn simulator_aggregates(
+        plan: &GlobalPlan,
+        rates: &StreamRates,
+        sources: Vec<Box<dyn ArrivalSource>>,
+        kind: PolicyKind,
+        cfg: &SimConfig,
+    ) -> Result<Aggregates> {
+        let queries = plan.queries.len();
+        let (report, trace) = simulate_traced(
+            plan,
+            rates,
+            sources,
+            kind.build(),
+            cfg.clone(),
+            VecTrace::new(),
+        )?;
+        let mut per_query = vec![0u64; queries];
+        let mut fingerprint = (0u64, 0u64);
+        for ev in &trace.events {
+            if let hcq_engine::TraceEvent::Emit { query, lineage, .. } = ev {
+                per_query[*query as usize] += 1;
+                fingerprint =
+                    exec::fold_emission(fingerprint, *query as usize, TupleId::new(*lineage));
+            }
+        }
+        Ok(Aggregates {
+            emitted: report.emitted,
+            dropped: report.dropped,
+            shed: report.shed,
+            per_query_emitted: per_query,
+            fingerprint,
+        })
+    }
+
+    /// Reduce a runtime report to the comparable aggregates.
+    pub fn runtime_aggregates(report: &RuntimeReport) -> Aggregates {
+        Aggregates {
+            emitted: report.emitted,
+            dropped: report.dropped,
+            shed: report.shed,
+            per_query_emitted: report.per_query_emitted.clone(),
+            fingerprint: report.fingerprint,
+        }
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+    use hcq_common::Nanos;
+    use hcq_plan::QueryBuilder;
+    use hcq_streams::PoissonSource;
+
+    fn small_plan() -> GlobalPlan {
+        let mut plan = GlobalPlan::default();
+        for q in 0..4u64 {
+            plan.add_query(
+                QueryBuilder::on(hcq_common::StreamId::new(0))
+                    .select(Nanos::from_micros(50 + 10 * q), 0.2 + 0.15 * q as f64)
+                    .project(Nanos::from_micros(20))
+                    .build()
+                    .unwrap(),
+            );
+        }
+        plan
+    }
+
+    fn sources() -> Vec<Box<dyn ArrivalSource>> {
+        vec![Box::new(PoissonSource::new(Nanos::from_millis(1), 9))]
+    }
+
+    #[test]
+    fn runtime_conserves_and_reports() {
+        let report = run(
+            &small_plan(),
+            &StreamRates::none(),
+            sources(),
+            PolicyKind::Hnr,
+            &RuntimeConfig::new(300).with_seed(3),
+        )
+        .unwrap();
+        assert_eq!(report.arrivals, 300);
+        assert_eq!(report.injected, 1200, "4 queries on one stream fan out 4x");
+        assert!(report.conserved(), "emitted+dropped+shed == injected");
+        assert_eq!(report.shed, 0, "unbounded admission sheds nothing");
+        assert!(report.emitted > 0);
+        assert_eq!(
+            report.telemetry.counter("hcq_emitted_total"),
+            Some(report.emitted)
+        );
+        assert!(report.tuples_per_sec > 0.0);
+    }
+
+    #[test]
+    fn emission_multiset_is_thread_count_invariant() {
+        let base = run(
+            &small_plan(),
+            &StreamRates::none(),
+            sources(),
+            PolicyKind::Bsd,
+            &RuntimeConfig::new(400).with_seed(3),
+        )
+        .unwrap();
+        for threads in [2, 4] {
+            let multi = run(
+                &small_plan(),
+                &StreamRates::none(),
+                sources(),
+                PolicyKind::Bsd,
+                &RuntimeConfig::new(400).with_seed(3).with_threads(threads),
+            )
+            .unwrap();
+            assert_eq!(multi.emitted, base.emitted);
+            assert_eq!(multi.per_query_emitted, base.per_query_emitted);
+            assert_eq!(multi.fingerprint, base.fingerprint);
+            assert!(multi.conserved());
+        }
+    }
+
+    #[test]
+    fn droptail_sheds_and_conserves_under_tight_capacity() {
+        let report = run(
+            &small_plan(),
+            &StreamRates::none(),
+            sources(),
+            PolicyKind::Fcfs,
+            &RuntimeConfig::new(500)
+                .with_seed(3)
+                .with_threads(2)
+                .with_admission(AdmissionMode::DropTail, 1),
+        )
+        .unwrap();
+        assert!(report.conserved());
+    }
+
+    #[test]
+    fn governor_walks_the_ladder_under_backlog() {
+        let mut cfg = RuntimeConfig::new(500)
+            .with_seed(3)
+            .with_admission(AdmissionMode::Unbounded, 4)
+            .with_watermark(8);
+        cfg.govern = Some(GovernorThresholds {
+            escalate_pending: 10,
+            deescalate_pending: 2,
+            min_dwell_items: 20,
+        });
+        // A single slow shard guarantees backlog builds while ingest runs.
+        let report = run(
+            &small_plan(),
+            &StreamRates::none(),
+            sources(),
+            PolicyKind::RoundRobin,
+            &cfg,
+        )
+        .unwrap();
+        assert!(report.conserved());
+        assert!(
+            report.governor_transitions > 0,
+            "backlog of hundreds of tuples must trip the escalate threshold"
+        );
+    }
+
+    #[test]
+    fn rejects_unsupported_workloads() {
+        let mut plan = GlobalPlan::default();
+        plan.add_query(
+            QueryBuilder::on(hcq_common::StreamId::new(0))
+                .select(Nanos::from_micros(50), 0.5)
+                .build()
+                .unwrap(),
+        );
+        // Zero threads.
+        assert!(run(
+            &plan,
+            &StreamRates::none(),
+            sources(),
+            PolicyKind::Fcfs,
+            &RuntimeConfig::new(10).with_threads(0),
+        )
+        .is_err());
+        // Bounded admission with no capacity.
+        assert!(run(
+            &plan,
+            &StreamRates::none(),
+            sources(),
+            PolicyKind::Fcfs,
+            &RuntimeConfig::new(10).with_admission(AdmissionMode::DropTail, 0),
+        )
+        .is_err());
+    }
+}

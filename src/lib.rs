@@ -66,6 +66,7 @@
 //! | [`engine`] | `hcq-engine` | the discrete-event DSMS simulator |
 //! | [`workload`] | `hcq-workload` | the §8 evaluation workloads + utilization calibration |
 //! | [`aqsios`] | `hcq-aqsios` | an embeddable online mini-DSMS over real records, scheduled by these policies |
+//! | [`runtime`] | `hcq-runtime` | wall-clock multicore executor: shards, lock-free rings, work stealing |
 //! | [`check`] | `hcq-check` | seeded scenario fuzzing, the invariant suite, shrinking + replay artifacts |
 //! | [`inspect`] | `hcq-inspect` | offline trace analysis: latency waterfalls, starvation diagnosis, decision diffs, Perfetto export |
 //!
@@ -81,6 +82,7 @@ pub use hcq_inspect as inspect;
 pub use hcq_join as join;
 pub use hcq_metrics as metrics;
 pub use hcq_plan as plan;
+pub use hcq_runtime as runtime;
 pub use hcq_streams as streams;
 pub use hcq_workload as workload;
 
